@@ -1,0 +1,135 @@
+(* The benchmark harness.
+
+   Two parts:
+   1. Bechamel micro-benchmarks — one Test.make per paper artifact,
+      measuring the core operation that artifact exercises (embedding,
+      recognition, attack, extraction, ...).
+   2. Regeneration of every table and figure of the paper's evaluation
+      (Figures 5, 8(a-d), 9(a-b) and the two resilience tables), printing
+      the same series the paper reports.  Run `dune exec bench/main.exe`
+      and compare against EXPERIMENTS.md.
+
+   Pass `--micro-only` or `--figures-only` to run half the harness. *)
+
+open Bechamel
+open Toolkit
+
+(* ---- shared fixtures (small, so micro-benchmarks stay micro) ---- *)
+
+let key = "bench-key"
+
+let host_vm = Workloads.Workload.vm_program Workloads.Caffeine.suite
+
+let host_input = [ 50 ]
+
+let watermark64 = Bignum.of_string "13105294131850248109"
+
+let vm_spec pieces =
+  { Jwm.Embed.passphrase = key; watermark = watermark64; watermark_bits = 64; pieces; input = host_input }
+
+let watermarked_vm = lazy (Jwm.Embed.embed (vm_spec 20) host_vm).Jwm.Embed.program
+
+let codec_params = lazy (Codec.Params.make ~passphrase:key ~watermark_bits:768 ())
+
+let codec_watermark =
+  lazy
+    (let params = Lazy.force codec_params in
+     let rng = Util.Prng.create 5L in
+     let rec draw () =
+       let w = Bignum.random_bits rng 768 in
+       if Codec.Params.fits params w then w else draw ()
+     in
+     draw ())
+
+let native_prog = Workloads.Workload.native_program (Workloads.Spec.find "mcf")
+
+let native_report =
+  lazy (Nwm.Embed.embed ~watermark:watermark64 ~bits:64 ~training_input:[ 20; 3 ] native_prog)
+
+(* ---- one micro-benchmark per paper artifact ---- *)
+
+let tests =
+  [
+    (* Figure 5: the recombination algorithm on a 768-bit watermark *)
+    Test.make ~name:"fig5/recombine-768bit"
+      (Staged.stage (fun () ->
+           let params = Lazy.force codec_params in
+           let w = Lazy.force codec_watermark in
+           let stmts = Codec.Statement.all_of_watermark params w in
+           ignore (Codec.Recombine.recover_value params stmts)));
+    (* Figure 8(a): executing a watermarked program (slowdown source) *)
+    Test.make ~name:"fig8a/run-watermarked-vm"
+      (Staged.stage (fun () -> ignore (Stackvm.Interp.run (Lazy.force watermarked_vm) ~input:host_input)));
+    (* Figure 8(b): embedding (the size-increase producer) *)
+    Test.make ~name:"fig8b/embed-20-pieces"
+      (Staged.stage (fun () -> ignore (Jwm.Embed.embed (vm_spec 20) host_vm)));
+    (* Figure 8(c): recognition after a branch-insertion attack *)
+    Test.make ~name:"fig8c/recognize-after-attack"
+      (Staged.stage (fun () ->
+           let rng = Util.Prng.create 3L in
+           let attacked = Vmattacks.Attacks.branch_insertion ~rate:0.5 rng (Lazy.force watermarked_vm) in
+           ignore
+             (Jwm.Recognize.recognize ~passphrase:key ~watermark_bits:64 ~input:host_input attacked)));
+    (* Figure 8(d): the attack itself *)
+    Test.make ~name:"fig8d/branch-insertion-attack"
+      (Staged.stage (fun () ->
+           let rng = Util.Prng.create 3L in
+           ignore (Vmattacks.Attacks.branch_insertion ~rate:1.0 rng host_vm)));
+    (* Figure 9(a): native embedding (two-phase link) *)
+    Test.make ~name:"fig9a/embed-native"
+      (Staged.stage (fun () ->
+           ignore (Nwm.Embed.embed ~watermark:watermark64 ~bits:64 ~training_input:[ 20; 3 ] native_prog)));
+    (* Figure 9(b): running a watermarked native binary *)
+    Test.make ~name:"fig9b/run-watermarked-native"
+      (Staged.stage (fun () ->
+           ignore (Nativesim.Machine.run (Lazy.force native_report).Nwm.Embed.binary ~input:[ 20; 3 ])));
+    (* Table 5.1.2: a distortive attack on the VM *)
+    Test.make ~name:"tj/block-reorder-attack"
+      (Staged.stage (fun () ->
+           let rng = Util.Prng.create 3L in
+           ignore (Vmattacks.Attacks.block_reorder rng (Lazy.force watermarked_vm))));
+    (* Table 5.2.2: single-step extraction *)
+    Test.make ~name:"tn/extract-native-smart"
+      (Staged.stage (fun () ->
+           let r = Lazy.force native_report in
+           ignore
+             (Nwm.Extract.extract r.Nwm.Embed.binary ~begin_addr:r.Nwm.Embed.begin_addr
+                ~end_addr:r.Nwm.Embed.end_addr ~input:[ 20; 3 ])));
+  ]
+
+let run_micro () =
+  let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.8) ~kde:(Some 100) () in
+  let instances = Instance.[ monotonic_clock ] in
+  Printf.printf "=== micro-benchmarks (one per paper artifact) ===\n%!";
+  List.iter
+    (fun test ->
+      let results = Benchmark.all cfg instances test in
+      let analysis = Analyze.all (Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]) Instance.monotonic_clock results in
+      Hashtbl.iter
+        (fun name ols ->
+          match Analyze.OLS.estimates ols with
+          | Some [ t ] -> Printf.printf "%-32s %12.1f ns/run\n%!" name t
+          | _ -> Printf.printf "%-32s (no estimate)\n%!" name)
+        analysis)
+    tests
+
+let run_figures () =
+  Experiments.Fig5.print (Experiments.Fig5.run ());
+  let cost = Experiments.Fig8.run_cost () in
+  Experiments.Fig8.print_a cost;
+  Experiments.Fig8.print_b cost;
+  Experiments.Fig8.print_c (Experiments.Fig8.run_c ());
+  Experiments.Fig8.print_d (Experiments.Fig8.run_d ());
+  let f9 = Experiments.Fig9.run () in
+  Experiments.Fig9.print_a f9;
+  Experiments.Fig9.print_b f9;
+  Experiments.Tables.print_java (Experiments.Tables.run_java ());
+  Experiments.Tables.print_native (Experiments.Tables.run_native ());
+  Experiments.Ablations.print (Experiments.Ablations.run ())
+
+let () =
+  let args = Array.to_list Sys.argv in
+  let micro = not (List.mem "--figures-only" args) in
+  let figures = not (List.mem "--micro-only" args) in
+  if micro then run_micro ();
+  if figures then run_figures ()

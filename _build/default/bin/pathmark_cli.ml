@@ -1,0 +1,278 @@
+(* The pathmark command-line tool: embed, recognize, attack and inspect
+   watermarked programs on both tracks, and regenerate the paper's
+   experiments. *)
+
+open Cmdliner
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let write_file path contents =
+  let oc = open_out_bin path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc contents)
+
+let parse_input s =
+  if String.trim s = "" then []
+  else
+    String.split_on_char ',' s
+    |> List.map (fun x ->
+           match int_of_string_opt (String.trim x) with
+           | Some v -> v
+           | None -> failwith ("bad input element: " ^ x))
+
+(* ---- common options ---- *)
+
+let key_t =
+  Arg.(value & opt string "pathmark-default-key" & info [ "key" ] ~docv:"KEY" ~doc:"Watermark passphrase (secret).")
+
+let bits_t = Arg.(value & opt int 128 & info [ "bits" ] ~docv:"N" ~doc:"Watermark width in bits.")
+
+let input_t =
+  Arg.(value & opt string "" & info [ "input" ] ~docv:"I1,I2,..." ~doc:"Secret input sequence (comma-separated integers).")
+
+let mark_t =
+  Arg.(value & opt string "123456789123456789" & info [ "mark" ] ~docv:"W" ~doc:"Watermark value (decimal).")
+
+let out_t = Arg.(value & opt string "out.bin" & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Output file.")
+
+let seed_t = Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"Deterministic randomness seed.")
+
+(* ---- VM track ---- *)
+
+let load_vm path = Stackvm.Serialize.decode (read_file path)
+
+let embed_vm source key mark bits pieces input out seed =
+  let prog = Minic.To_stackvm.compile_source (read_file source) in
+  let watermarked =
+    Pathmark.watermark_vm ~seed:(Int64.of_int seed) ~key ~watermark:(Bignum.of_string mark) ~bits
+      ~pieces ~input:(parse_input input) prog
+  in
+  write_file out (Stackvm.Serialize.encode watermarked);
+  Printf.printf "embedded %d-bit watermark (%d pieces) into %s -> %s (%d -> %d bytes)\n" bits pieces
+    source out
+    (Stackvm.Serialize.size_in_bytes prog)
+    (Stackvm.Serialize.size_in_bytes watermarked)
+
+let embed_vm_cmd =
+  let source = Arg.(required & pos 0 (some file) None & info [] ~docv:"SOURCE.mc" ~doc:"MiniC source file.") in
+  let pieces = Arg.(value & opt int 40 & info [ "pieces" ] ~doc:"Number of redundant pieces.") in
+  Cmd.v
+    (Cmd.info "embed-vm" ~doc:"Compile a MiniC program and embed a bytecode-track watermark.")
+    Term.(const embed_vm $ source $ key_t $ mark_t $ bits_t $ pieces $ input_t $ out_t $ seed_t)
+
+let recognize_vm path key bits input =
+  let prog = load_vm path in
+  match Pathmark.recognize_vm ~key ~bits ~input:(parse_input input) prog with
+  | Some w -> Printf.printf "fingerprint: %s\n" (Bignum.to_string w)
+  | None ->
+      Printf.printf "no watermark recovered\n";
+      exit 1
+
+let recognize_vm_cmd =
+  let path = Arg.(required & pos 0 (some file) None & info [] ~docv:"PROGRAM" ~doc:"Serialized VM program.") in
+  Cmd.v
+    (Cmd.info "recognize-vm" ~doc:"Recognize a bytecode-track watermark (blind).")
+    Term.(const recognize_vm $ path $ key_t $ bits_t $ input_t)
+
+let run_vm path input =
+  let prog = load_vm path in
+  let r = Stackvm.Interp.run prog ~input:(parse_input input) in
+  List.iter (Printf.printf "%d\n") r.Stackvm.Interp.outputs;
+  match r.Stackvm.Interp.outcome with
+  | Stackvm.Interp.Finished v -> Printf.printf "finished: %d (%d steps)\n" v r.Stackvm.Interp.steps
+  | Stackvm.Interp.Trapped { reason; _ } ->
+      Printf.printf "trapped: %s\n" reason;
+      exit 1
+  | Stackvm.Interp.Out_of_fuel ->
+      Printf.printf "out of fuel\n";
+      exit 1
+
+let run_vm_cmd =
+  let path = Arg.(required & pos 0 (some file) None & info [] ~docv:"PROGRAM" ~doc:"Serialized VM program.") in
+  Cmd.v (Cmd.info "run-vm" ~doc:"Execute a serialized VM program.") Term.(const run_vm $ path $ input_t)
+
+let attack_vm path name out seed =
+  match List.assoc_opt name Vmattacks.Attacks.all with
+  | None ->
+      Printf.printf "unknown attack %s; available:\n" name;
+      List.iter (fun (n, _) -> Printf.printf "  %s\n" n) Vmattacks.Attacks.all;
+      exit 1
+  | Some attack ->
+      let prog = load_vm path in
+      let attacked = attack (Util.Prng.create (Int64.of_int seed)) prog in
+      write_file out (Stackvm.Serialize.encode attacked);
+      Printf.printf "applied %s: %s -> %s\n" name path out
+
+let attack_vm_cmd =
+  let path = Arg.(required & pos 0 (some file) None & info [] ~docv:"PROGRAM" ~doc:"Serialized VM program.") in
+  let attack_name = Arg.(required & pos 1 (some string) None & info [] ~docv:"ATTACK" ~doc:"Attack name (see list-attacks).") in
+  Cmd.v
+    (Cmd.info "attack-vm" ~doc:"Apply a distortive attack to a VM program.")
+    Term.(const attack_vm $ path $ attack_name $ out_t $ seed_t)
+
+let list_attacks () =
+  Printf.printf "bytecode-track distortive attacks:\n";
+  List.iter (fun (n, _) -> Printf.printf "  %s\n" n) Vmattacks.Attacks.all;
+  Printf.printf "native-track attacks: noop-insertion branch-inversion double-watermark bypass reroute\n"
+
+let list_attacks_cmd = Cmd.v (Cmd.info "list-attacks" ~doc:"List the attack suites.") Term.(const list_attacks $ const ())
+
+let trace_vm path input out =
+  let prog = load_vm path in
+  let trace = Stackvm.Trace.capture ~want_snapshots:false prog ~input:(parse_input input) in
+  let bits = Stackvm.Trace.bitstring trace in
+  write_file out (Stackvm.Trace.save trace);
+  Printf.printf "traced %d branch events (%d instructions executed) -> %s\n"
+    (Array.length trace.Stackvm.Trace.branches)
+    trace.Stackvm.Trace.result.Stackvm.Interp.steps out;
+  Printf.printf "bit-string prefix: %s...\n"
+    (let s = Util.Bitstring.to_string bits in
+     String.sub s 0 (min 64 (String.length s)))
+
+let trace_vm_cmd =
+  let path = Arg.(required & pos 0 (some file) None & info [] ~docv:"PROGRAM" ~doc:"Serialized VM program.") in
+  Cmd.v
+    (Cmd.info "trace-vm" ~doc:"Trace a VM program on an input and save the branch events.")
+    Term.(const trace_vm $ path $ input_t $ out_t)
+
+let recognize_trace path key bits_width =
+  let events = Stackvm.Trace.load_branches (read_file path) in
+  let bitstr = Stackvm.Trace.bits_of_branches events in
+  let params = Codec.Params.make ~passphrase:key ~watermark_bits:bits_width () in
+  match (Codec.Recombine.recover_from_bitstring params bitstr).Codec.Recombine.value with
+  | Some w -> Printf.printf "fingerprint: %s\n" (Bignum.to_string w)
+  | None ->
+      Printf.printf "no watermark recovered from trace\n";
+      exit 1
+
+let recognize_trace_cmd =
+  let path = Arg.(required & pos 0 (some file) None & info [] ~docv:"TRACE" ~doc:"Saved trace file.") in
+  Cmd.v
+    (Cmd.info "recognize-trace" ~doc:"Recognize a watermark from a saved trace file (offline).")
+    Term.(const recognize_trace $ path $ key_t $ bits_t)
+
+(* ---- native track ---- *)
+
+let embed_native source mark bits input out seed =
+  let prog = Minic.To_native.compile_source (read_file source) in
+  let report =
+    Pathmark.watermark_native ~seed:(Int64.of_int seed) ~watermark:(Bignum.of_string mark) ~bits
+      ~training_input:(parse_input input) prog
+  in
+  write_file out (Nativesim.Binary.encode report.Nwm.Embed.binary);
+  Printf.printf "embedded %d-bit watermark into %s -> %s\n" bits source out;
+  Printf.printf "begin=0x%x end=0x%x tamper_cells=%d size %d -> %d bytes\n" report.Nwm.Embed.begin_addr
+    report.Nwm.Embed.end_addr report.Nwm.Embed.tamper_cells report.Nwm.Embed.bytes_before
+    report.Nwm.Embed.bytes_after
+
+let embed_native_cmd =
+  let source = Arg.(required & pos 0 (some file) None & info [] ~docv:"SOURCE.mc" ~doc:"MiniC source file.") in
+  Cmd.v
+    (Cmd.info "embed-native" ~doc:"Compile a MiniC program and embed a branch-function watermark.")
+    Term.(const embed_native $ source $ mark_t $ bits_t $ input_t $ out_t $ seed_t)
+
+let extract_native path begin_addr end_addr input tracer =
+  let bin = Nativesim.Binary.decode (read_file path) in
+  let kind = if tracer = "simple" then Nwm.Extract.Simple else Nwm.Extract.Smart in
+  match Pathmark.extract_native ~kind bin ~begin_addr ~end_addr ~input:(parse_input input) with
+  | Some w -> Printf.printf "fingerprint: %s\n" (Bignum.to_string w)
+  | None ->
+      Printf.printf "no watermark extracted\n";
+      exit 1
+
+let extract_native_cmd =
+  let path = Arg.(required & pos 0 (some file) None & info [] ~docv:"BINARY" ~doc:"Native binary file.") in
+  let begin_addr = Arg.(required & opt (some int) None & info [ "begin" ] ~docv:"ADDR" ~doc:"Watermark region start.") in
+  let end_addr = Arg.(required & opt (some int) None & info [ "end" ] ~docv:"ADDR" ~doc:"Watermark region end.") in
+  let tracer = Arg.(value & opt string "smart" & info [ "tracer" ] ~docv:"simple|smart" ~doc:"Tracer kind.") in
+  Cmd.v
+    (Cmd.info "extract-native" ~doc:"Extract a branch-function watermark by single-stepping.")
+    Term.(const extract_native $ path $ begin_addr $ end_addr $ input_t $ tracer)
+
+let run_native path input =
+  let bin = Nativesim.Binary.decode (read_file path) in
+  let r = Nativesim.Machine.run bin ~input:(parse_input input) in
+  List.iter (Printf.printf "%d\n") r.Nativesim.Machine.outputs;
+  match r.Nativesim.Machine.outcome with
+  | Nativesim.Machine.Halted -> Printf.printf "halted (%d steps)\n" r.Nativesim.Machine.steps
+  | Nativesim.Machine.Trapped { reason; addr } ->
+      Printf.printf "trapped at 0x%x: %s\n" addr reason;
+      exit 1
+  | Nativesim.Machine.Out_of_fuel ->
+      Printf.printf "out of fuel\n";
+      exit 1
+
+let run_native_cmd =
+  let path = Arg.(required & pos 0 (some file) None & info [] ~docv:"BINARY" ~doc:"Native binary file.") in
+  Cmd.v (Cmd.info "run-native" ~doc:"Execute a native binary.") Term.(const run_native $ path $ input_t)
+
+let disasm path =
+  let bin = Nativesim.Binary.decode (read_file path) in
+  Format.printf "%a" Nativesim.Disasm.pp_listing bin
+
+let disasm_cmd =
+  let path = Arg.(required & pos 0 (some file) None & info [] ~docv:"BINARY" ~doc:"Native binary file.") in
+  Cmd.v (Cmd.info "disasm" ~doc:"Disassemble a native binary.") Term.(const disasm $ path)
+
+(* ---- experiments ---- *)
+
+let experiment which =
+  match which with
+  | "f5" -> Experiments.Fig5.print (Experiments.Fig5.run ())
+  | "f8a" | "f8b" ->
+      let cost = Experiments.Fig8.run_cost () in
+      if which = "f8a" then Experiments.Fig8.print_a cost else Experiments.Fig8.print_b cost
+  | "f8c" -> Experiments.Fig8.print_c (Experiments.Fig8.run_c ())
+  | "f8d" -> Experiments.Fig8.print_d (Experiments.Fig8.run_d ())
+  | "f9a" | "f9b" ->
+      let t = Experiments.Fig9.run () in
+      if which = "f9a" then Experiments.Fig9.print_a t else Experiments.Fig9.print_b t
+  | "tj" -> Experiments.Tables.print_java (Experiments.Tables.run_java ())
+  | "tn" -> Experiments.Tables.print_native (Experiments.Tables.run_native ())
+  | "abl" -> Experiments.Ablations.print (Experiments.Ablations.run ())
+  | "all" ->
+      Experiments.Fig5.print (Experiments.Fig5.run ());
+      let cost = Experiments.Fig8.run_cost () in
+      Experiments.Fig8.print_a cost;
+      Experiments.Fig8.print_b cost;
+      Experiments.Fig8.print_c (Experiments.Fig8.run_c ());
+      Experiments.Fig8.print_d (Experiments.Fig8.run_d ());
+      let f9 = Experiments.Fig9.run () in
+      Experiments.Fig9.print_a f9;
+      Experiments.Fig9.print_b f9;
+      Experiments.Tables.print_java (Experiments.Tables.run_java ());
+      Experiments.Tables.print_native (Experiments.Tables.run_native ());
+      Experiments.Ablations.print (Experiments.Ablations.run ())
+  | other ->
+      Printf.printf "unknown experiment %s (use f5 f8a f8b f8c f8d f9a f9b tj tn abl all)\n" other;
+      exit 1
+
+let experiment_cmd =
+  let which = Arg.(required & pos 0 (some string) None & info [] ~docv:"ID" ~doc:"Experiment id: f5 f8a f8b f8c f8d f9a f9b tj tn abl all.") in
+  Cmd.v
+    (Cmd.info "experiment" ~doc:"Regenerate a table or figure from the paper.")
+    Term.(const experiment $ which)
+
+let main =
+  Cmd.group
+    (Cmd.info "pathmark" ~version:"1.0.0"
+       ~doc:"Dynamic path-based software watermarking (Collberg et al., PLDI 2004).")
+    [
+      embed_vm_cmd;
+      recognize_vm_cmd;
+      run_vm_cmd;
+      trace_vm_cmd;
+      recognize_trace_cmd;
+      attack_vm_cmd;
+      list_attacks_cmd;
+      embed_native_cmd;
+      extract_native_cmd;
+      run_native_cmd;
+      disasm_cmd;
+      experiment_cmd;
+    ]
+
+let () = exit (Cmd.eval main)

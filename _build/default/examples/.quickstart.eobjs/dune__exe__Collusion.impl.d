@@ -1,0 +1,1 @@
+examples/collusion.ml: Array Bignum List Pathmark Printf Stackvm Util Vmattacks Workloads

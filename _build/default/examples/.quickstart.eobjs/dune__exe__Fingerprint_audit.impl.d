@@ -1,0 +1,1 @@
+examples/fingerprint_audit.ml: Bignum List Pathmark Printf Util Vmattacks Workloads

@@ -1,0 +1,1 @@
+examples/java_pipeline.ml: Bignum Codec List Pathmark Printf Stackvm Util Vmattacks Workloads

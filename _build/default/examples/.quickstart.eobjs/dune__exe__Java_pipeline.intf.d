@@ -1,0 +1,1 @@
+examples/java_pipeline.mli:

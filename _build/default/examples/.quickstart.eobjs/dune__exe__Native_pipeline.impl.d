@@ -1,0 +1,1 @@
+examples/native_pipeline.ml: Bignum List Nattacks Nwm Pathmark Printf Util Workloads

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Bignum List Pathmark Printf String

@@ -1,0 +1,367 @@
+(* Little-endian arrays of 30-bit limbs. [sign] is -1, 0 or 1 and is 0 exactly
+   when [mag] is empty; [mag] never has leading (most-significant) zero
+   limbs. *)
+
+let limb_bits = 30
+let base = 1 lsl limb_bits
+let limb_mask = base - 1
+
+type t = { sign : int; mag : int array }
+
+let zero = { sign = 0; mag = [||] }
+
+(* ---- magnitude helpers ---- *)
+
+let normalize_mag mag =
+  let n = ref (Array.length mag) in
+  while !n > 0 && mag.(!n - 1) = 0 do
+    decr n
+  done;
+  if !n = Array.length mag then mag else Array.sub mag 0 !n
+
+let make sign mag =
+  let mag = normalize_mag mag in
+  if Array.length mag = 0 then zero else { sign; mag }
+
+let cmp_mag a b =
+  let la = Array.length a and lb = Array.length b in
+  if la <> lb then compare la lb
+  else begin
+    let rec go i = if i < 0 then 0 else if a.(i) <> b.(i) then compare a.(i) b.(i) else go (i - 1) in
+    go (la - 1)
+  end
+
+let add_mag a b =
+  let la = Array.length a and lb = Array.length b in
+  let lr = max la lb + 1 in
+  let r = Array.make lr 0 in
+  let carry = ref 0 in
+  for i = 0 to lr - 1 do
+    let s = (if i < la then a.(i) else 0) + (if i < lb then b.(i) else 0) + !carry in
+    r.(i) <- s land limb_mask;
+    carry := s lsr limb_bits
+  done;
+  r
+
+(* Requires [cmp_mag a b >= 0]. *)
+let sub_mag a b =
+  let la = Array.length a and lb = Array.length b in
+  let r = Array.make la 0 in
+  let borrow = ref 0 in
+  for i = 0 to la - 1 do
+    let d = a.(i) - (if i < lb then b.(i) else 0) - !borrow in
+    if d < 0 then begin
+      r.(i) <- d + base;
+      borrow := 1
+    end
+    else begin
+      r.(i) <- d;
+      borrow := 0
+    end
+  done;
+  assert (!borrow = 0);
+  r
+
+let mul_mag a b =
+  let la = Array.length a and lb = Array.length b in
+  if la = 0 || lb = 0 then [||]
+  else begin
+    let r = Array.make (la + lb) 0 in
+    for i = 0 to la - 1 do
+      let carry = ref 0 in
+      let ai = a.(i) in
+      for j = 0 to lb - 1 do
+        (* ai*bj <= (2^30-1)^2 < 2^60; adding r and carry stays below 2^62. *)
+        let acc = r.(i + j) + (ai * b.(j)) + !carry in
+        r.(i + j) <- acc land limb_mask;
+        carry := acc lsr limb_bits
+      done;
+      r.(i + lb) <- r.(i + lb) + !carry
+    done;
+    r
+  end
+
+let num_bits_mag mag =
+  let n = Array.length mag in
+  if n = 0 then 0
+  else begin
+    let top = mag.(n - 1) in
+    let rec width w = if top lsr w = 0 then w else width (w + 1) in
+    ((n - 1) * limb_bits) + width 1
+  end
+
+let test_bit_mag mag i =
+  let limb = i / limb_bits and off = i mod limb_bits in
+  limb < Array.length mag && (mag.(limb) lsr off) land 1 = 1
+
+(* Single-limb division: divides [a] by [d] (0 < d < base). *)
+let divmod_small_mag a d =
+  let n = Array.length a in
+  let q = Array.make n 0 in
+  let r = ref 0 in
+  for i = n - 1 downto 0 do
+    let cur = (!r lsl limb_bits) lor a.(i) in
+    q.(i) <- cur / d;
+    r := cur mod d
+  done;
+  (normalize_mag q, !r)
+
+(* Binary long division for multi-limb divisors. *)
+let divmod_mag a b =
+  let lb = Array.length b in
+  assert (lb > 0);
+  if cmp_mag a b < 0 then ([||], Array.copy a)
+  else if lb = 1 then begin
+    let q, r = divmod_small_mag a b.(0) in
+    (q, if r = 0 then [||] else [| r |])
+  end
+  else begin
+    let bits = num_bits_mag a in
+    let q = Array.make (Array.length a) 0 in
+    (* Remainder buffer with one spare limb for the shift; since the loop
+       subtracts [b] whenever [r >= b], [r] stays below [2*b] and never
+       overflows the buffer. *)
+    let r = Array.make (Array.length b + 2) 0 in
+    let shift_in_bit bit =
+      (* r := r*2 + bit *)
+      let carry = ref bit in
+      for i = 0 to Array.length r - 1 do
+        let v = (r.(i) lsl 1) lor !carry in
+        r.(i) <- v land limb_mask;
+        carry := v lsr limb_bits
+      done;
+      assert (!carry = 0)
+    in
+    let r_ge_b () =
+      (* compare r (length rlen+1 limbs, maybe with zeros) against b *)
+      let top = ref (Array.length r - 1) in
+      while !top > 0 && r.(!top) = 0 do
+        decr top
+      done;
+      let lr = !top + 1 in
+      if lr <> lb then lr > lb
+      else begin
+        let rec go i =
+          if i < 0 then true else if r.(i) <> b.(i) then r.(i) > b.(i) else go (i - 1)
+        in
+        go (lr - 1)
+      end
+    in
+    let r_sub_b () =
+      let borrow = ref 0 in
+      for i = 0 to Array.length r - 1 do
+        let d = r.(i) - (if i < lb then b.(i) else 0) - !borrow in
+        if d < 0 then begin
+          r.(i) <- d + base;
+          borrow := 1
+        end
+        else begin
+          r.(i) <- d;
+          borrow := 0
+        end
+      done;
+      assert (!borrow = 0)
+    in
+    for i = bits - 1 downto 0 do
+      shift_in_bit (if test_bit_mag a i then 1 else 0);
+      if r_ge_b () then begin
+        r_sub_b ();
+        q.(i / limb_bits) <- q.(i / limb_bits) lor (1 lsl (i mod limb_bits))
+      end
+    done;
+    (normalize_mag q, normalize_mag r)
+  end
+
+(* ---- signed operations ---- *)
+
+let one = { sign = 1; mag = [| 1 |] }
+let two = { sign = 1; mag = [| 2 |] }
+
+let of_int n =
+  if n = 0 then zero
+  else begin
+    let sign = if n > 0 then 1 else -1 in
+    let n = abs n in
+    let rec limbs n = if n = 0 then [] else (n land limb_mask) :: limbs (n lsr limb_bits) in
+    make sign (Array.of_list (limbs n))
+  end
+
+let num_bits t = num_bits_mag t.mag
+
+let to_int_opt t =
+  if num_bits t > 62 then None
+  else begin
+    let v = ref 0 in
+    for i = Array.length t.mag - 1 downto 0 do
+      v := (!v lsl limb_bits) lor t.mag.(i)
+    done;
+    Some (t.sign * !v)
+  end
+
+let to_int t =
+  match to_int_opt t with
+  | Some v -> v
+  | None -> failwith "Bignum.to_int: value does not fit"
+
+let sign t = t.sign
+let is_zero t = t.sign = 0
+
+let compare a b =
+  if a.sign <> b.sign then Stdlib.compare a.sign b.sign
+  else if a.sign >= 0 then cmp_mag a.mag b.mag
+  else cmp_mag b.mag a.mag
+
+let equal a b = compare a b = 0
+
+let neg t = if t.sign = 0 then zero else { t with sign = -t.sign }
+let abs t = if t.sign < 0 then neg t else t
+
+let add a b =
+  if a.sign = 0 then b
+  else if b.sign = 0 then a
+  else if a.sign = b.sign then make a.sign (add_mag a.mag b.mag)
+  else begin
+    let c = cmp_mag a.mag b.mag in
+    if c = 0 then zero
+    else if c > 0 then make a.sign (sub_mag a.mag b.mag)
+    else make b.sign (sub_mag b.mag a.mag)
+  end
+
+let sub a b = add a (neg b)
+
+let mul a b =
+  if a.sign = 0 || b.sign = 0 then zero else make (a.sign * b.sign) (mul_mag a.mag b.mag)
+
+let divmod a b =
+  if b.sign = 0 then raise Division_by_zero;
+  let qm, rm = divmod_mag a.mag b.mag in
+  let q = make (a.sign * b.sign) qm in
+  let r = make a.sign rm in
+  (q, r)
+
+let div a b = fst (divmod a b)
+let rem a b = snd (divmod a b)
+
+let erem a b =
+  let r = rem a b in
+  if r.sign < 0 then add r (abs b) else r
+
+let rec gcd_mag a b = if b.sign = 0 then a else gcd_mag b (rem a b)
+let gcd a b = gcd_mag (abs a) (abs b)
+
+let egcd a b =
+  (* Iterative extended Euclid on (a, b); returns (g, s, u), s*a + u*b = g. *)
+  let rec go r0 r1 s0 s1 t0 t1 =
+    if is_zero r1 then (r0, s0, t0)
+    else begin
+      let q, r2 = divmod r0 r1 in
+      go r1 r2 s1 (sub s0 (mul q s1)) t1 (sub t0 (mul q t1))
+    end
+  in
+  let g, s, u = go a b one zero zero one in
+  if g.sign < 0 then (neg g, neg s, neg u) else (g, s, u)
+
+let lcm a b =
+  if is_zero a || is_zero b then zero
+  else begin
+    let g = gcd a b in
+    abs (mul (div a g) b)
+  end
+
+let pow b e =
+  if e < 0 then invalid_arg "Bignum.pow: negative exponent";
+  let rec go acc b e =
+    if e = 0 then acc
+    else begin
+      let acc = if e land 1 = 1 then mul acc b else acc in
+      go acc (mul b b) (e lsr 1)
+    end
+  in
+  go one b e
+
+let test_bit t i = test_bit_mag t.mag i
+
+let shift_left t k =
+  if t.sign = 0 || k = 0 then t
+  else begin
+    let bits = num_bits t + k in
+    let mag = Array.make ((bits + limb_bits - 1) / limb_bits) 0 in
+    for i = 0 to num_bits t - 1 do
+      if test_bit t i then begin
+        let j = i + k in
+        mag.(j / limb_bits) <- mag.(j / limb_bits) lor (1 lsl (j mod limb_bits))
+      end
+    done;
+    make t.sign mag
+  end
+
+let shift_right t k =
+  if t.sign = 0 || k = 0 then t
+  else begin
+    let bits = num_bits t - k in
+    if bits <= 0 then zero
+    else begin
+      let mag = Array.make ((bits + limb_bits - 1) / limb_bits) 0 in
+      for j = 0 to bits - 1 do
+        if test_bit t (j + k) then mag.(j / limb_bits) <- mag.(j / limb_bits) lor (1 lsl (j mod limb_bits))
+      done;
+      make t.sign mag
+    end
+  end
+
+let of_bits bits =
+  let n = List.length bits in
+  let mag = Array.make ((n + limb_bits - 1) / limb_bits) 0 in
+  List.iteri
+    (fun i b -> if b then mag.(i / limb_bits) <- mag.(i / limb_bits) lor (1 lsl (i mod limb_bits)))
+    bits;
+  make 1 mag
+
+let to_bits t ~width = List.init width (fun i -> test_bit t i)
+
+let random_bits rng n =
+  let bits = List.init n (fun _ -> Util.Prng.bool rng) in
+  of_bits bits
+
+let ten = of_int 10
+
+let to_string t =
+  if t.sign = 0 then "0"
+  else begin
+    let buf = Buffer.create 32 in
+    let rec go mag =
+      if Array.length mag = 0 then ()
+      else begin
+        let q, r = divmod_small_mag mag 10 in
+        Buffer.add_char buf (Char.chr (Char.code '0' + r));
+        go q
+      end
+    in
+    go t.mag;
+    let digits = Buffer.contents buf in
+    let n = String.length digits in
+    let rev = String.init n (fun i -> digits.[n - 1 - i]) in
+    if t.sign < 0 then "-" ^ rev else rev
+  end
+
+let of_string s =
+  if String.length s = 0 then invalid_arg "Bignum.of_string: empty";
+  let negative = s.[0] = '-' in
+  let start = if negative then 1 else 0 in
+  if start >= String.length s then invalid_arg "Bignum.of_string: no digits";
+  let v = ref zero in
+  for i = start to String.length s - 1 do
+    let c = s.[i] in
+    if c < '0' || c > '9' then invalid_arg "Bignum.of_string: bad digit";
+    v := add (mul !v ten) (of_int (Char.code c - Char.code '0'))
+  done;
+  if negative then neg !v else !v
+
+let to_float t =
+  let v = ref 0.0 in
+  for i = Array.length t.mag - 1 downto 0 do
+    v := (!v *. float_of_int base) +. float_of_int t.mag.(i)
+  done;
+  float_of_int t.sign *. !v
+
+let pp fmt t = Format.pp_print_string fmt (to_string t)

@@ -1,0 +1,88 @@
+(** Arbitrary-precision signed integers.
+
+    The watermark value [W] can be up to 768 bits (Figure 5 of the paper),
+    and recombining it with the Generalized Chinese Remainder Theorem needs
+    exact arithmetic on products of many moduli.  zarith is not available in
+    this environment, so this is a small self-contained implementation:
+    little-endian arrays of 30-bit limbs, schoolbook multiplication, binary
+    long division.  All values this project manipulates are at most a few
+    thousand bits, so asymptotic efficiency is irrelevant; correctness and
+    clarity win. *)
+
+type t
+(** An immutable signed integer of arbitrary magnitude. *)
+
+val zero : t
+val one : t
+val two : t
+
+val of_int : int -> t
+
+val to_int : t -> int
+(** Raises [Failure] if the value does not fit in a native [int]. *)
+
+val to_int_opt : t -> int option
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val sign : t -> int
+val is_zero : t -> bool
+
+val neg : t -> t
+val abs : t -> t
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+
+val divmod : t -> t -> t * t
+(** [divmod a b] is truncated division: [(q, r)] with [a = q*b + r],
+    [|r| < |b|], and [r] carrying the sign of [a]. Raises [Division_by_zero]
+    if [b] is zero. *)
+
+val div : t -> t -> t
+val rem : t -> t -> t
+
+val erem : t -> t -> t
+(** [erem a b] is the euclidean (always nonnegative) remainder of [a]
+    modulo [|b|]. *)
+
+val gcd : t -> t -> t
+(** Greatest common divisor; always nonnegative. *)
+
+val egcd : t -> t -> t * t * t
+(** [egcd a b] is [(g, s, u)] with [g = gcd a b] and [s*a + u*b = g]. *)
+
+val lcm : t -> t -> t
+
+val pow : t -> int -> t
+(** [pow b e] for [e >= 0]. *)
+
+val shift_left : t -> int -> t
+val shift_right : t -> int -> t
+
+val num_bits : t -> int
+(** Bits in the magnitude; [num_bits zero = 0]. *)
+
+val test_bit : t -> int -> bool
+(** Bit [i] of the magnitude. *)
+
+val of_bits : bool list -> t
+(** Least-significant bit first. *)
+
+val to_bits : t -> width:int -> bool list
+(** The low [width] magnitude bits, least-significant first. *)
+
+val random_bits : Util.Prng.t -> int -> t
+(** [random_bits rng n] is a uniform [n]-bit nonnegative value (the top bit
+    is not forced, so the result is uniform on [\[0, 2^n)]). *)
+
+val of_string : string -> t
+(** Decimal, with optional leading ['-']. Raises [Invalid_argument] on
+    malformed input. *)
+
+val to_string : t -> string
+(** Decimal representation. *)
+
+val to_float : t -> float
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/codec/params.ml: Array Bignum Char Crypto Int64 Numtheory String Util

@@ -1,0 +1,1 @@
+lib/codec/params.mli: Bignum Crypto

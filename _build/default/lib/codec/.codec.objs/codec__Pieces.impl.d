@@ -1,0 +1,1 @@
+lib/codec/pieces.ml: Array Params Statement Util

@@ -1,0 +1,1 @@
+lib/codec/pieces.mli: Bignum Params Statement Util

@@ -1,0 +1,1 @@
+lib/codec/recombine.ml: Array Bignum Fun Hashtbl List Numtheory Option Params Statement Stdlib Util

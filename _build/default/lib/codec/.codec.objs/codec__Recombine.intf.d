@@ -1,0 +1,1 @@
+lib/codec/recombine.mli: Bignum Params Statement Util

@@ -1,0 +1,1 @@
+lib/codec/statement.ml: Array Bignum Crypto Format List Numtheory Params Stdlib

@@ -1,0 +1,1 @@
+lib/codec/statement.mli: Bignum Format Numtheory Params

@@ -1,0 +1,19 @@
+let min_full_cover = Params.pair_count
+
+let select params ~rng ~watermark ~count =
+  if count < 0 then invalid_arg "Pieces.select: negative count";
+  if not (Params.fits params watermark) then invalid_arg "Pieces.select: watermark out of range";
+  let all = Array.of_list (Statement.all_of_watermark params watermark) in
+  let n = Array.length all in
+  let out = ref [] in
+  let remaining = ref count in
+  while !remaining > 0 do
+    let round = Array.copy all in
+    Util.Prng.shuffle rng round;
+    let take = min !remaining n in
+    for k = 0 to take - 1 do
+      out := round.(k) :: !out
+    done;
+    remaining := !remaining - take
+  done;
+  !out

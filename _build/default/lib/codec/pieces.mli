@@ -1,0 +1,17 @@
+(** Redundant piece selection.
+
+    The embedder spreads [count] pieces over the program (Figure 8 of the
+    paper sweeps this count from 0 to 500).  With [r*(r-1)/2] distinct
+    statements available, redundancy comes from inserting statements more
+    than once; coverage of every base prime is what recovery ultimately
+    needs, so selection cycles through all pairs before repeating any. *)
+
+val select : Params.t -> rng:Util.Prng.t -> watermark:Bignum.t -> count:int -> Statement.t list
+(** [select params ~rng ~watermark ~count] returns [count] true statements
+    about [watermark].  Each full round over the (shuffled) pair list is
+    completed before the next begins, so any [count >= pair_count params]
+    covers every prime.  Raises [Invalid_argument] if the watermark does
+    not fit. *)
+
+val min_full_cover : Params.t -> int
+(** The piece count of one full round, [pair_count params]. *)

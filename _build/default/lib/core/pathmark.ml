@@ -1,0 +1,31 @@
+module Util = Util
+module Bignum = Bignum
+module Numtheory = Numtheory
+module Crypto = Crypto
+module Codec = Codec
+module Stackvm = Stackvm
+module Minic = Minic
+module Jwm = Jwm
+module Vmattacks = Vmattacks
+module Nativesim = Nativesim
+module Phash = Phash
+module Nwm = Nwm
+module Nattacks = Nattacks
+module Workloads = Workloads
+
+let watermark_vm ?seed ~key ~watermark ~bits ~pieces ~input prog =
+  let spec =
+    { Jwm.Embed.passphrase = key; watermark; watermark_bits = bits; pieces; input }
+  in
+  (Jwm.Embed.embed ?seed spec prog).Jwm.Embed.program
+
+let recognize_vm ?fuel ~key ~bits ~input prog =
+  (Jwm.Recognize.recognize ?fuel ~passphrase:key ~watermark_bits:bits ~input prog).Jwm.Recognize.value
+
+let watermark_native ?seed ?tamper_proof ~watermark ~bits ~training_input prog =
+  Nwm.Embed.embed ?seed ?tamper_proof ~watermark ~bits ~training_input prog
+
+let extract_native ?kind bin ~begin_addr ~end_addr ~input =
+  match Nwm.Extract.extract ?kind bin ~begin_addr ~end_addr ~input with
+  | Ok ex -> Some (Nwm.Extract.watermark ex)
+  | Error _ -> None

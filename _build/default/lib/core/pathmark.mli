@@ -1,0 +1,68 @@
+(** Pathmark: dynamic path-based software watermarking.
+
+    The umbrella API of the library, re-exporting every subsystem plus
+    high-level one-call wrappers for the two pipelines of the paper:
+
+    - the {b bytecode track} (§3): split the fingerprint into encrypted CRT
+      pieces and embed them in the dynamic branch behaviour of a stack-VM
+      program; recognition is blind and error-correcting;
+    - the {b native track} (§4): encode the fingerprint in the address
+      order of branch-function call sites, protected by perfect-hash
+      dispatch and tamper-proofed indirect jumps.
+
+    See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+    reproduction of the paper's evaluation. *)
+
+module Util = Util
+module Bignum = Bignum
+module Numtheory = Numtheory
+module Crypto = Crypto
+module Codec = Codec
+module Stackvm = Stackvm
+module Minic = Minic
+module Jwm = Jwm
+module Vmattacks = Vmattacks
+module Nativesim = Nativesim
+module Phash = Phash
+module Nwm = Nwm
+module Nattacks = Nattacks
+module Workloads = Workloads
+
+(** {1 Bytecode track} *)
+
+val watermark_vm :
+  ?seed:int64 ->
+  key:string ->
+  watermark:Bignum.t ->
+  bits:int ->
+  pieces:int ->
+  input:int list ->
+  Stackvm.Program.t ->
+  Stackvm.Program.t
+(** Embed a fingerprint; [key] and [input] are the recognition secrets. *)
+
+val recognize_vm :
+  ?fuel:int -> key:string -> bits:int -> input:int list -> Stackvm.Program.t -> Bignum.t option
+(** Blind recognition: only the program and the secrets are needed. *)
+
+(** {1 Native track} *)
+
+val watermark_native :
+  ?seed:int64 ->
+  ?tamper_proof:bool ->
+  watermark:Bignum.t ->
+  bits:int ->
+  training_input:int list ->
+  Nativesim.Asm.program ->
+  Nwm.Embed.report
+(** Embed into rewriter-level assembly; the report carries the
+    [begin]/[end] addresses extraction needs. *)
+
+val extract_native :
+  ?kind:Nwm.Extract.kind ->
+  Nativesim.Binary.t ->
+  begin_addr:int ->
+  end_addr:int ->
+  input:int list ->
+  Bignum.t option
+(** Single-step extraction with the smart tracer by default. *)

@@ -1,0 +1,1 @@
+lib/crypto/feistel.ml: Array Char Int64 String Util

@@ -1,0 +1,1 @@
+lib/experiments/ablations.ml: Bignum Codec Common Jwm List Nattacks Nwm Printf Stackvm Util Workloads

@@ -1,0 +1,1 @@
+lib/experiments/common.ml: Bignum Codec Int64 Jwm Nativesim Printf Stackvm Util

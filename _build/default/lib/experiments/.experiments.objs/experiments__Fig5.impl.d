@@ -1,0 +1,1 @@
+lib/experiments/fig5.ml: Array Bignum Codec Common List Numtheory Printf Util

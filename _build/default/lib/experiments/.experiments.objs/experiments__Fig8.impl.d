@@ -1,0 +1,1 @@
+lib/experiments/fig8.ml: Common Int64 Jwm List Printf Stackvm Util Vmattacks Workloads

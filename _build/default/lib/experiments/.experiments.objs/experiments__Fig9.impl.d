@@ -1,0 +1,1 @@
+lib/experiments/fig9.ml: Common Int64 List Nativesim Nwm Printf String Util Workloads

@@ -1,0 +1,1 @@
+lib/experiments/tables.ml: Bignum Codec Common Jwm List Nativesim Nattacks Nwm Printf Stackvm Util Vmattacks Workloads

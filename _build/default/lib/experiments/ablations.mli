@@ -1,0 +1,20 @@
+(** Ablation studies for the design choices DESIGN.md documents beyond the
+    paper's text:
+
+    - {b vote multiplicity cap}: without it, correlated garbage windows
+      from frequently re-emitted trace regions can outvote the true
+      pieces;
+    - {b overlapping-window dedup}: without it, constant-bit runs inflate
+      one garbage statement's multiplicity by hundreds;
+    - {b stride-2 windows}: loop-generated pieces interleave one
+      loop-control bit per payload bit and are invisible to a stride-1
+      scan;
+    - {b tamper-proofing}: without §4.3, the bypass attack removes the
+      native mark while keeping the program working;
+    - {b generator cost}: static size and dynamic cost of the loop
+      generator versus the condition generator. *)
+
+type row = { name : string; baseline : string; ablated : string; conclusion : string }
+
+val run : unit -> row list
+val print : row list -> unit

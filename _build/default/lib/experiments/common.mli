@@ -1,0 +1,22 @@
+(** Shared helpers for the experiment drivers. *)
+
+val passphrase : string
+(** The watermark key used across experiments. *)
+
+val watermark_for : bits:int -> Bignum.t
+(** A fixed (deterministic) fingerprint value that fits the derived codec
+    parameters for the given width. *)
+
+val vm_steps : Stackvm.Program.t -> input:int list -> int
+(** Executed instruction count — the Figure 8 time proxy. Raises [Failure]
+    if the program does not finish. *)
+
+val native_steps : Nativesim.Binary.t -> input:int list -> int
+
+val recognized : ?fuel:int -> bits:int -> input:int list -> Stackvm.Program.t -> bool
+(** Recognition succeeds and yields {!watermark_for}[ ~bits]. *)
+
+val header : string -> unit
+(** Print an experiment banner. *)
+
+val row : string -> unit

@@ -1,0 +1,46 @@
+type point = { intact : int; empirical : float; theoretical : float }
+
+type t = { bits : int; nodes : int; total_pieces : int; trials : int; points : point list }
+
+let run ?(trials = 200) ?(bits = 768) () =
+  let params = Codec.Params.make ~passphrase:Common.passphrase ~watermark_bits:bits () in
+  let w = Common.watermark_for ~bits in
+  let all = Array.of_list (Codec.Statement.all_of_watermark params w) in
+  let total = Array.length all in
+  let nodes = Codec.Params.r params in
+  let rng = Util.Prng.create 0xF16_5L in
+  let sample_success intact =
+    let pool = Array.copy all in
+    Util.Prng.shuffle rng pool;
+    let survivors = Array.to_list (Array.sub pool 0 intact) in
+    match Codec.Recombine.recover_value params survivors with
+    | Some v -> Bignum.equal v w
+    | None -> false
+  in
+  (* sweep the transition region: coverage needs roughly r ln r edges *)
+  let sweep = List.init 13 (fun i -> 20 + (i * 10)) in
+  let points =
+    List.map
+      (fun intact ->
+        let successes = ref 0 in
+        for _ = 1 to trials do
+          if sample_success intact then incr successes
+        done;
+        {
+          intact;
+          empirical = float_of_int !successes /. float_of_int trials;
+          theoretical = Numtheory.Prob.success_given_survivors ~nodes ~survivors:intact;
+        })
+      sweep
+  in
+  { bits; nodes; total_pieces = total; trials; points }
+
+let print t =
+  Common.header
+    (Printf.sprintf
+       "Figure 5: recovery probability vs pieces intact (%d-bit W, %d primes, %d pieces, %d trials)"
+       t.bits t.nodes t.total_pieces t.trials);
+  Common.row "intact  empirical  theoretical";
+  List.iter
+    (fun p -> Common.row (Printf.sprintf "%6d  %9.3f  %11.3f" p.intact p.empirical p.theoretical))
+    t.points

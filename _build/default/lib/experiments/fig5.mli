@@ -1,0 +1,14 @@
+(** Figure 5 — number of watermark pieces recovered intact versus the
+    probability of successful watermark recovery, for a 768-bit watermark,
+    compared against the theoretical approximation (Equation 1 / its exact
+    fixed-survivor-count variant). *)
+
+type point = { intact : int; empirical : float; theoretical : float }
+
+type t = { bits : int; nodes : int; total_pieces : int; trials : int; points : point list }
+
+val run : ?trials:int -> ?bits:int -> unit -> t
+(** Defaults: 200 trials per point, 768-bit watermark (32 base primes, 496
+    pieces); the sweep covers the transition region of the curve. *)
+
+val print : t -> unit

@@ -1,0 +1,125 @@
+type cost_point = { pieces : int; slowdown : float; size_increase : int }
+
+type cost_series = { workload : string; baseline_steps : int; baseline_bytes : int; points : cost_point list }
+
+(* a lighter caffeine input keeps the slowest (500-piece) points tractable *)
+let caffeine_input = [ 150 ]
+let jess_input = [ 12; 77 ]
+
+let cost_workloads =
+  [ (Workloads.Caffeine.suite, caffeine_input); (Workloads.Jesslite.engine, jess_input) ]
+
+let embed ~bits ~pieces ~input prog =
+  Jwm.Embed.embed ~seed:(Int64.of_int (1000 + pieces))
+    {
+      Jwm.Embed.passphrase = Common.passphrase;
+      watermark = Common.watermark_for ~bits;
+      watermark_bits = bits;
+      pieces;
+      input;
+    }
+    prog
+
+let run_cost ?(pieces_sweep = [ 0; 50; 100; 200; 300; 400; 500 ]) ?(bits = 512) () =
+  List.map
+    (fun ((w : Workloads.Workload.t), input) ->
+      let prog = Workloads.Workload.vm_program w in
+      let baseline_steps = Common.vm_steps prog ~input in
+      let baseline_bytes = Stackvm.Serialize.size_in_bytes prog in
+      let points =
+        List.map
+          (fun pieces ->
+            let report = embed ~bits ~pieces ~input prog in
+            let steps = Common.vm_steps report.Jwm.Embed.program ~input in
+            {
+              pieces;
+              slowdown = (float_of_int steps /. float_of_int baseline_steps) -. 1.0;
+              size_increase = report.Jwm.Embed.bytes_after - report.Jwm.Embed.bytes_before;
+            })
+          pieces_sweep
+      in
+      { workload = w.Workloads.Workload.name; baseline_steps; baseline_bytes; points })
+    cost_workloads
+
+let print_a series =
+  Common.header "Figure 8(a): slowdown vs pieces inserted (512-bit watermark)";
+  List.iter
+    (fun s ->
+      Common.row (Printf.sprintf "%s (baseline %d steps)" s.workload s.baseline_steps);
+      Common.row "  pieces  slowdown";
+      List.iter
+        (fun p -> Common.row (Printf.sprintf "  %6d  %7.2fx" p.pieces p.slowdown))
+        s.points)
+    series
+
+let print_b series =
+  Common.header "Figure 8(b): size increase vs pieces inserted (512-bit watermark)";
+  List.iter
+    (fun s ->
+      Common.row (Printf.sprintf "%s (baseline %d bytes)" s.workload s.baseline_bytes);
+      Common.row "  pieces  bytes added  bytes/piece";
+      List.iter
+        (fun p ->
+          let per = if p.pieces = 0 then 0.0 else float_of_int p.size_increase /. float_of_int p.pieces in
+          Common.row (Printf.sprintf "  %6d  %11d  %11.1f" p.pieces p.size_increase per))
+        s.points)
+    series
+
+type survival_point = { pieces : int; survivable_rate : float }
+
+let run_c ?(bits = 512) ?(pieces_sweep = [ 100; 200; 300; 400; 500 ])
+    ?(rates = [ 0.25; 0.5; 0.75; 1.0; 1.25; 1.5; 2.0; 2.5; 3.0 ]) () =
+  let w = Workloads.Jesslite.engine in
+  let input = jess_input in
+  let prog = Workloads.Workload.vm_program w in
+  List.map
+    (fun pieces ->
+      let report = embed ~bits ~pieces ~input prog in
+      let wm = report.Jwm.Embed.program in
+      let survives rate =
+        let rng = Util.Prng.create (Int64.of_float (rate *. 1000.0)) in
+        let attacked = Vmattacks.Attacks.branch_insertion ~rate rng wm in
+        Common.recognized ~bits ~input attacked
+      in
+      let best =
+        List.fold_left (fun acc rate -> if survives rate then max acc rate else acc) 0.0 rates
+      in
+      { pieces; survivable_rate = best })
+    pieces_sweep
+
+let print_c points =
+  Common.header "Figure 8(c): survivable branch insertion vs pieces (512-bit watermark, jess)";
+  Common.row "pieces  survivable branch increase";
+  List.iter
+    (fun p -> Common.row (Printf.sprintf "%6d  %25.0f%%" p.pieces (100.0 *. p.survivable_rate)))
+    points
+
+type attack_cost_point = { rate : float; attack_slowdown : float }
+
+let run_d ?(rates = [ 0.5; 1.0; 2.0; 3.0; 4.0 ]) () =
+  List.map
+    (fun ((w : Workloads.Workload.t), input) ->
+      let prog = Workloads.Workload.vm_program w in
+      let baseline = Common.vm_steps prog ~input in
+      let points =
+        List.map
+          (fun rate ->
+            let rng = Util.Prng.create (Int64.of_float (rate *. 77.0)) in
+            let attacked = Vmattacks.Attacks.branch_insertion ~rate rng prog in
+            let steps = Common.vm_steps attacked ~input in
+            { rate; attack_slowdown = (float_of_int steps /. float_of_int baseline) -. 1.0 })
+          rates
+      in
+      (w.Workloads.Workload.name, points))
+    cost_workloads
+
+let print_d series =
+  Common.header "Figure 8(d): attacker's slowdown from branch insertion";
+  List.iter
+    (fun (name, points) ->
+      Common.row name;
+      Common.row "  branch increase  slowdown";
+      List.iter
+        (fun p -> Common.row (Printf.sprintf "  %14.0f%%  %7.2fx" (100.0 *. p.rate) p.attack_slowdown))
+        points)
+    series

@@ -1,0 +1,36 @@
+(** Figure 8 — the Java-track cost and resilience curves.
+
+    (a) runtime slowdown vs number of pieces inserted, for the CaffeineMark
+    analog (small, hot) and the Jess analog (large, cold);
+    (b) size increase vs number of pieces;
+    (c) survivable branch-insertion rate vs number of pieces;
+    (d) the slowdown an attacker pays for inserting branches. *)
+
+type cost_point = {
+  pieces : int;
+  slowdown : float;  (** watermarked steps / baseline steps - 1 *)
+  size_increase : int;  (** bytes added *)
+}
+
+type cost_series = { workload : string; baseline_steps : int; baseline_bytes : int; points : cost_point list }
+
+val run_cost : ?pieces_sweep:int list -> ?bits:int -> unit -> cost_series list
+(** Figures 8(a) and 8(b) share these measurements. *)
+
+val print_a : cost_series list -> unit
+val print_b : cost_series list -> unit
+
+type survival_point = { pieces : int; survivable_rate : float  (** branch increase fraction *) }
+
+val run_c : ?bits:int -> ?pieces_sweep:int list -> ?rates:float list -> unit -> survival_point list
+(** For each piece count, the largest tested branch-insertion rate the
+    recognizer still survives (0 when even the smallest tested rate kills
+    it). *)
+
+val print_c : survival_point list -> unit
+
+type attack_cost_point = { rate : float; attack_slowdown : float }
+
+val run_d : ?rates:float list -> unit -> (string * attack_cost_point list) list
+
+val print_d : (string * attack_cost_point list) list -> unit

@@ -1,0 +1,84 @@
+type measurement = { bits : int; size_increase_pct : float; slowdown_pct : float }
+
+type per_benchmark = { benchmark : string; measurements : measurement list }
+
+type t = {
+  benchmarks : per_benchmark list;
+  mean_size_pct : (int * float) list;
+  mean_slowdown_pct : (int * float) list;
+}
+
+let run ?(bit_widths = [ 128; 256; 512 ]) () =
+  let benchmarks =
+    List.map
+      (fun (w : Workloads.Workload.t) ->
+        let prog = Workloads.Workload.native_program w in
+        (* profile on the training input, evaluate on the reference input,
+           as the paper does with SPEC train/ref *)
+        let training_input =
+          match w.Workloads.Workload.alt_inputs with t :: _ -> t | [] -> w.Workloads.Workload.input
+        in
+        let reference_input = w.Workloads.Workload.input in
+        let baseline = Nativesim.Asm.assemble prog in
+        let base_size = Nativesim.Binary.size baseline in
+        let base_steps = Common.native_steps baseline ~input:reference_input in
+        let measurements =
+          List.map
+            (fun bits ->
+              let report =
+                Nwm.Embed.embed ~seed:(Int64.of_int (bits * 31))
+                  ~watermark:(Common.watermark_for ~bits) ~bits ~training_input prog
+              in
+              let steps = Common.native_steps report.Nwm.Embed.binary ~input:reference_input in
+              {
+                bits;
+                size_increase_pct =
+                  Util.Stats.percent ~before:(float_of_int base_size)
+                    ~after:(float_of_int (Nativesim.Binary.size report.Nwm.Embed.binary));
+                slowdown_pct =
+                  Util.Stats.percent ~before:(float_of_int base_steps) ~after:(float_of_int steps);
+              })
+            bit_widths
+        in
+        { benchmark = w.Workloads.Workload.name; measurements })
+      Workloads.Spec.all
+  in
+  let mean select =
+    List.map
+      (fun bits ->
+        let values =
+          List.map
+            (fun b -> select (List.find (fun m -> m.bits = bits) b.measurements))
+            benchmarks
+        in
+        (bits, Util.Stats.mean values))
+      bit_widths
+  in
+  {
+    benchmarks;
+    mean_size_pct = mean (fun m -> m.size_increase_pct);
+    mean_slowdown_pct = mean (fun m -> m.slowdown_pct);
+  }
+
+let print_table title select means t =
+  Common.header title;
+  let widths = List.map fst means in
+  Common.row
+    (Printf.sprintf "%-10s %s" "benchmark"
+       (String.concat " " (List.map (fun b -> Printf.sprintf "%9d bits" b) widths)));
+  List.iter
+    (fun b ->
+      let cells =
+        List.map
+          (fun bits -> Printf.sprintf "%13.1f%%" (select (List.find (fun m -> m.bits = bits) b.measurements)))
+          widths
+      in
+      Common.row (Printf.sprintf "%-10s %s" b.benchmark (String.concat " " cells)))
+    t.benchmarks;
+  Common.row
+    (Printf.sprintf "%-10s %s" "MEAN"
+       (String.concat " " (List.map (fun (_, v) -> Printf.sprintf "%13.1f%%" v) means)))
+
+let print_a t = print_table "Figure 9(a): native size increase" (fun m -> m.size_increase_pct) t.mean_size_pct t
+
+let print_b t = print_table "Figure 9(b): native slowdown" (fun m -> m.slowdown_pct) t.mean_slowdown_pct t

@@ -1,0 +1,15 @@
+(** Figure 9 — native-track cost over the ten SPEC-analog benchmarks:
+    (a) size increase and (b) runtime slowdown, for 128/256/512-bit
+    watermarks, with means (the paper reports ~11-13% mean size increase
+    and small mean slowdowns). *)
+
+type measurement = { bits : int; size_increase_pct : float; slowdown_pct : float }
+
+type per_benchmark = { benchmark : string; measurements : measurement list }
+
+type t = { benchmarks : per_benchmark list; mean_size_pct : (int * float) list; mean_slowdown_pct : (int * float) list }
+
+val run : ?bit_widths:int list -> unit -> t
+
+val print_a : t -> unit
+val print_b : t -> unit

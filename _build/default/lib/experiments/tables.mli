@@ -1,0 +1,32 @@
+(** The two resilience tables of Section 5.
+
+    {b T-J} (§5.1.2): the distortive attack suite against a watermarked
+    Java-track program.  Expected shape: every attack preserves semantics;
+    the watermark survives everything except program encryption (which only
+    defeats {e instrumentation-based} tracing — VM-level tracing still
+    recovers the mark) and sufficiently heavy branch insertion.
+
+    {b T-N} (§5.2.2): the five native attacks against every SPEC-analog
+    binary.  Expected shape: no-op insertion, branch-sense inversion,
+    double watermarking and bypassing each {e break} the program;
+    rerouting keeps it running, fools the simple tracer, and is defeated
+    by the smart tracer. *)
+
+type java_row = {
+  attack : string;
+  semantics_preserved : bool;
+  watermark_survives : bool;
+}
+
+type java_table = { rows : java_row list; encryption_blocks_instrumentation : bool; encryption_vm_trace_survives : bool }
+
+val run_java : ?bits:int -> ?pieces:int -> unit -> java_table
+val print_java : java_table -> unit
+
+type native_verdict = { benchmark : string; breaks : bool; simple_tracer_fooled : bool option; smart_tracer_recovers : bool option }
+
+type native_table = (string * native_verdict list) list
+(** attack name -> per-benchmark verdicts *)
+
+val run_native : ?bits:int -> ?benchmarks:Workloads.Workload.t list -> unit -> native_table
+val print_native : native_table -> unit

@@ -1,0 +1,1 @@
+lib/jwm/codegen.ml: Array Asm Instr List Opaque Printf Stackvm Trace Util

@@ -1,0 +1,1 @@
+lib/jwm/codegen.mli: Stackvm Util

@@ -1,0 +1,1 @@
+lib/jwm/embed.ml: Array Bignum Codec Codegen Hashtbl Instr Interp List Option Program Rewrite Serialize Stackvm Stdlib Trace Util Verify

@@ -1,0 +1,1 @@
+lib/jwm/embed.mli: Bignum Codec Stackvm

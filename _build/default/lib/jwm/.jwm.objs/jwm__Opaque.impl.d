@@ -1,0 +1,1 @@
+lib/jwm/opaque.ml: Array Instr Stackvm Util

@@ -1,0 +1,1 @@
+lib/jwm/opaque.mli: Stackvm Util

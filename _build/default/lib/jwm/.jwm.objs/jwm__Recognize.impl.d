@@ -1,0 +1,1 @@
+lib/jwm/recognize.ml: Array Bignum Codec Stackvm

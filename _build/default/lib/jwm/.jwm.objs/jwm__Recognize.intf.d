@@ -1,0 +1,1 @@
+lib/jwm/recognize.mli: Bignum Codec Stackvm

@@ -1,0 +1,75 @@
+(** The two watermark code generators of Section 3.2.
+
+    Both take the encrypted piece bits [c_0 .. c_{B-1}] (B = cipher block
+    width) and produce a stack-neutral, verifier-clean snippet with
+    snippet-relative branch targets, ready for {!Stackvm.Rewrite.insert} at
+    a traced block leader.
+
+    {b Loop generator} (§3.2.1): a countdown loop whose inner test visits
+    the bits of a constant; the inner branch's dynamic pattern is
+    [0, c_0, ..., c_{B-1}] (first occurrence fixes the reference
+    direction).  The loop-control branch interleaves one bit between
+    consecutive payload bits, which is why the recognizer also scans at
+    stride 2.  The priming direction is chosen as [c_{B-1}] so the loop
+    constant always fits in 62 bits.
+
+    {b Condition generator} (§3.2.2): a straight-line sequence of [B]
+    conditional statements over a {e discriminator} — a variable whose
+    traced value differs between the first and second visit of the host
+    block.  The first visit primes the reference directions; the second
+    emits exactly the payload, contiguously (stride 1).  When no existing
+    local or global discriminates the visits, a fresh global visit counter
+    is prepended (the paper prefers existing program variables for stealth;
+    the counter is the always-available fallback).
+
+    Both snippets end with a never-executed update of a live sink global,
+    guarded by an opaquely false predicate, so optimizers cannot remove
+    them (§3.2.1). *)
+
+type discriminator = {
+  read : Stackvm.Instr.t;  (** [Load slot] or [Get_global g] *)
+  visit0 : int;  (** its traced value on the priming visit *)
+  visit1 : int;  (** its traced value on the emitting visit *)
+}
+
+val find_discriminator :
+  Stackvm.Trace.snapshot -> Stackvm.Trace.snapshot -> nlocals:int -> discriminator option
+(** Search the two snapshots for a local (preferred) or global whose value
+    differs; [nlocals] bounds the slots considered (the host's original
+    slot count — fresh watermark slots are excluded). *)
+
+val loop_snippet :
+  rng:Util.Prng.t -> bits:bool list -> first_local:int -> sink_global:int -> Stackvm.Instr.t list * int
+(** Returns the snippet and the next free local slot. [first_local] is the
+    first slot the snippet may clobber. *)
+
+val loop_constant : bits:bool list -> int * int
+(** The loop's bit constant and iteration count (exposed for tests):
+    iteration [k] tests bit [k]; the constant's bit 0 is the priming
+    direction [c_{B-1}] and bit [k] is [c_{k-1} lxor c_{B-1}]. *)
+
+val find_pool :
+  Stackvm.Trace.snapshot -> Stackvm.Trace.snapshot -> nlocals:int -> discriminator list
+(** Every variable with recorded values on both visits (whether or not the
+    values differ) — raw material for compound predicates. *)
+
+val condition_snippet :
+  ?pool:discriminator list ->
+  rng:Util.Prng.t ->
+  bits:bool list ->
+  discriminator:discriminator ->
+  counter_global:int option ->
+  first_local:int ->
+  sink_global:int ->
+  unit ->
+  Stackvm.Instr.t list * int
+(** [counter_global = Some g] prepends the fallback visit-counter increment
+    (the discriminator must then read [g] with [visit0 = 1], [visit1 = 2]).
+    When [pool] is nonempty, some predicates are strengthened into compound
+    conditions by ANDing constraints over other traced variables, as §3.2.2
+    suggests for stealth — conjuncts are chosen true on both recorded
+    visits, so the emitted bits are unchanged. *)
+
+val fallback_discriminator : counter_global:int -> discriminator
+(** The discriminator induced by a fresh zero-initialized counter global
+    that the snippet increments on entry. *)

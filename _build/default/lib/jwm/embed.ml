@@ -1,0 +1,110 @@
+open Stackvm
+
+type spec = {
+  passphrase : string;
+  watermark : Bignum.t;
+  watermark_bits : int;
+  pieces : int;
+  input : int list;
+}
+
+type generator_kind = Loop | Condition_existing | Condition_counter
+
+type insertion = { fidx : int; pc : int; kind : generator_kind; snippet_len : int }
+
+type report = {
+  program : Program.t;
+  insertions : insertion list;
+  params : Codec.Params.t;
+  bytes_before : int;
+  bytes_after : int;
+}
+
+type planned = { p_fidx : int; p_pc : int; p_kind : generator_kind; p_code : Instr.t list }
+
+let embed ?(seed = 0x1234_5678L) ?fuel spec prog =
+  let params = Codec.Params.make ~passphrase:spec.passphrase ~watermark_bits:spec.watermark_bits () in
+  if not (Codec.Params.fits params spec.watermark) then
+    invalid_arg "Embed.embed: watermark does not fit the derived parameters";
+  let rng = Util.Prng.create seed in
+  let trace = Trace.capture ?fuel ~want_snapshots:true prog ~input:spec.input in
+  (match trace.Trace.result.Interp.outcome with
+  | Interp.Finished _ -> ()
+  | Interp.Trapped { reason; _ } -> failwith ("Embed.embed: program traps on the secret input: " ^ reason)
+  | Interp.Out_of_fuel -> failwith "Embed.embed: tracing ran out of fuel");
+  let sites = Array.of_list (Trace.hot_blocks trace) in
+  if Array.length sites = 0 then failwith "Embed.embed: no traced insertion sites";
+  (* Weight sites inversely to execution frequency (§3.2). *)
+  let weights = Array.map (fun (_, count) -> 1.0 /. float_of_int count) sites in
+  let sink_global = prog.Program.nglobals in
+  let next_global = ref (sink_global + 1) in
+  let statements = Codec.Pieces.select params ~rng ~watermark:spec.watermark ~count:spec.pieces in
+  let plan_piece statement =
+    let (fidx, pc), _count = sites.(Util.Prng.weighted_index rng weights) in
+    let f = prog.Program.funcs.(fidx) in
+    let bits = Codec.Statement.bits params statement in
+    let first_local = f.Program.nlocals in
+    let snapshots = Option.value ~default:[] (Hashtbl.find_opt trace.Trace.visits (fidx, pc)) in
+    let condition_choice =
+      match snapshots with
+      | s0 :: s1 :: _ -> begin
+          let pool = Codegen.find_pool s0 s1 ~nlocals:f.Program.nlocals in
+          match Codegen.find_discriminator s0 s1 ~nlocals:f.Program.nlocals with
+          | Some d -> Some (d, pool, None, Condition_existing)
+          | None ->
+              let g = !next_global in
+              Some (Codegen.fallback_discriminator ~counter_global:g, pool, Some g, Condition_counter)
+        end
+      | _ -> None
+    in
+    let use_condition = condition_choice <> None && Util.Prng.bool rng in
+    match (use_condition, condition_choice) with
+    | true, Some (discriminator, pool, counter_global, kind) ->
+        (match counter_global with Some _ -> incr next_global | None -> ());
+        let code, _ =
+          Codegen.condition_snippet ~pool ~rng ~bits ~discriminator ~counter_global ~first_local
+            ~sink_global ()
+        in
+        { p_fidx = fidx; p_pc = pc; p_kind = kind; p_code = code }
+    | _ ->
+        let code, _ = Codegen.loop_snippet ~rng ~bits ~first_local ~sink_global in
+        { p_fidx = fidx; p_pc = pc; p_kind = Loop; p_code = code }
+  in
+  let plans = List.map plan_piece statements in
+  (* Apply insertions per function in descending pc order so positions from
+     the original trace stay valid. *)
+  let funcs = Array.copy prog.Program.funcs in
+  let by_func = Hashtbl.create 8 in
+  List.iter
+    (fun p ->
+      Hashtbl.replace by_func p.p_fidx (p :: Option.value ~default:[] (Hashtbl.find_opt by_func p.p_fidx)))
+    plans;
+  Hashtbl.iter
+    (fun fidx plans_for_f ->
+      let sorted = List.sort (fun a b -> Stdlib.compare b.p_pc a.p_pc) plans_for_f in
+      let f = ref funcs.(fidx) in
+      let extra_locals = ref 0 in
+      List.iter
+        (fun p ->
+          f := Rewrite.insert !f ~at:p.p_pc p.p_code;
+          (* Loop snippets need 3 scratch slots, condition snippets 1; all
+             snippets in one function share them (each self-initializes). *)
+          let need = match p.p_kind with Loop -> 3 | Condition_existing | Condition_counter -> 1 in
+          extra_locals := max !extra_locals need)
+        sorted;
+      funcs.(fidx) <- Rewrite.with_locals !f (funcs.(fidx).Program.nlocals + !extra_locals))
+    by_func;
+  let program = { prog with Program.funcs; nglobals = !next_global } in
+  Verify.check_exn program;
+  let insertions =
+    List.map
+      (fun p -> { fidx = p.p_fidx; pc = p.p_pc; kind = p.p_kind; snippet_len = List.length p.p_code })
+      plans
+  in
+  {
+    program;
+    insertions;
+    params;
+    bytes_before = Serialize.size_in_bytes prog;
+    bytes_after = Serialize.size_in_bytes program;
+  }

@@ -1,0 +1,57 @@
+open Stackvm
+
+(* Each shape pushes the boolean result of a comparison whose outcome is
+   independent of the variable's value.  Identities are chosen to survive
+   63-bit wrap-around: multiplication and addition preserve residues modulo
+   any power of two, so tests modulo 2 and 4 are safe (the VM's Rem takes
+   the dividend's sign, so "even" must be tested as [rem = 0] and parity-1
+   as [rem <> 0]). *)
+
+(* x*(x+1) is even: rem 2 gives 0 exactly. *)
+let even_product slot = [ Instr.Load slot; Instr.Dup; Instr.Const 1; Instr.Binop Add; Instr.Binop Mul; Instr.Const 2; Instr.Binop Rem ]
+
+(* x*x + x is even. *)
+let even_square_plus slot =
+  [ Instr.Load slot; Instr.Dup; Instr.Dup; Instr.Binop Mul; Instr.Binop Add; Instr.Const 2; Instr.Binop Rem ]
+
+(* x*x mod 4 is never 2 (squares are 0 or 1 mod 4; with the dividend's sign
+   the VM may also produce -3, never +/-2). *)
+let square_mod4 slot = [ Instr.Load slot; Instr.Dup; Instr.Binop Mul; Instr.Const 4; Instr.Binop Rem ]
+
+(* (x | 1) is odd: rem 2 is 1 or -1, never 0. *)
+let forced_odd slot = [ Instr.Load slot; Instr.Const 1; Instr.Binop Or; Instr.Const 2; Instr.Binop Rem ]
+
+(* x & 1 is never 2. *)
+let low_bit slot = [ Instr.Load slot; Instr.Const 1; Instr.Binop And ]
+
+let false_shapes =
+  [|
+    (fun slot -> even_product slot @ [ Instr.Const 0; Instr.Cmp Instr.Ne ]);
+    (fun slot -> even_square_plus slot @ [ Instr.Const 0; Instr.Cmp Instr.Ne ]);
+    (fun slot -> square_mod4 slot @ [ Instr.Const 2; Instr.Cmp Instr.Eq ]);
+    (fun slot -> forced_odd slot @ [ Instr.Const 0; Instr.Cmp Instr.Eq ]);
+    (fun slot -> low_bit slot @ [ Instr.Const 2; Instr.Cmp Instr.Eq ]);
+  |]
+
+let true_shapes =
+  [|
+    (fun slot -> even_product slot @ [ Instr.Const 0; Instr.Cmp Instr.Eq ]);
+    (fun slot -> even_square_plus slot @ [ Instr.Const 0; Instr.Cmp Instr.Eq ]);
+    (fun slot -> square_mod4 slot @ [ Instr.Const 2; Instr.Cmp Instr.Ne ]);
+    (fun slot -> forced_odd slot @ [ Instr.Const 0; Instr.Cmp Instr.Ne ]);
+    (fun slot -> low_bit slot @ [ Instr.Const 2; Instr.Cmp Instr.Ne ]);
+  |]
+
+let variant_count = Array.length false_shapes
+
+let false_variant index ~slot =
+  if index < 0 || index >= variant_count then invalid_arg "Opaque.false_variant";
+  false_shapes.(index) slot
+
+let true_variant index ~slot =
+  if index < 0 || index >= variant_count then invalid_arg "Opaque.true_variant";
+  true_shapes.(index) slot
+
+let false_predicate rng ~slot = false_variant (Util.Prng.int rng variant_count) ~slot
+
+let true_predicate rng ~slot = true_variant (Util.Prng.int rng variant_count) ~slot

@@ -1,0 +1,27 @@
+(** The opaque predicate library (the paper's OPL, after Collberg,
+    Thomborson and Low).
+
+    An opaque predicate is an expression whose constant truth value is
+    known to the embedder but hard to recover by static analysis.  The
+    embedder guards never-executed updates of live variables with opaquely
+    false predicates so that inserted watermark code cannot be removed as
+    dead (Section 3.2.1).
+
+    Every generated snippet is straight-line stack code (no internal
+    branches) that reads one local variable and pushes 0 (opaquely false)
+    or 1 (opaquely true).  All identities used are preserved by the VM's
+    two's-complement wrap-around, including for negative operands. *)
+
+val false_predicate : Util.Prng.t -> slot:int -> Stackvm.Instr.t list
+(** Push a value that is always 0, computed from local [slot]. *)
+
+val true_predicate : Util.Prng.t -> slot:int -> Stackvm.Instr.t list
+(** Push a value that is always 1 (as a 0/1 comparison result). *)
+
+val variant_count : int
+(** Number of distinct predicate shapes per polarity (for tests). *)
+
+val false_variant : int -> slot:int -> Stackvm.Instr.t list
+(** A specific opaquely false shape, [0 <= index < variant_count]. *)
+
+val true_variant : int -> slot:int -> Stackvm.Instr.t list

@@ -1,0 +1,23 @@
+type outcome = {
+  value : Bignum.t option;
+  report : Codec.Recombine.report;
+  trace_branches : int;
+  steps : int;
+}
+
+let recognize ?(fuel = 200_000_000) ?(strides = [ 1; 2 ]) ~passphrase ~watermark_bits ~input prog =
+  let params = Codec.Params.make ~passphrase ~watermark_bits () in
+  let trace = Stackvm.Trace.capture ~fuel ~want_snapshots:false prog ~input in
+  let bits = Stackvm.Trace.bitstring trace in
+  let report = Codec.Recombine.recover_from_bitstring ~strides params bits in
+  {
+    value = report.Codec.Recombine.value;
+    report;
+    trace_branches = Array.length trace.Stackvm.Trace.branches;
+    steps = trace.Stackvm.Trace.result.Stackvm.Interp.steps;
+  }
+
+let recognizes ?fuel ~passphrase ~watermark_bits ~input ~expected prog =
+  match (recognize ?fuel ~passphrase ~watermark_bits ~input prog).value with
+  | Some v -> Bignum.equal v expected
+  | None -> false

@@ -1,0 +1,37 @@
+(** The recognition phase (Section 3.3) — dynamic, blind fingerprinting.
+
+    Recognition re-runs the (possibly attacked) program on the secret
+    input, decodes the trace into its bit-string, harvests candidate cipher
+    blocks at strides 1 and 2, and recombines the watermark.  Only the
+    program, the passphrase and the secret input are needed — never the
+    original program or the expected watermark. *)
+
+type outcome = {
+  value : Bignum.t option;  (** the recovered fingerprint, if any *)
+  report : Codec.Recombine.report;
+  trace_branches : int;  (** dynamic conditional-branch count *)
+  steps : int;  (** instructions executed during the recognition run *)
+}
+
+val recognize :
+  ?fuel:int ->
+  ?strides:int list ->
+  passphrase:string ->
+  watermark_bits:int ->
+  input:int list ->
+  Stackvm.Program.t ->
+  outcome
+(** [fuel] defaults to 200 million instructions; a program that traps or
+    exhausts fuel still yields whatever trace prefix was collected (an
+    attacked program that crashes can destroy the mark — that is a valid
+    experimental outcome, not an exception). *)
+
+val recognizes :
+  ?fuel:int ->
+  passphrase:string ->
+  watermark_bits:int ->
+  input:int list ->
+  expected:Bignum.t ->
+  Stackvm.Program.t ->
+  bool
+(** Fingerprint check: recovered value equals [expected]. *)

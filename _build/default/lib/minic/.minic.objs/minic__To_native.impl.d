@@ -1,0 +1,1 @@
+lib/minic/to_native.ml: Asm Ast Insn List Map Nativesim Parser Printf String Typecheck

@@ -1,0 +1,1 @@
+lib/minic/to_native.mli: Ast Nativesim

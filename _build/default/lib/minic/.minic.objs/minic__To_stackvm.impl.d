@@ -1,0 +1,1 @@
+lib/minic/to_stackvm.ml: Asm Ast Instr List Map Parser Printf Program Stackvm String Typecheck Verify

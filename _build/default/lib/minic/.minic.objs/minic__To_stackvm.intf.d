@@ -1,0 +1,1 @@
+lib/minic/to_stackvm.mli: Ast Stackvm

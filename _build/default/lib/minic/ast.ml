@@ -1,0 +1,40 @@
+type ty = Int | Arr
+
+type unop = Neg | Not | BNot
+
+type binop =
+  | Add | Sub | Mul | Div | Rem
+  | Band | Bor | Bxor | Shl | Shr
+  | Eq | Ne | Lt | Le | Gt | Ge
+  | Land | Lor
+
+type expr =
+  | Num of int
+  | Var of string
+  | Index of expr * expr
+  | Unary of unop * expr
+  | Bin of binop * expr * expr
+  | Call of string * expr list
+  | Read
+  | New of expr
+  | Len of expr
+
+type stmt =
+  | Decl of ty * string * expr
+  | Assign of string * expr
+  | Assign_index of expr * expr * expr
+  | If of expr * stmt list * stmt list
+  | While of expr * stmt list
+  | Return of expr
+  | Print of expr
+  | Expr of expr
+  | Break
+  | Continue
+
+type func = { name : string; params : (ty * string) list; body : stmt list }
+
+type global = { gname : string; gty : ty; gsize : int option }
+
+type program = { globals : global list; funcs : func list }
+
+let pp_ty fmt = function Int -> Format.pp_print_string fmt "int" | Arr -> Format.pp_print_string fmt "arr"

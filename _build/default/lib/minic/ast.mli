@@ -1,0 +1,49 @@
+(** Abstract syntax of MiniC.
+
+    MiniC is the small imperative language our benchmark workloads are
+    written in; it compiles to both execution substrates (the stack VM of
+    the Java track and the native machine of the IA-32 track), standing in
+    for the Java and C sources of the paper's benchmark programs.  Values
+    are 63-bit integers; arrays are first-class handles (a VM heap handle
+    or a native pointer). *)
+
+type ty = Int | Arr
+
+type unop = Neg | Not | BNot
+
+type binop =
+  | Add | Sub | Mul | Div | Rem
+  | Band | Bor | Bxor | Shl | Shr
+  | Eq | Ne | Lt | Le | Gt | Ge
+  | Land | Lor  (** short-circuiting *)
+
+type expr =
+  | Num of int
+  | Var of string
+  | Index of expr * expr  (** [a\[i\]] *)
+  | Unary of unop * expr
+  | Bin of binop * expr * expr
+  | Call of string * expr list
+  | Read  (** [read()] *)
+  | New of expr  (** [new(n)]: zero-filled array of length n *)
+  | Len of expr  (** [len(a)] *)
+
+type stmt =
+  | Decl of ty * string * expr  (** [int x = e;] / [arr a = e;] *)
+  | Assign of string * expr
+  | Assign_index of expr * expr * expr  (** [a\[i\] = e;] *)
+  | If of expr * stmt list * stmt list
+  | While of expr * stmt list
+  | Return of expr
+  | Print of expr
+  | Expr of expr
+  | Break
+  | Continue
+
+type func = { name : string; params : (ty * string) list; body : stmt list }
+
+type global = { gname : string; gty : ty; gsize : int option  (** array size *) }
+
+type program = { globals : global list; funcs : func list }
+
+val pp_ty : Format.formatter -> ty -> unit

@@ -1,0 +1,191 @@
+type outcome = Finished of int | Runtime_error of string | Out_of_fuel
+
+type result = { outcome : outcome; outputs : int list }
+
+exception Error of string
+exception Fuel
+exception Return_exn of int
+exception Break_exn
+exception Continue_exn
+
+type state = {
+  globals : (string, int ref) Hashtbl.t;
+  heap : (int, int array) Hashtbl.t;
+  mutable next_handle : int;
+  mutable inputs : int list;
+  mutable outputs : int list;
+  mutable fuel : int;
+  funcs : (string, Ast.func) Hashtbl.t;
+}
+
+let tick st =
+  st.fuel <- st.fuel - 1;
+  if st.fuel <= 0 then raise Fuel
+
+let alloc st n =
+  if n < 0 then raise (Error "negative array length");
+  let h = st.next_handle in
+  st.next_handle <- h + 1;
+  Hashtbl.replace st.heap h (Array.make n 0);
+  h
+
+let deref st h =
+  match Hashtbl.find_opt st.heap h with
+  | Some arr -> arr
+  | None -> raise (Error "invalid array handle")
+
+let shift_left_checked a b =
+  let c = b land 0x3F in
+  if c >= 63 then 0 else a lsl c
+
+let shift_right_checked a b =
+  let c = b land 0x3F in
+  if c >= 63 then if a < 0 then -1 else 0 else a asr c
+
+let bool_int b = if b then 1 else 0
+
+let rec eval st env (e : Ast.expr) =
+  tick st;
+  match e with
+  | Ast.Num v -> v
+  | Ast.Var name -> !(lookup st env name)
+  | Ast.Index (a, i) ->
+      let arr = deref st (eval st env a) in
+      let idx = eval st env i in
+      if idx < 0 || idx >= Array.length arr then raise (Error "array index out of bounds");
+      arr.(idx)
+  | Ast.Unary (op, e) -> begin
+      let v = eval st env e in
+      match op with
+      | Ast.Neg -> -v
+      | Ast.Not -> bool_int (v = 0)
+      | Ast.BNot -> lnot v
+    end
+  | Ast.Bin (Ast.Land, a, b) -> if eval st env a = 0 then 0 else bool_int (eval st env b <> 0)
+  | Ast.Bin (Ast.Lor, a, b) -> if eval st env a <> 0 then 1 else bool_int (eval st env b <> 0)
+  | Ast.Bin (op, a, b) -> begin
+      let x = eval st env a in
+      let y = eval st env b in
+      match op with
+      | Ast.Add -> x + y
+      | Ast.Sub -> x - y
+      | Ast.Mul -> x * y
+      | Ast.Div -> if y = 0 then raise (Error "division by zero") else x / y
+      | Ast.Rem -> if y = 0 then raise (Error "remainder by zero") else x mod y
+      | Ast.Band -> x land y
+      | Ast.Bor -> x lor y
+      | Ast.Bxor -> x lxor y
+      | Ast.Shl -> shift_left_checked x y
+      | Ast.Shr -> shift_right_checked x y
+      | Ast.Eq -> bool_int (x = y)
+      | Ast.Ne -> bool_int (x <> y)
+      | Ast.Lt -> bool_int (x < y)
+      | Ast.Le -> bool_int (x <= y)
+      | Ast.Gt -> bool_int (x > y)
+      | Ast.Ge -> bool_int (x >= y)
+      | Ast.Land | Ast.Lor -> assert false
+    end
+  | Ast.Call (name, args) ->
+      let values = List.map (eval st env) args in
+      call st name values
+  | Ast.Read -> begin
+      match st.inputs with
+      | [] -> raise (Error "input exhausted")
+      | v :: rest ->
+          st.inputs <- rest;
+          v
+    end
+  | Ast.New n -> alloc st (eval st env n)
+  | Ast.Len a -> Array.length (deref st (eval st env a))
+
+and lookup st env name =
+  match Hashtbl.find_opt env name with
+  | Some cell -> cell
+  | None -> begin
+      match Hashtbl.find_opt st.globals name with
+      | Some cell -> cell
+      | None -> raise (Error ("unbound variable " ^ name))
+    end
+
+and call st name values =
+  let f =
+    match Hashtbl.find_opt st.funcs name with
+    | Some f -> f
+    | None -> raise (Error ("unknown function " ^ name))
+  in
+  let env = Hashtbl.create 16 in
+  List.iter2 (fun (_, pname) v -> Hashtbl.replace env pname (ref v)) f.Ast.params values;
+  match exec_block st env f.Ast.body with
+  | () -> raise (Error (name ^ " fell off the end"))
+  | exception Return_exn v -> v
+
+and exec_block st env stmts =
+  (* a block gets a scope: declarations are removed when it ends *)
+  let declared = ref [] in
+  let cleanup () =
+    List.iter (fun (name, prior) ->
+        match prior with
+        | Some cell -> Hashtbl.replace env name cell
+        | None -> Hashtbl.remove env name)
+      !declared
+  in
+  (try List.iter (exec st env declared) stmts
+   with e ->
+     cleanup ();
+     raise e);
+  cleanup ()
+
+and exec st env declared (stmt : Ast.stmt) =
+  tick st;
+  match stmt with
+  | Ast.Decl (_, name, e) ->
+      let v = eval st env e in
+      declared := (name, Hashtbl.find_opt env name) :: !declared;
+      Hashtbl.replace env name (ref v)
+  | Ast.Assign (name, e) -> lookup st env name := eval st env e
+  | Ast.Assign_index (a, i, v) ->
+      let arr = deref st (eval st env a) in
+      let idx = eval st env i in
+      let value = eval st env v in
+      if idx < 0 || idx >= Array.length arr then raise (Error "array index out of bounds");
+      arr.(idx) <- value
+  | Ast.If (cond, then_, else_) ->
+      if eval st env cond <> 0 then exec_block st env then_ else exec_block st env else_
+  | Ast.While (cond, body) -> begin
+      try
+        while eval st env cond <> 0 do
+          try exec_block st env body with Continue_exn -> ()
+        done
+      with Break_exn -> ()
+    end
+  | Ast.Return e -> raise (Return_exn (eval st env e))
+  | Ast.Print e -> st.outputs <- eval st env e :: st.outputs
+  | Ast.Expr e -> ignore (eval st env e)
+  | Ast.Break -> raise Break_exn
+  | Ast.Continue -> raise Continue_exn
+
+let run ?(fuel = 50_000_000) (prog : Ast.program) ~input =
+  let st =
+    {
+      globals = Hashtbl.create 16;
+      heap = Hashtbl.create 64;
+      next_handle = 1;
+      inputs = input;
+      outputs = [];
+      fuel;
+      funcs = Hashtbl.create 16;
+    }
+  in
+  List.iter (fun (f : Ast.func) -> Hashtbl.replace st.funcs f.Ast.name f) prog.Ast.funcs;
+  List.iter
+    (fun (g : Ast.global) ->
+      let initial = match g.Ast.gsize with None -> 0 | Some n -> alloc st n in
+      Hashtbl.replace st.globals g.Ast.gname (ref initial))
+    prog.Ast.globals;
+  let outcome =
+    match call st "main" [] with
+    | v -> Finished v
+    | exception Error m -> Runtime_error m
+    | exception Fuel -> Out_of_fuel
+  in
+  { outcome; outputs = List.rev st.outputs }

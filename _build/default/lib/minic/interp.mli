@@ -1,0 +1,17 @@
+(** Reference interpreter for MiniC.
+
+    A direct AST walker, used as the semantic oracle in differential tests
+    against both compilers: for any program and input, the stack-VM build
+    and the native build must reproduce exactly this interpreter's
+    outputs. *)
+
+type outcome =
+  | Finished of int  (** [main]'s result *)
+  | Runtime_error of string
+  | Out_of_fuel
+
+type result = { outcome : outcome; outputs : int list }
+
+val run : ?fuel:int -> Ast.program -> input:int list -> result
+(** [fuel] (default 50 million evaluation steps) bounds execution. The
+    program must already typecheck. *)

@@ -1,0 +1,193 @@
+type token =
+  | INT_KW
+  | ARR_KW
+  | GLOBAL
+  | FUNC
+  | IF
+  | ELSE
+  | WHILE
+  | RETURN
+  | PRINT
+  | READ
+  | NEW
+  | LEN
+  | BREAK
+  | CONTINUE
+  | IDENT of string
+  | NUM of int
+  | LPAREN
+  | RPAREN
+  | LBRACE
+  | RBRACE
+  | LBRACKET
+  | RBRACKET
+  | COMMA
+  | SEMI
+  | ASSIGN
+  | PLUS | MINUS | STAR | SLASH | PERCENT
+  | AMP | PIPE | CARET | TILDE | BANG
+  | SHL_OP | SHR_OP
+  | EQ_OP | NE_OP | LT_OP | LE_OP | GT_OP | GE_OP
+  | ANDAND | OROR
+  | EOF
+
+exception Error of { line : int; message : string }
+
+let keyword = function
+  | "int" -> Some INT_KW
+  | "arr" -> Some ARR_KW
+  | "global" -> Some GLOBAL
+  | "func" -> Some FUNC
+  | "if" -> Some IF
+  | "else" -> Some ELSE
+  | "while" -> Some WHILE
+  | "return" -> Some RETURN
+  | "print" -> Some PRINT
+  | "read" -> Some READ
+  | "new" -> Some NEW
+  | "len" -> Some LEN
+  | "break" -> Some BREAK
+  | "continue" -> Some CONTINUE
+  | _ -> None
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9')
+let is_digit c = c >= '0' && c <= '9'
+
+let tokenize src =
+  let n = String.length src in
+  let line = ref 1 in
+  let tokens = ref [] in
+  let emit tok = tokens := (tok, !line) :: !tokens in
+  let fail message = raise (Error { line = !line; message }) in
+  let i = ref 0 in
+  let peek k = if !i + k < n then Some src.[!i + k] else None in
+  while !i < n do
+    let c = src.[!i] in
+    if c = '\n' then begin
+      incr line;
+      incr i
+    end
+    else if c = ' ' || c = '\t' || c = '\r' then incr i
+    else if c = '/' && peek 1 = Some '/' then begin
+      while !i < n && src.[!i] <> '\n' do
+        incr i
+      done
+    end
+    else if c = '/' && peek 1 = Some '*' then begin
+      i := !i + 2;
+      let closed = ref false in
+      while (not !closed) && !i < n do
+        if src.[!i] = '\n' then incr line;
+        if src.[!i] = '*' && peek 1 = Some '/' then begin
+          closed := true;
+          i := !i + 2
+        end
+        else incr i
+      done;
+      if not !closed then fail "unterminated comment"
+    end
+    else if is_digit c then begin
+      let start = !i in
+      while !i < n && is_digit src.[!i] do
+        incr i
+      done;
+      let text = String.sub src start (!i - start) in
+      match int_of_string_opt text with
+      | Some v -> emit (NUM v)
+      | None -> fail ("number out of range: " ^ text)
+    end
+    else if is_ident_start c then begin
+      let start = !i in
+      while !i < n && is_ident_char src.[!i] do
+        incr i
+      done;
+      let text = String.sub src start (!i - start) in
+      emit (match keyword text with Some kw -> kw | None -> IDENT text)
+    end
+    else begin
+      let two tok = emit tok; i := !i + 2 in
+      let one tok = emit tok; incr i in
+      match (c, peek 1) with
+      | '<', Some '<' -> two SHL_OP
+      | '>', Some '>' -> two SHR_OP
+      | '=', Some '=' -> two EQ_OP
+      | '!', Some '=' -> two NE_OP
+      | '<', Some '=' -> two LE_OP
+      | '>', Some '=' -> two GE_OP
+      | '&', Some '&' -> two ANDAND
+      | '|', Some '|' -> two OROR
+      | '<', _ -> one LT_OP
+      | '>', _ -> one GT_OP
+      | '=', _ -> one ASSIGN
+      | '!', _ -> one BANG
+      | '&', _ -> one AMP
+      | '|', _ -> one PIPE
+      | '^', _ -> one CARET
+      | '~', _ -> one TILDE
+      | '+', _ -> one PLUS
+      | '-', _ -> one MINUS
+      | '*', _ -> one STAR
+      | '/', _ -> one SLASH
+      | '%', _ -> one PERCENT
+      | '(', _ -> one LPAREN
+      | ')', _ -> one RPAREN
+      | '{', _ -> one LBRACE
+      | '}', _ -> one RBRACE
+      | '[', _ -> one LBRACKET
+      | ']', _ -> one RBRACKET
+      | ',', _ -> one COMMA
+      | ';', _ -> one SEMI
+      | _ -> fail (Printf.sprintf "unexpected character %C" c)
+    end
+  done;
+  emit EOF;
+  List.rev !tokens
+
+let token_name = function
+  | INT_KW -> "'int'"
+  | ARR_KW -> "'arr'"
+  | GLOBAL -> "'global'"
+  | FUNC -> "'func'"
+  | IF -> "'if'"
+  | ELSE -> "'else'"
+  | WHILE -> "'while'"
+  | RETURN -> "'return'"
+  | PRINT -> "'print'"
+  | READ -> "'read'"
+  | NEW -> "'new'"
+  | LEN -> "'len'"
+  | BREAK -> "'break'"
+  | CONTINUE -> "'continue'"
+  | IDENT s -> Printf.sprintf "identifier %s" s
+  | NUM v -> Printf.sprintf "number %d" v
+  | LPAREN -> "'('"
+  | RPAREN -> "')'"
+  | LBRACE -> "'{'"
+  | RBRACE -> "'}'"
+  | LBRACKET -> "'['"
+  | RBRACKET -> "']'"
+  | COMMA -> "','"
+  | SEMI -> "';'"
+  | ASSIGN -> "'='"
+  | PLUS -> "'+'"
+  | MINUS -> "'-'"
+  | STAR -> "'*'"
+  | SLASH -> "'/'"
+  | PERCENT -> "'%'"
+  | AMP -> "'&'"
+  | PIPE -> "'|'"
+  | CARET -> "'^'"
+  | TILDE -> "'~'"
+  | BANG -> "'!'"
+  | SHL_OP -> "'<<'"
+  | SHR_OP -> "'>>'"
+  | EQ_OP -> "'=='"
+  | NE_OP -> "'!='"
+  | LT_OP -> "'<'"
+  | LE_OP -> "'<='"
+  | GT_OP -> "'>'"
+  | GE_OP -> "'>='"
+  | ANDAND -> "'&&'"
+  | OROR -> "'||'"
+  | EOF -> "end of input"

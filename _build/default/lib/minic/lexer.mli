@@ -1,0 +1,42 @@
+(** Hand-written lexer for MiniC. *)
+
+type token =
+  | INT_KW
+  | ARR_KW
+  | GLOBAL
+  | FUNC
+  | IF
+  | ELSE
+  | WHILE
+  | RETURN
+  | PRINT
+  | READ
+  | NEW
+  | LEN
+  | BREAK
+  | CONTINUE
+  | IDENT of string
+  | NUM of int
+  | LPAREN
+  | RPAREN
+  | LBRACE
+  | RBRACE
+  | LBRACKET
+  | RBRACKET
+  | COMMA
+  | SEMI
+  | ASSIGN  (** [=] *)
+  | PLUS | MINUS | STAR | SLASH | PERCENT
+  | AMP | PIPE | CARET | TILDE | BANG
+  | SHL_OP | SHR_OP
+  | EQ_OP | NE_OP | LT_OP | LE_OP | GT_OP | GE_OP
+  | ANDAND | OROR
+  | EOF
+
+exception Error of { line : int; message : string }
+
+val tokenize : string -> (token * int) list
+(** Token stream with line numbers; comments are [//] to end of line and
+    [/* ... */].  Raises {!Error} on an unexpected character. *)
+
+val token_name : token -> string

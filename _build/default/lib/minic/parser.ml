@@ -1,0 +1,315 @@
+exception Error of { line : int; message : string }
+
+type state = { mutable tokens : (Lexer.token * int) list }
+
+let peek st = match st.tokens with [] -> (Lexer.EOF, 0) | t :: _ -> t
+
+let line st = snd (peek st)
+
+let fail st message = raise (Error { line = line st; message })
+
+let advance st = match st.tokens with [] -> () | _ :: rest -> st.tokens <- rest
+
+let next st =
+  let tok = fst (peek st) in
+  advance st;
+  tok
+
+let expect st tok =
+  let got = fst (peek st) in
+  if got = tok then advance st
+  else fail st (Printf.sprintf "expected %s, found %s" (Lexer.token_name tok) (Lexer.token_name got))
+
+let expect_ident st =
+  match next st with
+  | Lexer.IDENT name -> name
+  | got -> fail st (Printf.sprintf "expected identifier, found %s" (Lexer.token_name got))
+
+(* ---- expressions ---- *)
+
+let rec parse_primary st =
+  match next st with
+  | Lexer.NUM v -> Ast.Num v
+  | Lexer.READ ->
+      expect st Lexer.LPAREN;
+      expect st Lexer.RPAREN;
+      Ast.Read
+  | Lexer.NEW ->
+      expect st Lexer.LPAREN;
+      let e = parse_expr_prec st 0 in
+      expect st Lexer.RPAREN;
+      Ast.New e
+  | Lexer.LEN ->
+      expect st Lexer.LPAREN;
+      let e = parse_expr_prec st 0 in
+      expect st Lexer.RPAREN;
+      Ast.Len e
+  | Lexer.IDENT name ->
+      if fst (peek st) = Lexer.LPAREN then begin
+        advance st;
+        let args = parse_args st in
+        Ast.Call (name, args)
+      end
+      else Ast.Var name
+  | Lexer.LPAREN ->
+      let e = parse_expr_prec st 0 in
+      expect st Lexer.RPAREN;
+      e
+  | got -> fail st (Printf.sprintf "expected expression, found %s" (Lexer.token_name got))
+
+and parse_args st =
+  if fst (peek st) = Lexer.RPAREN then begin
+    advance st;
+    []
+  end
+  else begin
+    let rec go acc =
+      let e = parse_expr_prec st 0 in
+      match next st with
+      | Lexer.COMMA -> go (e :: acc)
+      | Lexer.RPAREN -> List.rev (e :: acc)
+      | got -> fail st (Printf.sprintf "expected ',' or ')', found %s" (Lexer.token_name got))
+    in
+    go []
+  end
+
+and parse_postfix st =
+  let e = ref (parse_primary st) in
+  let continue = ref true in
+  while !continue do
+    match fst (peek st) with
+    | Lexer.LBRACKET ->
+        advance st;
+        let idx = parse_expr_prec st 0 in
+        expect st Lexer.RBRACKET;
+        e := Ast.Index (!e, idx)
+    | _ -> continue := false
+  done;
+  !e
+
+and parse_unary st =
+  match fst (peek st) with
+  | Lexer.MINUS -> begin
+      advance st;
+      (* fold negation of literals so printed negative constants reparse
+         to the same AST *)
+      match parse_unary st with
+      | Ast.Num n -> Ast.Num (-n)
+      | e -> Ast.Unary (Ast.Neg, e)
+    end
+  | Lexer.BANG ->
+      advance st;
+      Ast.Unary (Ast.Not, parse_unary st)
+  | Lexer.TILDE ->
+      advance st;
+      Ast.Unary (Ast.BNot, parse_unary st)
+  | _ -> parse_postfix st
+
+(* precedence climbing: level n handles operators of precedence >= n *)
+and binop_of_token = function
+  | Lexer.OROR -> Some (Ast.Lor, 1)
+  | Lexer.ANDAND -> Some (Ast.Land, 2)
+  | Lexer.PIPE -> Some (Ast.Bor, 3)
+  | Lexer.CARET -> Some (Ast.Bxor, 4)
+  | Lexer.AMP -> Some (Ast.Band, 5)
+  | Lexer.EQ_OP -> Some (Ast.Eq, 6)
+  | Lexer.NE_OP -> Some (Ast.Ne, 6)
+  | Lexer.LT_OP -> Some (Ast.Lt, 7)
+  | Lexer.LE_OP -> Some (Ast.Le, 7)
+  | Lexer.GT_OP -> Some (Ast.Gt, 7)
+  | Lexer.GE_OP -> Some (Ast.Ge, 7)
+  | Lexer.SHL_OP -> Some (Ast.Shl, 8)
+  | Lexer.SHR_OP -> Some (Ast.Shr, 8)
+  | Lexer.PLUS -> Some (Ast.Add, 9)
+  | Lexer.MINUS -> Some (Ast.Sub, 9)
+  | Lexer.STAR -> Some (Ast.Mul, 10)
+  | Lexer.SLASH -> Some (Ast.Div, 10)
+  | Lexer.PERCENT -> Some (Ast.Rem, 10)
+  | _ -> None
+
+and parse_expr_prec st min_prec =
+  let lhs = ref (parse_unary st) in
+  let continue = ref true in
+  while !continue do
+    match binop_of_token (fst (peek st)) with
+    | Some (op, prec) when prec >= min_prec ->
+        advance st;
+        (* left associative: parse the right side at one level tighter *)
+        let rhs = parse_expr_prec st (prec + 1) in
+        lhs := Ast.Bin (op, !lhs, rhs)
+    | _ -> continue := false
+  done;
+  !lhs
+
+let parse_expression st = parse_expr_prec st 0
+
+(* ---- statements ---- *)
+
+let rec parse_stmt st =
+  match fst (peek st) with
+  | Lexer.INT_KW ->
+      advance st;
+      let name = expect_ident st in
+      (match next st with
+      | Lexer.ASSIGN ->
+          let e = parse_expression st in
+          expect st Lexer.SEMI;
+          Ast.Decl (Ast.Int, name, e)
+      | Lexer.LBRACKET ->
+          (* `int a[e];` is sugar for `arr a = new(e);` *)
+          let size = parse_expression st in
+          expect st Lexer.RBRACKET;
+          expect st Lexer.SEMI;
+          Ast.Decl (Ast.Arr, name, Ast.New size)
+      | got -> fail st (Printf.sprintf "expected '=' or '[', found %s" (Lexer.token_name got)))
+  | Lexer.ARR_KW ->
+      advance st;
+      let name = expect_ident st in
+      expect st Lexer.ASSIGN;
+      let e = parse_expression st in
+      expect st Lexer.SEMI;
+      Ast.Decl (Ast.Arr, name, e)
+  | Lexer.IF ->
+      advance st;
+      expect st Lexer.LPAREN;
+      let cond = parse_expression st in
+      expect st Lexer.RPAREN;
+      let then_ = parse_block st in
+      let else_ =
+        if fst (peek st) = Lexer.ELSE then begin
+          advance st;
+          if fst (peek st) = Lexer.IF then [ parse_stmt st ] else parse_block st
+        end
+        else []
+      in
+      Ast.If (cond, then_, else_)
+  | Lexer.WHILE ->
+      advance st;
+      expect st Lexer.LPAREN;
+      let cond = parse_expression st in
+      expect st Lexer.RPAREN;
+      let body = parse_block st in
+      Ast.While (cond, body)
+  | Lexer.RETURN ->
+      advance st;
+      let e = parse_expression st in
+      expect st Lexer.SEMI;
+      Ast.Return e
+  | Lexer.PRINT ->
+      advance st;
+      expect st Lexer.LPAREN;
+      let e = parse_expression st in
+      expect st Lexer.RPAREN;
+      expect st Lexer.SEMI;
+      Ast.Print e
+  | Lexer.BREAK ->
+      advance st;
+      expect st Lexer.SEMI;
+      Ast.Break
+  | Lexer.CONTINUE ->
+      advance st;
+      expect st Lexer.SEMI;
+      Ast.Continue
+  | _ ->
+      (* assignment or expression statement *)
+      let e = parse_expression st in
+      (match (fst (peek st), e) with
+      | Lexer.ASSIGN, Ast.Var name ->
+          advance st;
+          let rhs = parse_expression st in
+          expect st Lexer.SEMI;
+          Ast.Assign (name, rhs)
+      | Lexer.ASSIGN, Ast.Index (arr, idx) ->
+          advance st;
+          let rhs = parse_expression st in
+          expect st Lexer.SEMI;
+          Ast.Assign_index (arr, idx, rhs)
+      | Lexer.ASSIGN, _ -> fail st "left side of '=' must be a variable or an index"
+      | _ ->
+          expect st Lexer.SEMI;
+          Ast.Expr e)
+
+and parse_block st =
+  expect st Lexer.LBRACE;
+  let rec go acc =
+    if fst (peek st) = Lexer.RBRACE then begin
+      advance st;
+      List.rev acc
+    end
+    else go (parse_stmt st :: acc)
+  in
+  go []
+
+(* ---- top level ---- *)
+
+let parse_global st =
+  expect st Lexer.GLOBAL;
+  match next st with
+  | Lexer.INT_KW ->
+      let name = expect_ident st in
+      (match next st with
+      | Lexer.SEMI -> { Ast.gname = name; gty = Ast.Int; gsize = None }
+      | Lexer.LBRACKET -> begin
+          match next st with
+          | Lexer.NUM size ->
+              expect st Lexer.RBRACKET;
+              expect st Lexer.SEMI;
+              { Ast.gname = name; gty = Ast.Arr; gsize = Some size }
+          | got -> fail st (Printf.sprintf "expected array size, found %s" (Lexer.token_name got))
+        end
+      | got -> fail st (Printf.sprintf "expected ';' or '[', found %s" (Lexer.token_name got)))
+  | Lexer.ARR_KW ->
+      (* a global cell that will hold an array handle; starts null *)
+      let name = expect_ident st in
+      expect st Lexer.SEMI;
+      { Ast.gname = name; gty = Ast.Arr; gsize = None }
+  | got -> fail st (Printf.sprintf "expected 'int' or 'arr', found %s" (Lexer.token_name got))
+
+let parse_func st =
+  expect st Lexer.FUNC;
+  let name = expect_ident st in
+  expect st Lexer.LPAREN;
+  let params =
+    if fst (peek st) = Lexer.RPAREN then begin
+      advance st;
+      []
+    end
+    else begin
+      let param () =
+        let ty =
+          match next st with
+          | Lexer.INT_KW -> Ast.Int
+          | Lexer.ARR_KW -> Ast.Arr
+          | got -> fail st (Printf.sprintf "expected parameter type, found %s" (Lexer.token_name got))
+        in
+        (ty, expect_ident st)
+      in
+      let rec go acc =
+        let p = param () in
+        match next st with
+        | Lexer.COMMA -> go (p :: acc)
+        | Lexer.RPAREN -> List.rev (p :: acc)
+        | got -> fail st (Printf.sprintf "expected ',' or ')', found %s" (Lexer.token_name got))
+      in
+      go []
+    end
+  in
+  let body = parse_block st in
+  { Ast.name; params; body }
+
+let parse src =
+  let st = { tokens = Lexer.tokenize src } in
+  let rec go globals funcs =
+    match fst (peek st) with
+    | Lexer.EOF -> { Ast.globals = List.rev globals; funcs = List.rev funcs }
+    | Lexer.GLOBAL -> go (parse_global st :: globals) funcs
+    | Lexer.FUNC -> go globals (parse_func st :: funcs)
+    | got -> fail st (Printf.sprintf "expected 'global' or 'func', found %s" (Lexer.token_name got))
+  in
+  go [] []
+
+let parse_expr src =
+  let st = { tokens = Lexer.tokenize src } in
+  let e = parse_expression st in
+  expect st Lexer.EOF;
+  e

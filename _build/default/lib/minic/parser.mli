@@ -1,0 +1,27 @@
+(** Recursive-descent parser for MiniC.
+
+    Grammar sketch (standard C-like precedence, lowest first):
+
+    {v
+    program   := (global | func)*
+    global    := "global" ("int" IDENT | "int" IDENT "[" NUM "]"
+                 | "arr" IDENT) ";"
+    func      := "func" IDENT "(" params? ")" block
+    params    := ("int"|"arr") IDENT ("," ("int"|"arr") IDENT)*
+    block     := "{" stmt* "}"
+    stmt      := decl | assign | if | while | return | print
+               | break | continue | expr ";"
+    decl      := ("int"|"arr") IDENT "=" expr ";"
+               | "int" IDENT "[" expr "]" ";"       (sugar for new)
+    expr      := "||" > "&&" > "|" > "^" > "&" > eq,ne
+               > lt,le,gt,ge > shl,shr > add,sub > mul,div,rem
+               > unary neg,not,bnot > postfix index/call > primary
+    v} *)
+
+exception Error of { line : int; message : string }
+
+val parse : string -> Ast.program
+(** Raises {!Error} or {!Lexer.Error} on malformed input. *)
+
+val parse_expr : string -> Ast.expr
+(** Parse a single expression (for tests). *)

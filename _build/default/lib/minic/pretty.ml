@@ -1,0 +1,82 @@
+(* Fully parenthesized expression printing keeps the printer trivially
+   faithful to the AST; readability is secondary to roundtripping. *)
+
+let binop_symbol (op : Ast.binop) =
+  match op with
+  | Add -> "+"
+  | Sub -> "-"
+  | Mul -> "*"
+  | Div -> "/"
+  | Rem -> "%"
+  | Band -> "&"
+  | Bor -> "|"
+  | Bxor -> "^"
+  | Shl -> "<<"
+  | Shr -> ">>"
+  | Eq -> "=="
+  | Ne -> "!="
+  | Lt -> "<"
+  | Le -> "<="
+  | Gt -> ">"
+  | Ge -> ">="
+  | Land -> "&&"
+  | Lor -> "||"
+
+let rec expr_to_string (e : Ast.expr) =
+  match e with
+  | Num v -> if v < 0 then Printf.sprintf "(%d)" v else string_of_int v
+  | Var name -> name
+  | Index (a, i) -> Printf.sprintf "%s[%s]" (postfix_base a) (expr_to_string i)
+  | Unary (Neg, e) -> Printf.sprintf "(-%s)" (expr_to_string e)
+  | Unary (Not, e) -> Printf.sprintf "(!%s)" (expr_to_string e)
+  | Unary (BNot, e) -> Printf.sprintf "(~%s)" (expr_to_string e)
+  | Bin (op, a, b) -> Printf.sprintf "(%s %s %s)" (expr_to_string a) (binop_symbol op) (expr_to_string b)
+  | Call (name, args) -> Printf.sprintf "%s(%s)" name (String.concat ", " (List.map expr_to_string args))
+  | Read -> "read()"
+  | New n -> Printf.sprintf "new(%s)" (expr_to_string n)
+  | Len a -> Printf.sprintf "len(%s)" (expr_to_string a)
+
+(* index bases must stay postfix-parseable: parenthesize anything that is
+   not already a postfix-primary form *)
+and postfix_base (e : Ast.expr) =
+  match e with
+  | Var _ | Call _ | Index _ | Read | New _ | Len _ -> expr_to_string e
+  | _ -> Printf.sprintf "(%s)" (expr_to_string e)
+
+let ty_keyword (ty : Ast.ty) = match ty with Int -> "int" | Arr -> "arr"
+
+let rec stmt_to_string ?(indent = 1) (s : Ast.stmt) =
+  let pad = String.make (2 * indent) ' ' in
+  let block stmts = block_to_string ~indent stmts in
+  match s with
+  | Decl (ty, name, e) -> Printf.sprintf "%s%s %s = %s;" pad (ty_keyword ty) name (expr_to_string e)
+  | Assign (name, e) -> Printf.sprintf "%s%s = %s;" pad name (expr_to_string e)
+  | Assign_index (a, i, v) ->
+      Printf.sprintf "%s%s[%s] = %s;" pad (postfix_base a) (expr_to_string i) (expr_to_string v)
+  | If (c, t, []) -> Printf.sprintf "%sif (%s) %s" pad (expr_to_string c) (block t)
+  | If (c, t, e) -> Printf.sprintf "%sif (%s) %s else %s" pad (expr_to_string c) (block t) (block e)
+  | While (c, b) -> Printf.sprintf "%swhile (%s) %s" pad (expr_to_string c) (block b)
+  | Return e -> Printf.sprintf "%sreturn %s;" pad (expr_to_string e)
+  | Print e -> Printf.sprintf "%sprint(%s);" pad (expr_to_string e)
+  | Expr e -> Printf.sprintf "%s%s;" pad (expr_to_string e)
+  | Break -> pad ^ "break;"
+  | Continue -> pad ^ "continue;"
+
+and block_to_string ~indent stmts =
+  let pad = String.make (2 * indent) ' ' in
+  let inner = List.map (stmt_to_string ~indent:(indent + 1)) stmts in
+  Printf.sprintf "{\n%s\n%s}" (String.concat "\n" inner) pad
+
+let func_to_string (f : Ast.func) =
+  let params = String.concat ", " (List.map (fun (ty, n) -> ty_keyword ty ^ " " ^ n) f.Ast.params) in
+  Printf.sprintf "func %s(%s) %s" f.Ast.name params (block_to_string ~indent:0 f.Ast.body)
+
+let global_to_string (g : Ast.global) =
+  match (g.Ast.gty, g.Ast.gsize) with
+  | Ast.Int, _ -> Printf.sprintf "global int %s;" g.Ast.gname
+  | Ast.Arr, Some n -> Printf.sprintf "global int %s[%d];" g.Ast.gname n
+  | Ast.Arr, None -> Printf.sprintf "global arr %s;" g.Ast.gname
+
+let to_string (p : Ast.program) =
+  String.concat "\n\n" (List.map global_to_string p.Ast.globals @ List.map func_to_string p.Ast.funcs)
+  ^ "\n"

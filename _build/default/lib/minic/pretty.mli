@@ -1,0 +1,11 @@
+(** Pretty-printing MiniC back to concrete syntax.
+
+    [Parser.parse (to_string ast)] yields an AST equal to [ast] (up to
+    nothing — the printer is injective on well-formed programs), which the
+    test suite checks by property.  Useful for emitting generated or
+    transformed programs as source. *)
+
+val expr_to_string : Ast.expr -> string
+val stmt_to_string : ?indent:int -> Ast.stmt -> string
+val func_to_string : Ast.func -> string
+val to_string : Ast.program -> string

@@ -1,0 +1,24 @@
+(** Compile MiniC to the native machine — the "gcc -O0" of this project.
+
+    Conventions: frame pointer in register 7; arguments pushed left to
+    right by the caller and popped after return; result in register 0;
+    locals below the frame pointer.  Arrays are bump-allocated from a heap
+    region at the end of the data section, with the length in a header
+    word; out-of-bounds accesses and heap exhaustion jump to a trap stub.
+    Global scalars and array handles live in labelled data words; global
+    arrays are allocated by the startup stub, which then calls [fn_main]
+    and halts.
+
+    The emitted program is a {!Nativesim.Asm.program}, the representation
+    the branch-function watermarker embeds into. *)
+
+val heap_words : int
+(** Size of the bump-allocation region. *)
+
+val compile : Ast.program -> Nativesim.Asm.program
+(** The program must typecheck. *)
+
+val compile_source : string -> Nativesim.Asm.program
+
+val compile_binary : string -> Nativesim.Binary.t
+(** [compile_source] followed by assembly. *)

@@ -1,0 +1,220 @@
+open Stackvm
+
+module Env = Map.Make (String)
+
+type binding = Slot of int | Global of int
+
+type ctx = {
+  globals : binding Env.t;
+  mutable next_slot : int;
+  mutable max_slot : int;
+  mutable next_label : int;
+  mutable items : Asm.item list;  (** reversed *)
+}
+
+let emit ctx item = ctx.items <- item :: ctx.items
+
+let fresh_label ctx prefix =
+  let n = ctx.next_label in
+  ctx.next_label <- n + 1;
+  Printf.sprintf "%s_%d" prefix n
+
+let alloc_slot ctx =
+  let s = ctx.next_slot in
+  ctx.next_slot <- s + 1;
+  ctx.max_slot <- max ctx.max_slot ctx.next_slot;
+  s
+
+let lookup env ctx name =
+  match Env.find_opt name env with
+  | Some b -> b
+  | None -> begin
+      match Env.find_opt name ctx.globals with
+      | Some b -> b
+      | None -> invalid_arg ("To_stackvm: unbound " ^ name)
+    end
+
+let rec gen_expr ctx env (e : Ast.expr) =
+  match e with
+  | Ast.Num v -> emit ctx (Asm.I (Instr.Const v))
+  | Ast.Var name -> begin
+      match lookup env ctx name with
+      | Slot s -> emit ctx (Asm.I (Instr.Load s))
+      | Global g -> emit ctx (Asm.I (Instr.Get_global g))
+    end
+  | Ast.Index (a, i) ->
+      gen_expr ctx env a;
+      gen_expr ctx env i;
+      emit ctx (Asm.I Instr.Array_load)
+  | Ast.Unary (Ast.Neg, e) ->
+      gen_expr ctx env e;
+      emit ctx (Asm.I Instr.Neg)
+  | Ast.Unary (Ast.Not, e) ->
+      gen_expr ctx env e;
+      emit ctx (Asm.I Instr.Not)
+  | Ast.Unary (Ast.BNot, e) ->
+      gen_expr ctx env e;
+      emit ctx (Asm.I (Instr.Const (-1)));
+      emit ctx (Asm.I (Instr.Binop Instr.Xor))
+  | Ast.Bin (Ast.Land, a, b) ->
+      let rhs = fresh_label ctx "and_rhs" and fin = fresh_label ctx "and_end" in
+      gen_expr ctx env a;
+      emit ctx (Asm.Br (true, rhs));
+      emit ctx (Asm.I (Instr.Const 0));
+      emit ctx (Asm.Jmp fin);
+      emit ctx (Asm.L rhs);
+      gen_expr ctx env b;
+      emit ctx (Asm.I (Instr.Const 0));
+      emit ctx (Asm.I (Instr.Cmp Instr.Ne));
+      emit ctx (Asm.L fin)
+  | Ast.Bin (Ast.Lor, a, b) ->
+      let rhs = fresh_label ctx "or_rhs" and fin = fresh_label ctx "or_end" in
+      gen_expr ctx env a;
+      emit ctx (Asm.Br (false, rhs));
+      emit ctx (Asm.I (Instr.Const 1));
+      emit ctx (Asm.Jmp fin);
+      emit ctx (Asm.L rhs);
+      gen_expr ctx env b;
+      emit ctx (Asm.I (Instr.Const 0));
+      emit ctx (Asm.I (Instr.Cmp Instr.Ne));
+      emit ctx (Asm.L fin)
+  | Ast.Bin (op, a, b) -> begin
+      gen_expr ctx env a;
+      gen_expr ctx env b;
+      let simple i = emit ctx (Asm.I i) in
+      match op with
+      | Ast.Add -> simple (Instr.Binop Instr.Add)
+      | Ast.Sub -> simple (Instr.Binop Instr.Sub)
+      | Ast.Mul -> simple (Instr.Binop Instr.Mul)
+      | Ast.Div -> simple (Instr.Binop Instr.Div)
+      | Ast.Rem -> simple (Instr.Binop Instr.Rem)
+      | Ast.Band -> simple (Instr.Binop Instr.And)
+      | Ast.Bor -> simple (Instr.Binop Instr.Or)
+      | Ast.Bxor -> simple (Instr.Binop Instr.Xor)
+      | Ast.Shl -> simple (Instr.Binop Instr.Shl)
+      | Ast.Shr -> simple (Instr.Binop Instr.Shr)
+      | Ast.Eq -> simple (Instr.Cmp Instr.Eq)
+      | Ast.Ne -> simple (Instr.Cmp Instr.Ne)
+      | Ast.Lt -> simple (Instr.Cmp Instr.Lt)
+      | Ast.Le -> simple (Instr.Cmp Instr.Le)
+      | Ast.Gt -> simple (Instr.Cmp Instr.Gt)
+      | Ast.Ge -> simple (Instr.Cmp Instr.Ge)
+      | Ast.Land | Ast.Lor -> assert false
+    end
+  | Ast.Call (name, args) ->
+      List.iter (gen_expr ctx env) args;
+      emit ctx (Asm.I (Instr.Call name))
+  | Ast.Read -> emit ctx (Asm.I Instr.Read)
+  | Ast.New n ->
+      gen_expr ctx env n;
+      emit ctx (Asm.I Instr.New_array)
+  | Ast.Len a ->
+      gen_expr ctx env a;
+      emit ctx (Asm.I Instr.Array_len)
+
+type loop_labels = { break_to : string; continue_to : string }
+
+let rec gen_stmts ctx env loops stmts = ignore (List.fold_left (fun env s -> gen_stmt ctx env loops s) env stmts)
+
+and gen_stmt ctx env loops (stmt : Ast.stmt) =
+  match stmt with
+  | Ast.Decl (_, name, e) ->
+      gen_expr ctx env e;
+      let slot = alloc_slot ctx in
+      emit ctx (Asm.I (Instr.Store slot));
+      Env.add name (Slot slot) env
+  | Ast.Assign (name, e) ->
+      gen_expr ctx env e;
+      (match lookup env ctx name with
+      | Slot s -> emit ctx (Asm.I (Instr.Store s))
+      | Global g -> emit ctx (Asm.I (Instr.Set_global g)));
+      env
+  | Ast.Assign_index (a, i, v) ->
+      gen_expr ctx env a;
+      gen_expr ctx env i;
+      gen_expr ctx env v;
+      emit ctx (Asm.I Instr.Array_store);
+      env
+  | Ast.If (cond, then_, else_) ->
+      let else_l = fresh_label ctx "else" and fin = fresh_label ctx "endif" in
+      gen_expr ctx env cond;
+      emit ctx (Asm.Br (false, else_l));
+      gen_stmts ctx env loops then_;
+      emit ctx (Asm.Jmp fin);
+      emit ctx (Asm.L else_l);
+      gen_stmts ctx env loops else_;
+      emit ctx (Asm.L fin);
+      env
+  | Ast.While (cond, body) ->
+      let head = fresh_label ctx "while" and fin = fresh_label ctx "endwhile" in
+      emit ctx (Asm.L head);
+      gen_expr ctx env cond;
+      emit ctx (Asm.Br (false, fin));
+      gen_stmts ctx env (Some { break_to = fin; continue_to = head }) body;
+      emit ctx (Asm.Jmp head);
+      emit ctx (Asm.L fin);
+      env
+  | Ast.Return e ->
+      gen_expr ctx env e;
+      emit ctx (Asm.I Instr.Ret);
+      env
+  | Ast.Print e ->
+      gen_expr ctx env e;
+      emit ctx (Asm.I Instr.Print);
+      env
+  | Ast.Expr e ->
+      gen_expr ctx env e;
+      emit ctx (Asm.I Instr.Pop);
+      env
+  | Ast.Break -> begin
+      match loops with
+      | Some l ->
+          emit ctx (Asm.Jmp l.break_to);
+          env
+      | None -> invalid_arg "To_stackvm: break outside loop"
+    end
+  | Ast.Continue -> begin
+      match loops with
+      | Some l ->
+          emit ctx (Asm.Jmp l.continue_to);
+          env
+      | None -> invalid_arg "To_stackvm: continue outside loop"
+    end
+
+let compile (prog : Ast.program) =
+  ignore (Typecheck.check prog);
+  let globals, _ =
+    List.fold_left
+      (fun (env, idx) (g : Ast.global) -> (Env.add g.Ast.gname (Global idx) env, idx + 1))
+      (Env.empty, 0) prog.Ast.globals
+  in
+  let nglobals = List.length prog.Ast.globals in
+  let compile_func (f : Ast.func) =
+    let ctx = { globals; next_slot = 0; max_slot = 0; next_label = 0; items = [] } in
+    let env =
+      List.fold_left (fun env (_, pname) -> Env.add pname (Slot (alloc_slot ctx)) env) Env.empty f.Ast.params
+    in
+    (* global array allocation runs once, in front of main *)
+    if f.Ast.name = "main" then
+      List.iteri
+        (fun idx (g : Ast.global) ->
+          match g.Ast.gsize with
+          | Some size ->
+              emit ctx (Asm.I (Instr.Const size));
+              emit ctx (Asm.I Instr.New_array);
+              emit ctx (Asm.I (Instr.Set_global idx))
+          | None -> ())
+        prog.Ast.globals;
+    gen_stmts ctx env None f.Ast.body;
+    (* unreachable safety net: the verifier requires explicit termination,
+       and if/while join labels may sit at the very end of the body *)
+    emit ctx (Asm.I (Instr.Const 0));
+    emit ctx (Asm.I Instr.Ret);
+    Asm.func ~name:f.Ast.name ~nargs:(List.length f.Ast.params) ~nlocals:(max ctx.max_slot (List.length f.Ast.params))
+      (List.rev ctx.items)
+  in
+  let program = Program.make ~nglobals (List.map compile_func prog.Ast.funcs) in
+  Verify.check_exn program;
+  program
+
+let compile_source src = compile (Parser.parse src)

@@ -1,0 +1,13 @@
+(** Compile MiniC to the stack VM — the "javac" of this project.
+
+    Each MiniC function becomes a VM function; parameters occupy the first
+    local slots and every declaration gets a fresh slot (block scoping by
+    construction).  Global arrays are allocated by a prologue spliced in
+    front of [main].  The output always passes {!Stackvm.Verify.check}. *)
+
+val compile : Ast.program -> Stackvm.Program.t
+(** The program must typecheck ({!Typecheck.check}); raises
+    [Invalid_argument] on internal inconsistencies otherwise. *)
+
+val compile_source : string -> Stackvm.Program.t
+(** Parse, typecheck and compile. *)

@@ -1,0 +1,151 @@
+exception Error of string
+
+let fail fmt = Format.kasprintf (fun m -> raise (Error m)) fmt
+
+module Env = Map.Make (String)
+
+let rec expr_ty ~funcs ~rets env (e : Ast.expr) : Ast.ty =
+  match e with
+  | Ast.Num _ | Ast.Read -> Ast.Int
+  | Ast.Var name -> begin
+      match Env.find_opt name env with
+      | Some ty -> ty
+      | None -> fail "unbound variable %s" name
+    end
+  | Ast.Index (a, i) ->
+      require ~funcs ~rets env a Ast.Arr "array index base";
+      require ~funcs ~rets env i Ast.Int "array index";
+      Ast.Int
+  | Ast.Unary (_, e) ->
+      require ~funcs ~rets env e Ast.Int "unary operand";
+      Ast.Int
+  | Ast.Bin ((Ast.Eq | Ast.Ne), a, b) ->
+      (* equality works at both types, but they must agree *)
+      let ta = expr_ty ~funcs ~rets env a in
+      let tb = expr_ty ~funcs ~rets env b in
+      if ta <> tb then fail "equality between %a and %a" Ast.pp_ty ta Ast.pp_ty tb;
+      Ast.Int
+  | Ast.Bin (_, a, b) ->
+      require ~funcs ~rets env a Ast.Int "left operand";
+      require ~funcs ~rets env b Ast.Int "right operand";
+      Ast.Int
+  | Ast.Call (name, args) -> begin
+      match Env.find_opt name funcs with
+      | None -> fail "call to unknown function %s" name
+      | Some params ->
+          if List.length params <> List.length args then
+            fail "%s expects %d argument(s), got %d" name (List.length params) (List.length args);
+          List.iter2
+            (fun (ty, pname) arg -> require ~funcs ~rets env arg ty ("argument " ^ pname))
+            params args;
+          Option.value ~default:Ast.Int (Hashtbl.find_opt rets name)
+    end
+  | Ast.New n ->
+      require ~funcs ~rets env n Ast.Int "array length";
+      Ast.Arr
+  | Ast.Len a ->
+      require ~funcs ~rets env a Ast.Arr "len operand";
+      Ast.Int
+
+and require ~funcs ~rets env e ty what =
+  let found = expr_ty ~funcs ~rets env e in
+  if found <> ty then fail "%s: expected %a, found %a" what Ast.pp_ty ty Ast.pp_ty found
+
+(* Returns whether the statement list definitely returns on every path (a
+   weak check used to ensure functions cannot fall off the end). *)
+let rec check_stmts ~funcs ~rets ~fname ~in_loop env stmts =
+  match stmts with
+  | [] -> (env, false)
+  | stmt :: rest ->
+      let env, returns = check_stmt ~funcs ~rets ~fname ~in_loop env stmt in
+      let env, rest_returns = check_stmts ~funcs ~rets ~fname ~in_loop env rest in
+      (env, returns || rest_returns)
+
+and check_stmt ~funcs ~rets ~fname ~in_loop env (stmt : Ast.stmt) =
+  match stmt with
+  | Ast.Decl (ty, name, e) ->
+      require ~funcs ~rets env e ty ("initializer of " ^ name);
+      (Env.add name ty env, false)
+  | Ast.Assign (name, e) -> begin
+      match Env.find_opt name env with
+      | None -> fail "assignment to unbound variable %s" name
+      | Some ty ->
+          require ~funcs ~rets env e ty ("assignment to " ^ name);
+          (env, false)
+    end
+  | Ast.Assign_index (a, i, v) ->
+      require ~funcs ~rets env a Ast.Arr "indexed assignment base";
+      require ~funcs ~rets env i Ast.Int "index";
+      require ~funcs ~rets env v Ast.Int "stored value";
+      (env, false)
+  | Ast.If (cond, then_, else_) ->
+      require ~funcs ~rets env cond Ast.Int "if condition";
+      let _, r1 = check_stmts ~funcs ~rets ~fname ~in_loop env then_ in
+      let _, r2 = check_stmts ~funcs ~rets ~fname ~in_loop env else_ in
+      (env, r1 && r2 && else_ <> [])
+  | Ast.While (cond, body) ->
+      require ~funcs ~rets env cond Ast.Int "while condition";
+      let _, _ = check_stmts ~funcs ~rets ~fname ~in_loop:true env body in
+      (env, false)
+  | Ast.Return e ->
+      let ty = expr_ty ~funcs ~rets env e in
+      (match Hashtbl.find_opt rets fname with
+      | None -> Hashtbl.replace rets fname ty
+      | Some prior ->
+          if prior <> ty then fail "%s returns both %a and %a" fname Ast.pp_ty prior Ast.pp_ty ty);
+      (env, true)
+  | Ast.Print e ->
+      require ~funcs ~rets env e Ast.Int "print operand";
+      (env, false)
+  | Ast.Expr e ->
+      ignore (expr_ty ~funcs ~rets env e);
+      (env, false)
+  | Ast.Break | Ast.Continue ->
+      if not in_loop then fail "%s: break/continue outside a loop" fname;
+      (env, false)
+
+let check (prog : Ast.program) =
+  (* global environment *)
+  let rec build_globals env = function
+    | [] -> env
+    | (g : Ast.global) :: rest ->
+        if Env.mem g.Ast.gname env then fail "duplicate global %s" g.Ast.gname;
+        build_globals (Env.add g.Ast.gname g.Ast.gty env) rest
+  in
+  let genv = build_globals Env.empty prog.Ast.globals in
+  let funcs =
+    List.fold_left
+      (fun acc (f : Ast.func) ->
+        if Env.mem f.Ast.name acc then fail "duplicate function %s" f.Ast.name;
+        Env.add f.Ast.name f.Ast.params acc)
+      Env.empty prog.Ast.funcs
+  in
+  (match Env.find_opt "main" funcs with
+  | None -> fail "no main function"
+  | Some [] -> ()
+  | Some _ -> fail "main must take no parameters");
+  let rets = Hashtbl.create 16 in
+  let check_func (f : Ast.func) =
+    let param_names = List.map snd f.Ast.params in
+    if List.length (List.sort_uniq compare param_names) <> List.length param_names then
+      fail "%s: duplicate parameter" f.Ast.name;
+    let env = List.fold_left (fun env (ty, name) -> Env.add name ty env) genv f.Ast.params in
+    let _, returns = check_stmts ~funcs ~rets ~fname:f.Ast.name ~in_loop:false env f.Ast.body in
+    if not returns then fail "%s: control may reach the end without a return" f.Ast.name
+  in
+  (* fixed point on inferred return types (calls may precede definitions) *)
+  let snapshot () = Hashtbl.fold (fun k v acc -> (k, v) :: acc) rets [] in
+  let rec iterate guard =
+    if guard = 0 then fail "return-type inference did not converge";
+    let before = List.sort compare (snapshot ()) in
+    List.iter check_func prog.Ast.funcs;
+    let after = List.sort compare (snapshot ()) in
+    if before <> after then iterate (guard - 1)
+  in
+  iterate 4;
+  (match Hashtbl.find_opt rets "main" with
+  | Some Ast.Int | None -> ()
+  | Some Ast.Arr -> fail "main must return int");
+  List.map (fun (f : Ast.func) -> (f.Ast.name, Option.value ~default:Ast.Int (Hashtbl.find_opt rets f.Ast.name))) prog.Ast.funcs
+
+let check_opt prog = match check prog with _ -> Ok () | exception Error m -> Error m

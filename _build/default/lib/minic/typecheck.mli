@@ -1,0 +1,15 @@
+(** Static checking for MiniC.
+
+    Two types: [int] and [arr] (a handle to an array of ints).  Checks
+    name binding with block scoping, operator and argument types,
+    [break]/[continue] placement, and the presence of a parameterless
+    [main].  Function return types are inferred by a small fixed point
+    (default [int]; lifted to [arr] when a body returns one). *)
+
+exception Error of string
+
+val check : Ast.program -> (string * Ast.ty) list
+(** Returns the inferred return type of every function.  Raises {!Error}
+    on an ill-typed program. *)
+
+val check_opt : Ast.program -> (unit, string) result

@@ -1,0 +1,1 @@
+lib/nativesim/asm.ml: Binary Buffer Char Hashtbl Insn Int64 Layout List

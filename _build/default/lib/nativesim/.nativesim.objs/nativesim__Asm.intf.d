@@ -1,0 +1,1 @@
+lib/nativesim/asm.mli: Binary Insn

@@ -1,0 +1,1 @@
+lib/nativesim/binary.ml: Buffer Char Layout List String

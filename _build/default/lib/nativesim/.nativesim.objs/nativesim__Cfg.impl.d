@@ -1,0 +1,1 @@
+lib/nativesim/cfg.ml: Binary Disasm Hashtbl Insn Int List Option Set

@@ -1,0 +1,1 @@
+lib/nativesim/cfg.mli: Binary Hashtbl Insn

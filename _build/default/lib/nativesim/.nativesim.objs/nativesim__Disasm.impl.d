@@ -1,0 +1,1 @@
+lib/nativesim/disasm.ml: Binary Char Format Insn Layout List String

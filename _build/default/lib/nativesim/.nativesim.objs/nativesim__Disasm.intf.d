@@ -1,0 +1,1 @@
+lib/nativesim/disasm.mli: Binary Format Insn

@@ -1,0 +1,1 @@
+lib/nativesim/insn.ml: Array Buffer Char Format Int64 Printf

@@ -1,0 +1,1 @@
+lib/nativesim/insn.mli: Format

@@ -1,0 +1,1 @@
+lib/nativesim/layout.mli:

@@ -1,0 +1,1 @@
+lib/nativesim/machine.ml: Array Binary Bytes Char Insn Int64 Layout List Option Printf String

@@ -1,0 +1,1 @@
+lib/nativesim/machine.mli: Binary Insn

@@ -1,0 +1,1 @@
+lib/nativesim/profile.ml: Disasm Hashtbl List Machine Option

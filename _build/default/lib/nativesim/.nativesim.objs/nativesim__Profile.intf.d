@@ -1,0 +1,1 @@
+lib/nativesim/profile.mli: Binary Hashtbl Insn Machine

@@ -1,0 +1,1 @@
+lib/nativesim/rewriter.ml: Asm Binary Buffer Bytes Char Disasm Hashtbl Insn Int64 Layout List Printf String

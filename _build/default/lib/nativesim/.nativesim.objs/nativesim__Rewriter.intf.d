@@ -1,0 +1,1 @@
+lib/nativesim/rewriter.mli: Asm Binary Insn

@@ -1,0 +1,99 @@
+type target = Lbl of string | Abs of int
+
+type item =
+  | L of string
+  | I of Insn.t
+  | Jmp of target
+  | Jcc of Insn.cc * target
+  | Call of target
+  | Jmp_ind of target
+  | Load_lbl of Insn.reg * target
+  | Store_lbl of target * Insn.reg
+  | Mov_lbl of Insn.reg * target
+
+type ditem = Dlabel of string | Dword of int | Dspace of int
+
+type program = { text : item list; data : ditem list }
+
+let item_size = function
+  | L _ -> 0
+  | I i -> Insn.size i
+  | Jmp _ | Jcc _ | Call _ | Jmp_ind _ -> 5
+  | Load_lbl _ | Store_lbl _ -> 6
+  | Mov_lbl _ -> 10
+
+let assemble ?entry { text; data } =
+  let labels = Hashtbl.create 64 in
+  let define name addr =
+    if Hashtbl.mem labels name then invalid_arg ("Asm.assemble: duplicate label " ^ name);
+    Hashtbl.replace labels name addr
+  in
+  (* pass 1: label addresses *)
+  let addr = ref Layout.text_base in
+  List.iter
+    (fun item ->
+      (match item with L name -> define name !addr | _ -> ());
+      addr := !addr + item_size item)
+    text;
+  let daddr = ref Layout.data_base in
+  List.iter
+    (fun d ->
+      match d with
+      | Dlabel name -> define name !daddr
+      | Dword _ -> daddr := !daddr + 8
+      | Dspace n -> daddr := !daddr + (8 * n))
+    data;
+  let resolve = function
+    | Abs a -> a
+    | Lbl name -> begin
+        match Hashtbl.find_opt labels name with
+        | Some a -> a
+        | None -> invalid_arg ("Asm.assemble: undefined label " ^ name)
+      end
+  in
+  (* pass 2: emit *)
+  let buf = Buffer.create 1024 in
+  let addr = ref Layout.text_base in
+  List.iter
+    (fun item ->
+      let insn =
+        match item with
+        | L _ -> None
+        | I i -> Some i
+        | Jmp t -> Some (Insn.Jmp (resolve t))
+        | Jcc (cc, t) -> Some (Insn.Jcc (cc, resolve t))
+        | Call t -> Some (Insn.Call (resolve t))
+        | Jmp_ind t -> Some (Insn.Jmp_ind (resolve t))
+        | Load_lbl (r, t) -> Some (Insn.Load_abs (r, resolve t))
+        | Store_lbl (t, r) -> Some (Insn.Store_abs (resolve t, r))
+        | Mov_lbl (r, t) -> Some (Insn.Mov_imm (r, resolve t))
+      in
+      (match insn with
+      | None -> ()
+      | Some i -> Buffer.add_string buf (Insn.encode i ~at:!addr));
+      addr := !addr + item_size item)
+    text;
+  let dbuf = Buffer.create 256 in
+  let word v =
+    let v64 = Int64.of_int v in
+    for k = 0 to 7 do
+      Buffer.add_char dbuf (Char.chr (Int64.to_int (Int64.shift_right_logical v64 (8 * k)) land 0xFF))
+    done
+  in
+  List.iter
+    (fun d ->
+      match d with
+      | Dlabel _ -> ()
+      | Dword v -> word v
+      | Dspace n ->
+          for _ = 1 to n * 8 do
+            Buffer.add_char dbuf '\000'
+          done)
+    data;
+  let entry_addr =
+    match entry with
+    | None -> Layout.text_base
+    | Some name -> resolve (Lbl name)
+  in
+  let symbols = Hashtbl.fold (fun name a acc -> (name, a) :: acc) labels [] in
+  Binary.make ~symbols ~entry:entry_addr ~text:(Buffer.contents buf) ~data:(Buffer.contents dbuf) ()

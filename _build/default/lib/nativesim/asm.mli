@@ -1,0 +1,32 @@
+(** The native assembler: symbolic labels over {!Insn}, plus a data
+    section, assembled into a {!Binary.t} in two passes. *)
+
+type target = Lbl of string | Abs of int
+
+type item =
+  | L of string  (** define a text label here *)
+  | I of Insn.t  (** an instruction without label references *)
+  | Jmp of target
+  | Jcc of Insn.cc * target
+  | Call of target
+  | Jmp_ind of target  (** indirect jump through the addressed data word *)
+  | Load_lbl of Insn.reg * target  (** [Load_abs] of a label's address *)
+  | Store_lbl of target * Insn.reg
+  | Mov_lbl of Insn.reg * target  (** load a label's address as immediate *)
+
+type ditem =
+  | Dlabel of string  (** define a data label here *)
+  | Dword of int  (** one 64-bit word *)
+  | Dspace of int  (** n zero words *)
+
+type program = { text : item list; data : ditem list }
+
+val item_size : item -> int
+(** Encoded size of a text item (0 for labels) — lets tools predict
+    addresses without assembling. *)
+
+val assemble : ?entry:string -> program -> Binary.t
+(** Two-pass assembly.  Text and data labels share one namespace and both
+    appear in the binary's symbol table.  [entry] names the start label
+    (default: the beginning of the text section).  Raises
+    [Invalid_argument] on duplicate or undefined labels. *)

@@ -1,0 +1,179 @@
+type block = { leader : int; insns : (int * Insn.t) list; succs : int list }
+
+type t = {
+  blocks_by_leader : (int, block) Hashtbl.t;
+  order : int list;  (** leaders in address order *)
+  entry : int;
+  preds_tbl : (int, int list) Hashtbl.t;
+}
+
+let build (bin : Binary.t) =
+  let insns = Disasm.disassemble bin in
+  let boundaries = Hashtbl.create 256 in
+  List.iter (fun (a, _) -> Hashtbl.replace boundaries a ()) insns;
+  let leaders = Hashtbl.create 64 in
+  Hashtbl.replace leaders bin.Binary.entry ();
+  let rec mark = function
+    | [] -> ()
+    | (addr, insn) :: rest ->
+        List.iter
+          (fun t -> if Hashtbl.mem boundaries t then Hashtbl.replace leaders t ())
+          (Insn.branch_targets insn);
+        (match insn with
+        | Insn.Jmp _ | Insn.Jcc _ | Insn.Jmp_ind _ | Insn.Jmp_reg _ | Insn.Ret | Insn.Halt
+        | Insn.Call _ -> begin
+            (* Call ends a block too: its target edge plus the return-site
+               fall-through keep interprocedural reachability connected *)
+            match rest with
+            | (next, _) :: _ -> Hashtbl.replace leaders next ()
+            | [] -> ()
+          end
+        | _ -> ());
+        ignore addr;
+        mark rest
+  in
+  mark insns;
+  (* group instructions into blocks *)
+  let blocks_by_leader = Hashtbl.create 64 in
+  let order = ref [] in
+  let current_leader = ref None in
+  let current = ref [] in
+  let flush next_addr =
+    match !current_leader with
+    | None -> ()
+    | Some leader ->
+        let insns = List.rev !current in
+        let last_addr, last = List.nth insns (List.length insns - 1) in
+        ignore last_addr;
+        let succs =
+          let direct = Insn.branch_targets last in
+          let fall =
+            match last with
+            | Insn.Jmp _ | Insn.Jmp_ind _ | Insn.Jmp_reg _ | Insn.Ret | Insn.Halt -> []
+            | Insn.Jcc _ | _ -> ( match next_addr with Some a -> [ a ] | None -> [])
+          in
+          List.sort_uniq compare (direct @ fall)
+        in
+        Hashtbl.replace blocks_by_leader leader { leader; insns; succs };
+        order := leader :: !order;
+        current_leader := None;
+        current := []
+  in
+  List.iter
+    (fun (addr, insn) ->
+      if Hashtbl.mem leaders addr then flush (Some addr);
+      if !current_leader = None then current_leader := Some addr;
+      current := (addr, insn) :: !current)
+    insns;
+  flush None;
+  let order = List.rev !order in
+  let preds_tbl = Hashtbl.create 64 in
+  List.iter
+    (fun leader ->
+      let b = Hashtbl.find blocks_by_leader leader in
+      List.iter
+        (fun s ->
+          if Hashtbl.mem blocks_by_leader s then
+            Hashtbl.replace preds_tbl s (leader :: Option.value ~default:[] (Hashtbl.find_opt preds_tbl s)))
+        b.succs)
+    order;
+  { blocks_by_leader; order; entry = bin.Binary.entry; preds_tbl }
+
+let blocks t = List.map (Hashtbl.find t.blocks_by_leader) t.order
+
+let block_of t addr =
+  List.find_opt
+    (fun b -> List.exists (fun (a, _) -> a = addr) b.insns)
+    (blocks t)
+
+let preds t leader = Option.value ~default:[] (Hashtbl.find_opt t.preds_tbl leader)
+
+module IntSet = Set.Make (Int)
+
+let dominators t =
+  (* iterative dataflow: dom(entry) = {entry}; dom(b) = {b} ∪ ⋂ dom(preds) *)
+  let all = IntSet.of_list t.order in
+  let dom = Hashtbl.create 64 in
+  Hashtbl.replace dom t.entry (IntSet.singleton t.entry);
+  List.iter (fun l -> if l <> t.entry then Hashtbl.replace dom l all) t.order;
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun l ->
+        if l <> t.entry then begin
+          let ps = preds t l in
+          let meet =
+            List.fold_left
+              (fun acc p ->
+                match Hashtbl.find_opt dom p with
+                | Some dp -> ( match acc with None -> Some dp | Some a -> Some (IntSet.inter a dp))
+                | None -> acc)
+              None ps
+          in
+          match meet with
+          | None -> () (* unreachable *)
+          | Some m ->
+              let next = IntSet.add l m in
+              if not (IntSet.equal next (Hashtbl.find dom l)) then begin
+                Hashtbl.replace dom l next;
+                changed := true
+              end
+        end)
+      t.order
+  done;
+  (* drop unreachable blocks: those still holding the full set without
+     being properly computed (no reachable predecessor) *)
+  let reachable = Hashtbl.create 64 in
+  let rec visit l =
+    if not (Hashtbl.mem reachable l) then begin
+      Hashtbl.replace reachable l ();
+      match Hashtbl.find_opt t.blocks_by_leader l with
+      | Some b -> List.iter (fun s -> if Hashtbl.mem t.blocks_by_leader s then visit s) b.succs
+      | None -> ()
+    end
+  in
+  visit t.entry;
+  let out = Hashtbl.create 64 in
+  Hashtbl.iter
+    (fun l ds -> if Hashtbl.mem reachable l then Hashtbl.replace out l (IntSet.elements ds))
+    dom;
+  out
+
+let back_edges t =
+  let dom = dominators t in
+  List.concat_map
+    (fun l ->
+      match Hashtbl.find_opt dom l with
+      | None -> []
+      | Some ds ->
+          let b = Hashtbl.find t.blocks_by_leader l in
+          List.filter_map (fun s -> if List.mem s ds then Some (l, s) else None) b.succs)
+    t.order
+
+let natural_loop t (src, header) =
+  (* blocks that reach src without passing through header, plus header *)
+  let body = Hashtbl.create 16 in
+  Hashtbl.replace body header ();
+  let rec pull l =
+    if not (Hashtbl.mem body l) then begin
+      Hashtbl.replace body l ();
+      List.iter pull (preds t l)
+    end
+  in
+  pull src;
+  body
+
+let in_loop t addr =
+  match block_of t addr with
+  | None -> false
+  | Some b ->
+      let edges = back_edges t in
+      List.exists (fun e -> Hashtbl.mem (natural_loop t e) b.leader) edges
+
+let loop_leaders t =
+  let acc = Hashtbl.create 32 in
+  List.iter
+    (fun e -> Hashtbl.iter (fun l () -> Hashtbl.replace acc l ()) (natural_loop t e))
+    (back_edges t);
+  Hashtbl.fold (fun l () out -> l :: out) acc []

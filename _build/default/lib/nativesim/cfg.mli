@@ -1,0 +1,46 @@
+(** Control-flow analysis over disassembled binaries.
+
+    §4.3 selects tamper-proofing candidates that are "not part of a loop";
+    the profile-based embedder approximates this dynamically. This module
+    provides the static answer: basic blocks from a linear-sweep
+    disassembly, successor/predecessor edges, dominators (iterative
+    dataflow), and natural-loop membership via back edges. *)
+
+type block = {
+  leader : int;  (** address of the first instruction *)
+  insns : (int * Insn.t) list;
+  succs : int list;  (** leaders of successor blocks *)
+}
+
+type t
+
+val build : Binary.t -> t
+(** Leaders: the entry, branch targets, and fall-through successors of
+    control transfers. Call instructions are treated as falling through
+    (intraprocedural view); indirect jumps have no static successors. *)
+
+val blocks : t -> block list
+(** In address order. *)
+
+val block_of : t -> int -> block option
+(** The block whose address range contains the given instruction. *)
+
+val preds : t -> int -> int list
+(** Predecessor leaders of a block. *)
+
+val dominators : t -> (int, int list) Hashtbl.t
+(** For each reachable block leader, the list of its dominators (including
+    itself). Unreachable blocks are absent. *)
+
+val back_edges : t -> (int * int) list
+(** Edges [(src_leader, dst_leader)] where [dst] dominates [src] — the
+    back edges of natural loops. *)
+
+val in_loop : t -> int -> bool
+(** Whether the instruction at the given address belongs to a natural
+    loop body (the set of blocks that can reach a back edge's source
+    without passing through its target, plus the header). *)
+
+val loop_leaders : t -> int list
+(** Leaders of every block inside some natural loop (computed once; use
+    this instead of repeated {!in_loop} queries). *)

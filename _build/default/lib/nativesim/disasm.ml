@@ -1,0 +1,20 @@
+let byte_reader (bin : Binary.t) addr =
+  let off = addr - Layout.text_base in
+  if off < 0 || off >= String.length bin.Binary.text then failwith "Disasm: address outside text";
+  Char.code bin.Binary.text.[off]
+
+let disassemble bin =
+  let len = String.length bin.Binary.text in
+  let rec go addr acc =
+    if addr >= Layout.text_base + len then List.rev acc
+    else begin
+      let insn, sz = Insn.decode (byte_reader bin) ~at:addr in
+      go (addr + sz) ((addr, insn) :: acc)
+    end
+  in
+  go Layout.text_base []
+
+let at bin addr = fst (Insn.decode (byte_reader bin) ~at:addr)
+
+let pp_listing fmt bin =
+  List.iter (fun (addr, insn) -> Format.fprintf fmt "%8x: %a@." addr Insn.pp insn) (disassemble bin)

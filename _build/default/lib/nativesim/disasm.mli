@@ -1,0 +1,11 @@
+(** Linear-sweep disassembler. *)
+
+val disassemble : Binary.t -> (int * Insn.t) list
+(** [(address, instruction)] for the whole text section, in address order.
+    Raises [Failure] when the sweep hits an illegal encoding. *)
+
+val at : Binary.t -> int -> Insn.t
+(** Decode the single instruction at an address. *)
+
+val pp_listing : Format.formatter -> Binary.t -> unit
+(** Human-readable disassembly listing. *)

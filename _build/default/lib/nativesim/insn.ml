@@ -1,0 +1,297 @@
+type reg = int
+
+let sp = 8
+let nregs = 9
+
+type alu = Add | Sub | Mul | Div | Rem | And | Or | Xor | Shl | Shr | Sar
+
+type cc = Eq | Ne | Lt | Ge | Gt | Le
+
+type t =
+  | Halt
+  | Nop
+  | Mov_imm of reg * int
+  | Mov of reg * reg
+  | Load of reg * reg * int
+  | Store of reg * int * reg
+  | Load_abs of reg * int
+  | Store_abs of int * reg
+  | Alu of alu * reg * reg
+  | Alu_imm of alu * reg * int
+  | Cmp of reg * reg
+  | Cmp_imm of reg * int
+  | Jmp of int
+  | Jcc of cc * int
+  | Jmp_ind of int
+  | Jmp_reg of reg
+  | Call of int
+  | Ret
+  | Push of reg
+  | Pop of reg
+  | Pushf
+  | Popf
+  | Out of reg
+  | In of reg
+
+let size = function
+  | Halt | Nop | Ret | Pushf | Popf -> 1
+  | Mov_imm _ -> 10
+  | Mov _ | Alu _ | Cmp _ -> 3
+  | Load _ | Store _ -> 7
+  | Load_abs _ | Store_abs _ -> 6
+  | Alu_imm _ | Cmp_imm _ -> 6
+  | Jmp _ | Jcc _ | Jmp_ind _ | Call _ -> 5
+  | Jmp_reg _ | Push _ | Pop _ | Out _ | In _ -> 2
+
+let alu_code = function
+  | Add -> 0
+  | Sub -> 1
+  | Mul -> 2
+  | Div -> 3
+  | Rem -> 4
+  | And -> 5
+  | Or -> 6
+  | Xor -> 7
+  | Shl -> 8
+  | Shr -> 9
+  | Sar -> 10
+
+let alu_of_code = [| Add; Sub; Mul; Div; Rem; And; Or; Xor; Shl; Shr; Sar |]
+
+let cc_code = function Eq -> 0 | Ne -> 1 | Lt -> 2 | Ge -> 3 | Gt -> 4 | Le -> 5
+
+let cc_of_code = [| Eq; Ne; Lt; Ge; Gt; Le |]
+
+(* opcode space:
+   0x00 halt, 0x01 nop, 0x02 ret, 0x03 pushf, 0x04 popf
+   0x08 mov_imm, 0x09 mov, 0x0A load, 0x0B store, 0x0C load_abs, 0x0D store_abs
+   0x10+k alu reg-reg (k = alu_code), 0x20+k alu imm
+   0x30 cmp, 0x31 cmp_imm
+   0x38 jmp, 0x39 jmp_ind, 0x3A jmp_reg, 0x3B call
+   0x40+k jcc
+   0x50 push, 0x51 pop, 0x52 out, 0x53 in *)
+
+let check_reg r = if r < 0 || r >= nregs then invalid_arg "Insn: bad register"
+
+let check_imm32 v =
+  if v < -0x8000_0000 || v > 0x7FFF_FFFF then invalid_arg "Insn: immediate does not fit 32 bits"
+
+let encode t ~at =
+  let buf = Buffer.create 10 in
+  let byte b = Buffer.add_char buf (Char.chr (b land 0xFF)) in
+  let imm32 v =
+    check_imm32 v;
+    byte v;
+    byte (v asr 8);
+    byte (v asr 16);
+    byte (v asr 24)
+  in
+  let imm64 v =
+    let v64 = Int64.of_int v in
+    for k = 0 to 7 do
+      byte (Int64.to_int (Int64.shift_right_logical v64 (8 * k)))
+    done
+  in
+  let rel32 target =
+    (* displacement relative to the end of this instruction, as on IA-32 *)
+    imm32 (target - (at + size t))
+  in
+  (match t with
+  | Halt -> byte 0x00
+  | Nop -> byte 0x01
+  | Ret -> byte 0x02
+  | Pushf -> byte 0x03
+  | Popf -> byte 0x04
+  | Mov_imm (r, v) ->
+      check_reg r;
+      byte 0x08;
+      byte r;
+      imm64 v
+  | Mov (a, b) ->
+      check_reg a;
+      check_reg b;
+      byte 0x09;
+      byte a;
+      byte b
+  | Load (r, base, disp) ->
+      check_reg r;
+      check_reg base;
+      byte 0x0A;
+      byte r;
+      byte base;
+      imm32 disp
+  | Store (base, disp, r) ->
+      check_reg r;
+      check_reg base;
+      byte 0x0B;
+      byte base;
+      byte r;
+      imm32 disp
+  | Load_abs (r, addr) ->
+      check_reg r;
+      byte 0x0C;
+      byte r;
+      imm32 addr
+  | Store_abs (addr, r) ->
+      check_reg r;
+      byte 0x0D;
+      byte r;
+      imm32 addr
+  | Alu (op, dst, src) ->
+      check_reg dst;
+      check_reg src;
+      byte (0x10 + alu_code op);
+      byte dst;
+      byte src
+  | Alu_imm (op, dst, v) ->
+      check_reg dst;
+      byte (0x20 + alu_code op);
+      byte dst;
+      imm32 v
+  | Cmp (a, b) ->
+      check_reg a;
+      check_reg b;
+      byte 0x30;
+      byte a;
+      byte b
+  | Cmp_imm (a, v) ->
+      check_reg a;
+      byte 0x31;
+      byte a;
+      imm32 v
+  | Jmp target ->
+      byte 0x38;
+      rel32 target
+  | Jmp_ind addr ->
+      byte 0x39;
+      imm32 addr
+  | Jmp_reg r ->
+      check_reg r;
+      byte 0x3A;
+      byte r
+  | Call target ->
+      byte 0x3B;
+      rel32 target
+  | Jcc (cc, target) ->
+      byte (0x40 + cc_code cc);
+      rel32 target
+  | Push r ->
+      check_reg r;
+      byte 0x50;
+      byte r
+  | Pop r ->
+      check_reg r;
+      byte 0x51;
+      byte r
+  | Out r ->
+      check_reg r;
+      byte 0x52;
+      byte r
+  | In r ->
+      check_reg r;
+      byte 0x53;
+      byte r);
+  Buffer.contents buf
+
+let decode byte_at ~at =
+  let u8 off = byte_at (at + off) land 0xFF in
+  let imm32 off =
+    let v = u8 off lor (u8 (off + 1) lsl 8) lor (u8 (off + 2) lsl 16) lor (u8 (off + 3) lsl 24) in
+    (* sign-extend from 32 bits *)
+    (v lsl 31) asr 31
+  in
+  let imm64 off =
+    let v = ref 0L in
+    for k = 7 downto 0 do
+      v := Int64.logor (Int64.shift_left !v 8) (Int64.of_int (u8 (off + k)))
+    done;
+    Int64.to_int !v
+  in
+  let reg off =
+    let r = u8 off in
+    if r >= nregs then failwith "Insn.decode: bad register";
+    r
+  in
+  let op = u8 0 in
+  let insn =
+    match op with
+    | 0x00 -> Halt
+    | 0x01 -> Nop
+    | 0x02 -> Ret
+    | 0x03 -> Pushf
+    | 0x04 -> Popf
+    | 0x08 -> Mov_imm (reg 1, imm64 2)
+    | 0x09 -> Mov (reg 1, reg 2)
+    | 0x0A -> Load (reg 1, reg 2, imm32 3)
+    | 0x0B ->
+        let base = reg 1 and r = reg 2 in
+        Store (base, imm32 3, r)
+    | 0x0C -> Load_abs (reg 1, imm32 2)
+    | 0x0D -> Store_abs (imm32 2, reg 1)
+    | _ when op >= 0x10 && op < 0x10 + Array.length alu_of_code -> Alu (alu_of_code.(op - 0x10), reg 1, reg 2)
+    | _ when op >= 0x20 && op < 0x20 + Array.length alu_of_code -> Alu_imm (alu_of_code.(op - 0x20), reg 1, imm32 2)
+    | 0x30 -> Cmp (reg 1, reg 2)
+    | 0x31 -> Cmp_imm (reg 1, imm32 2)
+    | 0x38 -> Jmp (at + 5 + imm32 1)
+    | 0x39 -> Jmp_ind (imm32 1)
+    | 0x3A -> Jmp_reg (reg 1)
+    | 0x3B -> Call (at + 5 + imm32 1)
+    | _ when op >= 0x40 && op < 0x40 + Array.length cc_of_code -> Jcc (cc_of_code.(op - 0x40), at + 5 + imm32 1)
+    | 0x50 -> Push (reg 1)
+    | 0x51 -> Pop (reg 1)
+    | 0x52 -> Out (reg 1)
+    | 0x53 -> In (reg 1)
+    | _ -> failwith (Printf.sprintf "Insn.decode: illegal opcode 0x%02x at 0x%x" op at)
+  in
+  (insn, size insn)
+
+let branch_targets = function Jmp t | Jcc (_, t) | Call t -> [ t ] | _ -> []
+
+let is_unconditional = function Jmp _ | Jmp_ind _ | Jmp_reg _ | Ret | Halt -> true | _ -> false
+
+let falls_through = function Jmp _ | Jmp_ind _ | Jmp_reg _ | Ret | Halt -> false | _ -> true
+
+let alu_name = function
+  | Add -> "add"
+  | Sub -> "sub"
+  | Mul -> "mul"
+  | Div -> "div"
+  | Rem -> "rem"
+  | And -> "and"
+  | Or -> "or"
+  | Xor -> "xor"
+  | Shl -> "shl"
+  | Shr -> "shr"
+  | Sar -> "sar"
+
+let cc_name = function Eq -> "e" | Ne -> "ne" | Lt -> "l" | Ge -> "ge" | Gt -> "g" | Le -> "le"
+
+let reg_name r = if r = sp then "sp" else Printf.sprintf "r%d" r
+
+let pp fmt = function
+  | Halt -> Format.pp_print_string fmt "halt"
+  | Nop -> Format.pp_print_string fmt "nop"
+  | Mov_imm (r, v) -> Format.fprintf fmt "mov %s, %d" (reg_name r) v
+  | Mov (a, b) -> Format.fprintf fmt "mov %s, %s" (reg_name a) (reg_name b)
+  | Load (r, b, d) -> Format.fprintf fmt "load %s, [%s%+d]" (reg_name r) (reg_name b) d
+  | Store (b, d, r) -> Format.fprintf fmt "store [%s%+d], %s" (reg_name b) d (reg_name r)
+  | Load_abs (r, a) -> Format.fprintf fmt "load %s, [0x%x]" (reg_name r) a
+  | Store_abs (a, r) -> Format.fprintf fmt "store [0x%x], %s" a (reg_name r)
+  | Alu (op, d, s) -> Format.fprintf fmt "%s %s, %s" (alu_name op) (reg_name d) (reg_name s)
+  | Alu_imm (op, d, v) -> Format.fprintf fmt "%s %s, %d" (alu_name op) (reg_name d) v
+  | Cmp (a, b) -> Format.fprintf fmt "cmp %s, %s" (reg_name a) (reg_name b)
+  | Cmp_imm (a, v) -> Format.fprintf fmt "cmp %s, %d" (reg_name a) v
+  | Jmp t -> Format.fprintf fmt "jmp 0x%x" t
+  | Jcc (cc, t) -> Format.fprintf fmt "j%s 0x%x" (cc_name cc) t
+  | Jmp_ind a -> Format.fprintf fmt "jmp [0x%x]" a
+  | Jmp_reg r -> Format.fprintf fmt "jmp %s" (reg_name r)
+  | Call t -> Format.fprintf fmt "call 0x%x" t
+  | Ret -> Format.pp_print_string fmt "ret"
+  | Push r -> Format.fprintf fmt "push %s" (reg_name r)
+  | Pop r -> Format.fprintf fmt "pop %s" (reg_name r)
+  | Pushf -> Format.pp_print_string fmt "pushf"
+  | Popf -> Format.pp_print_string fmt "popf"
+  | Out r -> Format.fprintf fmt "out %s" (reg_name r)
+  | In r -> Format.fprintf fmt "in %s" (reg_name r)
+
+let to_string t = Format.asprintf "%a" pp t

@@ -1,0 +1,77 @@
+(** The native instruction set — the project's IA-32 stand-in.
+
+    Branch-function watermarking (Section 4 of the paper) depends on
+    properties of real machine code that a structured VM cannot model:
+    variable-length byte encodings, absolute code addresses, calls that
+    push a return address the callee can overwrite, same-size
+    call-to-jump overwrites, and indirect jumps through data memory.
+    This ISA reproduces all of them; in particular [Call] and [Jmp]
+    encode in 5 bytes (opcode + rel32), exactly like IA-32's
+    [e8]/[e9], so the bypass attack of §5.2.2 can overwrite one with
+    the other in place.
+
+    Registers 0-7 are general purpose; register 8 is the stack pointer
+    ([sp]).  Control-flow targets are carried as {e absolute} addresses in
+    the decoded form and encoded as rel32 displacements on the wire. *)
+
+type reg = int
+(** 0..8; 8 is [sp]. *)
+
+val sp : reg
+val nregs : int
+
+type alu = Add | Sub | Mul | Div | Rem | And | Or | Xor | Shl | Shr | Sar
+
+type cc = Eq | Ne | Lt | Ge | Gt | Le
+(** Signed comparisons against the flags set by [Cmp]. *)
+
+type t =
+  | Halt
+  | Nop
+  | Mov_imm of reg * int  (** 64-bit immediate *)
+  | Mov of reg * reg
+  | Load of reg * reg * int  (** [r := mem\[base + disp32\]] (64-bit word) *)
+  | Store of reg * int * reg  (** [mem\[base + disp32\] := r] *)
+  | Load_abs of reg * int  (** [r := mem\[abs32\]] *)
+  | Store_abs of int * reg
+  | Alu of alu * reg * reg  (** [dst := dst op src] *)
+  | Alu_imm of alu * reg * int  (** imm32 *)
+  | Cmp of reg * reg  (** set flags from [a - b] *)
+  | Cmp_imm of reg * int
+  | Jmp of int  (** absolute target, rel32-encoded *)
+  | Jcc of cc * int
+  | Jmp_ind of int  (** [jmp \[abs32\]]: indirect through a memory word *)
+  | Jmp_reg of reg
+  | Call of int  (** push return address; absolute target, rel32-encoded *)
+  | Ret
+  | Push of reg
+  | Pop of reg
+  | Pushf
+  | Popf
+  | Out of reg  (** append the register to the output stream *)
+  | In of reg  (** read the next input value *)
+
+val size : t -> int
+(** Encoded length in bytes (fixed per constructor). *)
+
+val encode : t -> at:int -> string
+(** Byte encoding of an instruction located at address [at] (needed for
+    rel32 fields).  Raises [Invalid_argument] when an immediate field
+    (imm32/disp32/rel32) does not fit 32 bits. *)
+
+val decode : (int -> int) -> at:int -> t * int
+(** [decode byte_at ~at] decodes the instruction at address [at], reading
+    bytes through [byte_at]; returns the instruction (with absolute
+    targets) and its size. Raises [Failure] on an illegal opcode. *)
+
+val branch_targets : t -> int list
+(** Static direct targets ([Jmp]/[Jcc]/[Call]). *)
+
+val is_unconditional : t -> bool
+(** [Jmp], [Jmp_ind], [Jmp_reg], [Ret], [Halt]: execution cannot fall
+    through — the insertion-point condition of §4.2.2. *)
+
+val falls_through : t -> bool
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

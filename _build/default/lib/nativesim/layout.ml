@@ -1,0 +1,6 @@
+let text_base = 0x1000
+let text_capacity = 0xF_F000 (* text may grow up to data_base *)
+let data_base = 0x10_0000
+let data_capacity = 0x8_0000
+let memory_size = 0x20_0000
+let stack_top = memory_size

@@ -1,0 +1,14 @@
+(** The fixed memory layout of simulated processes.
+
+    Sections live at fixed virtual addresses with generous padding, as in a
+    conventional executable image: rewriting tools may grow the text
+    section in place without moving the data section (growing past the
+    text region's capacity is a rewriter error). The stack grows down from
+    the top of memory. *)
+
+val text_base : int
+val text_capacity : int
+val data_base : int
+val data_capacity : int
+val memory_size : int
+val stack_top : int

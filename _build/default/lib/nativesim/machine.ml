@@ -1,0 +1,186 @@
+type state = {
+  mem : Bytes.t;
+  regs : int array;
+  mutable zf : bool;
+  mutable lt : bool;
+  mutable pc : int;
+  mutable text_end : int;
+}
+
+exception Trap of string
+
+let check_addr s addr =
+  if addr < 0 || addr + 8 > Bytes.length s.mem then raise (Trap (Printf.sprintf "bad memory access at 0x%x" addr))
+
+let read_word_exn s addr =
+  check_addr s addr;
+  let v = ref 0L in
+  for k = 7 downto 0 do
+    v := Int64.logor (Int64.shift_left !v 8) (Int64.of_int (Char.code (Bytes.get s.mem (addr + k))))
+  done;
+  Int64.to_int !v
+
+let write_word s addr v =
+  check_addr s addr;
+  let v64 = Int64.of_int v in
+  for k = 0 to 7 do
+    Bytes.set s.mem (addr + k) (Char.chr (Int64.to_int (Int64.shift_right_logical v64 (8 * k)) land 0xFF))
+  done
+
+let reg s r = s.regs.(r)
+
+let read_word s addr =
+  if addr < 0 || addr + 8 > Bytes.length s.mem then invalid_arg "Machine.read_word: out of bounds";
+  read_word_exn s addr
+
+type outcome = Halted | Trapped of { addr : int; reason : string } | Out_of_fuel
+
+type result = { outcome : outcome; outputs : int list; steps : int }
+
+let eval_alu op a b =
+  match (op : Insn.alu) with
+  | Add -> a + b
+  | Sub -> a - b
+  | Mul -> a * b
+  | Div -> if b = 0 then raise (Trap "division by zero") else a / b
+  | Rem -> if b = 0 then raise (Trap "remainder by zero") else a mod b
+  | And -> a land b
+  | Or -> a lor b
+  | Xor -> a lxor b
+  | Shl ->
+      let c = b land 0x3F in
+      if c >= 63 then 0 else a lsl c
+  | Shr ->
+      let c = b land 0x3F in
+      if c >= 63 then 0 else a lsr c
+  | Sar ->
+      let c = b land 0x3F in
+      if c >= 63 then if a < 0 then -1 else 0 else a asr c
+
+let cond_holds s (cc : Insn.cc) =
+  match cc with
+  | Eq -> s.zf
+  | Ne -> not s.zf
+  | Lt -> s.lt
+  | Ge -> not s.lt
+  | Gt -> (not s.lt) && not s.zf
+  | Le -> s.lt || s.zf
+
+let run ?(fuel = 100_000_000) ?observer (bin : Binary.t) ~input =
+  let s =
+    {
+      mem = Bytes.make Layout.memory_size '\000';
+      regs = Array.make Insn.nregs 0;
+      zf = false;
+      lt = false;
+      pc = bin.Binary.entry;
+      text_end = Layout.text_base + String.length bin.Binary.text;
+    }
+  in
+  Bytes.blit_string bin.Binary.text 0 s.mem Layout.text_base (String.length bin.Binary.text);
+  Bytes.blit_string bin.Binary.data 0 s.mem Layout.data_base (String.length bin.Binary.data);
+  s.regs.(Insn.sp) <- Layout.stack_top;
+  let inputs = Array.of_list input in
+  let input_pos = ref 0 in
+  let outputs = ref [] in
+  let steps = ref 0 in
+  let push v =
+    s.regs.(Insn.sp) <- s.regs.(Insn.sp) - 8;
+    write_word s s.regs.(Insn.sp) v
+  in
+  let pop () =
+    let v = read_word_exn s s.regs.(Insn.sp) in
+    s.regs.(Insn.sp) <- s.regs.(Insn.sp) + 8;
+    v
+  in
+  let outcome = ref None in
+  (try
+     while !outcome = None do
+       if !steps >= fuel then raise Exit;
+       if s.pc < Layout.text_base || s.pc >= s.text_end then
+         raise (Trap (Printf.sprintf "control left the text section (pc=0x%x)" s.pc));
+       let insn, sz =
+         try Insn.decode (fun a -> Char.code (Bytes.get s.mem a)) ~at:s.pc
+         with Failure m -> raise (Trap m)
+       in
+       (match observer with Some f -> f s ~addr:s.pc ~insn | None -> ());
+       incr steps;
+       let next = s.pc + sz in
+       (match insn with
+       | Insn.Halt -> outcome := Some Halted
+       | Insn.Nop -> s.pc <- next
+       | Insn.Mov_imm (r, v) ->
+           s.regs.(r) <- v;
+           s.pc <- next
+       | Insn.Mov (a, b) ->
+           s.regs.(a) <- s.regs.(b);
+           s.pc <- next
+       | Insn.Load (r, base, disp) ->
+           s.regs.(r) <- read_word_exn s (s.regs.(base) + disp);
+           s.pc <- next
+       | Insn.Store (base, disp, r) ->
+           write_word s (s.regs.(base) + disp) s.regs.(r);
+           s.pc <- next
+       | Insn.Load_abs (r, addr) ->
+           s.regs.(r) <- read_word_exn s addr;
+           s.pc <- next
+       | Insn.Store_abs (addr, r) ->
+           write_word s addr s.regs.(r);
+           s.pc <- next
+       | Insn.Alu (op, dst, src) ->
+           s.regs.(dst) <- eval_alu op s.regs.(dst) s.regs.(src);
+           s.pc <- next
+       | Insn.Alu_imm (op, dst, v) ->
+           s.regs.(dst) <- eval_alu op s.regs.(dst) v;
+           s.pc <- next
+       | Insn.Cmp (a, b) ->
+           s.zf <- s.regs.(a) = s.regs.(b);
+           s.lt <- s.regs.(a) < s.regs.(b);
+           s.pc <- next
+       | Insn.Cmp_imm (a, v) ->
+           s.zf <- s.regs.(a) = v;
+           s.lt <- s.regs.(a) < v;
+           s.pc <- next
+       | Insn.Jmp t -> s.pc <- t
+       | Insn.Jcc (cc, t) -> s.pc <- (if cond_holds s cc then t else next)
+       | Insn.Jmp_ind addr -> s.pc <- read_word_exn s addr
+       | Insn.Jmp_reg r -> s.pc <- s.regs.(r)
+       | Insn.Call t ->
+           push next;
+           s.pc <- t
+       | Insn.Ret -> s.pc <- pop ()
+       | Insn.Push r ->
+           push s.regs.(r);
+           s.pc <- next
+       | Insn.Pop r ->
+           s.regs.(r) <- pop ();
+           s.pc <- next
+       | Insn.Pushf ->
+           push ((if s.zf then 1 else 0) lor if s.lt then 2 else 0);
+           s.pc <- next
+       | Insn.Popf ->
+           let v = pop () in
+           s.zf <- v land 1 = 1;
+           s.lt <- v land 2 = 2;
+           s.pc <- next
+       | Insn.Out r ->
+           outputs := s.regs.(r) :: !outputs;
+           s.pc <- next
+       | Insn.In r ->
+           if !input_pos >= Array.length inputs then raise (Trap "input exhausted");
+           s.regs.(r) <- inputs.(!input_pos);
+           incr input_pos;
+           s.pc <- next)
+     done
+   with
+  | Exit -> outcome := Some Out_of_fuel
+  | Trap reason -> outcome := Some (Trapped { addr = s.pc; reason }));
+  let outcome = Option.get !outcome in
+  { outcome; outputs = List.rev !outputs; steps = !steps }
+
+let outcomes_same_kind a b =
+  match (a, b) with
+  | Halted, Halted | Out_of_fuel, Out_of_fuel | Trapped _, Trapped _ -> true
+  | _, _ -> false
+
+let outputs_equal r1 r2 = r1.outputs = r2.outputs && outcomes_same_kind r1.outcome r2.outcome

@@ -1,0 +1,38 @@
+(** The simulated processor, with hardware single-stepping.
+
+    Executes a loaded binary image instruction by instruction.  An optional
+    observer is invoked {e before} each instruction executes, with full
+    access to machine state — this is the "tracer tool that uses hardware
+    single-stepping" of §4.2.3, and is how watermark extraction observes
+    the branch function's behaviour. *)
+
+type state
+
+val reg : state -> Insn.reg -> int
+(** Current register value. *)
+
+val read_word : state -> int -> int
+(** 64-bit little-endian word at an address (e.g. the stack top — the
+    branch function's hash input). Raises [Invalid_argument] when out of
+    bounds. *)
+
+type outcome =
+  | Halted  (** executed [Halt] *)
+  | Trapped of { addr : int; reason : string }
+      (** illegal opcode / bad access / division by zero / control left the
+          text section — how a "broken" binary manifests (§5.2.2) *)
+  | Out_of_fuel
+
+type result = { outcome : outcome; outputs : int list; steps : int }
+
+val run :
+  ?fuel:int ->
+  ?observer:(state -> addr:int -> insn:Insn.t -> unit) ->
+  Binary.t ->
+  input:int list ->
+  result
+(** [fuel] defaults to 100 million instructions. *)
+
+val outputs_equal : result -> result -> bool
+(** Same outputs and same terminal outcome kind — the "program still
+    works" check used when classifying attacks. *)

@@ -1,0 +1,14 @@
+type t = { counts : (int, int) Hashtbl.t; result : Machine.result }
+
+let run ?fuel bin ~input =
+  let counts = Hashtbl.create 1024 in
+  let observer _ ~addr ~insn:_ =
+    Hashtbl.replace counts addr (1 + Option.value ~default:0 (Hashtbl.find_opt counts addr))
+  in
+  let result = Machine.run ?fuel ~observer bin ~input in
+  { counts; result }
+
+let count t addr = Option.value ~default:0 (Hashtbl.find_opt t.counts addr)
+
+let cold_instructions t bin =
+  List.filter (fun (addr, _) -> count t addr = 1) (Disasm.disassemble bin)

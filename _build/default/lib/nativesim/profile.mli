@@ -1,0 +1,16 @@
+(** Execution profiling (the paper profiles with SPEC training inputs to
+    find hot spots before transforming, §5.2). *)
+
+type t = {
+  counts : (int, int) Hashtbl.t;  (** address -> times executed *)
+  result : Machine.result;
+}
+
+val run : ?fuel:int -> Binary.t -> input:int list -> t
+
+val count : t -> int -> int
+(** Times the instruction at an address executed (0 if never). *)
+
+val cold_instructions : t -> Binary.t -> (int * Insn.t) list
+(** Instructions executed exactly once — outside loops and off hot paths;
+    the tamper-proofing candidates of §4.3. *)

@@ -1,0 +1,99 @@
+let transform (bin : Binary.t) ~f =
+  let insns = Disasm.disassemble bin in
+  (* expansion per old instruction *)
+  let groups = List.map (fun (addr, insn) -> (addr, f addr insn)) insns in
+  (* new layout *)
+  let new_addr_of = Hashtbl.create 256 in
+  let cursor = ref Layout.text_base in
+  let laid_out =
+    List.concat_map
+      (fun (old_addr, replacement) ->
+        Hashtbl.replace new_addr_of old_addr !cursor;
+        List.map
+          (fun insn ->
+            let at = !cursor in
+            cursor := !cursor + Insn.size insn;
+            (at, insn))
+          replacement)
+      groups
+  in
+
+  let relocate_target t = match Hashtbl.find_opt new_addr_of t with Some t' -> t' | None -> t in
+  let buf = Buffer.create (String.length bin.Binary.text) in
+  List.iter
+    (fun (at, insn) ->
+      let insn =
+        match insn with
+        | Insn.Jmp t -> Insn.Jmp (relocate_target t)
+        | Insn.Jcc (cc, t) -> Insn.Jcc (cc, relocate_target t)
+        | Insn.Call t -> Insn.Call (relocate_target t)
+        | other -> other
+      in
+      Buffer.add_string buf (Insn.encode insn ~at))
+    laid_out;
+
+  let symbols =
+    List.map
+      (fun (name, a) ->
+        match Hashtbl.find_opt new_addr_of a with Some a' -> (name, a') | None -> (name, a))
+      bin.Binary.symbols
+  in
+  let entry = relocate_target bin.Binary.entry in
+  Binary.make ~symbols ~entry ~text:(Buffer.contents buf) ~data:bin.Binary.data ()
+
+let patch_insn (bin : Binary.t) ~at insn =
+  let old_insn = Disasm.at bin at in
+  if Insn.size old_insn <> Insn.size insn then
+    invalid_arg "Rewriter.patch_insn: size mismatch";
+  let bytes = Insn.encode insn ~at in
+  let off = at - Layout.text_base in
+  let text = Bytes.of_string bin.Binary.text in
+  Bytes.blit_string bytes 0 text off (String.length bytes);
+  Binary.make ~symbols:bin.Binary.symbols ~entry:bin.Binary.entry ~text:(Bytes.to_string text)
+    ~data:bin.Binary.data ()
+
+let append_text (bin : Binary.t) insns =
+  let start = Layout.text_base + String.length bin.Binary.text in
+  let buf = Buffer.create 64 in
+  let cursor = ref start in
+  List.iter
+    (fun insn ->
+      Buffer.add_string buf (Insn.encode insn ~at:!cursor);
+      cursor := !cursor + Insn.size insn)
+    insns;
+  ( Binary.make ~symbols:bin.Binary.symbols ~entry:bin.Binary.entry
+      ~text:(bin.Binary.text ^ Buffer.contents buf) ~data:bin.Binary.data (),
+    start )
+
+let to_program (bin : Binary.t) =
+  let insns = Disasm.disassemble bin in
+  let boundaries = Hashtbl.create 256 in
+  List.iter (fun (addr, _) -> Hashtbl.replace boundaries addr ()) insns;
+  let label_of addr = Printf.sprintf "L_%x" addr in
+  let target t = if Hashtbl.mem boundaries t then Asm.Lbl (label_of t) else Asm.Abs t in
+  let text =
+    List.concat_map
+      (fun (addr, insn) ->
+        let lifted =
+          match insn with
+          | Insn.Jmp t -> Asm.Jmp (target t)
+          | Insn.Jcc (cc, t) -> Asm.Jcc (cc, target t)
+          | Insn.Call t -> Asm.Call (target t)
+          | other -> Asm.I other
+        in
+        [ Asm.L (label_of addr); lifted ])
+      insns
+  in
+  let data_len = String.length bin.Binary.data in
+  let words = (data_len + 7) / 8 in
+  let word_at i =
+    let v = ref 0L in
+    for k = 7 downto 0 do
+      let off = (8 * i) + k in
+      let byte = if off < data_len then Char.code bin.Binary.data.[off] else 0 in
+      v := Int64.logor (Int64.shift_left !v 8) (Int64.of_int byte)
+    done;
+    Int64.to_int !v
+  in
+  let data = List.init words (fun i -> Asm.Dword (word_at i)) in
+  { Asm.text; data }

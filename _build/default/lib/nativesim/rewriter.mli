@@ -1,0 +1,43 @@
+(** The binary rewriter — our PLTO analog.
+
+    A standard binary-manipulation tool can disassemble the text section,
+    transform instructions, lay the result out again, and fix up the
+    {e direct} control transfers it can see (rel32 [jmp]/[jcc]/[call]
+    displacements).  What it {e cannot} do is find code addresses hidden in
+    the data section or in integer immediates — the branch function's hash
+    and xor tables.  That asymmetry is exactly the tamper-proofing argument
+    of §4.3: any rewrite that moves code silently breaks a branch-function
+    watermarked binary.
+
+    [transform] faithfully models this: direct branch targets that point at
+    an instruction boundary are relocated; everything else (data words,
+    immediates, indirect-jump cell addresses) is preserved bit for bit. *)
+
+val transform : Binary.t -> f:(int -> Insn.t -> Insn.t list) -> Binary.t
+(** [transform bin ~f] rewrites every instruction: [f addr insn] returns
+    the replacement sequence ([\[insn\]] to keep).  Targets inside returned
+    instructions use {e old} addresses; after layout, any direct target
+    that was an old instruction start is mapped to its new address.
+    Symbols at instruction boundaries are updated; the entry point is
+    relocated; data is untouched. *)
+
+val patch_insn : Binary.t -> at:int -> Insn.t -> Binary.t
+(** Overwrite the instruction at [at] in place.  The replacement must
+    encode to exactly the same byte length (e.g. [Call] -> [Jmp], both 5
+    bytes) — no relocation happens.  Raises [Invalid_argument] on a size
+    mismatch. *)
+
+val append_text : Binary.t -> Insn.t list -> Binary.t * int
+(** Append instructions at the end of the text section (targets are
+    absolute and unadjusted — nothing else moves).  Returns the new binary
+    and the address of the first appended instruction. *)
+
+val to_program : Binary.t -> Asm.program
+(** Lift a binary back to rewriter-level assembly: every instruction gets
+    a synthetic label ([L_<addr>]), direct branch targets that hit an
+    instruction boundary become label references, and the data section is
+    lifted word-for-word (zero-padded to a word boundary).  Absolute
+    references (indirect-jump cells, table base immediates, data words
+    that happen to encode code addresses) are preserved as raw integers —
+    re-assembling after layout changes therefore relocates exactly what a
+    real rewriter could relocate, and silently breaks the rest. *)

@@ -1,0 +1,1 @@
+lib/nattacks/attacks.ml: Disasm Insn List Machine Nativesim Nwm Rewriter Util

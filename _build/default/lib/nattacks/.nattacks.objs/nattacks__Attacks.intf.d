@@ -1,0 +1,1 @@
+lib/nattacks/attacks.mli: Bignum Nativesim Util

@@ -1,0 +1,68 @@
+open Nativesim
+
+let noop_insertion ~rate rng bin =
+  Rewriter.transform bin ~f:(fun _ insn ->
+      if Util.Prng.float rng 1.0 < rate then [ Insn.Nop; insn ] else [ insn ])
+
+let branch_sense_inversion ~fraction rng bin =
+  let invert (cc : Insn.cc) : Insn.cc =
+    match cc with Eq -> Ne | Ne -> Eq | Lt -> Ge | Ge -> Lt | Gt -> Le | Le -> Gt
+  in
+  Rewriter.transform bin ~f:(fun addr insn ->
+      match insn with
+      | Insn.Jcc (cc, target) when Util.Prng.float rng 1.0 < fraction ->
+          (* the inverted branch jumps over the compensating jump to the old
+             fall-through; both targets use old addresses, which transform
+             relocates *)
+          [ Insn.Jcc (invert cc, addr + Insn.size insn); Insn.Jmp target ]
+      | _ -> [ insn ])
+
+let double_watermark ?seed ~watermark ~bits ~training_input bin =
+  let lifted = Rewriter.to_program bin in
+  (Nwm.Embed.embed ?seed ~watermark ~bits ~training_input lifted).Nwm.Embed.binary
+
+(* The attacker's reconnaissance: run the simple tracer to locate the
+   branch function and the (call site -> observed destination) pairs. *)
+let observed_calls bin ~begin_addr ~end_addr ~input =
+  match Nwm.Extract.extract ~kind:Nwm.Extract.Simple bin ~begin_addr ~end_addr ~input with
+  | Error _ -> None
+  | Ok ex ->
+      let sites = ex.Nwm.Extract.call_sites in
+      let rec pair = function
+        | a :: (b :: _ as rest) -> (a, b) :: pair rest
+        | [ last ] -> [ (last, end_addr) ]
+        | [] -> []
+      in
+      Some (ex.Nwm.Extract.f_entry, pair sites)
+
+let bypass ?(fraction = 1.0) rng bin ~begin_addr ~end_addr ~input =
+  match observed_calls bin ~begin_addr ~end_addr ~input with
+  | None -> bin
+  | Some (_, pairs) ->
+      List.fold_left
+        (fun bin (site, dest) ->
+          if Util.Prng.float rng 1.0 <= fraction then
+            (* call rel32 and jmp rel32 are both 5 bytes: overwrite in place *)
+            Rewriter.patch_insn bin ~at:site (Insn.Jmp dest)
+          else bin)
+        bin pairs
+
+let reroute _rng bin ~begin_addr ~end_addr ~input =
+  match observed_calls bin ~begin_addr ~end_addr ~input with
+  | None -> bin
+  | Some (f_entry, pairs) ->
+      let bin, trampoline = Rewriter.append_text bin [ Insn.Jmp f_entry ] in
+      List.fold_left
+        (fun bin (site, _) ->
+          match Disasm.at bin site with
+          | Insn.Call t when t = f_entry -> Rewriter.patch_insn bin ~at:site (Insn.Call trampoline)
+          | _ -> bin)
+        bin pairs
+
+let broken ?fuel original attacked ~inputs =
+  List.exists
+    (fun input ->
+      let r0 = Machine.run ?fuel original ~input in
+      let r1 = Machine.run ?fuel attacked ~input in
+      not (Machine.outputs_equal r0 r1))
+    inputs

@@ -1,0 +1,56 @@
+(** The five attacks of §5.2.2 against branch-function watermarks.
+
+    The first three are code transformations a standard binary tool could
+    perform; because branch-function tables pin absolute addresses that no
+    rewriter can see, all three are expected to {e break} the program —
+    that is the tamper-proofing claim the experiments verify.  The last
+    two are targeted attacks on the branch function itself: bypassing
+    breaks the program through missed tamper-proofing updates; rerouting
+    keeps it running and is the one attack whose effect differs between
+    the simple and the smart tracer. *)
+
+val noop_insertion : rate:float -> Util.Prng.t -> Nativesim.Binary.t -> Nativesim.Binary.t
+(** Insert [rate * |insns|] no-ops at random points, relocating every
+    direct branch (the rewriter's best effort). *)
+
+val branch_sense_inversion : fraction:float -> Util.Prng.t -> Nativesim.Binary.t -> Nativesim.Binary.t
+(** Invert conditional branches, swapping taken/fall-through with a
+    compensating jump. *)
+
+val double_watermark :
+  ?seed:int64 ->
+  watermark:Bignum.t ->
+  bits:int ->
+  training_input:int list ->
+  Nativesim.Binary.t ->
+  Nativesim.Binary.t
+(** Run the watermarker again on the (lifted) watermarked binary. *)
+
+val bypass :
+  ?fraction:float ->
+  Util.Prng.t ->
+  Nativesim.Binary.t ->
+  begin_addr:int ->
+  end_addr:int ->
+  input:int list ->
+  Nativesim.Binary.t
+(** Overwrite observed branch-function calls with same-size direct jumps
+    to the destination each call was seen to reach — the subtractive
+    attack.  The attacker first runs the simple tracer to find the calls. *)
+
+val reroute :
+  Util.Prng.t ->
+  Nativesim.Binary.t ->
+  begin_addr:int ->
+  end_addr:int ->
+  input:int list ->
+  Nativesim.Binary.t
+(** Replace each [call f] with [call Y] where [Y: jmp f] is appended at
+    the end of the text — no address in the original image changes, so the
+    program keeps working, but a tracer keyed on the instruction entering
+    the branch function now sees [Y]. *)
+
+val broken :
+  ?fuel:int -> Nativesim.Binary.t -> Nativesim.Binary.t -> inputs:int list list -> bool
+(** [broken original attacked ~inputs] — the attacked binary traps,
+    diverges, or produces different output on some input. *)

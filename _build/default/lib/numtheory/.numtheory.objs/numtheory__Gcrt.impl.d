@@ -1,0 +1,1 @@
+lib/numtheory/gcrt.ml: Bignum Format List

@@ -1,0 +1,1 @@
+lib/numtheory/gcrt.mli: Bignum Format

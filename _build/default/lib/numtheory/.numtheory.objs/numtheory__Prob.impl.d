@@ -1,0 +1,1 @@
+lib/numtheory/prob.ml: Bignum

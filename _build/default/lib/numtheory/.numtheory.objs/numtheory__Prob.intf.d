@@ -1,0 +1,1 @@
+lib/numtheory/prob.mli: Bignum

@@ -1,0 +1,60 @@
+let rec gcd a b =
+  let a = abs a and b = abs b in
+  if b = 0 then a else gcd b (a mod b)
+
+let egcd a b =
+  let rec go r0 r1 s0 s1 t0 t1 =
+    if r1 = 0 then (r0, s0, t0) else go r1 (r0 mod r1) s1 (s0 - ((r0 / r1) * s1)) t1 (t0 - ((r0 / r1) * t1))
+  in
+  let g, s, t = go a b 1 0 0 1 in
+  if g < 0 then (-g, -s, -t) else (g, s, t)
+
+let is_prime n =
+  if n < 2 then false
+  else if n < 4 then true
+  else if n mod 2 = 0 then false
+  else begin
+    let rec go d = d * d > n || (n mod d <> 0 && go (d + 2)) in
+    go 3
+  end
+
+let next_prime n =
+  let rec go k = if is_prime k then k else go (k + 1) in
+  go (max 2 (n + 1))
+
+let primes_with_bits ~bits ~count =
+  if bits < 2 then invalid_arg "Ints.primes_with_bits: bits must be >= 2";
+  let lo = 1 lsl (bits - 1) and hi = (1 lsl bits) - 1 in
+  let rec collect p acc n =
+    if n = 0 then List.rev acc
+    else if p > hi then invalid_arg "Ints.primes_with_bits: not enough primes in range"
+    else begin
+      let p = next_prime (p - 1) in
+      if p > hi then invalid_arg "Ints.primes_with_bits: not enough primes in range"
+      else collect (p + 1) (p :: acc) (n - 1)
+    end
+  in
+  collect lo [] count
+
+let coprime_moduli ~rng ~bits ~count =
+  if bits < 2 then invalid_arg "Ints.coprime_moduli: bits must be >= 2";
+  let lo = 1 lsl (bits - 1) and hi = (1 lsl bits) - 1 in
+  let seen = Hashtbl.create 16 in
+  let rec draw acc n guard =
+    if n = 0 then acc
+    else if guard = 0 then invalid_arg "Ints.coprime_moduli: range exhausted"
+    else begin
+      let candidate = next_prime (Util.Prng.int_in rng lo hi - 1) in
+      if candidate > hi || Hashtbl.mem seen candidate then draw acc n (guard - 1)
+      else begin
+        Hashtbl.add seen candidate ();
+        draw (candidate :: acc) (n - 1) guard
+      end
+    end
+  in
+  List.sort compare (draw [] count (count * 1000))
+
+let mod_pos a m =
+  if m <= 0 then invalid_arg "Ints.mod_pos: modulus must be positive";
+  let r = a mod m in
+  if r < 0 then r + m else r

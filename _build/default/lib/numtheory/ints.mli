@@ -1,0 +1,34 @@
+(** Number theory on native integers.
+
+    Watermark pieces are statements [W = x mod (p_i * p_j)] where the [p]s
+    are pairwise relatively prime (Section 3.2 of the paper). Individual
+    moduli and residues always fit in a native int (products of two ~26-bit
+    primes), so the piece-level arithmetic lives here; only the final
+    recombination of the full watermark needs {!Bignum}. *)
+
+val gcd : int -> int -> int
+(** Greatest common divisor of the absolute values. *)
+
+val egcd : int -> int -> int * int * int
+(** [egcd a b = (g, s, t)] with [s*a + t*b = g = gcd a b]. *)
+
+val is_prime : int -> bool
+(** Deterministic trial-division primality test; intended for values below
+    [2^40] (the moduli used by the codec are ~26-bit primes). *)
+
+val next_prime : int -> int
+(** Smallest prime strictly greater than the argument. *)
+
+val primes_with_bits : bits:int -> count:int -> int list
+(** [primes_with_bits ~bits ~count] returns the [count] smallest primes of
+    exactly [bits] bits (i.e. in [\[2^(bits-1), 2^bits)]). Raises
+    [Invalid_argument] if the range contains too few primes. *)
+
+val coprime_moduli : rng:Util.Prng.t -> bits:int -> count:int -> int list
+(** [coprime_moduli ~rng ~bits ~count] draws [count] distinct primes of
+    exactly [bits] bits uniformly at random — the pairwise relatively prime
+    base moduli [p_1 .. p_r] of the embedding. *)
+
+val mod_pos : int -> int -> int
+(** [mod_pos a m] is the representative of [a mod m] in [\[0, m)];
+    [m > 0]. *)

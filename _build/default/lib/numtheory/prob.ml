@@ -1,0 +1,54 @@
+let binomial n k =
+  if k < 0 || k > n then Bignum.zero
+  else begin
+    let k = min k (n - k) in
+    let num = ref Bignum.one in
+    for i = 0 to k - 1 do
+      num := Bignum.mul !num (Bignum.of_int (n - i))
+    done;
+    let den = ref Bignum.one in
+    for i = 1 to k do
+      den := Bignum.mul !den (Bignum.of_int i)
+    done;
+    Bignum.div !num !den
+  end
+
+let success_given_deletion_prob ~nodes ~q =
+  let n = nodes in
+  let total = ref 0.0 in
+  for j = 0 to n do
+    (* All edges touching a fixed set of j isolated nodes must be deleted:
+       j*(n-j) edges to the outside plus C(j,2) internal ones. *)
+    let exponent = (j * (n - j)) + (j * (j - 1) / 2) in
+    let term = Bignum.to_float (binomial n j) *. (q ** float_of_int exponent) in
+    total := !total +. if j mod 2 = 0 then term else -.term
+  done;
+  max 0.0 (min 1.0 !total)
+
+let success_given_survivors ~nodes ~survivors =
+  let n = nodes in
+  let edges = n * (n - 1) / 2 in
+  if survivors < 0 || survivors > edges then invalid_arg "Prob.success_given_survivors";
+  (* P(cover) = sum_j (-1)^j C(n,j) C(E(n-j), k) / C(E(n), k) where E(m) is
+     the number of edges of K_m and k the number of survivors: the survivors
+     must all avoid the j isolated nodes. Exact big-integer arithmetic keeps
+     the alternating sum stable; we convert only the final ratio. *)
+  let k = survivors in
+  let numerator = ref Bignum.zero in
+  for j = 0 to n do
+    let remaining_edges = (n - j) * (n - j - 1) / 2 in
+    let ways = Bignum.mul (binomial n j) (binomial remaining_edges k) in
+    numerator := if j mod 2 = 0 then Bignum.add !numerator ways else Bignum.sub !numerator ways
+  done;
+  let denominator = binomial edges k in
+  if Bignum.is_zero denominator then 0.0
+  else begin
+    (* Scale to keep precision: compute floor(num * 10^15 / den) / 10^15. *)
+    let scale = Bignum.pow (Bignum.of_int 10) 15 in
+    let scaled = Bignum.div (Bignum.mul !numerator scale) denominator in
+    max 0.0 (min 1.0 (Bignum.to_float scaled /. 1e15))
+  end
+
+let expected_survivors ~nodes ~q =
+  let edges = nodes * (nodes - 1) / 2 in
+  float_of_int edges *. (1.0 -. q)

@@ -1,0 +1,27 @@
+(** The recovery-probability model behind Figure 5 of the paper.
+
+    Model the [r] base primes as the nodes of the complete graph [K_r]; each
+    embedded piece [W = x mod (p_i * p_j)] is the edge [{p_i, p_j}]. Attacks
+    delete edges; recombination succeeds when every node keeps at least one
+    incident edge (then [W mod p_i] is known for all [i] and the Generalized
+    CRT pins down [W]).  Equation (1) of the paper approximates the success
+    probability by inclusion-exclusion over the set of isolated nodes. *)
+
+val binomial : int -> int -> Bignum.t
+(** [binomial n k] is [n choose k]; zero outside [0 <= k <= n]. *)
+
+val success_given_deletion_prob : nodes:int -> q:float -> float
+(** Equation (1): starting from the complete graph on [nodes] nodes, each
+    edge independently deleted with probability [q], the probability that
+    every node retains an incident edge. Computed by inclusion-exclusion
+    with the exact exponent [j*(nodes-j) + j*(j-1)/2] (all edges incident to
+    a chosen set of [j] isolated nodes must be gone). *)
+
+val success_given_survivors : nodes:int -> survivors:int -> float
+(** The conditional variant plotted in Figure 5: exactly [survivors] of the
+    [nodes*(nodes-1)/2] pieces survive, as a uniformly random subset; the
+    probability that they cover every node. Exact, via inclusion-exclusion
+    on binomial coefficients. *)
+
+val expected_survivors : nodes:int -> q:float -> float
+(** Mean number of surviving edges under deletion probability [q]. *)

@@ -1,0 +1,1 @@
+lib/nwm/bitperm.ml: Array List

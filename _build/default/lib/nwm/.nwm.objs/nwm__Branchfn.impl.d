@@ -1,0 +1,1 @@
+lib/nwm/branchfn.ml: Asm Insn Nativesim Phash

@@ -1,0 +1,1 @@
+lib/nwm/embed.ml: Array Asm Bignum Binary Bitperm Branchfn Cfg Hashtbl Insn Layout List Nativesim Phash Printf Profile Stdlib String Util

@@ -1,0 +1,1 @@
+lib/nwm/embed.mli: Bignum Nativesim

@@ -1,0 +1,1 @@
+lib/nwm/extract.ml: Bignum Bitperm Disasm Insn Layout List Machine Nativesim Option

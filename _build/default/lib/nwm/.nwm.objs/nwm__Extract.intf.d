@@ -1,0 +1,1 @@
+lib/nwm/extract.mli: Bignum Nativesim

@@ -1,0 +1,25 @@
+let slots w =
+  let zeros = List.length (List.filter not w) in
+  let k = List.length w in
+  let pi = Array.make (k + 1) 0 in
+  pi.(0) <- zeros;
+  let high = ref (zeros + 1) and low = ref (zeros - 1) in
+  List.iteri
+    (fun i bit ->
+      if bit then begin
+        pi.(i + 1) <- !high;
+        incr high
+      end
+      else begin
+        pi.(i + 1) <- !low;
+        decr low
+      end)
+    w;
+  pi
+
+let bits_of_addresses addrs =
+  let rec go = function
+    | a :: (b :: _ as rest) -> (b > a) :: go rest
+    | [ _ ] | [] -> []
+  in
+  go addrs

@@ -1,0 +1,16 @@
+(** Address-order encoding of watermark bits (§4.2.1-4.2.2).
+
+    Each adjacent pair of branch-function call sites encodes one bit:
+    a forward jump ([addr a_i < addr a_{i+1}]) is a 1, a backward jump a 0.
+    The watermark region lays out [k+1] call slots; the execution chain
+    visits them in a permuted order whose ups and downs spell the bits. *)
+
+val slots : bool list -> int array
+(** [slots w] returns the visit order [pi] of length [k+1] ([k = length
+    w]): a permutation of [0..k] with [pi.(i+1) > pi.(i)] iff the [i]-th
+    bit is set.  Construction: start at the number of zero bits; each 1
+    takes the next unused slot above, each 0 the next below. *)
+
+val bits_of_addresses : int list -> bool list
+(** Inverse decoding used by extraction: one bit per adjacent address
+    pair, [true] when the successor address is larger. *)

@@ -1,0 +1,80 @@
+open Nativesim
+
+let entry_label = "wm_f"
+let d_label = "wm_D"
+let t_label = "wm_T"
+let u_label = "wm_U"
+
+let d_words = 1 lsl Phash.low_bits
+let t_words = 1 lsl Phash.table_bits
+let u_words = 2 * (1 lsl Phash.table_bits)
+
+let sp = Insn.sp
+
+let code ~shift ~frame_pad =
+  if frame_pad < 0 || frame_pad mod 8 <> 0 then invalid_arg "Branchfn.code: bad frame pad";
+  let table_mask = (1 lsl Phash.table_bits) - 1 in
+  let low_mask = (1 lsl Phash.low_bits) - 1 in
+  (* Stack at wm_f1's work site, growing down:
+       [pad][ret-to-f][r7][r6][r5][r4][flags][original return address]
+     so the key sits at sp + frame_pad + 48. *)
+  let key_off = frame_pad + 48 in
+  Asm.[
+    (* wm_f: save state, delegate, restore, return (redirected). *)
+    L entry_label;
+    I Insn.Pushf;
+    I (Insn.Push 4);
+    I (Insn.Push 5);
+    I (Insn.Push 6);
+    I (Insn.Push 7);
+    Call (Lbl "wm_f1");
+    I (Insn.Pop 7);
+    I (Insn.Pop 6);
+    I (Insn.Pop 5);
+    I (Insn.Pop 4);
+    I Insn.Popf;
+    I Insn.Ret;
+    (* wm_f1: the helper that reaches into the stack. *)
+    L "wm_f1";
+    I (Insn.Alu_imm (Insn.Sub, sp, frame_pad));
+    I (Insn.Load (5, sp, key_off));                    (* r5 = key (return address) *)
+    (* r6 = (key >> shift) & table_mask *)
+    I (Insn.Mov (6, 5));
+    I (Insn.Alu_imm (Insn.Shr, 6, shift));
+    I (Insn.Alu_imm (Insn.And, 6, table_mask));
+    (* r7 = D[key & low_mask] *)
+    I (Insn.Mov (7, 5));
+    I (Insn.Alu_imm (Insn.And, 7, low_mask));
+    I (Insn.Alu_imm (Insn.Shl, 7, 3));
+    Mov_lbl (4, Lbl d_label);
+    I (Insn.Alu (Insn.Add, 7, 4));
+    I (Insn.Load (7, 7, 0));
+    I (Insn.Alu (Insn.Xor, 6, 7));                     (* r6 = h(key) *)
+    (* redirect: return address ^= T[h] *)
+    I (Insn.Mov (7, 6));
+    I (Insn.Alu_imm (Insn.Shl, 7, 3));
+    Mov_lbl (4, Lbl t_label);
+    I (Insn.Alu (Insn.Add, 7, 4));
+    I (Insn.Load (7, 7, 0));
+    I (Insn.Alu (Insn.Xor, 5, 7));
+    I (Insn.Store (sp, key_off, 5));
+    (* tamper-proofing update: row = U + h*16 = [cell addr, correction] *)
+    I (Insn.Mov (7, 6));
+    I (Insn.Alu_imm (Insn.Shl, 7, 4));
+    Mov_lbl (4, Lbl u_label);
+    I (Insn.Alu (Insn.Add, 7, 4));
+    I (Insn.Load (5, 7, 0));
+    I (Insn.Cmp_imm (5, 0));
+    Jcc (Insn.Eq, Lbl "wm_cleanup");
+    I (Insn.Load (6, 7, 8));
+    I (Insn.Load (4, 5, 0));
+    I (Insn.Alu (Insn.Xor, 4, 6));
+    I (Insn.Store (5, 0, 4));
+    (* one-shot: clear the row, as in Figure 7's `movl $0x0,0x4(%eax)` *)
+    I (Insn.Mov_imm (4, 0));
+    I (Insn.Store (7, 0, 4));
+    I (Insn.Store (7, 8, 4));
+    L "wm_cleanup";
+    I (Insn.Alu_imm (Insn.Add, sp, frame_pad));
+    I Insn.Ret;
+  ]

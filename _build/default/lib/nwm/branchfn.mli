@@ -1,0 +1,30 @@
+(** Branch-function code synthesis (§4.1, Figure 7).
+
+    The branch function is called in the normal manner but overwrites its
+    return address: it saves flags and scratch registers, delegates to a
+    helper (so the return-address arithmetic happens one frame deeper, as
+    the paper's helper-function chain does), hashes the return address with
+    the perfect hash, xors in the redirect-table entry, applies at most one
+    pending tamper-proofing update ([M-cell ^= correction], one-shot), and
+    returns — to somewhere else. *)
+
+val code : shift:int -> frame_pad:int -> Nativesim.Asm.item list
+(** The assembly of [wm_f] (entry) and [wm_f1] (helper).  References the
+    labels [wm_D] (displacement table), [wm_T] (redirect table), [wm_U]
+    (tamper-update rows).  [shift] is the perfect hash's shift; [frame_pad]
+    is the helper's dummy frame size in bytes (a multiple of 8, randomized
+    per embedding). *)
+
+val entry_label : string
+(** "wm_f". *)
+
+val d_label : string
+val t_label : string
+val u_label : string
+
+val d_words : int
+(** Number of words in the displacement table ([2^Phash.low_bits]). *)
+
+val t_words : int
+val u_words : int
+(** The update table has [2^Phash.table_bits] rows of 2 words. *)

@@ -1,0 +1,244 @@
+open Nativesim
+
+type placement = Region | Scattered
+
+type report = {
+  binary : Binary.t;
+  begin_addr : int;
+  end_addr : int;
+  f_entry : int;
+  bits : int;
+  call_slots : int list;
+  tamper_cells : int;
+  bytes_before : int;
+  bytes_after : int;
+}
+
+let slot_label j = Printf.sprintf "wm_s%d" j
+let cell_label c = Printf.sprintf "wm_m%d" c
+
+(* Mirror the assembler's first pass to find each text item's address. *)
+let item_addresses items =
+  let addrs = ref [] in
+  let cursor = ref Layout.text_base in
+  List.iter
+    (fun item ->
+      addrs := !cursor :: !addrs;
+      cursor := !cursor + Asm.item_size item)
+    items;
+  List.rev !addrs
+
+let embed ?(seed = 0xBEEF_CAFEL) ?(tamper_proof = true) ?(placement = Region) ?(obfuscate_jumps = 0)
+    ?fuel ~watermark ~bits ~training_input (prog : Asm.program) =
+  if Bignum.sign watermark < 0 || Bignum.num_bits watermark > bits then
+    invalid_arg "Nwm.Embed.embed: watermark does not fit";
+  let rng = Util.Prng.create seed in
+  let w = Bignum.to_bits watermark ~width:bits in
+  let k = bits in
+  let pi = Bitperm.slots w in
+  let base_bin = Asm.assemble prog in
+  let bytes_before = Binary.size base_bin in
+  (* --- tamper-proofing candidates: cold direct jumps of the original --- *)
+  let candidates =
+    if not tamper_proof then []
+    else begin
+      let profile = Profile.run ?fuel base_bin ~input:training_input in
+      (* static loop membership (§4.3: candidates must not be in a loop) *)
+      let cfg = Cfg.build base_bin in
+      let loop_set = Hashtbl.create 64 in
+      List.iter (fun l -> Hashtbl.replace loop_set l ()) (Cfg.loop_leaders cfg);
+      let leader_of = Hashtbl.create 256 in
+      List.iter
+        (fun (b : Cfg.block) ->
+          List.iter (fun (a, _) -> Hashtbl.replace leader_of a b.Cfg.leader) b.Cfg.insns)
+        (Cfg.blocks cfg);
+      (* Candidates: direct jumps that either sit outside every natural
+         loop, or execute at most a handful of times — the paper's "not
+         part of a loop" requirement exists to avoid performance
+         degradation, and a cold loop degrades nothing. *)
+      let out_of_loop addr =
+        match Hashtbl.find_opt leader_of addr with
+        | Some leader -> not (Hashtbl.mem loop_set leader)
+        | None -> false
+      in
+      let cold addr = out_of_loop addr || Profile.count profile addr <= 4 in
+      let rec collect idx items addrs acc =
+        match (items, addrs) with
+        | [], _ | _, [] -> List.rev acc
+        | item :: items', addr :: addrs' ->
+            let acc =
+              match item with
+              | Asm.Jmp (Asm.Lbl target) when cold addr -> (idx, target, Profile.count profile addr) :: acc
+              | _ -> acc
+            in
+            collect (idx + 1) items' addrs' acc
+      in
+      let all = collect 0 prog.Asm.text (item_addresses prog.Asm.text) [] in
+      (* prefer the least-executed jumps that still execute on the training
+         input: a missed tamper update on one of those is sure to break the
+         program, whereas a never-executed jump breaks only exotic runs *)
+      let executed, unexecuted = List.partition (fun (_, _, c) -> c >= 1) all in
+      let executed = List.sort (fun (_, _, c1) (_, _, c2) -> Stdlib.compare c1 c2) executed in
+      List.filteri (fun i _ -> i < k) (executed @ unexecuted)
+      |> List.map (fun (idx, target, _) -> (idx, target))
+    end
+  in
+  let chosen = Hashtbl.create 16 in
+  List.iteri (fun c (idx, target) -> Hashtbl.replace chosen idx (c, target)) candidates;
+  let transformed_text =
+    List.mapi
+      (fun idx item ->
+        match Hashtbl.find_opt chosen idx with
+        | Some (c, _) -> Asm.Jmp_ind (Asm.Lbl (cell_label c))
+        | None -> item)
+      prog.Asm.text
+  in
+  (* §4.2.1: route some ordinary direct jumps through the branch function
+     as decoys — a call and a jump encode in the same five bytes, so the
+     swap does not disturb the layout *)
+  let obf_label i = Printf.sprintf "wm_obf%d" i
+  and obf_targets = Hashtbl.create 8 in
+  let transformed_text =
+    if obfuscate_jumps <= 0 then transformed_text
+    else begin
+      let taken = ref 0 in
+      List.mapi
+        (fun idx item ->
+          match item with
+          | Asm.Jmp (Asm.Lbl target)
+            when !taken < obfuscate_jumps && not (Hashtbl.mem chosen idx) ->
+              let i = !taken in
+              incr taken;
+              Hashtbl.replace obf_targets i target;
+              (* the label marks the decoy call so phase A can read its key *)
+              Asm.L (obf_label i)
+          | other -> other)
+        transformed_text
+      |> List.concat_map (fun item ->
+             match item with
+             | Asm.L name when String.length name > 6 && String.sub name 0 6 = "wm_obf" ->
+                 [ item; Asm.Call (Asm.Lbl Branchfn.entry_label) ]
+             | other -> [ other ])
+    end
+  in
+  (* --- call slot placement --- *)
+  (* Region: a dedicated block of k+1 slots, each preceded by a jump.
+     Scattered: the slots are spliced into the original text right after
+     existing unconditional jumps, in address order, so the same visit
+     permutation spells the bits. *)
+  let slotted_text =
+    match placement with
+    | Region ->
+        let region =
+          List.concat
+            (List.init (k + 1) (fun j ->
+                 Asm.[ Jmp (Lbl "wm_end"); L (slot_label j); Call (Lbl Branchfn.entry_label) ]))
+        in
+        region @ [ Asm.L "wm_end" ] @ transformed_text
+    | Scattered ->
+        let is_anchor = function
+          | Asm.Jmp _ | Asm.Jmp_ind _ -> true
+          | Asm.I i -> Insn.is_unconditional i
+          | _ -> false
+        in
+        let anchors =
+          List.mapi (fun idx item -> (idx, item)) transformed_text
+          |> List.filter_map (fun (idx, item) -> if is_anchor item then Some idx else None)
+        in
+        let n_anchors = List.length anchors in
+        if n_anchors < k + 1 then
+          invalid_arg
+            (Printf.sprintf
+               "Nwm.Embed: scattered placement needs %d insertion points, program has %d" (k + 1)
+               n_anchors);
+        (* pick k+1 anchors spread evenly across the text, in address order *)
+        let anchors = Array.of_list anchors in
+        let chosen = Hashtbl.create 16 in
+        for j = 0 to k do
+          let idx = anchors.(j * n_anchors / (k + 1)) in
+          Hashtbl.replace chosen idx j
+        done;
+        let spliced =
+          List.concat
+            (List.mapi
+               (fun idx item ->
+                 match Hashtbl.find_opt chosen idx with
+                 | Some j -> [ item; Asm.L (slot_label j); Asm.Call (Asm.Lbl Branchfn.entry_label) ]
+                 | None -> [ item ])
+               transformed_text)
+        in
+        (Asm.L "wm_end" :: spliced)
+  in
+  let frame_pad = 8 * Util.Prng.int rng 4 in
+  let text_of ~shift =
+    Asm.[ L "wm_begin"; Jmp (Lbl (slot_label pi.(0))) ]
+    @ slotted_text
+    @ Branchfn.code ~shift ~frame_pad
+  in
+  let data_of ~d ~t ~u ~cells =
+    prog.Asm.data
+    @ (Asm.Dlabel Branchfn.d_label :: List.map (fun v -> Asm.Dword v) (Array.to_list d))
+    @ (Asm.Dlabel Branchfn.t_label :: List.map (fun v -> Asm.Dword v) (Array.to_list t))
+    @ (Asm.Dlabel Branchfn.u_label :: List.map (fun v -> Asm.Dword v) (Array.to_list u))
+    @ List.concat (List.mapi (fun c v -> Asm.[ Dlabel (cell_label c); Dword v ]) cells)
+  in
+  (* --- phase A: placeholder link to learn every address --- *)
+  let zeros n = Array.make n 0 in
+  let cells0 = List.map (fun _ -> 0) candidates in
+  let phase_a =
+    Asm.assemble ~entry:"wm_begin"
+      { Asm.text = text_of ~shift:0; data = data_of ~d:(zeros Branchfn.d_words) ~t:(zeros Branchfn.t_words) ~u:(zeros Branchfn.u_words) ~cells:cells0 }
+  in
+  let sym = Binary.symbol phase_a in
+  let end_addr = sym "wm_end" in
+  let slot_addr j = sym (slot_label j) in
+  (* chain order: a_0 .. a_k with a_i at slot pi.(i) *)
+  let chain = List.init (k + 1) (fun i -> slot_addr pi.(i)) in
+  let keys = List.map (fun a -> a + 5) chain in
+  let obf_entries =
+    Hashtbl.fold (fun i target acc -> (sym (obf_label i) + 5, target) :: acc) obf_targets []
+  in
+  let hash = Phash.build ~rng ~keys:(keys @ List.map fst obf_entries) in
+  let text_end = Binary.text_end phase_a in
+  (* redirect table: T[h(key_i)] = key_i xor dst_i *)
+  let t = Array.init Branchfn.t_words (fun _ -> Util.Prng.bits rng 31) in
+  List.iteri
+    (fun i key ->
+      let dst = if i < k then slot_addr pi.(i + 1) else end_addr in
+      t.(Phash.eval hash key) <- key lxor dst)
+    keys;
+  List.iter
+    (fun (key, target) -> t.(Phash.eval hash key) <- key lxor sym target)
+    obf_entries;
+  (* tamper updates: candidate c rides on chain call c *)
+  let u = zeros Branchfn.u_words in
+  let cell_inits =
+    List.mapi
+      (fun c (_, target) ->
+        let init = Layout.text_base + Util.Prng.int rng (text_end - Layout.text_base) in
+        let key = List.nth keys c in
+        let row = Phash.eval hash key in
+        u.(2 * row) <- sym (cell_label c);
+        u.((2 * row) + 1) <- init lxor sym target;
+        init)
+      candidates
+  in
+  (* --- phase B: the real link --- *)
+  let binary =
+    Asm.assemble ~entry:"wm_begin"
+      { Asm.text = text_of ~shift:hash.Phash.shift; data = data_of ~d:hash.Phash.displace ~t ~u ~cells:cell_inits }
+  in
+  (* layout must be identical across phases *)
+  assert (Binary.symbol binary "wm_end" = end_addr);
+  assert (String.length binary.Binary.text = String.length phase_a.Binary.text);
+  {
+    binary;
+    begin_addr = sym "wm_begin";
+    end_addr;
+    f_entry = sym Branchfn.entry_label;
+    bits;
+    call_slots = chain;
+    tamper_cells = List.length candidates;
+    bytes_before;
+    bytes_after = Binary.size binary;
+  }

@@ -1,0 +1,55 @@
+(** Native watermark embedding (§4.2.2) with tamper-proofing (§4.3).
+
+    The embedder takes the program at the assembly level (our rewriter-
+    level IR), splits the entry edge, and inserts a watermark region of
+    [k+1] branch-function call slots whose execution chain visits them in
+    an order that spells the watermark bits by address comparison.  Up to
+    [k] cold unconditional jumps of the original program are converted to
+    indirect jumps through memory cells that only the branch function's
+    chained updates make correct — snip or bypass the branch function and
+    the program breaks.
+
+    Linking is two-phase: a first assembly with placeholder table contents
+    fixes every address; the perfect hash and the xor tables are computed
+    from those addresses; a second assembly with identical layout fills
+    them in. *)
+
+type placement =
+  | Region  (** a dedicated slot region between [begin] and [end], as in Figure 6(c) *)
+  | Scattered
+      (** the §4.2.2 construction: the [k+1] calls are inserted at points
+          scattered through the original text whose preceding instruction
+          is an unconditional jump, chosen in address order so the visit
+          permutation spells the bits.  Needs at least [k+1] such points. *)
+
+type report = {
+  binary : Nativesim.Binary.t;
+  begin_addr : int;  (** start of the watermark region *)
+  end_addr : int;  (** where the chain re-enters the original program *)
+  f_entry : int;  (** branch-function entry (for tests/attacks) *)
+  bits : int;  (** watermark width k *)
+  call_slots : int list;  (** slot addresses in chain order, a_0..a_k *)
+  tamper_cells : int;  (** number of tamper-proofed jumps *)
+  bytes_before : int;
+  bytes_after : int;
+}
+
+val embed :
+  ?seed:int64 ->
+  ?tamper_proof:bool ->
+  ?placement:placement ->
+  ?obfuscate_jumps:int ->
+  ?fuel:int ->
+  watermark:Bignum.t ->
+  bits:int ->
+  training_input:int list ->
+  Nativesim.Asm.program ->
+  report
+(** [training_input] drives the profiling run that classifies jumps as
+    cold (§5.2: SPEC training inputs).  [obfuscate_jumps] (default 0)
+    additionally routes up to that many ordinary unconditional jumps
+    through the branch function (§4.2.1: the branch function "can also be
+    used to obfuscate other control transfers ... that have nothing to do
+    with the watermark itself"), so watermark calls hide among decoys.
+    Labels starting with ["wm_"] are reserved for the watermarker.  Raises
+    [Invalid_argument] when the watermark does not fit in [bits]. *)

@@ -1,0 +1,98 @@
+open Nativesim
+
+type kind = Simple | Smart
+
+type extraction = { bits : bool list; call_sites : int list; f_entry : int }
+
+type step = { s_addr : int; s_insn : Insn.t; s_stack_top : int }
+
+exception Window_closed
+
+(* Collect the instruction window between begin and end by single-stepping;
+   stop the machine as soon as the window closes. *)
+let collect_window ?fuel bin ~begin_addr ~end_addr ~input =
+  let started = ref false in
+  let log = ref [] in
+  let observer st ~addr ~insn =
+    if (not !started) && addr = begin_addr then started := true;
+    if !started then begin
+      if addr = end_addr then raise Window_closed;
+      let sp = Machine.reg st Insn.sp in
+      let top = if sp >= 0 && sp + 8 <= Layout.memory_size then Machine.read_word st sp else 0 in
+      log := { s_addr = addr; s_insn = insn; s_stack_top = top } :: !log
+    end
+  in
+  (try ignore (Machine.run ?fuel ~observer bin ~input) with Window_closed -> ());
+  List.rev !log
+
+(* Identify the branch function: simulate the call/return discipline; the
+   first return that does not come back to its call site exposes the
+   offending frame's callee. *)
+let find_branch_function steps =
+  let rec go stack pending = function
+    | [] -> None
+    | step :: rest -> begin
+        (* resolve a pending return first *)
+        match pending with
+        | Some (expected, callee) when step.s_addr <> expected -> Some callee
+        | _ -> begin
+            let stack, pending =
+              match step.s_insn with
+              | Insn.Call target -> ((step.s_addr + 5, target) :: stack, None)
+              | Insn.Ret -> begin
+                  match stack with
+                  | frame :: stack' -> (stack', Some frame)
+                  | [] -> ([], None)
+                end
+              | _ -> (stack, None)
+            in
+            go stack pending rest
+          end
+      end
+  in
+  go [] None steps
+
+(* A tracer paired with a disassembler canonicalizes a call target by
+   following unconditional-jump chains: rerouting a call through a
+   trampoline must not hide the function it lands in. *)
+let canonicalize bin addr =
+  let rec follow addr hops =
+    if hops = 0 then addr
+    else begin
+      match Disasm.at bin addr with
+      | Insn.Jmp t -> follow t (hops - 1)
+      | _ | (exception Failure _) -> addr
+    end
+  in
+  follow addr 8
+
+let extract ?fuel ?(kind = Smart) bin ~begin_addr ~end_addr ~input =
+  let steps = collect_window ?fuel bin ~begin_addr ~end_addr ~input in
+  if steps = [] then Error "empty trace window (begin never reached)"
+  else begin
+    match Option.map (canonicalize bin) (find_branch_function steps) with
+    | None -> Error "no branch function identified in the window"
+    | Some f_entry ->
+        (* every entry into the branch function yields one call site *)
+        let sites = ref [] in
+        let prev = ref None in
+        List.iter
+          (fun step ->
+            if step.s_addr = f_entry then begin
+              let site =
+                match kind with
+                | Smart -> step.s_stack_top - 5
+                | Simple -> begin
+                    match !prev with Some p -> p.s_addr | None -> step.s_addr
+                  end
+              in
+              sites := site :: !sites
+            end;
+            prev := Some step)
+          steps;
+        let call_sites = List.rev !sites in
+        if List.length call_sites < 2 then Error "fewer than two branch-function calls observed"
+        else Ok { bits = Bitperm.bits_of_addresses call_sites; call_sites; f_entry }
+  end
+
+let watermark e = Bignum.of_bits e.bits

@@ -1,0 +1,37 @@
+(** Watermark extraction (§4.2.3).
+
+    A single-stepping tracer observes execution between [begin] and [end],
+    identifies the branch function (the callee whose return does not come
+    back to the call site), recovers the chain of call sites
+    [a_0 .. a_k], and decodes one bit per adjacent address pair.
+
+    Two tracers are provided, mirroring §5.2.2's discussion of the
+    rerouting attack:
+    - the {b simple} tracer takes [a_i] to be the instruction that
+      transferred control into the branch function — fooled by a
+      trampoline [X: call Y; ...; Y: jmp f];
+    - the {b smart} tracer reads the branch function's {e hash input} (the
+      return address on the stack) at entry, which the attack cannot
+      change without breaking the program. *)
+
+type kind = Simple | Smart
+
+type extraction = {
+  bits : bool list;  (** decoded watermark bits, w_0 first *)
+  call_sites : int list;  (** recovered a_0 .. a_k *)
+  f_entry : int;  (** identified branch-function entry *)
+}
+
+val extract :
+  ?fuel:int ->
+  ?kind:kind ->
+  Nativesim.Binary.t ->
+  begin_addr:int ->
+  end_addr:int ->
+  input:int list ->
+  (extraction, string) result
+(** [kind] defaults to [Smart].  The run is cut short once [end_addr] is
+    reached, so extraction does not require a complete program input. *)
+
+val watermark : extraction -> Bignum.t
+(** The decoded bits as an integer (bit 0 = first bit). *)

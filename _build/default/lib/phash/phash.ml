@@ -1,0 +1,79 @@
+type t = { shift : int; table_bits : int; low_bits : int; displace : int array }
+
+let low_bits = 11
+let table_bits = 10
+
+let eval t x =
+  let hi = (x lsr t.shift) land ((1 lsl t.table_bits) - 1) in
+  hi lxor t.displace.(x land ((1 lsl t.low_bits) - 1))
+
+(* Greedy displacement assignment, largest bucket first: all keys sharing
+   low bits get one displacement, so their high parts must be distinct and
+   the displaced slots must avoid slots already taken. *)
+let try_shift ~rng ~keys shift =
+  let slots = 1 lsl table_bits in
+  let table_mask = slots - 1 in
+  let low_mask = (1 lsl low_bits) - 1 in
+  let buckets = Hashtbl.create 64 in
+  List.iter
+    (fun key ->
+      let b = key land low_mask in
+      Hashtbl.replace buckets b (((key lsr shift) land table_mask) :: Option.value ~default:[] (Hashtbl.find_opt buckets b)))
+    keys;
+  let bucket_list =
+    Hashtbl.fold (fun b his acc -> (b, List.sort_uniq compare his, List.length his) :: acc) buckets []
+  in
+  (* keys sharing both low bits and high part cannot be separated *)
+  if List.exists (fun (_, uniq, n) -> List.length uniq <> n) bucket_list then None
+  else begin
+    let ordered = List.sort (fun (_, _, n1) (_, _, n2) -> Stdlib.compare n2 n1) bucket_list in
+    let used = Array.make slots false in
+    let displace = Array.make (1 lsl low_bits) 0 in
+    (* randomize unused displacement entries too, for stealth *)
+    Array.iteri (fun i _ -> displace.(i) <- Util.Prng.int rng slots) displace;
+    let assign (b, his, _) =
+      let fits d = List.for_all (fun hi -> not used.(hi lxor d)) his in
+      let start = Util.Prng.int rng slots in
+      let rec probe k =
+        if k >= slots then None
+        else begin
+          let d = (start + k) land table_mask in
+          if fits d then Some d else probe (k + 1)
+        end
+      in
+      match probe 0 with
+      | None -> false
+      | Some d ->
+          displace.(b) <- d;
+          List.iter (fun hi -> used.(hi lxor d) <- true) his;
+          true
+    in
+    if List.for_all assign ordered then Some { shift; table_bits; low_bits; displace } else None
+  end
+
+let is_perfect t ~keys =
+  let seen = Hashtbl.create 64 in
+  List.for_all
+    (fun key ->
+      let h = eval t key in
+      if Hashtbl.mem seen h then false
+      else begin
+        Hashtbl.add seen h ();
+        true
+      end)
+    keys
+
+let build ~rng ~keys =
+  if List.length (List.sort_uniq compare keys) <> List.length keys then
+    invalid_arg "Phash.build: duplicate keys";
+  List.iter (fun k -> if k < 0 then invalid_arg "Phash.build: negative key") keys;
+  let rec go shifts =
+    match shifts with
+    | [] -> failwith "Phash.build: no geometry separates the keys"
+    | shift :: rest -> begin
+        match try_shift ~rng ~keys shift with
+        | Some t -> t
+        | None -> go rest
+      end
+  in
+  go [ 2; 3; 1; 4; 5; 0; 6; 7; 8; 9; 10; 12; 14; 16 ]

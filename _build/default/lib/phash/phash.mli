@@ -1,0 +1,43 @@
+(** Perfect hashing for branch-function dispatch.
+
+    The branch function must map each of its call sites' return addresses
+    to a distinct table slot in O(1) with a few machine instructions; the
+    paper cites FKS [Fredman-Komlós-Szemerédi 1984] and its Figure 7
+    disassembly evaluates the shape
+
+      [h(x) = ((x >> shift) & table_mask) xor D[x & low_mask]]
+
+    — a shift/mask plus one xor-displacement table lookup.  This module
+    constructs such hashes: the displacement entries are assigned greedily
+    (largest bucket first) until the hash is injective on the key set.
+
+    Geometry is fixed (an 11-bit displacement index, like the paper's
+    [and $0x7ff], and a 12-bit output) so that table sizes — and hence the
+    layout of the binary — do not depend on the key values; only [shift]
+    and the table contents vary. *)
+
+type t = {
+  shift : int;
+  table_bits : int;  (** output width; slots = [2^table_bits] *)
+  low_bits : int;  (** displacement index width *)
+  displace : int array;  (** [2^low_bits] entries, each < [2^table_bits] *)
+}
+
+val low_bits : int
+(** 11. *)
+
+val table_bits : int
+(** 10 — 1024 slots, comfortably above the 513 calls of a 512-bit
+    watermark (load factor at most ~0.5). *)
+
+val eval : t -> int -> int
+(** Hash a key into [\[0, 2^table_bits)]. *)
+
+val build : rng:Util.Prng.t -> keys:int list -> t
+(** Construct a hash that is injective on [keys] (which must be distinct
+    and nonnegative).  Tries successive shifts with randomized displacement
+    assignment; raises [Failure] if no geometry works (practically
+    impossible for realistic call-site sets). *)
+
+val is_perfect : t -> keys:int list -> bool
+(** Check injectivity (for tests). *)

@@ -1,0 +1,1 @@
+lib/stackvm/asm.ml: Hashtbl Instr List Program

@@ -1,0 +1,1 @@
+lib/stackvm/asm.mli: Instr Program

@@ -1,0 +1,1 @@
+lib/stackvm/instr.mli: Format

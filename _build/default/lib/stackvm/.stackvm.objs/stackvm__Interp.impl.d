@@ -1,0 +1,1 @@
+lib/stackvm/interp.ml: Array Hashtbl Instr List Program

@@ -1,0 +1,1 @@
+lib/stackvm/interp.mli: Program

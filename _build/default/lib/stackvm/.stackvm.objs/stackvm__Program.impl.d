@@ -1,0 +1,1 @@
+lib/stackvm/program.ml: Array Format Instr List

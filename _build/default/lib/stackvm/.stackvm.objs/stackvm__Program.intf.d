@@ -1,0 +1,1 @@
+lib/stackvm/program.mli: Format Instr

@@ -1,0 +1,1 @@
+lib/stackvm/rewrite.ml: Array Fun Hashtbl Instr List Program

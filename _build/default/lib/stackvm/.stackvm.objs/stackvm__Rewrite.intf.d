@@ -1,0 +1,1 @@
+lib/stackvm/rewrite.mli: Instr Program

@@ -1,0 +1,1 @@
+lib/stackvm/serialize.ml: Array Buffer Char Instr Int64 List Printf Program String

@@ -1,0 +1,1 @@
+lib/stackvm/serialize.mli: Program

@@ -1,0 +1,1 @@
+lib/stackvm/trace.ml: Array Buffer Char Hashtbl Interp List Option Stdlib String Util

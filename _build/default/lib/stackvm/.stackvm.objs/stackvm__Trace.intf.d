@@ -1,0 +1,1 @@
+lib/stackvm/trace.mli: Hashtbl Interp Program Util

@@ -1,0 +1,1 @@
+lib/stackvm/verify.ml: Array Format Instr List Option Program Queue

@@ -1,0 +1,28 @@
+type item = I of Instr.t | L of string | Jmp of string | Br of bool * string
+
+let assemble items =
+  let labels = Hashtbl.create 16 in
+  let pc = ref 0 in
+  List.iter
+    (fun item ->
+      match item with
+      | L name ->
+          if Hashtbl.mem labels name then invalid_arg ("Asm.assemble: duplicate label " ^ name);
+          Hashtbl.replace labels name !pc
+      | I _ | Jmp _ | Br _ -> incr pc)
+    items;
+  let resolve name =
+    match Hashtbl.find_opt labels name with
+    | Some target -> target
+    | None -> invalid_arg ("Asm.assemble: undefined label " ^ name)
+  in
+  List.filter_map
+    (fun item ->
+      match item with
+      | L _ -> None
+      | I instr -> Some instr
+      | Jmp name -> Some (Instr.Jump (resolve name))
+      | Br (sense, name) -> Some (Instr.If { sense; target = resolve name }))
+    items
+
+let func ~name ~nargs ~nlocals items = Program.func ~name ~nargs ~nlocals (assemble items)

@@ -1,0 +1,17 @@
+(** A tiny assembler: instruction lists with symbolic labels.
+
+    Raw {!Instr.t} uses absolute instruction indices for branch targets,
+    which is unusable for hand-written code; this front-end resolves
+    symbolic labels in one pass. *)
+
+type item =
+  | I of Instr.t  (** a plain instruction (targets ignored — use [Jmp]/[Br]) *)
+  | L of string  (** define a label at the next instruction *)
+  | Jmp of string  (** [Jump] to a label *)
+  | Br of bool * string  (** [If {sense; target}] to a label *)
+
+val assemble : item list -> Instr.t list
+(** Raises [Invalid_argument] on undefined or duplicate labels. *)
+
+val func : name:string -> nargs:int -> nlocals:int -> item list -> Program.func
+(** Assemble straight into a function. *)

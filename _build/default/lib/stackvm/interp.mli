@@ -1,0 +1,38 @@
+(** The tracing interpreter.
+
+    Executes a program on an input sequence (the secret watermark input of
+    the paper is such a sequence) and optionally reports events to an
+    observer: entry into each basic block — with access to the live locals
+    and globals, which is what the condition code generator mines — and the
+    outcome of every conditional branch, from which the trace bit-string is
+    decoded. *)
+
+type observer = {
+  on_block : fidx:int -> pc:int -> locals:int array -> globals:int array -> unit;
+      (** called on entry to each basic block; the arrays are the live
+          frames — copy them if you keep them *)
+  on_branch : fidx:int -> pc:int -> taken:bool -> unit;
+      (** called after each [If] resolves *)
+}
+
+val null_observer : observer
+
+type outcome =
+  | Finished of int  (** [main]'s return value *)
+  | Trapped of { fidx : int; pc : int; reason : string }
+  | Out_of_fuel
+
+type result = {
+  outcome : outcome;
+  outputs : int list;  (** values printed, in order *)
+  steps : int;  (** instructions executed — the cost metric of Figure 8 *)
+}
+
+val run : ?observer:observer -> ?fuel:int -> Program.t -> input:int list -> result
+(** [run prog ~input] executes [prog.main]. [fuel] (default [max_int])
+    bounds the executed instruction count. The program is not re-verified;
+    run {!Verify.check} first on untrusted code. *)
+
+val equivalent_on : ?fuel:int -> Program.t -> Program.t -> inputs:int list list -> bool
+(** Semantics-preservation check used by the attack tests: both programs
+    produce identical outputs and outcome on every given input. *)

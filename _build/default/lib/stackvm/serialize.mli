@@ -1,0 +1,14 @@
+(** Binary serialization of programs.
+
+    Figure 8(b) of the paper measures watermark cost in {e bytes of
+    bytecode}; this compact binary format (opcode byte + LEB128 varint
+    operands) is our size metric, and round-trips exactly. *)
+
+val encode : Program.t -> string
+(** Serialize to bytes. *)
+
+val decode : string -> Program.t
+(** Inverse of {!encode}. Raises [Failure] on malformed input. *)
+
+val size_in_bytes : Program.t -> int
+(** [String.length (encode p)]. *)

@@ -1,0 +1,106 @@
+type branch_event = { fidx : int; pc : int; taken : bool }
+
+type snapshot = { locals : int array; globals : int array }
+
+type t = {
+  branches : branch_event array;
+  visits : (int * int, snapshot list) Hashtbl.t;
+  block_counts : (int * int, int) Hashtbl.t;
+  result : Interp.result;
+}
+
+let max_snapshots_per_block = 8
+
+let capture ?fuel ?(want_snapshots = true) prog ~input =
+  let branches = ref [] in
+  let visits = Hashtbl.create 256 in
+  let block_counts = Hashtbl.create 256 in
+  let observer =
+    {
+      Interp.on_block =
+        (fun ~fidx ~pc ~locals ~globals ->
+          let key = (fidx, pc) in
+          let count = Option.value ~default:0 (Hashtbl.find_opt block_counts key) in
+          Hashtbl.replace block_counts key (count + 1);
+          if want_snapshots && count < max_snapshots_per_block then begin
+            let snap = { locals = Array.copy locals; globals = Array.copy globals } in
+            let prev = Option.value ~default:[] (Hashtbl.find_opt visits key) in
+            Hashtbl.replace visits key (prev @ [ snap ])
+          end);
+      Interp.on_branch = (fun ~fidx ~pc ~taken -> branches := { fidx; pc; taken } :: !branches);
+    }
+  in
+  let result = Interp.run ~observer ?fuel prog ~input in
+  { branches = Array.of_list (List.rev !branches); visits; block_counts; result }
+
+let bits_of_branches events =
+  let first = Hashtbl.create 64 in
+  let bits = Util.Bitstring.create () in
+  List.iter
+    (fun { fidx; pc; taken } ->
+      let key = (fidx, pc) in
+      match Hashtbl.find_opt first key with
+      | None ->
+          Hashtbl.add first key taken;
+          Util.Bitstring.append bits false
+      | Some reference -> Util.Bitstring.append bits (taken <> reference))
+    events;
+  bits
+
+let bitstring t = bits_of_branches (Array.to_list t.branches)
+
+let visit_count t key = Option.value ~default:0 (Hashtbl.find_opt t.block_counts key)
+
+let hot_blocks t =
+  let entries = Hashtbl.fold (fun key count acc -> (key, count) :: acc) t.block_counts [] in
+  List.sort (fun (_, c1) (_, c2) -> Stdlib.compare c2 c1) entries
+
+let save t =
+  let buf = Buffer.create (16 * Array.length t.branches) in
+  Buffer.add_string buf "TRC1";
+  let varint v =
+    let rec go v =
+      if v < 0x80 then Buffer.add_char buf (Char.chr v)
+      else begin
+        Buffer.add_char buf (Char.chr (0x80 lor (v land 0x7F)));
+        go (v lsr 7)
+      end
+    in
+    go v
+  in
+  varint (Array.length t.branches);
+  Array.iter
+    (fun { fidx; pc; taken } ->
+      varint fidx;
+      varint pc;
+      varint (if taken then 1 else 0))
+    t.branches;
+  Buffer.contents buf
+
+let load_branches s =
+  if String.length s < 4 || String.sub s 0 4 <> "TRC1" then failwith "Trace.load_branches: bad magic";
+  let pos = ref 4 in
+  let byte () =
+    if !pos >= String.length s then failwith "Trace.load_branches: truncated";
+    let b = Char.code s.[!pos] in
+    incr pos;
+    b
+  in
+  let varint () =
+    let rec go shift acc =
+      let b = byte () in
+      let acc = acc lor ((b land 0x7F) lsl shift) in
+      if b land 0x80 = 0 then acc else go (shift + 7) acc
+    in
+    go 0 0
+  in
+  let n = varint () in
+  (* decode sequentially: iteration order must follow the byte stream *)
+  let out = ref [] in
+  for _ = 1 to n do
+    let fidx = varint () in
+    let pc = varint () in
+    let taken = varint () = 1 in
+    out := { fidx; pc; taken } :: !out
+  done;
+  List.rev !out

@@ -1,0 +1,55 @@
+(** Trace capture and trace bit-string decoding (Section 3.1).
+
+    The tracing phase runs the program on the secret input sequence and
+    records, per executed conditional branch, which way it went, and on
+    block entry the values of locals and globals (used by the condition
+    code generator to synthesize predicates from existing variables).
+
+    The {e bit-string of a trace} is decoded with the paper's rule: for
+    each conditional branch, its first dynamic occurrence fixes a reference
+    direction; every occurrence then contributes [0] when it goes the same
+    way as the first occurrence and [1] otherwise.  This makes the
+    bit-string invariant under code reordering, branch-sense inversion and
+    insertion of non-branch instructions. *)
+
+type branch_event = { fidx : int; pc : int; taken : bool }
+
+type snapshot = { locals : int array; globals : int array }
+(** Variable values on entry to a block visit (copies, safe to keep). *)
+
+type t = {
+  branches : branch_event array;  (** every conditional branch, in order *)
+  visits : (int * int, snapshot list) Hashtbl.t;
+      (** per block [(fidx, leader_pc)], the snapshots of its first visits
+          in visit order (capped at {!max_snapshots_per_block}) *)
+  block_counts : (int * int, int) Hashtbl.t;  (** execution frequency *)
+  result : Interp.result;
+}
+
+val max_snapshots_per_block : int
+(** 8 — the condition code generator only distinguishes early visits. *)
+
+val capture : ?fuel:int -> ?want_snapshots:bool -> Program.t -> input:int list -> t
+(** Run under instrumentation. [want_snapshots] (default [true]) controls
+    whether variable values are recorded; recognition-only traces can turn
+    it off to save memory. *)
+
+val bitstring : t -> Util.Bitstring.t
+(** Decode the trace into its bit-string. *)
+
+val bits_of_branches : branch_event list -> Util.Bitstring.t
+(** The same decoding over a raw event list. *)
+
+val visit_count : t -> int * int -> int
+(** Times the given block was entered (0 if never). *)
+
+val hot_blocks : t -> ((int * int) * int) list
+(** Blocks sorted by descending execution count. *)
+
+val save : t -> string
+(** Serialize the branch-event trace (the paper's tracing phase "writes to
+    a file the sequence of basic blocks" — we persist the branch events the
+    recognizer needs).  Snapshots and counts are not saved. *)
+
+val load_branches : string -> branch_event list
+(** Read back the events of {!save}; raises [Failure] on malformed data. *)

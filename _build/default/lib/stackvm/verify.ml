@@ -1,0 +1,114 @@
+type error = { func : string; pc : int; message : string }
+
+let pp_error fmt { func; pc; message } = Format.fprintf fmt "%s@%d: %s" func pc message
+
+exception Bad of error
+
+let err func pc fmt = Format.kasprintf (fun message -> raise (Bad { func; pc; message })) fmt
+
+(* Net stack effect of one instruction, given callee arities. *)
+let delta (prog : Program.t) fname pc instr =
+  match (instr : Instr.t) with
+  | Call callee -> begin
+      match Program.find_func prog callee with
+      | None -> err fname pc "call to unknown function %s" callee
+      | Some f -> 1 - f.Program.nargs
+    end
+  | Ret -> err fname pc "Ret has no static delta" (* handled separately *)
+  | other -> begin
+      match Instr.stack_delta other with
+      | Some d -> d
+      | None -> assert false
+    end
+
+(* Operands an instruction needs on the stack before executing. *)
+let required (prog : Program.t) fname pc instr =
+  match (instr : Instr.t) with
+  | Instr.Const _ | Instr.Load _ | Instr.Get_global _ | Instr.Read | Instr.Jump _ | Instr.Nop -> 0
+  | Instr.Store _ | Instr.Set_global _ | Instr.Neg | Instr.Not | Instr.Dup | Instr.Pop
+  | Instr.New_array | Instr.Array_len | Instr.Print | Instr.If _ | Instr.Ret ->
+      1
+  | Instr.Binop _ | Instr.Cmp _ | Instr.Swap | Instr.Array_load -> 2
+  | Instr.Array_store -> 3
+  | Instr.Call callee -> begin
+      match Program.find_func prog callee with
+      | None -> err fname pc "call to unknown function %s" callee
+      | Some f -> f.Program.nargs
+    end
+
+let check_static (prog : Program.t) (f : Program.func) =
+  let n = Array.length f.code in
+  Array.iteri
+    (fun pc instr ->
+      (match (instr : Instr.t) with
+      | Instr.Load slot | Instr.Store slot ->
+          if slot < 0 || slot >= f.nlocals then err f.name pc "local slot %d out of %d" slot f.nlocals
+      | Instr.Get_global g | Instr.Set_global g ->
+          if g < 0 || g >= prog.nglobals then err f.name pc "global %d out of %d" g prog.nglobals
+      | Instr.Call callee ->
+          if Program.find_func prog callee = None then err f.name pc "call to unknown function %s" callee
+      | _ -> ());
+      List.iter
+        (fun t -> if t < 0 || t >= n then err f.name pc "branch target %d out of [0, %d)" t n)
+        (Instr.targets instr))
+    f.code;
+  if n = 0 then err f.name 0 "empty function body";
+  (* The last instruction must not fall off the end. *)
+  if Instr.falls_through f.code.(n - 1) then err f.name (n - 1) "control can fall off the end"
+
+let depths_exn (prog : Program.t) (f : Program.func) =
+  check_static prog f;
+  let n = Array.length f.code in
+  let depth = Array.make n None in
+  let worklist = Queue.create () in
+  let push pc d =
+    if pc < 0 || pc >= n then err f.name pc "control flows out of the function"
+    else begin
+      match depth.(pc) with
+      | None ->
+          depth.(pc) <- Some d;
+          Queue.add pc worklist
+      | Some d' -> if d <> d' then err f.name pc "stack depth mismatch at merge (%d vs %d)" d' d
+    end
+  in
+  push 0 0;
+  while not (Queue.is_empty worklist) do
+    let pc = Queue.pop worklist in
+    let d = Option.get depth.(pc) in
+    let instr = f.code.(pc) in
+    let need = required prog f.name pc instr in
+    if d < need then err f.name pc "stack underflow: depth %d, need %d" d need;
+    match instr with
+    | Instr.Ret -> if d <> 1 then err f.name pc "Ret requires depth exactly 1, found %d" d
+    | Instr.Jump t -> push t d
+    | Instr.If { target; _ } ->
+        push target (d - 1);
+        push (pc + 1) (d - 1)
+    | other ->
+        let d' = d + delta prog f.name pc other in
+        push (pc + 1) d'
+  done;
+  depth
+
+let depths prog f = try Ok (depths_exn prog f) with Bad e -> Error e
+
+let check (prog : Program.t) =
+  let errors = ref [] in
+  (match Program.find_func prog prog.main with
+  | None -> errors := { func = prog.main; pc = 0; message = "main function missing" } :: !errors
+  | Some f ->
+      if f.nargs <> 0 then
+        errors := { func = prog.main; pc = 0; message = "main must take no arguments" } :: !errors);
+  Array.iter
+    (fun f -> match depths prog f with Ok _ -> () | Error e -> errors := e :: !errors)
+    prog.funcs;
+  match !errors with [] -> Ok () | es -> Error (List.rev es)
+
+let check_exn prog =
+  match check prog with
+  | Ok () -> ()
+  | Error es ->
+      invalid_arg
+        (Format.asprintf "Verify.check_exn: %a"
+           (Format.pp_print_list ~pp_sep:(fun fmt () -> Format.fprintf fmt "; ") pp_error)
+           es)

@@ -1,0 +1,53 @@
+(** Deterministic pseudo-random number generation.
+
+    All randomized components of the watermarker (piece placement, opaque
+    predicate choice, attack sampling, ...) draw from this splittable
+    SplitMix64 generator so that every experiment is reproducible from a
+    seed.  The global [Random] state of the OCaml runtime is never used. *)
+
+type t
+(** Mutable generator state. *)
+
+val create : int64 -> t
+(** [create seed] returns a fresh generator. Equal seeds yield equal
+    streams. *)
+
+val copy : t -> t
+(** [copy t] duplicates the current state; the copy and the original then
+    evolve independently. *)
+
+val split : t -> t
+(** [split t] advances [t] and returns a new generator whose stream is
+    statistically independent of the remainder of [t]'s stream. *)
+
+val next_int64 : t -> int64
+(** Next raw 64-bit output. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [\[0, bound)]. [bound] must be positive. *)
+
+val int_in : t -> int -> int -> int
+(** [int_in t lo hi] is uniform in [\[lo, hi\]] inclusive. *)
+
+val bool : t -> bool
+(** Uniform boolean. *)
+
+val float : t -> float -> float
+(** [float t bound] is uniform in [\[0, bound)]. *)
+
+val bits : t -> int -> int
+(** [bits t n] returns [n] uniform random bits as a nonnegative int,
+    [0 <= n <= 62]. *)
+
+val pick : t -> 'a array -> 'a
+(** Uniform element of a non-empty array. *)
+
+val pick_list : t -> 'a list -> 'a
+(** Uniform element of a non-empty list. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher-Yates shuffle. *)
+
+val weighted_index : t -> float array -> int
+(** [weighted_index t w] samples index [i] with probability proportional to
+    [w.(i)]. All weights must be nonnegative and at least one positive. *)

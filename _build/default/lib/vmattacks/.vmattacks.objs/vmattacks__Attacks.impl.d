@@ -1,0 +1,1 @@
+lib/vmattacks/attacks.ml: Array Char Instr Interp List Program Rewrite Serialize Stackvm Stdlib String Trace Util

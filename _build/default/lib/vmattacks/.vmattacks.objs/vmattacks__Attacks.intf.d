@@ -1,0 +1,1 @@
+lib/vmattacks/attacks.mli: Stackvm Util

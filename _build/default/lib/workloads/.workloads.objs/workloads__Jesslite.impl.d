@@ -1,0 +1,1 @@
+lib/workloads/jesslite.ml: Workload

@@ -1,0 +1,1 @@
+lib/workloads/miniinterp.ml: Workload

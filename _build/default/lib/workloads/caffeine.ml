@@ -1,0 +1,222 @@
+let sieve_src =
+  {|
+  // count primes below n with the sieve of Eratosthenes
+  func sieve(int n) {
+    int flags[n];
+    int count = 0;
+    int i = 2;
+    while (i < n) { flags[i] = 1; i = i + 1; }
+    i = 2;
+    while (i < n) {
+      if (flags[i] == 1) {
+        count = count + 1;
+        int j = i + i;
+        while (j < n) { flags[j] = 0; j = j + i; }
+      }
+      i = i + 1;
+    }
+    return count;
+  }
+  func main() {
+    int scale = read();
+    print(sieve(scale));
+    return 0;
+  }
+|}
+
+let loop_src =
+  {|
+  // nested counting loops
+  func spin(int outer, int inner) {
+    int acc = 0;
+    int i = 0;
+    while (i < outer) {
+      int j = 0;
+      while (j < inner) {
+        acc = acc + ((i * j) & 1023);
+        j = j + 1;
+      }
+      i = i + 1;
+    }
+    return acc;
+  }
+  func main() {
+    int scale = read();
+    print(spin(scale, 37));
+    return 0;
+  }
+|}
+
+let logic_src =
+  {|
+  // bit-twiddling with dense conditionals
+  func churn(int n, int seed) {
+    int x = seed;
+    int acc = 0;
+    int i = 0;
+    while (i < n) {
+      x = (x * 1103515245 + 12345) & 1073741823;
+      if ((x & 1) == 1) { acc = acc ^ x; } else { acc = acc + (x >> 3); }
+      if ((x & 6) == 4) { acc = acc - 7; }
+      if (x % 5 == 0 && (x & 8) != 0) { acc = acc + 11; }
+      i = i + 1;
+    }
+    return acc;
+  }
+  func main() {
+    int scale = read();
+    print(churn(scale, 42));
+    return 0;
+  }
+|}
+
+let method_src =
+  {|
+  // call-intensive kernel: small functions called in a tight loop
+  func add3(int a, int b, int c) { return a + b + c; }
+  func twice(int x) { return add3(x, x, 0); }
+  func combine(int a, int b) { return add3(twice(a), twice(b), 1); }
+  func fib(int n) {
+    if (n < 2) { return n; }
+    return fib(n - 1) + fib(n - 2);
+  }
+  func main() {
+    int scale = read();
+    int acc = 0;
+    int i = 0;
+    while (i < scale) {
+      acc = acc + combine(i, acc & 255);
+      i = i + 1;
+    }
+    print(acc);
+    print(fib(13));
+    return 0;
+  }
+|}
+
+let array_src =
+  {|
+  // array shuffles, reversals and prefix sums
+  func reverse(arr a) {
+    int i = 0;
+    int j = len(a) - 1;
+    while (i < j) {
+      int t = a[i];
+      a[i] = a[j];
+      a[j] = t;
+      i = i + 1;
+      j = j - 1;
+    }
+    return 0;
+  }
+  func prefix_sum(arr a) {
+    int i = 1;
+    while (i < len(a)) { a[i] = a[i] + a[i - 1]; i = i + 1; }
+    return a[len(a) - 1];
+  }
+  func main() {
+    int n = read();
+    int a[n];
+    int i = 0;
+    while (i < n) { a[i] = (i * 17) % 101; i = i + 1; }
+    reverse(a);
+    int total = prefix_sum(a);
+    reverse(a);
+    print(total);
+    print(a[0]);
+    return 0;
+  }
+|}
+
+let suite_src =
+  {|
+  // the five CaffeineMark-analog kernels in one harness
+  func sieve(int n) {
+    int flags[n];
+    int count = 0;
+    int i = 2;
+    while (i < n) { flags[i] = 1; i = i + 1; }
+    i = 2;
+    while (i < n) {
+      if (flags[i] == 1) {
+        count = count + 1;
+        int j = i + i;
+        while (j < n) { flags[j] = 0; j = j + i; }
+      }
+      i = i + 1;
+    }
+    return count;
+  }
+  func spin(int outer, int inner) {
+    int acc = 0;
+    int i = 0;
+    while (i < outer) {
+      int j = 0;
+      while (j < inner) { acc = acc + ((i * j) & 1023); j = j + 1; }
+      i = i + 1;
+    }
+    return acc;
+  }
+  func churn(int n, int seed) {
+    int x = seed;
+    int acc = 0;
+    int i = 0;
+    while (i < n) {
+      x = (x * 1103515245 + 12345) & 1073741823;
+      if ((x & 1) == 1) { acc = acc ^ x; } else { acc = acc + (x >> 3); }
+      if ((x & 6) == 4) { acc = acc - 7; }
+      if (x % 5 == 0 && (x & 8) != 0) { acc = acc + 11; }
+      i = i + 1;
+    }
+    return acc;
+  }
+  func add3(int a, int b, int c) { return a + b + c; }
+  func twice(int x) { return add3(x, x, 0); }
+  func combine(int a, int b) { return add3(twice(a), twice(b), 1); }
+  func calls(int n) {
+    int acc = 0;
+    int i = 0;
+    while (i < n) { acc = acc + combine(i, acc & 255); i = i + 1; }
+    return acc;
+  }
+  func array_kernel(int n) {
+    int a[n];
+    int i = 0;
+    while (i < n) { a[i] = (i * 17) % 101; i = i + 1; }
+    i = 0;
+    int j = n - 1;
+    while (i < j) { int t = a[i]; a[i] = a[j]; a[j] = t; i = i + 1; j = j - 1; }
+    i = 1;
+    while (i < n) { a[i] = a[i] + a[i - 1]; i = i + 1; }
+    return a[n - 1];
+  }
+  func main() {
+    int scale = read();
+    print(sieve(scale * 4));
+    print(spin(scale, 23));
+    print(churn(scale * 2, 42));
+    print(calls(scale));
+    print(array_kernel(scale * 2));
+    return 0;
+  }
+|}
+
+let suite =
+  Workload.make ~name:"caffeine" ~description:"CaffeineMark analog: five hot microbenchmark kernels"
+    ~input:[ 300 ]
+    ~alt_inputs:[ [ 50 ]; [ 123 ] ]
+    suite_src
+
+let kernels =
+  [
+    Workload.make ~name:"caffeine-sieve" ~description:"prime sieve kernel" ~input:[ 1000 ]
+      ~alt_inputs:[ [ 100 ] ] sieve_src;
+    Workload.make ~name:"caffeine-loop" ~description:"nested loop kernel" ~input:[ 250 ]
+      ~alt_inputs:[ [ 40 ] ] loop_src;
+    Workload.make ~name:"caffeine-logic" ~description:"bit-twiddling conditional kernel" ~input:[ 800 ]
+      ~alt_inputs:[ [ 90 ] ] logic_src;
+    Workload.make ~name:"caffeine-method" ~description:"call-intensive kernel" ~input:[ 400 ]
+      ~alt_inputs:[ [ 60 ] ] method_src;
+    Workload.make ~name:"caffeine-array" ~description:"array manipulation kernel" ~input:[ 900 ]
+      ~alt_inputs:[ [ 80 ] ] array_src;
+  ]

@@ -1,0 +1,12 @@
+(** The CaffeineMark analog (§5.1): a small suite of microbenchmarks —
+    sieve, loop, logic, method and array kernels — where almost every
+    instruction is executed frequently.  Watermark pieces inserted here
+    land in hot code quickly, which is what drives the slowdown curve of
+    Figure 8(a). *)
+
+val suite : Workload.t
+(** All five kernels in one program, like the CaffeineMark harness. *)
+
+val kernels : Workload.t list
+(** The kernels as separate workloads (sieve, loop, logic, method,
+    array). *)

@@ -1,0 +1,367 @@
+let source =
+  {|
+  // jess-lite: a forward-chaining production system over (entity,
+  // attribute, value) facts with a priority agenda.
+
+  global int MAXFACTS;
+  global int MAXRULES;
+  global int MAXAGENDA;
+
+  // fact store: parallel arrays
+  global int f_entity[600];
+  global int f_attr[600];
+  global int f_value[600];
+  global int n_facts;
+
+  // rule store: two condition patterns and a production each
+  global int r_c1_attr[40];
+  global int r_c1_op[40];     // 0 =, 1 <, 2 >
+  global int r_c1_val[40];
+  global int r_c2_attr[40];
+  global int r_c2_op[40];
+  global int r_c2_val[40];
+  global int r_out_attr[40];
+  global int r_out_mode[40];  // 0 sum, 1 diff, 2 min, 3 max, 4 const
+  global int r_out_const[40];
+  global int r_priority[40];
+  global int n_rules;
+
+  // agenda of pending activations
+  global int a_rule[400];
+  global int a_f1[400];
+  global int a_f2[400];
+  global int n_agenda;
+
+  global int firings;
+  global int rng_state;
+
+  func next_random(int bound) {
+    rng_state = (rng_state * 1103515245 + 12345) & 1073741823;
+    return rng_state % bound;
+  }
+
+  func find_fact(int entity, int attr) {
+    int i = 0;
+    while (i < n_facts) {
+      if (f_entity[i] == entity && f_attr[i] == attr) { return i; }
+      i = i + 1;
+    }
+    return -1;
+  }
+
+  func assert_fact(int entity, int attr, int value) {
+    int existing = find_fact(entity, attr);
+    if (existing >= 0) {
+      if (f_value[existing] == value) { return 0; }
+      f_value[existing] = value;
+      return 1;
+    }
+    if (n_facts >= MAXFACTS) { return 0; }
+    f_entity[n_facts] = entity;
+    f_attr[n_facts] = attr;
+    f_value[n_facts] = value;
+    n_facts = n_facts + 1;
+    return 1;
+  }
+
+  func test_condition(int op, int actual, int expected) {
+    if (op == 0) { return actual == expected; }
+    if (op == 1) { return actual < expected; }
+    if (op == 2) { return actual > expected; }
+    return 0;
+  }
+
+  func produce(int mode, int v1, int v2, int constant) {
+    if (mode == 0) { return v1 + v2; }
+    if (mode == 1) { return v1 - v2; }
+    if (mode == 2) { if (v1 < v2) { return v1; } return v2; }
+    if (mode == 3) { if (v1 > v2) { return v1; } return v2; }
+    return constant;
+  }
+
+  func add_rule(int c1a, int c1o, int c1v, int c2a, int c2o, int c2v,
+                int oa, int om, int oc, int prio) {
+    if (n_rules >= MAXRULES) { return -1; }
+    r_c1_attr[n_rules] = c1a;
+    r_c1_op[n_rules] = c1o;
+    r_c1_val[n_rules] = c1v;
+    r_c2_attr[n_rules] = c2a;
+    r_c2_op[n_rules] = c2o;
+    r_c2_val[n_rules] = c2v;
+    r_out_attr[n_rules] = oa;
+    r_out_mode[n_rules] = om;
+    r_out_const[n_rules] = oc;
+    r_priority[n_rules] = prio;
+    n_rules = n_rules + 1;
+    return n_rules - 1;
+  }
+
+  func init_rules() {
+    // attribute vocabulary: 1 temp, 2 pressure, 3 status, 4 alarm,
+    // 5 load, 6 mode, 7 score, 8 level
+    add_rule(1, 2, 90,  2, 2, 50,  4, 4, 1, 10);   // hot & high pressure -> alarm
+    add_rule(1, 1, 10,  5, 1, 5,   6, 4, 2, 8);    // cold & idle -> eco mode
+    add_rule(2, 2, 80,  5, 2, 60,  8, 0, 0, 9);    // pressure+load -> level = sum
+    add_rule(3, 0, 1,   1, 2, 70,  7, 1, 0, 5);    // active & warm -> score = diff
+    add_rule(5, 2, 40,  2, 1, 30,  7, 2, 0, 4);    // loaded & low pressure -> score = min
+    add_rule(1, 2, 50,  5, 2, 20,  8, 3, 0, 6);    // warm & loaded -> level = max
+    add_rule(4, 0, 1,   3, 0, 1,   6, 4, 9, 12);   // alarm & active -> safe mode
+    add_rule(6, 0, 2,   1, 1, 15,  3, 4, 0, 3);    // eco & very cold -> inactive
+    add_rule(7, 2, 100, 8, 2, 100, 4, 4, 2, 11);   // extremes -> alarm level 2
+    add_rule(8, 2, 120, 5, 2, 10,  7, 0, 0, 7);    // high level & load -> score = sum
+    add_rule(2, 1, 20,  1, 1, 30,  6, 4, 1, 2);    // low pressure & cool -> mode 1
+    add_rule(3, 0, 0,   6, 0, 9,   7, 4, 0, 1);    // inactive & safe -> score 0
+    return n_rules;
+  }
+
+  func agenda_push(int rule, int fact1, int fact2) {
+    if (n_agenda >= MAXAGENDA) { return 0; }
+    a_rule[n_agenda] = rule;
+    a_f1[n_agenda] = fact1;
+    a_f2[n_agenda] = fact2;
+    n_agenda = n_agenda + 1;
+    return 1;
+  }
+
+  // conflict resolution: highest priority first, then earliest rule
+  func agenda_pop() {
+    if (n_agenda == 0) { return -1; }
+    int best = 0;
+    int i = 1;
+    while (i < n_agenda) {
+      if (r_priority[a_rule[i]] > r_priority[a_rule[best]]) { best = i; }
+      i = i + 1;
+    }
+    int rule = a_rule[best];
+    int f1 = a_f1[best];
+    int f2 = a_f2[best];
+    // compact the agenda
+    a_rule[best] = a_rule[n_agenda - 1];
+    a_f1[best] = a_f1[n_agenda - 1];
+    a_f2[best] = a_f2[n_agenda - 1];
+    n_agenda = n_agenda - 1;
+    // re-encode the popped entry
+    return rule * 1000000 + f1 * 1000 + f2;
+  }
+
+  func match_rule(int rule) {
+    int found = 0;
+    int i = 0;
+    while (i < n_facts) {
+      if (f_attr[i] == r_c1_attr[rule]) {
+        if (test_condition(r_c1_op[rule], f_value[i], r_c1_val[rule]) == 1) {
+          int j = 0;
+          while (j < n_facts) {
+            if (f_entity[j] == f_entity[i] && f_attr[j] == r_c2_attr[rule] && j != i) {
+              if (test_condition(r_c2_op[rule], f_value[j], r_c2_val[rule]) == 1) {
+                agenda_push(rule, i, j);
+                found = found + 1;
+              }
+            }
+            j = j + 1;
+          }
+        }
+      }
+      i = i + 1;
+    }
+    return found;
+  }
+
+  func fire(int encoded) {
+    int rule = encoded / 1000000;
+    int f1 = (encoded / 1000) % 1000;
+    int f2 = encoded % 1000;
+    int value = produce(r_out_mode[rule], f_value[f1], f_value[f2], r_out_const[rule]);
+    int changed = assert_fact(f_entity[f1], r_out_attr[rule], value);
+    if (changed == 1) { firings = firings + 1; }
+    return changed;
+  }
+
+  func run_engine(int max_cycles) {
+    int cycle = 0;
+    while (cycle < max_cycles) {
+      n_agenda = 0;
+      int r = 0;
+      int total = 0;
+      while (r < n_rules) { total = total + match_rule(r); r = r + 1; }
+      if (total == 0) { break; }
+      int changed_any = 0;
+      while (n_agenda > 0) {
+        int encoded = agenda_pop();
+        if (encoded < 0) { break; }
+        if (fire(encoded) == 1) { changed_any = 1; }
+      }
+      if (changed_any == 0) { break; }
+      cycle = cycle + 1;
+    }
+    return cycle;
+  }
+
+  func checksum() {
+    int acc = 0;
+    int i = 0;
+    while (i < n_facts) {
+      acc = (acc * 31 + f_entity[i] * 7 + f_attr[i] * 3 + f_value[i]) & 1073741823;
+      i = i + 1;
+    }
+    return acc;
+  }
+
+  // ---- cold diagnostic and validation machinery ----
+  // (like Jess's explanation/inspection commands: a lot of code that a
+  // normal run touches rarely or never)
+
+  func attr_code(int attr) {
+    if (attr == 1) { return 1084; }     // "temp"-ish tag
+    if (attr == 2) { return 2093; }
+    if (attr == 3) { return 3017; }
+    if (attr == 4) { return 4055; }
+    if (attr == 5) { return 5120; }
+    if (attr == 6) { return 6233; }
+    if (attr == 7) { return 7301; }
+    if (attr == 8) { return 8118; }
+    return 9999;
+  }
+
+  func op_code(int op) {
+    if (op == 0) { return 100; }
+    if (op == 1) { return 200; }
+    if (op == 2) { return 300; }
+    return 400;
+  }
+
+  func mode_code(int mode) {
+    if (mode == 0) { return 11; }
+    if (mode == 1) { return 22; }
+    if (mode == 2) { return 33; }
+    if (mode == 3) { return 44; }
+    return 55;
+  }
+
+  func explain_rule(int rule) {
+    int acc = attr_code(r_c1_attr[rule]) * 3 + op_code(r_c1_op[rule]);
+    acc = acc + attr_code(r_c2_attr[rule]) * 5 + op_code(r_c2_op[rule]);
+    acc = acc + attr_code(r_out_attr[rule]) * 7 + mode_code(r_out_mode[rule]);
+    acc = acc + r_priority[rule] * 1000;
+    return acc & 1073741823;
+  }
+
+  func validate_rule(int rule) {
+    if (rule < 0 || rule >= n_rules) { return -1; }
+    if (r_c1_op[rule] < 0 || r_c1_op[rule] > 2) { return -2; }
+    if (r_c2_op[rule] < 0 || r_c2_op[rule] > 2) { return -3; }
+    if (r_out_mode[rule] < 0 || r_out_mode[rule] > 4) { return -4; }
+    if (r_priority[rule] < 0) { return -5; }
+    if (r_c1_attr[rule] == r_out_attr[rule] && r_c2_attr[rule] == r_out_attr[rule]) { return -6; }
+    return 0;
+  }
+
+  func validate_all_rules() {
+    int bad = 0;
+    int r = 0;
+    while (r < n_rules) {
+      if (validate_rule(r) != 0) { bad = bad + 1; }
+      r = r + 1;
+    }
+    return bad;
+  }
+
+  func fact_histogram(int attr) {
+    int lo = 1000000;
+    int hi = -1000000;
+    int count = 0;
+    int total = 0;
+    int i = 0;
+    while (i < n_facts) {
+      if (f_attr[i] == attr) {
+        count = count + 1;
+        total = total + f_value[i];
+        if (f_value[i] < lo) { lo = f_value[i]; }
+        if (f_value[i] > hi) { hi = f_value[i]; }
+      }
+      i = i + 1;
+    }
+    if (count == 0) { return 0; }
+    return count * 1000000 + (hi - lo) * 1000 + total / count;
+  }
+
+  func entity_profile(int entity) {
+    int mask = 0;
+    int i = 0;
+    while (i < n_facts) {
+      if (f_entity[i] == entity) { mask = mask | (1 << f_attr[i]); }
+      i = i + 1;
+    }
+    return mask;
+  }
+
+  func count_alarms() {
+    int alarms = 0;
+    int i = 0;
+    while (i < n_facts) {
+      if (f_attr[i] == 4 && f_value[i] > 0) { alarms = alarms + 1; }
+      i = i + 1;
+    }
+    return alarms;
+  }
+
+  func retract_attr(int attr) {
+    // remove all facts with the attribute (compacting) — rarely used
+    int kept = 0;
+    int i = 0;
+    while (i < n_facts) {
+      if (f_attr[i] != attr) {
+        f_entity[kept] = f_entity[i];
+        f_attr[kept] = f_attr[i];
+        f_value[kept] = f_value[i];
+        kept = kept + 1;
+      }
+      i = i + 1;
+    }
+    int removed = n_facts - kept;
+    n_facts = kept;
+    return removed;
+  }
+
+  func report() {
+    int acc = validate_all_rules();
+    acc = (acc * 31 + explain_rule(0)) & 1073741823;
+    acc = (acc * 31 + explain_rule(n_rules - 1)) & 1073741823;
+    acc = (acc * 31 + fact_histogram(1)) & 1073741823;
+    acc = (acc * 31 + fact_histogram(7)) & 1073741823;
+    acc = (acc * 31 + entity_profile(0)) & 1073741823;
+    acc = (acc * 31 + count_alarms()) & 1073741823;
+    return acc;
+  }
+
+  func main() {
+    MAXFACTS = 600;
+    MAXRULES = 40;
+    MAXAGENDA = 400;
+    int entities = read();
+    rng_state = read();
+    init_rules();
+    // seed facts: temperature, pressure, load, status per entity
+    int e = 0;
+    while (e < entities) {
+      assert_fact(e, 1, next_random(120));
+      assert_fact(e, 2, next_random(100));
+      assert_fact(e, 5, next_random(90));
+      assert_fact(e, 3, next_random(2));
+      e = e + 1;
+    }
+    int cycles = run_engine(6);
+    print(n_facts);
+    print(firings);
+    print(cycles);
+    print(checksum());
+    print(report());
+    return 0;
+  }
+|}
+
+let engine =
+  Workload.make ~name:"jess" ~description:"Jess analog: forward-chaining production-rule engine"
+    ~input:[ 12; 77 ]
+    ~alt_inputs:[ [ 6; 3 ]; [ 12; 999 ] ]
+    source

@@ -1,0 +1,9 @@
+(** The Jess analog (§5.1): a forward-chaining production-rule engine.
+
+    Like the paper's Jess, this is a language-interpreter-shaped workload:
+    considerably more code than CaffeineMark, with a low proportion of hot
+    instructions (rule tables, agenda management and rarely-firing rules
+    are cold), so inverse-frequency insertion can hide watermark pieces
+    with negligible slowdown — the flat Jess curve of Figure 8(a). *)
+
+val engine : Workload.t

@@ -1,0 +1,108 @@
+let source =
+  {|
+  // miniinterp: a stack-machine interpreter interpreted by the host VM.
+  // opcodes: 0 push k | 1 add | 2 sub | 3 mul | 4 dup | 5 swap | 6 jmp t
+  //          7 jz t | 8 print | 9 halt | 10 load g | 11 store g | 12 lt
+  //          13 drop
+
+  global int code_op[256];
+  global int code_arg[256];
+  global int n_code;
+  global int mem[32];
+
+  func emit(int op, int arg) {
+    code_op[n_code] = op;
+    code_arg[n_code] = arg;
+    n_code = n_code + 1;
+    return n_code - 1;
+  }
+
+  // guest program 1: sum 1..n (n in mem[0]) then print
+  func assemble_sum() {
+    n_code = 0;
+    emit(0, 0);      //  0: push 0        acc
+    emit(11, 1);     //  1: mem[1] = acc
+    emit(0, 1);      //  2: push 1        i
+    emit(11, 2);     //  3: mem[2] = i
+    // loop:
+    emit(10, 2);     //  4: push i
+    emit(10, 0);     //  5: push n
+    emit(12, 0);     //  6: i < n+1? -> actually: lt
+    emit(7, 17);     //  7: jz end
+    emit(10, 1);     //  8: push acc
+    emit(10, 2);     //  9: push i
+    emit(1, 0);      // 10: add
+    emit(11, 1);     // 11: acc = ...
+    emit(10, 2);     // 12: push i
+    emit(0, 1);      // 13: push 1
+    emit(1, 0);      // 14: add
+    emit(11, 2);     // 15: i = i + 1
+    emit(6, 4);      // 16: jmp loop
+    emit(10, 1);     // 17: push acc
+    emit(8, 0);      // 18: print
+    emit(9, 0);      // 19: halt
+    return n_code;
+  }
+
+  // guest program 2: iterative fibonacci of mem[0]
+  func assemble_fib() {
+    n_code = 0;
+    emit(0, 0);  emit(11, 1);   // a = 0
+    emit(0, 1);  emit(11, 2);   // b = 1
+    emit(0, 0);  emit(11, 3);   // k = 0
+    // loop (pc 6):
+    emit(10, 3); emit(10, 0); emit(12, 0);  // k < n ?
+    emit(7, 23);                            // jz end
+    emit(10, 2); emit(11, 4);               // t = b
+    emit(10, 1); emit(10, 2); emit(1, 0); emit(11, 2); // b = a + b
+    emit(10, 4); emit(11, 1);               // a = t
+    emit(10, 3); emit(0, 1); emit(1, 0); emit(11, 3);  // k = k + 1
+    emit(6, 6);                             // jmp loop
+    emit(10, 1); emit(8, 0); emit(9, 0);    // print a; halt
+    return n_code;
+  }
+
+  func run(int fuel) {
+    int stack[64];
+    int sp = 0;
+    int pc = 0;
+    int executed = 0;
+    while (executed < fuel) {
+      int op = code_op[pc];
+      int arg = code_arg[pc];
+      executed = executed + 1;
+      if (op == 0) { stack[sp] = arg; sp = sp + 1; pc = pc + 1; }
+      else { if (op == 1) { stack[sp - 2] = stack[sp - 2] + stack[sp - 1]; sp = sp - 1; pc = pc + 1; }
+      else { if (op == 2) { stack[sp - 2] = stack[sp - 2] - stack[sp - 1]; sp = sp - 1; pc = pc + 1; }
+      else { if (op == 3) { stack[sp - 2] = stack[sp - 2] * stack[sp - 1]; sp = sp - 1; pc = pc + 1; }
+      else { if (op == 4) { stack[sp] = stack[sp - 1]; sp = sp + 1; pc = pc + 1; }
+      else { if (op == 5) { int t = stack[sp - 1]; stack[sp - 1] = stack[sp - 2]; stack[sp - 2] = t; pc = pc + 1; }
+      else { if (op == 6) { pc = arg; }
+      else { if (op == 7) { sp = sp - 1; if (stack[sp] == 0) { pc = arg; } else { pc = pc + 1; } }
+      else { if (op == 8) { sp = sp - 1; print(stack[sp]); pc = pc + 1; }
+      else { if (op == 9) { return executed; }
+      else { if (op == 10) { stack[sp] = mem[arg]; sp = sp + 1; pc = pc + 1; }
+      else { if (op == 11) { sp = sp - 1; mem[arg] = stack[sp]; pc = pc + 1; }
+      else { if (op == 12) { if (stack[sp - 2] < stack[sp - 1]) { stack[sp - 2] = 1; } else { stack[sp - 2] = 0; } sp = sp - 1; pc = pc + 1; }
+      else { if (op == 13) { sp = sp - 1; pc = pc + 1; }
+      else { return 0 - 1; } } } } } } } } } } } } } }
+    }
+    return executed;
+  }
+
+  func main() {
+    int which = read();
+    int n = read();
+    mem[0] = n;
+    if (which == 0) { assemble_sum(); } else { assemble_fib(); }
+    int executed = run(100000);
+    print(executed);
+    return 0;
+  }
+|}
+
+let interpreter =
+  Workload.make ~name:"miniinterp" ~description:"a stack-machine interpreter running guest bytecode"
+    ~input:[ 0; 60 ]
+    ~alt_inputs:[ [ 1; 20 ]; [ 0; 5 ]; [ 1; 1 ] ]
+    source

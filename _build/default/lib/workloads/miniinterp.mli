@@ -1,0 +1,9 @@
+(** MiniInterp: a bytecode interpreter written in MiniC.
+
+    A second interpreter-shaped workload (beyond Jess-lite): a small stack
+    machine with a dispatch loop — the classic structure of SpecJVM's
+    language interpreters.  The dispatch loop is hot, the per-opcode
+    handlers are lukewarm, and the program-assembly code is cold, giving a
+    third hotness profile between CaffeineMark and Jess. *)
+
+val interpreter : Workload.t

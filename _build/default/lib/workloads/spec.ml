@@ -1,0 +1,612 @@
+(* Each source is deliberately written in a different style so the suite
+   exercises varied code shapes (loop nests, recursion, tables, pointer-ish
+   array chasing), like the real SPEC programs do. *)
+
+let bzip2 =
+  {|
+  // bzip2 analog: run-length encoding + move-to-front + checksum
+  global int data[2048];
+  global int mtf[256];
+  func generate(int n, int seed) {
+    int x = seed;
+    int i = 0;
+    while (i < n) {
+      x = (x * 1103515245 + 12345) & 1073741823;
+      int v = (x >> 8) & 15;
+      // runs: repeat the value a few times
+      int run = (x & 3) + 1;
+      int j = 0;
+      while (j < run && i < n) { data[i] = v; i = i + 1; j = j + 1; }
+    }
+    return n;
+  }
+  func rle_encode(int n) {
+    int out = 0;
+    int i = 0;
+    while (i < n) {
+      int v = data[i];
+      int run = 0;
+      while (i < n && data[i] == v) { run = run + 1; i = i + 1; }
+      out = (out * 31 + v * 7 + run) & 1073741823;
+    }
+    return out;
+  }
+  func mtf_encode(int n) {
+    int k = 0;
+    while (k < 256) { mtf[k] = k; k = k + 1; }
+    int acc = 0;
+    int i = 0;
+    while (i < n) {
+      int v = data[i];
+      int pos = 0;
+      while (mtf[pos] != v) { pos = pos + 1; }
+      acc = (acc + pos * i) & 1073741823;
+      // move to front
+      int j = pos;
+      while (j > 0) { mtf[j] = mtf[j - 1]; j = j - 1; }
+      mtf[0] = v;
+      i = i + 1;
+    }
+    return acc;
+  }
+  func main() {
+    int n = read();
+    int seed = read();
+    generate(n, seed);
+    print(rle_encode(n));
+    print(mtf_encode(n));
+    return 0;
+  }
+|}
+
+let crafty =
+  {|
+  // crafty analog: negamax game search with alpha-beta on a nim-like game
+  global int nodes;
+  func evaluate(int pile, int turn) {
+    if (pile % 4 == 0) { return -10 + turn; }
+    return 10 - turn;
+  }
+  func negamax(int pile, int depth, int alpha, int beta) {
+    nodes = nodes + 1;
+    if (pile == 0) { return -100; }
+    if (depth == 0) { return evaluate(pile, depth); }
+    int best = -1000;
+    int move = 1;
+    while (move <= 3) {
+      if (move <= pile) {
+        int score = -negamax(pile - move, depth - 1, -beta, -alpha);
+        if (score > best) { best = score; }
+        if (best > alpha) { alpha = best; }
+        if (alpha >= beta) { break; }
+      }
+      move = move + 1;
+    }
+    return best;
+  }
+  func main() {
+    int pile = read();
+    int depth = read();
+    print(negamax(pile, depth, -1000, 1000));
+    print(nodes);
+    return 0;
+  }
+|}
+
+let gap =
+  {|
+  // gap analog: multi-digit (base 10000) arithmetic — factorials and sums
+  global int acc[400];
+  global int tmp[400];
+  func big_set(int v) {
+    int i = 0;
+    while (i < 400) { acc[i] = 0; i = i + 1; }
+    acc[0] = v;
+    return 0;
+  }
+  func big_mul_small(int m) {
+    int carry = 0;
+    int i = 0;
+    while (i < 400) {
+      int cur = acc[i] * m + carry;
+      acc[i] = cur % 10000;
+      carry = cur / 10000;
+      i = i + 1;
+    }
+    return carry;
+  }
+  func big_digits() {
+    int top = 399;
+    while (top > 0 && acc[top] == 0) { top = top - 1; }
+    return top + 1;
+  }
+  func big_digit_sum() {
+    int total = 0;
+    int i = 0;
+    while (i < 400) {
+      int v = acc[i];
+      while (v > 0) { total = total + v % 10; v = v / 10; }
+      i = i + 1;
+    }
+    return total;
+  }
+  func main() {
+    int n = read();
+    big_set(1);
+    int k = 2;
+    while (k <= n) { big_mul_small(k); k = k + 1; }
+    print(big_digits());
+    print(big_digit_sum());
+    return 0;
+  }
+|}
+
+let gcc =
+  {|
+  // gcc analog: compile postfix expressions into a register machine with
+  // constant folding, then "execute" the emitted code
+  global int code_op[4096];   // 0 loadconst, 1 add, 2 sub, 3 mul
+  global int code_arg[4096];
+  global int n_code;
+  global int stack_const[64]; // compile-time constant stack (-1 = dynamic)
+  global int sp_;
+  func emit(int op, int arg) {
+    if (n_code >= 4096) { return n_code; }
+    code_op[n_code] = op;
+    code_arg[n_code] = arg;
+    n_code = n_code + 1;
+    return n_code;
+  }
+  func compile_token(int tok) {
+    // tok >= 0: constant; -1 add; -2 sub; -3 mul
+    if (tok >= 0) {
+      stack_const[sp_] = tok;
+      sp_ = sp_ + 1;
+      return 0;
+    }
+    int b = stack_const[sp_ - 1];
+    int a = stack_const[sp_ - 2];
+    sp_ = sp_ - 1;
+    if (a >= 0 && b >= 0) {
+      // constant folding
+      int v = 0;
+      if (tok == -1) { v = a + b; }
+      if (tok == -2) { v = a - b; }
+      if (tok == -3) { v = a * b; }
+      stack_const[sp_ - 1] = v & 65535;
+      return 1;
+    }
+    // dynamic: emit pushes for any constants still pending, then the op
+    if (a >= 0) { emit(0, a); }
+    if (b >= 0) { emit(0, b); }
+    emit(-tok, 0);
+    stack_const[sp_ - 1] = -1;
+    return 2;
+  }
+  func flush() {
+    if (sp_ > 0 && stack_const[sp_ - 1] >= 0) { emit(0, stack_const[sp_ - 1]); }
+    return 0;
+  }
+  func execute() {
+    int st[4100];
+    int depth = 0;
+    int pc = 0;
+    int acc = 0;
+    while (pc < n_code) {
+      int op = code_op[pc];
+      if (op == 0) { st[depth] = code_arg[pc]; depth = depth + 1; }
+      if (op == 1) { st[depth - 2] = st[depth - 2] + st[depth - 1]; depth = depth - 1; }
+      if (op == 2) { st[depth - 2] = st[depth - 2] - st[depth - 1]; depth = depth - 1; }
+      if (op == 3) { st[depth - 2] = (st[depth - 2] * st[depth - 1]) & 65535; depth = depth - 1; }
+      acc = (acc * 17 + op) & 1073741823;
+      pc = pc + 1;
+    }
+    if (depth > 0) { acc = acc + st[depth - 1]; }
+    return acc;
+  }
+  func main() {
+    int exprs = read();
+    int seed = read();
+    int x = seed;
+    int folded = 0;
+    int e = 0;
+    while (e < exprs) {
+      sp_ = 0;
+      // build "(c1 c2 op) c3 op" style expressions pseudo-randomly
+      int t = 0;
+      while (t < 5) {
+        x = (x * 1103515245 + 12345) & 1073741823;
+        if (t < 2 || (x & 3) != 0 || sp_ < 2) {
+          folded = folded + compile_token((x >> 5) & 255);
+        } else {
+          folded = folded + compile_token(0 - ((x & 1) + 1));
+        }
+        t = t + 1;
+      }
+      // reduce whatever is on the stack with adds
+      while (sp_ > 1) { folded = folded + compile_token(-1); }
+      flush();
+      sp_ = 0;
+      e = e + 1;
+    }
+    print(n_code);
+    print(folded);
+    print(execute());
+    return 0;
+  }
+|}
+
+let gzip =
+  {|
+  // gzip analog: LZ77 window matching over generated data
+  global int data[4096];
+  func generate(int n, int seed) {
+    int x = seed;
+    int i = 0;
+    while (i < n) {
+      x = (x * 1103515245 + 12345) & 1073741823;
+      data[i] = (x >> 7) & 7;
+      i = i + 1;
+    }
+    // plant some repeats so matches exist
+    i = 64;
+    while (i + 16 < n) {
+      int j = 0;
+      while (j < 12) { data[i + j] = data[i + j - 64]; j = j + 1; }
+      i = i + 96;
+    }
+    return n;
+  }
+  func longest_match(int pos, int window, int n) {
+    int best_len = 0;
+    int best_dist = 0;
+    int start = pos - window;
+    if (start < 0) { start = 0; }
+    int cand = start;
+    while (cand < pos) {
+      int length = 0;
+      while (pos + length < n && data[cand + length] == data[pos + length] && length < 32) {
+        length = length + 1;
+      }
+      if (length > best_len) { best_len = length; best_dist = pos - cand; }
+      cand = cand + 1;
+    }
+    return best_len * 4096 + best_dist;
+  }
+  func main() {
+    int n = read();
+    int seed = read();
+    generate(n, seed);
+    int pos = 0;
+    int literals = 0;
+    int matches = 0;
+    int acc = 0;
+    while (pos < n) {
+      int m = longest_match(pos, 64, n);
+      int length = m / 4096;
+      if (length >= 3) {
+        matches = matches + 1;
+        acc = (acc * 31 + m) & 1073741823;
+        pos = pos + length;
+      } else {
+        literals = literals + 1;
+        acc = (acc * 31 + data[pos]) & 1073741823;
+        pos = pos + 1;
+      }
+    }
+    print(literals);
+    print(matches);
+    print(acc);
+    return 0;
+  }
+|}
+
+let mcf =
+  {|
+  // mcf analog: Bellman-Ford relaxation on a generated sparse graph
+  global int edge_from[3000];
+  global int edge_to[3000];
+  global int edge_cost[3000];
+  global int dist[300];
+  func main() {
+    int nodes = read();
+    int seed = read();
+    int edges = nodes * 4;
+    int x = seed;
+    int e = 0;
+    while (e < edges) {
+      x = (x * 1103515245 + 12345) & 1073741823;
+      edge_from[e] = x % nodes;
+      x = (x * 1103515245 + 12345) & 1073741823;
+      edge_to[e] = x % nodes;
+      x = (x * 1103515245 + 12345) & 1073741823;
+      edge_cost[e] = 1 + (x % 50);
+      e = e + 1;
+    }
+    int i = 0;
+    while (i < nodes) { dist[i] = 1000000; i = i + 1; }
+    dist[0] = 0;
+    int round = 0;
+    int changed = 1;
+    while (round < nodes && changed == 1) {
+      changed = 0;
+      e = 0;
+      while (e < edges) {
+        int nd = dist[edge_from[e]] + edge_cost[e];
+        if (nd < dist[edge_to[e]]) { dist[edge_to[e]] = nd; changed = 1; }
+        e = e + 1;
+      }
+      round = round + 1;
+    }
+    int reachable = 0;
+    int acc = 0;
+    i = 0;
+    while (i < nodes) {
+      if (dist[i] < 1000000) { reachable = reachable + 1; acc = (acc + dist[i]) & 1073741823; }
+      i = i + 1;
+    }
+    print(round);
+    print(reachable);
+    print(acc);
+    return 0;
+  }
+|}
+
+let parser =
+  {|
+  // parser analog: table-driven validation of generated token streams
+  // against a small bracket/word grammar, with an explicit stack
+  global int tokens[2048];
+  global int stk[256];
+  func generate(int n, int seed) {
+    int x = seed;
+    int depth = 0;
+    int i = 0;
+    while (i < n) {
+      x = (x * 1103515245 + 12345) & 1073741823;
+      int choice = x % 10;
+      if (choice < 3 && depth < 200) { tokens[i] = 1; depth = depth + 1; }      // open
+      else { if (choice < 6 && depth > 0) { tokens[i] = 2; depth = depth - 1; } // close
+      else { tokens[i] = 3 + (x % 4); } }                                        // words
+      i = i + 1;
+    }
+    while (depth > 0 && i < 2048) { tokens[i] = 2; depth = depth - 1; i = i + 1; }
+    return i;
+  }
+  func classify(int tok) {
+    if (tok == 1) { return 1; }
+    if (tok == 2) { return 2; }
+    if (tok >= 3 && tok <= 6) { return 3; }
+    return 0;
+  }
+  func validate(int n) {
+    int depth = 0;
+    int words = 0;
+    int maxdepth = 0;
+    int i = 0;
+    while (i < n) {
+      int k = classify(tokens[i]);
+      if (k == 1) {
+        stk[depth] = i;
+        depth = depth + 1;
+        if (depth > maxdepth) { maxdepth = depth; }
+      }
+      if (k == 2) {
+        if (depth == 0) { return -1; }
+        depth = depth - 1;
+      }
+      if (k == 3) { words = words + 1; }
+      if (k == 0) { return -2; }
+      i = i + 1;
+    }
+    if (depth != 0) { return -3; }
+    return words * 1000 + maxdepth;
+  }
+  func main() {
+    int n = read();
+    int seed = read();
+    int produced = generate(n, seed);
+    print(produced);
+    print(validate(produced));
+    return 0;
+  }
+|}
+
+let twolf =
+  {|
+  // twolf analog: annealing-style placement of cells on a line to
+  // minimize wire length, with deterministic cooling
+  global int place[200];   // cell -> slot
+  global int net_a[400];
+  global int net_b[400];
+  global int rngs;
+  func next_random(int bound) {
+    rngs = (rngs * 1103515245 + 12345) & 1073741823;
+    return rngs % bound;
+  }
+  func absval(int x) { if (x < 0) { return -x; } return x; }
+  func wirelen(int nets) {
+    int total = 0;
+    int i = 0;
+    while (i < nets) {
+      total = total + absval(place[net_a[i]] - place[net_b[i]]);
+      i = i + 1;
+    }
+    return total;
+  }
+  func main() {
+    int cells = read();
+    rngs = read();
+    int nets = cells * 2;
+    int i = 0;
+    while (i < cells) { place[i] = i; i = i + 1; }
+    i = 0;
+    while (i < nets) {
+      net_a[i] = next_random(cells);
+      net_b[i] = next_random(cells);
+      i = i + 1;
+    }
+    int cost = wirelen(nets);
+    int temperature = 100;
+    int accepted = 0;
+    int rejected = 0;
+    while (temperature > 0) {
+      int trial = 0;
+      while (trial < cells) {
+        int a = next_random(cells);
+        int b = next_random(cells);
+        int t = place[a]; place[a] = place[b]; place[b] = t;
+        int nc = wirelen(nets);
+        int delta = nc - cost;
+        if (delta <= temperature) { cost = nc; accepted = accepted + 1; }
+        else {
+          t = place[a]; place[a] = place[b]; place[b] = t;
+          rejected = rejected + 1;
+        }
+        trial = trial + 1;
+      }
+      temperature = temperature - 20;
+    }
+    print(cost);
+    print(accepted);
+    print(rejected);
+    return 0;
+  }
+|}
+
+let vortex =
+  {|
+  // vortex analog: an in-memory database — open-addressing hash table
+  // with inserts, lookups, updates and deletes
+  global int keys[1024];
+  global int vals[1024];
+  global int used[1024];   // 0 empty, 1 used, 2 tombstone
+  global int size_;
+  func hash(int k) { return ((k * 2654435761) & 1073741823) % 1024; }
+  func insert(int k, int v) {
+    int h = hash(k);
+    int probes = 0;
+    while (probes < 1024) {
+      if (used[h] != 1) { keys[h] = k; vals[h] = v; used[h] = 1; size_ = size_ + 1; return probes; }
+      if (keys[h] == k) { vals[h] = v; return probes; }
+      h = (h + 1) % 1024;
+      probes = probes + 1;
+    }
+    return -1;
+  }
+  func lookup(int k) {
+    int h = hash(k);
+    int probes = 0;
+    while (probes < 1024) {
+      if (used[h] == 0) { return -1; }
+      if (used[h] == 1 && keys[h] == k) { return vals[h]; }
+      h = (h + 1) % 1024;
+      probes = probes + 1;
+    }
+    return -1;
+  }
+  func remove(int k) {
+    int h = hash(k);
+    int probes = 0;
+    while (probes < 1024) {
+      if (used[h] == 0) { return 0; }
+      if (used[h] == 1 && keys[h] == k) { used[h] = 2; size_ = size_ - 1; return 1; }
+      h = (h + 1) % 1024;
+      probes = probes + 1;
+    }
+    return 0;
+  }
+  func main() {
+    int ops = read();
+    int seed = read();
+    int x = seed;
+    int found = 0;
+    int removed = 0;
+    int i = 0;
+    while (i < ops) {
+      x = (x * 1103515245 + 12345) & 1073741823;
+      int k = (x >> 4) & 511;
+      int action = x % 3;
+      if (action == 0) { insert(k, i); }
+      if (action == 1) { if (lookup(k) >= 0) { found = found + 1; } }
+      if (action == 2) { removed = removed + remove(k); }
+      i = i + 1;
+    }
+    print(size_);
+    print(found);
+    print(removed);
+    return 0;
+  }
+|}
+
+let vpr =
+  {|
+  // vpr analog: BFS maze routing on a grid with obstacles
+  global int grid[4096];    // 64x64: 0 free, 1 obstacle
+  global int dist[4096];
+  global int queue[4096];
+  func idx(int r, int c) { return r * 64 + c; }
+  func main() {
+    int obstacles = read();
+    int seed = read();
+    int x = seed;
+    int i = 0;
+    while (i < 4096) { dist[i] = -1; i = i + 1; }
+    i = 0;
+    while (i < obstacles) {
+      x = (x * 1103515245 + 12345) & 1073741823;
+      int cell = x % 4096;
+      if (cell != 0 && cell != 4095) { grid[cell] = 1; }
+      i = i + 1;
+    }
+    // BFS from corner to corner
+    int head = 0;
+    int tail = 0;
+    queue[tail] = 0;
+    tail = tail + 1;
+    dist[0] = 0;
+    int visited = 0;
+    while (head < tail) {
+      int cur = queue[head];
+      head = head + 1;
+      visited = visited + 1;
+      int r = cur / 64;
+      int c = cur % 64;
+      int d = dist[cur];
+      if (r > 0 && grid[idx(r - 1, c)] == 0 && dist[idx(r - 1, c)] < 0) {
+        dist[idx(r - 1, c)] = d + 1; queue[tail] = idx(r - 1, c); tail = tail + 1;
+      }
+      if (r < 63 && grid[idx(r + 1, c)] == 0 && dist[idx(r + 1, c)] < 0) {
+        dist[idx(r + 1, c)] = d + 1; queue[tail] = idx(r + 1, c); tail = tail + 1;
+      }
+      if (c > 0 && grid[idx(r, c - 1)] == 0 && dist[idx(r, c - 1)] < 0) {
+        dist[idx(r, c - 1)] = d + 1; queue[tail] = idx(r, c - 1); tail = tail + 1;
+      }
+      if (c < 63 && grid[idx(r, c + 1)] == 0 && dist[idx(r, c + 1)] < 0) {
+        dist[idx(r, c + 1)] = d + 1; queue[tail] = idx(r, c + 1); tail = tail + 1;
+      }
+    }
+    print(visited);
+    print(dist[4095]);
+    return 0;
+  }
+|}
+
+let mk name description input alt source =
+  Workload.make ~name ~description ~input ~alt_inputs:alt source
+
+let all =
+  [
+    mk "bzip2" "RLE + move-to-front coder" [ 1200; 99 ] [ [ 200; 7 ] ] bzip2;
+    mk "crafty" "negamax game search with alpha-beta" [ 21; 12 ] [ [ 9; 6 ]; [ 8; 2 ]; [ 16; 9 ] ] crafty;
+    mk "gap" "multi-digit factorial arithmetic" [ 120 ] [ [ 25 ] ] gap;
+    mk "gcc" "postfix expression compiler with constant folding" [ 120; 5 ] [ [ 12; 3 ] ] gcc;
+    mk "gzip" "LZ77 window matcher" [ 1100; 33 ] [ [ 150; 5 ] ] gzip;
+    mk "mcf" "Bellman-Ford cost relaxation" [ 120; 41 ] [ [ 20; 3 ] ] mcf;
+    mk "parser" "token stream validator" [ 1500; 21 ] [ [ 100; 2 ] ] parser;
+    mk "twolf" "annealing placement" [ 60; 17 ] [ [ 12; 5 ] ] twolf;
+    mk "vortex" "hash-table database operations" [ 2500; 77 ] [ [ 150; 9 ] ] vortex;
+    mk "vpr" "BFS maze router" [ 600; 55 ] [ [ 50; 4 ] ] vpr;
+  ]
+
+let find name = List.find (fun (w : Workload.t) -> w.Workload.name = name) all

@@ -1,0 +1,12 @@
+(** The SPECint-2000 analog suite (§5.2): ten MiniC programs with the
+    computational flavour of the paper's benchmarks (eon and perl are
+    omitted there too).  Each reads a size/seed from its input and prints
+    checksums, so attacked binaries are classified as broken by output
+    comparison. *)
+
+val all : Workload.t list
+(** bzip2, crafty, gap, gcc, gzip, mcf, parser, twolf, vortex, vpr —
+    in that order, matching Figure 9's x axis. *)
+
+val find : string -> Workload.t
+(** Lookup by name; raises [Not_found]. *)

@@ -1,0 +1,39 @@
+type t = {
+  name : string;
+  description : string;
+  source : string;
+  input : int list;
+  alt_inputs : int list list;
+}
+
+let vm_cache : (string, Stackvm.Program.t) Hashtbl.t = Hashtbl.create 16
+let native_cache : (string, Nativesim.Asm.program) Hashtbl.t = Hashtbl.create 16
+
+let vm_program w =
+  match Hashtbl.find_opt vm_cache w.name with
+  | Some p -> p
+  | None ->
+      let p = Minic.To_stackvm.compile_source w.source in
+      Hashtbl.replace vm_cache w.name p;
+      p
+
+let native_program w =
+  match Hashtbl.find_opt native_cache w.name with
+  | Some p -> p
+  | None ->
+      let p = Minic.To_native.compile_source w.source in
+      Hashtbl.replace native_cache w.name p;
+      p
+
+let native_binary w = Nativesim.Asm.assemble (native_program w)
+
+let expected_outputs w input =
+  let r = Minic.Interp.run (Minic.Parser.parse w.source) ~input in
+  match r.Minic.Interp.outcome with
+  | Minic.Interp.Finished _ -> r.Minic.Interp.outputs
+  | Minic.Interp.Runtime_error m -> failwith (w.name ^ ": reference run failed: " ^ m)
+  | Minic.Interp.Out_of_fuel -> failwith (w.name ^ ": reference run out of fuel")
+
+let make ~name ~description ~input ?(alt_inputs = []) source =
+  ignore (Minic.Typecheck.check (Minic.Parser.parse source));
+  { name; description; source; input; alt_inputs }

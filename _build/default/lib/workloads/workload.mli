@@ -1,0 +1,30 @@
+(** Benchmark workloads.
+
+    The paper evaluates the Java track on CaffeineMark (tiny, almost all
+    hot) and Jess (large, mostly cold), and the native track on ten
+    SPECint-2000 programs.  We reproduce the {e shapes}: every workload
+    here is a MiniC program compiled to whichever substrate an experiment
+    needs (see DESIGN.md for the substitution argument). *)
+
+type t = {
+  name : string;
+  description : string;
+  source : string;  (** MiniC source *)
+  input : int list;  (** the secret/training input sequence *)
+  alt_inputs : int list list;  (** additional inputs for correctness checks *)
+}
+
+val vm_program : t -> Stackvm.Program.t
+(** Compile for the stack VM (cached). *)
+
+val native_program : t -> Nativesim.Asm.program
+(** Compile for the native machine (cached). *)
+
+val native_binary : t -> Nativesim.Binary.t
+
+val expected_outputs : t -> int list -> int list
+(** Reference outputs (from the MiniC interpreter) for a given input.
+    Raises [Failure] if the reference run does not finish. *)
+
+val make : name:string -> description:string -> input:int list -> ?alt_inputs:int list list -> string -> t
+(** Build (and eagerly typecheck) a workload. *)

@@ -1,0 +1,1 @@
+test/test_bignum.ml: Alcotest Bignum Int64 List QCheck QCheck_alcotest Util

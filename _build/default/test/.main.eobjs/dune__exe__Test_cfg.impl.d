@@ -1,0 +1,1 @@
+test/test_cfg.ml: Alcotest Asm Binary Cfg Disasm Hashtbl Insn Layout List Nativesim Printf Workloads

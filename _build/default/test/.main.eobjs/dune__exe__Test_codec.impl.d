@@ -1,0 +1,1 @@
+test/test_codec.ml: Alcotest Array Bignum Bytes Codec Int64 List Numtheory Params Pieces Printf QCheck QCheck_alcotest Recombine Statement Util

@@ -1,0 +1,1 @@
+test/test_crypto.ml: Alcotest Array Crypto List Printf QCheck QCheck_alcotest Util

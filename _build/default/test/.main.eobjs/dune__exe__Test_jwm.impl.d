@@ -1,0 +1,1 @@
+test/test_jwm.ml: Alcotest Asm Bignum Codec Instr Int64 Interp Jwm List Printf Program QCheck QCheck_alcotest Rewrite Serialize Stackvm Trace Util Verify

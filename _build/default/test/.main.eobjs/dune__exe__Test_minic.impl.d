@@ -1,0 +1,1 @@
+test/test_minic.ml: Alcotest Int64 List Minic Nativesim QCheck QCheck_alcotest Stackvm Util Workloads

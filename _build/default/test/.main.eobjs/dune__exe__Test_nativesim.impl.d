@@ -1,0 +1,1 @@
+test/test_nativesim.ml: Alcotest Asm Binary Char Disasm Insn Layout List Machine Nativesim Profile QCheck QCheck_alcotest Rewriter String Util

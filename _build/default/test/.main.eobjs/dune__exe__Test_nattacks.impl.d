@@ -1,0 +1,1 @@
+test/test_nattacks.ml: Alcotest Asm Bignum Lazy Nativesim Nattacks Nwm Test_nwm Util

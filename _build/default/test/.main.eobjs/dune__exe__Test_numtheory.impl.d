@@ -1,0 +1,1 @@
+test/test_numtheory.ml: Alcotest Array Bignum Fun Gcrt Ints List Numtheory Printf Prob QCheck QCheck_alcotest Util

@@ -1,0 +1,1 @@
+test/test_nwm.ml: Alcotest Array Asm Bignum Binary Disasm Fun Hashtbl Insn Int64 Layout List Machine Nativesim Nattacks Nwm Phash Printf QCheck QCheck_alcotest Util Workloads

@@ -1,0 +1,1 @@
+test/test_stackvm.ml: Alcotest Array Asm Hashtbl Instr Int64 Interp List Printf Program QCheck QCheck_alcotest Rewrite Serialize Stackvm Trace Util Verify

@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Bitstring Gen List Prng QCheck QCheck_alcotest Stats Util

@@ -1,0 +1,1 @@
+test/test_vmattacks.ml: Alcotest Array Bignum Codec Format Instr Int64 Interp Jwm Lazy List Printf Program QCheck QCheck_alcotest Serialize Stackvm Test_jwm Trace Util Verify Vmattacks Workloads

@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Hashtbl List Nativesim Printf Stackvm Workloads

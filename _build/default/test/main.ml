@@ -1,0 +1,19 @@
+let () =
+  Alcotest.run "pathmark"
+    [
+      ("util", Test_util.suite);
+      ("bignum", Test_bignum.suite);
+      ("numtheory", Test_numtheory.suite);
+      ("crypto", Test_crypto.suite);
+      ("codec", Test_codec.suite);
+      ("stackvm", Test_stackvm.suite);
+      ("jwm", Test_jwm.suite);
+      ("vmattacks", Test_vmattacks.suite);
+      ("nativesim", Test_nativesim.suite);
+      ("nwm", Test_nwm.suite);
+      ("nattacks", Test_nattacks.suite);
+      ("minic", Test_minic.suite);
+      ("workloads", Test_workloads.suite);
+      ("cfg", Test_cfg.suite);
+      ("experiments", Test_experiments.suite);
+    ]

@@ -1,0 +1,109 @@
+(* Tests for the native control-flow analysis (dominators, natural loops)
+   used by tamper-proofing candidate selection. *)
+
+open Nativesim
+
+let assemble items = Asm.assemble { Asm.text = items; data = [] }
+
+let loop_binary =
+  assemble
+    Asm.[
+      I (Insn.Mov_imm (0, 5));
+      L "head";
+      I (Insn.Cmp_imm (0, 0));
+      Jcc (Insn.Eq, Lbl "exit");
+      I (Insn.Alu_imm (Insn.Sub, 0, 1));
+      Jmp (Lbl "head");
+      L "exit";
+      I (Insn.Mov_imm (1, 9));
+      Jmp (Lbl "tail");
+      L "tail";
+      I Insn.Halt;
+    ]
+
+let test_blocks_partition () =
+  let cfg = Cfg.build loop_binary in
+  let blocks = Cfg.blocks cfg in
+  Alcotest.(check bool) "several blocks" true (List.length blocks >= 4);
+  (* blocks cover all instructions exactly once *)
+  let total = List.fold_left (fun acc (b : Cfg.block) -> acc + List.length b.Cfg.insns) 0 blocks in
+  Alcotest.(check int) "cover all instructions" (List.length (Disasm.disassemble loop_binary)) total
+
+let test_successors () =
+  let cfg = Cfg.build loop_binary in
+  let head = Binary.symbol loop_binary "head" in
+  let exit_ = Binary.symbol loop_binary "exit" in
+  match Cfg.block_of cfg head with
+  | None -> Alcotest.fail "head block missing"
+  | Some b ->
+      (* the conditional block reaches both the exit and the body *)
+      Alcotest.(check bool) "branch to exit" true (List.mem exit_ b.Cfg.succs);
+      Alcotest.(check int) "two successors" 2 (List.length b.Cfg.succs)
+
+let test_dominators_entry () =
+  let cfg = Cfg.build loop_binary in
+  let dom = Cfg.dominators cfg in
+  let entry = Layout.text_base in
+  Hashtbl.iter
+    (fun leader ds ->
+      Alcotest.(check bool)
+        (Printf.sprintf "entry dominates 0x%x" leader)
+        true (List.mem entry ds))
+    dom
+
+let test_back_edge_and_loop () =
+  let cfg = Cfg.build loop_binary in
+  let head = Binary.symbol loop_binary "head" in
+  let edges = Cfg.back_edges cfg in
+  Alcotest.(check bool) "one back edge to head" true (List.exists (fun (_, dst) -> dst = head) edges);
+  (* the loop body is in a loop; the tail is not *)
+  Alcotest.(check bool) "head in loop" true (Cfg.in_loop cfg head);
+  let tail = Binary.symbol loop_binary "tail" in
+  Alcotest.(check bool) "tail not in loop" false (Cfg.in_loop cfg tail);
+  let leaders = Cfg.loop_leaders cfg in
+  Alcotest.(check bool) "loop leaders nonempty" true (leaders <> [])
+
+let test_straightline_no_loops () =
+  let bin = assemble Asm.[ I (Insn.Mov_imm (0, 1)); I (Insn.Out 0); I Insn.Halt ] in
+  let cfg = Cfg.build bin in
+  Alcotest.(check (list (pair int int))) "no back edges" [] (Cfg.back_edges cfg);
+  Alcotest.(check (list int)) "no loop leaders" [] (Cfg.loop_leaders cfg)
+
+let test_nested_loops () =
+  let bin =
+    assemble
+      Asm.[
+        I (Insn.Mov_imm (0, 3));
+        L "outer";
+        I (Insn.Mov_imm (1, 3));
+        L "inner";
+        I (Insn.Alu_imm (Insn.Sub, 1, 1));
+        I (Insn.Cmp_imm (1, 0));
+        Jcc (Insn.Gt, Lbl "inner");
+        I (Insn.Alu_imm (Insn.Sub, 0, 1));
+        I (Insn.Cmp_imm (0, 0));
+        Jcc (Insn.Gt, Lbl "outer");
+        I Insn.Halt;
+      ]
+  in
+  let cfg = Cfg.build bin in
+  Alcotest.(check int) "two back edges" 2 (List.length (Cfg.back_edges cfg));
+  Alcotest.(check bool) "inner head in loop" true (Cfg.in_loop cfg (Binary.symbol bin "inner"));
+  Alcotest.(check bool) "outer head in loop" true (Cfg.in_loop cfg (Binary.symbol bin "outer"))
+
+let test_minic_loops_detected () =
+  (* the compiled caffeine suite is full of while loops *)
+  let bin = Workloads.Workload.native_binary Workloads.Caffeine.suite in
+  let cfg = Cfg.build bin in
+  Alcotest.(check bool) "loops found" true (List.length (Cfg.loop_leaders cfg) > 5)
+
+let suite =
+  [
+    ("blocks partition text", `Quick, test_blocks_partition);
+    ("successors", `Quick, test_successors);
+    ("entry dominates everything", `Quick, test_dominators_entry);
+    ("back edge and natural loop", `Quick, test_back_edge_and_loop);
+    ("straight-line has no loops", `Quick, test_straightline_no_loops);
+    ("nested loops", `Quick, test_nested_loops);
+    ("compiled minic loops detected", `Quick, test_minic_loops_detected);
+  ]

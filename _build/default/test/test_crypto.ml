@@ -1,0 +1,84 @@
+(* Tests for the Feistel block cipher. *)
+
+let test_roundtrip_default () =
+  let c = Crypto.Feistel.create ~key:0xDEADBEEFL () in
+  List.iter
+    (fun v -> Alcotest.(check int) "decrypt . encrypt = id" v (Crypto.Feistel.decrypt c (Crypto.Feistel.encrypt c v)))
+    [ 0; 1; 42; (1 lsl 61) - 1; 1 lsl 60; 123456789123456789 ]
+
+let test_roundtrip_small_block () =
+  let c = Crypto.Feistel.create ~block_bits:16 ~key:7L () in
+  for v = 0 to 65535 do
+    if Crypto.Feistel.decrypt c (Crypto.Feistel.encrypt c v) <> v then
+      Alcotest.failf "roundtrip failed at %d" v
+  done
+
+let test_bijective_small_block () =
+  let c = Crypto.Feistel.create ~block_bits:12 ~key:99L () in
+  let seen = Array.make 4096 false in
+  for v = 0 to 4095 do
+    let e = Crypto.Feistel.encrypt c v in
+    Alcotest.(check bool) "in range" true (e >= 0 && e < 4096);
+    if seen.(e) then Alcotest.failf "collision at %d" v;
+    seen.(e) <- true
+  done
+
+let test_key_sensitivity () =
+  let c1 = Crypto.Feistel.create ~key:1L () and c2 = Crypto.Feistel.create ~key:2L () in
+  let differs = ref 0 in
+  for v = 0 to 99 do
+    if Crypto.Feistel.encrypt c1 v <> Crypto.Feistel.encrypt c2 v then incr differs
+  done;
+  Alcotest.(check bool) "different keys give different ciphertexts" true (!differs > 90)
+
+let test_diffusion () =
+  (* Flipping one plaintext bit should flip many ciphertext bits on average. *)
+  let c = Crypto.Feistel.create ~key:123L () in
+  let total = ref 0 in
+  let samples = 200 in
+  let rng = Util.Prng.create 17L in
+  for _ = 1 to samples do
+    let v = Util.Prng.bits rng 62 in
+    let bit = Util.Prng.int rng 62 in
+    let d = Crypto.Feistel.encrypt c v lxor Crypto.Feistel.encrypt c (v lxor (1 lsl bit)) in
+    let rec popcount x = if x = 0 then 0 else (x land 1) + popcount (x lsr 1) in
+    total := !total + popcount d
+  done;
+  let avg = float_of_int !total /. float_of_int samples in
+  Alcotest.(check bool) (Printf.sprintf "avalanche avg %.1f bits" avg) true (avg > 20.0 && avg < 42.0)
+
+let test_passphrase_deterministic () =
+  let c1 = Crypto.Feistel.of_passphrase "secret input" in
+  let c2 = Crypto.Feistel.of_passphrase "secret input" in
+  let c3 = Crypto.Feistel.of_passphrase "secret inpux" in
+  Alcotest.(check int) "same passphrase" (Crypto.Feistel.encrypt c1 5) (Crypto.Feistel.encrypt c2 5);
+  Alcotest.(check bool) "different passphrase" true
+    (Crypto.Feistel.encrypt c1 5 <> Crypto.Feistel.encrypt c3 5)
+
+let test_invalid_params () =
+  let expect_invalid f = try ignore (f ()); false with Invalid_argument _ -> true in
+  Alcotest.(check bool) "odd block" true (expect_invalid (fun () -> Crypto.Feistel.create ~block_bits:13 ~key:1L ()));
+  Alcotest.(check bool) "too wide" true (expect_invalid (fun () -> Crypto.Feistel.create ~block_bits:64 ~key:1L ()));
+  let c = Crypto.Feistel.create ~block_bits:16 ~key:1L () in
+  Alcotest.(check bool) "value out of range" true (expect_invalid (fun () -> Crypto.Feistel.encrypt c 65536));
+  Alcotest.(check bool) "negative value" true (expect_invalid (fun () -> Crypto.Feistel.encrypt c (-1)))
+
+let qcheck_roundtrip =
+  QCheck.Test.make ~name:"encrypt/decrypt roundtrip on random values" ~count:1000
+    QCheck.(pair (int_bound ((1 lsl 30) - 1)) (int_bound ((1 lsl 30) - 1)))
+    (fun (hi, lo) ->
+      let v = (hi lsl 30) lor lo in
+      let c = Crypto.Feistel.create ~key:0x5EEDL () in
+      Crypto.Feistel.decrypt c (Crypto.Feistel.encrypt c v) = v)
+
+let suite =
+  [
+    ("roundtrip default block", `Quick, test_roundtrip_default);
+    ("roundtrip 16-bit block exhaustive", `Quick, test_roundtrip_small_block);
+    ("bijective on 12-bit block", `Quick, test_bijective_small_block);
+    ("key sensitivity", `Quick, test_key_sensitivity);
+    ("diffusion/avalanche", `Quick, test_diffusion);
+    ("passphrase derivation", `Quick, test_passphrase_deterministic);
+    ("invalid parameters", `Quick, test_invalid_params);
+    QCheck_alcotest.to_alcotest qcheck_roundtrip;
+  ]

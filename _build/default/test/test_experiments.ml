@@ -1,0 +1,97 @@
+(* Integration tests for the experiment drivers, at reduced scale: each
+   driver must run, produce well-formed series, and satisfy the paper's
+   qualitative claims (monotonicity, success at the extremes, ...). *)
+
+let test_fig5_small () =
+  let t = Experiments.Fig5.run ~trials:20 () in
+  Alcotest.(check int) "768-bit watermark" 768 t.Experiments.Fig5.bits;
+  Alcotest.(check int) "32 primes" 32 t.Experiments.Fig5.nodes;
+  Alcotest.(check int) "496 pieces" 496 t.Experiments.Fig5.total_pieces;
+  List.iter
+    (fun (p : Experiments.Fig5.point) ->
+      Alcotest.(check bool) "probabilities in range" true
+        (p.Experiments.Fig5.empirical >= 0.0 && p.Experiments.Fig5.empirical <= 1.0
+        && p.Experiments.Fig5.theoretical >= 0.0
+        && p.Experiments.Fig5.theoretical <= 1.0))
+    t.Experiments.Fig5.points;
+  (* the curve ends saturated *)
+  let last = List.nth t.Experiments.Fig5.points (List.length t.Experiments.Fig5.points - 1) in
+  Alcotest.(check bool) "saturates" true (last.Experiments.Fig5.empirical > 0.9)
+
+let test_fig8_cost_small () =
+  let series = Experiments.Fig8.run_cost ~pieces_sweep:[ 0; 30 ] ~bits:128 () in
+  Alcotest.(check int) "two workloads" 2 (List.length series);
+  List.iter
+    (fun (s : Experiments.Fig8.cost_series) ->
+      Alcotest.(check bool) "baseline positive" true (s.Experiments.Fig8.baseline_steps > 0);
+      match s.Experiments.Fig8.points with
+      | [ p0; p30 ] ->
+          Alcotest.(check bool) "0 pieces = no slowdown" true (abs_float p0.Experiments.Fig8.slowdown < 0.01);
+          Alcotest.(check int) "0 pieces = no size change" 0 p0.Experiments.Fig8.size_increase;
+          Alcotest.(check bool) "pieces cost steps" true (p30.Experiments.Fig8.slowdown > 0.0);
+          Alcotest.(check bool) "pieces cost bytes" true (p30.Experiments.Fig8.size_increase > 0)
+      | _ -> Alcotest.fail "expected two points")
+    series
+
+let test_fig8d_small () =
+  let series = Experiments.Fig8.run_d ~rates:[ 1.0 ] () in
+  List.iter
+    (fun (_, points) ->
+      List.iter
+        (fun (p : Experiments.Fig8.attack_cost_point) ->
+          Alcotest.(check bool) "attack slows the program" true (p.Experiments.Fig8.attack_slowdown > 0.0))
+        points)
+    series
+
+let test_fig9_single_width () =
+  let t = Experiments.Fig9.run ~bit_widths:[ 64 ] () in
+  Alcotest.(check int) "ten benchmarks" 10 (List.length t.Experiments.Fig9.benchmarks);
+  List.iter
+    (fun (b : Experiments.Fig9.per_benchmark) ->
+      let m = List.hd b.Experiments.Fig9.measurements in
+      Alcotest.(check bool) "size grows" true (m.Experiments.Fig9.size_increase_pct > 0.0);
+      Alcotest.(check bool) "slowdown sane" true
+        (m.Experiments.Fig9.slowdown_pct >= 0.0 && m.Experiments.Fig9.slowdown_pct < 50.0))
+    t.Experiments.Fig9.benchmarks;
+  let _, mean_size = List.hd t.Experiments.Fig9.mean_size_pct in
+  Alcotest.(check bool) "mean size in the paper's ballpark" true (mean_size > 5.0 && mean_size < 30.0)
+
+let test_tables_native_subset () =
+  let table =
+    Experiments.Tables.run_native ~bits:32
+      ~benchmarks:[ Workloads.Spec.find "mcf"; Workloads.Spec.find "gzip" ] ()
+  in
+  let find name = List.assoc name table in
+  List.iter
+    (fun attack ->
+      List.iter
+        (fun (v : Experiments.Tables.native_verdict) ->
+          Alcotest.(check bool) (attack ^ " breaks " ^ v.Experiments.Tables.benchmark) true
+            v.Experiments.Tables.breaks)
+        (find attack))
+    [ "noop-insertion"; "branch-inversion"; "double-watermark"; "bypass" ];
+  List.iter
+    (fun (v : Experiments.Tables.native_verdict) ->
+      Alcotest.(check bool) "reroute keeps working" false v.Experiments.Tables.breaks;
+      Alcotest.(check (option bool)) "simple fooled" (Some true) v.Experiments.Tables.simple_tracer_fooled;
+      Alcotest.(check (option bool)) "smart recovers" (Some true) v.Experiments.Tables.smart_tracer_recovers)
+    (find "reroute")
+
+let test_ablations_rows () =
+  let rows = Experiments.Ablations.run () in
+  Alcotest.(check int) "five rows" 5 (List.length rows);
+  List.iter
+    (fun (r : Experiments.Ablations.row) ->
+      Alcotest.(check bool) "fields nonempty" true
+        (r.Experiments.Ablations.name <> "" && r.Experiments.Ablations.conclusion <> ""))
+    rows
+
+let suite =
+  [
+    ("fig5 at reduced scale", `Slow, test_fig5_small);
+    ("fig8 cost at reduced scale", `Slow, test_fig8_cost_small);
+    ("fig8d at reduced scale", `Slow, test_fig8d_small);
+    ("fig9 single width", `Slow, test_fig9_single_width);
+    ("native table on a subset", `Slow, test_tables_native_subset);
+    ("ablations run", `Slow, test_ablations_rows);
+  ]

@@ -1,0 +1,150 @@
+(* Tests for the native attacks: the paper's Table of §5.2.2.
+   No-op insertion, branch inversion, double watermarking and bypassing
+   must BREAK a tamper-proofed binary; rerouting keeps it running, fools
+   the simple tracer and is defeated by the smart tracer. *)
+
+open Nativesim
+
+let host_program = Test_nwm.host_program
+let w64 = Bignum.of_string "13105294131850248109"
+
+let big = Alcotest.testable Bignum.pp Bignum.equal
+
+let report = lazy (Nwm.Embed.embed ~seed:77L ~watermark:w64 ~bits:64 ~training_input:[ 6 ] host_program)
+
+let inputs = [ [ 6 ]; [ 3 ]; [ 10 ] ]
+
+let extract ?kind bin =
+  let r = Lazy.force report in
+  Nwm.Extract.extract ?kind bin ~begin_addr:r.Nwm.Embed.begin_addr ~end_addr:r.Nwm.Embed.end_addr
+    ~input:[ 6 ]
+
+let test_noop_insertion_breaks () =
+  let r = Lazy.force report in
+  let rng = Util.Prng.create 3L in
+  (* even a single inserted no-op moves addresses; sweep a few rates *)
+  let attacked = Nattacks.Attacks.noop_insertion ~rate:0.05 rng r.Nwm.Embed.binary in
+  Alcotest.(check bool) "program breaks" true
+    (Nattacks.Attacks.broken r.Nwm.Embed.binary attacked ~inputs)
+
+let test_noop_insertion_on_unwatermarked_is_safe () =
+  (* sanity: the rewriter itself is sound — on a plain binary the same
+     transformation preserves behaviour *)
+  let bin = Asm.assemble host_program in
+  let rng = Util.Prng.create 3L in
+  let attacked = Nattacks.Attacks.noop_insertion ~rate:0.3 rng bin in
+  Alcotest.(check bool) "plain binary unharmed" false (Nattacks.Attacks.broken bin attacked ~inputs)
+
+let test_branch_inversion_breaks () =
+  let r = Lazy.force report in
+  let rng = Util.Prng.create 5L in
+  let attacked = Nattacks.Attacks.branch_sense_inversion ~fraction:1.0 rng r.Nwm.Embed.binary in
+  Alcotest.(check bool) "program breaks" true
+    (Nattacks.Attacks.broken r.Nwm.Embed.binary attacked ~inputs)
+
+let test_branch_inversion_on_unwatermarked_is_safe () =
+  let bin = Asm.assemble host_program in
+  let rng = Util.Prng.create 5L in
+  let attacked = Nattacks.Attacks.branch_sense_inversion ~fraction:1.0 rng bin in
+  Alcotest.(check bool) "plain binary unharmed" false (Nattacks.Attacks.broken bin attacked ~inputs)
+
+let test_double_watermark_breaks () =
+  let r = Lazy.force report in
+  let attacked =
+    Nattacks.Attacks.double_watermark ~seed:123L ~watermark:(Bignum.of_int 98765) ~bits:32
+      ~training_input:[ 6 ] r.Nwm.Embed.binary
+  in
+  Alcotest.(check bool) "program breaks" true
+    (Nattacks.Attacks.broken r.Nwm.Embed.binary attacked ~inputs)
+
+let test_double_watermark_on_unwatermarked_is_safe () =
+  (* watermarking a clean binary through the lift-relink path must produce
+     a working program (it is just... watermarking) *)
+  let bin = Asm.assemble host_program in
+  let attacked =
+    Nattacks.Attacks.double_watermark ~seed:123L ~watermark:(Bignum.of_int 98765) ~bits:32
+      ~training_input:[ 6 ] bin
+  in
+  Alcotest.(check bool) "clean binary still works" false (Nattacks.Attacks.broken bin attacked ~inputs)
+
+let test_bypass_breaks_tamper_proofed () =
+  let r = Lazy.force report in
+  let rng = Util.Prng.create 7L in
+  let attacked =
+    Nattacks.Attacks.bypass rng r.Nwm.Embed.binary ~begin_addr:r.Nwm.Embed.begin_addr
+      ~end_addr:r.Nwm.Embed.end_addr ~input:[ 6 ]
+  in
+  Alcotest.(check bool) "program breaks" true
+    (Nattacks.Attacks.broken r.Nwm.Embed.binary attacked ~inputs)
+
+let test_bypass_succeeds_without_tamper_proofing () =
+  (* ablation: without §4.3 tamper-proofing, bypassing removes the mark
+     and the program keeps working — which is why tamper-proofing exists *)
+  let r =
+    Nwm.Embed.embed ~seed:77L ~tamper_proof:false ~watermark:w64 ~bits:64 ~training_input:[ 6 ]
+      host_program
+  in
+  let rng = Util.Prng.create 7L in
+  let attacked =
+    Nattacks.Attacks.bypass rng r.Nwm.Embed.binary ~begin_addr:r.Nwm.Embed.begin_addr
+      ~end_addr:r.Nwm.Embed.end_addr ~input:[ 6 ]
+  in
+  Alcotest.(check bool) "program keeps working" false
+    (Nattacks.Attacks.broken r.Nwm.Embed.binary attacked ~inputs);
+  (match
+     Nwm.Extract.extract attacked ~begin_addr:r.Nwm.Embed.begin_addr ~end_addr:r.Nwm.Embed.end_addr
+       ~input:[ 6 ]
+   with
+  | Error _ -> () (* mark gone *)
+  | Ok ex ->
+      Alcotest.(check bool) "mark destroyed" false
+        (Bignum.equal (Nwm.Extract.watermark ex) w64))
+
+let test_reroute_keeps_program_working () =
+  let r = Lazy.force report in
+  let rng = Util.Prng.create 9L in
+  let attacked =
+    Nattacks.Attacks.reroute rng r.Nwm.Embed.binary ~begin_addr:r.Nwm.Embed.begin_addr
+      ~end_addr:r.Nwm.Embed.end_addr ~input:[ 6 ]
+  in
+  Alcotest.(check bool) "program keeps working" false
+    (Nattacks.Attacks.broken r.Nwm.Embed.binary attacked ~inputs)
+
+let test_reroute_fools_simple_tracer () =
+  let r = Lazy.force report in
+  let rng = Util.Prng.create 9L in
+  let attacked =
+    Nattacks.Attacks.reroute rng r.Nwm.Embed.binary ~begin_addr:r.Nwm.Embed.begin_addr
+      ~end_addr:r.Nwm.Embed.end_addr ~input:[ 6 ]
+  in
+  match extract ~kind:Nwm.Extract.Simple attacked with
+  | Error _ -> () (* extraction failing outright also counts as fooled *)
+  | Ok ex ->
+      Alcotest.(check bool) "simple tracer recovers wrong mark" false
+        (Bignum.equal (Nwm.Extract.watermark ex) w64)
+
+let test_reroute_defeated_by_smart_tracer () =
+  let r = Lazy.force report in
+  let rng = Util.Prng.create 9L in
+  let attacked =
+    Nattacks.Attacks.reroute rng r.Nwm.Embed.binary ~begin_addr:r.Nwm.Embed.begin_addr
+      ~end_addr:r.Nwm.Embed.end_addr ~input:[ 6 ]
+  in
+  match extract ~kind:Nwm.Extract.Smart attacked with
+  | Error e -> Alcotest.fail e
+  | Ok ex -> Alcotest.check big "smart tracer recovers the mark" w64 (Nwm.Extract.watermark ex)
+
+let suite =
+  [
+    ("no-op insertion breaks watermarked binary", `Quick, test_noop_insertion_breaks);
+    ("no-op insertion safe on plain binary", `Quick, test_noop_insertion_on_unwatermarked_is_safe);
+    ("branch inversion breaks watermarked binary", `Quick, test_branch_inversion_breaks);
+    ("branch inversion safe on plain binary", `Quick, test_branch_inversion_on_unwatermarked_is_safe);
+    ("double watermarking breaks watermarked binary", `Quick, test_double_watermark_breaks);
+    ("lift-relink watermarking works on plain binary", `Quick, test_double_watermark_on_unwatermarked_is_safe);
+    ("bypass breaks tamper-proofed binary", `Quick, test_bypass_breaks_tamper_proofed);
+    ("bypass succeeds without tamper-proofing", `Quick, test_bypass_succeeds_without_tamper_proofing);
+    ("reroute keeps program working", `Quick, test_reroute_keeps_program_working);
+    ("reroute fools the simple tracer", `Quick, test_reroute_fools_simple_tracer);
+    ("reroute defeated by the smart tracer", `Quick, test_reroute_defeated_by_smart_tracer);
+  ]

@@ -1,0 +1,227 @@
+(* Tests for number theory: primes, generalized CRT, recovery probability. *)
+
+open Numtheory
+
+let big = Alcotest.testable Bignum.pp Bignum.equal
+
+let test_gcd_egcd () =
+  Alcotest.(check int) "gcd" 6 (Ints.gcd 54 24);
+  Alcotest.(check int) "gcd neg" 6 (Ints.gcd (-54) 24);
+  let g, s, t = Ints.egcd 240 46 in
+  Alcotest.(check int) "egcd g" 2 g;
+  Alcotest.(check int) "bezout" g ((s * 240) + (t * 46))
+
+let test_is_prime () =
+  let primes = [ 2; 3; 5; 7; 11; 101; 104729; 1073741789 ] in
+  let composites = [ 0; 1; 4; 9; 100; 104730; 1073741787 ] in
+  List.iter (fun p -> Alcotest.(check bool) (string_of_int p) true (Ints.is_prime p)) primes;
+  List.iter (fun c -> Alcotest.(check bool) (string_of_int c) false (Ints.is_prime c)) composites
+
+let test_next_prime () =
+  Alcotest.(check int) "after 10" 11 (Ints.next_prime 10);
+  Alcotest.(check int) "after 11" 13 (Ints.next_prime 11);
+  Alcotest.(check int) "after 0" 2 (Ints.next_prime 0)
+
+let test_primes_with_bits () =
+  let ps = Ints.primes_with_bits ~bits:8 ~count:5 in
+  Alcotest.(check (list int)) "first 8-bit primes" [ 131; 137; 139; 149; 151 ] ps
+
+let test_coprime_moduli () =
+  let rng = Util.Prng.create 5L in
+  let ps = Ints.coprime_moduli ~rng ~bits:20 ~count:12 in
+  Alcotest.(check int) "count" 12 (List.length ps);
+  List.iter
+    (fun p ->
+      Alcotest.(check bool) "prime" true (Ints.is_prime p);
+      Alcotest.(check bool) "20 bits" true (p >= 1 lsl 19 && p < 1 lsl 20))
+    ps;
+  (* pairwise distinct hence pairwise coprime for primes *)
+  let sorted = List.sort_uniq compare ps in
+  Alcotest.(check int) "distinct" 12 (List.length sorted)
+
+let test_crt_pair () =
+  (* x = 2 mod 3, x = 3 mod 5  ->  x = 8 mod 15 *)
+  let c1 = Gcrt.make_int ~residue:2 ~modulus:3 and c2 = Gcrt.make_int ~residue:3 ~modulus:5 in
+  match Gcrt.merge c1 c2 with
+  | None -> Alcotest.fail "coprime congruences must merge"
+  | Some m ->
+      Alcotest.check big "residue" (Bignum.of_int 8) m.Gcrt.residue;
+      Alcotest.check big "modulus" (Bignum.of_int 15) m.Gcrt.modulus
+
+let test_crt_non_coprime_consistent () =
+  (* x = 6 mod 10, x = 16 mod 15: gcd 5, both say x = 1 mod 5 -> x = 16 mod 30 *)
+  let c1 = Gcrt.make_int ~residue:6 ~modulus:10 and c2 = Gcrt.make_int ~residue:16 ~modulus:15 in
+  match Gcrt.merge c1 c2 with
+  | None -> Alcotest.fail "consistent congruences must merge"
+  | Some m ->
+      Alcotest.check big "residue" (Bignum.of_int 16) m.Gcrt.residue;
+      Alcotest.check big "modulus" (Bignum.of_int 30) m.Gcrt.modulus
+
+let test_crt_inconsistent () =
+  let c1 = Gcrt.make_int ~residue:1 ~modulus:10 and c2 = Gcrt.make_int ~residue:2 ~modulus:15 in
+  Alcotest.(check bool) "incompatible detected" false (Gcrt.compatible c1 c2);
+  Alcotest.(check bool) "merge fails" true (Gcrt.merge c1 c2 = None)
+
+let test_paper_example () =
+  (* Figure 3/4 of the paper: W = 17, p1 = 2, p2 = 3, p3 = 5.
+     W = 5 mod p1p2 = 6, W = 7 mod p1p3 = 10, W = 2 mod p2p3 = 15. *)
+  let statements =
+    [
+      Gcrt.make_int ~residue:5 ~modulus:6;
+      Gcrt.make_int ~residue:7 ~modulus:10;
+      Gcrt.make_int ~residue:2 ~modulus:15;
+    ]
+  in
+  match Gcrt.solve statements with
+  | None -> Alcotest.fail "paper example must be consistent"
+  | Some w -> Alcotest.check big "W = 17" (Bignum.of_int 17) w
+
+let test_solve_subset_suffices () =
+  (* Any two of the three statements above already pin W mod 30 = 17. *)
+  let pairs =
+    [
+      [ Gcrt.make_int ~residue:5 ~modulus:6; Gcrt.make_int ~residue:2 ~modulus:15 ];
+      [ Gcrt.make_int ~residue:7 ~modulus:10; Gcrt.make_int ~residue:2 ~modulus:15 ];
+    ]
+  in
+  List.iter
+    (fun stmts ->
+      match Gcrt.solve stmts with
+      | None -> Alcotest.fail "pair must be consistent"
+      | Some w -> Alcotest.check big "W = 17" (Bignum.of_int 17) w)
+    pairs
+
+let test_binomial () =
+  Alcotest.check big "C(5,2)" (Bignum.of_int 10) (Prob.binomial 5 2);
+  Alcotest.check big "C(50,25)" (Bignum.of_string "126410606437752") (Prob.binomial 50 25);
+  Alcotest.check big "C(n,0)" Bignum.one (Prob.binomial 7 0);
+  Alcotest.check big "out of range" Bignum.zero (Prob.binomial 5 9)
+
+let test_recovery_prob_extremes () =
+  Alcotest.(check (float 1e-9)) "no deletions" 1.0 (Prob.success_given_deletion_prob ~nodes:10 ~q:0.0);
+  Alcotest.(check (float 1e-9)) "all deleted" 0.0 (Prob.success_given_deletion_prob ~nodes:10 ~q:1.0);
+  let edges = 10 * 9 / 2 in
+  Alcotest.(check (float 1e-9)) "all survive" 1.0 (Prob.success_given_survivors ~nodes:10 ~survivors:edges);
+  Alcotest.(check (float 1e-9)) "none survive" 0.0 (Prob.success_given_survivors ~nodes:10 ~survivors:0)
+
+let test_recovery_prob_monotone () =
+  let n = 12 in
+  let edges = n * (n - 1) / 2 in
+  let prev = ref (-1.0) in
+  for k = 0 to edges do
+    let p = Prob.success_given_survivors ~nodes:n ~survivors:k in
+    Alcotest.(check bool) "monotone nondecreasing" true (p >= !prev -. 1e-9);
+    prev := p
+  done
+
+let test_recovery_prob_matches_simulation () =
+  (* Monte-Carlo check of the exact formula at one interior point. *)
+  let n = 8 in
+  let edges = n * (n - 1) / 2 in
+  let k = 12 in
+  let rng = Util.Prng.create 99L in
+  let all_edges = ref [] in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      all_edges := (i, j) :: !all_edges
+    done
+  done;
+  let all_edges = Array.of_list !all_edges in
+  let trials = 20000 in
+  let success = ref 0 in
+  for _ = 1 to trials do
+    let shuffled = Array.copy all_edges in
+    Util.Prng.shuffle rng shuffled;
+    let covered = Array.make n false in
+    Array.iteri
+      (fun idx (i, j) ->
+        if idx < k then begin
+          covered.(i) <- true;
+          covered.(j) <- true
+        end)
+      shuffled;
+    if Array.for_all Fun.id covered then incr success
+  done;
+  ignore edges;
+  let empirical = float_of_int !success /. float_of_int trials in
+  let exact = Prob.success_given_survivors ~nodes:n ~survivors:k in
+  Alcotest.(check bool)
+    (Printf.sprintf "formula %.4f vs simulation %.4f" exact empirical)
+    true
+    (abs_float (exact -. empirical) < 0.02)
+
+let qcheck_merge_solution_satisfies_both =
+  QCheck.Test.make ~name:"merged congruence satisfies both inputs" ~count:300
+    QCheck.(triple (int_range 2 2000) (int_range 2 2000) small_nat)
+    (fun (m1, m2, x0) ->
+      let w = x0 mod (m1 * m2) in
+      let c1 = Gcrt.make_int ~residue:(w mod m1) ~modulus:m1 in
+      let c2 = Gcrt.make_int ~residue:(w mod m2) ~modulus:m2 in
+      match Gcrt.merge c1 c2 with
+      | None -> false (* built from a common solution, must merge *)
+      | Some m ->
+          let r = Bignum.to_int m.Gcrt.residue in
+          r mod m1 = w mod m1 && r mod m2 = w mod m2)
+
+let suite =
+  [
+    ("gcd/egcd", `Quick, test_gcd_egcd);
+    ("is_prime", `Quick, test_is_prime);
+    ("next_prime", `Quick, test_next_prime);
+    ("primes_with_bits", `Quick, test_primes_with_bits);
+    ("coprime_moduli", `Quick, test_coprime_moduli);
+    ("crt coprime pair", `Quick, test_crt_pair);
+    ("crt non-coprime consistent", `Quick, test_crt_non_coprime_consistent);
+    ("crt inconsistent", `Quick, test_crt_inconsistent);
+    ("paper Figure 3/4 example", `Quick, test_paper_example);
+    ("subset of statements suffices", `Quick, test_solve_subset_suffices);
+    ("binomial", `Quick, test_binomial);
+    ("recovery probability extremes", `Quick, test_recovery_prob_extremes);
+    ("recovery probability monotone", `Quick, test_recovery_prob_monotone);
+    ("recovery probability vs simulation", `Slow, test_recovery_prob_matches_simulation);
+    QCheck_alcotest.to_alcotest qcheck_merge_solution_satisfies_both;
+  ]
+
+(* ---- additional edge cases ---- *)
+
+let test_gcrt_trivial_and_errors () =
+  (* empty system solves to 0 mod 1 *)
+  (match Numtheory.Gcrt.solve [] with
+  | Some v -> Alcotest.check big "empty system" Bignum.zero v
+  | None -> Alcotest.fail "empty system must solve");
+  (* non-positive modulus rejected *)
+  match Numtheory.Gcrt.make_int ~residue:1 ~modulus:0 with
+  | _ -> Alcotest.fail "expected Invalid_argument"
+  | exception Invalid_argument _ -> ()
+
+let test_gcrt_residue_normalized () =
+  let c = Numtheory.Gcrt.make_int ~residue:(-3) ~modulus:7 in
+  Alcotest.check big "normalized" (Bignum.of_int 4) c.Numtheory.Gcrt.residue
+
+let test_primes_range_exhaustion () =
+  (* there are only two 2-bit primes *)
+  match Numtheory.Ints.primes_with_bits ~bits:2 ~count:5 with
+  | _ -> Alcotest.fail "expected Invalid_argument"
+  | exception Invalid_argument _ -> ()
+
+let qcheck_gcrt_merge_commutative =
+  QCheck.Test.make ~name:"gcrt merge is commutative on consistent pairs" ~count:200
+    QCheck.(triple (int_range 2 500) (int_range 2 500) small_nat)
+    (fun (m1, m2, x) ->
+      let w = x mod (m1 * m2) in
+      let c1 = Gcrt.make_int ~residue:(w mod m1) ~modulus:m1 in
+      let c2 = Gcrt.make_int ~residue:(w mod m2) ~modulus:m2 in
+      match (Gcrt.merge c1 c2, Gcrt.merge c2 c1) with
+      | Some a, Some b ->
+          Bignum.equal a.Gcrt.residue b.Gcrt.residue && Bignum.equal a.Gcrt.modulus b.Gcrt.modulus
+      | _ -> false)
+
+let edge_suite =
+  [
+    ("gcrt trivial and errors", `Quick, test_gcrt_trivial_and_errors);
+    ("gcrt residue normalized", `Quick, test_gcrt_residue_normalized);
+    ("primes range exhaustion", `Quick, test_primes_range_exhaustion);
+    QCheck_alcotest.to_alcotest qcheck_gcrt_merge_commutative;
+  ]
+
+let suite = suite @ edge_suite
