@@ -9,7 +9,12 @@
       the same series the paper reports.  Run `dune exec bench/main.exe`
       and compare against EXPERIMENTS.md.
 
-   Pass `--micro-only` or `--figures-only` to run half the harness. *)
+   3. A batch-engine throughput comparison: the same fleet of
+      fingerprints embedded sequentially and on a Domain pool, with a
+      byte-identity check and a warm-cache re-run.
+
+   Pass `--micro-only`, `--figures-only` or `--batch-only` to run one
+   part of the harness. *)
 
 open Bechamel
 open Toolkit
@@ -113,6 +118,45 @@ let run_micro () =
         analysis)
     tests
 
+(* ---- batch engine: sequential vs pooled fleet fingerprinting ---- *)
+
+let run_batch () =
+  let fleet = 8 in
+  let domains = 4 in
+  let fingerprints = List.init fleet (fun i -> Bignum.add watermark64 (Bignum.of_int i)) in
+  let embed ?cache ~domains () =
+    Pathmark.watermark_batch ?cache ~domains ~key ~bits:64 ~pieces:20 ~input:host_input ~fingerprints
+      host_vm
+  in
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    let v = f () in
+    (v, (Unix.gettimeofday () -. t0) *. 1000.)
+  in
+  let row label ms = Printf.printf "%-28s %8.1f ms  (%6.1f embeds/s)\n%!" label ms (float_of_int fleet /. ms *. 1000.) in
+  Printf.printf "=== batch engine: %d fingerprints into caffeine ===\n%!" fleet;
+  let seq, seq_ms = time (fun () -> embed ~domains:1 ()) in
+  row "sequential, no cache:" seq_ms;
+  let cached, cached_ms = time (fun () -> embed ~cache:(Engine.Cache.create ()) ~domains:1 ()) in
+  row "sequential, shared trace:" cached_ms;
+  Printf.printf "%-28s %8.2fx\n%!" "  speedup over baseline:" (seq_ms /. cached_ms);
+  let cache = Engine.Cache.create () in
+  let pooled, pool_ms = time (fun () -> embed ~cache ~domains ()) in
+  row (Printf.sprintf "pooled (%d domains), cache:" domains) pool_ms;
+  Printf.printf "%-28s %8.2fx  (%d core(s) available)\n%!" "  speedup over baseline:"
+    (seq_ms /. pool_ms)
+    (Domain.recommended_domain_count ());
+  let bytes p = Stackvm.Serialize.encode p in
+  let identical =
+    List.for_all2 (fun a b -> bytes a = bytes b) seq pooled
+    && List.for_all2 (fun a b -> bytes a = bytes b) seq cached
+  in
+  Printf.printf "pooled/cached outputs byte-identical to sequential: %b\n%!" identical;
+  let _, warm_ms = time (fun () -> embed ~cache ~domains ()) in
+  let s = Engine.Cache.stats cache in
+  Printf.printf "warm re-run (all cached):    %8.1f ms  (cache: %d hits, %d misses)\n%!" warm_ms
+    s.Engine.Cache.hits s.Engine.Cache.misses
+
 let run_figures () =
   Experiments.Fig5.print (Experiments.Fig5.run ());
   let cost = Experiments.Fig8.run_cost () in
@@ -129,7 +173,9 @@ let run_figures () =
 
 let () =
   let args = Array.to_list Sys.argv in
-  let micro = not (List.mem "--figures-only" args) in
-  let figures = not (List.mem "--micro-only" args) in
-  if micro then run_micro ();
-  if figures then run_figures ()
+  let only flag = List.mem flag args in
+  let any_only = only "--micro-only" || only "--figures-only" || only "--batch-only" in
+  let want flag = (not any_only) || only flag in
+  if want "--micro-only" then run_micro ();
+  if want "--batch-only" then run_batch ();
+  if want "--figures-only" then run_figures ()

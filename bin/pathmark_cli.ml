@@ -14,14 +14,54 @@ let write_file path contents =
   let oc = open_out_bin path in
   Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc contents)
 
-let parse_input s =
-  if String.trim s = "" then []
-  else
-    String.split_on_char ',' s
-    |> List.map (fun x ->
-           match int_of_string_opt (String.trim x) with
-           | Some v -> v
-           | None -> failwith ("bad input element: " ^ x))
+(* ---- argument converters ----
+
+   Proper Cmdliner convs so a malformed value is a usage error, not a
+   [failwith] backtrace. *)
+
+let int_list_conv =
+  let parse s =
+    if String.trim s = "" then Ok []
+    else
+      let rec go acc = function
+        | [] -> Ok (List.rev acc)
+        | x :: rest -> (
+            match int_of_string_opt (String.trim x) with
+            | Some v -> go (v :: acc) rest
+            | None ->
+                Error (`Msg (Printf.sprintf "invalid element %S (expected comma-separated integers)" x)))
+      in
+      go [] (String.split_on_char ',' s)
+  in
+  let print ppf l = Format.pp_print_string ppf (String.concat "," (List.map string_of_int l)) in
+  Arg.conv ~docv:"I1,I2,..." (parse, print)
+
+let bignum_conv =
+  let parse s =
+    match Bignum.of_string (String.trim s) with
+    | w -> Ok w
+    | exception _ -> Error (`Msg (Printf.sprintf "invalid watermark value %S (expected a decimal integer)" s))
+  in
+  Arg.conv ~docv:"W" (parse, Bignum.pp)
+
+let bignum_list_conv =
+  let parse s =
+    if String.trim s = "" then Ok []
+    else
+      let rec go acc = function
+        | [] -> Ok (List.rev acc)
+        | x :: rest -> (
+            match Bignum.of_string (String.trim x) with
+            | w -> go (w :: acc) rest
+            | exception _ ->
+                Error (`Msg (Printf.sprintf "invalid fingerprint %S (expected a decimal integer)" x)))
+      in
+      go [] (String.split_on_char ',' s)
+  in
+  let print ppf l =
+    Format.pp_print_string ppf (String.concat "," (List.map Bignum.to_string l))
+  in
+  Arg.conv ~docv:"W1,W2,..." (parse, print)
 
 (* ---- common options ---- *)
 
@@ -31,10 +71,10 @@ let key_t =
 let bits_t = Arg.(value & opt int 128 & info [ "bits" ] ~docv:"N" ~doc:"Watermark width in bits.")
 
 let input_t =
-  Arg.(value & opt string "" & info [ "input" ] ~docv:"I1,I2,..." ~doc:"Secret input sequence (comma-separated integers).")
+  Arg.(value & opt int_list_conv [] & info [ "input" ] ~docv:"I1,I2,..." ~doc:"Secret input sequence (comma-separated integers).")
 
 let mark_t =
-  Arg.(value & opt string "123456789123456789" & info [ "mark" ] ~docv:"W" ~doc:"Watermark value (decimal).")
+  Arg.(value & opt bignum_conv (Bignum.of_string "123456789123456789") & info [ "mark" ] ~docv:"W" ~doc:"Watermark value (decimal).")
 
 let out_t = Arg.(value & opt string "out.bin" & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Output file.")
 
@@ -47,8 +87,7 @@ let load_vm path = Stackvm.Serialize.decode (read_file path)
 let embed_vm source key mark bits pieces input out seed =
   let prog = Minic.To_stackvm.compile_source (read_file source) in
   let watermarked =
-    Pathmark.watermark_vm ~seed:(Int64.of_int seed) ~key ~watermark:(Bignum.of_string mark) ~bits
-      ~pieces ~input:(parse_input input) prog
+    Pathmark.watermark_vm ~seed:(Int64.of_int seed) ~key ~watermark:mark ~bits ~pieces ~input prog
   in
   write_file out (Stackvm.Serialize.encode watermarked);
   Printf.printf "embedded %d-bit watermark (%d pieces) into %s -> %s (%d -> %d bytes)\n" bits pieces
@@ -65,7 +104,7 @@ let embed_vm_cmd =
 
 let recognize_vm path key bits input =
   let prog = load_vm path in
-  match Pathmark.recognize_vm ~key ~bits ~input:(parse_input input) prog with
+  match Pathmark.recognize_vm ~key ~bits ~input prog with
   | Some w -> Printf.printf "fingerprint: %s\n" (Bignum.to_string w)
   | None ->
       Printf.printf "no watermark recovered\n";
@@ -79,7 +118,7 @@ let recognize_vm_cmd =
 
 let run_vm path input =
   let prog = load_vm path in
-  let r = Stackvm.Interp.run prog ~input:(parse_input input) in
+  let r = Stackvm.Interp.run prog ~input in
   List.iter (Printf.printf "%d\n") r.Stackvm.Interp.outputs;
   match r.Stackvm.Interp.outcome with
   | Stackvm.Interp.Finished v -> Printf.printf "finished: %d (%d steps)\n" v r.Stackvm.Interp.steps
@@ -122,7 +161,7 @@ let list_attacks_cmd = Cmd.v (Cmd.info "list-attacks" ~doc:"List the attack suit
 
 let trace_vm path input out =
   let prog = load_vm path in
-  let trace = Stackvm.Trace.capture ~want_snapshots:false prog ~input:(parse_input input) in
+  let trace = Stackvm.Trace.capture ~want_snapshots:false prog ~input in
   let bits = Stackvm.Trace.bitstring trace in
   write_file out (Stackvm.Trace.save trace);
   Printf.printf "traced %d branch events (%d instructions executed) -> %s\n"
@@ -159,8 +198,7 @@ let recognize_trace_cmd =
 let embed_native source mark bits input out seed =
   let prog = Minic.To_native.compile_source (read_file source) in
   let report =
-    Pathmark.watermark_native ~seed:(Int64.of_int seed) ~watermark:(Bignum.of_string mark) ~bits
-      ~training_input:(parse_input input) prog
+    Pathmark.watermark_native ~seed:(Int64.of_int seed) ~watermark:mark ~bits ~training_input:input prog
   in
   write_file out (Nativesim.Binary.encode report.Nwm.Embed.binary);
   Printf.printf "embedded %d-bit watermark into %s -> %s\n" bits source out;
@@ -177,7 +215,7 @@ let embed_native_cmd =
 let extract_native path begin_addr end_addr input tracer =
   let bin = Nativesim.Binary.decode (read_file path) in
   let kind = if tracer = "simple" then Nwm.Extract.Simple else Nwm.Extract.Smart in
-  match Pathmark.extract_native ~kind bin ~begin_addr ~end_addr ~input:(parse_input input) with
+  match Pathmark.extract_native ~kind bin ~begin_addr ~end_addr ~input with
   | Some w -> Printf.printf "fingerprint: %s\n" (Bignum.to_string w)
   | None ->
       Printf.printf "no watermark extracted\n";
@@ -194,7 +232,7 @@ let extract_native_cmd =
 
 let run_native path input =
   let bin = Nativesim.Binary.decode (read_file path) in
-  let r = Nativesim.Machine.run bin ~input:(parse_input input) in
+  let r = Nativesim.Machine.run bin ~input in
   List.iter (Printf.printf "%d\n") r.Nativesim.Machine.outputs;
   match r.Nativesim.Machine.outcome with
   | Nativesim.Machine.Halted -> Printf.printf "halted (%d steps)\n" r.Nativesim.Machine.steps
@@ -216,6 +254,148 @@ let disasm path =
 let disasm_cmd =
   let path = Arg.(required & pos 0 (some file) None & info [] ~docv:"BINARY" ~doc:"Native binary file.") in
   Cmd.v (Cmd.info "disasm" ~doc:"Disassemble a native binary.") Term.(const disasm $ path)
+
+(* ---- batch engine ---- *)
+
+let builtin_workloads =
+  [
+    ("caffeine", Workloads.Caffeine.suite);
+    ("jesslite", Workloads.Jesslite.engine);
+  ]
+
+let batch source workload key bits pieces input fingerprints count mark jobs cache_spec events_file
+    out_dir verify retries seed quiet =
+  let workload_entry = List.assoc_opt workload builtin_workloads in
+  let program, default_input, host_name =
+    match source with
+    | Some path -> (Minic.To_stackvm.compile_source (read_file path), [], path)
+    | None -> (
+        match workload_entry with
+        | Some w -> (Workloads.Workload.vm_program w, w.Workloads.Workload.input, w.Workloads.Workload.name)
+        | None ->
+            Printf.printf "unknown workload %s; available: %s\n" workload
+              (String.concat " " (List.map fst builtin_workloads));
+            exit 1)
+  in
+  let input = if input = [] then default_input else input in
+  let fingerprints =
+    if fingerprints <> [] then fingerprints
+    else List.init count (fun i -> Bignum.add mark (Bignum.of_int i))
+  in
+  let limit = Bignum.shift_left (Bignum.of_int 1) bits in
+  List.iter
+    (fun fp ->
+      if Bignum.compare fp limit >= 0 then begin
+        Printf.printf "fingerprint %s does not fit in %d bits; raise --bits or pass smaller --mark/--fingerprints\n"
+          (Bignum.to_string fp) bits;
+        exit 1
+      end)
+    fingerprints;
+  let cache =
+    match cache_spec with
+    | "none" -> None
+    | "mem" -> Some (Engine.Cache.create ())
+    | dir -> Some (Engine.Cache.create ~spill_dir:dir ())
+  in
+  let events_oc = Option.map open_out events_file in
+  let events = Engine.Events.create ?sink:(Option.map Engine.Events.json_sink events_oc) () in
+  let job_specs =
+    List.mapi
+      (fun i fp ->
+        Engine.Job.vm_embed ~label:("fp-" ^ Bignum.to_string fp)
+          ~seed:(Int64.add (Int64.of_int seed) (Int64.mul (Int64.of_int (i + 1)) 0x9E37_79B9_7F4A_7C15L))
+          ~key ~bits ~pieces ~fingerprint:fp ~input program)
+      fingerprints
+  in
+  Printf.printf "batch: %d embed jobs on %s, %d domain(s), cache %s\n%!" (List.length job_specs) host_name
+    jobs cache_spec;
+  let results = Engine.Batch.run ~domains:jobs ~retries ?cache ~events job_specs in
+  let failed = List.filter (fun r -> not (Engine.Batch.ok r)) results in
+  Option.iter
+    (fun dir ->
+      if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+      List.iter
+        (fun (r : Engine.Batch.result) ->
+          match r.Engine.Batch.outcome with
+          | Engine.Batch.Vm_embedded { program = bytes; _ } ->
+              write_file (Filename.concat dir (r.Engine.Batch.job.Engine.Job.label ^ ".svm")) bytes
+          | _ -> ())
+        results)
+    out_dir;
+  let verify_failures =
+    if not verify then 0
+    else begin
+      let recog_jobs =
+        List.concat
+          (List.map2
+             (fun fp (r : Engine.Batch.result) ->
+               match r.Engine.Batch.outcome with
+               | Engine.Batch.Vm_embedded { program = bytes; _ } ->
+                   [
+                     Engine.Job.vm_recognize ~label:("verify-" ^ Bignum.to_string fp) ~expected:fp ~key
+                       ~bits ~input (Stackvm.Serialize.decode bytes);
+                   ]
+               | _ -> [])
+             fingerprints results)
+      in
+      let vresults = Engine.Batch.run ~domains:jobs ~retries ?cache ~events recog_jobs in
+      List.length (List.filter (fun r -> not (Engine.Batch.ok r)) vresults)
+    end
+  in
+  if not quiet then print_string (Engine.Events.report events);
+  Option.iter
+    (fun c ->
+      let s = Engine.Cache.stats c in
+      Printf.printf "cache: %d hits, %d misses, %d disk loads, %d evictions\n" s.Engine.Cache.hits
+        s.Engine.Cache.misses s.Engine.Cache.disk_loads s.Engine.Cache.evictions)
+    cache;
+  Option.iter close_out events_oc;
+  if failed <> [] || verify_failures > 0 then begin
+    Printf.printf "batch FAILED: %d embed failures, %d verification failures\n" (List.length failed)
+      verify_failures;
+    exit 1
+  end
+  else Printf.printf "batch ok: %d fingerprints embedded%s\n" (List.length results)
+         (if verify then " and verified" else "")
+
+let batch_cmd =
+  let source =
+    Arg.(value & pos 0 (some file) None & info [] ~docv:"SOURCE.mc" ~doc:"MiniC source file (omit to use $(b,--workload).)")
+  in
+  let workload =
+    Arg.(value & opt string "caffeine" & info [ "workload" ] ~docv:"NAME" ~doc:"Built-in host workload (caffeine, jesslite) when no source file is given.")
+  in
+  let fingerprints =
+    Arg.(value & opt bignum_list_conv [] & info [ "fingerprints" ] ~docv:"W1,W2,..." ~doc:"Explicit fingerprint list (decimal).")
+  in
+  let count =
+    Arg.(value & opt int 8 & info [ "count" ] ~docv:"N" ~doc:"Number of fingerprints to derive from $(b,--mark) when $(b,--fingerprints) is not given.")
+  in
+  let jobs =
+    Arg.(value & opt int 1 & info [ "jobs"; "j" ] ~docv:"N" ~doc:"Worker-domain count (1 = sequential).")
+  in
+  let cache =
+    Arg.(value & opt string "mem" & info [ "cache" ] ~docv:"none|mem|DIR" ~doc:"Result/trace cache: disabled, in-memory, or spilled to DIR.")
+  in
+  let events_file =
+    Arg.(value & opt (some string) None & info [ "events" ] ~docv:"FILE" ~doc:"Write the JSON-lines event stream to FILE.")
+  in
+  let out_dir =
+    Arg.(value & opt (some string) None & info [ "out-dir" ] ~docv:"DIR" ~doc:"Write each watermarked program to DIR/<label>.svm.")
+  in
+  let verify =
+    Arg.(value & flag & info [ "verify" ] ~doc:"Recognize each embedded fingerprint after the batch and fail on mismatch.")
+  in
+  let retries =
+    Arg.(value & opt int 0 & info [ "retries" ] ~docv:"N" ~doc:"Bounded retries per failing job.")
+  in
+  let pieces = Arg.(value & opt int 40 & info [ "pieces" ] ~doc:"Number of redundant pieces per fingerprint.") in
+  let quiet = Arg.(value & flag & info [ "quiet"; "q" ] ~doc:"Suppress the human batch report.") in
+  Cmd.v
+    (Cmd.info "batch" ~doc:"Embed many fingerprints into one host program in parallel (the fleet-fingerprinting engine).")
+    Term.(
+      const batch $ source $ workload $ key_t $ bits_t $ pieces $ input_t $ fingerprints $ count $ mark_t
+      $ jobs $ cache $ events_file $ out_dir $ verify $ retries $ seed_t $ quiet)
 
 (* ---- experiments ---- *)
 
@@ -261,6 +441,7 @@ let main =
     (Cmd.info "pathmark" ~version:"1.0.0"
        ~doc:"Dynamic path-based software watermarking (Collberg et al., PLDI 2004).")
     [
+      batch_cmd;
       embed_vm_cmd;
       recognize_vm_cmd;
       run_vm_cmd;

@@ -12,6 +12,7 @@ module Phash = Phash
 module Nwm = Nwm
 module Nattacks = Nattacks
 module Workloads = Workloads
+module Engine = Engine
 
 let watermark_vm ?seed ~key ~watermark ~bits ~pieces ~input prog =
   let spec =
@@ -29,3 +30,22 @@ let extract_native ?kind bin ~begin_addr ~end_addr ~input =
   match Nwm.Extract.extract ?kind bin ~begin_addr ~end_addr ~input with
   | Ok ex -> Some (Nwm.Extract.watermark ex)
   | Error _ -> None
+
+let batch_seed base index = Int64.add base (Int64.mul (Int64.of_int (index + 1)) 0x9E37_79B9_7F4A_7C15L)
+
+let watermark_batch ?(seed = 0x1234_5678L) ?(domains = 1) ?cache ?events ~key ~bits ~pieces ~input
+    ~fingerprints prog =
+  let jobs =
+    List.mapi
+      (fun i fingerprint ->
+        Engine.Job.vm_embed ~label:("fp:" ^ Bignum.to_string fingerprint) ~seed:(batch_seed seed i) ~key
+          ~bits ~pieces ~fingerprint ~input prog)
+      fingerprints
+  in
+  Engine.Batch.run ~domains ?cache ?events jobs
+  |> List.map (fun (r : Engine.Batch.result) ->
+         match r.Engine.Batch.outcome with
+         | Engine.Batch.Vm_embedded { program; _ } -> Stackvm.Serialize.decode program
+         | Engine.Batch.Failed { reason; _ } ->
+             failwith (Printf.sprintf "watermark_batch: job %s failed: %s" r.Engine.Batch.job.Engine.Job.label reason)
+         | _ -> assert false)

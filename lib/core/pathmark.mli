@@ -28,6 +28,11 @@ module Nwm = Nwm
 module Nattacks = Nattacks
 module Workloads = Workloads
 
+module Engine = Engine
+(** The parallel batch engine: {!Engine.Job} specs executed by a
+    Domain-based {!Engine.Pool} with content-addressed {!Engine.Cache}
+    memoization and an {!Engine.Events} stream. *)
+
 (** {1 Bytecode track} *)
 
 val watermark_vm :
@@ -44,6 +49,26 @@ val watermark_vm :
 val recognize_vm :
   ?fuel:int -> key:string -> bits:int -> input:int list -> Stackvm.Program.t -> Bignum.t option
 (** Blind recognition: only the program and the secrets are needed. *)
+
+val watermark_batch :
+  ?seed:int64 ->
+  ?domains:int ->
+  ?cache:Engine.Cache.t ->
+  ?events:Engine.Events.t ->
+  key:string ->
+  bits:int ->
+  pieces:int ->
+  input:int list ->
+  fingerprints:Bignum.t list ->
+  Stackvm.Program.t ->
+  Stackvm.Program.t list
+(** Fleet fingerprinting: embed one distinct fingerprint per list element
+    into the same host program, fanned out over [domains] worker domains
+    (sequential when 1).  Per-job seeds are derived deterministically from
+    [seed], so the results are byte-identical whatever the pool size.
+    With a [cache], the host trace is captured once and shared by every
+    job, and finished jobs are memoized by content digest.  Raises
+    [Failure] if any job fails. *)
 
 (** {1 Native track} *)
 

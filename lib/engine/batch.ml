@@ -1,0 +1,395 @@
+type outcome =
+  | Vm_embedded of { program : string; bytes_before : int; bytes_after : int }
+  | Vm_recognized of { value : Bignum.t option; matched : bool option }
+  | Vm_attacked of { survived : (string * bool) list }
+  | Native_embedded of {
+      binary : string;
+      begin_addr : int;
+      end_addr : int;
+      bytes_before : int;
+      bytes_after : int;
+    }
+  | Native_extracted of { value : Bignum.t option; matched : bool option }
+  | Failed of { reason : string; attempts : int }
+
+type result = { job : Job.t; outcome : outcome; ms : float; attempts : int; from_cache : bool }
+
+let ok r =
+  match r.outcome with
+  | Failed _ -> false
+  | Vm_recognized { value; matched } | Native_extracted { value; matched } ->
+      value <> None && matched <> Some false
+  | Vm_attacked { survived } -> List.for_all snd survived
+  | Vm_embedded _ | Native_embedded _ -> true
+
+let describe_outcome = function
+  | Vm_embedded { bytes_before; bytes_after; _ } ->
+      Printf.sprintf "embedded (%d -> %d bytes)" bytes_before bytes_after
+  | Vm_recognized { value; matched } | Native_extracted { value; matched } -> (
+      match (value, matched) with
+      | None, _ -> "no watermark recovered"
+      | Some w, Some true -> Printf.sprintf "recognized %s (match)" (Bignum.to_string w)
+      | Some w, Some false -> Printf.sprintf "recognized %s (MISMATCH)" (Bignum.to_string w)
+      | Some w, None -> Printf.sprintf "recognized %s" (Bignum.to_string w))
+  | Vm_attacked { survived } ->
+      Printf.sprintf "survived %d/%d attacks" (List.length (List.filter snd survived)) (List.length survived)
+  | Native_embedded { bytes_before; bytes_after; begin_addr; end_addr; _ } ->
+      Printf.sprintf "embedded natively (%d -> %d bytes, region 0x%x-0x%x)" bytes_before bytes_after
+        begin_addr end_addr
+  | Failed { reason; attempts } -> Printf.sprintf "failed after %d attempt(s): %s" attempts reason
+
+(* ---- outcome (de)serialization for the result cache ----
+
+   Hand-rolled tagged format rather than [Marshal]: decoding untrusted
+   spill-file bytes must fail soft (return [None]), and [Marshal] cannot
+   promise that. *)
+
+let add_varint buf v =
+  let rec go v =
+    if v < 0x80 then Buffer.add_char buf (Char.chr v)
+    else begin
+      Buffer.add_char buf (Char.chr (0x80 lor (v land 0x7F)));
+      go (v lsr 7)
+    end
+  in
+  if v < 0 then invalid_arg "Batch.add_varint: negative";
+  go v
+
+let add_str buf s =
+  add_varint buf (String.length s);
+  Buffer.add_string buf s
+
+let add_opt buf add = function
+  | None -> Buffer.add_char buf '\000'
+  | Some v ->
+      Buffer.add_char buf '\001';
+      add buf v
+
+let add_big buf w = add_str buf (Bignum.to_string w)
+let add_bool buf b = Buffer.add_char buf (if b then '\001' else '\000')
+
+let encode_outcome o =
+  let buf = Buffer.create 128 in
+  Buffer.add_string buf "PBO1";
+  (match o with
+  | Vm_embedded { program; bytes_before; bytes_after } ->
+      Buffer.add_char buf 'E';
+      add_str buf program;
+      add_varint buf bytes_before;
+      add_varint buf bytes_after
+  | Vm_recognized { value; matched } ->
+      Buffer.add_char buf 'R';
+      add_opt buf add_big value;
+      add_opt buf add_bool matched
+  | Vm_attacked { survived } ->
+      Buffer.add_char buf 'A';
+      add_varint buf (List.length survived);
+      List.iter
+        (fun (name, alive) ->
+          add_str buf name;
+          add_bool buf alive)
+        survived
+  | Native_embedded { binary; begin_addr; end_addr; bytes_before; bytes_after } ->
+      Buffer.add_char buf 'N';
+      add_str buf binary;
+      add_varint buf begin_addr;
+      add_varint buf end_addr;
+      add_varint buf bytes_before;
+      add_varint buf bytes_after
+  | Native_extracted { value; matched } ->
+      Buffer.add_char buf 'X';
+      add_opt buf add_big value;
+      add_opt buf add_bool matched
+  | Failed { reason; attempts } ->
+      Buffer.add_char buf 'F';
+      add_str buf reason;
+      add_varint buf attempts);
+  Buffer.contents buf
+
+exception Malformed
+
+let decode_outcome s =
+  let pos = ref 0 in
+  let byte () =
+    if !pos >= String.length s then raise Malformed;
+    let b = Char.code s.[!pos] in
+    incr pos;
+    b
+  in
+  let varint () =
+    let rec go shift acc =
+      let b = byte () in
+      let acc = acc lor ((b land 0x7F) lsl shift) in
+      if b land 0x80 = 0 then acc else go (shift + 7) acc
+    in
+    go 0 0
+  in
+  let str () =
+    let n = varint () in
+    if n < 0 || !pos + n > String.length s then raise Malformed;
+    let v = String.sub s !pos n in
+    pos := !pos + n;
+    v
+  in
+  let opt read = match byte () with 0 -> None | 1 -> Some (read ()) | _ -> raise Malformed in
+  let big () = try Bignum.of_string (str ()) with _ -> raise Malformed in
+  let boolean () = match byte () with 0 -> false | 1 -> true | _ -> raise Malformed in
+  try
+    if String.length s < 5 || String.sub s 0 4 <> "PBO1" then None
+    else begin
+      pos := 4;
+      let o =
+        match Char.chr (byte ()) with
+        | 'E' ->
+            let program = str () in
+            let bytes_before = varint () in
+            let bytes_after = varint () in
+            Vm_embedded { program; bytes_before; bytes_after }
+        | 'R' ->
+            let value = opt big in
+            let matched = opt boolean in
+            Vm_recognized { value; matched }
+        | 'A' ->
+            let n = varint () in
+            let survived =
+              List.init n (fun _ ->
+                  let name = str () in
+                  let alive = boolean () in
+                  (name, alive))
+            in
+            Vm_attacked { survived }
+        | 'N' ->
+            let binary = str () in
+            let begin_addr = varint () in
+            let end_addr = varint () in
+            let bytes_before = varint () in
+            let bytes_after = varint () in
+            Native_embedded { binary; begin_addr; end_addr; bytes_before; bytes_after }
+        | 'X' ->
+            let value = opt big in
+            let matched = opt boolean in
+            Native_extracted { value; matched }
+        | 'F' ->
+            let reason = str () in
+            let attempts = varint () in
+            Failed { reason; attempts }
+        | _ -> raise Malformed
+      in
+      if !pos <> String.length s then None else Some o
+    end
+  with Malformed -> None
+
+(* ---- job execution ---- *)
+
+let now () = Unix.gettimeofday ()
+
+let emit events ev = Option.iter (fun t -> Events.emit t ev) events
+
+let timed ?events ~id ~stage f =
+  let t0 = now () in
+  let v = f () in
+  emit events (Events.Stage_time { id; stage; ms = (now () -. t0) *. 1000.0 });
+  v
+
+let default_recognize_fuel = 200_000_000
+
+let match_against expected value =
+  Option.map (fun e -> match value with Some v -> Bignum.equal v e | None -> false) expected
+
+let recognize_bits ~key ~bits ~trace_bytes =
+  let branches = Stackvm.Trace.load_branches trace_bytes in
+  let bitstr = Stackvm.Trace.bits_of_branches branches in
+  let params = Codec.Params.make ~passphrase:key ~watermark_bits:bits () in
+  (Codec.Recombine.recover_from_bitstring ~strides:[ 1; 2 ] params bitstr).Codec.Recombine.value
+
+let compute_vm ?cache ?events ~id (job : Job.t) program action =
+  match (action : Job.vm_action) with
+  | Job.Embed { fingerprint; pieces } ->
+      let capture () =
+        Stackvm.Trace.capture ?fuel:job.Job.fuel ~want_snapshots:true program ~input:job.Job.input
+      in
+      let trace =
+        timed ?events ~id ~stage:"trace" (fun () ->
+            match cache with
+            | Some c -> Cache.with_trace ?events c ~key:(Job.trace_digest job) capture
+            | None -> capture ())
+      in
+      let spec =
+        {
+          Jwm.Embed.passphrase = job.Job.key;
+          watermark = fingerprint;
+          watermark_bits = job.Job.bits;
+          pieces;
+          input = job.Job.input;
+        }
+      in
+      let report =
+        timed ?events ~id ~stage:"embed" (fun () ->
+            Jwm.Embed.embed ~trace ~seed:job.Job.seed ?fuel:job.Job.fuel spec program)
+      in
+      Vm_embedded
+        {
+          program = Stackvm.Serialize.encode report.Jwm.Embed.program;
+          bytes_before = report.Jwm.Embed.bytes_before;
+          bytes_after = report.Jwm.Embed.bytes_after;
+        }
+  | Job.Recognize { expected } ->
+      let fuel = Option.value ~default:default_recognize_fuel job.Job.fuel in
+      let capture () =
+        Stackvm.Trace.save (Stackvm.Trace.capture ~fuel ~want_snapshots:false program ~input:job.Job.input)
+      in
+      let trace_bytes =
+        timed ?events ~id ~stage:"trace" (fun () ->
+            match cache with
+            | Some c -> Cache.with_bytes ?events c ~stage:"trace" ~key:(Job.trace_digest job) capture
+            | None -> capture ())
+      in
+      let value =
+        timed ?events ~id ~stage:"recombine" (fun () ->
+            recognize_bits ~key:job.Job.key ~bits:job.Job.bits ~trace_bytes)
+      in
+      Vm_recognized { value; matched = match_against expected value }
+  | Job.Attack_campaign { expected; attacks } ->
+      let rng = Util.Prng.create job.Job.seed in
+      let survived =
+        List.map
+          (fun name ->
+            match List.assoc_opt name Vmattacks.Attacks.all with
+            | None -> failwith ("unknown attack: " ^ name)
+            | Some attack ->
+                let attacked = attack (Util.Prng.split rng) program in
+                let alive =
+                  timed ?events ~id ~stage:("attack:" ^ name) (fun () ->
+                      Jwm.Recognize.recognizes ?fuel:job.Job.fuel ~passphrase:job.Job.key
+                        ~watermark_bits:job.Job.bits ~input:job.Job.input ~expected attacked)
+                in
+                (name, alive))
+          attacks
+      in
+      Vm_attacked { survived }
+
+let compute_native ?events ~id (job : Job.t) program action =
+  match (action : Job.native_action) with
+  | Job.Native_embed { fingerprint; tamper_proof } ->
+      let report =
+        timed ?events ~id ~stage:"native-embed" (fun () ->
+            Nwm.Embed.embed ~seed:job.Job.seed ~tamper_proof ?fuel:job.Job.fuel ~watermark:fingerprint
+              ~bits:job.Job.bits ~training_input:job.Job.input program)
+      in
+      Native_embedded
+        {
+          binary = Nativesim.Binary.encode report.Nwm.Embed.binary;
+          begin_addr = report.Nwm.Embed.begin_addr;
+          end_addr = report.Nwm.Embed.end_addr;
+          bytes_before = report.Nwm.Embed.bytes_before;
+          bytes_after = report.Nwm.Embed.bytes_after;
+        }
+  | Job.Native_extract { begin_addr; end_addr; expected } ->
+      let binary = timed ?events ~id ~stage:"assemble" (fun () -> Nativesim.Asm.assemble program) in
+      let value =
+        timed ?events ~id ~stage:"native-extract" (fun () ->
+            match Nwm.Extract.extract binary ~begin_addr ~end_addr ~input:job.Job.input with
+            | Ok ex -> Some (Nwm.Extract.watermark ex)
+            | Error _ -> None)
+      in
+      Native_extracted { value; matched = match_against expected value }
+
+let execute ?(retries = 0) ?cache ?events ~id (job : Job.t) =
+  let t0 = now () in
+  emit events (Events.Job_start { id; label = job.Job.label; domain = (Domain.self () :> int) });
+  let finish outcome ~attempts ~from_cache =
+    let ms = (now () -. t0) *. 1000.0 in
+    let is_ok = match outcome with Failed _ -> false | _ -> true in
+    emit events
+      (Events.Job_finish
+         {
+           id;
+           label = job.Job.label;
+           ok = is_ok;
+           detail = describe_outcome outcome;
+           ms;
+           attempts;
+           cached = from_cache;
+         });
+    { job; outcome; ms; attempts; from_cache }
+  in
+  let stage = Job.kind job in
+  let digest = lazy (Job.digest job) in
+  let cached_outcome =
+    match cache with
+    | None -> None
+    | Some c ->
+        Option.bind (Cache.find_bytes ?events c ~stage ~key:(Lazy.force digest)) decode_outcome
+  in
+  match cached_outcome with
+  | Some outcome -> finish outcome ~attempts:0 ~from_cache:true
+  | None ->
+      let compute () =
+        match job.Job.payload with
+        | Job.Vm { program; action } -> compute_vm ?cache ?events ~id job program action
+        | Job.Native { program; action } -> compute_native ?events ~id job program action
+      in
+      let rec attempt n =
+        match compute () with
+        | outcome ->
+            Option.iter
+              (fun c -> Cache.store_bytes c ~stage ~key:(Lazy.force digest) (encode_outcome outcome))
+              cache;
+            finish outcome ~attempts:n ~from_cache:false
+        | exception e ->
+            let reason = Printexc.to_string e in
+            if n > retries then finish (Failed { reason; attempts = n }) ~attempts:n ~from_cache:false
+            else begin
+              emit events (Events.Job_retry { id; label = job.Job.label; attempt = n; reason });
+              attempt (n + 1)
+            end
+      in
+      attempt 1
+
+(* Capture each distinct embed trace once, up front, so concurrently
+   starting jobs on the same (program, input) share it instead of racing
+   into duplicate captures.  Jobs whose finished result is already cached
+   are skipped — a warm re-run must stay trace-free. *)
+let prewarm ~domains ?cache ?events jobs =
+  match cache with
+  | None -> ()
+  | Some c ->
+      let distinct = Hashtbl.create 8 in
+      List.iter
+        (fun (j : Job.t) ->
+          match j.Job.payload with
+          | Job.Vm { program; action = Job.Embed _ }
+            when not (Cache.mem_bytes c ~stage:(Job.kind j) ~key:(Job.digest j)) ->
+              let tk = Job.trace_digest j in
+              if not (Hashtbl.mem distinct tk) then
+                Hashtbl.replace distinct tk (fun () ->
+                    ignore
+                      (Cache.with_trace ?events c ~key:tk (fun () ->
+                           Stackvm.Trace.capture ?fuel:j.Job.fuel ~want_snapshots:true program
+                             ~input:j.Job.input)))
+          | _ -> ())
+        jobs;
+      let thunks = Hashtbl.fold (fun _ thunk acc -> thunk :: acc) distinct [] in
+      if thunks <> [] then ignore (Pool.run_list ~domains thunks)
+
+let run ?(domains = 1) ?retries ?cache ?events jobs =
+  let t0 = now () in
+  emit events (Events.Batch_start { jobs = List.length jobs; domains = max 1 domains });
+  prewarm ~domains ?cache ?events jobs;
+  let thunks = List.mapi (fun id job -> fun () -> execute ?retries ?cache ?events ~id job) jobs in
+  let results =
+    List.map2
+      (fun job -> function
+        | Ok r -> r
+        | Error e ->
+            (* a worker blew up outside [execute]'s own isolation; keep the
+               batch alive and report the job as failed *)
+            { job; outcome = Failed { reason = Printexc.to_string e; attempts = 1 }; ms = 0.0;
+              attempts = 1; from_cache = false })
+      jobs
+      (Pool.run_list ~domains thunks)
+  in
+  let failed = List.length (List.filter (fun r -> match r.outcome with Failed _ -> true | _ -> false) results) in
+  emit events
+    (Events.Batch_finish { ok = List.length results - failed; failed; ms = (now () -. t0) *. 1000.0 });
+  results

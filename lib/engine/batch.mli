@@ -1,0 +1,62 @@
+(** The batch runner: execute many {!Job}s in parallel, observably.
+
+    [run] fans the jobs out over a {!Pool} (or runs them inline when
+    [domains <= 1]), memoizes trace capture and finished job results in
+    an optional {!Cache}, reports every step to an optional {!Events}
+    recorder, and isolates failures: a job that traps, runs out of fuel
+    during embedding, or raises for any reason yields a [Failed] outcome
+    (after [retries] bounded retries) without disturbing its peers.
+
+    Every job is deterministic given its spec, so pooled results are
+    byte-identical to sequential ones and safe to memoize by content
+    digest. *)
+
+type outcome =
+  | Vm_embedded of { program : string; bytes_before : int; bytes_after : int }
+      (** [program] is the {!Stackvm.Serialize} encoding of the
+          watermarked program *)
+  | Vm_recognized of { value : Bignum.t option; matched : bool option }
+  | Vm_attacked of { survived : (string * bool) list }
+      (** per attack name: did the fingerprint survive? *)
+  | Native_embedded of {
+      binary : string;  (** {!Nativesim.Binary.encode} of the result *)
+      begin_addr : int;
+      end_addr : int;
+      bytes_before : int;
+      bytes_after : int;
+    }
+  | Native_extracted of { value : Bignum.t option; matched : bool option }
+  | Failed of { reason : string; attempts : int }
+
+type result = {
+  job : Job.t;
+  outcome : outcome;
+  ms : float;  (** execution wall-clock (≈0 when [from_cache]) *)
+  attempts : int;  (** 0 when served from the result cache *)
+  from_cache : bool;
+}
+
+val ok : result -> bool
+(** [true] unless the outcome is [Failed] or a [matched]/[survived] check
+    came back negative. *)
+
+val describe_outcome : outcome -> string
+
+val encode_outcome : outcome -> string
+(** Compact tagged byte encoding (used for the result cache; total —
+    every outcome round-trips). *)
+
+val decode_outcome : string -> outcome option
+(** [None] on malformed bytes (a corrupt spill file is a cache miss, not
+    a crash). *)
+
+val run :
+  ?domains:int ->
+  ?retries:int ->
+  ?cache:Cache.t ->
+  ?events:Events.t ->
+  Job.t list ->
+  result list
+(** Execute the jobs; results are in job order.  [domains] defaults to 1
+    (sequential), [retries] to 0 (a failing job is attempted
+    [1 + retries] times). *)

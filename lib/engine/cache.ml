@@ -1,0 +1,187 @@
+type stats = { hits : int; misses : int; disk_loads : int; evictions : int }
+
+type t = {
+  mutex : Mutex.t;
+  spill_dir : string option;
+  capacity : int;
+  bytes : (string, string) Hashtbl.t;
+  bytes_order : string Queue.t;
+  traces : (string, Stackvm.Trace.t) Hashtbl.t;
+  traces_order : string Queue.t;
+  mutable hits : int;
+  mutable misses : int;
+  mutable disk_loads : int;
+  mutable evictions : int;
+}
+
+let rec mkdir_p dir =
+  if not (Sys.file_exists dir) then begin
+    let parent = Filename.dirname dir in
+    if parent <> dir then mkdir_p parent;
+    try Sys.mkdir dir 0o755 with Sys_error _ when Sys.file_exists dir -> ()
+  end
+
+let create ?spill_dir ?(capacity = 4096) () =
+  Option.iter mkdir_p spill_dir;
+  {
+    mutex = Mutex.create ();
+    spill_dir;
+    capacity = max 1 capacity;
+    bytes = Hashtbl.create 64;
+    bytes_order = Queue.create ();
+    traces = Hashtbl.create 16;
+    traces_order = Queue.create ();
+    hits = 0;
+    misses = 0;
+    disk_loads = 0;
+    evictions = 0;
+  }
+
+let locked t f =
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+
+(* Spill file names: stage and key are digests / short tags, but sanitize
+   anyway so no stage string can escape the directory. *)
+let sanitize s =
+  String.map (fun c -> match c with 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '-' | '_' -> c | _ -> '_') s
+
+let spill_path dir ~stage ~key = Filename.concat dir (sanitize stage ^ "-" ^ sanitize key ^ ".bin")
+
+let read_file path =
+  if not (Sys.file_exists path) then None
+  else
+    try
+      let ic = open_in_bin path in
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () -> Some (really_input_string ic (in_channel_length ic)))
+    with Sys_error _ | End_of_file -> None
+
+let write_file path contents =
+  try
+    let tmp = path ^ ".tmp" in
+    let oc = open_out_bin tmp in
+    Fun.protect ~finally:(fun () -> close_out_noerr oc) (fun () -> output_string oc contents);
+    Sys.rename tmp path
+  with Sys_error _ -> ()
+
+let evict t table order =
+  while Hashtbl.length table > t.capacity do
+    let oldest = Queue.pop order in
+    if Hashtbl.mem table oldest then begin
+      Hashtbl.remove table oldest;
+      t.evictions <- t.evictions + 1
+    end
+  done
+
+let emit events ev = Option.iter (fun e -> Events.emit e ev) events
+
+let ckey ~stage ~key = stage ^ ":" ^ key
+
+let insert_bytes_locked t ck value =
+  if not (Hashtbl.mem t.bytes ck) then begin
+    Hashtbl.replace t.bytes ck value;
+    Queue.push ck t.bytes_order;
+    evict t t.bytes t.bytes_order
+  end
+
+let find_bytes t ?events ~stage ~key () =
+  let ck = ckey ~stage ~key in
+  let result =
+    locked t (fun () ->
+        match Hashtbl.find_opt t.bytes ck with
+        | Some v ->
+            t.hits <- t.hits + 1;
+            Some v
+        | None -> (
+            match t.spill_dir with
+            | None ->
+                t.misses <- t.misses + 1;
+                None
+            | Some dir -> (
+                match read_file (spill_path dir ~stage ~key) with
+                | Some v ->
+                    insert_bytes_locked t ck v;
+                    t.hits <- t.hits + 1;
+                    t.disk_loads <- t.disk_loads + 1;
+                    Some v
+                | None ->
+                    t.misses <- t.misses + 1;
+                    None)))
+  in
+  (match result with
+  | Some _ -> emit events (Events.Cache_hit { stage; key })
+  | None -> emit events (Events.Cache_miss { stage; key }));
+  result
+
+let store_bytes t ~stage ~key value =
+  let ck = ckey ~stage ~key in
+  let fresh =
+    locked t (fun () ->
+        let fresh = not (Hashtbl.mem t.bytes ck) in
+        if fresh then insert_bytes_locked t ck value;
+        fresh)
+  in
+  if fresh then
+    match t.spill_dir with
+    | Some dir -> write_file (spill_path dir ~stage ~key) value
+    | None -> ()
+
+let with_bytes ?events t ~stage ~key compute =
+  match find_bytes t ?events ~stage ~key () with
+  | Some v -> v
+  | None ->
+      let v = compute () in
+      store_bytes t ~stage ~key v;
+      (* a racing domain may have inserted first; return the winner *)
+      locked t (fun () -> Option.value ~default:v (Hashtbl.find_opt t.bytes (ckey ~stage ~key)))
+
+let with_trace ?events t ~key compute =
+  let stage = "trace-mem" in
+  let found =
+    locked t (fun () ->
+        match Hashtbl.find_opt t.traces key with
+        | Some tr ->
+            t.hits <- t.hits + 1;
+            Some tr
+        | None ->
+            t.misses <- t.misses + 1;
+            None)
+  in
+  match found with
+  | Some tr ->
+      emit events (Events.Cache_hit { stage; key });
+      tr
+  | None ->
+      emit events (Events.Cache_miss { stage; key });
+      let tr = compute () in
+      locked t (fun () ->
+          match Hashtbl.find_opt t.traces key with
+          | Some winner -> winner
+          | None ->
+              Hashtbl.replace t.traces key tr;
+              Queue.push key t.traces_order;
+              evict t t.traces t.traces_order;
+              tr)
+
+let find_bytes ?events t ~stage ~key = find_bytes t ?events ~stage ~key ()
+
+let mem_bytes t ~stage ~key =
+  let in_memory = locked t (fun () -> Hashtbl.mem t.bytes (ckey ~stage ~key)) in
+  in_memory
+  || match t.spill_dir with None -> false | Some dir -> Sys.file_exists (spill_path dir ~stage ~key)
+
+let stats t =
+  locked t (fun () -> { hits = t.hits; misses = t.misses; disk_loads = t.disk_loads; evictions = t.evictions })
+
+let clear t =
+  locked t (fun () ->
+      Hashtbl.reset t.bytes;
+      Queue.clear t.bytes_order;
+      Hashtbl.reset t.traces;
+      Queue.clear t.traces_order;
+      t.hits <- 0;
+      t.misses <- 0;
+      t.disk_loads <- 0;
+      t.evictions <- 0)

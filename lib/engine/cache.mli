@@ -1,0 +1,57 @@
+(** Content-addressed memoization for the batch engine.
+
+    Two stores, both keyed by hex content digests (see {!Job.digest} /
+    {!Job.trace_digest}):
+
+    - a {e bytes} store for serialized artifacts (saved traces, embedded
+      programs, encoded job outcomes), held in memory with an optional
+      on-disk spill directory so a later process re-running the same batch
+      pays nothing;
+    - a {e trace} store for full in-memory {!Stackvm.Trace.t} values
+      (embedding needs the variable snapshots, which the byte
+      serialization deliberately drops; these never spill).
+
+    All operations are thread-safe and may be called concurrently from
+    pool domains.  Computation happens {e outside} the lock; if two
+    domains race on the same missing key, both compute but the first
+    insertion wins and every caller is handed the winning value, so
+    results stay deterministic. *)
+
+type stats = {
+  hits : int;  (** lookups answered from memory or disk *)
+  misses : int;  (** lookups that had to compute *)
+  disk_loads : int;  (** subset of [hits] served from the spill directory *)
+  evictions : int;  (** in-memory entries dropped by the capacity bound *)
+}
+
+type t
+
+val create : ?spill_dir:string -> ?capacity:int -> unit -> t
+(** [capacity] (default 4096) bounds each in-memory store, evicting oldest
+    first; spilled bytes survive eviction on disk.  [spill_dir] is created
+    if missing. *)
+
+val with_bytes : ?events:Events.t -> t -> stage:string -> key:string -> (unit -> string) -> string
+(** [with_bytes t ~stage ~key compute] returns the cached value for
+    [(stage, key)] or runs [compute], stores and returns its result.
+    Emits {!Events.Cache_hit} / {!Events.Cache_miss}. *)
+
+val find_bytes : ?events:Events.t -> t -> stage:string -> key:string -> string option
+(** Lookup without computing (still counts and reports hit/miss). *)
+
+val mem_bytes : t -> stage:string -> key:string -> bool
+(** Silent presence check (memory or disk); affects neither {!stats} nor
+    the event stream. *)
+
+val store_bytes : t -> stage:string -> key:string -> string -> unit
+(** Insert (first insertion wins; re-inserting an existing key is a
+    no-op), spilling to disk when a spill directory is configured. *)
+
+val with_trace : ?events:Events.t -> t -> key:string -> (unit -> Stackvm.Trace.t) -> Stackvm.Trace.t
+(** Memoize a full trace capture under stage ["trace-mem"]. *)
+
+val stats : t -> stats
+
+val clear : t -> unit
+(** Drop the in-memory contents and reset {!stats}; disk spill files are
+    kept. *)

@@ -1,0 +1,155 @@
+type event =
+  | Batch_start of { jobs : int; domains : int }
+  | Batch_finish of { ok : int; failed : int; ms : float }
+  | Job_start of { id : int; label : string; domain : int }
+  | Job_finish of {
+      id : int;
+      label : string;
+      ok : bool;
+      detail : string;
+      ms : float;
+      attempts : int;
+      cached : bool;
+    }
+  | Job_retry of { id : int; label : string; attempt : int; reason : string }
+  | Cache_hit of { stage : string; key : string }
+  | Cache_miss of { stage : string; key : string }
+  | Stage_time of { id : int; stage : string; ms : float }
+  | Counter of { name : string; delta : int }
+
+type t = {
+  mutex : Mutex.t;
+  sink : (event -> unit) option;
+  mutable rev_events : event list;
+  counters : (string, int) Hashtbl.t;
+}
+
+let create ?sink () = { mutex = Mutex.create (); sink; rev_events = []; counters = Hashtbl.create 16 }
+
+let bump t name delta =
+  Hashtbl.replace t.counters name (delta + Option.value ~default:0 (Hashtbl.find_opt t.counters name))
+
+let emit t ev =
+  Mutex.lock t.mutex;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.mutex)
+    (fun () ->
+      t.rev_events <- ev :: t.rev_events;
+      (match ev with
+      | Job_finish { ok; _ } -> bump t (if ok then "jobs.ok" else "jobs.failed") 1
+      | Job_retry _ -> bump t "jobs.retries" 1
+      | Cache_hit _ -> bump t "cache.hits" 1
+      | Cache_miss _ -> bump t "cache.misses" 1
+      | Counter { name; delta } -> bump t name delta
+      | Batch_start _ | Batch_finish _ | Job_start _ | Stage_time _ -> ());
+      match t.sink with None -> () | Some f -> f ev)
+
+let events t =
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) (fun () -> List.rev t.rev_events)
+
+let count t pred = List.length (List.filter pred (events t))
+
+let counters t =
+  Mutex.lock t.mutex;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.mutex)
+    (fun () ->
+      Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.counters []
+      |> List.sort (fun (a, _) (b, _) -> String.compare a b))
+
+(* ---- JSON rendering (hand-rolled: no JSON library in the image) ---- *)
+
+let escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let json fields = "{" ^ String.concat "," fields ^ "}"
+let str k v = Printf.sprintf "\"%s\":\"%s\"" k (escape v)
+let int k v = Printf.sprintf "\"%s\":%d" k v
+let flt k v = Printf.sprintf "\"%s\":%.3f" k v
+let bool k v = Printf.sprintf "\"%s\":%b" k v
+
+let to_json = function
+  | Batch_start { jobs; domains } -> json [ str "ev" "batch_start"; int "jobs" jobs; int "domains" domains ]
+  | Batch_finish { ok; failed; ms } ->
+      json [ str "ev" "batch_finish"; int "ok" ok; int "failed" failed; flt "ms" ms ]
+  | Job_start { id; label; domain } ->
+      json [ str "ev" "job_start"; int "id" id; str "label" label; int "domain" domain ]
+  | Job_finish { id; label; ok; detail; ms; attempts; cached } ->
+      json
+        [
+          str "ev" "job_finish"; int "id" id; str "label" label; bool "ok" ok; str "detail" detail;
+          flt "ms" ms; int "attempts" attempts; bool "cached" cached;
+        ]
+  | Job_retry { id; label; attempt; reason } ->
+      json [ str "ev" "job_retry"; int "id" id; str "label" label; int "attempt" attempt; str "reason" reason ]
+  | Cache_hit { stage; key } -> json [ str "ev" "cache_hit"; str "stage" stage; str "key" key ]
+  | Cache_miss { stage; key } -> json [ str "ev" "cache_miss"; str "stage" stage; str "key" key ]
+  | Stage_time { id; stage; ms } -> json [ str "ev" "stage_time"; int "id" id; str "stage" stage; flt "ms" ms ]
+  | Counter { name; delta } -> json [ str "ev" "counter"; str "name" name; int "delta" delta ]
+
+let json_sink oc ev =
+  output_string oc (to_json ev);
+  output_char oc '\n';
+  flush oc
+
+let report t =
+  let evs = events t in
+  let buf = Buffer.create 1024 in
+  let counters = counters t in
+  let get name = Option.value ~default:0 (List.assoc_opt name counters) in
+  let finished =
+    List.filter_map
+      (function
+        | Job_finish { ok; label; detail; ms; cached; _ } -> Some (ok, label, detail, ms, cached)
+        | _ -> None)
+      evs
+  in
+  let total_ms = List.fold_left (fun acc (_, _, _, ms, _) -> acc +. ms) 0.0 finished in
+  Buffer.add_string buf "=== batch report ===\n";
+  (match
+     List.find_map (function Batch_start { jobs; domains } -> Some (jobs, domains) | _ -> None) evs
+   with
+  | Some (jobs, domains) -> Buffer.add_string buf (Printf.sprintf "jobs: %d  domains: %d\n" jobs domains)
+  | None -> ());
+  Buffer.add_string buf
+    (Printf.sprintf "ok: %d  failed: %d  retries: %d\n" (get "jobs.ok") (get "jobs.failed")
+       (get "jobs.retries"));
+  Buffer.add_string buf (Printf.sprintf "cache: %d hits, %d misses\n" (get "cache.hits") (get "cache.misses"));
+  (match finished with
+  | [] -> ()
+  | _ :: _ ->
+      Buffer.add_string buf
+        (Printf.sprintf "job time: %.1f ms total, %.1f ms mean\n" total_ms
+           (total_ms /. float_of_int (List.length finished))));
+  (match List.find_map (function Batch_finish { ms; _ } -> Some ms | _ -> None) evs with
+  | Some ms -> Buffer.add_string buf (Printf.sprintf "wall clock: %.1f ms\n" ms)
+  | None -> ());
+  List.iter
+    (fun (ok, label, detail, ms, cached) ->
+      Buffer.add_string buf
+        (Printf.sprintf "  [%s] %s: %s (%.1f ms%s)\n"
+           (if ok then "ok" else "FAIL")
+           label detail ms
+           (if cached then ", cached" else "")))
+    finished;
+  let user_counters =
+    List.filter
+      (fun (name, _) ->
+        not (List.mem name [ "jobs.ok"; "jobs.failed"; "jobs.retries"; "cache.hits"; "cache.misses" ]))
+      counters
+  in
+  List.iter (fun (name, v) -> Buffer.add_string buf (Printf.sprintf "  counter %s = %d\n" name v)) user_counters;
+  Buffer.contents buf

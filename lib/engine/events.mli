@@ -1,0 +1,58 @@
+(** Structured event stream for the batch engine.
+
+    Every stage of a batch run — job lifecycle, retries, cache traffic,
+    per-stage timings — is reported as a typed event.  A recorder collects
+    events in emission order (thread-safe: worker domains emit
+    concurrently), maintains named counters, and optionally forwards each
+    event to a sink such as {!json_sink} for a machine-readable
+    JSON-lines log.  {!report} renders the human summary. *)
+
+type event =
+  | Batch_start of { jobs : int; domains : int }
+  | Batch_finish of { ok : int; failed : int; ms : float }
+  | Job_start of { id : int; label : string; domain : int }
+  | Job_finish of {
+      id : int;
+      label : string;
+      ok : bool;
+      detail : string;  (** one-line outcome description *)
+      ms : float;
+      attempts : int;  (** 0 when served from the result cache *)
+      cached : bool;
+    }
+  | Job_retry of { id : int; label : string; attempt : int; reason : string }
+  | Cache_hit of { stage : string; key : string }
+  | Cache_miss of { stage : string; key : string }
+  | Stage_time of { id : int; stage : string; ms : float }
+  | Counter of { name : string; delta : int }
+
+type t
+(** A thread-safe recorder. *)
+
+val create : ?sink:(event -> unit) -> unit -> t
+(** [create ~sink ()] — [sink] is called once per event, under the
+    recorder's lock, so sinks need no synchronization of their own. *)
+
+val emit : t -> event -> unit
+
+val events : t -> event list
+(** Everything recorded so far, in emission order. *)
+
+val count : t -> (event -> bool) -> int
+(** Number of recorded events satisfying the predicate. *)
+
+val counters : t -> (string * int) list
+(** Accumulated {!Counter} totals plus derived totals maintained by the
+    recorder itself ([jobs.ok], [jobs.failed], [jobs.retries],
+    [cache.hits], [cache.misses]), sorted by name. *)
+
+val to_json : event -> string
+(** One event as a single-line JSON object. *)
+
+val json_sink : out_channel -> event -> unit
+(** Write {!to_json} plus a newline and flush — pass to {!create} to get
+    a JSON-lines event log. *)
+
+val report : t -> string
+(** Human-readable multi-line summary: job outcomes, timings, retries,
+    cache behaviour and counters. *)

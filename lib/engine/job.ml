@@ -1,0 +1,143 @@
+type vm_action =
+  | Embed of { fingerprint : Bignum.t; pieces : int }
+  | Recognize of { expected : Bignum.t option }
+  | Attack_campaign of { expected : Bignum.t; attacks : string list }
+
+type native_action =
+  | Native_embed of { fingerprint : Bignum.t; tamper_proof : bool }
+  | Native_extract of { begin_addr : int; end_addr : int; expected : Bignum.t option }
+
+type payload =
+  | Vm of { program : Stackvm.Program.t; action : vm_action }
+  | Native of { program : Nativesim.Asm.program; action : native_action }
+
+type t = {
+  label : string;
+  key : string;
+  bits : int;
+  input : int list;
+  seed : int64;
+  fuel : int option;
+  payload : payload;
+}
+
+let default_seed = 0x1234_5678L
+
+let vm_embed ?label ?(seed = default_seed) ?fuel ~key ~bits ~pieces ~fingerprint ~input program =
+  let label = Option.value label ~default:("embed:" ^ Bignum.to_string fingerprint) in
+  { label; key; bits; input; seed; fuel; payload = Vm { program; action = Embed { fingerprint; pieces } } }
+
+let vm_recognize ?label ?(seed = default_seed) ?fuel ?expected ~key ~bits ~input program =
+  let label = Option.value label ~default:"recognize" in
+  { label; key; bits; input; seed; fuel; payload = Vm { program; action = Recognize { expected } } }
+
+let vm_attack_campaign ?label ?(seed = default_seed) ?fuel ~key ~bits ~expected ~attacks ~input program =
+  let label = Option.value label ~default:(Printf.sprintf "attack[%d]" (List.length attacks)) in
+  {
+    label;
+    key;
+    bits;
+    input;
+    seed;
+    fuel;
+    payload = Vm { program; action = Attack_campaign { expected; attacks } };
+  }
+
+let native_embed ?label ?(seed = default_seed) ?fuel ?(tamper_proof = true) ~bits ~fingerprint ~input
+    program =
+  let label = Option.value label ~default:("native-embed:" ^ Bignum.to_string fingerprint) in
+  {
+    label;
+    key = "";
+    bits;
+    input;
+    seed;
+    fuel;
+    payload = Native { program; action = Native_embed { fingerprint; tamper_proof } };
+  }
+
+let native_extract ?label ?fuel ?expected ~bits ~begin_addr ~end_addr ~input program =
+  let label = Option.value label ~default:"native-extract" in
+  {
+    label;
+    key = "";
+    bits;
+    input;
+    seed = default_seed;
+    fuel;
+    payload = Native { program; action = Native_extract { begin_addr; end_addr; expected } };
+  }
+
+let program_bytes t =
+  match t.payload with
+  | Vm { program; _ } -> Stackvm.Serialize.encode program
+  | Native { program; _ } -> Nativesim.Binary.encode (Nativesim.Asm.assemble program)
+
+let hex s = Digest.to_hex (Digest.string s)
+let program_digest t = hex (program_bytes t)
+
+(* Canonical spec encoding for digesting: a tagged, length-unambiguous
+   text rendering of every semantic field followed by the program bytes. *)
+let add_field buf name value =
+  Buffer.add_string buf name;
+  Buffer.add_char buf '=';
+  Buffer.add_string buf (string_of_int (String.length value));
+  Buffer.add_char buf ':';
+  Buffer.add_string buf value;
+  Buffer.add_char buf '\n'
+
+let input_string input = String.concat "," (List.map string_of_int input)
+let fuel_string fuel = match fuel with None -> "none" | Some f -> string_of_int f
+
+let trace_digest t =
+  let buf = Buffer.create 256 in
+  add_field buf "pathmark-trace" "v1";
+  add_field buf "input" (input_string t.input);
+  add_field buf "fuel" (fuel_string t.fuel);
+  add_field buf "program" (program_bytes t);
+  hex (Buffer.contents buf)
+
+let action_fields buf t =
+  match t.payload with
+  | Vm { action = Embed { fingerprint; pieces }; _ } ->
+      add_field buf "action" "embed";
+      add_field buf "fingerprint" (Bignum.to_string fingerprint);
+      add_field buf "pieces" (string_of_int pieces)
+  | Vm { action = Recognize { expected }; _ } ->
+      add_field buf "action" "recognize";
+      add_field buf "expected" (match expected with None -> "" | Some w -> Bignum.to_string w)
+  | Vm { action = Attack_campaign { expected; attacks }; _ } ->
+      add_field buf "action" "attack";
+      add_field buf "expected" (Bignum.to_string expected);
+      add_field buf "attacks" (String.concat "," attacks)
+  | Native { action = Native_embed { fingerprint; tamper_proof }; _ } ->
+      add_field buf "action" "native-embed";
+      add_field buf "fingerprint" (Bignum.to_string fingerprint);
+      add_field buf "tamper_proof" (string_of_bool tamper_proof)
+  | Native { action = Native_extract { begin_addr; end_addr; expected }; _ } ->
+      add_field buf "action" "native-extract";
+      add_field buf "begin" (string_of_int begin_addr);
+      add_field buf "end" (string_of_int end_addr);
+      add_field buf "expected" (match expected with None -> "" | Some w -> Bignum.to_string w)
+
+let digest t =
+  let buf = Buffer.create 512 in
+  add_field buf "pathmark-job" "v1";
+  add_field buf "key" t.key;
+  add_field buf "bits" (string_of_int t.bits);
+  add_field buf "input" (input_string t.input);
+  add_field buf "seed" (Int64.to_string t.seed);
+  add_field buf "fuel" (fuel_string t.fuel);
+  action_fields buf t;
+  add_field buf "program" (program_bytes t);
+  hex (Buffer.contents buf)
+
+let kind t =
+  match t.payload with
+  | Vm { action = Embed _; _ } -> "embed"
+  | Vm { action = Recognize _; _ } -> "recognize"
+  | Vm { action = Attack_campaign _; _ } -> "attack"
+  | Native { action = Native_embed _; _ } -> "native-embed"
+  | Native { action = Native_extract _; _ } -> "native-extract"
+
+let describe t = Printf.sprintf "%s %s (%d bits, input [%s])" (kind t) t.label t.bits (input_string t.input)

@@ -1,0 +1,121 @@
+(** Deterministic batch-job specifications.
+
+    A job fully describes one unit of watermarking work on either track —
+    embed, recognize or an attack campaign over a program × fingerprint ×
+    input triple — plus the seed and fuel that make its execution
+    reproducible.  Equal specs produce equal results no matter which
+    domain runs them or in what order, which is what lets {!Pool} schedule
+    freely and {!Cache} memoize by content.
+
+    {!digest} is the job's content address: a stable hex digest over every
+    semantically relevant field (the program {e bytes}, not its identity).
+    The [label] is cosmetic and excluded. *)
+
+type vm_action =
+  | Embed of { fingerprint : Bignum.t; pieces : int }
+  | Recognize of { expected : Bignum.t option }
+      (** blind recognition; [expected] only adds a match check *)
+  | Attack_campaign of { expected : Bignum.t; attacks : string list }
+      (** apply each named {!Vmattacks.Attacks.all} transformation to the
+          (already watermarked) program and test whether the fingerprint
+          survives each one *)
+
+type native_action =
+  | Native_embed of { fingerprint : Bignum.t; tamper_proof : bool }
+  | Native_extract of { begin_addr : int; end_addr : int; expected : Bignum.t option }
+
+type payload =
+  | Vm of { program : Stackvm.Program.t; action : vm_action }
+  | Native of { program : Nativesim.Asm.program; action : native_action }
+
+type t = {
+  label : string;  (** display name; not part of the digest *)
+  key : string;  (** watermark passphrase (VM track; ignored natively) *)
+  bits : int;  (** watermark width *)
+  input : int list;  (** secret / training input sequence *)
+  seed : int64;  (** deterministic randomness seed *)
+  fuel : int option;  (** per-job execution budget (the timeout analog) *)
+  payload : payload;
+}
+
+val vm_embed :
+  ?label:string ->
+  ?seed:int64 ->
+  ?fuel:int ->
+  key:string ->
+  bits:int ->
+  pieces:int ->
+  fingerprint:Bignum.t ->
+  input:int list ->
+  Stackvm.Program.t ->
+  t
+
+val vm_recognize :
+  ?label:string ->
+  ?seed:int64 ->
+  ?fuel:int ->
+  ?expected:Bignum.t ->
+  key:string ->
+  bits:int ->
+  input:int list ->
+  Stackvm.Program.t ->
+  t
+
+val vm_attack_campaign :
+  ?label:string ->
+  ?seed:int64 ->
+  ?fuel:int ->
+  key:string ->
+  bits:int ->
+  expected:Bignum.t ->
+  attacks:string list ->
+  input:int list ->
+  Stackvm.Program.t ->
+  t
+
+val native_embed :
+  ?label:string ->
+  ?seed:int64 ->
+  ?fuel:int ->
+  ?tamper_proof:bool ->
+  bits:int ->
+  fingerprint:Bignum.t ->
+  input:int list ->
+  Nativesim.Asm.program ->
+  t
+
+val native_extract :
+  ?label:string ->
+  ?fuel:int ->
+  ?expected:Bignum.t ->
+  bits:int ->
+  begin_addr:int ->
+  end_addr:int ->
+  input:int list ->
+  Nativesim.Asm.program ->
+  t
+
+val program_bytes : t -> string
+(** Canonical byte serialization of the job's program
+    ({!Stackvm.Serialize.encode}, or the assembled {!Nativesim.Binary}
+    encoding). *)
+
+val program_digest : t -> string
+(** Hex digest of {!program_bytes} alone. *)
+
+val trace_digest : t -> string
+(** Hex digest of (program bytes, input, fuel) — the content address of
+    the job's {e trace}, shared by every job that runs the same program on
+    the same input regardless of fingerprint or action.  This is the key
+    under which {!Cache} memoizes trace capture. *)
+
+val digest : t -> string
+(** Stable hex digest of the full spec (minus [label]). *)
+
+val kind : t -> string
+(** Short action tag: ["embed"], ["recognize"], ["attack"],
+    ["native-embed"] or ["native-extract"] — used as the cache stage for
+    memoized job results. *)
+
+val describe : t -> string
+(** One-line description for logs. *)

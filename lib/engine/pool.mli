@@ -1,0 +1,44 @@
+(** A Domain-based worker pool with a shared work queue.
+
+    [create ~domains ()] spawns [domains] worker domains that drain a
+    FIFO queue of submitted tasks.  Each task's exceptions are isolated
+    into its own future — one trapped program fails one job, never the
+    pool — and results are retrieved in submission order with {!map}, so
+    pooled execution is observationally identical to sequential
+    execution for deterministic tasks.
+
+    OCaml 5.1 domains are heavyweight (one system thread each); create
+    one pool per batch, not one per job. *)
+
+type t
+
+type 'a future
+
+val create : ?domains:int -> unit -> t
+(** Spawn the workers.  [domains] defaults to
+    [Domain.recommended_domain_count () - 1] (at least 1): the caller's
+    domain keeps coordinating while workers compute. *)
+
+val size : t -> int
+(** Number of worker domains. *)
+
+val submit : t -> (unit -> 'a) -> 'a future
+(** Enqueue a task.  Raises [Invalid_argument] after {!shutdown}. *)
+
+val await : 'a future -> ('a, exn) result
+(** Block until the task ran; a task that raised yields [Error]. *)
+
+val await_exn : 'a future -> 'a
+(** Like {!await} but re-raises the task's exception. *)
+
+val map : t -> f:('a -> 'b) -> 'a list -> ('b, exn) result list
+(** Submit [f x] for every element, then await all; the result list is in
+    input order regardless of scheduling. *)
+
+val run_list : ?domains:int -> (unit -> 'a) list -> ('a, exn) result list
+(** One-shot convenience: run the thunks on an ephemeral pool of
+    [domains] workers and shut it down.  [domains <= 1] runs inline on
+    the calling domain (the sequential reference path). *)
+
+val shutdown : t -> unit
+(** Finish queued work, then join every worker.  Idempotent. *)

@@ -22,12 +22,16 @@ type report = {
 
 type planned = { p_fidx : int; p_pc : int; p_kind : generator_kind; p_code : Instr.t list }
 
-let embed ?(seed = 0x1234_5678L) ?fuel spec prog =
+let embed ?(seed = 0x1234_5678L) ?fuel ?trace spec prog =
   let params = Codec.Params.make ~passphrase:spec.passphrase ~watermark_bits:spec.watermark_bits () in
   if not (Codec.Params.fits params spec.watermark) then
     invalid_arg "Embed.embed: watermark does not fit the derived parameters";
   let rng = Util.Prng.create seed in
-  let trace = Trace.capture ?fuel ~want_snapshots:true prog ~input:spec.input in
+  let trace =
+    match trace with
+    | Some t -> t
+    | None -> Trace.capture ?fuel ~want_snapshots:true prog ~input:spec.input
+  in
   (match trace.Trace.result.Interp.outcome with
   | Interp.Finished _ -> ()
   | Interp.Trapped { reason; _ } -> failwith ("Embed.embed: program traps on the secret input: " ^ reason)

@@ -26,9 +26,15 @@ type report = {
   bytes_after : int;
 }
 
-val embed : ?seed:int64 -> ?fuel:int -> spec -> Stackvm.Program.t -> report
+val embed : ?seed:int64 -> ?fuel:int -> ?trace:Stackvm.Trace.t -> spec -> Stackvm.Program.t -> report
 (** Embed per [spec].  Raises [Invalid_argument] when the watermark does
     not fit the derived parameters, and [Failure] when the program has no
     traced insertion sites (it must execute at least one basic block on the
     secret input).  The result verifies ({!Stackvm.Verify.check}) and is
-    semantically equivalent to the input program. *)
+    semantically equivalent to the input program.
+
+    [trace], when given, must be a snapshot-bearing
+    ({!Stackvm.Trace.capture} with [~want_snapshots:true]) trace of
+    {e this} program on [spec.input]; embedding then skips its own tracing
+    run.  The batch engine uses this to share one content-addressed trace
+    across many fingerprints of the same host program. *)

@@ -14,6 +14,7 @@ let () =
       ("nattacks", Test_nattacks.suite);
       ("minic", Test_minic.suite);
       ("workloads", Test_workloads.suite);
+      ("engine", Test_engine.suite);
       ("cfg", Test_cfg.suite);
       ("experiments", Test_experiments.suite);
     ]

@@ -1,0 +1,327 @@
+(* Tests for the parallel batch engine: job digests, the Domain pool,
+   the content-addressed cache and the batch runner's determinism,
+   memoization and failure isolation. *)
+
+open Engine
+
+let big = Alcotest.testable Bignum.pp Bignum.equal
+
+(* A small branchy host (same shape as the jwm tests): enough dynamic
+   branches to carry a 64-bit fingerprint in a handful of pieces. *)
+let host_program =
+  let gcd =
+    Stackvm.Asm.func ~name:"gcd" ~nargs:2 ~nlocals:3
+      Stackvm.Asm.[
+        L "loop";
+        I (Stackvm.Instr.Load 1); I (Stackvm.Instr.Const 0);
+        I (Stackvm.Instr.Cmp Stackvm.Instr.Eq); Br (true, "done");
+        I (Stackvm.Instr.Load 0); I (Stackvm.Instr.Load 1);
+        I (Stackvm.Instr.Binop Stackvm.Instr.Rem); I (Stackvm.Instr.Store 2);
+        I (Stackvm.Instr.Load 1); I (Stackvm.Instr.Store 0);
+        I (Stackvm.Instr.Load 2); I (Stackvm.Instr.Store 1);
+        Jmp "loop";
+        L "done";
+        I (Stackvm.Instr.Load 0); I Stackvm.Instr.Ret;
+      ]
+  in
+  let main =
+    Stackvm.Asm.func ~name:"main" ~nargs:0 ~nlocals:2
+      Stackvm.Asm.[
+        I Stackvm.Instr.Read; I (Stackvm.Instr.Store 0);
+        I Stackvm.Instr.Read; I (Stackvm.Instr.Store 1);
+        I (Stackvm.Instr.Load 0); I (Stackvm.Instr.Load 1);
+        I (Stackvm.Instr.Call "gcd"); I Stackvm.Instr.Print;
+        I (Stackvm.Instr.Const 0); I Stackvm.Instr.Ret;
+      ]
+  in
+  Stackvm.Program.make [ gcd; main ]
+
+let secret_input = [ 36; 84 ]
+let key = "engine-test-key"
+let fp = Bignum.of_string "13105294131850248109"
+
+let embed_job ?label ?seed fingerprint =
+  Job.vm_embed ?label ?seed ~key ~bits:64 ~pieces:12 ~fingerprint ~input:secret_input host_program
+
+(* ---- Job: content addressing ---- *)
+
+let test_digest_stable () =
+  let j1 = embed_job fp and j2 = embed_job fp in
+  Alcotest.(check string) "equal specs, equal digests" (Job.digest j1) (Job.digest j2);
+  Alcotest.(check string) "equal trace digests" (Job.trace_digest j1) (Job.trace_digest j2)
+
+let test_digest_sensitivity () =
+  let base = embed_job fp in
+  let differs j = Alcotest.(check bool) "digest differs" false (Job.digest j = Job.digest base) in
+  differs (embed_job (Bignum.add fp (Bignum.of_int 1)));
+  differs { base with seed = 99L };
+  differs { base with key = "other-key" };
+  differs { base with input = [ 36; 85 ] };
+  (* the label is cosmetic: same digest *)
+  Alcotest.(check string) "label excluded"
+    (Job.digest base)
+    (Job.digest (embed_job ~label:"renamed" fp))
+
+let test_trace_digest_shared () =
+  (* every fingerprint of a fleet shares one trace address *)
+  let a = embed_job fp and b = embed_job (Bignum.add fp (Bignum.of_int 7)) in
+  Alcotest.(check string) "same program+input => same trace" (Job.trace_digest a) (Job.trace_digest b);
+  let r = Job.vm_recognize ~key ~bits:64 ~input:secret_input host_program in
+  Alcotest.(check bool) "recognize has its own fuel default => distinct trace key" true
+    (Job.trace_digest r <> Job.trace_digest a || r.Job.fuel = a.Job.fuel)
+
+(* ---- Pool: ordering and isolation ---- *)
+
+let test_pool_order () =
+  let thunks = List.init 32 (fun i () -> i * i) in
+  let results = Pool.run_list ~domains:4 thunks in
+  let expect = List.init 32 (fun i -> Ok (i * i)) in
+  Alcotest.(check bool) "results in submission order" true (results = expect)
+
+let test_pool_isolation () =
+  let thunks =
+    List.init 8 (fun i () -> if i mod 3 = 1 then failwith (Printf.sprintf "boom-%d" i) else i)
+  in
+  let results = Pool.run_list ~domains:4 thunks in
+  List.iteri
+    (fun i r ->
+      match r with
+      | Ok v -> Alcotest.(check int) "survivor value" i v
+      | Error (Failure msg) ->
+          Alcotest.(check bool) "failing index trapped" true (i mod 3 = 1);
+          Alcotest.(check string) "its own message" (Printf.sprintf "boom-%d" i) msg
+      | Error _ -> Alcotest.fail "unexpected exception")
+    results
+
+let test_pool_shutdown () =
+  let pool = Pool.create ~domains:2 () in
+  let f = Pool.submit pool (fun () -> 41 + 1) in
+  Alcotest.(check int) "future resolves" 42 (Pool.await_exn f);
+  Pool.shutdown pool;
+  Pool.shutdown pool (* idempotent *);
+  Alcotest.check_raises "submit after shutdown"
+    (Invalid_argument "Pool.submit: pool is shut down") (fun () ->
+      ignore (Pool.submit pool (fun () -> ())))
+
+(* ---- Cache: hits, misses, spill ---- *)
+
+let test_cache_memoizes () =
+  let cache = Cache.create () in
+  let calls = ref 0 in
+  let compute () = incr calls; "value" in
+  let v1 = Cache.with_bytes cache ~stage:"s" ~key:"k" compute in
+  let v2 = Cache.with_bytes cache ~stage:"s" ~key:"k" compute in
+  Alcotest.(check string) "first" "value" v1;
+  Alcotest.(check string) "second" "value" v2;
+  Alcotest.(check int) "computed once" 1 !calls;
+  let s = Cache.stats cache in
+  Alcotest.(check int) "one hit" 1 s.Cache.hits;
+  Alcotest.(check int) "one miss" 1 s.Cache.misses;
+  Alcotest.(check bool) "stage isolates keys" true
+    (Cache.find_bytes cache ~stage:"other" ~key:"k" = None)
+
+let with_temp_dir f =
+  let dir = Filename.temp_file "pathmark-cache" "" in
+  Sys.remove dir;
+  Sys.mkdir dir 0o755;
+  Fun.protect
+    ~finally:(fun () ->
+      if Sys.file_exists dir then begin
+        Array.iter (fun n -> Sys.remove (Filename.concat dir n)) (Sys.readdir dir);
+        Sys.rmdir dir
+      end)
+    (fun () -> f dir)
+
+let test_cache_spill () =
+  with_temp_dir (fun dir ->
+      let first = Cache.create ~spill_dir:dir () in
+      Cache.store_bytes first ~stage:"trace" ~key:"abc123" "payload";
+      (* a fresh cache instance (fresh process, conceptually) reloads from disk *)
+      let second = Cache.create ~spill_dir:dir () in
+      Alcotest.(check (option string)) "reloaded from disk" (Some "payload")
+        (Cache.find_bytes second ~stage:"trace" ~key:"abc123");
+      let s = Cache.stats second in
+      Alcotest.(check int) "counted as disk load" 1 s.Cache.disk_loads;
+      Alcotest.(check bool) "mem_bytes sees disk" true
+        (Cache.mem_bytes (Cache.create ~spill_dir:dir ()) ~stage:"trace" ~key:"abc123"))
+
+let test_cache_corrupt_spill_is_miss () =
+  with_temp_dir (fun dir ->
+      let oc = open_out_bin (Filename.concat dir "embed-deadbeef.bin") in
+      output_string oc "not a valid outcome";
+      close_out oc;
+      let cache = Cache.create ~spill_dir:dir () in
+      (* the bytes load fine (cache is content-agnostic)... *)
+      Alcotest.(check bool) "bytes load" true
+        (Cache.find_bytes cache ~stage:"embed" ~key:"deadbeef" <> None);
+      (* ...but the outcome decoder rejects them instead of crashing *)
+      Alcotest.(check bool) "decode_outcome rejects garbage" true
+        (Batch.decode_outcome "not a valid outcome" = None))
+
+let test_cache_first_insert_wins () =
+  let cache = Cache.create () in
+  Cache.store_bytes cache ~stage:"s" ~key:"k" "first";
+  Cache.store_bytes cache ~stage:"s" ~key:"k" "second";
+  Alcotest.(check (option string)) "first insertion wins" (Some "first")
+    (Cache.find_bytes cache ~stage:"s" ~key:"k")
+
+(* ---- Outcome codec ---- *)
+
+let test_outcome_roundtrip () =
+  let outcomes =
+    [
+      Batch.Vm_embedded { program = "\x00\xffbytes"; bytes_before = 10; bytes_after = 22 };
+      Batch.Vm_recognized { value = Some fp; matched = Some true };
+      Batch.Vm_recognized { value = None; matched = None };
+      Batch.Vm_attacked { survived = [ ("ba", true); ("bi-0.5", false) ] };
+      Batch.Native_embedded
+        { binary = "bin"; begin_addr = 3; end_addr = 9; bytes_before = 5; bytes_after = 7 };
+      Batch.Native_extracted { value = Some (Bignum.of_int 5); matched = Some false };
+      Batch.Failed { reason = "fuel exhausted"; attempts = 3 };
+    ]
+  in
+  List.iter
+    (fun o ->
+      match Batch.decode_outcome (Batch.encode_outcome o) with
+      | Some o' -> Alcotest.(check string) "round-trips"
+                     (Batch.describe_outcome o) (Batch.describe_outcome o')
+      | None -> Alcotest.fail "decode failed")
+    outcomes;
+  Alcotest.(check bool) "truncated rejected" true
+    (Batch.decode_outcome (String.sub (Batch.encode_outcome (List.hd outcomes)) 0 6) = None);
+  Alcotest.(check bool) "trailing garbage rejected" true
+    (Batch.decode_outcome (Batch.encode_outcome (List.hd outcomes) ^ "x") = None)
+
+(* ---- Batch: determinism, caching, isolation ---- *)
+
+let fleet = List.init 4 (fun i -> Bignum.add fp (Bignum.of_int i))
+
+let embed_fleet ?domains ?cache ?events () =
+  Batch.run ?domains ?cache ?events
+    (List.mapi (fun i f -> embed_job ~seed:(Int64.of_int (1000 + i)) f) fleet)
+
+let embedded_bytes r =
+  match r.Batch.outcome with
+  | Batch.Vm_embedded { program; _ } -> program
+  | _ -> Alcotest.fail "expected Vm_embedded"
+
+let test_batch_pool_matches_sequential () =
+  let seq = embed_fleet ~domains:1 () in
+  let pooled = embed_fleet ~domains:4 ~cache:(Cache.create ()) () in
+  Alcotest.(check int) "same count" (List.length seq) (List.length pooled);
+  List.iter2
+    (fun a b ->
+      Alcotest.(check bool) "ok" true (Batch.ok a && Batch.ok b);
+      Alcotest.(check string) "byte-identical program" (embedded_bytes a) (embedded_bytes b))
+    seq pooled
+
+let test_batch_rerun_all_cached () =
+  let cache = Cache.create () in
+  let cold = embed_fleet ~domains:2 ~cache () in
+  let events = Events.create () in
+  let warm = embed_fleet ~domains:2 ~cache ~events () in
+  List.iter2
+    (fun c w ->
+      Alcotest.(check bool) "cold not cached" false c.Batch.from_cache;
+      Alcotest.(check bool) "warm from cache" true w.Batch.from_cache;
+      Alcotest.(check int) "no attempts on hit" 0 w.Batch.attempts;
+      Alcotest.(check string) "same bytes" (embedded_bytes c) (embedded_bytes w))
+    cold warm;
+  let hits =
+    Events.count events (function Events.Cache_hit { stage = "embed"; _ } -> true | _ -> false)
+  in
+  Alcotest.(check int) "one result hit per job" (List.length fleet) hits
+
+let test_batch_failure_isolated () =
+  (* middle job references an unknown attack => raises inside the worker *)
+  let wm = embed_job fp in
+  let results = Batch.run ~domains:1 [ wm ] in
+  let embedded =
+    match (List.hd results).Batch.outcome with
+    | Batch.Vm_embedded { program; _ } -> Stackvm.Serialize.decode program
+    | _ -> Alcotest.fail "embed failed"
+  in
+  let good expected =
+    Job.vm_recognize ~key ~bits:64 ~expected ~input:secret_input embedded
+  in
+  let bad =
+    Job.vm_attack_campaign ~key ~bits:64 ~expected:fp ~attacks:[ "no-such-attack" ]
+      ~input:secret_input embedded
+  in
+  let events = Events.create () in
+  let results = Batch.run ~domains:2 ~retries:1 ~events [ good fp; bad; good fp ] in
+  (match List.map (fun r -> r.Batch.outcome) results with
+  | [ Batch.Vm_recognized { matched = Some true; _ };
+      Batch.Failed { attempts = 2; _ };
+      Batch.Vm_recognized { matched = Some true; _ } ] -> ()
+  | _ -> Alcotest.fail "expected ok / failed(2 attempts) / ok");
+  let retries =
+    Events.count events (function Events.Job_retry _ -> true | _ -> false)
+  in
+  Alcotest.(check int) "one retry recorded" 1 retries
+
+let test_batch_recognize_and_attack () =
+  let cache = Cache.create () in
+  let embed = List.hd (Batch.run ~cache [ embed_job fp ]) in
+  let embedded =
+    match embed.Batch.outcome with
+    | Batch.Vm_embedded { program; _ } -> Stackvm.Serialize.decode program
+    | _ -> Alcotest.fail "embed failed"
+  in
+  let jobs =
+    [
+      Job.vm_recognize ~key ~bits:64 ~expected:fp ~input:secret_input embedded;
+      Job.vm_attack_campaign ~key ~bits:64 ~expected:fp
+        ~attacks:[ "nop-insertion"; "block-reorder" ] ~input:secret_input embedded;
+    ]
+  in
+  match List.map (fun r -> r.Batch.outcome) (Batch.run ~cache jobs) with
+  | [ Batch.Vm_recognized { value = Some v; matched = Some true };
+      Batch.Vm_attacked { survived } ] ->
+      Alcotest.check big "recovered fingerprint" fp v;
+      Alcotest.(check int) "both attacks ran" 2 (List.length survived);
+      List.iter
+        (fun (name, ok) -> Alcotest.(check bool) (name ^ " survived") true ok)
+        survived
+  | _ -> Alcotest.fail "expected recognized + attacked outcomes"
+
+(* ---- Events ---- *)
+
+let test_events_counters_and_json () =
+  let buf = Buffer.create 256 in
+  let events = Events.create ~sink:(fun e -> Buffer.add_string buf (Events.to_json e)) () in
+  Events.emit events (Events.Job_finish
+    { id = 0; label = "a\"b"; ok = true; detail = "done"; ms = 1.5; attempts = 1; cached = false });
+  Events.emit events (Events.Cache_hit { stage = "embed"; key = "k" });
+  Events.emit events (Events.Counter { name = "custom"; delta = 3 });
+  Events.emit events (Events.Counter { name = "custom"; delta = 2 });
+  let assoc = Events.counters events in
+  Alcotest.(check (option int)) "custom counter" (Some 5) (List.assoc_opt "custom" assoc);
+  Alcotest.(check (option int)) "derived ok" (Some 1) (List.assoc_opt "jobs.ok" assoc);
+  Alcotest.(check (option int)) "derived hits" (Some 1) (List.assoc_opt "cache.hits" assoc);
+  let json = Buffer.contents buf in
+  Alcotest.(check bool) "escapes quotes" true
+    (String.length json > 0
+    && (let rec find i = i + 4 <= String.length json && (String.sub json i 4 = "a\\\"b" || find (i + 1)) in
+        find 0));
+  Alcotest.(check int) "three lines recorded + counter x2" 4 (List.length (Events.events events))
+
+let suite =
+  [
+    Alcotest.test_case "job digest is stable" `Quick test_digest_stable;
+    Alcotest.test_case "job digest covers the spec, not the label" `Quick test_digest_sensitivity;
+    Alcotest.test_case "trace digest shared across a fleet" `Quick test_trace_digest_shared;
+    Alcotest.test_case "pool preserves submission order" `Quick test_pool_order;
+    Alcotest.test_case "pool isolates task exceptions" `Quick test_pool_isolation;
+    Alcotest.test_case "pool shutdown is final and idempotent" `Quick test_pool_shutdown;
+    Alcotest.test_case "cache memoizes and counts" `Quick test_cache_memoizes;
+    Alcotest.test_case "cache spills to disk and reloads" `Quick test_cache_spill;
+    Alcotest.test_case "corrupt spill decodes to a miss" `Quick test_cache_corrupt_spill_is_miss;
+    Alcotest.test_case "cache first insertion wins" `Quick test_cache_first_insert_wins;
+    Alcotest.test_case "outcome codec round-trips" `Quick test_outcome_roundtrip;
+    Alcotest.test_case "pooled batch byte-identical to sequential" `Quick test_batch_pool_matches_sequential;
+    Alcotest.test_case "warm re-run served entirely from cache" `Quick test_batch_rerun_all_cached;
+    Alcotest.test_case "failing job isolated, retries bounded" `Quick test_batch_failure_isolated;
+    Alcotest.test_case "recognize and attack jobs round-trip" `Quick test_batch_recognize_and_attack;
+    Alcotest.test_case "events: counters, json, sink" `Quick test_events_counters_and_json;
+  ]

@@ -496,9 +496,70 @@ let test_trace_load_garbage () =
       | exception Failure _ -> ())
     [ ""; "TRC"; "XXXX"; "TRC1\xFF" ]
 
+let test_trace_save_load_empty () =
+  (* a branch-free program yields zero events; the round-trip must still work *)
+  let f = Asm.func ~name:"main" ~nargs:0 ~nlocals:1 Asm.[ I (Instr.Const 0); I Instr.Ret ] in
+  let trace = Trace.capture (Program.make [ f ]) ~input:[] in
+  Alcotest.(check int) "no branch events" 0 (Array.length trace.Trace.branches);
+  Alcotest.(check (list unit)) "empty round-trip" []
+    (List.map ignore (Trace.load_branches (Trace.save trace)))
+
+let test_trace_save_load_large () =
+  (* thousands of events with pc values past 127, so varints span bytes *)
+  let count_to_0 =
+    Asm.func ~name:"main" ~nargs:0 ~nlocals:2
+      (Asm.[
+        I Instr.Read; I (Instr.Store 0);
+        (* padding pushes the loop's branch pc beyond one varint byte *)
+        I (Instr.Const 1); I (Instr.Const 2); I (Instr.Const 3); I (Instr.Const 4);
+        I (Instr.Const 5); I (Instr.Const 6); I (Instr.Const 7); I (Instr.Const 8);
+        I (Instr.Const 9); I (Instr.Const 10); I (Instr.Const 11); I (Instr.Const 12);
+      ]
+      @ List.concat (List.init 60 (fun _ -> Asm.[ I Instr.Nop; I Instr.Nop ]))
+      @ Asm.[
+          L "loop";
+          I (Instr.Load 0); I (Instr.Const 0); I (Instr.Cmp Instr.Le); Br (true, "done");
+          I (Instr.Load 0); I (Instr.Const 1); I (Instr.Binop Instr.Sub); I (Instr.Store 0);
+          Jmp "loop";
+          L "done";
+          I (Instr.Const 0); I Instr.Ret;
+        ])
+  in
+  let prog = Program.make [ count_to_0 ] in
+  let trace = Trace.capture prog ~input:[ 5000 ] in
+  Alcotest.(check bool) "thousands of events" true (Array.length trace.Trace.branches > 4000);
+  Alcotest.(check bool) "branch pc needs a multi-byte varint" true
+    (Array.exists (fun e -> e.Trace.pc > 127) trace.Trace.branches);
+  let saved = Trace.save trace in
+  let loaded = Trace.load_branches saved in
+  Alcotest.(check int) "count preserved" (Array.length trace.Trace.branches) (List.length loaded);
+  Alcotest.(check bool) "events identical" true (Array.to_list trace.Trace.branches = loaded);
+  Alcotest.(check string) "bits identical"
+    (Util.Bitstring.to_string (Trace.bitstring trace))
+    (Util.Bitstring.to_string (Trace.bits_of_branches loaded))
+
+let test_trace_load_truncated () =
+  (* every proper prefix of a valid save must raise, never mis-parse:
+     the header promises more events than the body delivers *)
+  let prog = Program.make [ gcd_program ] in
+  let saved = Trace.save (Trace.capture prog ~input:[]) in
+  Alcotest.(check bool) "fixture has events" true (String.length saved > 5);
+  for len = 0 to String.length saved - 1 do
+    match Trace.load_branches (String.sub saved 0 len) with
+    | _ -> Alcotest.failf "accepted %d-byte truncation of a %d-byte save" len (String.length saved)
+    | exception Failure _ -> ()
+  done;
+  (* a varint continuation byte with no successor: cut mid-varint *)
+  match Trace.load_branches "TRC1\x85" with
+  | _ -> Alcotest.fail "accepted a dangling varint continuation"
+  | exception Failure _ -> ()
+
 let suite =
   suite
   @ [
       ("trace save/load", `Quick, test_trace_save_load);
+      ("trace save/load empty", `Quick, test_trace_save_load_empty);
+      ("trace save/load large", `Quick, test_trace_save_load_large);
       ("trace load rejects garbage", `Quick, test_trace_load_garbage);
+      ("trace load rejects truncation", `Quick, test_trace_load_truncated);
     ]
