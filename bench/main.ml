@@ -13,8 +13,12 @@
       fingerprints embedded sequentially and on a Domain pool, with a
       byte-identity check and a warm-cache re-run.
 
-   Pass `--micro-only`, `--figures-only` or `--batch-only` to run one
-   part of the harness. *)
+   4. An analyzer-throughput comparison: the stealth linter over the
+      largest workload's functions, sequential vs an Engine.Pool fan-out,
+      reported in blocks/second.
+
+   Pass `--micro-only`, `--figures-only`, `--batch-only` or
+   `--analyze-only` to run one part of the harness. *)
 
 open Bechamel
 open Toolkit
@@ -157,6 +161,71 @@ let run_batch () =
   Printf.printf "warm re-run (all cached):    %8.1f ms  (cache: %d hits, %d misses)\n%!" warm_ms
     s.Engine.Cache.hits s.Engine.Cache.misses
 
+(* ---- analyzer throughput: the stealth linter, sequential vs pooled ---- *)
+
+let run_analyze () =
+  let workloads =
+    Workloads.Spec.all @ [ Workloads.Caffeine.suite ] @ Workloads.Caffeine.kernels
+    @ [ Workloads.Jesslite.engine ]
+  in
+  let size w =
+    Array.fold_left
+      (fun acc (f : Stackvm.Program.func) -> acc + Array.length f.Stackvm.Program.code)
+      0
+      (Workloads.Workload.vm_program w).Stackvm.Program.funcs
+  in
+  let largest = List.fold_left (fun a b -> if size b > size a then b else a) (List.hd workloads) workloads in
+  let prog = Workloads.Workload.vm_program largest in
+  let bin = Workloads.Workload.native_binary largest in
+  let funcs = Array.to_list prog.Stackvm.Program.funcs in
+  let vm_blocks =
+    List.fold_left (fun acc f -> acc + Analysis.Vmcfg.num_blocks (Analysis.Vmcfg.build f)) 0 funcs
+  in
+  let native_blocks = List.length (Nativesim.Cfg.blocks (Nativesim.Cfg.build bin)) in
+  let corpus =
+    List.filter_map
+      (fun (w : Workloads.Workload.t) ->
+        if w.Workloads.Workload.name = largest.Workloads.Workload.name then None
+        else Some (Analysis.Histogram.of_binary (Workloads.Workload.native_binary w)))
+      workloads
+  in
+  let blocks_per_pass = vm_blocks + native_blocks in
+  let iters = 40 in
+  let lint_vm f = ignore (Analysis.Vmlint.lint_func prog f) in
+  let lint_native () = ignore (Analysis.Nlint.lint ~corpus bin) in
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    f ();
+    Unix.gettimeofday () -. t0
+  in
+  Printf.printf "=== analyzer throughput: %s (%d VM blocks in %d functions, %d native blocks) ===\n%!"
+    largest.Workloads.Workload.name vm_blocks (List.length funcs) native_blocks;
+  let row label s =
+    Printf.printf "%-28s %8.1f ms  (%9.0f blocks/s)\n%!" label (s *. 1000.)
+      (float_of_int (blocks_per_pass * iters) /. s)
+  in
+  let seq_s =
+    time (fun () ->
+        for _ = 1 to iters do
+          List.iter lint_vm funcs;
+          lint_native ()
+        done)
+  in
+  row "sequential:" seq_s;
+  let pool = Engine.Pool.create () in
+  let domains = Engine.Pool.size pool in
+  let pool_s =
+    time (fun () ->
+        for _ = 1 to iters do
+          let native = Engine.Pool.submit pool lint_native in
+          ignore (Engine.Pool.map pool ~f:lint_vm funcs);
+          ignore (Engine.Pool.await native)
+        done)
+  in
+  Engine.Pool.shutdown pool;
+  row (Printf.sprintf "pooled (%d domains):" domains) pool_s;
+  Printf.printf "%-28s %8.2fx\n%!" "  speedup over sequential:" (seq_s /. pool_s)
+
 let run_figures () =
   Experiments.Fig5.print (Experiments.Fig5.run ());
   let cost = Experiments.Fig8.run_cost () in
@@ -174,8 +243,11 @@ let run_figures () =
 let () =
   let args = Array.to_list Sys.argv in
   let only flag = List.mem flag args in
-  let any_only = only "--micro-only" || only "--figures-only" || only "--batch-only" in
+  let any_only =
+    only "--micro-only" || only "--figures-only" || only "--batch-only" || only "--analyze-only"
+  in
   let want flag = (not any_only) || only flag in
   if want "--micro-only" then run_micro ();
   if want "--batch-only" then run_batch ();
+  if want "--analyze-only" then run_analyze ();
   if want "--figures-only" then run_figures ()

@@ -397,6 +397,93 @@ let batch_cmd =
       const batch $ source $ workload $ key_t $ bits_t $ pieces $ input_t $ fingerprints $ count $ mark_t
       $ jobs $ cache $ events_file $ out_dir $ verify $ retries $ seed_t $ quiet)
 
+(* ---- static analysis: the stealth linter ---- *)
+
+let analyzer_workloads =
+  Workloads.Spec.all @ [ Workloads.Caffeine.suite ] @ Workloads.Caffeine.kernels
+  @ [ Workloads.Jesslite.engine ]
+
+let analyze files native workload all_workloads json =
+  if files = [] && workload = None && not all_workloads then begin
+    Printf.printf "nothing to analyze: pass a file, --workload NAME or --all-workloads\n";
+    exit 2
+  end;
+  let events =
+    Engine.Events.create ?sink:(if json then Some (Engine.Events.json_sink stdout) else None) ()
+  in
+  let total = ref 0 in
+  let report label diags =
+    total := !total + List.length diags;
+    if not json then Printf.printf "%s: %d finding(s)\n" label (List.length diags);
+    List.iter
+      (fun (d : Analysis.Diag.t) ->
+        if not json then Printf.printf "  %s\n" (Analysis.Diag.to_string d);
+        Engine.Events.emit events
+          (Engine.Events.Diag
+             {
+               rule = d.Analysis.Diag.rule;
+               location = Analysis.Diag.location_string d;
+               message = d.Analysis.Diag.message;
+             }))
+      diags
+  in
+  (* Histogram corpus: the clean built-in binaries, leave-one-out when the
+     subject is itself a built-in workload. *)
+  let corpus_for ?exclude () =
+    List.filter_map
+      (fun (w : Workloads.Workload.t) ->
+        if exclude = Some w.Workloads.Workload.name then None
+        else Some (Analysis.Histogram.of_binary (Workloads.Workload.native_binary w)))
+      analyzer_workloads
+  in
+  let lint_workload (w : Workloads.Workload.t) =
+    let name = w.Workloads.Workload.name in
+    report (name ^ " (vm)") (Analysis.Vmlint.lint (Workloads.Workload.vm_program w));
+    report (name ^ " (native)")
+      (Analysis.Nlint.lint ~corpus:(corpus_for ~exclude:name ()) (Workloads.Workload.native_binary w))
+  in
+  List.iter
+    (fun path ->
+      if native then
+        report path
+          (Analysis.Nlint.lint ~corpus:(corpus_for ()) (Nativesim.Binary.decode (read_file path)))
+      else report path (Analysis.Vmlint.lint (load_vm path)))
+    files;
+  (match workload with
+  | None -> ()
+  | Some name -> (
+      match
+        List.find_opt (fun (w : Workloads.Workload.t) -> w.Workloads.Workload.name = name) analyzer_workloads
+      with
+      | Some w -> lint_workload w
+      | None ->
+          Printf.printf "unknown workload %s; available: %s\n" name
+            (String.concat " "
+               (List.map (fun (w : Workloads.Workload.t) -> w.Workloads.Workload.name) analyzer_workloads));
+          exit 1));
+  if all_workloads then List.iter lint_workload analyzer_workloads;
+  if not json then Printf.printf "%d finding(s) total\n" !total;
+  if !total > 0 then exit 1
+
+let analyze_cmd =
+  let files =
+    Arg.(value & pos_all file [] & info [] ~docv:"FILE" ~doc:"Serialized VM program (or native binary with $(b,--native)).")
+  in
+  let native = Arg.(value & flag & info [ "native" ] ~doc:"Treat positional files as native binaries.") in
+  let workload =
+    Arg.(value & opt (some string) None & info [ "workload" ] ~docv:"NAME" ~doc:"Lint a built-in workload on both tracks.")
+  in
+  let all_workloads =
+    Arg.(value & flag & info [ "all-workloads" ] ~doc:"Lint every built-in workload on both tracks (the CI clean gate).")
+  in
+  let json =
+    Arg.(value & flag & info [ "json" ] ~doc:"Emit JSON-lines diagnostic events on stdout instead of human output.")
+  in
+  Cmd.v
+    (Cmd.info "analyze"
+       ~doc:"Run the stealth linter: surface the static artifacts a watermark embedding leaves behind. Exits 1 when any diagnostic fires.")
+    Term.(const analyze $ files $ native $ workload $ all_workloads $ json)
+
 (* ---- experiments ---- *)
 
 let experiment which =
@@ -413,6 +500,7 @@ let experiment which =
   | "tj" -> Experiments.Tables.print_java (Experiments.Tables.run_java ())
   | "tn" -> Experiments.Tables.print_native (Experiments.Tables.run_native ())
   | "abl" -> Experiments.Ablations.print (Experiments.Ablations.run ())
+  | "absa" -> Experiments.Abl_sa.print (Experiments.Abl_sa.run ())
   | "all" ->
       Experiments.Fig5.print (Experiments.Fig5.run ());
       let cost = Experiments.Fig8.run_cost () in
@@ -425,13 +513,14 @@ let experiment which =
       Experiments.Fig9.print_b f9;
       Experiments.Tables.print_java (Experiments.Tables.run_java ());
       Experiments.Tables.print_native (Experiments.Tables.run_native ());
-      Experiments.Ablations.print (Experiments.Ablations.run ())
+      Experiments.Ablations.print (Experiments.Ablations.run ());
+      Experiments.Abl_sa.print (Experiments.Abl_sa.run ())
   | other ->
-      Printf.printf "unknown experiment %s (use f5 f8a f8b f8c f8d f9a f9b tj tn abl all)\n" other;
+      Printf.printf "unknown experiment %s (use f5 f8a f8b f8c f8d f9a f9b tj tn abl absa all)\n" other;
       exit 1
 
 let experiment_cmd =
-  let which = Arg.(required & pos 0 (some string) None & info [] ~docv:"ID" ~doc:"Experiment id: f5 f8a f8b f8c f8d f9a f9b tj tn abl all.") in
+  let which = Arg.(required & pos 0 (some string) None & info [] ~docv:"ID" ~doc:"Experiment id: f5 f8a f8b f8c f8d f9a f9b tj tn abl absa all.") in
   Cmd.v
     (Cmd.info "experiment" ~doc:"Regenerate a table or figure from the paper.")
     Term.(const experiment $ which)
@@ -453,6 +542,7 @@ let main =
       extract_native_cmd;
       run_native_cmd;
       disasm_cmd;
+      analyze_cmd;
       experiment_cmd;
     ]
 

@@ -1,0 +1,178 @@
+open Stackvm
+
+(* The constant-propagation value domain: either an exact constant or a
+   set of possible residues modulo 4, encoded as a 4-bit mask.  Residues
+   mod 4 are exactly what the watermarker's opaque predicates reason with
+   — parity of x*(x+1), squares never being 2 mod 4 — and they survive
+   the VM's 63-bit wrap-around because 4 divides 2^63: addition,
+   subtraction, multiplication, negation and left shift all preserve
+   residues under two's-complement overflow.  [Bot] means "no value":
+   the producing instruction traps or is unreachable. *)
+
+type t = Bot | Const of int | Res of int  (** residue mask, bits 0..3; [Res 15] is top *)
+
+let top = Res 15
+let bool_top = Res 0b0011 (* comparison results are 0 or 1 *)
+
+(* OCaml's [land] keeps the low bits of the two's-complement form, so
+   this is the mathematical residue mod 4 for negatives too. *)
+let residue x = x land 3
+
+let mask = function Bot -> 0 | Const c -> 1 lsl residue c | Res m -> m land 15
+
+let of_mask m = if m land 15 = 0 then Bot else Res (m land 15)
+
+let equal a b =
+  match (a, b) with
+  | Bot, Bot -> true
+  | Const x, Const y -> x = y
+  | Res x, Res y -> x = y
+  | _ -> false
+
+let join a b =
+  match (a, b) with
+  | Bot, v | v, Bot -> v
+  | Const x, Const y when x = y -> a
+  | _ -> of_mask (mask a lor mask b)
+
+let is_bot v = v = Bot
+
+(* Apply a residue->residue function pointwise over a mask. *)
+let map_mask f m =
+  let out = ref 0 in
+  for r = 0 to 3 do
+    if m land (1 lsl r) <> 0 then out := !out lor (1 lsl (f r land 3))
+  done;
+  !out
+
+(* Pairwise residue combination. *)
+let lift2 f a b =
+  match (a, b) with
+  | Bot, _ | _, Bot -> Bot
+  | _ ->
+      let ma = mask a and mb = mask b in
+      let out = ref 0 in
+      for ra = 0 to 3 do
+        if ma land (1 lsl ra) <> 0 then
+          for rb = 0 to 3 do
+            if mb land (1 lsl rb) <> 0 then out := !out lor (1 lsl (f ra rb land 3))
+          done
+      done;
+      of_mask !out
+
+let neg = function
+  | Bot -> Bot
+  | Const c -> Const (-c)
+  | Res m -> of_mask (map_mask (fun r -> -r) m)
+
+let lognot = function
+  | Bot -> Bot
+  | Const 0 -> Const 1
+  | Const _ -> Const 0
+  | Res m -> if m land 1 = 0 then Const 0 (* v <> 0 mod 4 => v <> 0 *) else bool_top
+
+(* [Some true]: every concrete value is nonzero; [Some false]: the value
+   is exactly zero.  Only residue 0 can contain the integer 0. *)
+let truth = function
+  | Bot -> None
+  | Const 0 -> Some false
+  | Const _ -> Some true
+  | Res m -> if m land 1 = 0 then Some true else None
+
+let binop (op : Instr.binop) a b =
+  match (a, b) with
+  | Bot, _ | _, Bot -> Bot
+  | Const x, Const y -> begin
+      match op with
+      | Instr.Div when y = 0 -> Bot
+      | Instr.Rem when y = 0 -> Bot
+      | _ ->
+          Const
+            (match op with
+            | Instr.Add -> x + y
+            | Instr.Sub -> x - y
+            | Instr.Mul -> x * y
+            | Instr.Div -> x / y
+            | Instr.Rem -> x mod y
+            | Instr.And -> x land y
+            | Instr.Or -> x lor y
+            | Instr.Xor -> x lxor y
+            | Instr.Shl ->
+                let s = y land 0x3F in
+                if s >= 63 then 0 else x lsl s
+            | Instr.Shr ->
+                let s = y land 0x3F in
+                if s >= 63 then if x < 0 then -1 else 0 else x asr s)
+    end
+  | _ -> begin
+      match op with
+      | Instr.Add -> lift2 ( + ) a b
+      | Instr.Sub -> lift2 ( - ) a b
+      | Instr.Mul -> lift2 ( * ) a b
+      | Instr.And -> lift2 ( land ) a b
+      | Instr.Or -> lift2 ( lor ) a b
+      | Instr.Xor -> lift2 ( lxor ) a b
+      | Instr.Div -> ( match b with Const 0 -> Bot | _ -> top)
+      | Instr.Rem -> begin
+          (* x = (x/d)*d + r exactly (no wrap), so r ≡ x - (x/d)*d.  With
+             4 | d the quotient term vanishes mod 4; with d even it only
+             preserves parity; d = ±2 pins even dividends to 0. *)
+          match b with
+          | Const 0 -> Bot
+          | Const d when d land 3 = 0 -> of_mask (mask a)
+          | Const d when abs d = 2 ->
+              let m = mask a in
+              let even = m land 0b0101 <> 0 and odd = m land 0b1010 <> 0 in
+              if even && odd then of_mask 0b1111
+              else if even then Const 0
+              else of_mask 0b1010
+          | Const d when d land 1 = 0 ->
+              let m = mask a in
+              let even = m land 0b0101 <> 0 and odd = m land 0b1010 <> 0 in
+              of_mask ((if even then 0b0101 else 0) lor if odd then 0b1010 else 0)
+          | _ -> top
+        end
+      | Instr.Shl -> begin
+          match b with
+          | Const k ->
+              let s = k land 0x3F in
+              if s >= 63 then Const 0
+              else if s = 0 then a
+              else if s = 1 then of_mask (map_mask (fun r -> 2 * r) (mask a))
+              else of_mask 0b0001 (* multiples of 4 *)
+          | _ -> top
+        end
+      | Instr.Shr -> top
+    end
+
+let cmp (c : Instr.cmp) a b =
+  match (a, b) with
+  | Bot, _ | _, Bot -> Bot
+  | Const x, Const y ->
+      let holds =
+        match c with
+        | Instr.Eq -> x = y
+        | Instr.Ne -> x <> y
+        | Instr.Lt -> x < y
+        | Instr.Le -> x <= y
+        | Instr.Gt -> x > y
+        | Instr.Ge -> x >= y
+      in
+      Const (if holds then 1 else 0)
+  | _ -> begin
+      (* Disjoint residue sets prove the values distinct, deciding Eq/Ne
+         without knowing magnitudes — enough to fold every shape in
+         [Jwm.Opaque] once the operand correlations are tracked. *)
+      match c with
+      | Instr.Eq when mask a land mask b = 0 -> Const 0
+      | Instr.Ne when mask a land mask b = 0 -> Const 1
+      | _ -> bool_top
+    end
+
+let pp fmt = function
+  | Bot -> Format.fprintf fmt "⊥"
+  | Const c -> Format.fprintf fmt "%d" c
+  | Res 15 -> Format.fprintf fmt "⊤"
+  | Res m ->
+      let rs = List.filter (fun r -> m land (1 lsl r) <> 0) [ 0; 1; 2; 3 ] in
+      Format.fprintf fmt "{%s (mod 4)}" (String.concat "," (List.map string_of_int rs))

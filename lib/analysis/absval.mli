@@ -1,0 +1,56 @@
+(** The constant-propagation value domain: exact constants refined by
+    residues modulo 4.
+
+    Residues mod 4 are exactly what the watermarker's opaque predicates
+    reason with — parity of [x * (x + 1)], squares never being 2 mod 4 —
+    and they are preserved by the VM's 63-bit two's-complement
+    wrap-around because 4 divides [2^63]. *)
+
+type t =
+  | Bot  (** no value: the producer traps or is unreachable *)
+  | Const of int
+  | Res of int  (** set of possible residues mod 4, as a 4-bit mask *)
+
+val top : t
+(** [Res 15]: any value. *)
+
+val bool_top : t
+(** [Res 0b0011]: an unknown comparison result (0 or 1). *)
+
+val residue : int -> int
+(** Mathematical residue mod 4, correct for negatives. *)
+
+val mask : t -> int
+(** The 4-bit residue mask of a value; [0] for [Bot]. *)
+
+val of_mask : int -> t
+(** [Res] of a mask, collapsing the empty mask to [Bot]. *)
+
+val equal : t -> t -> bool
+val join : t -> t -> t
+val is_bot : t -> bool
+
+val map_mask : (int -> int) -> int -> int
+(** Apply a residue function pointwise over a mask. *)
+
+val lift2 : (int -> int -> int) -> t -> t -> t
+(** Pairwise residue combination of two abstract values. *)
+
+val neg : t -> t
+val lognot : t -> t
+
+val truth : t -> bool option
+(** [Some true]: every concrete value is nonzero; [Some false]: the
+    value is exactly zero; [None]: undecided.  Only residue 0 can
+    contain the integer 0. *)
+
+val binop : Stackvm.Instr.binop -> t -> t -> t
+(** Abstract transfer of the VM's binary operators.  Constant pairs fold
+    exactly (matching [Interp] including trap-to-[Bot] on zero
+    divisors); otherwise residues flow through the operators that
+    preserve them. *)
+
+val cmp : Stackvm.Instr.cmp -> t -> t -> t
+(** Abstract comparison; disjoint residue sets decide [Eq]/[Ne]. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,57 @@
+(* A generic worklist fixpoint solver.
+
+   Nodes are integers (basic-block indices, instruction pcs — whatever the
+   client chooses).  The solver is direction-agnostic: a forward analysis
+   makes [transfer] emit contributions to successors, a backward analysis
+   to predecessors.  A node's fact is the join of every contribution ever
+   made to it; a node with no fact is unreached (for a forward analysis
+   over a CFG this doubles as reachability).  Termination requires the
+   usual: [join] monotone and the lattice of finite height. *)
+
+module type LATTICE = sig
+  type t
+
+  val equal : t -> t -> bool
+
+  val join : t -> t -> t
+end
+
+module Make (L : LATTICE) = struct
+  type facts = (int, L.t) Hashtbl.t
+
+  let fact (facts : facts) node = Hashtbl.find_opt facts node
+
+  let solve ?(max_steps = 1_000_000) ~seeds ~transfer () : facts =
+    let facts : facts = Hashtbl.create 64 in
+    let queue = Queue.create () in
+    let queued = Hashtbl.create 64 in
+    let enqueue node =
+      if not (Hashtbl.mem queued node) then begin
+        Hashtbl.replace queued node ();
+        Queue.add node queue
+      end
+    in
+    let contribute (node, value) =
+      match Hashtbl.find_opt facts node with
+      | None ->
+          Hashtbl.replace facts node value;
+          enqueue node
+      | Some old ->
+          let joined = L.join old value in
+          if not (L.equal joined old) then begin
+            Hashtbl.replace facts node joined;
+            enqueue node
+          end
+    in
+    List.iter contribute seeds;
+    let steps = ref 0 in
+    while not (Queue.is_empty queue) do
+      incr steps;
+      if !steps > max_steps then failwith "Dataflow.solve: fixpoint did not converge";
+      let node = Queue.pop queue in
+      Hashtbl.remove queued node;
+      let value = Hashtbl.find facts node in
+      List.iter contribute (transfer node value)
+    done;
+    facts
+end

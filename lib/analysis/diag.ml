@@ -1,0 +1,19 @@
+type location =
+  | Vm of { func : string; pc : int }
+  | Native of { addr : int }
+  | Whole  (** a whole-program finding, e.g. a histogram anomaly *)
+
+type t = { rule : string; loc : location; message : string }
+
+let make ~rule ~loc message = { rule; loc; message }
+
+let pp_location fmt = function
+  | Vm { func; pc } -> Format.fprintf fmt "%s@%d" func pc
+  | Native { addr } -> Format.fprintf fmt "0x%x" addr
+  | Whole -> Format.fprintf fmt "program"
+
+let pp fmt d = Format.fprintf fmt "%a: [%s] %s" pp_location d.loc d.rule d.message
+
+let to_string d = Format.asprintf "%a" pp d
+
+let location_string d = Format.asprintf "%a" pp_location d.loc

@@ -1,0 +1,14 @@
+(** Linter diagnostics, shared by the VM and native tracks. *)
+
+type location =
+  | Vm of { func : string; pc : int }
+  | Native of { addr : int }
+  | Whole  (** a whole-program finding, e.g. a histogram anomaly *)
+
+type t = { rule : string; loc : location; message : string }
+
+val make : rule:string -> loc:location -> string -> t
+val pp_location : Format.formatter -> location -> unit
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+val location_string : t -> string

@@ -1,0 +1,76 @@
+open Nativesim
+
+(* Instruction-mix fingerprinting.  A branch function is a dense knot of
+   flag saves, xors, shifts and table loads — an instruction mix no
+   compiled workload exhibits — so even an attacker who cannot find the
+   call sites can notice that a binary's opcode histogram sits far from
+   the population of clean programs.  The linter scores a binary by
+   cosine distance from the mean histogram of a clean corpus. *)
+
+type t = float array
+
+let nclasses = 31
+
+let index (i : Insn.t) =
+  let alu_index (op : Insn.alu) =
+    match op with
+    | Insn.Add -> 0
+    | Insn.Sub -> 1
+    | Insn.Mul -> 2
+    | Insn.Div -> 3
+    | Insn.Rem -> 4
+    | Insn.And -> 5
+    | Insn.Or -> 6
+    | Insn.Xor -> 7
+    | Insn.Shl -> 8
+    | Insn.Shr -> 9
+    | Insn.Sar -> 10
+  in
+  match i with
+  | Insn.Halt -> 0
+  | Insn.Nop -> 1
+  | Insn.Mov_imm _ -> 2
+  | Insn.Mov _ -> 3
+  | Insn.Load _ -> 4
+  | Insn.Store _ -> 5
+  | Insn.Load_abs _ -> 6
+  | Insn.Store_abs _ -> 7
+  | Insn.Alu (op, _, _) | Insn.Alu_imm (op, _, _) -> 8 + alu_index op
+  | Insn.Cmp _ | Insn.Cmp_imm _ -> 19
+  | Insn.Jmp _ -> 20
+  | Insn.Jcc _ -> 21
+  | Insn.Jmp_ind _ -> 22
+  | Insn.Jmp_reg _ -> 23
+  | Insn.Call _ -> 24
+  | Insn.Ret -> 25
+  | Insn.Push _ -> 26
+  | Insn.Pop _ -> 27
+  | Insn.Pushf | Insn.Popf -> 28
+  | Insn.Out _ -> 29
+  | Insn.In _ -> 30
+
+let of_binary (bin : Binary.t) =
+  let counts = Array.make nclasses 0.0 in
+  let insns = Disasm.disassemble bin in
+  List.iter (fun (_, i) -> counts.(index i) <- counts.(index i) +. 1.0) insns;
+  let total = float_of_int (List.length insns) in
+  if total > 0.0 then Array.map (fun c -> c /. total) counts else counts
+
+let mean (hs : t list) =
+  let acc = Array.make nclasses 0.0 in
+  List.iter (fun h -> Array.iteri (fun i v -> acc.(i) <- acc.(i) +. v) h) hs;
+  let n = float_of_int (max 1 (List.length hs)) in
+  Array.map (fun v -> v /. n) acc
+
+let cosine (a : t) (b : t) =
+  let dot = ref 0.0 and na = ref 0.0 and nb = ref 0.0 in
+  for i = 0 to nclasses - 1 do
+    dot := !dot +. (a.(i) *. b.(i));
+    na := !na +. (a.(i) *. a.(i));
+    nb := !nb +. (b.(i) *. b.(i))
+  done;
+  if !na = 0.0 || !nb = 0.0 then 0.0 else !dot /. (sqrt !na *. sqrt !nb)
+
+(* 0 = indistinguishable from the corpus mean; grows towards 1 as the mix
+   diverges. *)
+let anomaly ~corpus h = 1.0 -. cosine (mean corpus) h

@@ -1,0 +1,23 @@
+(** Instruction-mix fingerprints.  A branch function is a dense knot of
+    flag saves, xors, shifts and table loads — a mix no compiled
+    workload exhibits — so a binary can be scored by distance from the
+    histogram population of clean programs. *)
+
+type t = float array
+(** Normalized opcode-class frequencies; length {!nclasses}. *)
+
+val nclasses : int
+
+val index : Nativesim.Insn.t -> int
+(** Opcode class of an instruction, in [0, nclasses). *)
+
+val of_binary : Nativesim.Binary.t -> t
+
+val mean : t list -> t
+
+val cosine : t -> t -> float
+(** Cosine similarity in [0, 1]. *)
+
+val anomaly : corpus:t list -> t -> float
+(** [1 - cosine (mean corpus)]: 0 = indistinguishable from the corpus
+    mean, growing towards 1 as the mix diverges. *)

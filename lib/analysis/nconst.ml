@@ -1,0 +1,165 @@
+open Nativesim
+
+(* Register constant propagation over native binaries — the second
+   instantiation of the {!Dataflow} functor, this time over {!Cfg} block
+   leaders.  Facts are per-register abstract values plus the abstract
+   operands of the last flag-setting compare, so a [Jcc] whose compare
+   inputs are known can be proved one-sided.  Calls havoc every register
+   (callees are not tracked interprocedurally), which keeps the pass
+   sound on arbitrary rewritten binaries. *)
+
+type verdict = Always | Never
+
+type branch_info = { br_addr : int; br_verdict : verdict; br_target : int }
+
+type fact = { regs : Absval.t array; flags : (Absval.t * Absval.t) option }
+(** [flags = Some (a, b)]: the last compare was between values described
+    by [a] and [b]; [None]: unknown flag state. *)
+
+module Fact = struct
+  type t = fact
+
+  let equal a b = a.regs = b.regs && a.flags = b.flags
+
+  let join a b =
+    {
+      regs = Array.init Insn.nregs (fun i -> Absval.join a.regs.(i) b.regs.(i));
+      flags =
+        (match (a.flags, b.flags) with
+        | Some (x1, y1), Some (x2, y2) -> Some (Absval.join x1 x2, Absval.join y1 y2)
+        | _ -> None);
+    }
+end
+
+module Solver = Dataflow.Make (Fact)
+
+let havoc = { regs = Array.make Insn.nregs Absval.top; flags = None }
+
+(* Mirror [Machine.eval_alu] on known constants; stay conservative
+   otherwise (the machine's [Shr] is a logical shift, unlike the VM's, so
+   {!Absval.binop} does not apply directly). *)
+let alu (op : Insn.alu) a b =
+  match (a, b) with
+  | Absval.Bot, _ | _, Absval.Bot -> Absval.Bot
+  | Absval.Const x, Absval.Const y -> begin
+      match op with
+      | Insn.Div when y = 0 -> Absval.Bot
+      | Insn.Rem when y = 0 -> Absval.Bot
+      | _ ->
+          Absval.Const
+            (match op with
+            | Insn.Add -> x + y
+            | Insn.Sub -> x - y
+            | Insn.Mul -> x * y
+            | Insn.Div -> x / y
+            | Insn.Rem -> x mod y
+            | Insn.And -> x land y
+            | Insn.Or -> x lor y
+            | Insn.Xor -> x lxor y
+            | Insn.Shl ->
+                let c = y land 0x3F in
+                if c >= 63 then 0 else x lsl c
+            | Insn.Shr ->
+                let c = y land 0x3F in
+                if c >= 63 then 0 else x lsr c
+            | Insn.Sar ->
+                let c = y land 0x3F in
+                if c >= 63 then if x < 0 then -1 else 0 else x asr c)
+    end
+  | _ -> Absval.top
+
+let cmp_of_cc (cc : Insn.cc) : Stackvm.Instr.cmp =
+  match cc with
+  | Insn.Eq -> Stackvm.Instr.Eq
+  | Insn.Ne -> Stackvm.Instr.Ne
+  | Insn.Lt -> Stackvm.Instr.Lt
+  | Insn.Ge -> Stackvm.Instr.Ge
+  | Insn.Gt -> Stackvm.Instr.Gt
+  | Insn.Le -> Stackvm.Instr.Le
+
+(* Walk a block; returns the exit fact, whether it ends in a call, and
+   the verdict of a final [Jcc] when its compare operands decide it. *)
+let walk_block (blk : Cfg.block) entering =
+  let regs = Array.copy entering.regs in
+  let flags = ref entering.flags in
+  let verdict = ref None in
+  let is_call = ref false in
+  List.iter
+    (fun (_, insn) ->
+      verdict := None;
+      is_call := false;
+      match insn with
+      | Insn.Mov_imm (r, v) -> regs.(r) <- Absval.Const v
+      | Insn.Mov (d, s) -> regs.(d) <- regs.(s)
+      | Insn.Load (r, _, _) | Insn.Load_abs (r, _) | Insn.In r | Insn.Pop r ->
+          regs.(r) <- Absval.top
+      | Insn.Alu (op, d, s) -> regs.(d) <- alu op regs.(d) regs.(s)
+      | Insn.Alu_imm (op, d, v) -> regs.(d) <- alu op regs.(d) (Absval.Const v)
+      | Insn.Cmp (a, b) -> flags := Some (regs.(a), regs.(b))
+      | Insn.Cmp_imm (r, v) -> flags := Some (regs.(r), Absval.Const v)
+      | Insn.Popf -> flags := None
+      | Insn.Call _ ->
+          Array.fill regs 0 Insn.nregs Absval.top;
+          flags := None;
+          is_call := true
+      | Insn.Jcc (cc, _) -> begin
+          match !flags with
+          | Some (a, b) -> begin
+              match Absval.truth (Absval.cmp (cmp_of_cc cc) a b) with
+              | Some true -> verdict := Some Always
+              | Some false -> verdict := Some Never
+              | None -> ()
+            end
+          | None -> ()
+        end
+      | Insn.Halt | Insn.Nop | Insn.Store _ | Insn.Store_abs _ | Insn.Jmp _ | Insn.Jmp_ind _
+      | Insn.Jmp_reg _ | Insn.Ret | Insn.Push _ | Insn.Pushf | Insn.Out _ ->
+          ())
+    blk.Cfg.insns;
+  ({ regs; flags = !flags }, !verdict, !is_call)
+
+let last_insn (blk : Cfg.block) =
+  match List.rev blk.Cfg.insns with (a, i) :: _ -> Some (a, i) | [] -> None
+
+(* Successors surviving a decided final [Jcc]. *)
+let live_succs (blk : Cfg.block) verdict =
+  match (verdict, last_insn blk) with
+  | Some Always, Some (_, Insn.Jcc (_, target)) ->
+      List.filter (fun s -> s = target) blk.Cfg.succs
+  | Some Never, Some (_, Insn.Jcc (_, target)) ->
+      List.filter (fun s -> s <> target) blk.Cfg.succs
+  | _ -> blk.Cfg.succs
+
+type t = { cfg : Cfg.t; branches : branch_info list; reachable : (int, unit) Hashtbl.t }
+
+let analyze (bin : Binary.t) =
+  let cfg = Cfg.build bin in
+  let by_leader = Hashtbl.create 64 in
+  List.iter (fun (b : Cfg.block) -> Hashtbl.replace by_leader b.Cfg.leader b) (Cfg.blocks cfg);
+  let transfer leader entering =
+    match Hashtbl.find_opt by_leader leader with
+    | None -> []
+    | Some blk ->
+        let exit, verdict, is_call = walk_block blk entering in
+        let out = if is_call then havoc else exit in
+        live_succs blk verdict
+        |> List.filter (Hashtbl.mem by_leader)
+        |> List.map (fun s -> (s, out))
+  in
+  let entry = { regs = Array.make Insn.nregs Absval.top; flags = None } in
+  let facts = Solver.solve ~seeds:[ (bin.Binary.entry, entry) ] ~transfer () in
+  let branches = ref [] in
+  let reachable = Hashtbl.create 64 in
+  List.iter
+    (fun (blk : Cfg.block) ->
+      match Solver.fact facts blk.Cfg.leader with
+      | None -> ()
+      | Some entering ->
+          Hashtbl.replace reachable blk.Cfg.leader ();
+          let _, verdict, _ = walk_block blk entering in
+          (match (verdict, last_insn blk) with
+          | Some v, Some (addr, Insn.Jcc (_, target)) ->
+              branches := { br_addr = addr; br_verdict = v; br_target = target } :: !branches
+          | _ -> ()))
+    (Cfg.blocks cfg);
+  { cfg; branches = List.rev !branches; reachable }

@@ -1,0 +1,24 @@
+(** Register constant propagation over native binaries — the second
+    instantiation of the {!Dataflow} functor, over {!Nativesim.Cfg}
+    block leaders.  Facts carry per-register abstract values plus the
+    abstract operands of the last flag-setting compare, so a [Jcc] whose
+    inputs are known can be proved one-sided.  Calls havoc every
+    register, keeping the pass sound on arbitrary rewritten binaries. *)
+
+type verdict = Always | Never
+
+type branch_info = {
+  br_addr : int;  (** address of the decided [Jcc] *)
+  br_verdict : verdict;
+  br_target : int;
+}
+
+type fact = { regs : Absval.t array; flags : (Absval.t * Absval.t) option }
+
+type t = {
+  cfg : Nativesim.Cfg.t;
+  branches : branch_info list;  (** decided conditionals, in address order *)
+  reachable : (int, unit) Hashtbl.t;  (** block leaders with a computed fact *)
+}
+
+val analyze : Nativesim.Binary.t -> t

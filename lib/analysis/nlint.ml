@@ -1,0 +1,139 @@
+open Nativesim
+
+(* The stealth linter, native track: hunts the static signature a
+   branch-function watermark (§4 of the paper) leaves in a binary.  The
+   compiler backend never emits flag saves, indirect jumps through data
+   cells, or stack accesses that reach above the callee's own frame, so
+   each rule is silent on clean binaries by construction:
+
+   - [indirect-jump]: a [jmp \[cell\]] through a data word — the
+     tamper-proofed jump slots of §4.3.
+   - [branch-function]: a call target whose body saves the flags and
+     then either reaches deep into the caller's stack (return-address
+     arithmetic at [sp + frame_pad + 48]) or runs an xor chain over
+     data-region table loads — the hash-and-redirect helper itself.
+   - [branch-call]: each call site whose target is a flagged branch
+     function — exactly the instructions a subtractive attacker must
+     overwrite.
+   - [return-address-arithmetic]: the individual deep stack accesses
+     inside a flagged callee.
+   - [const-branch]: a [Jcc] the register constant propagation proves
+     one-sided.
+   - [histogram-anomaly]: instruction-mix distance from a clean corpus
+     above threshold (only with [~corpus]). *)
+
+let deep_frame_disp = 40
+(* The branch function reads its redirection key at [sp + frame_pad + 48]
+   with [frame_pad >= 0]; compiled frames address only their own locals
+   through the frame pointer, far below this. *)
+
+let scan_window = 80
+let pushf_window = 16
+
+type signature_hit = {
+  entry : int;
+  deep_accesses : int list;  (** addresses of sp-relative accesses above the frame *)
+  xor_count : int;
+  table_load : bool;
+}
+
+let in_data a = a >= Layout.data_base && a < Layout.data_base + Layout.data_capacity
+
+(* Examine the instruction window following a call target for the
+   branch-function signature.  The helper that does the dirty work sits
+   directly after the flag-saving wrapper in the emitted code, so one
+   linear window sees both. *)
+let scan_callee insns_at entry =
+  let window = insns_at entry scan_window in
+  let pushf =
+    List.exists (fun (_, i) -> i = Insn.Pushf) (List.filteri (fun k _ -> k < pushf_window) window)
+  in
+  if not pushf then None
+  else begin
+    let deep_accesses =
+      List.filter_map
+        (fun (a, i) ->
+          match i with
+          | Insn.Load (_, b, d) when b = Insn.sp && d >= deep_frame_disp -> Some a
+          | Insn.Store (b, d, _) when b = Insn.sp && d >= deep_frame_disp -> Some a
+          | _ -> None)
+        window
+    in
+    let xor_count =
+      List.length
+        (List.filter (fun (_, i) ->
+             match i with Insn.Alu (Insn.Xor, _, _) | Insn.Alu_imm (Insn.Xor, _, _) -> true | _ -> false)
+           window)
+    in
+    let table_load =
+      List.exists (fun (_, i) -> match i with Insn.Mov_imm (_, v) -> in_data v | _ -> false) window
+      && List.exists (fun (_, i) -> match i with Insn.Load (r, b, 0) -> r = b | _ -> false) window
+    in
+    if deep_accesses <> [] || (xor_count >= 2 && table_load) then
+      Some { entry; deep_accesses; xor_count; table_load }
+    else None
+  end
+
+let lint ?corpus ?(threshold = 0.05) (bin : Binary.t) =
+  let insns = Disasm.disassemble bin in
+  let arr = Array.of_list insns in
+  let pos_of = Hashtbl.create (Array.length arr) in
+  Array.iteri (fun k (a, _) -> Hashtbl.replace pos_of a k) arr;
+  let insns_at entry n =
+    match Hashtbl.find_opt pos_of entry with
+    | None -> []
+    | Some k -> Array.to_list (Array.sub arr k (min n (Array.length arr - k)))
+  in
+  let diags = ref [] in
+  let add rule addr message = diags := Diag.make ~rule ~loc:(Diag.Native { addr }) message :: !diags in
+  (* tamper cells *)
+  List.iter
+    (fun (a, i) ->
+      match i with
+      | Insn.Jmp_ind cell ->
+          add "indirect-jump" a (Printf.sprintf "indirect jump through data cell 0x%x" cell)
+      | _ -> ())
+    insns;
+  (* branch-function signatures at call targets *)
+  let call_sites = List.filter_map (fun (a, i) -> match i with Insn.Call t -> Some (a, t) | _ -> None) insns in
+  let targets = List.sort_uniq compare (List.map snd call_sites) in
+  let hits = List.filter_map (scan_callee insns_at) targets in
+  List.iter
+    (fun h ->
+      add "branch-function" h.entry
+        (Printf.sprintf
+           "callee saves flags and %s (xors: %d%s)"
+           (if h.deep_accesses <> [] then "rewrites its return address" else "hashes through data tables")
+           h.xor_count
+           (if h.table_load then ", data-region table loads" else ""));
+      List.iter
+        (fun a -> add "return-address-arithmetic" a "stack access above the callee frame")
+        h.deep_accesses)
+    hits;
+  let flagged = List.map (fun h -> h.entry) hits in
+  List.iter
+    (fun (site, target) ->
+      if List.mem target flagged then
+        add "branch-call" site (Printf.sprintf "call to branch function at 0x%x" target))
+    call_sites;
+  (* constant-foldable conditionals *)
+  let c = Nconst.analyze bin in
+  List.iter
+    (fun (b : Nconst.branch_info) ->
+      add "const-branch" b.Nconst.br_addr
+        (match b.Nconst.br_verdict with
+        | Nconst.Always -> Printf.sprintf "jump to 0x%x is always taken" b.Nconst.br_target
+        | Nconst.Never -> Printf.sprintf "jump to 0x%x is never taken" b.Nconst.br_target))
+    c.Nconst.branches;
+  (* instruction-mix anomaly *)
+  (match corpus with
+  | Some hs when hs <> [] ->
+      let score = Histogram.anomaly ~corpus:hs (Histogram.of_binary bin) in
+      if score > threshold then
+        diags :=
+          Diag.make ~rule:"histogram-anomaly" ~loc:Diag.Whole
+            (Printf.sprintf "instruction mix diverges from clean corpus (score %.4f > %.4f)" score
+               threshold)
+          :: !diags
+  | _ -> ());
+  List.rev !diags

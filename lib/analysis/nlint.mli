@@ -1,0 +1,21 @@
+(** The stealth linter, native track: hunts the static signature a
+    branch-function watermark leaves in a binary.
+
+    Rules: [indirect-jump] (a jump through a data cell — the
+    tamper-proofed slots), [branch-function] (a call target that saves
+    the flags and then reaches above its own frame or runs an xor chain
+    over data-region table loads), [branch-call] (each call site whose
+    target is a flagged branch function — the instructions a subtractive
+    attacker must overwrite), [return-address-arithmetic] (the
+    individual deep stack accesses inside a flagged callee),
+    [const-branch] (a [Jcc] that {!Nconst} proves one-sided), and
+    [histogram-anomaly] (instruction-mix distance above [threshold],
+    only when [~corpus] is given).  The compiler backend emits none of
+    these shapes, so every rule is silent on clean binaries. *)
+
+val deep_frame_disp : int
+(** sp-relative displacement at or above which an access is considered
+    to reach the caller's frame. *)
+
+val lint :
+  ?corpus:Histogram.t list -> ?threshold:float -> Nativesim.Binary.t -> Diag.t list

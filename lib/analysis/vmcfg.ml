@@ -1,0 +1,73 @@
+open Stackvm
+
+type block = {
+  leader : int;
+  len : int;
+  succs : int list;  (** successor block indices *)
+}
+
+type t = {
+  func : Program.func;
+  blocks : block array;
+  block_at : int array;  (** pc -> index of the containing block *)
+  preds : int list array;
+}
+
+let build (f : Program.func) =
+  let n = Array.length f.Program.code in
+  let starts = Program.block_starts f in
+  let leaders = ref [] in
+  for pc = n - 1 downto 0 do
+    if starts.(pc) then leaders := pc :: !leaders
+  done;
+  let leaders = Array.of_list !leaders in
+  let nb = Array.length leaders in
+  let block_at = Array.make n 0 in
+  let idx_of_leader = Hashtbl.create nb in
+  Array.iteri (fun i l -> Hashtbl.replace idx_of_leader l i) leaders;
+  let b = ref 0 in
+  for pc = 0 to n - 1 do
+    if starts.(pc) then b := Hashtbl.find idx_of_leader pc;
+    block_at.(pc) <- !b
+  done;
+  let blocks =
+    Array.mapi
+      (fun i leader ->
+        let next_leader = if i + 1 < nb then leaders.(i + 1) else n in
+        let len = next_leader - leader in
+        let last = f.Program.code.(next_leader - 1) in
+        let succs =
+          (* branch targets are always leaders; drop out-of-range ones so
+             unverified inputs degrade instead of crashing *)
+          let targets = List.filter_map (Hashtbl.find_opt idx_of_leader) (Instr.targets last) in
+          let fall =
+            if Instr.falls_through last && next_leader < n then
+              Option.to_list (Hashtbl.find_opt idx_of_leader next_leader)
+            else []
+          in
+          List.sort_uniq compare (targets @ fall)
+        in
+        { leader; len; succs })
+      leaders
+  in
+  let preds = Array.make nb [] in
+  Array.iteri (fun i blk -> List.iter (fun s -> preds.(s) <- i :: preds.(s)) blk.succs) blocks;
+  { func = f; blocks; block_at; preds }
+
+let num_blocks t = Array.length t.blocks
+
+let preds t i = t.preds.(i)
+
+(* Graph reachability from the entry block, ignoring branch feasibility —
+   the baseline the linter compares constant-pruned reachability against. *)
+let naive_reachable t =
+  let nb = num_blocks t in
+  let seen = Array.make nb false in
+  let rec go i =
+    if not seen.(i) then begin
+      seen.(i) <- true;
+      List.iter go t.blocks.(i).succs
+    end
+  in
+  if nb > 0 then go 0;
+  seen

@@ -1,0 +1,28 @@
+(** Basic-block control-flow graphs for stack-VM functions, indexed for
+    the dataflow passes (blocks are numbered in pc order; block 0 is the
+    entry). *)
+
+type block = {
+  leader : int;  (** pc of the first instruction *)
+  len : int;
+  succs : int list;  (** successor block indices *)
+}
+
+type t = {
+  func : Stackvm.Program.func;
+  blocks : block array;
+  block_at : int array;  (** pc -> index of the containing block *)
+  preds : int list array;
+}
+
+val build : Stackvm.Program.func -> t
+(** Out-of-range branch targets are dropped (unverified inputs degrade
+    instead of crashing). *)
+
+val num_blocks : t -> int
+val preds : t -> int -> int list
+
+val naive_reachable : t -> bool array
+(** Graph reachability from the entry block, ignoring branch
+    feasibility — the baseline the linter compares constant-pruned
+    reachability against. *)

@@ -1,0 +1,401 @@
+open Stackvm
+
+(* Constant propagation and branch folding for stack-VM functions.
+
+   Block-entry facts (abstract locals + abstract operand stack over
+   {!Absval}) flow through the {!Dataflow} worklist solver.  Inside a
+   block, execution is simulated *symbolically*: every pushed value is a
+   node of an expression DAG whose leaves are block-entry values, so
+   [Dup] shares a node and the correlation between the copies survives —
+   plain independent abstract values cannot fold [x * (x + 1) is even],
+   the watermarker's favourite opaque shape, because they forget that
+   both factors read the same x.  A conditional's verdict is decided by
+   enumerating the residues (mod 4) of the unknown leaves in its support
+   and evaluating the DAG once per assignment; the enumeration is bounded,
+   falling back to a single correlation-free evaluation when the support
+   is too wide.
+
+   Branch verdicts prune infeasible CFG edges during the fixpoint, so a
+   block is [reachable] only if some constant-consistent path reaches it.
+   Comparing that against naive graph reachability exposes the dead
+   blocks that opaquely-guarded watermark code hides behind. *)
+
+type verdict = Always | Never
+
+(* ---- expression DAG ---- *)
+
+type expr =
+  | Leaf of Absval.t
+  | Lit of int
+  | Bin of Instr.binop * int * int
+  | Cmp2 of Instr.cmp * int * int
+  | Neg1 of int
+  | Not1 of int
+
+type dag = { mutable exprs : expr array; mutable values : Absval.t array; mutable count : int }
+
+let dag_create () = { exprs = Array.make 64 (Lit 0); values = Array.make 64 Absval.Bot; count = 0 }
+
+let dag_push dag expr value =
+  if dag.count = Array.length dag.exprs then begin
+    let exprs = Array.make (2 * dag.count) (Lit 0) in
+    let values = Array.make (2 * dag.count) Absval.Bot in
+    Array.blit dag.exprs 0 exprs 0 dag.count;
+    Array.blit dag.values 0 values 0 dag.count;
+    dag.exprs <- exprs;
+    dag.values <- values
+  end;
+  dag.exprs.(dag.count) <- expr;
+  dag.values.(dag.count) <- value;
+  dag.count <- dag.count + 1;
+  dag.count - 1
+
+(* Evaluate every node under residue overrides for selected leaves
+   (children precede parents, so one forward sweep suffices). *)
+let dag_eval dag ~override =
+  let v = Array.make dag.count Absval.Bot in
+  for id = 0 to dag.count - 1 do
+    v.(id) <-
+      (match dag.exprs.(id) with
+      | Leaf a -> ( match override id with Some r -> r | None -> a)
+      | Lit c -> Absval.Const c
+      | Bin (op, a, b) -> Absval.binop op v.(a) v.(b)
+      | Cmp2 (c, a, b) -> Absval.cmp c v.(a) v.(b)
+      | Neg1 a -> Absval.neg v.(a)
+      | Not1 a -> Absval.lognot v.(a))
+  done;
+  v
+
+(* Leaves in [root]'s support whose value is not an exact constant. *)
+let dag_support dag root =
+  let seen = Array.make dag.count false in
+  let leaves = ref [] in
+  let rec go id =
+    if not seen.(id) then begin
+      seen.(id) <- true;
+      match dag.exprs.(id) with
+      | Leaf (Absval.Const _) | Lit _ -> ()
+      | Leaf _ -> leaves := id :: !leaves
+      | Bin (_, a, b) | Cmp2 (_, a, b) ->
+          go a;
+          go b
+      | Neg1 a | Not1 a -> go a
+    end
+  in
+  go root;
+  List.rev !leaves
+
+let enumeration_limit = 1024
+
+(* The truth value of node [root], enumerating residue assignments of its
+   unknown leaves to keep correlations: [Some true] = nonzero on every
+   execution, [Some false] = zero on every execution. *)
+let dag_truth dag root =
+  let leaves = dag_support dag root in
+  let masks =
+    List.map
+      (fun id -> (id, match dag.exprs.(id) with Leaf a -> Absval.mask a | _ -> assert false))
+      leaves
+  in
+  let combos =
+    List.fold_left
+      (fun acc (_, m) ->
+        let pop = List.length (List.filter (fun r -> m land (1 lsl r) <> 0) [ 0; 1; 2; 3 ]) in
+        acc * max 1 pop)
+      1 masks
+  in
+  if combos > enumeration_limit then Absval.truth (dag_eval dag ~override:(fun _ -> None)).(root)
+  else begin
+    let outcome = ref `Unset in
+    let rec assign fixed = function
+      | [] ->
+          let tbl = Hashtbl.create 8 in
+          List.iter (fun (id, r) -> Hashtbl.replace tbl id (Absval.Res (1 lsl r))) fixed;
+          let v = dag_eval dag ~override:(Hashtbl.find_opt tbl) in
+          let t = Absval.truth v.(root) in
+          outcome :=
+            (match (!outcome, t) with
+            | `Unset, Some b -> `Decided b
+            | `Decided b, Some b' when b = b' -> `Decided b
+            | _ -> `Mixed)
+      | (id, m) :: rest ->
+          for r = 0 to 3 do
+            if m land (1 lsl r) <> 0 && !outcome <> `Mixed then assign ((id, r) :: fixed) rest
+          done
+    in
+    assign [] masks;
+    match !outcome with `Decided b -> Some b | _ -> None
+  end
+
+(* ---- block-entry facts ---- *)
+
+type fact = { locals : Absval.t array; stack : Absval.t list }
+
+module Fact = struct
+  type t = fact
+
+  let equal a b = a.locals = b.locals && a.stack = b.stack
+
+  let join a b =
+    let locals = Array.init (Array.length a.locals) (fun i -> Absval.join a.locals.(i) b.locals.(i)) in
+    let stack =
+      if List.length a.stack = List.length b.stack then List.map2 Absval.join a.stack b.stack
+      else List.map (fun _ -> Absval.top) (if List.length a.stack < List.length b.stack then a.stack else b.stack)
+    in
+    { locals; stack }
+end
+
+module Solver = Dataflow.Make (Fact)
+
+(* ---- symbolic block walk ---- *)
+
+type terminator =
+  | Fall
+  | Goto of int  (** target pc *)
+  | Branch of { pc : int; sense : bool; target : int; cond : int  (** node id *) }
+  | Stop  (** Ret, or a guaranteed trap *)
+
+type walk = { dag : dag; exit_locals : int array; exit_stack : int list; terminator : terminator }
+
+let walk_block (prog : Program.t) (cfg : Vmcfg.t) bidx (entry : fact) =
+  let f = cfg.Vmcfg.func in
+  let blk = cfg.Vmcfg.blocks.(bidx) in
+  let dag = dag_create () in
+  let locals = Array.map (fun v -> dag_push dag (Leaf v) v) entry.locals in
+  let stack = ref (List.map (fun v -> dag_push dag (Leaf v) v) entry.stack) in
+  let push id = stack := id :: !stack in
+  let fresh v = push (dag_push dag (Leaf v) v) in
+  let pop () =
+    match !stack with
+    | id :: rest ->
+        stack := rest;
+        id
+    | [] -> dag_push dag (Leaf Absval.top) Absval.top (* unverified input; stay sound *)
+  in
+  let trapped = ref false in
+  let terminator = ref Fall in
+  let pc = ref blk.Vmcfg.leader in
+  let stop = blk.Vmcfg.leader + blk.Vmcfg.len in
+  while !pc < stop && not !trapped do
+    (match f.Program.code.(!pc) with
+    | Instr.Const c -> push (dag_push dag (Lit c) (Absval.Const c))
+    | Instr.Load k -> if k < Array.length locals then push locals.(k) else fresh Absval.top
+    | Instr.Store k ->
+        let id = pop () in
+        if k < Array.length locals then locals.(k) <- id
+    | Instr.Get_global _ | Instr.Read -> fresh Absval.top
+    | Instr.Set_global _ | Instr.Print | Instr.Pop -> ignore (pop ())
+    | Instr.Binop op ->
+        let b = pop () in
+        let a = pop () in
+        let v = Absval.binop op dag.values.(a) dag.values.(b) in
+        if Absval.is_bot v then trapped := true else push (dag_push dag (Bin (op, a, b)) v)
+    | Instr.Cmp c ->
+        let b = pop () in
+        let a = pop () in
+        push (dag_push dag (Cmp2 (c, a, b)) (Absval.cmp c dag.values.(a) dag.values.(b)))
+    | Instr.Neg ->
+        let a = pop () in
+        push (dag_push dag (Neg1 a) (Absval.neg dag.values.(a)))
+    | Instr.Not ->
+        let a = pop () in
+        push (dag_push dag (Not1 a) (Absval.lognot dag.values.(a)))
+    | Instr.Dup ->
+        let a = pop () in
+        push a;
+        push a
+    | Instr.Swap ->
+        let b = pop () in
+        let a = pop () in
+        push b;
+        push a
+    | Instr.New_array | Instr.Array_len ->
+        ignore (pop ());
+        fresh Absval.top
+    | Instr.Array_load ->
+        ignore (pop ());
+        ignore (pop ());
+        fresh Absval.top
+    | Instr.Array_store ->
+        ignore (pop ());
+        ignore (pop ());
+        ignore (pop ())
+    | Instr.Call callee ->
+        let nargs =
+          match Program.find_func prog callee with Some g -> g.Program.nargs | None -> 0
+        in
+        for _ = 1 to nargs do
+          ignore (pop ())
+        done;
+        fresh Absval.top
+    | Instr.Nop -> ()
+    | Instr.Jump t -> terminator := Goto t
+    | Instr.If { sense; target } ->
+        let cond = pop () in
+        terminator := Branch { pc = !pc; sense; target; cond }
+    | Instr.Ret ->
+        ignore (pop ());
+        terminator := Stop);
+    incr pc
+  done;
+  if !trapped then { dag; exit_locals = locals; exit_stack = []; terminator = Stop }
+  else { dag; exit_locals = locals; exit_stack = !stack; terminator = !terminator }
+
+(* ---- the per-function analysis ---- *)
+
+type branch_info = {
+  br_pc : int;
+  br_verdict : verdict;
+  br_target : int;  (** branch-target pc *)
+}
+
+type t = {
+  cfg : Vmcfg.t;
+  entry_facts : fact option array;  (** per block, [None] = const-unreachable *)
+  branches : branch_info list;  (** decided conditionals, in pc order *)
+  reachable : bool array;  (** constant-pruned reachability, per block *)
+  naive : bool array;  (** plain graph reachability, per block *)
+}
+
+let entry_fact (f : Program.func) =
+  {
+    (* The interpreter zero-initializes locals, so non-argument slots
+       start as the constant 0; arguments are unknown. *)
+    locals = Array.init f.Program.nlocals (fun i -> if i < f.Program.nargs then Absval.top else Absval.Const 0);
+    stack = [];
+  }
+
+let analyze (prog : Program.t) (f : Program.func) =
+  let cfg = Vmcfg.build f in
+  let nb = Vmcfg.num_blocks cfg in
+  let verdict_of dag (sense : bool) cond =
+    match dag_truth dag cond with
+    | Some nonzero -> Some (if nonzero = sense then Always else Never)
+    | None -> None
+  in
+  let contributions bidx fact =
+    let w = walk_block prog cfg bidx fact in
+    let exit_fact =
+      {
+        locals = Array.map (fun id -> w.dag.values.(id)) w.exit_locals;
+        stack = List.map (fun id -> w.dag.values.(id)) w.exit_stack;
+      }
+    in
+    let to_block pc = (cfg.Vmcfg.block_at.(pc), exit_fact) in
+    match w.terminator with
+    | Stop -> []
+    | Goto t -> [ to_block t ]
+    | Fall ->
+        let next = cfg.Vmcfg.blocks.(bidx).Vmcfg.leader + cfg.Vmcfg.blocks.(bidx).Vmcfg.len in
+        if next < Array.length f.Program.code then [ to_block next ] else []
+    | Branch { pc; sense; target; cond } -> begin
+        let fall = if pc + 1 < Array.length f.Program.code then [ to_block (pc + 1) ] else [] in
+        match verdict_of w.dag sense cond with
+        | Some Always -> [ to_block target ]
+        | Some Never -> fall
+        | None -> to_block target :: fall
+      end
+  in
+  let facts =
+    if nb = 0 then Hashtbl.create 1
+    else Solver.solve ~seeds:[ (0, entry_fact f) ] ~transfer:contributions ()
+  in
+  let entry_facts = Array.init nb (fun i -> Solver.fact facts i) in
+  let reachable = Array.map Option.is_some entry_facts in
+  let branches = ref [] in
+  Array.iteri
+    (fun bidx fact ->
+      match fact with
+      | None -> ()
+      | Some fact -> (
+          let w = walk_block prog cfg bidx fact in
+          match w.terminator with
+          | Branch { pc; sense; target; cond } -> begin
+              match verdict_of w.dag sense cond with
+              | Some v -> branches := { br_pc = pc; br_verdict = v; br_target = target } :: !branches
+              | None -> ()
+            end
+          | _ -> ()))
+    entry_facts;
+  {
+    cfg;
+    entry_facts;
+    branches = List.sort (fun a b -> compare a.br_pc b.br_pc) !branches;
+    reachable;
+    naive = Vmcfg.naive_reachable cfg;
+  }
+
+(* ---- straight-line predicate evaluation ----
+
+   Used by the stealth embedder to reject candidate guard predicates: a
+   sequence is evaluated with every [Load]/[Get_global] an unknown leaf
+   (shared per slot, so self-correlations like Dup chains stay visible).
+   Returns the folded constant of the final top-of-stack, if any. *)
+
+let eval_pushes (code : Instr.t list) =
+  let dag = dag_create () in
+  let leaves = Hashtbl.create 8 in
+  let leaf_for key =
+    match Hashtbl.find_opt leaves key with
+    | Some id -> id
+    | None ->
+        let id = dag_push dag (Leaf Absval.top) Absval.top in
+        Hashtbl.replace leaves key id;
+        id
+  in
+  let stack = ref [] in
+  let push id = stack := id :: !stack in
+  let pop () =
+    match !stack with
+    | id :: rest ->
+        stack := rest;
+        id
+    | [] -> dag_push dag (Leaf Absval.top) Absval.top
+  in
+  List.iter
+    (fun instr ->
+      match (instr : Instr.t) with
+      | Instr.Const c -> push (dag_push dag (Lit c) (Absval.Const c))
+      | Instr.Load k -> push (leaf_for (`Local k))
+      | Instr.Get_global g -> push (leaf_for (`Global g))
+      | Instr.Store k -> Hashtbl.replace leaves (`Local k) (pop ())
+      | Instr.Set_global g -> Hashtbl.replace leaves (`Global g) (pop ())
+      | Instr.Binop op ->
+          let b = pop () in
+          let a = pop () in
+          push (dag_push dag (Bin (op, a, b)) (Absval.binop op dag.values.(a) dag.values.(b)))
+      | Instr.Cmp c ->
+          let b = pop () in
+          let a = pop () in
+          push (dag_push dag (Cmp2 (c, a, b)) (Absval.cmp c dag.values.(a) dag.values.(b)))
+      | Instr.Neg ->
+          let a = pop () in
+          push (dag_push dag (Neg1 a) (Absval.neg dag.values.(a)))
+      | Instr.Not ->
+          let a = pop () in
+          push (dag_push dag (Not1 a) (Absval.lognot dag.values.(a)))
+      | Instr.Dup ->
+          let a = pop () in
+          push a;
+          push a
+      | Instr.Swap ->
+          let b = pop () in
+          let a = pop () in
+          push b;
+          push a
+      | Instr.Pop -> ignore (pop ())
+      | _ -> push (dag_push dag (Leaf Absval.top) Absval.top))
+    code;
+  match !stack with
+  | [] -> `Unknown
+  | root :: _ -> begin
+      match dag_truth dag root with
+      | Some false -> `Const 0
+      | Some true -> begin
+          (* nonzero for sure; a constant only if the plain value says so *)
+          match (dag_eval dag ~override:(fun _ -> None)).(root) with
+          | Absval.Const c -> `Const c
+          | _ -> `Nonzero
+        end
+      | None -> `Unknown
+    end

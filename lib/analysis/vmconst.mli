@@ -1,0 +1,39 @@
+(** Constant propagation and branch folding for stack-VM functions.
+
+    Inside each block execution is simulated symbolically over an
+    expression DAG whose leaves are block-entry values, so [Dup] shares
+    a node and the correlation between copies survives — that is what
+    folds [x * (x + 1) is even] and the watermarker's other opaque
+    shapes.  A conditional's verdict is decided by enumerating residue
+    assignments (mod 4) of the unknown leaves in its support; verdicts
+    prune infeasible CFG edges during the fixpoint. *)
+
+type verdict = Always | Never
+
+type fact = { locals : Absval.t array; stack : Absval.t list }
+(** Abstract state at a block entry. *)
+
+type branch_info = {
+  br_pc : int;  (** pc of the decided [If] *)
+  br_verdict : verdict;
+  br_target : int;  (** its branch-target pc *)
+}
+
+type t = {
+  cfg : Vmcfg.t;
+  entry_facts : fact option array;  (** per block; [None] = const-unreachable *)
+  branches : branch_info list;  (** decided conditionals, in pc order *)
+  reachable : bool array;  (** constant-pruned reachability, per block *)
+  naive : bool array;  (** plain graph reachability, per block *)
+}
+
+val analyze : Stackvm.Program.t -> Stackvm.Program.func -> t
+
+val eval_pushes :
+  Stackvm.Instr.t list -> [ `Const of int | `Nonzero | `Unknown ]
+(** Fold a straight-line instruction sequence with every [Load] and
+    [Get_global] an unknown (but shared, hence correlated) leaf —
+    [`Const c]: the final top-of-stack is always [c]; [`Nonzero]:
+    provably never zero without being one constant.  This is the stealth
+    embedder's test: any candidate guard answering other than [`Unknown]
+    would be stripped by this very analyzer. *)

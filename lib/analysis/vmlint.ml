@@ -1,0 +1,61 @@
+open Stackvm
+
+(* The stealth linter, VM track: hunts the static artifacts path-based
+   watermark embedding leaves behind (§3.2 of the paper claims there are
+   none an analyzer can see; this is the adversary testing that claim).
+
+   Rules:
+   - [opaque-branch]: a reachable conditional the constant/residue folder
+     proves one-sided — the signature of an opaque predicate.
+   - [unreachable-code]: a block reachable in the naive CFG but not once
+     constant branches are pruned — the dead "live-update" blocks opaque
+     guards protect.  Clean code has no foldable branches, so the naive
+     and pruned reachable sets coincide and the rule stays silent.
+   - [write-only-local]: a slot stored in reachable code but never loaded
+     from reachable code — inserted bogus state (the dead-code-insertion
+     attack, or a watermark accumulator whose only reads sit behind an
+     opaque guard).
+   - [stack-conflict]: disagreement found by the independent stack-effect
+     checker (never fires on verified programs). *)
+
+let lint_func (prog : Program.t) (f : Program.func) =
+  let diags = ref [] in
+  let add rule pc message = diags := Diag.make ~rule ~loc:(Diag.Vm { func = f.Program.name; pc }) message :: !diags in
+  List.iter (fun (i : Vmstack.issue) -> add "stack-conflict" i.Vmstack.pc i.Vmstack.reason) (Vmstack.check prog f);
+  let c = Vmconst.analyze prog f in
+  List.iter
+    (fun (b : Vmconst.branch_info) ->
+      add "opaque-branch" b.Vmconst.br_pc
+        (match b.Vmconst.br_verdict with
+        | Vmconst.Always -> Printf.sprintf "branch to %d is always taken" b.Vmconst.br_target
+        | Vmconst.Never -> Printf.sprintf "branch to %d is never taken" b.Vmconst.br_target))
+    c.Vmconst.branches;
+  Array.iteri
+    (fun bidx (blk : Vmcfg.block) ->
+      if c.Vmconst.naive.(bidx) && not c.Vmconst.reachable.(bidx) then
+        add "unreachable-code" blk.Vmcfg.leader
+          (Printf.sprintf "block of %d instruction(s) is unreachable once constant branches are folded"
+             blk.Vmcfg.len))
+    c.Vmconst.cfg.Vmcfg.blocks;
+  (* write-only locals, judged over constant-pruned reachable code only:
+     loads that hide behind an opaque guard do not count as uses *)
+  let reachable_pc pc = c.Vmconst.reachable.(c.Vmconst.cfg.Vmcfg.block_at.(pc)) in
+  let loaded = Array.make f.Program.nlocals false in
+  let first_store = Array.make f.Program.nlocals (-1) in
+  Array.iteri
+    (fun pc instr ->
+      if Array.length f.Program.code > 0 && reachable_pc pc then
+        match instr with
+        | Instr.Load k when k < f.Program.nlocals -> loaded.(k) <- true
+        | Instr.Store k when k < f.Program.nlocals && first_store.(k) < 0 -> first_store.(k) <- pc
+        | _ -> ())
+    f.Program.code;
+  Array.iteri
+    (fun slot pc ->
+      if pc >= 0 && not loaded.(slot) then
+        add "write-only-local" pc (Printf.sprintf "local %d is stored but never read" slot))
+    first_store;
+  List.rev !diags
+
+let lint (prog : Program.t) =
+  Array.to_list prog.Program.funcs |> List.concat_map (lint_func prog)

@@ -1,0 +1,14 @@
+(** The stealth linter, VM track: hunts the static artifacts path-based
+    watermark embedding leaves behind.
+
+    Rules: [opaque-branch] (a conditional the constant/residue folder
+    proves one-sided), [unreachable-code] (blocks reachable only through
+    infeasible branches), [write-only-local] (slots stored but never
+    read from constant-reachable code), [stack-conflict] (stack-effect
+    disagreements; never fires on verified programs).  All rules are
+    silent on clean compiled code. *)
+
+val lint_func : Stackvm.Program.t -> Stackvm.Program.func -> Diag.t list
+
+val lint : Stackvm.Program.t -> Diag.t list
+(** All functions, in program order. *)

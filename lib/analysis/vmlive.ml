@@ -1,0 +1,57 @@
+open Stackvm
+
+(* Backward liveness of local slots, and the dead stores it exposes.
+   The fact at a block is its live-out set; the solver runs over the
+   reversed CFG by contributing each block's live-in to its
+   predecessors. *)
+
+type t = {
+  cfg : Vmcfg.t;
+  live_out : bool array array;  (** per block *)
+  dead_stores : int list;  (** pcs of stores whose value is never read *)
+}
+
+module Live = Dataflow.Make (struct
+  type t = bool array
+
+  let equal = ( = )
+
+  let join a b = Array.init (Array.length a) (fun i -> a.(i) || b.(i))
+end)
+
+(* Walk a block backward from [live_out], returning live-in and the dead
+   stores found on the way. *)
+let backward (cfg : Vmcfg.t) bidx live_out =
+  let f = cfg.Vmcfg.func in
+  let blk = cfg.Vmcfg.blocks.(bidx) in
+  let live = Array.copy live_out in
+  let dead = ref [] in
+  for pc = blk.Vmcfg.leader + blk.Vmcfg.len - 1 downto blk.Vmcfg.leader do
+    match f.Program.code.(pc) with
+    | Instr.Load k ->
+        if k < Array.length live then live.(k) <- true
+    | Instr.Store k ->
+        if k < Array.length live then begin
+          if not live.(k) then dead := pc :: !dead;
+          live.(k) <- false
+        end
+    | _ -> ()
+  done;
+  (live, !dead)
+
+let analyze (f : Program.func) =
+  let cfg = Vmcfg.build f in
+  let nb = Vmcfg.num_blocks cfg in
+  let bot () = Array.make f.Program.nlocals false in
+  let transfer bidx live_out =
+    let live_in, _ = backward cfg bidx live_out in
+    List.map (fun p -> (p, live_in)) (Vmcfg.preds cfg bidx)
+  in
+  let seeds = List.init nb (fun i -> (i, bot ())) in
+  let facts = Live.solve ~seeds ~transfer () in
+  let live_out = Array.init nb (fun i -> Option.value ~default:(bot ()) (Live.fact facts i)) in
+  let dead_stores =
+    List.concat (List.init nb (fun i -> snd (backward cfg i live_out.(i))))
+    |> List.sort_uniq compare
+  in
+  { cfg; live_out; dead_stores }

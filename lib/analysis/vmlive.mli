@@ -1,0 +1,10 @@
+(** Backward liveness of local slots, run through {!Dataflow} by
+    contributing each block's live-in to its predecessors. *)
+
+type t = {
+  cfg : Vmcfg.t;
+  live_out : bool array array;  (** per block, indexed by slot *)
+  dead_stores : int list;  (** pcs of stores whose value is never read *)
+}
+
+val analyze : Stackvm.Program.func -> t

@@ -1,0 +1,75 @@
+open Stackvm
+
+(* Reaching definitions (may-analysis): which stores can reach each block
+   entry.  A definition is a [Store] pc; [Param] stands for the implicit
+   definition of argument slots at entry and [Zero] for the VM's
+   zero-initialization of the remaining slots.  The must-variant of this
+   pass (definite assignment) lives in [Stackvm.Verify]; this one feeds
+   def-use reasoning — e.g. which stores an attacker may safely drop. *)
+
+type def = Param of int | Zero of int | Store of int * int  (** slot, pc *)
+
+module DefSet = Set.Make (struct
+  type t = def
+
+  let compare = compare
+end)
+
+type t = {
+  cfg : Vmcfg.t;
+  entry : DefSet.t array;  (** per block: definitions reaching its entry *)
+}
+
+let slot_of = function Param s | Zero s | Store (s, _) -> s
+
+module Reach = Dataflow.Make (struct
+  type t = DefSet.t
+
+  let equal = DefSet.equal
+
+  let join = DefSet.union
+end)
+
+let through (cfg : Vmcfg.t) bidx entering =
+  let f = cfg.Vmcfg.func in
+  let blk = cfg.Vmcfg.blocks.(bidx) in
+  let defs = ref entering in
+  for pc = blk.Vmcfg.leader to blk.Vmcfg.leader + blk.Vmcfg.len - 1 do
+    match f.Program.code.(pc) with
+    | Instr.Store k ->
+        defs := DefSet.add (Store (k, pc)) (DefSet.filter (fun d -> slot_of d <> k) !defs)
+    | _ -> ()
+  done;
+  !defs
+
+let analyze (f : Program.func) =
+  let cfg = Vmcfg.build f in
+  let nb = Vmcfg.num_blocks cfg in
+  let entry_defs =
+    List.init f.Program.nlocals (fun s -> if s < f.Program.nargs then Param s else Zero s)
+    |> DefSet.of_list
+  in
+  let transfer bidx entering =
+    let out = through cfg bidx entering in
+    List.map (fun s -> (s, out)) cfg.Vmcfg.blocks.(bidx).Vmcfg.succs
+  in
+  let facts =
+    if nb = 0 then Hashtbl.create 1 else Reach.solve ~seeds:[ (0, entry_defs) ] ~transfer ()
+  in
+  { cfg; entry = Array.init nb (fun i -> Option.value ~default:DefSet.empty (Reach.fact facts i)) }
+
+(* Definitions that may reach the given [Load] pc. *)
+let reaching_loads t pc =
+  let bidx = t.cfg.Vmcfg.block_at.(pc) in
+  let f = t.cfg.Vmcfg.func in
+  let blk = t.cfg.Vmcfg.blocks.(bidx) in
+  let defs = ref t.entry.(bidx) in
+  for p = blk.Vmcfg.leader to pc - 1 do
+    match f.Program.code.(p) with
+    | Instr.Store k ->
+        defs := DefSet.add (Store (k, p)) (DefSet.filter (fun d -> slot_of d <> k) !defs)
+    | _ -> ()
+  done;
+  match f.Program.code.(pc) with
+  | Instr.Load slot -> DefSet.elements (DefSet.filter (fun d -> slot_of d = slot) !defs)
+  | _ -> []

@@ -1,0 +1,22 @@
+(** Reaching definitions (may-analysis) for local slots.  The
+    must-variant — definite assignment — lives in [Stackvm.Verify]; this
+    one feeds def-use reasoning, e.g. which stores an attacker may
+    safely drop. *)
+
+type def =
+  | Param of int  (** the implicit definition of an argument slot *)
+  | Zero of int  (** the VM's zero-initialization of a non-argument slot *)
+  | Store of int * int  (** slot, pc *)
+
+module DefSet : Set.S with type elt = def
+
+type t = {
+  cfg : Vmcfg.t;
+  entry : DefSet.t array;  (** per block: definitions reaching its entry *)
+}
+
+val analyze : Stackvm.Program.func -> t
+
+val reaching_loads : t -> int -> def list
+(** Definitions that may reach the [Load] at the given pc (empty for
+    non-load instructions). *)

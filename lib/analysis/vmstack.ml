@@ -1,0 +1,79 @@
+open Stackvm
+
+(* An independent stack-effect checker built on the generic solver: the
+   fact at each pc is the operand-stack depth before it executes, with a
+   [Conflict] element for merge mismatches.  [Stackvm.Verify] performs
+   the same computation with a bespoke worklist and hard errors; this
+   pass re-derives it through {!Dataflow} so the linter can cross-check
+   the verifier (and flag programs the verifier was never run on). *)
+
+type depth = Depth of int | Conflict
+
+type issue = { pc : int; reason : string }
+
+module D = Dataflow.Make (struct
+  type t = depth
+
+  let equal = ( = )
+
+  let join a b = match (a, b) with Depth x, Depth y when x = y -> a | _ -> Conflict
+end)
+
+let check (prog : Program.t) (f : Program.func) =
+  let n = Array.length f.Program.code in
+  let issues = ref [] in
+  let flag pc reason =
+    if not (List.exists (fun i -> i.pc = pc) !issues) then issues := { pc; reason } :: !issues
+  in
+  let arity callee = Option.map (fun g -> g.Program.nargs) (Program.find_func prog callee) in
+  let transfer pc fact =
+    match fact with
+    | Conflict ->
+        flag pc "inconsistent stack depth at merge";
+        []
+    | Depth d -> begin
+        let need =
+          match f.Program.code.(pc) with
+          | Instr.Const _ | Instr.Load _ | Instr.Get_global _ | Instr.Read | Instr.Jump _
+          | Instr.Nop ->
+              0
+          | Instr.Store _ | Instr.Set_global _ | Instr.Neg | Instr.Not | Instr.Dup | Instr.Pop
+          | Instr.New_array | Instr.Array_len | Instr.Print | Instr.If _ | Instr.Ret ->
+              1
+          | Instr.Binop _ | Instr.Cmp _ | Instr.Swap | Instr.Array_load -> 2
+          | Instr.Array_store -> 3
+          | Instr.Call callee -> Option.value ~default:0 (arity callee)
+        in
+        if d < need then begin
+          flag pc (Printf.sprintf "stack underflow: depth %d, need %d" d need);
+          []
+        end
+        else begin
+          let emit t d' =
+            if t >= 0 && t < n then [ (t, Depth d') ]
+            else begin
+              flag pc "control flows out of the function";
+              []
+            end
+          in
+          match f.Program.code.(pc) with
+          | Instr.Ret ->
+              if d <> 1 then flag pc (Printf.sprintf "return with stack depth %d" d);
+              []
+          | Instr.Jump t -> emit t d
+          | Instr.If { target; _ } -> emit target (d - 1) @ emit (pc + 1) (d - 1)
+          | instr ->
+              let delta =
+                match instr with
+                | Instr.Call callee -> ( match arity callee with Some a -> 1 - a | None -> 0)
+                | _ -> Option.value ~default:0 (Instr.stack_delta instr)
+              in
+              emit (pc + 1) (d + delta)
+        end
+      end
+  in
+  if n = 0 then [ { pc = 0; reason = "empty function body" } ]
+  else begin
+    ignore (D.solve ~seeds:[ (0, Depth 0) ] ~transfer ());
+    List.sort (fun a b -> compare a.pc b.pc) !issues
+  end

@@ -1,0 +1,12 @@
+(** An independent stack-effect checker built on the generic solver.
+    [Stackvm.Verify] performs the same depth computation with a bespoke
+    worklist and hard errors; this pass re-derives it through
+    {!Dataflow} so the linter can cross-check the verifier and flag
+    programs the verifier was never run on. *)
+
+type depth = Depth of int | Conflict
+
+type issue = { pc : int; reason : string }
+
+val check : Stackvm.Program.t -> Stackvm.Program.func -> issue list
+(** Empty on every program [Stackvm.Verify] accepts. *)

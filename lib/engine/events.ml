@@ -16,6 +16,7 @@ type event =
   | Cache_miss of { stage : string; key : string }
   | Stage_time of { id : int; stage : string; ms : float }
   | Counter of { name : string; delta : int }
+  | Diag of { rule : string; location : string; message : string }
 
 type t = {
   mutex : Mutex.t;
@@ -41,6 +42,7 @@ let emit t ev =
       | Cache_hit _ -> bump t "cache.hits" 1
       | Cache_miss _ -> bump t "cache.misses" 1
       | Counter { name; delta } -> bump t name delta
+      | Diag _ -> bump t "diagnostics" 1
       | Batch_start _ | Batch_finish _ | Job_start _ | Stage_time _ -> ());
       match t.sink with None -> () | Some f -> f ev)
 
@@ -99,6 +101,8 @@ let to_json = function
   | Cache_miss { stage; key } -> json [ str "ev" "cache_miss"; str "stage" stage; str "key" key ]
   | Stage_time { id; stage; ms } -> json [ str "ev" "stage_time"; int "id" id; str "stage" stage; flt "ms" ms ]
   | Counter { name; delta } -> json [ str "ev" "counter"; str "name" name; int "delta" delta ]
+  | Diag { rule; location; message } ->
+      json [ str "ev" "diag"; str "rule" rule; str "location" location; str "message" message ]
 
 let json_sink oc ev =
   output_string oc (to_json ev);

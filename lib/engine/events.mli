@@ -25,6 +25,10 @@ type event =
   | Cache_miss of { stage : string; key : string }
   | Stage_time of { id : int; stage : string; ms : float }
   | Counter of { name : string; delta : int }
+  | Diag of { rule : string; location : string; message : string }
+      (** a static-analysis finding (see [Analysis.Diag]; carried as
+          strings so the engine stays analysis-agnostic).  The recorder
+          maintains a derived [diagnostics] counter. *)
 
 type t
 (** A thread-safe recorder. *)

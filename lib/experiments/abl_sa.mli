@@ -1,0 +1,39 @@
+(** ABL-SA: watermark survival against a static adversary armed with the
+    stealth linter (lib/analysis), across the SPEC-analog suite plus
+    Caffeine and Jess-lite.
+
+    VM track: [Vmattacks.Targeted_strip] folds every branch the analyzer
+    proves one-sided, blanks the dead code behind it and drops write-only
+    stores; the experiment checks that the strip preserves behaviour,
+    that the mark nevertheless survives (the payload branches are real
+    dynamic branches — §3.2's stealth claim), and that the [~stealth]
+    embedding gives the analyzer nothing to strip at all.
+
+    Native track: [Nattacks.Static_strip] overwrites flagged
+    branch-function call sites with direct jumps; tamper-proofing (§4.3)
+    turns that from a clean subtractive attack into a program-breaking
+    one. *)
+
+type vm_row = {
+  workload : string;
+  diags_plain : int;  (** linter findings on the plain embedding *)
+  diags_stealth : int;  (** findings on the stealth embedding *)
+  removed : int;  (** instructions folded/blanked/dropped by the strip *)
+  equivalent : bool;  (** stripped program matches outputs on all inputs *)
+  survived : bool;  (** mark recognized after the strip (plain embedding) *)
+  survived_stealth : bool;  (** stealth embedding: mark recognized after strip *)
+}
+
+type native_row = {
+  workload : string;
+  diags : int;  (** linter findings on the tamper-proofed embedding *)
+  patched : int;  (** call sites the attack overwrote *)
+  protected_outcome : string;  (** tamper-proofed binary vs the attack *)
+  unprotected_outcome : string;  (** tamper_proof:false binary vs the attack *)
+}
+
+val run : ?workloads:Workloads.Workload.t list -> unit -> vm_row list * native_row list
+(** [workloads] defaults to the ten SPEC analogs plus the Caffeine suite
+    and the Jess-lite engine. *)
+
+val print : vm_row list * native_row list -> unit

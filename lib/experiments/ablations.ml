@@ -127,7 +127,7 @@ let tamper_row () =
 let generator_cost_row () =
   let rng = Util.Prng.create 7L in
   let bits = List.init 62 (fun i -> i mod 3 = 0) in
-  let loop, _ = Jwm.Codegen.loop_snippet ~rng ~bits ~first_local:0 ~sink_global:0 in
+  let loop, _ = Jwm.Codegen.loop_snippet ~rng ~bits ~first_local:0 ~sink_global:0 () in
   let d = Jwm.Codegen.fallback_discriminator ~counter_global:1 in
   let cond, _ =
     Jwm.Codegen.condition_snippet ~rng ~bits ~discriminator:d ~counter_global:(Some 1) ~first_local:0

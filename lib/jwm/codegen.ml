@@ -2,11 +2,12 @@ open Stackvm
 
 type discriminator = { read : Instr.t; visit0 : int; visit1 : int }
 
-let find_discriminator (s0 : Trace.snapshot) (s1 : Trace.snapshot) ~nlocals =
+let find_discriminator ?(allowed = fun _ -> true) (s0 : Trace.snapshot) (s1 : Trace.snapshot)
+    ~nlocals =
   let local =
     let rec go k =
       if k >= nlocals || k >= Array.length s0.Trace.locals || k >= Array.length s1.Trace.locals then None
-      else if s0.Trace.locals.(k) <> s1.Trace.locals.(k) then
+      else if allowed k && s0.Trace.locals.(k) <> s1.Trace.locals.(k) then
         Some { read = Instr.Load k; visit0 = s0.Trace.locals.(k); visit1 = s1.Trace.locals.(k) }
       else go (k + 1)
     in
@@ -26,12 +27,18 @@ let find_discriminator (s0 : Trace.snapshot) (s1 : Trace.snapshot) ~nlocals =
 let fallback_discriminator ~counter_global =
   { read = Instr.Get_global counter_global; visit0 = 1; visit1 = 2 }
 
-(* Guard the never-executed live update: push an opaquely false value, then
-   an [If] with sense=false — always taken, skipping the update of the sink
+(* Guard the never-executed live update: push a false value, then an [If]
+   with sense=false — always taken, skipping the update of the sink
    global.  [acc_slot] holds the snippet's accumulator, so the update looks
-   like a real data flow into live state. *)
-let live_guard rng ~acc_slot ~pred_slot ~sink_global ~skip_label =
-  List.map (fun i -> Asm.I i) (Opaque.false_predicate rng ~slot:pred_slot)
+   like a real data flow into live state.  The default predicate is an
+   opaquely false shape over [pred_slot]; [?guard] overrides it with a
+   caller-supplied predicate (the stealth mode substitutes trace-derived
+   comparisons a constant folder cannot decide). *)
+let live_guard ?guard rng ~acc_slot ~pred_slot ~sink_global ~skip_label =
+  let predicate =
+    match guard with Some p -> p | None -> Opaque.false_predicate rng ~slot:pred_slot
+  in
+  List.map (fun i -> Asm.I i) predicate
   @ Asm.
       [
         Br (false, skip_label);
@@ -52,7 +59,7 @@ let loop_constant ~bits =
   List.iteri (fun k c -> if c <> priming then constant := !constant lor (1 lsl (k + 1))) bits;
   (!constant, b + 1)
 
-let loop_snippet ~rng ~bits ~first_local ~sink_global =
+let loop_snippet ?guard ~rng ~bits ~first_local ~sink_global () =
   let value_slot = first_local in
   let counter_slot = first_local + 1 in
   let acc_slot = first_local + 2 in
@@ -91,9 +98,16 @@ let loop_snippet ~rng ~bits ~first_local ~sink_global =
         I (Instr.Load counter_slot);
         Br (true, "loop");
       ]
-    @ live_guard rng ~acc_slot ~pred_slot:value_slot ~sink_global ~skip_label:"skip"
+    @ live_guard ?guard rng ~acc_slot ~pred_slot:value_slot ~sink_global ~skip_label:"skip"
   in
   (Asm.assemble body, first_local + 3)
+
+(* Stealth guard predicates: false on every (loop) or every traced
+   (condition) execution, yet statically undecidable — the leaf value is
+   unknown to a constant folder.  At the loop guard [value_slot] has been
+   shifted down to 0, so comparing it to any nonzero constant is false. *)
+let stealth_loop_guard rng ~value_slot =
+  [ Instr.Load value_slot; Instr.Const (1 + Util.Prng.int rng 1000); Instr.Cmp Instr.Eq ]
 
 (* A sentinel value different from both traced values, for the
    constant-true comparisons of 0-bits. *)
@@ -104,10 +118,11 @@ let sentinel rng a b =
   in
   go ()
 
-let find_pool (s0 : Trace.snapshot) (s1 : Trace.snapshot) ~nlocals =
+let find_pool ?(allowed = fun _ -> true) (s0 : Trace.snapshot) (s1 : Trace.snapshot) ~nlocals =
   let locals =
     List.init (min nlocals (min (Array.length s0.Trace.locals) (Array.length s1.Trace.locals)))
       (fun k -> { read = Instr.Load k; visit0 = s0.Trace.locals.(k); visit1 = s1.Trace.locals.(k) })
+    |> List.filteri (fun k _ -> allowed k)
   in
   let globals =
     List.init (min (Array.length s0.Trace.globals) (Array.length s1.Trace.globals)) (fun g ->
@@ -137,7 +152,13 @@ let differs_predicate rng (d : discriminator) =
         [ d.read; Instr.Const (Util.Prng.int_in rng d.visit0 (d.visit1 - 1)); Instr.Cmp Instr.Le ]
       else [ d.read; Instr.Const (Util.Prng.int_in rng (d.visit1 + 1) d.visit0); Instr.Cmp Instr.Ge ]
 
-let condition_snippet ?(pool = []) ~rng ~bits ~discriminator ~counter_global ~first_local
+(* False on both traced visits (the sentinel differs from both recorded
+   values); a later visit may rarely flip it, which only executes the
+   harmless sink update. *)
+let stealth_discriminator_guard rng (d : discriminator) =
+  [ d.read; Instr.Const (sentinel rng d.visit0 d.visit1); Instr.Cmp Instr.Eq ]
+
+let condition_snippet ?(pool = []) ?guard ~rng ~bits ~discriminator ~counter_global ~first_local
     ~sink_global () =
   let acc_slot = first_local in
   let d = discriminator in
@@ -190,6 +211,6 @@ let condition_snippet ?(pool = []) ~rng ~bits ~discriminator ~counter_global ~fi
     prologue
     @ Asm.[ I (Instr.Const 0); I (Instr.Store acc_slot) ]
     @ tests
-    @ live_guard rng ~acc_slot ~pred_slot:acc_slot ~sink_global ~skip_label:"skip_guard"
+    @ live_guard ?guard rng ~acc_slot ~pred_slot:acc_slot ~sink_global ~skip_label:"skip_guard"
   in
   (Asm.assemble body, first_local + 1)

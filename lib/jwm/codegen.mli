@@ -33,15 +33,29 @@ type discriminator = {
 }
 
 val find_discriminator :
-  Stackvm.Trace.snapshot -> Stackvm.Trace.snapshot -> nlocals:int -> discriminator option
+  ?allowed:(int -> bool) ->
+  Stackvm.Trace.snapshot ->
+  Stackvm.Trace.snapshot ->
+  nlocals:int ->
+  discriminator option
 (** Search the two snapshots for a local (preferred) or global whose value
     differs; [nlocals] bounds the slots considered (the host's original
-    slot count — fresh watermark slots are excluded). *)
+    slot count — fresh watermark slots are excluded).  [allowed] further
+    restricts candidate local slots — the embedder passes the verifier's
+    definitely-assigned set at the insertion point so a snippet never reads
+    a local before the host has written it. *)
 
 val loop_snippet :
-  rng:Util.Prng.t -> bits:bool list -> first_local:int -> sink_global:int -> Stackvm.Instr.t list * int
+  ?guard:Stackvm.Instr.t list ->
+  rng:Util.Prng.t ->
+  bits:bool list ->
+  first_local:int ->
+  sink_global:int ->
+  unit ->
+  Stackvm.Instr.t list * int
 (** Returns the snippet and the next free local slot. [first_local] is the
-    first slot the snippet may clobber. *)
+    first slot the snippet may clobber.  [guard] overrides the opaquely
+    false predicate protecting the sink update (see {!stealth_loop_guard}). *)
 
 val loop_constant : bits:bool list -> int * int
 (** The loop's bit constant and iteration count (exposed for tests):
@@ -49,12 +63,18 @@ val loop_constant : bits:bool list -> int * int
     direction [c_{B-1}] and bit [k] is [c_{k-1} lxor c_{B-1}]. *)
 
 val find_pool :
-  Stackvm.Trace.snapshot -> Stackvm.Trace.snapshot -> nlocals:int -> discriminator list
+  ?allowed:(int -> bool) ->
+  Stackvm.Trace.snapshot ->
+  Stackvm.Trace.snapshot ->
+  nlocals:int ->
+  discriminator list
 (** Every variable with recorded values on both visits (whether or not the
-    values differ) — raw material for compound predicates. *)
+    values differ) — raw material for compound predicates.  [allowed]
+    restricts local slots as in {!find_discriminator}. *)
 
 val condition_snippet :
   ?pool:discriminator list ->
+  ?guard:Stackvm.Instr.t list ->
   rng:Util.Prng.t ->
   bits:bool list ->
   discriminator:discriminator ->
@@ -73,3 +93,16 @@ val condition_snippet :
 val fallback_discriminator : counter_global:int -> discriminator
 (** The discriminator induced by a fresh zero-initialized counter global
     that the snippet increments on entry. *)
+
+val stealth_loop_guard : Util.Prng.t -> value_slot:int -> Stackvm.Instr.t list
+(** A guard predicate for the loop snippet that is dynamically always
+    false — the loop leaves [value_slot] at 0, which is compared to a
+    nonzero constant — but statically undecidable by a constant folder
+    (the slot's value at the loop exit is not a compile-time constant). *)
+
+val stealth_discriminator_guard : Util.Prng.t -> discriminator -> Stackvm.Instr.t list
+(** A guard predicate comparing the discriminator to a sentinel value it
+    never took on the traced visits: false whenever the snippet runs under
+    the secret input, unfoldable because the discriminator reads live host
+    state.  (On untraced inputs the guard may occasionally pass; the sink
+    update it protects is semantically inert.) *)

@@ -22,7 +22,21 @@ type report = {
 
 type planned = { p_fidx : int; p_pc : int; p_kind : generator_kind; p_code : Instr.t list }
 
-let embed ?(seed = 0x1234_5678L) ?fuel ?trace spec prog =
+(* A candidate guard predicate survives only if the analyzer cannot fold
+   it to a constant: the stealth mode tries the classic opaque shapes
+   first, watches them fold, and falls back to trace-derived predicates
+   whose leaves are live host state (statically unknown). *)
+let choose_guard ~candidates ~fallback =
+  match
+    List.find_opt
+      (fun p ->
+        match Analysis.Vmconst.eval_pushes p with `Const _ | `Nonzero -> false | `Unknown -> true)
+      candidates
+  with
+  | Some p -> p
+  | None -> fallback
+
+let embed ?(seed = 0x1234_5678L) ?fuel ?trace ?(stealth = false) spec prog =
   let params = Codec.Params.make ~passphrase:spec.passphrase ~watermark_bits:spec.watermark_bits () in
   if not (Codec.Params.fits params spec.watermark) then
     invalid_arg "Embed.embed: watermark does not fit the derived parameters";
@@ -43,17 +57,34 @@ let embed ?(seed = 0x1234_5678L) ?fuel ?trace spec prog =
   let sink_global = prog.Program.nglobals in
   let next_global = ref (sink_global + 1) in
   let statements = Codec.Pieces.select params ~rng ~watermark:spec.watermark ~count:spec.pieces in
+  (* Definitely-assigned local sets of the original functions, computed on
+     demand: snippets may only read host locals every path has written. *)
+  let assigned_cache = Hashtbl.create 8 in
+  let allowed_at fidx pc =
+    let table =
+      match Hashtbl.find_opt assigned_cache fidx with
+      | Some t -> t
+      | None ->
+          let t = Verify.assigned prog.Program.funcs.(fidx) in
+          Hashtbl.replace assigned_cache fidx t;
+          t
+    in
+    match table.(pc) with
+    | Some a -> fun k -> k < Array.length a && a.(k)
+    | None -> fun _ -> false
+  in
   let plan_piece statement =
     let (fidx, pc), _count = sites.(Util.Prng.weighted_index rng weights) in
     let f = prog.Program.funcs.(fidx) in
     let bits = Codec.Statement.bits params statement in
     let first_local = f.Program.nlocals in
+    let allowed = allowed_at fidx pc in
     let snapshots = Option.value ~default:[] (Hashtbl.find_opt trace.Trace.visits (fidx, pc)) in
     let condition_choice =
       match snapshots with
       | s0 :: s1 :: _ -> begin
-          let pool = Codegen.find_pool s0 s1 ~nlocals:f.Program.nlocals in
-          match Codegen.find_discriminator s0 s1 ~nlocals:f.Program.nlocals with
+          let pool = Codegen.find_pool ~allowed s0 s1 ~nlocals:f.Program.nlocals in
+          match Codegen.find_discriminator ~allowed s0 s1 ~nlocals:f.Program.nlocals with
           | Some d -> Some (d, pool, None, Condition_existing)
           | None ->
               let g = !next_global in
@@ -65,13 +96,39 @@ let embed ?(seed = 0x1234_5678L) ?fuel ?trace spec prog =
     match (use_condition, condition_choice) with
     | true, Some (discriminator, pool, counter_global, kind) ->
         (match counter_global with Some _ -> incr next_global | None -> ());
+        let acc_slot = first_local in
+        let guard =
+          if not stealth then None
+          else
+            Some
+              (choose_guard
+                 ~candidates:
+                   [
+                     Opaque.false_predicate rng ~slot:acc_slot;
+                     Codegen.stealth_discriminator_guard rng discriminator;
+                   ]
+                 ~fallback:(Codegen.stealth_discriminator_guard rng discriminator))
+        in
         let code, _ =
-          Codegen.condition_snippet ~pool ~rng ~bits ~discriminator ~counter_global ~first_local
-            ~sink_global ()
+          Codegen.condition_snippet ~pool ?guard ~rng ~bits ~discriminator ~counter_global
+            ~first_local ~sink_global ()
         in
         { p_fidx = fidx; p_pc = pc; p_kind = kind; p_code = code }
     | _ ->
-        let code, _ = Codegen.loop_snippet ~rng ~bits ~first_local ~sink_global in
+        let value_slot = first_local in
+        let guard =
+          if not stealth then None
+          else
+            Some
+              (choose_guard
+                 ~candidates:
+                   [
+                     Opaque.false_predicate rng ~slot:value_slot;
+                     Codegen.stealth_loop_guard rng ~value_slot;
+                   ]
+                 ~fallback:(Codegen.stealth_loop_guard rng ~value_slot))
+        in
+        let code, _ = Codegen.loop_snippet ?guard ~rng ~bits ~first_local ~sink_global () in
         { p_fidx = fidx; p_pc = pc; p_kind = Loop; p_code = code }
   in
   let plans = List.map plan_piece statements in

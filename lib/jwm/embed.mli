@@ -26,12 +26,28 @@ type report = {
   bytes_after : int;
 }
 
-val embed : ?seed:int64 -> ?fuel:int -> ?trace:Stackvm.Trace.t -> spec -> Stackvm.Program.t -> report
+val embed :
+  ?seed:int64 ->
+  ?fuel:int ->
+  ?trace:Stackvm.Trace.t ->
+  ?stealth:bool ->
+  spec ->
+  Stackvm.Program.t ->
+  report
 (** Embed per [spec].  Raises [Invalid_argument] when the watermark does
     not fit the derived parameters, and [Failure] when the program has no
     traced insertion sites (it must execute at least one basic block on the
     secret input).  The result verifies ({!Stackvm.Verify.check}) and is
     semantically equivalent to the input program.
+
+    [stealth] (default false) hardens the sink-update guards against
+    static analysis: each candidate guard predicate is evaluated with
+    {!Analysis.Vmconst} and rejected if it folds to a constant — the
+    classic opaque shapes all fold under residue reasoning — falling back
+    to trace-derived comparisons over live host state, which a sound
+    constant folder must leave undecided.  Under [stealth] the analyzer
+    ({!Analysis.Vmlint}) reports strictly fewer opaque-branch diagnostics
+    on the watermarked program.
 
     [trace], when given, must be a snapshot-bearing
     ({!Stackvm.Trace.capture} with [~want_snapshots:true]) trace of

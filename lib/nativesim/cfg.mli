@@ -36,6 +36,14 @@ val back_edges : t -> (int * int) list
 (** Edges [(src_leader, dst_leader)] where [dst] dominates [src] — the
     back edges of natural loops. *)
 
+val natural_loop : t -> int * int -> (int, unit) Hashtbl.t
+(** [natural_loop t (src, header)] — the body of the back edge's natural
+    loop: every block that can reach [src] without passing through
+    [header], plus [header] itself (keys are block leaders).  Pass an
+    edge obtained from {!back_edges}; arbitrary pairs yield the set of
+    blocks reaching [src], which is only a loop body when [header]
+    dominates [src]. *)
+
 val in_loop : t -> int -> bool
 (** Whether the instruction at the given address belongs to a natural
     loop body (the set of blocks that can reach a back edge's source

@@ -1,0 +1,33 @@
+open Nativesim
+
+(* The analyzer-guided static attack, native track: run the stealth
+   linter over the binary, take every call site it attributes to a
+   branch function, and overwrite the call with a same-size direct jump
+   to the fall-through address — the subtractive attack of §5.2.2, but
+   driven by static signatures instead of a tracing run.  On a binary
+   without tamper-proofing this strips the watermark and keeps the
+   program running; with tamper-proofing the skipped calls never apply
+   their one-shot cell corrections, so the program breaks — the §4.3
+   defence, measured by experiment ABL-SA. *)
+
+type report = {
+  binary : Binary.t;
+  patched_calls : int;  (** flagged call sites overwritten with jumps *)
+  diagnostics : int;  (** total linter findings on the input binary *)
+}
+
+let strip (bin : Binary.t) =
+  let diags = Analysis.Nlint.lint bin in
+  let sites =
+    List.filter_map
+      (fun (d : Analysis.Diag.t) ->
+        match (d.Analysis.Diag.rule, d.Analysis.Diag.loc) with
+        | "branch-call", Analysis.Diag.Native { addr } -> Some addr
+        | _ -> None)
+      diags
+  in
+  let binary =
+    (* call and jmp both encode in 5 bytes, so the patch is in place *)
+    List.fold_left (fun b site -> Rewriter.patch_insn b ~at:site (Insn.Jmp (site + 5))) bin sites
+  in
+  { binary; patched_calls = List.length sites; diagnostics = List.length diags }

@@ -1,0 +1,17 @@
+(** The analyzer-guided static attack, native track (experiment ABL-SA).
+
+    Every call site the stealth linter ({!Analysis.Nlint}) attributes to
+    a branch function is overwritten in place with a same-size direct
+    jump to its fall-through address — the subtractive attack of §5.2.2
+    driven by static signatures instead of a tracing run.  Without
+    tamper-proofing this strips the watermark and keeps the program
+    running; with tamper-proofing the skipped calls never apply their
+    cell corrections and the program breaks. *)
+
+type report = {
+  binary : Nativesim.Binary.t;
+  patched_calls : int;  (** flagged call sites overwritten with jumps *)
+  diagnostics : int;  (** total linter findings on the input binary *)
+}
+
+val strip : Nativesim.Binary.t -> report

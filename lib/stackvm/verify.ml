@@ -92,6 +92,64 @@ let depths_exn (prog : Program.t) (f : Program.func) =
 
 let depths prog f = try Ok (depths_exn prog f) with Bad e -> Error e
 
+(* ---- definite assignment ----
+
+   A must-reach instance of the reaching-definitions analysis, run with
+   the generic worklist solver: the fact at a pc is the set of local slots
+   written on *every* path from the entry (arguments count as written).
+   Loading a slot outside that set means some path reads the local before
+   any store — the JVM verifier rejects such code, and so do we.  The
+   interpreter zero-initializes locals, so this is a strengthening, not a
+   semantic change. *)
+
+module Assigned = Dataflow.Make (struct
+  type t = bool array
+
+  let equal = ( = )
+
+  let join a b = Array.init (Array.length a) (fun i -> a.(i) && b.(i))
+end)
+
+let assigned (f : Program.func) =
+  let n = Array.length f.code in
+  let entry = Array.init f.nlocals (fun slot -> slot < f.nargs) in
+  let transfer pc fact =
+    let after =
+      match f.code.(pc) with
+      | Instr.Store slot when slot < f.nlocals ->
+          let a = Array.copy fact in
+          a.(slot) <- true;
+          a
+      | _ -> fact
+    in
+    let succs =
+      match f.code.(pc) with
+      | Instr.Ret -> []
+      | instr ->
+          let targets = Instr.targets instr in
+          if Instr.falls_through instr then (pc + 1) :: targets else targets
+    in
+    List.filter_map (fun t -> if t >= 0 && t < n then Some (t, after) else None) succs
+  in
+  let facts = Assigned.solve ~seeds:[ (0, entry) ] ~transfer () in
+  Array.init n (fun pc -> Assigned.fact facts pc)
+
+let check_assignment (f : Program.func) =
+  Array.iteri
+    (fun pc fact ->
+      match (f.code.(pc), fact) with
+      | Instr.Load slot, Some a when slot < Array.length a && not a.(slot) ->
+          err f.name pc "local %d may be read before assignment" slot
+      | _ -> ())
+    (assigned f)
+
+let assignment prog f =
+  ignore (prog : Program.t);
+  try
+    check_assignment f;
+    Ok ()
+  with Bad e -> Error e
+
 let check (prog : Program.t) =
   let errors = ref [] in
   (match Program.find_func prog prog.main with
@@ -100,7 +158,11 @@ let check (prog : Program.t) =
       if f.nargs <> 0 then
         errors := { func = prog.main; pc = 0; message = "main must take no arguments" } :: !errors);
   Array.iter
-    (fun f -> match depths prog f with Ok _ -> () | Error e -> errors := e :: !errors)
+    (fun f ->
+      match depths prog f with
+      | Error e -> errors := e :: !errors
+      | Ok _ -> (
+          match assignment prog f with Ok () -> () | Error e -> errors := e :: !errors))
     prog.funcs;
   match !errors with [] -> Ok () | es -> Error (List.rev es)
 

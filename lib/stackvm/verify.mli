@@ -11,7 +11,11 @@
     - stack discipline: a unique, nonnegative operand-stack depth at every
       reachable instruction (computed by abstract interpretation with a
       worklist), matching depths at merge points, depth exactly 1 at [Ret],
-      and enough operands for every instruction. *)
+      and enough operands for every instruction;
+    - definite assignment: no path from the entry may read a local slot
+      before some store writes it (arguments count as written) — a
+      must-reach instance of reaching definitions, run with the generic
+      {!Dataflow} worklist solver, mirroring the JVM verifier's rule. *)
 
 type error = { func : string; pc : int; message : string }
 
@@ -27,3 +31,10 @@ val depths : Program.t -> Program.func -> (int option array, error) result
 (** The inferred stack depth before each instruction ([None] =
     unreachable); exposed for the embedder, which must splice in
     stack-neutral code. *)
+
+val assigned : Program.func -> bool array option array
+(** For each pc, the set of local slots definitely assigned on every path
+    from the entry before that instruction executes ([None] =
+    unreachable).  Exposed for code generators that must only read
+    already-written host locals (the embedder's discriminator search, the
+    branch-insertion attack). *)

@@ -25,23 +25,38 @@ let branch_insertion ~rate rng prog =
       let n = Array.length f.Program.code in
       let branches = Array.fold_left (fun acc i -> if Instr.is_branch i then acc + 1 else acc) 0 f.Program.code in
       let count = int_of_float (rate *. float_of_int (max 1 branches)) in
-      let slot_count = max 1 f.Program.nlocals in
-      let snippet () =
-        let slot = Util.Prng.int rng (min slot_count (max 1 f.Program.nlocals)) in
+      let assigned = Verify.assigned f in
+      let snippet at =
+        (* Only load a slot the verifier proves written on every path to
+           the insertion point; with none available, branch on a constant
+           pushed in place (still a fresh dynamic branch). *)
+        let candidates =
+          match assigned.(at) with
+          | None -> []
+          | Some a ->
+              Array.to_list a
+              |> List.mapi (fun slot ok -> if ok then Some slot else None)
+              |> List.filter_map Fun.id
+        in
+        let operand =
+          match candidates with
+          | [] -> Instr.Const (Util.Prng.int_in rng (-8) 8)
+          | slots -> Instr.Load (List.nth slots (Util.Prng.int rng (List.length slots)))
+        in
         let threshold = Util.Prng.int_in rng (-8) 8 in
         let cmp =
           Util.Prng.pick rng [| Instr.Lt; Instr.Le; Instr.Gt; Instr.Ge; Instr.Eq; Instr.Ne |]
         in
         (* if (local <cmp> c) then {} — direction depends on live data. *)
         [
-          Instr.Load slot;
+          operand;
           Instr.Const threshold;
           Instr.Cmp cmp;
           Instr.If { sense = true; target = 5 };
           Instr.Nop;
         ]
       in
-      let inserts = List.init count (fun _ -> (Util.Prng.int rng n, snippet ())) in
+      let inserts = List.init count (fun _ -> let at = Util.Prng.int rng n in (at, snippet at)) in
       let f = insert_many f inserts in
       Rewrite.with_locals f (max f.Program.nlocals 1))
 
@@ -275,6 +290,7 @@ let all =
     ("dead-code-insertion", dead_code_insertion ~count:5);
     ("block-duplicate", block_duplicate ~count:3);
     ("method-proxy", method_proxy);
+    ("targeted-strip", Targeted_strip.attack);
     ("inline-calls", inline_calls);
   ]
 

@@ -1,0 +1,90 @@
+open Stackvm
+
+(* The analyzer-guided static attack, VM track: instead of distorting the
+   whole program and hoping (§5.1.2), consume the stealth linter's
+   verdicts and surgically remove exactly what it flagged — fold
+   one-sided conditionals, blank the dead blocks they guarded, and drop
+   stores into write-only slots.  Every rewrite is justified by a sound
+   verdict, so the attack preserves semantics; the open question it
+   measures (experiment ABL-SA) is whether the {e watermark} survives.
+   The paper's §3.2 argument predicts it does: the payload branches are
+   ordinary conditionals over live state, indistinguishable from host
+   code, so only the decorations fall. *)
+
+type report = {
+  program : Program.t;
+  folded_branches : int;  (** one-sided [If]s rewritten away *)
+  blanked : int;  (** instructions in const-unreachable blocks nopped *)
+  dropped_stores : int;  (** stores into write-only slots dropped *)
+}
+
+let strip_func (prog : Program.t) (f : Program.func) =
+  let c = Analysis.Vmconst.analyze prog f in
+  let folded = ref 0 and blanked = ref 0 and dropped = ref 0 in
+  let verdicts = Hashtbl.create 8 in
+  List.iter
+    (fun (b : Analysis.Vmconst.branch_info) -> Hashtbl.replace verdicts b.Analysis.Vmconst.br_pc b)
+    c.Analysis.Vmconst.branches;
+  let dead pc =
+    let b = c.Analysis.Vmconst.cfg.Analysis.Vmcfg.block_at.(pc) in
+    c.Analysis.Vmconst.naive.(b) && not c.Analysis.Vmconst.reachable.(b)
+  in
+  (* write-only slots, judged like the linter: loads hidden behind opaque
+     guards sit in blocks about to be blanked, so they do not count *)
+  let loaded = Array.make f.Program.nlocals false in
+  let stored = Array.make f.Program.nlocals false in
+  Array.iteri
+    (fun pc instr ->
+      if not (dead pc) then
+        match instr with
+        | Instr.Load k when k < f.Program.nlocals -> loaded.(k) <- true
+        | Instr.Store k when k < f.Program.nlocals -> stored.(k) <- true
+        | _ -> ())
+    f.Program.code;
+  let write_only k = k < f.Program.nlocals && stored.(k) && not loaded.(k) in
+  let g =
+    Rewrite.expand f ~f:(fun pc instr ->
+        if dead pc then
+          match instr with
+          | Instr.Nop -> None
+          | _ ->
+              incr blanked;
+              Some [ Instr.Nop ]
+        else
+          match Hashtbl.find_opt verdicts pc with
+          | Some b ->
+              incr folded;
+              Some
+                (match b.Analysis.Vmconst.br_verdict with
+                | Analysis.Vmconst.Always -> [ Instr.Pop; Instr.Jump b.Analysis.Vmconst.br_target ]
+                | Analysis.Vmconst.Never -> [ Instr.Pop ])
+          | None -> (
+              match instr with
+              | Instr.Store k when write_only k ->
+                  incr dropped;
+                  Some [ Instr.Pop ]
+              | _ -> None))
+  in
+  (g, !folded, !blanked, !dropped)
+
+let strip (prog : Program.t) =
+  let folded = ref 0 and blanked = ref 0 and dropped = ref 0 in
+  let funcs =
+    Array.map
+      (fun f ->
+        let g, fo, bl, dr = strip_func prog f in
+        folded := !folded + fo;
+        blanked := !blanked + bl;
+        dropped := !dropped + dr;
+        g)
+      prog.Program.funcs
+  in
+  {
+    program = { prog with Program.funcs };
+    folded_branches = !folded;
+    blanked = !blanked;
+    dropped_stores = !dropped;
+  }
+
+(* Suite-compatible shape ({!Attacks.t}); the attack is deterministic. *)
+let attack (_rng : Util.Prng.t) prog = (strip prog).program

@@ -1,0 +1,22 @@
+(** The analyzer-guided static attack, VM track (experiment ABL-SA).
+
+    Consumes {!Analysis.Vmconst} verdicts and surgically removes what the
+    stealth linter flags: one-sided conditionals are folded ([Pop; Jump]
+    or [Pop]), the const-unreachable blocks they guarded are blanked to
+    [Nop], and stores into write-only slots are dropped.  Each rewrite is
+    justified by a sound verdict, so semantics are preserved; the
+    watermark's payload branches are ordinary conditionals over live
+    state and survive — the §3.2 stealth claim this attack tests. *)
+
+type report = {
+  program : Stackvm.Program.t;
+  folded_branches : int;  (** one-sided [If]s rewritten away *)
+  blanked : int;  (** instructions in const-unreachable blocks nopped *)
+  dropped_stores : int;  (** stores into write-only slots dropped *)
+}
+
+val strip : Stackvm.Program.t -> report
+
+val attack : Util.Prng.t -> Stackvm.Program.t -> Stackvm.Program.t
+(** {!Attacks.t}-shaped wrapper (deterministic; the generator is
+    ignored). *)

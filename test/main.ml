@@ -16,5 +16,6 @@ let () =
       ("workloads", Test_workloads.suite);
       ("engine", Test_engine.suite);
       ("cfg", Test_cfg.suite);
+      ("analysis", Test_analysis.suite);
       ("experiments", Test_experiments.suite);
     ]

@@ -1,0 +1,424 @@
+(* Tests for lib/analysis: the generic dataflow solver, the residue
+   domain, constant folding of the watermarker's opaque shapes, the
+   stealth linter on clean and watermarked programs on both tracks, and
+   the analyzer-guided attacks built on top of it. *)
+
+let count rule ds = List.length (List.filter (fun (d : Analysis.Diag.t) -> d.Analysis.Diag.rule = rule) ds)
+
+let all_workloads =
+  Workloads.Spec.all @ [ Workloads.Caffeine.suite ] @ Workloads.Caffeine.kernels
+  @ [ Workloads.Jesslite.engine ]
+
+(* ---- the generic solver ---- *)
+
+module Reach = Dataflow.Make (struct
+  type t = bool
+
+  let equal = Bool.equal
+  let join = ( || )
+end)
+
+let test_dataflow_reachability () =
+  (* 0 -> 1 -> 2 and 1 -> 3; node 4 has no incoming contribution. *)
+  let succs = function 0 -> [ 1 ] | 1 -> [ 2; 3 ] | _ -> [] in
+  let facts =
+    Reach.solve ~seeds:[ (0, true) ] ~transfer:(fun n fact -> List.map (fun s -> (s, fact)) (succs n)) ()
+  in
+  List.iter (fun n -> Alcotest.(check (option bool)) (string_of_int n) (Some true) (Reach.fact facts n)) [ 0; 1; 2; 3 ];
+  Alcotest.(check (option bool)) "unreached node" None (Reach.fact facts 4)
+
+module Count = Dataflow.Make (struct
+  type t = int
+
+  let equal = Int.equal
+  let join = max
+end)
+
+let test_dataflow_max_steps () =
+  (* A self-loop that strictly increases its fact never stabilizes; the
+     solver must fail instead of spinning. *)
+  Alcotest.check_raises "divergence detected" (Failure "Dataflow.solve: fixpoint did not converge")
+    (fun () -> ignore (Count.solve ~max_steps:100 ~seeds:[ (0, 0) ] ~transfer:(fun n fact -> [ (n, fact + 1) ]) ()))
+
+(* ---- the residue domain: abstract transfer agrees with the VM ---- *)
+
+let vm_binops =
+  Stackvm.Instr.[ Add; Sub; Mul; Div; Rem; And; Or; Xor; Shl; Shr ]
+
+let run_binop op a b =
+  let f =
+    Stackvm.Asm.func ~name:"main" ~nargs:0 ~nlocals:0
+      Stackvm.Asm.[ I (Const a); I (Const b); I (Binop op); I Ret ]
+  in
+  (Stackvm.Interp.run (Stackvm.Program.make [ f ]) ~input:[]).Stackvm.Interp.outcome
+
+let qcheck_absval_binop_sound =
+  QCheck.Test.make ~name:"Absval.binop agrees with the interpreter" ~count:500
+    QCheck.(triple small_signed_int small_signed_int (int_bound (List.length vm_binops - 1)))
+    (fun (a, b, opi) ->
+      let op = List.nth vm_binops opi in
+      let const = Analysis.Absval.binop op (Analysis.Absval.Const a) (Analysis.Absval.Const b) in
+      let residue =
+        Analysis.Absval.binop op
+          (Analysis.Absval.of_mask (1 lsl Analysis.Absval.residue a))
+          (Analysis.Absval.of_mask (1 lsl Analysis.Absval.residue b))
+      in
+      match run_binop op a b with
+      | Stackvm.Interp.Finished v ->
+          const = Analysis.Absval.Const v
+          && Analysis.Absval.mask residue land (1 lsl Analysis.Absval.residue v) <> 0
+      | Stackvm.Interp.Trapped _ -> Analysis.Absval.is_bot const
+      | Stackvm.Interp.Out_of_fuel -> false)
+
+let test_absval_truth () =
+  Alcotest.(check (option bool)) "const 0" (Some false) (Analysis.Absval.truth (Analysis.Absval.Const 0));
+  Alcotest.(check (option bool)) "const 7" (Some true) (Analysis.Absval.truth (Analysis.Absval.Const 7));
+  (* residues 1,2,3 exclude the integer 0 *)
+  Alcotest.(check (option bool)) "nonzero residues" (Some true)
+    (Analysis.Absval.truth (Analysis.Absval.of_mask 0b1110));
+  Alcotest.(check (option bool)) "residue 0 may be zero" None
+    (Analysis.Absval.truth (Analysis.Absval.of_mask 0b0001))
+
+(* ---- opaque shapes fold ---- *)
+
+let analyze_main items =
+  let f = Stackvm.Asm.func ~name:"main" ~nargs:0 ~nlocals:2 items in
+  let prog = Stackvm.Program.make [ f ] in
+  Stackvm.Verify.check_exn prog;
+  Analysis.Vmconst.analyze prog f
+
+let test_opaque_product_parity () =
+  (* x * (x + 1) is even: branching on [x*(x+1) rem 2 <> 0] never fires. *)
+  let r =
+    analyze_main
+      Stackvm.Asm.[
+        I Read; I (Store 0);
+        I (Load 0); I (Load 0); I (Const 1); I (Binop Add); I (Binop Mul);
+        I (Const 2); I (Binop Rem);
+        Br (true, "dead");
+        I (Const 0); I Ret;
+        L "dead"; I (Const 1); I Ret;
+      ]
+  in
+  match r.Analysis.Vmconst.branches with
+  | [ b ] -> Alcotest.(check bool) "never taken" true (b.Analysis.Vmconst.br_verdict = Analysis.Vmconst.Never)
+  | bs -> Alcotest.failf "expected one decided branch, got %d" (List.length bs)
+
+let test_opaque_square_residue () =
+  (* x*x mod 4 is 0 or 1, never 2 — the [Dup] keeps the two operands
+     correlated. *)
+  let r =
+    analyze_main
+      Stackvm.Asm.[
+        I Read; I Dup; I (Binop Mul); I (Const 4); I (Binop Rem); I (Const 2); I (Cmp Eq);
+        Br (true, "dead");
+        I (Const 0); I Ret;
+        L "dead"; I (Const 1); I Ret;
+      ]
+  in
+  Alcotest.(check int) "one verdict" 1 (List.length r.Analysis.Vmconst.branches);
+  Alcotest.(check bool) "dead block pruned" false
+    (Array.to_list r.Analysis.Vmconst.reachable = Array.to_list r.Analysis.Vmconst.naive)
+
+let test_uncorrelated_branch_undecided () =
+  (* x * (y + 1): no correlation, no verdict — the folder must not
+     overreach on genuinely input-dependent branches. *)
+  let r =
+    analyze_main
+      Stackvm.Asm.[
+        I Read; I (Store 0); I Read; I (Store 1);
+        I (Load 0); I (Load 1); I (Const 1); I (Binop Add); I (Binop Mul);
+        I (Const 2); I (Binop Rem);
+        Br (true, "other");
+        I (Const 0); I Ret;
+        L "other"; I (Const 1); I Ret;
+      ]
+  in
+  Alcotest.(check int) "no verdict" 0 (List.length r.Analysis.Vmconst.branches)
+
+(* ---- supporting passes ---- *)
+
+let test_dead_store_found () =
+  let f =
+    Stackvm.Asm.func ~name:"main" ~nargs:0 ~nlocals:2
+      Stackvm.Asm.[ I (Const 1); I (Store 0); I (Const 2); I (Store 0); I (Load 0); I Ret ]
+  in
+  (* pc 1 stores a value that is overwritten before any load *)
+  Alcotest.(check (list int)) "dead store pcs" [ 1 ] (Analysis.Vmlive.analyze f).Analysis.Vmlive.dead_stores
+
+let test_reaching_defs () =
+  let f =
+    Stackvm.Asm.func ~name:"main" ~nargs:1 ~nlocals:2
+      Stackvm.Asm.[
+        I (Load 0); Br (true, "write");
+        Jmp "merge";
+        L "write"; I (Const 5); I (Store 1);
+        L "merge"; I (Load 1); I Ret;
+      ]
+  in
+  let r = Analysis.Vmreach.analyze f in
+  let load_pc = 5 in
+  (match f.Stackvm.Program.code.(load_pc) with
+  | Stackvm.Instr.Load 1 -> ()
+  | i -> Alcotest.failf "expected Load 1 at pc %d, got %s" load_pc (Stackvm.Instr.to_string i));
+  let defs = Analysis.Vmreach.reaching_loads r load_pc in
+  (* both the zero-init and the store on the other path may reach *)
+  Alcotest.(check bool) "zero-init reaches" true (List.mem (Analysis.Vmreach.Zero 1) defs);
+  Alcotest.(check bool) "store reaches" true (List.mem (Analysis.Vmreach.Store (1, 4)) defs)
+
+let test_stack_checker_cross_checks_verifier () =
+  (* a looping push: depth at the loop head never stabilizes *)
+  let bad =
+    Stackvm.Program.func ~name:"main" ~nargs:0 ~nlocals:0 [ Stackvm.Instr.Const 1; Stackvm.Instr.Jump 0 ]
+  in
+  let prog = Stackvm.Program.make [ bad ] in
+  Alcotest.(check bool) "issues found" true (Analysis.Vmstack.check prog bad <> []);
+  Alcotest.(check bool) "verifier also rejects" true (Result.is_error (Stackvm.Verify.check prog))
+
+(* ---- the linter: silent on clean code, loud on watermarked ---- *)
+
+let test_clean_vm_workloads_lint_clean () =
+  List.iter
+    (fun (w : Workloads.Workload.t) ->
+      Alcotest.(check int) (w.Workloads.Workload.name ^ " diagnostics") 0
+        (List.length (Analysis.Vmlint.lint (Workloads.Workload.vm_program w))))
+    all_workloads
+
+let clean_bins =
+  lazy
+    (List.map
+       (fun (w : Workloads.Workload.t) -> (w.Workloads.Workload.name, Workloads.Workload.native_binary w))
+       all_workloads)
+
+let corpus_excluding name =
+  List.filter_map
+    (fun (n, b) -> if n = name then None else Some (Analysis.Histogram.of_binary b))
+    (Lazy.force clean_bins)
+
+let test_clean_native_workloads_lint_clean () =
+  List.iter
+    (fun (name, bin) ->
+      Alcotest.(check int) (name ^ " diagnostics") 0
+        (List.length (Analysis.Nlint.lint ~corpus:(corpus_excluding name) bin)))
+    (Lazy.force clean_bins)
+
+let vm_key = "analysis-test-key"
+let vm_mark = Bignum.of_string "48151623421234"
+let vm_bits = 64
+
+let embed_vm ?(stealth = false) (w : Workloads.Workload.t) =
+  let spec =
+    {
+      Jwm.Embed.passphrase = vm_key;
+      watermark = vm_mark;
+      watermark_bits = vm_bits;
+      pieces = 6;
+      input = w.Workloads.Workload.input;
+    }
+  in
+  (Jwm.Embed.embed ~stealth spec (Workloads.Workload.vm_program w)).Jwm.Embed.program
+
+let test_watermarked_caffeine_flagged () =
+  (* acceptance: at least one diagnostic on every non-stealth watermarked
+     Caffeine benchmark, and stealth strictly drops the opaque count. *)
+  List.iter
+    (fun (w : Workloads.Workload.t) ->
+      let plain = Analysis.Vmlint.lint (embed_vm w) in
+      let stealth = Analysis.Vmlint.lint (embed_vm ~stealth:true w) in
+      Alcotest.(check bool) (w.Workloads.Workload.name ^ " flagged") true (List.length plain >= 1);
+      Alcotest.(check bool)
+        (w.Workloads.Workload.name ^ " stealth drops opaque diags")
+        true
+        (count "opaque-branch" stealth < count "opaque-branch" plain))
+    (Workloads.Caffeine.suite :: Workloads.Caffeine.kernels)
+
+(* ---- satellite: verdicts agree with the tracing interpreter ---- *)
+
+let sieve_marked = lazy (embed_vm (List.hd Workloads.Caffeine.kernels))
+
+let vm_verdicts =
+  lazy
+    (let prog = Lazy.force sieve_marked in
+     let tbl = Hashtbl.create 64 in
+     Array.iteri
+       (fun fidx f ->
+         List.iter
+           (fun (b : Analysis.Vmconst.branch_info) ->
+             Hashtbl.replace tbl (fidx, b.Analysis.Vmconst.br_pc) b.Analysis.Vmconst.br_verdict)
+           (Analysis.Vmconst.analyze prog f).Analysis.Vmconst.branches)
+       prog.Stackvm.Program.funcs;
+     tbl)
+
+let qcheck_vm_verdicts_agree =
+  QCheck.Test.make ~name:"VM one-sided verdicts agree with the trace" ~count:100 QCheck.small_nat
+    (fun n ->
+      let prog = Lazy.force sieve_marked in
+      let verdicts = Lazy.force vm_verdicts in
+      Hashtbl.length verdicts > 0
+      &&
+      let trace = Stackvm.Trace.capture ~want_snapshots:false prog ~input:[ (n mod 200) + 2 ] in
+      Array.for_all
+        (fun (e : Stackvm.Trace.branch_event) ->
+          match Hashtbl.find_opt verdicts (e.Stackvm.Trace.fidx, e.Stackvm.Trace.pc) with
+          | None -> true
+          | Some Analysis.Vmconst.Always -> e.Stackvm.Trace.taken
+          | Some Analysis.Vmconst.Never -> not e.Stackvm.Trace.taken)
+        trace.Stackvm.Trace.branches)
+
+let native_branchy =
+  lazy
+    (Nativesim.Asm.assemble
+       {
+         Nativesim.Asm.text =
+           Nativesim.Asm.[
+             (* 6 < 7: provably taken *)
+             I (Nativesim.Insn.Mov_imm (0, 6));
+             I (Nativesim.Insn.Mov_imm (1, 7));
+             I (Nativesim.Insn.Cmp (0, 1));
+             Jcc (Nativesim.Insn.Lt, Lbl "live");
+             I (Nativesim.Insn.Mov_imm (2, 999));
+             I (Nativesim.Insn.Out 2);
+             L "live";
+             (* input-dependent countdown the analyzer must leave alone *)
+             I (Nativesim.Insn.In 3);
+             L "loop";
+             I (Nativesim.Insn.Cmp_imm (3, 0));
+             Jcc (Nativesim.Insn.Le, Lbl "done");
+             I (Nativesim.Insn.Alu_imm (Nativesim.Insn.Sub, 3, 1));
+             Jmp (Lbl "loop");
+             L "done";
+             (* 5 = 0: provably not taken *)
+             I (Nativesim.Insn.Mov_imm (4, 5));
+             I (Nativesim.Insn.Cmp_imm (4, 0));
+             Jcc (Nativesim.Insn.Eq, Lbl "dead");
+             I (Nativesim.Insn.Out 4);
+             L "dead";
+             I Nativesim.Insn.Halt;
+           ];
+         data = [];
+       })
+
+let qcheck_native_verdicts_agree =
+  QCheck.Test.make ~name:"native one-sided verdicts agree with execution" ~count:100
+    QCheck.small_nat (fun n ->
+      let bin = Lazy.force native_branchy in
+      let r = Analysis.Nconst.analyze bin in
+      List.length r.Analysis.Nconst.branches = 2
+      &&
+      let verdicts = Hashtbl.create 4 in
+      List.iter
+        (fun (b : Analysis.Nconst.branch_info) ->
+          Hashtbl.replace verdicts b.Analysis.Nconst.br_addr
+            (b.Analysis.Nconst.br_verdict, b.Analysis.Nconst.br_target))
+        r.Analysis.Nconst.branches;
+      let ok = ref true in
+      let pending = ref None in
+      let observer _state ~addr ~insn:_ =
+        (match !pending with
+        | Some (Analysis.Nconst.Always, target) -> if addr <> target then ok := false
+        | Some (Analysis.Nconst.Never, target) -> if addr = target then ok := false
+        | None -> ());
+        pending := Hashtbl.find_opt verdicts addr
+      in
+      let result = Nativesim.Machine.run ~observer bin ~input:[ n mod 50 ] in
+      result.Nativesim.Machine.outcome = Nativesim.Machine.Halted && !ok)
+
+(* ---- the analyzer-guided attacks ---- *)
+
+let test_targeted_strip_preserves_and_mark_survives () =
+  let w = List.hd Workloads.Caffeine.kernels in
+  let input = w.Workloads.Workload.input in
+  let marked = embed_vm w in
+  let r = Vmattacks.Targeted_strip.strip marked in
+  let stripped = r.Vmattacks.Targeted_strip.program in
+  Alcotest.(check bool) "something folded" true (r.Vmattacks.Targeted_strip.folded_branches > 0);
+  Stackvm.Verify.check_exn stripped;
+  List.iter
+    (fun i ->
+      Alcotest.(check (list int)) "outputs preserved"
+        (Stackvm.Interp.run marked ~input:i).Stackvm.Interp.outputs
+        (Stackvm.Interp.run stripped ~input:i).Stackvm.Interp.outputs)
+    (input :: w.Workloads.Workload.alt_inputs);
+  (* the paper's claim: the mark rides dynamic branches, so a sound
+     static strip cannot remove it *)
+  Alcotest.(check bool) "mark survives" true
+    (Jwm.Recognize.recognizes ~passphrase:vm_key ~watermark_bits:vm_bits ~input ~expected:vm_mark
+       stripped);
+  (* and the strip consumed every opaque-branch verdict it was given *)
+  Alcotest.(check int) "no opaque diagnostics left" 0
+    (count "opaque-branch" (Analysis.Vmlint.lint stripped))
+
+let test_native_lint_and_static_strip () =
+  let w = Workloads.Spec.find "mcf" in
+  let input = w.Workloads.Workload.input in
+  let mark = Bignum.of_string "11184810" in
+  let embed ~tamper_proof =
+    Nwm.Embed.embed ~tamper_proof ~watermark:mark ~bits:24 ~training_input:input
+      (Workloads.Workload.native_program w)
+  in
+  let corpus = corpus_excluding w.Workloads.Workload.name in
+  let unprotected = embed ~tamper_proof:false in
+  let diags = Analysis.Nlint.lint ~corpus unprotected.Nwm.Embed.binary in
+  Alcotest.(check bool) "branch function found" true (count "branch-function" diags >= 1);
+  Alcotest.(check bool) "call sites flagged" true (count "branch-call" diags >= 1);
+  let strip = Nattacks.Static_strip.strip unprotected.Nwm.Embed.binary in
+  Alcotest.(check int) "every flagged call patched" (count "branch-call" diags)
+    strip.Nattacks.Static_strip.patched_calls;
+  (* without tamper-proofing the strip is clean: program runs, mark gone *)
+  let attacked = strip.Nattacks.Static_strip.binary in
+  Alcotest.(check (list int)) "behaviour preserved"
+    (Nativesim.Machine.run unprotected.Nwm.Embed.binary ~input).Nativesim.Machine.outputs
+    (Nativesim.Machine.run attacked ~input).Nativesim.Machine.outputs;
+  let survived =
+    match
+      Nwm.Extract.extract attacked ~begin_addr:unprotected.Nwm.Embed.begin_addr
+        ~end_addr:unprotected.Nwm.Embed.end_addr ~input
+    with
+    | Ok e -> Bignum.equal (Nwm.Extract.watermark e) mark
+    | Error _ -> false
+  in
+  Alcotest.(check bool) "mark stripped from unprotected binary" false survived;
+  (* with tamper-proofing the same strip breaks the program *)
+  let protected_ = embed ~tamper_proof:true in
+  let pstrip = Nattacks.Static_strip.strip protected_.Nwm.Embed.binary in
+  Alcotest.(check bool) "tamper-proofing defends" true
+    (Nattacks.Attacks.broken protected_.Nwm.Embed.binary pstrip.Nattacks.Static_strip.binary
+       ~inputs:[ input ])
+
+(* ---- histogram ---- *)
+
+let test_histogram_separates () =
+  let w = Workloads.Spec.find "mcf" in
+  let corpus = corpus_excluding w.Workloads.Workload.name in
+  let clean = Analysis.Histogram.of_binary (Workloads.Workload.native_binary w) in
+  Alcotest.(check bool) "self-similarity" true (Analysis.Histogram.cosine clean clean > 0.999);
+  let marked =
+    (Nwm.Embed.embed ~watermark:(Bignum.of_int 0xBEEF) ~bits:24
+       ~training_input:w.Workloads.Workload.input (Workloads.Workload.native_program w))
+      .Nwm.Embed.binary
+  in
+  let a_clean = Analysis.Histogram.anomaly ~corpus clean in
+  let a_marked = Analysis.Histogram.anomaly ~corpus (Analysis.Histogram.of_binary marked) in
+  Alcotest.(check bool) "embedding raises the anomaly score" true (a_marked > a_clean)
+
+let suite =
+  [
+    ("dataflow reaches fixpoint", `Quick, test_dataflow_reachability);
+    ("dataflow detects divergence", `Quick, test_dataflow_max_steps);
+    QCheck_alcotest.to_alcotest qcheck_absval_binop_sound;
+    ("absval truth function", `Quick, test_absval_truth);
+    ("opaque x*(x+1) parity folds", `Quick, test_opaque_product_parity);
+    ("opaque square residue folds", `Quick, test_opaque_square_residue);
+    ("uncorrelated branch undecided", `Quick, test_uncorrelated_branch_undecided);
+    ("liveness finds dead store", `Quick, test_dead_store_found);
+    ("reaching definitions at a load", `Quick, test_reaching_defs);
+    ("stack checker agrees with verifier", `Quick, test_stack_checker_cross_checks_verifier);
+    ("clean VM workloads lint clean", `Quick, test_clean_vm_workloads_lint_clean);
+    ("clean native workloads lint clean", `Quick, test_clean_native_workloads_lint_clean);
+    ("watermarked caffeine is flagged, stealth is not", `Quick, test_watermarked_caffeine_flagged);
+    QCheck_alcotest.to_alcotest qcheck_vm_verdicts_agree;
+    QCheck_alcotest.to_alcotest qcheck_native_verdicts_agree;
+    ("targeted strip preserves semantics, mark survives", `Quick, test_targeted_strip_preserves_and_mark_survives);
+    ("native lint guides the static strip", `Quick, test_native_lint_and_static_strip);
+    ("histogram separates marked from clean", `Quick, test_histogram_separates);
+  ]

@@ -86,6 +86,23 @@ let test_ablations_rows () =
         (r.Experiments.Ablations.name <> "" && r.Experiments.Ablations.conclusion <> ""))
     rows
 
+let test_abl_sa_subset () =
+  let ws = [ Workloads.Spec.find "mcf" ] in
+  let vm_rows, native_rows = Experiments.Abl_sa.run ~workloads:ws () in
+  match (vm_rows, native_rows) with
+  | [ vm ], [ native ] ->
+      Alcotest.(check bool) "linter flags the plain embedding" true (vm.Experiments.Abl_sa.diags_plain > 0);
+      Alcotest.(check int) "stealth embedding is invisible" 0 vm.Experiments.Abl_sa.diags_stealth;
+      Alcotest.(check bool) "strip preserves behaviour" true vm.Experiments.Abl_sa.equivalent;
+      Alcotest.(check bool) "mark survives the static strip" true vm.Experiments.Abl_sa.survived;
+      Alcotest.(check bool) "stealth mark survives too" true vm.Experiments.Abl_sa.survived_stealth;
+      Alcotest.(check bool) "native call sites patched" true (native.Experiments.Abl_sa.patched > 0);
+      Alcotest.(check string) "tamper-proofing defends" "program breaks (mark defended)"
+        native.Experiments.Abl_sa.protected_outcome;
+      Alcotest.(check string) "unprotected mark is stripped" "program works, mark stripped"
+        native.Experiments.Abl_sa.unprotected_outcome
+  | _ -> Alcotest.fail "expected one row per track"
+
 let suite =
   [
     ("fig5 at reduced scale", `Slow, test_fig5_small);
@@ -94,4 +111,5 @@ let suite =
     ("fig9 single width", `Slow, test_fig9_single_width);
     ("native table on a subset", `Slow, test_tables_native_subset);
     ("ablations run", `Slow, test_ablations_rows);
+    ("abl-sa on a subset", `Slow, test_abl_sa_subset);
   ]

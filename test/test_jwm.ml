@@ -130,7 +130,7 @@ let test_loop_snippet_emits_bits_at_stride2 () =
   let rng = Util.Prng.create 4L in
   for trial = 1 to 20 do
     let bits = List.init 62 (fun _ -> Util.Prng.bool rng) in
-    let snippet, next_local = Jwm.Codegen.loop_snippet ~rng ~bits ~first_local:1 ~sink_global:0 in
+    let snippet, next_local = Jwm.Codegen.loop_snippet ~rng ~bits ~first_local:1 ~sink_global:0 () in
     let trace = run_snippet_trace snippet ~nlocals:next_local ~nglobals:1 in
     let trace_bits = Trace.bitstring trace in
     (* payload must appear at stride 2 *)
@@ -149,7 +149,7 @@ let test_loop_snippet_emits_bits_at_stride2 () =
 let test_loop_snippet_is_stack_neutral_and_silent () =
   let rng = Util.Prng.create 5L in
   let bits = List.init 62 (fun i -> i mod 3 = 0) in
-  let snippet, next_local = Jwm.Codegen.loop_snippet ~rng ~bits ~first_local:1 ~sink_global:0 in
+  let snippet, next_local = Jwm.Codegen.loop_snippet ~rng ~bits ~first_local:1 ~sink_global:0 () in
   let trace = run_snippet_trace snippet ~nlocals:next_local ~nglobals:1 in
   (match trace.Trace.result.Interp.outcome with
   | Interp.Finished 0 -> ()

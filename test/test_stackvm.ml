@@ -198,6 +198,42 @@ let test_verify_rejects_ret_depth () =
 let test_verify_rejects_missing_main () =
   expect_reject [ Asm.func ~name:"not_main" ~nargs:0 ~nlocals:0 Asm.[ I (Const 0); I Ret ] ]
 
+let test_verify_rejects_read_before_write () =
+  (* Depths agree on both arms of the diamond, so only the
+     definite-assignment rule can reject this: the fall-through path
+     reaches the load without ever storing slot 1. *)
+  let f =
+    Asm.func ~name:"main" ~nargs:0 ~nlocals:2
+      Asm.[
+        I Read; Br (true, "write");
+        Jmp "merge";
+        L "write"; I (Const 7); I (Store 1);
+        L "merge"; I (Load 1); I Ret;
+      ]
+  in
+  match Verify.check (Program.make [ f ]) with
+  | Ok () -> Alcotest.fail "verifier accepted a read-before-write-on-some-path"
+  | Error errs ->
+      let mentions (e : Verify.error) =
+        let sub = "may be read before assignment" and msg = e.Verify.message in
+        let n = String.length sub in
+        let rec at i = i + n <= String.length msg && (String.sub msg i n = sub || at (i + 1)) in
+        at 0
+      in
+      Alcotest.(check bool) "mentions definite assignment" true (List.exists mentions errs)
+
+let test_verify_accepts_write_on_all_paths () =
+  let f =
+    Asm.func ~name:"main" ~nargs:0 ~nlocals:2
+      Asm.[
+        I Read; Br (true, "write");
+        I (Const 3); I (Store 1); Jmp "merge";
+        L "write"; I (Const 7); I (Store 1);
+        L "merge"; I (Load 1); I Ret;
+      ]
+  in
+  Verify.check_exn (Program.make [ f ])
+
 (* ---- the paper's Figure 2 gcd example ---- *)
 
 let gcd_program =
@@ -393,6 +429,8 @@ let suite =
     ("verify rejects falling off end", `Quick, test_verify_rejects_fall_off_end);
     ("verify rejects bad ret depth", `Quick, test_verify_rejects_ret_depth);
     ("verify rejects missing main", `Quick, test_verify_rejects_missing_main);
+    ("verify rejects read-before-write on some path", `Quick, test_verify_rejects_read_before_write);
+    ("verify accepts write on all paths", `Quick, test_verify_accepts_write_on_all_paths);
     ("figure 2 gcd example", `Quick, test_figure2_gcd);
     ("trace captures branches", `Quick, test_trace_captures_branches);
     ("first occurrence decodes to 0", `Quick, test_trace_first_occurrence_is_zero);
