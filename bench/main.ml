@@ -226,6 +226,58 @@ let run_analyze () =
   row (Printf.sprintf "pooled (%d domains):" domains) pool_s;
   Printf.printf "%-28s %8.2fx\n%!" "  speedup over sequential:" (seq_s /. pool_s)
 
+(* ---- fault layer: disabled-injection overhead, noisy-recognition throughput ---- *)
+
+let run_faults () =
+  let marked = Lazy.force watermarked_vm in
+  let trace = Stackvm.Trace.capture ~want_snapshots:false marked ~input:host_input in
+  let events = Array.to_list trace.Stackvm.Trace.branches in
+  let iters = 30 in
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    f ();
+    Unix.gettimeofday () -. t0
+  in
+  let recognize evs =
+    ignore (Jwm.Recognize.recognize_branches ~passphrase:key ~watermark_bits:64 evs)
+  in
+  Printf.printf "=== fault layer: injection overhead and noisy-recognition throughput ===\n%!";
+  Printf.printf "trace: %d branch events, %d iterations per row\n%!" (List.length events) iters;
+  let per_run s = s /. float_of_int iters *. 1000. in
+  let base_s =
+    time (fun () ->
+        for _ = 1 to iters do
+          recognize events
+        done)
+  in
+  Printf.printf "%-34s %8.2f ms/run\n%!" "recognize, no injection layer:" (per_run base_s);
+  let empty_plan = Fault.Inject.make [] in
+  let disabled_s =
+    time (fun () ->
+        for _ = 1 to iters do
+          let evs, _ = Fault.Inject.branches empty_plan ~salt:"bench" events in
+          recognize evs
+        done)
+  in
+  Printf.printf "%-34s %8.2f ms/run  (overhead %+.1f%%)\n%!" "recognize, injection disabled:"
+    (per_run disabled_s)
+    ((disabled_s -. base_s) /. base_s *. 100.);
+  List.iter
+    (fun rate ->
+      let plan = Fault.Inject.make ~seed:7L [ Fault.Spec.Trace_flip rate ] in
+      let s =
+        time (fun () ->
+            for i = 1 to iters do
+              let evs, _ = Fault.Inject.branches plan ~salt:(string_of_int i) events in
+              recognize evs
+            done)
+      in
+      Printf.printf "%-34s %8.2f ms/run  (%6.1f recognitions/s)\n%!"
+        (Printf.sprintf "recognize at %g%% trace noise:" (rate *. 100.))
+        (per_run s)
+        (float_of_int iters /. s))
+    [ 0.0; 0.01; 0.05 ]
+
 let run_figures () =
   Experiments.Fig5.print (Experiments.Fig5.run ());
   let cost = Experiments.Fig8.run_cost () in
@@ -245,9 +297,11 @@ let () =
   let only flag = List.mem flag args in
   let any_only =
     only "--micro-only" || only "--figures-only" || only "--batch-only" || only "--analyze-only"
+    || only "--faults-only"
   in
   let want flag = (not any_only) || only flag in
   if want "--micro-only" then run_micro ();
   if want "--batch-only" then run_batch ();
   if want "--analyze-only" then run_analyze ();
+  if want "--faults-only" then run_faults ();
   if want "--figures-only" then run_figures ()

@@ -80,6 +80,37 @@ let out_t = Arg.(value & opt string "out.bin" & info [ "o"; "output" ] ~docv:"FI
 
 let seed_t = Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"Deterministic randomness seed.")
 
+(* ---- fault injection (lib/fault) ---- *)
+
+let inject_conv =
+  let parse s = match Fault.Spec.parse_list s with Ok specs -> Ok specs | Error e -> Error (`Msg e) in
+  let print ppf specs =
+    Format.pp_print_string ppf (String.concat "," (List.map Fault.Spec.to_string specs))
+  in
+  Arg.conv ~docv:"NAME=RATE,..." (parse, print)
+
+let inject_t =
+  Arg.(
+    value
+    & opt inject_conv []
+    & info [ "inject" ] ~docv:"NAME=RATE,..."
+        ~doc:"Deterministic fault-injection plan, e.g. trace-noise=0.01 (see $(b,pathmark faults)).")
+
+let fault_seed_t =
+  Arg.(
+    value
+    & opt int 1
+    & info [ "fault-seed" ] ~docv:"SEED" ~doc:"Seed for the fault-injection PRNG substreams.")
+
+let plan_of specs fault_seed = Fault.Inject.make ~seed:(Int64.of_int fault_seed) specs
+
+let print_partial (o : Jwm.Recognize.outcome) =
+  let p = o.Jwm.Recognize.partial in
+  Printf.printf "confidence %.3f (pieces %d, primes %d/%d, redundancy margin %d)\n"
+    p.Jwm.Recognize.confidence p.Jwm.Recognize.pieces_recovered p.Jwm.Recognize.primes_covered
+    p.Jwm.Recognize.primes_total p.Jwm.Recognize.redundancy_margin;
+  Option.iter (fun d -> Printf.printf "diagnostic: %s\n" d) o.Jwm.Recognize.diagnostic
+
 (* ---- VM track ---- *)
 
 let load_vm path = Stackvm.Serialize.decode (read_file path)
@@ -102,19 +133,45 @@ let embed_vm_cmd =
     (Cmd.info "embed-vm" ~doc:"Compile a MiniC program and embed a bytecode-track watermark.")
     Term.(const embed_vm $ source $ key_t $ mark_t $ bits_t $ pieces $ input_t $ out_t $ seed_t)
 
-let recognize_vm path key bits input =
-  let prog = load_vm path in
-  match Pathmark.recognize_vm ~key ~bits ~input prog with
-  | Some w -> Printf.printf "fingerprint: %s\n" (Bignum.to_string w)
+let recognize_vm path key bits input inject fault_seed =
+  let plan = plan_of inject fault_seed in
+  let bytes = read_file path in
+  let bytes, artifact_faults =
+    if Fault.Inject.is_empty plan then (bytes, 0)
+    else Fault.Inject.artifact plan ~salt:("artifact:" ^ Filename.basename path) bytes
+  in
+  match Stackvm.Serialize.decode_opt bytes with
   | None ->
-      Printf.printf "no watermark recovered\n";
+      Printf.printf "program undecodable after %d artifact fault(s); nothing recovered\n" artifact_faults;
       exit 1
+  | Some prog ->
+      let o = Jwm.Recognize.recognize ~passphrase:key ~watermark_bits:bits ~input prog in
+      let o =
+        if Fault.Inject.is_empty plan then o
+        else begin
+          (* recognize offline from the fault-injected branch stream *)
+          let trace = Stackvm.Trace.capture ~fuel:200_000_000 ~want_snapshots:false prog ~input in
+          let branches, n =
+            Fault.Inject.branches plan ~salt:"trace" (Array.to_list trace.Stackvm.Trace.branches)
+          in
+          if artifact_faults > 0 || n > 0 then
+            Printf.printf "injected %d artifact fault(s), %d trace fault(s) [%s]\n" artifact_faults n
+              (Fault.Inject.describe plan);
+          Jwm.Recognize.recognize_branches ~passphrase:key ~watermark_bits:bits branches
+        end
+      in
+      print_partial o;
+      (match o.Jwm.Recognize.value with
+      | Some w -> Printf.printf "fingerprint: %s\n" (Bignum.to_string w)
+      | None ->
+          Printf.printf "no watermark recovered\n";
+          exit 1)
 
 let recognize_vm_cmd =
   let path = Arg.(required & pos 0 (some file) None & info [] ~docv:"PROGRAM" ~doc:"Serialized VM program.") in
   Cmd.v
     (Cmd.info "recognize-vm" ~doc:"Recognize a bytecode-track watermark (blind).")
-    Term.(const recognize_vm $ path $ key_t $ bits_t $ input_t)
+    Term.(const recognize_vm $ path $ key_t $ bits_t $ input_t $ inject_t $ fault_seed_t)
 
 let run_vm path input =
   let prog = load_vm path in
@@ -159,6 +216,15 @@ let list_attacks () =
 
 let list_attacks_cmd = Cmd.v (Cmd.info "list-attacks" ~doc:"List the attack suites.") Term.(const list_attacks $ const ())
 
+let faults () =
+  Printf.printf "deterministic fault injection (pass --inject NAME=RATE[,NAME=RATE...] --fault-seed N):\n";
+  List.iter (fun (name, doc) -> Printf.printf "  %-13s %s\n" name doc) Fault.Spec.all_names
+
+let faults_cmd =
+  Cmd.v
+    (Cmd.info "faults" ~doc:"List the fault-injection spec names accepted by --inject.")
+    Term.(const faults $ const ())
+
 let trace_vm path input out =
   let prog = load_vm path in
   let trace = Stackvm.Trace.capture ~want_snapshots:false prog ~input in
@@ -177,11 +243,24 @@ let trace_vm_cmd =
     (Cmd.info "trace-vm" ~doc:"Trace a VM program on an input and save the branch events.")
     Term.(const trace_vm $ path $ input_t $ out_t)
 
-let recognize_trace path key bits_width =
-  let events = Stackvm.Trace.load_branches (read_file path) in
-  let bitstr = Stackvm.Trace.bits_of_branches events in
-  let params = Codec.Params.make ~passphrase:key ~watermark_bits:bits_width () in
-  match (Codec.Recombine.recover_from_bitstring params bitstr).Codec.Recombine.value with
+let recognize_trace path key bits_width inject fault_seed =
+  let plan = plan_of inject fault_seed in
+  let raw = read_file path in
+  let raw, artifact_faults =
+    if Fault.Inject.is_empty plan then (raw, 0)
+    else Fault.Inject.artifact plan ~salt:("artifact:" ^ Filename.basename path) raw
+  in
+  let events, salvage = Stackvm.Trace.salvage_branches raw in
+  Option.iter (Printf.printf "trace salvage: %s\n") salvage;
+  let events, trace_faults =
+    if Fault.Inject.is_empty plan then (events, 0) else Fault.Inject.branches plan ~salt:"trace" events
+  in
+  if artifact_faults > 0 || trace_faults > 0 then
+    Printf.printf "injected %d artifact fault(s), %d trace fault(s) [%s]\n" artifact_faults trace_faults
+      (Fault.Inject.describe plan);
+  let o = Jwm.Recognize.recognize_branches ~passphrase:key ~watermark_bits:bits_width events in
+  print_partial o;
+  match o.Jwm.Recognize.value with
   | Some w -> Printf.printf "fingerprint: %s\n" (Bignum.to_string w)
   | None ->
       Printf.printf "no watermark recovered from trace\n";
@@ -191,7 +270,7 @@ let recognize_trace_cmd =
   let path = Arg.(required & pos 0 (some file) None & info [] ~docv:"TRACE" ~doc:"Saved trace file.") in
   Cmd.v
     (Cmd.info "recognize-trace" ~doc:"Recognize a watermark from a saved trace file (offline).")
-    Term.(const recognize_trace $ path $ key_t $ bits_t)
+    Term.(const recognize_trace $ path $ key_t $ bits_t $ inject_t $ fault_seed_t)
 
 (* ---- native track ---- *)
 
@@ -264,7 +343,7 @@ let builtin_workloads =
   ]
 
 let batch source workload key bits pieces input fingerprints count mark jobs cache_spec events_file
-    out_dir verify retries seed quiet =
+    out_dir verify retries backoff_ms deadline_ms breaker fuel_escalation inject fault_seed seed quiet =
   let workload_entry = List.assoc_opt workload builtin_workloads in
   let program, default_input, host_name =
     match source with
@@ -307,9 +386,22 @@ let batch source workload key bits pieces input fingerprints count mark jobs cac
           ~key ~bits ~pieces ~fingerprint:fp ~input program)
       fingerprints
   in
-  Printf.printf "batch: %d embed jobs on %s, %d domain(s), cache %s\n%!" (List.length job_specs) host_name
-    jobs cache_spec;
-  let results = Engine.Batch.run ~domains:jobs ~retries ?cache ~events job_specs in
+  let policy =
+    {
+      Engine.Batch.default_policy with
+      Engine.Batch.retries;
+      backoff_ms;
+      deadline_ms;
+      breaker_threshold = breaker;
+      fuel_escalation;
+    }
+  in
+  let plan = plan_of inject fault_seed in
+  let run_jobs specs = Engine.Batch.run ~domains:jobs ~policy ~inject:plan ?cache ~events specs in
+  Printf.printf "batch: %d embed jobs on %s, %d domain(s), cache %s%s\n%!" (List.length job_specs)
+    host_name jobs cache_spec
+    (if Fault.Inject.is_empty plan then "" else ", injecting " ^ Fault.Inject.describe plan);
+  let results = run_jobs job_specs in
   let failed = List.filter (fun r -> not (Engine.Batch.ok r)) results in
   Option.iter
     (fun dir ->
@@ -338,7 +430,7 @@ let batch source workload key bits pieces input fingerprints count mark jobs cac
                | _ -> [])
              fingerprints results)
       in
-      let vresults = Engine.Batch.run ~domains:jobs ~retries ?cache ~events recog_jobs in
+      let vresults = run_jobs recog_jobs in
       List.length (List.filter (fun r -> not (Engine.Batch.ok r)) vresults)
     end
   in
@@ -389,13 +481,26 @@ let batch_cmd =
   let retries =
     Arg.(value & opt int 0 & info [ "retries" ] ~docv:"N" ~doc:"Bounded retries per failing job.")
   in
+  let backoff_ms =
+    Arg.(value & opt float 0.0 & info [ "backoff-ms" ] ~docv:"MS" ~doc:"Base delay of the deterministic exponential retry backoff (0 disables sleeping).")
+  in
+  let deadline_ms =
+    Arg.(value & opt (some float) None & info [ "deadline-ms" ] ~docv:"MS" ~doc:"Wall-clock budget for the batch; jobs starting past it fail fast.")
+  in
+  let breaker =
+    Arg.(value & opt int 0 & info [ "breaker" ] ~docv:"K" ~doc:"Circuit breaker: short-circuit a job spec after K consecutive crash-class failures (0 disables).")
+  in
+  let fuel_escalation =
+    Arg.(value & opt float 1.0 & info [ "fuel-escalation" ] ~docv:"F" ~doc:"Scale bounded fuel budgets by F on every retry.")
+  in
   let pieces = Arg.(value & opt int 40 & info [ "pieces" ] ~doc:"Number of redundant pieces per fingerprint.") in
   let quiet = Arg.(value & flag & info [ "quiet"; "q" ] ~doc:"Suppress the human batch report.") in
   Cmd.v
     (Cmd.info "batch" ~doc:"Embed many fingerprints into one host program in parallel (the fleet-fingerprinting engine).")
     Term.(
       const batch $ source $ workload $ key_t $ bits_t $ pieces $ input_t $ fingerprints $ count $ mark_t
-      $ jobs $ cache $ events_file $ out_dir $ verify $ retries $ seed_t $ quiet)
+      $ jobs $ cache $ events_file $ out_dir $ verify $ retries $ backoff_ms $ deadline_ms $ breaker
+      $ fuel_escalation $ inject_t $ fault_seed_t $ seed_t $ quiet)
 
 (* ---- static analysis: the stealth linter ---- *)
 
@@ -501,6 +606,7 @@ let experiment which =
   | "tn" -> Experiments.Tables.print_native (Experiments.Tables.run_native ())
   | "abl" -> Experiments.Ablations.print (Experiments.Ablations.run ())
   | "absa" -> Experiments.Abl_sa.print (Experiments.Abl_sa.run ())
+  | "abfi" -> Experiments.Abl_fi.print (Experiments.Abl_fi.run ())
   | "all" ->
       Experiments.Fig5.print (Experiments.Fig5.run ());
       let cost = Experiments.Fig8.run_cost () in
@@ -514,13 +620,14 @@ let experiment which =
       Experiments.Tables.print_java (Experiments.Tables.run_java ());
       Experiments.Tables.print_native (Experiments.Tables.run_native ());
       Experiments.Ablations.print (Experiments.Ablations.run ());
-      Experiments.Abl_sa.print (Experiments.Abl_sa.run ())
+      Experiments.Abl_sa.print (Experiments.Abl_sa.run ());
+      Experiments.Abl_fi.print (Experiments.Abl_fi.run ())
   | other ->
-      Printf.printf "unknown experiment %s (use f5 f8a f8b f8c f8d f9a f9b tj tn abl absa all)\n" other;
+      Printf.printf "unknown experiment %s (use f5 f8a f8b f8c f8d f9a f9b tj tn abl absa abfi all)\n" other;
       exit 1
 
 let experiment_cmd =
-  let which = Arg.(required & pos 0 (some string) None & info [] ~docv:"ID" ~doc:"Experiment id: f5 f8a f8b f8c f8d f9a f9b tj tn abl absa all.") in
+  let which = Arg.(required & pos 0 (some string) None & info [] ~docv:"ID" ~doc:"Experiment id: f5 f8a f8b f8c f8d f9a f9b tj tn abl absa abfi all.") in
   Cmd.v
     (Cmd.info "experiment" ~doc:"Regenerate a table or figure from the paper.")
     Term.(const experiment $ which)
@@ -538,6 +645,7 @@ let main =
       recognize_trace_cmd;
       attack_vm_cmd;
       list_attacks_cmd;
+      faults_cmd;
       embed_native_cmd;
       extract_native_cmd;
       run_native_cmd;

@@ -159,6 +159,52 @@ let recover ?(cap = 3000) ?(vote_cap = 3) (params : Params.t) statements =
 
 let recover_value ?cap ?vote_cap params statements = (recover ?cap ?vote_cap params statements).value
 
+(* ---- degraded-mode accounting (§3.2's error-tolerance claim, measured) ---- *)
+
+type margin = {
+  pieces_used : int;
+  primes_covered : int;
+  primes_total : int;
+  redundancy_margin : int;
+}
+
+let margin_of_report (params : Params.t) report =
+  let r = Array.length params.primes in
+  let support = Array.make r 0 in
+  List.iter
+    (fun (s : Statement.t) ->
+      support.(s.i) <- support.(s.i) + 1;
+      support.(s.j) <- support.(s.j) + 1)
+    report.used;
+  let covered = Array.fold_left (fun acc c -> acc + if c > 0 then 1 else 0) 0 support in
+  let min_support = Array.fold_left min max_int support in
+  {
+    pieces_used = List.length report.used;
+    primes_covered = covered;
+    primes_total = r;
+    redundancy_margin = (if report.value = None || r = 0 then 0 else max 0 (min_support - 1));
+  }
+
+let confidence params report =
+  let m = margin_of_report params report in
+  if m.primes_total = 0 then 0.0
+  else begin
+    let coverage = float_of_int m.primes_covered /. float_of_int m.primes_total in
+    let consistency =
+      let total = m.pieces_used + report.dropped_by_greedy in
+      if total = 0 then 0.0 else float_of_int m.pieces_used /. float_of_int total
+    in
+    match report.value with
+    | Some _ ->
+        (* recovered: [0.5, 1), growing with the redundancy margin — each
+           extra statement of support on the weakest prime halves the
+           remaining doubt *)
+        0.5 +. (0.5 *. (1.0 -. (0.5 ** float_of_int m.redundancy_margin)))
+    | None ->
+        (* partial evidence only: strictly below every recovered score *)
+        0.45 *. coverage *. consistency
+  end
+
 let harvest ?(dedup_overlaps = true) (params : Params.t) bits ~strides =
   let width = params.block_bits in
   let out = ref [] in

@@ -35,6 +35,28 @@ val recover : ?cap:int -> ?vote_cap:int -> Params.t -> Statement.t list -> repor
 val recover_value : ?cap:int -> ?vote_cap:int -> Params.t -> Statement.t list -> Bignum.t option
 (** Just the recovered watermark. *)
 
+type margin = {
+  pieces_used : int;  (** statements handed to the Generalized CRT *)
+  primes_covered : int;  (** base primes mentioned by some used statement *)
+  primes_total : int;
+  redundancy_margin : int;
+      (** how many more used statements the recovery could lose: the
+          least-supported base prime's support minus one (0 unless the
+          watermark was actually recovered) *)
+}
+
+val margin_of_report : Params.t -> report -> margin
+(** Degraded-mode accounting over a {!recover} report: what was
+    recovered, how much of the prime base it covers, and how far the
+    recovery sits from the coverage cliff. *)
+
+val confidence : Params.t -> report -> float
+(** A score in [0, 1].  Recovered watermarks score in [0.5, 1), growing
+    with {!margin.redundancy_margin} (each extra statement of support on
+    the weakest prime halves the remaining doubt); unrecovered reports
+    score in [0, 0.45] by coverage × consistency, so any recovery
+    outranks any partial. *)
+
 val harvest :
   ?dedup_overlaps:bool -> Params.t -> Util.Bitstring.t -> strides:int list -> Statement.t list
 (** Slide a [block_bits]-wide window over every position of the trace

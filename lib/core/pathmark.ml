@@ -13,6 +13,7 @@ module Nwm = Nwm
 module Nattacks = Nattacks
 module Workloads = Workloads
 module Engine = Engine
+module Fault = Fault
 
 let watermark_vm ?seed ~key ~watermark ~bits ~pieces ~input prog =
   let spec =

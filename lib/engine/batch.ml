@@ -196,13 +196,30 @@ let default_recognize_fuel = 200_000_000
 let match_against expected value =
   Option.map (fun e -> match value with Some v -> Bignum.equal v e | None -> false) expected
 
-let recognize_bits ~key ~bits ~trace_bytes =
+(* Decode the saved trace, apply any injected trace noise, recombine.
+   Degraded recognitions are surfaced as counters: [recognitions.degraded]
+   (recovered despite injected noise) and [recognitions.partial] (not
+   recovered, but some consistent statements survived). *)
+let recognize_bits ?inject ?events ~id ~label ~salt ~key ~bits trace_bytes =
   let branches = Stackvm.Trace.load_branches trace_bytes in
+  let branches, nfaults =
+    match inject with None -> (branches, 0) | Some plan -> Fault.Inject.branches plan ~salt branches
+  in
+  if nfaults > 0 then
+    emit events
+      (Events.Fault_injected
+         { id; label; layer = "trace"; detail = Printf.sprintf "%d branch event(s) corrupted" nfaults });
   let bitstr = Stackvm.Trace.bits_of_branches branches in
   let params = Codec.Params.make ~passphrase:key ~watermark_bits:bits () in
-  (Codec.Recombine.recover_from_bitstring ~strides:[ 1; 2 ] params bitstr).Codec.Recombine.value
+  let report = Codec.Recombine.recover_from_bitstring ~strides:[ 1; 2 ] params bitstr in
+  (match report.Codec.Recombine.value with
+  | Some _ when nfaults > 0 -> emit events (Events.Counter { name = "recognitions.degraded"; delta = 1 })
+  | None when report.Codec.Recombine.used <> [] ->
+      emit events (Events.Counter { name = "recognitions.partial"; delta = 1 })
+  | _ -> ());
+  report.Codec.Recombine.value
 
-let compute_vm ?cache ?events ~id (job : Job.t) program action =
+let compute_vm ?inject ?cache ?events ~id (job : Job.t) program action =
   match (action : Job.vm_action) with
   | Job.Embed { fingerprint; pieces } ->
       let capture () =
@@ -246,7 +263,8 @@ let compute_vm ?cache ?events ~id (job : Job.t) program action =
       in
       let value =
         timed ?events ~id ~stage:"recombine" (fun () ->
-            recognize_bits ~key:job.Job.key ~bits:job.Job.bits ~trace_bytes)
+            recognize_bits ?inject ?events ~id ~label:job.Job.label ~salt:(Job.trace_digest job)
+              ~key:job.Job.key ~bits:job.Job.bits trace_bytes)
       in
       Vm_recognized { value; matched = match_against expected value }
   | Job.Attack_campaign { expected; attacks } ->
@@ -268,7 +286,9 @@ let compute_vm ?cache ?events ~id (job : Job.t) program action =
       in
       Vm_attacked { survived }
 
-let compute_native ?events ~id (job : Job.t) program action =
+let default_native_passes = 5
+
+let compute_native ?inject ?events ~id (job : Job.t) program action =
   match (action : Job.native_action) with
   | Job.Native_embed { fingerprint; tamper_proof } ->
       let report =
@@ -286,15 +306,140 @@ let compute_native ?events ~id (job : Job.t) program action =
         }
   | Job.Native_extract { begin_addr; end_addr; expected } ->
       let binary = timed ?events ~id ~stage:"assemble" (fun () -> Nativesim.Asm.assemble program) in
+      let garbling =
+        match inject with
+        | Some plan when Fault.Inject.garble plan ~salt:"probe" <> None -> Some plan
+        | _ -> None
+      in
       let value =
         timed ?events ~id ~stage:"native-extract" (fun () ->
-            match Nwm.Extract.extract binary ~begin_addr ~end_addr ~input:job.Job.input with
-            | Ok ex -> Some (Nwm.Extract.watermark ex)
-            | Error _ -> None)
+            match garbling with
+            | None -> (
+                match Nwm.Extract.extract binary ~begin_addr ~end_addr ~input:job.Job.input with
+                | Ok ex -> Some (Nwm.Extract.watermark ex)
+                | Error _ -> None)
+            | Some plan ->
+                (* noisy tracer: several independently-garbled views of one
+                   deterministic observation log, majority-voted *)
+                let salt = Job.trace_digest job in
+                let per_pass = Hashtbl.create 4 in
+                let g ~pass v =
+                  let f =
+                    match Hashtbl.find_opt per_pass pass with
+                    | Some f -> f
+                    | None ->
+                        let f =
+                          Option.value ~default:Fun.id
+                            (Fault.Inject.garble plan ~salt:(Printf.sprintf "obs:%s:%d" salt pass))
+                        in
+                        Hashtbl.replace per_pass pass f;
+                        f
+                  in
+                  f v
+                in
+                emit events
+                  (Events.Fault_injected
+                     {
+                       id;
+                       label = job.Job.label;
+                       layer = "obs";
+                       detail =
+                         Printf.sprintf "garbled tracer observations (%d passes, majority vote)"
+                           default_native_passes;
+                     });
+                let d =
+                  Nwm.Extract.extract_degraded ~passes:default_native_passes ~garble:g binary ~begin_addr
+                    ~end_addr ~input:job.Job.input
+                in
+                (match d.Nwm.Extract.value with
+                | Some _ when d.Nwm.Extract.agreement < 1.0 ->
+                    emit events (Events.Counter { name = "recognitions.degraded"; delta = 1 })
+                | None -> emit events (Events.Counter { name = "recognitions.partial"; delta = 1 })
+                | Some _ -> ());
+                d.Nwm.Extract.value)
       in
       Native_extracted { value; matched = match_against expected value }
 
-let execute ?(retries = 0) ?cache ?events ~id (job : Job.t) =
+(* ---- retry policy, deadline budget, circuit breaker ---- *)
+
+type policy = {
+  retries : int;
+  backoff_ms : float;
+  backoff_factor : float;
+  max_backoff_ms : float;
+  fuel_escalation : float;
+  deadline_ms : float option;
+  breaker_threshold : int;
+}
+
+let default_policy =
+  {
+    retries = 0;
+    backoff_ms = 0.0;
+    backoff_factor = 2.0;
+    max_backoff_ms = 250.0;
+    fuel_escalation = 1.0;
+    deadline_ms = None;
+    breaker_threshold = 0;
+  }
+
+let backoff_delay policy ~attempt =
+  if policy.backoff_ms <= 0.0 then 0.0
+  else
+    Float.min policy.max_backoff_ms
+      (policy.backoff_ms *. (policy.backoff_factor ** float_of_int (attempt - 1)))
+
+(* The breaker is keyed by the job's program digest (its spec identity up
+   to action parameters): after [threshold] consecutive crash-class
+   failures of one spec, later jobs on that spec fail fast while their
+   peers proceed.  A success resets the count. *)
+type breaker = {
+  b_mutex : Mutex.t;
+  b_threshold : int;
+  b_consecutive : (string, int) Hashtbl.t;
+  b_open : (string, unit) Hashtbl.t;
+}
+
+let breaker_create ~threshold =
+  {
+    b_mutex = Mutex.create ();
+    b_threshold = threshold;
+    b_consecutive = Hashtbl.create 8;
+    b_open = Hashtbl.create 8;
+  }
+
+let breaker_blocked br key =
+  Mutex.lock br.b_mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock br.b_mutex) (fun () -> Hashtbl.mem br.b_open key)
+
+let breaker_note ?events br ~label key ~crashed =
+  Mutex.lock br.b_mutex;
+  let trip =
+    Fun.protect
+      ~finally:(fun () -> Mutex.unlock br.b_mutex)
+      (fun () ->
+        if not crashed then begin
+          Hashtbl.remove br.b_consecutive key;
+          None
+        end
+        else begin
+          let n = 1 + Option.value ~default:0 (Hashtbl.find_opt br.b_consecutive key) in
+          Hashtbl.replace br.b_consecutive key n;
+          if n >= br.b_threshold && not (Hashtbl.mem br.b_open key) then begin
+            Hashtbl.replace br.b_open key ();
+            Some n
+          end
+          else None
+        end)
+  in
+  Option.iter (fun failures -> emit events (Events.Breaker_open { label; key; failures })) trip
+
+exception Injected_crash
+
+let () =
+  Printexc.register_printer (function Injected_crash -> Some "injected worker crash" | _ -> None)
+
+let execute ?(policy = default_policy) ?inject ?breaker ?deadline_at ?cache ?events ~id (job : Job.t) =
   let t0 = now () in
   emit events (Events.Job_start { id; label = job.Job.label; domain = (Domain.self () :> int) });
   let finish outcome ~attempts ~from_cache =
@@ -314,7 +459,15 @@ let execute ?(retries = 0) ?cache ?events ~id (job : Job.t) =
     { job; outcome; ms; attempts; from_cache }
   in
   let stage = Job.kind job in
-  let digest = lazy (Job.digest job) in
+  (* an active fault plan changes what a job computes, so its results must
+     not share cache entries with clean runs of the same spec *)
+  let digest =
+    lazy
+      (match inject with
+      | Some plan -> Digest.to_hex (Digest.string (Job.digest job ^ "+" ^ Fault.Inject.describe plan))
+      | None -> Job.digest job)
+  in
+  let over_deadline () = match deadline_at with Some t -> now () >= t | None -> false in
   let cached_outcome =
     match cache with
     | None -> None
@@ -324,27 +477,110 @@ let execute ?(retries = 0) ?cache ?events ~id (job : Job.t) =
   match cached_outcome with
   | Some outcome -> finish outcome ~attempts:0 ~from_cache:true
   | None ->
-      let compute () =
-        match job.Job.payload with
-        | Job.Vm { program; action } -> compute_vm ?cache ?events ~id job program action
-        | Job.Native { program; action } -> compute_native ?events ~id job program action
-      in
-      let rec attempt n =
-        match compute () with
-        | outcome ->
-            Option.iter
-              (fun c -> Cache.store_bytes c ~stage ~key:(Lazy.force digest) (encode_outcome outcome))
-              cache;
-            finish outcome ~attempts:n ~from_cache:false
-        | exception e ->
-            let reason = Printexc.to_string e in
-            if n > retries then finish (Failed { reason; attempts = n }) ~attempts:n ~from_cache:false
-            else begin
-              emit events (Events.Job_retry { id; label = job.Job.label; attempt = n; reason });
-              attempt (n + 1)
-            end
-      in
-      attempt 1
+      let spec_key = Job.program_digest job in
+      if (match breaker with Some br -> breaker_blocked br spec_key | None -> false) then begin
+        emit events (Events.Counter { name = "breaker.short_circuits"; delta = 1 });
+        finish
+          (Failed { reason = "circuit breaker open for this job spec"; attempts = 0 })
+          ~attempts:0 ~from_cache:false
+      end
+      else if over_deadline () then
+        finish (Failed { reason = "batch deadline exhausted"; attempts = 0 }) ~attempts:0 ~from_cache:false
+      else begin
+        (* a fuel-cut fault shrinks the base budget once; escalation then
+           regrows it per retry, so a transiently starved job can recover *)
+        let base_fuel =
+          match inject with
+          | None -> job.Job.fuel
+          | Some plan ->
+              let cut = Fault.Inject.adjust_fuel plan job.Job.fuel in
+              if cut <> job.Job.fuel then
+                emit events
+                  (Events.Fault_injected
+                     {
+                       id;
+                       label = job.Job.label;
+                       layer = "fuel";
+                       detail =
+                         Printf.sprintf "fuel budget cut to %s"
+                           (match cut with Some f -> string_of_int f | None -> "unlimited");
+                     });
+              cut
+        in
+        let job_for_attempt n =
+          match base_fuel with
+          | Some f when policy.fuel_escalation > 1.0 && n > 1 ->
+              let scaled = float_of_int f *. (policy.fuel_escalation ** float_of_int (n - 1)) in
+              { job with Job.fuel = Some (int_of_float (Float.min scaled 1e15)) }
+          | fuel -> { job with Job.fuel }
+        in
+        let compute n =
+          (match inject with
+          | Some plan
+            when Fault.Inject.crash_decision plan ~salt:(Printf.sprintf "crash:%s:%d" (Lazy.force digest) n)
+            ->
+              emit events
+                (Events.Fault_injected
+                   {
+                     id;
+                     label = job.Job.label;
+                     layer = "crash";
+                     detail = Printf.sprintf "worker crash on attempt %d" n;
+                   });
+              raise Injected_crash
+          | _ -> ());
+          let j = job_for_attempt n in
+          match j.Job.payload with
+          | Job.Vm { program; action } -> compute_vm ?inject ?cache ?events ~id j program action
+          | Job.Native { program; action } -> compute_native ?inject ?events ~id j program action
+        in
+        let note_crash crashed =
+          match breaker with
+          | Some br -> breaker_note ?events br ~label:job.Job.label spec_key ~crashed
+          | None -> ()
+        in
+        let rec attempt n =
+          match compute n with
+          | outcome ->
+              note_crash false;
+              Option.iter
+                (fun c ->
+                  let bytes = encode_outcome outcome in
+                  let bytes =
+                    match inject with
+                    | None -> bytes
+                    | Some plan ->
+                        let corrupted, fired =
+                          Fault.Inject.cache_entry plan ~salt:("cache:" ^ Lazy.force digest) bytes
+                        in
+                        if fired then
+                          emit events
+                            (Events.Fault_injected
+                               {
+                                 id;
+                                 label = job.Job.label;
+                                 layer = "cache";
+                                 detail = "stored result entry corrupted";
+                               });
+                        corrupted
+                  in
+                  Cache.store_bytes c ~stage ~key:(Lazy.force digest) bytes)
+                cache;
+              finish outcome ~attempts:n ~from_cache:false
+          | exception e ->
+              note_crash true;
+              let reason = Printexc.to_string e in
+              if n > policy.retries || over_deadline () then
+                finish (Failed { reason; attempts = n }) ~attempts:n ~from_cache:false
+              else begin
+                let backoff_ms = backoff_delay policy ~attempt:n in
+                emit events (Events.Job_retry { id; label = job.Job.label; attempt = n; reason; backoff_ms });
+                if backoff_ms > 0.0 then Unix.sleepf (backoff_ms /. 1000.0);
+                attempt (n + 1)
+              end
+        in
+        attempt 1
+      end
 
 (* Capture each distinct embed trace once, up front, so concurrently
    starting jobs on the same (program, input) share it instead of racing
@@ -372,11 +608,28 @@ let prewarm ~domains ?cache ?events jobs =
       let thunks = Hashtbl.fold (fun _ thunk acc -> thunk :: acc) distinct [] in
       if thunks <> [] then ignore (Pool.run_list ~domains thunks)
 
-let run ?(domains = 1) ?retries ?cache ?events jobs =
+let run ?(domains = 1) ?retries ?policy ?inject ?cache ?events jobs =
+  let policy =
+    match (policy, retries) with
+    | Some p, Some r -> { p with retries = r }
+    | Some p, None -> p
+    | None, Some r -> { default_policy with retries = r }
+    | None, None -> default_policy
+  in
+  let inject = match inject with Some p when not (Fault.Inject.is_empty p) -> Some p | _ -> None in
   let t0 = now () in
   emit events (Events.Batch_start { jobs = List.length jobs; domains = max 1 domains });
   prewarm ~domains ?cache ?events jobs;
-  let thunks = List.mapi (fun id job -> fun () -> execute ?retries ?cache ?events ~id job) jobs in
+  let deadline_at = Option.map (fun ms -> t0 +. (ms /. 1000.0)) policy.deadline_ms in
+  let breaker =
+    if policy.breaker_threshold > 0 then Some (breaker_create ~threshold:policy.breaker_threshold)
+    else None
+  in
+  let thunks =
+    List.mapi
+      (fun id job -> fun () -> execute ~policy ?inject ?breaker ?deadline_at ?cache ?events ~id job)
+      jobs
+  in
   let results =
     List.map2
       (fun job -> function

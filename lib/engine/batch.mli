@@ -50,13 +50,47 @@ val decode_outcome : string -> outcome option
 (** [None] on malformed bytes (a corrupt spill file is a cache miss, not
     a crash). *)
 
+type policy = {
+  retries : int;  (** a failing job is attempted [1 + retries] times *)
+  backoff_ms : float;  (** base delay before the first retry; 0 disables sleeping *)
+  backoff_factor : float;  (** multiplier per further attempt (default 2.0) *)
+  max_backoff_ms : float;  (** backoff ceiling *)
+  fuel_escalation : float;
+      (** > 1.0 scales a bounded fuel budget up on every retry, so a job
+          starved by a fuel-cut fault can recover *)
+  deadline_ms : float option;
+      (** wall-clock budget for the whole batch: jobs starting (or
+          retrying) past it fail fast with ["batch deadline exhausted"] *)
+  breaker_threshold : int;
+      (** after this many {e consecutive} crash-class failures of one job
+          spec (keyed by {!Job.program_digest}), later jobs on that spec
+          are short-circuited to [Failed] while peers proceed; 0 disables
+          the breaker *)
+}
+
+val default_policy : policy
+(** No retries, no backoff, no fuel escalation, no deadline, breaker off
+    — exactly the pre-policy behaviour. *)
+
+exception Injected_crash
+(** Raised inside a worker when a [crash]-fault plan fires; rides the
+    ordinary retry/breaker path like any other job exception. *)
+
 val run :
   ?domains:int ->
   ?retries:int ->
+  ?policy:policy ->
+  ?inject:Fault.Inject.plan ->
   ?cache:Cache.t ->
   ?events:Events.t ->
   Job.t list ->
   result list
 (** Execute the jobs; results are in job order.  [domains] defaults to 1
-    (sequential), [retries] to 0 (a failing job is attempted
-    [1 + retries] times). *)
+    (sequential).  [retries] is a shorthand that overrides
+    [policy.retries].  [inject] applies a deterministic fault plan inside
+    the run — trace noise before recombination, observation garbling in
+    the native tracer (majority-voted over several passes), worker
+    crashes, fuel cuts, corrupted result-cache entries.  Faulted runs
+    cache under a digest salted with the plan, so they never poison clean
+    results.  No injected fault escapes as an exception: every job still
+    returns a typed outcome. *)

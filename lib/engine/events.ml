@@ -11,7 +11,9 @@ type event =
       attempts : int;
       cached : bool;
     }
-  | Job_retry of { id : int; label : string; attempt : int; reason : string }
+  | Job_retry of { id : int; label : string; attempt : int; reason : string; backoff_ms : float }
+  | Fault_injected of { id : int; label : string; layer : string; detail : string }
+  | Breaker_open of { label : string; key : string; failures : int }
   | Cache_hit of { stage : string; key : string }
   | Cache_miss of { stage : string; key : string }
   | Stage_time of { id : int; stage : string; ms : float }
@@ -39,6 +41,8 @@ let emit t ev =
       (match ev with
       | Job_finish { ok; _ } -> bump t (if ok then "jobs.ok" else "jobs.failed") 1
       | Job_retry _ -> bump t "jobs.retries" 1
+      | Fault_injected _ -> bump t "faults.injected" 1
+      | Breaker_open _ -> bump t "breaker.trips" 1
       | Cache_hit _ -> bump t "cache.hits" 1
       | Cache_miss _ -> bump t "cache.misses" 1
       | Counter { name; delta } -> bump t name delta
@@ -95,8 +99,16 @@ let to_json = function
           str "ev" "job_finish"; int "id" id; str "label" label; bool "ok" ok; str "detail" detail;
           flt "ms" ms; int "attempts" attempts; bool "cached" cached;
         ]
-  | Job_retry { id; label; attempt; reason } ->
-      json [ str "ev" "job_retry"; int "id" id; str "label" label; int "attempt" attempt; str "reason" reason ]
+  | Job_retry { id; label; attempt; reason; backoff_ms } ->
+      json
+        [
+          str "ev" "job_retry"; int "id" id; str "label" label; int "attempt" attempt;
+          str "reason" reason; flt "backoff_ms" backoff_ms;
+        ]
+  | Fault_injected { id; label; layer; detail } ->
+      json [ str "ev" "fault_injected"; int "id" id; str "label" label; str "layer" layer; str "detail" detail ]
+  | Breaker_open { label; key; failures } ->
+      json [ str "ev" "breaker_open"; str "label" label; str "key" key; int "failures" failures ]
   | Cache_hit { stage; key } -> json [ str "ev" "cache_hit"; str "stage" stage; str "key" key ]
   | Cache_miss { stage; key } -> json [ str "ev" "cache_miss"; str "stage" stage; str "key" key ]
   | Stage_time { id; stage; ms } -> json [ str "ev" "stage_time"; int "id" id; str "stage" stage; flt "ms" ms ]
@@ -132,6 +144,16 @@ let report t =
     (Printf.sprintf "ok: %d  failed: %d  retries: %d\n" (get "jobs.ok") (get "jobs.failed")
        (get "jobs.retries"));
   Buffer.add_string buf (Printf.sprintf "cache: %d hits, %d misses\n" (get "cache.hits") (get "cache.misses"));
+  if get "faults.injected" > 0 || get "breaker.trips" > 0 || get "breaker.short_circuits" > 0 then
+    Buffer.add_string buf
+      (Printf.sprintf "faults: %d injected  breaker: %d trips, %d short-circuits\n" (get "faults.injected")
+         (get "breaker.trips")
+         (get "breaker.short_circuits"));
+  if get "recognitions.partial" > 0 || get "recognitions.degraded" > 0 then
+    Buffer.add_string buf
+      (Printf.sprintf "partial recovery: %d degraded recognitions, %d partial-only\n"
+         (get "recognitions.degraded")
+         (get "recognitions.partial"));
   (match finished with
   | [] -> ()
   | _ :: _ ->
@@ -152,7 +174,12 @@ let report t =
   let user_counters =
     List.filter
       (fun (name, _) ->
-        not (List.mem name [ "jobs.ok"; "jobs.failed"; "jobs.retries"; "cache.hits"; "cache.misses" ]))
+        not
+          (List.mem name
+             [
+               "jobs.ok"; "jobs.failed"; "jobs.retries"; "cache.hits"; "cache.misses"; "faults.injected";
+               "breaker.trips"; "breaker.short_circuits"; "recognitions.partial"; "recognitions.degraded";
+             ]))
       counters
   in
   List.iter (fun (name, v) -> Buffer.add_string buf (Printf.sprintf "  counter %s = %d\n" name v)) user_counters;

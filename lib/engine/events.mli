@@ -20,7 +20,18 @@ type event =
       attempts : int;  (** 0 when served from the result cache *)
       cached : bool;
     }
-  | Job_retry of { id : int; label : string; attempt : int; reason : string }
+  | Job_retry of { id : int; label : string; attempt : int; reason : string; backoff_ms : float }
+      (** [backoff_ms] is the deterministic exponential-backoff delay slept
+          before the next attempt *)
+  | Fault_injected of { id : int; label : string; layer : string; detail : string }
+      (** a deterministic fault fired — [layer] is one of ["trace"],
+          ["crash"], ["fuel"], ["cache"]; the recorder maintains a derived
+          [faults.injected] counter *)
+  | Breaker_open of { label : string; key : string; failures : int }
+      (** the circuit breaker tripped for job spec [key] after [failures]
+          consecutive crash-class failures; later jobs on the same spec are
+          short-circuited ([breaker.short_circuits] counter) while their
+          peers proceed *)
   | Cache_hit of { stage : string; key : string }
   | Cache_miss of { stage : string; key : string }
   | Stage_time of { id : int; stage : string; ms : float }
@@ -48,7 +59,8 @@ val count : t -> (event -> bool) -> int
 val counters : t -> (string * int) list
 (** Accumulated {!Counter} totals plus derived totals maintained by the
     recorder itself ([jobs.ok], [jobs.failed], [jobs.retries],
-    [cache.hits], [cache.misses]), sorted by name. *)
+    [cache.hits], [cache.misses], [faults.injected], [breaker.trips]),
+    sorted by name. *)
 
 val to_json : event -> string
 (** One event as a single-line JSON object. *)

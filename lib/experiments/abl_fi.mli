@@ -1,0 +1,39 @@
+(** ABL-FI: error tolerance under deterministic fault injection.
+
+    Sweeps an injected trace-noise rate over every workload on both
+    tracks and measures recognition rate and mean confidence — the §3.2
+    redundancy claim, quantified.  VM-track noise flips recorded branch
+    decisions ([trace-flip]); native-track noise garbles single-step
+    observations ([obs-garble]), countered by multi-pass majority voting
+    in {!Nwm.Extract.vote}. *)
+
+type cell = {
+  rate : float;  (** injected noise rate *)
+  recognized : int;  (** trials that recovered the exact fingerprint *)
+  trials : int;
+  mean_confidence : float;  (** degraded-mode confidence, averaged over trials *)
+}
+
+type row = {
+  workload : string;
+  cells : cell list;  (** one per swept rate, in sweep order *)
+  tolerated : float;
+      (** largest swept rate below which every trial still recovered the
+          exact fingerprint *)
+}
+
+type t = { rates : float list; trials : int; passes : int; vm : row list; native : row list }
+
+val default_rates : float list
+
+val run :
+  ?rates:float list ->
+  ?trials:int ->
+  ?passes:int ->
+  ?workloads:Workloads.Workload.t list ->
+  unit ->
+  t
+(** [trials] defaults to 3 per rate, [passes] (native majority vote) to 5,
+    [workloads] to the ten SPEC analogs plus Caffeine and Jess-lite. *)
+
+val print : t -> unit

@@ -1,0 +1,82 @@
+type t =
+  | Trace_flip of float
+  | Trace_drop of float
+  | Trace_dup of float
+  | Trace_trunc of float
+  | Byte_flip of float
+  | Bit_flip of float
+  | Obs_garble of float
+  | Crash of float
+  | Fuel_cut of float
+  | Cache_corrupt of float
+
+let constructors =
+  [
+    ("trace-flip", (fun r -> Trace_flip r), "flip each recorded branch decision with probability RATE");
+    ("trace-drop", (fun r -> Trace_drop r), "drop each branch event with probability RATE");
+    ("trace-dup", (fun r -> Trace_dup r), "duplicate each branch event with probability RATE");
+    ("trace-trunc", (fun r -> Trace_trunc r), "truncate the final RATE fraction of the trace");
+    ("byte-flip", (fun r -> Byte_flip r), "replace each artifact byte with a random byte with probability RATE");
+    ("bit-flip", (fun r -> Bit_flip r), "flip each artifact bit with probability RATE");
+    ("obs-garble", (fun r -> Obs_garble r), "garble each single-step observation with probability RATE");
+    ("crash", (fun r -> Crash r), "crash each job attempt with probability RATE (simulated worker death)");
+    ("fuel-cut", (fun r -> Fuel_cut r), "multiply every fuel budget by RATE (premature exhaustion)");
+    ("cache-corrupt", (fun r -> Cache_corrupt r), "corrupt each cache entry as it is stored with probability RATE");
+  ]
+
+let name_of = function
+  | Trace_flip _ -> "trace-flip"
+  | Trace_drop _ -> "trace-drop"
+  | Trace_dup _ -> "trace-dup"
+  | Trace_trunc _ -> "trace-trunc"
+  | Byte_flip _ -> "byte-flip"
+  | Bit_flip _ -> "bit-flip"
+  | Obs_garble _ -> "obs-garble"
+  | Crash _ -> "crash"
+  | Fuel_cut _ -> "fuel-cut"
+  | Cache_corrupt _ -> "cache-corrupt"
+
+let rate_of = function
+  | Trace_flip r | Trace_drop r | Trace_dup r | Trace_trunc r | Byte_flip r | Bit_flip r
+  | Obs_garble r | Crash r | Fuel_cut r | Cache_corrupt r ->
+      r
+
+let to_string t = Printf.sprintf "%s=%g" (name_of t) (rate_of t)
+
+let describe t =
+  let _, _, doc = List.find (fun (n, _, _) -> n = name_of t) constructors in
+  Printf.sprintf "%-14s %s (rate %g)" (name_of t) doc (rate_of t)
+
+let all_names = List.map (fun (n, _, doc) -> (n, doc)) constructors
+
+let parse s =
+  match String.index_opt s '=' with
+  | None -> Error (Printf.sprintf "fault spec %S: expected NAME=RATE" s)
+  | Some i -> begin
+      let name = String.trim (String.sub s 0 i) in
+      let value = String.trim (String.sub s (i + 1) (String.length s - i - 1)) in
+      (* [trace-noise] is the documented alias for the headline fault *)
+      let name = if name = "trace-noise" then "trace-flip" else name in
+      match List.find_opt (fun (n, _, _) -> n = name) constructors with
+      | None ->
+          Error
+            (Printf.sprintf "unknown fault %S (expected one of %s)" name
+               (String.concat ", " ("trace-noise" :: List.map (fun (n, _, _) -> n) constructors)))
+      | Some (_, make, _) -> begin
+          match float_of_string_opt value with
+          | None -> Error (Printf.sprintf "fault %s: invalid rate %S" name value)
+          | Some r when r < 0.0 || r > 1.0 ->
+              Error (Printf.sprintf "fault %s: rate %g outside [0, 1]" name r)
+          | Some r -> Ok (make r)
+        end
+    end
+
+let parse_list s =
+  let parts = List.filter (fun p -> String.trim p <> "") (String.split_on_char ',' s) in
+  List.fold_left
+    (fun acc part ->
+      match (acc, parse (String.trim part)) with
+      | Error _, _ -> acc
+      | Ok _, Error e -> Error e
+      | Ok fs, Ok f -> Ok (fs @ [ f ]))
+    (Ok []) parts

@@ -1,0 +1,50 @@
+(** Corruption models — one constructor per way the pipeline can degrade.
+
+    The paper's robustness claim (§3.2, §5.1.2) is that the CRT-redundant
+    piece encoding tolerates {e partial} destruction of the trace; this
+    module names the concrete ways destruction happens, so experiments and
+    tests can sweep them deterministically instead of hand-waving about
+    "noise".  Three families:
+
+    - {b trace faults} perturb the recorded branch-event stream (a noisy
+      or lossy tracer, an execution-flow perturbation a la WaterRPG);
+    - {b artifact faults} flip bits/bytes in serialized programs, binary
+      images, saved traces and cache spill entries (storage or transport
+      corruption);
+    - {b execution faults} break the run itself: injected worker crashes,
+      shrunk fuel budgets, garbled single-step observations.
+
+    Every fault is parameterized by a rate in [0, 1] and applied through a
+    seeded PRNG (see {!Inject}), so a given (seed, spec) pair corrupts
+    identically on every run. *)
+
+type t =
+  | Trace_flip of float  (** flip each branch decision with this probability *)
+  | Trace_drop of float  (** drop each branch event *)
+  | Trace_dup of float  (** emit each branch event twice *)
+  | Trace_trunc of float  (** cut this fraction off the end of the trace *)
+  | Byte_flip of float  (** replace each artifact byte with a random byte *)
+  | Bit_flip of float  (** flip each artifact bit *)
+  | Obs_garble of float  (** garble each single-step tracer observation *)
+  | Crash of float  (** crash each job attempt (a dying worker) *)
+  | Fuel_cut of float  (** multiply every fuel budget by this factor *)
+  | Cache_corrupt of float  (** corrupt each cache entry as it is stored *)
+
+val parse : string -> (t, string) result
+(** Parse a [name=rate] spec as accepted by the CLI's [--inject] flag:
+    [trace-noise] (alias of [trace-flip]), [trace-flip], [trace-drop],
+    [trace-dup], [trace-trunc], [byte-flip], [bit-flip], [obs-garble],
+    [crash], [fuel-cut], [cache-corrupt].  Rates outside [0, 1] are
+    rejected. *)
+
+val parse_list : string -> (t list, string) result
+(** Parse a comma-separated list of specs. *)
+
+val to_string : t -> string
+(** Inverse of {!parse} (canonical names). *)
+
+val describe : t -> string
+(** One-line human description, for [pathmark faults]. *)
+
+val all_names : (string * string) list
+(** [(name, doc)] for every accepted spec name, in display order. *)

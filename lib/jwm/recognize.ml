@@ -1,21 +1,62 @@
+type partial = {
+  pieces_recovered : int;
+  primes_covered : int;
+  primes_total : int;
+  redundancy_margin : int;
+  confidence : float;
+}
+
 type outcome = {
   value : Bignum.t option;
   report : Codec.Recombine.report;
+  partial : partial;
   trace_branches : int;
   steps : int;
+  diagnostic : string option;
 }
 
-let recognize ?(fuel = 200_000_000) ?(strides = [ 1; 2 ]) ~passphrase ~watermark_bits ~input prog =
-  let params = Codec.Params.make ~passphrase ~watermark_bits () in
-  let trace = Stackvm.Trace.capture ~fuel ~want_snapshots:false prog ~input in
-  let bits = Stackvm.Trace.bitstring trace in
-  let report = Codec.Recombine.recover_from_bitstring ~strides params bits in
+let partial_of_report params report =
+  let m = Codec.Recombine.margin_of_report params report in
+  {
+    pieces_recovered = m.Codec.Recombine.pieces_used;
+    primes_covered = m.Codec.Recombine.primes_covered;
+    primes_total = m.Codec.Recombine.primes_total;
+    redundancy_margin = m.Codec.Recombine.redundancy_margin;
+    confidence = Codec.Recombine.confidence params report;
+  }
+
+let outcome_of_report params ~trace_branches ~steps ~diagnostic report =
   {
     value = report.Codec.Recombine.value;
     report;
-    trace_branches = Array.length trace.Stackvm.Trace.branches;
-    steps = trace.Stackvm.Trace.result.Stackvm.Interp.steps;
+    partial = partial_of_report params report;
+    trace_branches;
+    steps;
+    diagnostic;
   }
+
+let recognize_branches ?(strides = [ 1; 2 ]) ~passphrase ~watermark_bits events =
+  let params = Codec.Params.make ~passphrase ~watermark_bits () in
+  let bits = Stackvm.Trace.bits_of_branches events in
+  let report = Codec.Recombine.recover_from_bitstring ~strides params bits in
+  outcome_of_report params ~trace_branches:(List.length events) ~steps:0 ~diagnostic:None report
+
+let recognize ?(fuel = 200_000_000) ?(strides = [ 1; 2 ]) ~passphrase ~watermark_bits ~input prog =
+  let params = Codec.Params.make ~passphrase ~watermark_bits () in
+  match Stackvm.Trace.capture ~fuel ~want_snapshots:false prog ~input with
+  | trace ->
+      let bits = Stackvm.Trace.bitstring trace in
+      let report = Codec.Recombine.recover_from_bitstring ~strides params bits in
+      outcome_of_report params
+        ~trace_branches:(Array.length trace.Stackvm.Trace.branches)
+        ~steps:trace.Stackvm.Trace.result.Stackvm.Interp.steps ~diagnostic:None report
+  | exception e ->
+      (* a corrupt program that the interpreter itself rejects is an
+         experimental outcome (the mark is destroyed), not an error *)
+      let report = Codec.Recombine.recover params [] in
+      outcome_of_report params ~trace_branches:0 ~steps:0
+        ~diagnostic:(Some (Printexc.to_string e))
+        report
 
 let recognizes ?fuel ~passphrase ~watermark_bits ~input ~expected prog =
   match (recognize ?fuel ~passphrase ~watermark_bits ~input prog).value with

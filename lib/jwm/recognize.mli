@@ -4,13 +4,31 @@
     input, decodes the trace into its bit-string, harvests candidate cipher
     blocks at strides 1 and 2, and recombines the watermark.  Only the
     program, the passphrase and the secret input are needed — never the
-    original program or the expected watermark. *)
+    original program or the expected watermark.
+
+    Recognition is {e total} and degrades gracefully: corrupt programs,
+    trapped runs and noisy traces yield a {!partial} account of what the
+    CRT redundancy still recovered — pieces, prime coverage, the margin to
+    the coverage cliff, a confidence score — never an exception. *)
+
+type partial = {
+  pieces_recovered : int;  (** residue statements the recombiner kept *)
+  primes_covered : int;  (** base primes those statements mention *)
+  primes_total : int;
+  redundancy_margin : int;
+      (** statements the weakest-supported prime could still lose (see
+          {!Codec.Recombine.margin}); 0 unless [value] is [Some] *)
+  confidence : float;  (** {!Codec.Recombine.confidence} of the report *)
+}
 
 type outcome = {
   value : Bignum.t option;  (** the recovered fingerprint, if any *)
   report : Codec.Recombine.report;
+  partial : partial;  (** degraded-mode account, meaningful either way *)
   trace_branches : int;  (** dynamic conditional-branch count *)
   steps : int;  (** instructions executed during the recognition run *)
+  diagnostic : string option;
+      (** why the trace is empty, when recognition could not even run *)
 }
 
 val recognize :
@@ -25,6 +43,16 @@ val recognize :
     exhausts fuel still yields whatever trace prefix was collected (an
     attacked program that crashes can destroy the mark — that is a valid
     experimental outcome, not an exception). *)
+
+val recognize_branches :
+  ?strides:int list ->
+  passphrase:string ->
+  watermark_bits:int ->
+  Stackvm.Trace.branch_event list ->
+  outcome
+(** Recognition over an already-captured (possibly salvaged or
+    fault-injected) branch-event stream — the offline path used by saved
+    traces and the fault-injection experiments.  [steps] is 0. *)
 
 val recognizes :
   ?fuel:int ->

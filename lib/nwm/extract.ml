@@ -10,7 +10,7 @@ exception Window_closed
 
 (* Collect the instruction window between begin and end by single-stepping;
    stop the machine as soon as the window closes. *)
-let collect_window ?fuel bin ~begin_addr ~end_addr ~input =
+let observe ?fuel bin ~begin_addr ~end_addr ~input =
   let started = ref false in
   let log = ref [] in
   let observer st ~addr ~insn =
@@ -66,33 +66,125 @@ let canonicalize bin addr =
   in
   follow addr 8
 
-let extract ?fuel ?(kind = Smart) bin ~begin_addr ~end_addr ~input =
-  let steps = collect_window ?fuel bin ~begin_addr ~end_addr ~input in
+let sites_of_steps ~kind ~f_entry steps =
+  let sites = ref [] in
+  let prev = ref None in
+  List.iter
+    (fun step ->
+      if step.s_addr = f_entry then begin
+        let site =
+          match kind with
+          | Smart -> step.s_stack_top - 5
+          | Simple -> begin
+              match !prev with Some p -> p.s_addr | None -> step.s_addr
+            end
+        in
+        sites := site :: !sites
+      end;
+      prev := Some step)
+    steps;
+  List.rev !sites
+
+let decode_steps ?(kind = Smart) bin steps =
   if steps = [] then Error "empty trace window (begin never reached)"
   else begin
     match Option.map (canonicalize bin) (find_branch_function steps) with
     | None -> Error "no branch function identified in the window"
     | Some f_entry ->
         (* every entry into the branch function yields one call site *)
-        let sites = ref [] in
-        let prev = ref None in
-        List.iter
-          (fun step ->
-            if step.s_addr = f_entry then begin
-              let site =
-                match kind with
-                | Smart -> step.s_stack_top - 5
-                | Simple -> begin
-                    match !prev with Some p -> p.s_addr | None -> step.s_addr
-                  end
-              in
-              sites := site :: !sites
-            end;
-            prev := Some step)
-          steps;
-        let call_sites = List.rev !sites in
+        let call_sites = sites_of_steps ~kind ~f_entry steps in
         if List.length call_sites < 2 then Error "fewer than two branch-function calls observed"
         else Ok { bits = Bitperm.bits_of_addresses call_sites; call_sites; f_entry }
   end
 
+let extract ?fuel ?(kind = Smart) bin ~begin_addr ~end_addr ~input =
+  match observe ?fuel bin ~begin_addr ~end_addr ~input with
+  | steps -> decode_steps ~kind bin steps
+  | exception e -> Error ("tracer failed: " ^ Printexc.to_string e)
+
 let watermark e = Bignum.of_bits e.bits
+
+(* ---- degraded extraction: repeated noisy passes, per-site majority ----
+
+   The native mark has no CRT redundancy; its error tolerance against a
+   noisy tracer comes from repetition instead.  Execution is deterministic
+   (the call-site *sequence* is identical on every pass), so observation
+   noise — a garbled stack read — can be outvoted positionally: run the
+   decoder over [passes] independently-corrupted views of one observed
+   step log and take, at each position of the majority-length site
+   sequence, the modal address. *)
+
+type degraded = {
+  value : Bignum.t option;
+  call_sites : int;
+  passes : int;
+  agreement : float;
+  confidence : float;
+  diagnostic : string option;
+}
+
+let failed ~passes diagnostic =
+  { value = None; call_sites = 0; passes; agreement = 0.0; confidence = 0.0; diagnostic = Some diagnostic }
+
+let vote ?(kind = Smart) bin observations =
+  let passes = List.length observations in
+  let decoded = List.filter_map (fun o -> Result.to_option (decode_steps ~kind bin o)) observations in
+  match decoded with
+  | [] -> failed ~passes "no pass decoded a call-site chain"
+  | _ -> begin
+      (* majority length first: a pass that lost or invented call sites
+         cannot vote positionally *)
+      let lengths = Hashtbl.create 4 in
+      List.iter
+        (fun (e : extraction) ->
+          let n = List.length e.call_sites in
+          Hashtbl.replace lengths n (1 + Option.value ~default:0 (Hashtbl.find_opt lengths n)))
+        decoded;
+      let modal_len, _ =
+        Hashtbl.fold (fun n c (bn, bc) -> if c > bc then (n, c) else (bn, bc)) lengths (0, 0)
+      in
+      let voters =
+        List.filter_map
+          (fun (e : extraction) ->
+            if List.length e.call_sites = modal_len then Some (Array.of_list e.call_sites) else None)
+          decoded
+      in
+      let nvoters = List.length voters in
+      let agreement_sum = ref 0.0 in
+      let sites =
+        List.init modal_len (fun i ->
+            let tally = Hashtbl.create 4 in
+            List.iter
+              (fun v ->
+                Hashtbl.replace tally v.(i) (1 + Option.value ~default:0 (Hashtbl.find_opt tally v.(i))))
+              voters;
+            let site, votes = Hashtbl.fold (fun s c (bs, bc) -> if c > bc then (s, c) else (bs, bc)) tally (0, 0) in
+            agreement_sum := !agreement_sum +. (float_of_int votes /. float_of_int nvoters);
+            site)
+      in
+      let agreement = if modal_len = 0 then 0.0 else !agreement_sum /. float_of_int modal_len in
+      let value = Bignum.of_bits (Bitperm.bits_of_addresses sites) in
+      (* confidence: how decisively each bit position was voted, damped by
+         passes that could not vote at all *)
+      let confidence = agreement *. (float_of_int nvoters /. float_of_int (max 1 passes)) in
+      {
+        value = Some value;
+        call_sites = modal_len;
+        passes;
+        agreement;
+        confidence;
+        diagnostic = None;
+      }
+    end
+
+let extract_degraded ?fuel ?(kind = Smart) ?(passes = 1) ?garble bin ~begin_addr ~end_addr ~input =
+  match observe ?fuel bin ~begin_addr ~end_addr ~input with
+  | exception e -> failed ~passes ("tracer failed: " ^ Printexc.to_string e)
+  | steps ->
+      let view pass =
+        match garble with
+        | None -> steps
+        | Some g -> List.map (fun s -> { s with s_stack_top = g ~pass s.s_stack_top }) steps
+      in
+      let observations = List.init (max 1 passes) view in
+      vote ~kind bin observations

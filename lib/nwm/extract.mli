@@ -35,3 +35,55 @@ val extract :
 
 val watermark : extraction -> Bignum.t
 (** The decoded bits as an integer (bit 0 = first bit). *)
+
+(** {2 Degraded extraction under a noisy tracer}
+
+    The native mark has no CRT redundancy; its error tolerance comes from
+    repetition.  The machine is deterministic, so the call-site {e
+    sequence} is identical on every pass — observation noise (a garbled
+    stack read) is outvoted positionally across independently-corrupted
+    passes. *)
+
+type step = { s_addr : int; s_insn : Nativesim.Insn.t; s_stack_top : int }
+(** One observed instruction inside the [begin]/[end] window. *)
+
+val observe :
+  ?fuel:int ->
+  Nativesim.Binary.t ->
+  begin_addr:int ->
+  end_addr:int ->
+  input:int list ->
+  step list
+(** Single-step the window once and return the raw observation log. *)
+
+val decode_steps : ?kind:kind -> Nativesim.Binary.t -> step list -> (extraction, string) result
+(** Pure decoding of an observation log (possibly corrupted): branch
+    function identification, call-site recovery, bit decoding. *)
+
+type degraded = {
+  value : Bignum.t option;  (** majority-voted watermark, if any pass decoded *)
+  call_sites : int;  (** length of the modal call-site sequence *)
+  passes : int;  (** observation passes attempted *)
+  agreement : float;  (** mean majority fraction across voted positions *)
+  confidence : float;  (** agreement damped by the fraction of voting passes *)
+  diagnostic : string option;  (** set when no pass decoded a chain *)
+}
+
+val vote : ?kind:kind -> Nativesim.Binary.t -> step list list -> degraded
+(** Decode each observation log, keep the passes whose call-site count is
+    modal, and take the per-position majority address.  Never raises. *)
+
+val extract_degraded :
+  ?fuel:int ->
+  ?kind:kind ->
+  ?passes:int ->
+  ?garble:(pass:int -> int -> int) ->
+  Nativesim.Binary.t ->
+  begin_addr:int ->
+  end_addr:int ->
+  input:int list ->
+  degraded
+(** Observe once (execution is deterministic), then derive [passes]
+    views with [garble] applied to each observed stack-top value and
+    {!vote} over them.  With no [garble] every view is identical, so a
+    clean run reports agreement and confidence 1. *)

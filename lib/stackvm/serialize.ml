@@ -42,6 +42,7 @@ let read_byte r =
 
 let read_varint r =
   let rec go shift acc =
+    if shift > 62 then failwith "Serialize.decode: varint overflow";
     let b = read_byte r in
     let acc = acc lor ((b land 0x7F) lsl shift) in
     if b land 0x80 = 0 then acc else go (shift + 7) acc
@@ -50,6 +51,7 @@ let read_varint r =
 
 let read_zigzag r =
   let rec go shift acc =
+    if shift > 63 then failwith "Serialize.decode: varint overflow";
     let b = read_byte r in
     let acc = Int64.logor acc (Int64.shift_left (Int64.of_int (b land 0x7F)) shift) in
     if b land 0x80 = 0 then acc else go (shift + 7) acc
@@ -177,6 +179,12 @@ let decode data =
   r.pos <- 4;
   let nglobals = read_varint r in
   let nfuncs = read_varint r in
+  (* Bound declared counts by the bytes that remain: a corrupt count must
+     fail as malformed input, not as an attempted multi-gigabyte
+     allocation.  A function costs at least 4 bytes, an instruction at
+     least 1. *)
+  let remaining () = String.length r.data - r.pos in
+  if nfuncs > remaining () / 4 then failwith "Serialize.decode: function count exceeds input";
   (* Decode sequentially: List.init/Array.init do not guarantee order. *)
   let funcs = ref [] in
   for _ = 1 to nfuncs do
@@ -184,6 +192,7 @@ let decode data =
     let nargs = read_varint r in
     let nlocals = read_varint r in
     let ncode = read_varint r in
+    if ncode > remaining () then failwith "Serialize.decode: code length exceeds input";
     let code = Array.make ncode Instr.Nop in
     for i = 0 to ncode - 1 do
       code.(i) <- decode_instr r
@@ -193,5 +202,7 @@ let decode data =
   let funcs = List.rev !funcs in
   let main = read_string r in
   { Program.funcs = Array.of_list funcs; nglobals; main }
+
+let decode_opt data = match decode data with p -> Some p | exception Failure _ -> None
 
 let size_in_bytes p = String.length (encode p)

@@ -77,30 +77,52 @@ let save t =
     t.branches;
   Buffer.contents buf
 
-let load_branches s =
-  if String.length s < 4 || String.sub s 0 4 <> "TRC1" then failwith "Trace.load_branches: bad magic";
-  let pos = ref 4 in
-  let byte () =
-    if !pos >= String.length s then failwith "Trace.load_branches: truncated";
-    let b = Char.code s.[!pos] in
-    incr pos;
-    b
-  in
-  let varint () =
-    let rec go shift acc =
-      let b = byte () in
-      let acc = acc lor ((b land 0x7F) lsl shift) in
-      if b land 0x80 = 0 then acc else go (shift + 7) acc
+exception Malformed of string
+
+(* Salvage parser: a trace file is recognition evidence, and the CRT
+   redundancy downstream is precisely what makes partial evidence usable —
+   so malformed bytes yield the longest cleanly-decoded event prefix plus
+   a diagnostic, never an exception. *)
+let salvage_branches s =
+  if String.length s < 4 || String.sub s 0 4 <> "TRC1" then
+    ([], Some "bad magic (expected TRC1)")
+  else begin
+    let pos = ref 4 in
+    let byte () =
+      if !pos >= String.length s then raise (Malformed "truncated");
+      let b = Char.code s.[!pos] in
+      incr pos;
+      b
     in
-    go 0 0
-  in
-  let n = varint () in
-  (* decode sequentially: iteration order must follow the byte stream *)
-  let out = ref [] in
-  for _ = 1 to n do
-    let fidx = varint () in
-    let pc = varint () in
-    let taken = varint () = 1 in
-    out := { fidx; pc; taken } :: !out
-  done;
-  List.rev !out
+    let varint () =
+      let rec go shift acc =
+        if shift > 62 then raise (Malformed "varint overflow");
+        let b = byte () in
+        let acc = acc lor ((b land 0x7F) lsl shift) in
+        if b land 0x80 = 0 then acc else go (shift + 7) acc
+      in
+      go 0 0
+    in
+    let out = ref [] in
+    let count = ref 0 in
+    match
+      let n = varint () in
+      (* decode sequentially: iteration order must follow the byte stream *)
+      for _ = 1 to n do
+        let fidx = varint () in
+        let pc = varint () in
+        let taken = varint () = 1 in
+        out := { fidx; pc; taken } :: !out;
+        incr count
+      done;
+      if !pos <> String.length s then
+        Some (Printf.sprintf "%d trailing byte(s) after %d event(s)" (String.length s - !pos) n)
+      else None
+    with
+    | diag -> (List.rev !out, diag)
+    | exception Malformed reason ->
+        ( List.rev !out,
+          Some (Printf.sprintf "%s at byte %d; salvaged %d event(s)" reason !pos !count) )
+  end
+
+let load_branches s = fst (salvage_branches s)

@@ -52,4 +52,12 @@ val save : t -> string
     recognizer needs).  Snapshots and counts are not saved. *)
 
 val load_branches : string -> branch_event list
-(** Read back the events of {!save}; raises [Failure] on malformed data. *)
+(** Read back the events of {!save}.  Total: malformed data yields the
+    longest cleanly-decoded event prefix (see {!salvage_branches}) —
+    partial evidence is still evidence to the redundant recognizer. *)
+
+val salvage_branches : string -> branch_event list * string option
+(** [load_branches] plus a diagnostic: [None] when the bytes decoded
+    cleanly end to end, otherwise a description of what was wrong (bad
+    magic, truncation point, trailing garbage) alongside the salvaged
+    prefix. *)

@@ -15,6 +15,7 @@ let () =
       ("minic", Test_minic.suite);
       ("workloads", Test_workloads.suite);
       ("engine", Test_engine.suite);
+      ("fault", Test_fault.suite);
       ("cfg", Test_cfg.suite);
       ("analysis", Test_analysis.suite);
       ("experiments", Test_experiments.suite);

@@ -527,11 +527,12 @@ let test_trace_save_load () =
     (Util.Bitstring.to_string (Trace.bits_of_branches loaded))
 
 let test_trace_load_garbage () =
+  (* loading is total: garbage salvages to zero events plus a diagnostic *)
   List.iter
     (fun s ->
-      match Trace.load_branches s with
-      | _ -> Alcotest.failf "accepted garbage %S" s
-      | exception Failure _ -> ())
+      let events, diag = Trace.salvage_branches s in
+      Alcotest.(check (list unit)) (Printf.sprintf "no events from %S" s) [] (List.map ignore events);
+      Alcotest.(check bool) (Printf.sprintf "diagnostic for %S" s) true (diag <> None))
     [ ""; "TRC"; "XXXX"; "TRC1\xFF" ]
 
 let test_trace_save_load_empty () =
@@ -577,20 +578,31 @@ let test_trace_save_load_large () =
     (Util.Bitstring.to_string (Trace.bits_of_branches loaded))
 
 let test_trace_load_truncated () =
-  (* every proper prefix of a valid save must raise, never mis-parse:
-     the header promises more events than the body delivers *)
+  (* every proper prefix of a valid save salvages a prefix of the original
+     event list and reports a diagnostic — never an exception, never a
+     mis-parse past the cut *)
   let prog = Program.make [ gcd_program ] in
-  let saved = Trace.save (Trace.capture prog ~input:[]) in
+  let trace = Trace.capture prog ~input:[] in
+  let original = Array.to_list trace.Trace.branches in
+  let saved = Trace.save trace in
   Alcotest.(check bool) "fixture has events" true (String.length saved > 5);
   for len = 0 to String.length saved - 1 do
-    match Trace.load_branches (String.sub saved 0 len) with
-    | _ -> Alcotest.failf "accepted %d-byte truncation of a %d-byte save" len (String.length saved)
-    | exception Failure _ -> ()
+    let events, diag = Trace.salvage_branches (String.sub saved 0 len) in
+    let n = List.length events in
+    Alcotest.(check bool)
+      (Printf.sprintf "%d-byte prefix salvages a prefix" len)
+      true
+      (n <= List.length original && events = List.filteri (fun i _ -> i < n) original);
+    Alcotest.(check bool) (Printf.sprintf "%d-byte prefix has a diagnostic" len) true (diag <> None)
   done;
+  (* the untruncated save round-trips with no diagnostic *)
+  let events, diag = Trace.salvage_branches saved in
+  Alcotest.(check bool) "full save salvages everything" true (events = original);
+  Alcotest.(check bool) "full save is clean" true (diag = None);
   (* a varint continuation byte with no successor: cut mid-varint *)
-  match Trace.load_branches "TRC1\x85" with
-  | _ -> Alcotest.fail "accepted a dangling varint continuation"
-  | exception Failure _ -> ()
+  let events, diag = Trace.salvage_branches "TRC1\x85" in
+  Alcotest.(check (list unit)) "dangling continuation yields no events" [] (List.map ignore events);
+  Alcotest.(check bool) "dangling continuation is diagnosed" true (diag <> None)
 
 let suite =
   suite
@@ -598,6 +610,6 @@ let suite =
       ("trace save/load", `Quick, test_trace_save_load);
       ("trace save/load empty", `Quick, test_trace_save_load_empty);
       ("trace save/load large", `Quick, test_trace_save_load_large);
-      ("trace load rejects garbage", `Quick, test_trace_load_garbage);
-      ("trace load rejects truncation", `Quick, test_trace_load_truncated);
+      ("trace load salvages garbage", `Quick, test_trace_load_garbage);
+      ("trace load salvages truncation", `Quick, test_trace_load_truncated);
     ]
