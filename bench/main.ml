@@ -17,8 +17,13 @@
       largest workload's functions, sequential vs an Engine.Pool fan-out,
       reported in blocks/second.
 
-   Pass `--micro-only`, `--figures-only`, `--batch-only` or
-   `--analyze-only` to run one part of the harness. *)
+   5. A store-layer section: journal append throughput with and without
+      fsync, reopen/replay latency, the persistent cache tier cold vs
+      warm, and compaction.
+
+   Pass `--micro-only`, `--figures-only`, `--batch-only`,
+   `--analyze-only`, `--faults-only` or `--store-only` to run one part
+   of the harness. *)
 
 open Bechamel
 open Toolkit
@@ -278,6 +283,82 @@ let run_faults () =
         (float_of_int iters /. s))
     [ 0.0; 0.01; 0.05 ]
 
+(* ---- store layer: journal throughput, replay, persistent cache tier ---- *)
+
+let rec rm_rf path =
+  if Sys.file_exists path then
+    if Sys.is_directory path then begin
+      Array.iter (fun f -> rm_rf (Filename.concat path f)) (Sys.readdir path);
+      Sys.rmdir path
+    end
+    else Sys.remove path
+
+let run_store () =
+  let base = Filename.concat (Filename.get_temp_dir_name ()) (Printf.sprintf "pathmark-bench-%d" (Unix.getpid ())) in
+  rm_rf base;
+  let payload i = String.init 1024 (fun j -> Char.chr ((i + j) land 0xFF)) in
+  let n = 200 in
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    let v = f () in
+    (v, Unix.gettimeofday () -. t0)
+  in
+  Printf.printf "=== store layer: journal throughput, replay, persistent cache tier ===\n%!";
+  Printf.printf "%d puts of 1 KiB each per row\n%!" n;
+  let fill ~fsync root =
+    let store = Store.Registry.open_store ~fsync ~root () in
+    let (), s =
+      time (fun () ->
+          for i = 1 to n do
+            ignore (Store.Registry.put store ~kind:Store.Artifact.Trace ~key:(string_of_int i) (payload i))
+          done)
+    in
+    Store.Registry.close store;
+    s
+  in
+  let durable_s = fill ~fsync:true (Filename.concat base "durable") in
+  Printf.printf "%-34s %8.2f ms  (%7.0f puts/s)\n%!" "puts, fsync on every commit:" (durable_s *. 1000.)
+    (float_of_int n /. durable_s);
+  let fast_s = fill ~fsync:false (Filename.concat base "fast") in
+  Printf.printf "%-34s %8.2f ms  (%7.0f puts/s)\n%!" "puts, fsync off:" (fast_s *. 1000.)
+    (float_of_int n /. fast_s);
+  let store, replay_s = time (fun () -> Store.Registry.open_store ~root:(Filename.concat base "durable") ()) in
+  let recov = Store.Registry.recovery store in
+  Printf.printf "%-34s %8.2f ms  (%d records)\n%!" "reopen + journal replay:" (replay_s *. 1000.)
+    recov.Store.Registry.replayed;
+  (* cold vs warm: a second cache instance over the same registry serves
+     from the persistent tier without recomputing *)
+  let cache = Engine.Cache.create ~store () in
+  List.iter
+    (fun i -> Engine.Cache.store_bytes cache ~stage:"bench" ~key:(string_of_int i) (payload i))
+    (List.init n (fun i -> i));
+  let cold = Engine.Cache.create ~store () in
+  let hits, cold_s =
+    time (fun () ->
+        List.length
+          (List.filter
+             (fun i -> Engine.Cache.find_bytes cold ~stage:"bench" ~key:(string_of_int i) <> None)
+             (List.init n (fun i -> i))))
+  in
+  let cs = Engine.Cache.stats cold in
+  Printf.printf "%-34s %8.2f ms  (%d/%d hits, %d from store)\n%!" "cold cache over warm registry:"
+    (cold_s *. 1000.) hits n cs.Engine.Cache.store_loads;
+  let _, warm_s =
+    time (fun () ->
+        List.iter (fun i -> ignore (Engine.Cache.find_bytes cold ~stage:"bench" ~key:(string_of_int i)))
+          (List.init n (fun i -> i)))
+  in
+  Printf.printf "%-34s %8.2f ms\n%!" "warm in-memory tier, same keys:" (warm_s *. 1000.);
+  (* compaction: overwrite every slot once, then drop the stale half *)
+  for i = 1 to n do
+    ignore (Store.Registry.put store ~kind:Store.Artifact.Trace ~key:(string_of_int i) (payload (i + 1)))
+  done;
+  let c, gc_s = time (fun () -> Store.Registry.compact store) in
+  Printf.printf "%-34s %8.2f ms  (%d live, %d records dropped, %d blobs removed)\n%!" "compaction:"
+    (gc_s *. 1000.) c.Store.Registry.live c.Store.Registry.dropped_records c.Store.Registry.blobs_removed;
+  Store.Registry.close store;
+  rm_rf base
+
 let run_figures () =
   Experiments.Fig5.print (Experiments.Fig5.run ());
   let cost = Experiments.Fig8.run_cost () in
@@ -297,11 +378,12 @@ let () =
   let only flag = List.mem flag args in
   let any_only =
     only "--micro-only" || only "--figures-only" || only "--batch-only" || only "--analyze-only"
-    || only "--faults-only"
+    || only "--faults-only" || only "--store-only"
   in
   let want flag = (not any_only) || only flag in
   if want "--micro-only" then run_micro ();
   if want "--batch-only" then run_batch ();
   if want "--analyze-only" then run_analyze ();
   if want "--faults-only" then run_faults ();
+  if want "--store-only" then run_store ();
   if want "--figures-only" then run_figures ()

@@ -4,6 +4,21 @@
 
 open Cmdliner
 
+(* Unified exit codes (documented in README).  0 = success, 1 = generic
+   failure, 2 = nothing to do / bad selection, 3 = recognition failed
+   (no watermark, or not the expected one), 4 = fault-injection abort
+   (the injected faults destroyed the artifact), 5 = store corruption.
+   Cmdliner owns 124-125 and its own usage errors. *)
+let exit_recognition_failed = 3
+let exit_fault_abort = 4
+let exit_store_corruption = 5
+
+let or_store_corruption f =
+  try f ()
+  with Store.Registry.Corrupt msg | Store.Journal.Corrupt msg ->
+    Printf.eprintf "store corruption: %s\n" msg;
+    exit exit_store_corruption
+
 let read_file path =
   let ic = open_in_bin path in
   Fun.protect
@@ -143,7 +158,7 @@ let recognize_vm path key bits input inject fault_seed =
   match Stackvm.Serialize.decode_opt bytes with
   | None ->
       Printf.printf "program undecodable after %d artifact fault(s); nothing recovered\n" artifact_faults;
-      exit 1
+      exit exit_fault_abort
   | Some prog ->
       let o = Jwm.Recognize.recognize ~passphrase:key ~watermark_bits:bits ~input prog in
       let o =
@@ -165,7 +180,7 @@ let recognize_vm path key bits input inject fault_seed =
       | Some w -> Printf.printf "fingerprint: %s\n" (Bignum.to_string w)
       | None ->
           Printf.printf "no watermark recovered\n";
-          exit 1)
+          exit exit_recognition_failed)
 
 let recognize_vm_cmd =
   let path = Arg.(required & pos 0 (some file) None & info [] ~docv:"PROGRAM" ~doc:"Serialized VM program.") in
@@ -264,7 +279,7 @@ let recognize_trace path key bits_width inject fault_seed =
   | Some w -> Printf.printf "fingerprint: %s\n" (Bignum.to_string w)
   | None ->
       Printf.printf "no watermark recovered from trace\n";
-      exit 1
+      exit exit_recognition_failed
 
 let recognize_trace_cmd =
   let path = Arg.(required & pos 0 (some file) None & info [] ~docv:"TRACE" ~doc:"Saved trace file.") in
@@ -298,7 +313,7 @@ let extract_native path begin_addr end_addr input tracer =
   | Some w -> Printf.printf "fingerprint: %s\n" (Bignum.to_string w)
   | None ->
       Printf.printf "no watermark extracted\n";
-      exit 1
+      exit exit_recognition_failed
 
 let extract_native_cmd =
   let path = Arg.(required & pos 0 (some file) None & info [] ~docv:"BINARY" ~doc:"Native binary file.") in
@@ -370,11 +385,15 @@ let batch source workload key bits pieces input fingerprints count mark jobs cac
         exit 1
       end)
     fingerprints;
-  let cache =
+  let cache, cache_store =
     match cache_spec with
-    | "none" -> None
-    | "mem" -> Some (Engine.Cache.create ())
-    | dir -> Some (Engine.Cache.create ~spill_dir:dir ())
+    | "none" -> (None, None)
+    | "mem" -> (Some (Engine.Cache.create ()), None)
+    | spec when String.length spec > 6 && String.sub spec 0 6 = "store:" ->
+        let root = String.sub spec 6 (String.length spec - 6) in
+        let store = or_store_corruption (fun () -> Store.Registry.open_store ~root ()) in
+        (Some (Engine.Cache.create ~store ()), Some store)
+    | dir -> (Some (Engine.Cache.create ~spill_dir:dir ()), None)
   in
   let events_oc = Option.map open_out events_file in
   let events = Engine.Events.create ?sink:(Option.map Engine.Events.json_sink events_oc) () in
@@ -438,14 +457,16 @@ let batch source workload key bits pieces input fingerprints count mark jobs cac
   Option.iter
     (fun c ->
       let s = Engine.Cache.stats c in
-      Printf.printf "cache: %d hits, %d misses, %d disk loads, %d evictions\n" s.Engine.Cache.hits
-        s.Engine.Cache.misses s.Engine.Cache.disk_loads s.Engine.Cache.evictions)
+      Printf.printf "cache: %d hits, %d misses, %d disk loads, %d store loads, %d evictions\n"
+        s.Engine.Cache.hits s.Engine.Cache.misses s.Engine.Cache.disk_loads s.Engine.Cache.store_loads
+        s.Engine.Cache.evictions)
     cache;
+  Option.iter Store.Registry.close cache_store;
   Option.iter close_out events_oc;
   if failed <> [] || verify_failures > 0 then begin
     Printf.printf "batch FAILED: %d embed failures, %d verification failures\n" (List.length failed)
       verify_failures;
-    exit 1
+    exit (if Fault.Inject.is_empty plan then 1 else exit_fault_abort)
   end
   else Printf.printf "batch ok: %d fingerprints embedded%s\n" (List.length results)
          (if verify then " and verified" else "")
@@ -467,7 +488,7 @@ let batch_cmd =
     Arg.(value & opt int 1 & info [ "jobs"; "j" ] ~docv:"N" ~doc:"Worker-domain count (1 = sequential).")
   in
   let cache =
-    Arg.(value & opt string "mem" & info [ "cache" ] ~docv:"none|mem|DIR" ~doc:"Result/trace cache: disabled, in-memory, or spilled to DIR.")
+    Arg.(value & opt string "mem" & info [ "cache" ] ~docv:"none|mem|DIR|store:DIR" ~doc:"Result/trace cache: disabled, in-memory, spilled to DIR, or backed by the persistent registry at DIR ($(b,store:DIR)).")
   in
   let events_file =
     Arg.(value & opt (some string) None & info [ "events" ] ~docv:"FILE" ~doc:"Write the JSON-lines event stream to FILE.")
@@ -632,6 +653,321 @@ let experiment_cmd =
     (Cmd.info "experiment" ~doc:"Regenerate a table or figure from the paper.")
     Term.(const experiment $ which)
 
+(* ---- persistent registry (lib/store) ---- *)
+
+let kind_conv =
+  let parse s =
+    match Store.Artifact.kind_of_string (String.trim s) with
+    | Some k -> Ok k
+    | None ->
+        Error
+          (`Msg
+             (Printf.sprintf "invalid artifact kind %S (expected %s)" s
+                (String.concat ", " (List.map Store.Artifact.kind_to_string Store.Artifact.all_kinds))))
+  in
+  let print ppf k = Format.pp_print_string ppf (Store.Artifact.kind_to_string k) in
+  Arg.conv ~docv:"KIND" (parse, print)
+
+let root_t =
+  Arg.(
+    value
+    & opt string "pathmark-store"
+    & info [ "root" ] ~docv:"DIR" ~doc:"Registry root directory (created if missing).")
+
+let kind_t =
+  Arg.(
+    value
+    & opt kind_conv Store.Artifact.Vm_program
+    & info [ "kind" ] ~docv:"KIND" ~doc:"Artifact kind: vm, native, trace, key, report, cache.")
+
+let with_store ?(fsync = true) root f =
+  or_store_corruption (fun () ->
+      let store = Store.Registry.open_store ~fsync ~root () in
+      Fun.protect ~finally:(fun () -> Store.Registry.close store) (fun () -> f store))
+
+let print_recovery store =
+  let r = Store.Registry.recovery store in
+  if r.Store.Registry.truncated_bytes > 0 || r.Store.Registry.skipped > 0 then
+    Printf.printf "recovery: replayed %d record(s), truncated %d torn tail byte(s), skipped %d undecodable\n"
+      r.Store.Registry.replayed r.Store.Registry.truncated_bytes r.Store.Registry.skipped
+
+let store_put root kind artifact_key label file =
+  with_store root (fun store ->
+      print_recovery store;
+      let payload = read_file file in
+      let key =
+        match artifact_key with Some k -> k | None -> Digest.to_hex (Digest.string payload)
+      in
+      let entry = Store.Registry.put store ~kind ~key ?label payload in
+      Printf.printf "stored %s %s (%d bytes, seq %d)\n"
+        (Store.Artifact.kind_to_string entry.Store.Artifact.kind)
+        entry.Store.Artifact.key entry.Store.Artifact.size entry.Store.Artifact.seq)
+
+let store_put_cmd =
+  let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"Payload file.") in
+  let artifact_key =
+    Arg.(value & opt (some string) None & info [ "artifact-key" ] ~docv:"KEY" ~doc:"Registry key (defaults to the payload's content digest).")
+  in
+  let label = Arg.(value & opt (some string) None & info [ "label" ] ~docv:"TEXT" ~doc:"Cosmetic label.") in
+  Cmd.v
+    (Cmd.info "put" ~doc:"Store a file in the registry.")
+    Term.(const store_put $ root_t $ kind_t $ artifact_key $ label $ file)
+
+let store_get root kind key out =
+  with_store root (fun store ->
+      print_recovery store;
+      match Store.Registry.get store ~kind ~key with
+      | Ok (payload, entry) ->
+          write_file out payload;
+          Printf.printf "%s %s -> %s (%d bytes)\n"
+            (Store.Artifact.kind_to_string kind)
+            entry.Store.Artifact.key out entry.Store.Artifact.size
+      | Error `Missing ->
+          Printf.printf "no %s artifact under %s\n" (Store.Artifact.kind_to_string kind) key;
+          exit 1
+      | Error (`Damaged msg) ->
+          Printf.eprintf "store corruption: %s\n" msg;
+          exit exit_store_corruption)
+
+let store_get_cmd =
+  let key = Arg.(required & pos 0 (some string) None & info [] ~docv:"KEY" ~doc:"Registry key.") in
+  Cmd.v
+    (Cmd.info "get" ~doc:"Fetch an artifact (verifying its content digest).")
+    Term.(const store_get $ root_t $ kind_t $ key $ out_t)
+
+let store_list root =
+  with_store root (fun store ->
+      print_recovery store;
+      let entries = Store.Registry.list store in
+      List.iter
+        (fun (e : Store.Artifact.entry) ->
+          Printf.printf "%-7s %s  %8d bytes  seq %-5d %s\n"
+            (Store.Artifact.kind_to_string e.Store.Artifact.kind)
+            e.Store.Artifact.key e.Store.Artifact.size e.Store.Artifact.seq e.Store.Artifact.label)
+        entries;
+      let s = Store.Registry.stats store in
+      Printf.printf "%d entr%s, %d journal bytes, %d payload bytes\n" s.Store.Registry.entries
+        (if s.Store.Registry.entries = 1 then "y" else "ies")
+        s.Store.Registry.journal_bytes s.Store.Registry.payload_bytes)
+
+let store_list_cmd =
+  Cmd.v (Cmd.info "list" ~doc:"List live registry entries.") Term.(const store_list $ root_t)
+
+let store_gc root =
+  with_store root (fun store ->
+      print_recovery store;
+      let c = Store.Registry.compact store in
+      Printf.printf "compacted: %d live entr%s kept, %d stale record(s) dropped, %d orphan blob(s) removed\n"
+        c.Store.Registry.live
+        (if c.Store.Registry.live = 1 then "y" else "ies")
+        c.Store.Registry.dropped_records c.Store.Registry.blobs_removed)
+
+let store_gc_cmd =
+  Cmd.v
+    (Cmd.info "gc" ~doc:"Compact the journal to live entries and delete unreferenced blobs.")
+    Term.(const store_gc $ root_t)
+
+let store_cmd =
+  Cmd.group
+    (Cmd.info "store" ~doc:"Inspect and maintain the persistent watermark registry.")
+    [ store_put_cmd; store_get_cmd; store_list_cmd; store_gc_cmd ]
+
+(* ---- service layer (lib/service) ---- *)
+
+let socket_t =
+  Arg.(
+    value
+    & opt string "/tmp/pathmark.sock"
+    & info [ "socket" ] ~docv:"PATH" ~doc:"Unix-domain socket path.")
+
+let serve root socket domains max_requests no_fsync events_file =
+  or_store_corruption (fun () ->
+      let store = Store.Registry.open_store ~fsync:(not no_fsync) ~root () in
+      Fun.protect
+        ~finally:(fun () -> Store.Registry.close store)
+        (fun () ->
+          print_recovery store;
+          let events_oc = Option.map open_out events_file in
+          let events =
+            Engine.Events.create ?sink:(Option.map Engine.Events.json_sink events_oc) ()
+          in
+          let r = Store.Registry.recovery store in
+          Engine.Events.emit events
+            (Engine.Events.Store_replay
+               { records = r.Store.Registry.replayed; truncated_bytes = r.Store.Registry.truncated_bytes });
+          Printf.printf "serving registry %s on %s (%d worker domain(s))\n%!" root socket domains;
+          let stopped =
+            Service.Server.serve ~events ~domains ?max_requests ~store ~socket_path:socket ()
+          in
+          Option.iter close_out events_oc;
+          Printf.printf "served %d request(s), %d error(s)\n" stopped.Service.Server.requests
+            stopped.Service.Server.errors))
+
+let serve_cmd =
+  let domains =
+    Arg.(value & opt int 2 & info [ "domains" ] ~docv:"N" ~doc:"Worker domains for embed/recognize requests.")
+  in
+  let max_requests =
+    Arg.(value & opt (some int) None & info [ "max-requests" ] ~docv:"N" ~doc:"Stop after N requests (smoke tests).")
+  in
+  let no_fsync =
+    Arg.(value & flag & info [ "no-fsync" ] ~doc:"Skip fsync on journal commits (benchmarks only).")
+  in
+  let events_file =
+    Arg.(value & opt (some string) None & info [ "events" ] ~docv:"FILE" ~doc:"Write the JSON-lines event stream to FILE.")
+  in
+  Cmd.v
+    (Cmd.info "serve" ~doc:"Serve the watermark registry and embed/recognize operations over a Unix-domain socket.")
+    Term.(const serve $ root_t $ socket_t $ domains $ max_requests $ no_fsync $ events_file)
+
+let fail_service code message =
+  Printf.printf "service error [%s]: %s\n" code message;
+  exit (if code = "damaged" then exit_store_corruption else 1)
+
+let query socket source workload key mark bits pieces input seed embed digest recognize_file expect
+    want_stats want_list want_shutdown =
+  let workload_entry = List.assoc_opt workload builtin_workloads in
+  let program_bytes_and_input () =
+    match source with
+    | Some path -> (Stackvm.Serialize.encode (Minic.To_stackvm.compile_source (read_file path)), input)
+    | None -> (
+        match workload_entry with
+        | Some w ->
+            ( Stackvm.Serialize.encode (Workloads.Workload.vm_program w),
+              if input = [] then w.Workloads.Workload.input else input )
+        | None ->
+            Printf.printf "unknown workload %s; available: %s\n" workload
+              (String.concat " " (List.map fst builtin_workloads));
+            exit 1)
+  in
+  let ran = ref false in
+  Service.Client.with_client socket (fun client ->
+      let call req = Service.Client.call client req in
+      if embed then begin
+        ran := true;
+        let program, input = program_bytes_and_input () in
+        match
+          call
+            (Service.Proto.Embed
+               {
+                 program;
+                 key;
+                 bits;
+                 pieces;
+                 fingerprint = mark;
+                 input;
+                 seed = Int64.of_int seed;
+               })
+        with
+        | Service.Proto.Embedded { digest; label; bytes_before; bytes_after } ->
+            Printf.printf "embedded: %s (%d -> %d bytes)\n" label bytes_before bytes_after;
+            Printf.printf "digest: %s\n" digest
+        | Service.Proto.Error { code; message } -> fail_service code message
+        | _ -> failwith "unexpected response to embed"
+      end;
+      (match (digest, recognize_file) with
+      | None, None -> ()
+      | _ -> (
+          ran := true;
+          let source =
+            match (digest, recognize_file) with
+            | Some d, _ -> `Stored d
+            | None, Some f -> `Bytes (read_file f)
+            | None, None -> assert false
+          in
+          let input =
+            if input = [] then
+              match workload_entry with Some w -> w.Workloads.Workload.input | None -> input
+            else input
+          in
+          match call (Service.Proto.Recognize { source; key; bits; input }) with
+          | Service.Proto.Recognized { value; confidence; registered } -> (
+              Printf.printf "confidence %.3f\n" confidence;
+              Option.iter
+                (fun (i : Service.Proto.entry_info) ->
+                  Printf.printf "registered: %s (%s)\n" i.Service.Proto.key i.Service.Proto.label)
+                registered;
+              match value with
+              | Some w -> (
+                  Printf.printf "fingerprint: %s\n" (Bignum.to_string w);
+                  match expect with
+                  | Some e when not (Bignum.equal e w) ->
+                      Printf.printf "expected %s\n" (Bignum.to_string e);
+                      exit exit_recognition_failed
+                  | _ -> ())
+              | None ->
+                  Printf.printf "no watermark recovered\n";
+                  exit exit_recognition_failed)
+          | Service.Proto.Error { code; message } ->
+              if expect <> None && (code = "not-found" || code = "bad-request") then begin
+                Printf.printf "service error [%s]: %s\n" code message;
+                exit exit_recognition_failed
+              end
+              else fail_service code message
+          | _ -> failwith "unexpected response to recognize"));
+      if want_stats then begin
+        ran := true;
+        match call Service.Proto.Stats with
+        | Service.Proto.Stats_reply { entries; journal_bytes; payload_bytes; puts; gets; requests; errors }
+          ->
+            Printf.printf
+              "entries %d, journal %d bytes, payloads %d bytes; %d put(s), %d get(s); %d request(s), %d error(s)\n"
+              entries journal_bytes payload_bytes puts gets requests errors
+        | Service.Proto.Error { code; message } -> fail_service code message
+        | _ -> failwith "unexpected response to stats"
+      end;
+      if want_list then begin
+        ran := true;
+        match call Service.Proto.List_artifacts with
+        | Service.Proto.Listing infos ->
+            List.iter
+              (fun (i : Service.Proto.entry_info) ->
+                Printf.printf "%-7s %s  %8d bytes  seq %-5d %s\n"
+                  (Store.Artifact.kind_to_string i.Service.Proto.kind)
+                  i.Service.Proto.key i.Service.Proto.size i.Service.Proto.seq i.Service.Proto.label)
+              infos
+        | Service.Proto.Error { code; message } -> fail_service code message
+        | _ -> failwith "unexpected response to list"
+      end;
+      if want_shutdown then begin
+        ran := true;
+        match call Service.Proto.Shutdown with
+        | Service.Proto.Shutting_down -> Printf.printf "server shutting down\n"
+        | Service.Proto.Error { code; message } -> fail_service code message
+        | _ -> failwith "unexpected response to shutdown"
+      end);
+  if not !ran then begin
+    Printf.printf "nothing to do: pass --embed, --digest, --recognize, --stats, --list or --shutdown\n";
+    exit 2
+  end
+
+let query_cmd =
+  let source =
+    Arg.(value & pos 0 (some file) None & info [] ~docv:"SOURCE.mc" ~doc:"MiniC source to embed into (omit to use $(b,--workload)).")
+  in
+  let workload =
+    Arg.(value & opt string "caffeine" & info [ "workload" ] ~docv:"NAME" ~doc:"Built-in host workload for $(b,--embed) when no source file is given.")
+  in
+  let embed = Arg.(value & flag & info [ "embed" ] ~doc:"Embed $(b,--mark) server-side and register the result.") in
+  let digest =
+    Arg.(value & opt (some string) None & info [ "digest" ] ~docv:"HEX" ~doc:"Recognize the stored program with this digest.")
+  in
+  let recognize_file =
+    Arg.(value & opt (some file) None & info [ "recognize" ] ~docv:"FILE" ~doc:"Recognize a local serialized VM program server-side.")
+  in
+  let expect =
+    Arg.(value & opt (some bignum_conv) None & info [ "expect" ] ~docv:"W" ~doc:"Fail (exit 3) unless recognition recovers exactly this fingerprint.")
+  in
+  let want_stats = Arg.(value & flag & info [ "stats" ] ~doc:"Print registry and server statistics.") in
+  let want_list = Arg.(value & flag & info [ "list" ] ~doc:"List registered artifacts.") in
+  let want_shutdown = Arg.(value & flag & info [ "shutdown" ] ~doc:"Ask the server to stop.") in
+  let pieces = Arg.(value & opt int 40 & info [ "pieces" ] ~doc:"Number of redundant pieces.") in
+  Cmd.v
+    (Cmd.info "query" ~doc:"Talk to a running $(b,pathmark serve): embed, recognize, inspect.")
+    Term.(
+      const query $ socket_t $ source $ workload $ key_t $ mark_t $ bits_t $ pieces $ input_t $ seed_t
+      $ embed $ digest $ recognize_file $ expect $ want_stats $ want_list $ want_shutdown)
+
 let main =
   Cmd.group
     (Cmd.info "pathmark" ~version:"1.0.0"
@@ -652,6 +988,9 @@ let main =
       disasm_cmd;
       analyze_cmd;
       experiment_cmd;
+      store_cmd;
+      serve_cmd;
+      query_cmd;
     ]
 
 let () = exit (Cmd.eval main)

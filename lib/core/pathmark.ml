@@ -14,6 +14,8 @@ module Nattacks = Nattacks
 module Workloads = Workloads
 module Engine = Engine
 module Fault = Fault
+module Store = Store
+module Service = Service
 
 let watermark_vm ?seed ~key ~watermark ~bits ~pieces ~input prog =
   let spec =

@@ -33,6 +33,16 @@ module Engine = Engine
     Domain-based {!Engine.Pool} with content-addressed {!Engine.Cache}
     memoization and an {!Engine.Events} stream. *)
 
+module Store = Store
+(** The persistent watermark registry: a crash-safe, content-addressed
+    on-disk store ({!Store.Registry}) with an append-only CRC-checked
+    journal ({!Store.Journal}). *)
+
+module Service = Service
+(** The service layer: a Unix-domain-socket server ({!Service.Server})
+    and client ({!Service.Client}) speaking the length-prefixed binary
+    protocol of {!Service.Proto} / {!Service.Wire}. *)
+
 (** {1 Bytecode track} *)
 
 val watermark_vm :

@@ -564,7 +564,7 @@ let execute ?(policy = default_policy) ?inject ?breaker ?deadline_at ?cache ?eve
                                });
                         corrupted
                   in
-                  Cache.store_bytes c ~stage ~key:(Lazy.force digest) bytes)
+                  Cache.store_bytes ?events c ~stage ~key:(Lazy.force digest) bytes)
                 cache;
               finish outcome ~attempts:n ~from_cache:false
           | exception e ->

@@ -1,16 +1,78 @@
-type stats = { hits : int; misses : int; disk_loads : int; evictions : int }
+type stats = { hits : int; misses : int; disk_loads : int; store_loads : int; evictions : int }
+
+(* True LRU over string keys: a doubly-linked recency list threaded
+   through a Hashtbl, so lookups touch in O(1) and eviction always drops
+   the genuinely least-recently-used entry (the old FIFO queue evicted in
+   insertion order, punishing hot entries inserted early). *)
+module Lru = struct
+  type 'v node = {
+    nkey : string;
+    value : 'v;
+    mutable prev : 'v node option;  (* towards MRU *)
+    mutable next : 'v node option;  (* towards LRU *)
+  }
+
+  type 'v t = {
+    tbl : (string, 'v node) Hashtbl.t;
+    mutable mru : 'v node option;
+    mutable lru : 'v node option;
+  }
+
+  let create n = { tbl = Hashtbl.create n; mru = None; lru = None }
+  let length t = Hashtbl.length t.tbl
+
+  let unlink t n =
+    (match n.prev with Some p -> p.next <- n.next | None -> t.mru <- n.next);
+    (match n.next with Some s -> s.prev <- n.prev | None -> t.lru <- n.prev);
+    n.prev <- None;
+    n.next <- None
+
+  let push_front t n =
+    n.next <- t.mru;
+    (match t.mru with Some m -> m.prev <- Some n | None -> t.lru <- Some n);
+    t.mru <- Some n
+
+  let mem t key = Hashtbl.mem t.tbl key
+
+  let find t key =
+    match Hashtbl.find_opt t.tbl key with
+    | None -> None
+    | Some n ->
+        unlink t n;
+        push_front t n;
+        Some n.value
+
+  (* first insertion wins: adding an existing key is the caller's bug *)
+  let add t key value =
+    let n = { nkey = key; value; prev = None; next = None } in
+    Hashtbl.replace t.tbl key n;
+    push_front t n
+
+  let pop_lru t =
+    match t.lru with
+    | None -> None
+    | Some n ->
+        unlink t n;
+        Hashtbl.remove t.tbl n.nkey;
+        Some (n.nkey, n.value)
+
+  let clear t =
+    Hashtbl.reset t.tbl;
+    t.mru <- None;
+    t.lru <- None
+end
 
 type t = {
   mutex : Mutex.t;
   spill_dir : string option;
+  store : Store.Registry.t option;
   capacity : int;
-  bytes : (string, string) Hashtbl.t;
-  bytes_order : string Queue.t;
-  traces : (string, Stackvm.Trace.t) Hashtbl.t;
-  traces_order : string Queue.t;
+  bytes : string Lru.t;
+  traces : Stackvm.Trace.t Lru.t;
   mutable hits : int;
   mutable misses : int;
   mutable disk_loads : int;
+  mutable store_loads : int;
   mutable evictions : int;
 }
 
@@ -21,19 +83,19 @@ let rec mkdir_p dir =
     try Sys.mkdir dir 0o755 with Sys_error _ when Sys.file_exists dir -> ()
   end
 
-let create ?spill_dir ?(capacity = 4096) () =
+let create ?spill_dir ?store ?(capacity = 4096) () =
   Option.iter mkdir_p spill_dir;
   {
     mutex = Mutex.create ();
     spill_dir;
+    store;
     capacity = max 1 capacity;
-    bytes = Hashtbl.create 64;
-    bytes_order = Queue.create ();
-    traces = Hashtbl.create 16;
-    traces_order = Queue.create ();
+    bytes = Lru.create 64;
+    traces = Lru.create 16;
     hits = 0;
     misses = 0;
     disk_loads = 0;
+    store_loads = 0;
     evictions = 0;
   }
 
@@ -66,82 +128,134 @@ let write_file path contents =
     Sys.rename tmp path
   with Sys_error _ -> ()
 
-let evict t table order =
-  while Hashtbl.length table > t.capacity do
-    let oldest = Queue.pop order in
-    if Hashtbl.mem table oldest then begin
-      Hashtbl.remove table oldest;
-      t.evictions <- t.evictions + 1
-    end
-  done
-
 let emit events ev = Option.iter (fun e -> Events.emit e ev) events
 
 let ckey ~stage ~key = stage ^ ":" ^ key
 
+let split_ck ck =
+  match String.index_opt ck ':' with
+  | Some i -> (String.sub ck 0 i, String.sub ck (i + 1) (String.length ck - i - 1))
+  | None -> ("", ck)
+
+(* The persistent tier is best-effort: a sick registry degrades the cache
+   to its in-memory + spill behaviour, it never fails a computation. *)
+let store_fetch t ck =
+  match t.store with
+  | None -> None
+  | Some reg -> (
+      try
+        match Store.Registry.get reg ~kind:Store.Artifact.Cache_entry ~key:ck with
+        | Ok (payload, _) -> Some payload
+        | Error _ -> None
+      with _ -> None)
+
+let store_persist t ~stage ck value =
+  match t.store with
+  | None -> ()
+  | Some reg -> (
+      try ignore (Store.Registry.put reg ~kind:Store.Artifact.Cache_entry ~key:ck ~label:stage value)
+      with _ -> ())
+
+let store_mem t ck =
+  match t.store with
+  | None -> false
+  | Some reg -> ( try Store.Registry.find reg ~kind:Store.Artifact.Cache_entry ~key:ck <> None with _ -> false)
+
+(* returns evicted keys so events fire outside the lock *)
+let enforce_capacity_locked t lru =
+  let evicted = ref [] in
+  while Lru.length lru > t.capacity do
+    match Lru.pop_lru lru with
+    | Some (k, _) ->
+        t.evictions <- t.evictions + 1;
+        evicted := k :: !evicted
+    | None -> ()
+  done;
+  !evicted
+
+let emit_evictions events evicted =
+  List.iter
+    (fun ck ->
+      let stage, key = split_ck ck in
+      emit events (Events.Cache_evict { stage; key }))
+    evicted
+
 let insert_bytes_locked t ck value =
-  if not (Hashtbl.mem t.bytes ck) then begin
-    Hashtbl.replace t.bytes ck value;
-    Queue.push ck t.bytes_order;
-    evict t t.bytes t.bytes_order
+  if not (Lru.mem t.bytes ck) then begin
+    Lru.add t.bytes ck value;
+    enforce_capacity_locked t t.bytes
   end
+  else []
 
 let find_bytes t ?events ~stage ~key () =
   let ck = ckey ~stage ~key in
-  let result =
+  let result, evicted =
     locked t (fun () ->
-        match Hashtbl.find_opt t.bytes ck with
+        match Lru.find t.bytes ck with
         | Some v ->
             t.hits <- t.hits + 1;
-            Some v
+            (Some v, [])
         | None -> (
-            match t.spill_dir with
-            | None ->
-                t.misses <- t.misses + 1;
-                None
-            | Some dir -> (
-                match read_file (spill_path dir ~stage ~key) with
+            let spilled =
+              match t.spill_dir with
+              | None -> None
+              | Some dir -> read_file (spill_path dir ~stage ~key)
+            in
+            match spilled with
+            | Some v ->
+                let ev = insert_bytes_locked t ck v in
+                t.hits <- t.hits + 1;
+                t.disk_loads <- t.disk_loads + 1;
+                (Some v, ev)
+            | None -> (
+                match store_fetch t ck with
                 | Some v ->
-                    insert_bytes_locked t ck v;
+                    let ev = insert_bytes_locked t ck v in
                     t.hits <- t.hits + 1;
-                    t.disk_loads <- t.disk_loads + 1;
-                    Some v
+                    t.store_loads <- t.store_loads + 1;
+                    (Some v, ev)
                 | None ->
                     t.misses <- t.misses + 1;
-                    None)))
+                    (None, []))))
   in
+  emit_evictions events evicted;
   (match result with
   | Some _ -> emit events (Events.Cache_hit { stage; key })
   | None -> emit events (Events.Cache_miss { stage; key }));
   result
 
-let store_bytes t ~stage ~key value =
+let store_bytes ?events t ~stage ~key value =
   let ck = ckey ~stage ~key in
-  let fresh =
+  let fresh, evicted =
     locked t (fun () ->
-        let fresh = not (Hashtbl.mem t.bytes ck) in
-        if fresh then insert_bytes_locked t ck value;
-        fresh)
+        let fresh = not (Lru.mem t.bytes ck) in
+        let ev = if fresh then insert_bytes_locked t ck value else [] in
+        (fresh, ev))
   in
-  if fresh then
-    match t.spill_dir with
+  emit_evictions events evicted;
+  if fresh then begin
+    (match t.spill_dir with
     | Some dir -> write_file (spill_path dir ~stage ~key) value
-    | None -> ()
+    | None -> ());
+    store_persist t ~stage ck value;
+    if t.store <> None then
+      emit events (Events.Store_put { kind = "cache"; key = ck; bytes = String.length value })
+  end
 
 let with_bytes ?events t ~stage ~key compute =
   match find_bytes t ?events ~stage ~key () with
   | Some v -> v
   | None ->
       let v = compute () in
-      store_bytes t ~stage ~key v;
+      store_bytes ?events t ~stage ~key v;
       (* a racing domain may have inserted first; return the winner *)
-      locked t (fun () -> Option.value ~default:v (Hashtbl.find_opt t.bytes (ckey ~stage ~key)))
+      locked t (fun () -> Option.value ~default:v (Lru.find t.bytes (ckey ~stage ~key)))
 
 let with_trace ?events t ~key compute =
   let stage = "trace-mem" in
   let found =
     locked t (fun () ->
-        match Hashtbl.find_opt t.traces key with
+        match Lru.find t.traces key with
         | Some tr ->
             t.hits <- t.hits + 1;
             Some tr
@@ -156,32 +270,43 @@ let with_trace ?events t ~key compute =
   | None ->
       emit events (Events.Cache_miss { stage; key });
       let tr = compute () in
-      locked t (fun () ->
-          match Hashtbl.find_opt t.traces key with
-          | Some winner -> winner
-          | None ->
-              Hashtbl.replace t.traces key tr;
-              Queue.push key t.traces_order;
-              evict t t.traces t.traces_order;
-              tr)
+      let winner, evicted =
+        locked t (fun () ->
+            match Lru.find t.traces key with
+            | Some winner -> (winner, [])
+            | None ->
+                Lru.add t.traces key tr;
+                let ev = enforce_capacity_locked t t.traces in
+                (tr, ev))
+      in
+      List.iter (fun k -> emit events (Events.Cache_evict { stage; key = k })) evicted;
+      winner
 
 let find_bytes ?events t ~stage ~key = find_bytes t ?events ~stage ~key ()
 
 let mem_bytes t ~stage ~key =
-  let in_memory = locked t (fun () -> Hashtbl.mem t.bytes (ckey ~stage ~key)) in
+  let ck = ckey ~stage ~key in
+  let in_memory = locked t (fun () -> Lru.mem t.bytes ck) in
   in_memory
-  || match t.spill_dir with None -> false | Some dir -> Sys.file_exists (spill_path dir ~stage ~key)
+  || (match t.spill_dir with None -> false | Some dir -> Sys.file_exists (spill_path dir ~stage ~key))
+  || store_mem t ck
 
 let stats t =
-  locked t (fun () -> { hits = t.hits; misses = t.misses; disk_loads = t.disk_loads; evictions = t.evictions })
+  locked t (fun () ->
+      {
+        hits = t.hits;
+        misses = t.misses;
+        disk_loads = t.disk_loads;
+        store_loads = t.store_loads;
+        evictions = t.evictions;
+      })
 
 let clear t =
   locked t (fun () ->
-      Hashtbl.reset t.bytes;
-      Queue.clear t.bytes_order;
-      Hashtbl.reset t.traces;
-      Queue.clear t.traces_order;
+      Lru.clear t.bytes;
+      Lru.clear t.traces;
       t.hits <- 0;
       t.misses <- 0;
       t.disk_loads <- 0;
+      t.store_loads <- 0;
       t.evictions <- 0)

@@ -16,6 +16,11 @@ type event =
   | Breaker_open of { label : string; key : string; failures : int }
   | Cache_hit of { stage : string; key : string }
   | Cache_miss of { stage : string; key : string }
+  | Cache_evict of { stage : string; key : string }
+  | Store_put of { kind : string; key : string; bytes : int }
+  | Store_get of { kind : string; key : string; hit : bool }
+  | Store_replay of { records : int; truncated_bytes : int }
+  | Service_request of { op : string; ok : bool; ms : float }
   | Stage_time of { id : int; stage : string; ms : float }
   | Counter of { name : string; delta : int }
   | Diag of { rule : string; location : string; message : string }
@@ -45,9 +50,17 @@ let emit t ev =
       | Breaker_open _ -> bump t "breaker.trips" 1
       | Cache_hit _ -> bump t "cache.hits" 1
       | Cache_miss _ -> bump t "cache.misses" 1
+      | Cache_evict _ -> bump t "cache.evictions" 1
+      | Store_put _ -> bump t "store.puts" 1
+      | Store_get { hit; _ } ->
+          bump t "store.gets" 1;
+          if hit then bump t "store.hits" 1
+      | Service_request { ok; _ } ->
+          bump t "service.requests" 1;
+          if not ok then bump t "service.errors" 1
       | Counter { name; delta } -> bump t name delta
       | Diag _ -> bump t "diagnostics" 1
-      | Batch_start _ | Batch_finish _ | Job_start _ | Stage_time _ -> ());
+      | Batch_start _ | Batch_finish _ | Job_start _ | Stage_time _ | Store_replay _ -> ());
       match t.sink with None -> () | Some f -> f ev)
 
 let events t =
@@ -111,6 +124,15 @@ let to_json = function
       json [ str "ev" "breaker_open"; str "label" label; str "key" key; int "failures" failures ]
   | Cache_hit { stage; key } -> json [ str "ev" "cache_hit"; str "stage" stage; str "key" key ]
   | Cache_miss { stage; key } -> json [ str "ev" "cache_miss"; str "stage" stage; str "key" key ]
+  | Cache_evict { stage; key } -> json [ str "ev" "cache_evict"; str "stage" stage; str "key" key ]
+  | Store_put { kind; key; bytes } ->
+      json [ str "ev" "store_put"; str "kind" kind; str "key" key; int "bytes" bytes ]
+  | Store_get { kind; key; hit } ->
+      json [ str "ev" "store_get"; str "kind" kind; str "key" key; bool "hit" hit ]
+  | Store_replay { records; truncated_bytes } ->
+      json [ str "ev" "store_replay"; int "records" records; int "truncated_bytes" truncated_bytes ]
+  | Service_request { op; ok; ms } ->
+      json [ str "ev" "service_request"; str "op" op; bool "ok" ok; flt "ms" ms ]
   | Stage_time { id; stage; ms } -> json [ str "ev" "stage_time"; int "id" id; str "stage" stage; flt "ms" ms ]
   | Counter { name; delta } -> json [ str "ev" "counter"; str "name" name; int "delta" delta ]
   | Diag { rule; location; message } ->
@@ -143,7 +165,16 @@ let report t =
   Buffer.add_string buf
     (Printf.sprintf "ok: %d  failed: %d  retries: %d\n" (get "jobs.ok") (get "jobs.failed")
        (get "jobs.retries"));
-  Buffer.add_string buf (Printf.sprintf "cache: %d hits, %d misses\n" (get "cache.hits") (get "cache.misses"));
+  Buffer.add_string buf
+    (Printf.sprintf "cache: %d hits, %d misses, %d evictions\n" (get "cache.hits") (get "cache.misses")
+       (get "cache.evictions"));
+  if get "store.puts" > 0 || get "store.gets" > 0 then
+    Buffer.add_string buf
+      (Printf.sprintf "store: %d puts, %d gets (%d hits)\n" (get "store.puts") (get "store.gets")
+         (get "store.hits"));
+  if get "service.requests" > 0 then
+    Buffer.add_string buf
+      (Printf.sprintf "service: %d requests, %d errors\n" (get "service.requests") (get "service.errors"));
   if get "faults.injected" > 0 || get "breaker.trips" > 0 || get "breaker.short_circuits" > 0 then
     Buffer.add_string buf
       (Printf.sprintf "faults: %d injected  breaker: %d trips, %d short-circuits\n" (get "faults.injected")
@@ -177,8 +208,10 @@ let report t =
         not
           (List.mem name
              [
-               "jobs.ok"; "jobs.failed"; "jobs.retries"; "cache.hits"; "cache.misses"; "faults.injected";
-               "breaker.trips"; "breaker.short_circuits"; "recognitions.partial"; "recognitions.degraded";
+               "jobs.ok"; "jobs.failed"; "jobs.retries"; "cache.hits"; "cache.misses"; "cache.evictions";
+               "store.puts"; "store.gets"; "store.hits"; "service.requests"; "service.errors";
+               "faults.injected"; "breaker.trips"; "breaker.short_circuits"; "recognitions.partial";
+               "recognitions.degraded";
              ]))
       counters
   in

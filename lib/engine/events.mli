@@ -34,6 +34,21 @@ type event =
           peers proceed *)
   | Cache_hit of { stage : string; key : string }
   | Cache_miss of { stage : string; key : string }
+  | Cache_evict of { stage : string; key : string }
+      (** the bounded in-memory tier dropped its least-recently-used
+          entry (derived [cache.evictions] counter) *)
+  | Store_put of { kind : string; key : string; bytes : int }
+      (** an artifact was committed to the persistent registry (derived
+          [store.puts] counter) *)
+  | Store_get of { kind : string; key : string; hit : bool }
+      (** a registry fetch; [hit] distinguishes found from missing
+          (derived [store.gets] / [store.hits] counters) *)
+  | Store_replay of { records : int; truncated_bytes : int }
+      (** a registry opened: how many journal records replayed and how
+          many torn tail bytes crash recovery discarded *)
+  | Service_request of { op : string; ok : bool; ms : float }
+      (** the service layer answered one request (derived
+          [service.requests] / [service.errors] counters) *)
   | Stage_time of { id : int; stage : string; ms : float }
   | Counter of { name : string; delta : int }
   | Diag of { rule : string; location : string; message : string }

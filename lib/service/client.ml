@@ -1,0 +1,33 @@
+type t = { fd : Unix.file_descr }
+
+let connect ?(retries = 50) ?(retry_delay = 0.1) path =
+  let rec go attempt =
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    try
+      Unix.connect fd (Unix.ADDR_UNIX path);
+      { fd }
+    with
+    | Unix.Unix_error ((Unix.ECONNREFUSED | Unix.ENOENT), _, _) when attempt < retries ->
+        (try Unix.close fd with Unix.Unix_error _ -> ());
+        Unix.sleepf retry_delay;
+        go (attempt + 1)
+    | exn ->
+        (try Unix.close fd with Unix.Unix_error _ -> ());
+        raise exn
+  in
+  go 0
+
+let call t request =
+  Wire.write_frame t.fd (Wire.encode_request request);
+  match Wire.read_frame t.fd with
+  | None -> failwith "pathmark service hung up"
+  | Some frame -> (
+      match Wire.decode_response frame with
+      | Ok response -> response
+      | Error msg -> failwith ("pathmark service sent an undecodable response: " ^ msg))
+
+let close t = try Unix.close t.fd with Unix.Unix_error _ -> ()
+
+let with_client ?retries ?retry_delay path f =
+  let t = connect ?retries ?retry_delay path in
+  Fun.protect ~finally:(fun () -> close t) (fun () -> f t)

@@ -1,0 +1,19 @@
+(** Blocking client for the pathmark service. *)
+
+type t
+
+val connect : ?retries:int -> ?retry_delay:float -> string -> t
+(** Connect to the Unix-domain socket at the given path.  A connection
+    refused or a missing socket file is retried [retries] times (default
+    50) with [retry_delay] seconds between attempts (default 0.1) — the
+    server may still be binding.  Raises [Unix.Unix_error] once the
+    retries are spent. *)
+
+val call : t -> Proto.request -> Proto.response
+(** Send one request and block for its response.  Raises [Failure] if
+    the server hangs up mid-exchange or answers gibberish. *)
+
+val close : t -> unit
+
+val with_client : ?retries:int -> ?retry_delay:float -> string -> (t -> 'a) -> 'a
+(** [connect], run, [close] (also on exception). *)

@@ -1,0 +1,59 @@
+type entry_info = {
+  kind : Store.Artifact.kind;
+  key : string;
+  label : string;
+  size : int;
+  seq : int;
+}
+
+let info_of_entry (e : Store.Artifact.entry) =
+  { kind = e.Store.Artifact.kind; key = e.key; label = e.label; size = e.size; seq = e.seq }
+
+type request =
+  | Put_artifact of { kind : Store.Artifact.kind; key : string; label : string; payload : string }
+  | Get_artifact of { kind : Store.Artifact.kind; key : string }
+  | Embed of {
+      program : string;
+      key : string;
+      bits : int;
+      pieces : int;
+      fingerprint : Bignum.t;
+      input : int list;
+      seed : int64;
+    }
+  | Recognize of {
+      source : [ `Bytes of string | `Stored of string ];
+      key : string;
+      bits : int;
+      input : int list;
+    }
+  | Stats
+  | List_artifacts
+  | Shutdown
+
+let request_name = function
+  | Put_artifact _ -> "put"
+  | Get_artifact _ -> "get"
+  | Embed _ -> "embed"
+  | Recognize _ -> "recognize"
+  | Stats -> "stats"
+  | List_artifacts -> "list"
+  | Shutdown -> "shutdown"
+
+type response =
+  | Stored of entry_info
+  | Artifact of { info : entry_info; payload : string }
+  | Embedded of { digest : string; label : string; bytes_before : int; bytes_after : int }
+  | Recognized of { value : Bignum.t option; confidence : float; registered : entry_info option }
+  | Stats_reply of {
+      entries : int;
+      journal_bytes : int;
+      payload_bytes : int;
+      puts : int;
+      gets : int;
+      requests : int;
+      errors : int;
+    }
+  | Listing of entry_info list
+  | Shutting_down
+  | Error of { code : string; message : string }

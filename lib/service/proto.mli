@@ -1,0 +1,75 @@
+(** The request/response vocabulary of the pathmark service.
+
+    One request, one response, over the length-prefixed frames of
+    {!Wire}.  Storage operations ([Put_artifact], [Get_artifact],
+    [List_artifacts], [Stats]) talk to the {!Store.Registry} the server
+    owns; compute operations ([Embed], [Recognize]) run on the server's
+    {!Engine.Pool} worker set.  Programs cross the wire as
+    {!Stackvm.Serialize} bytes, fingerprints as decimal strings — the
+    protocol never assumes the client shares the server's process. *)
+
+type entry_info = {
+  kind : Store.Artifact.kind;
+  key : string;
+  label : string;
+  size : int;
+  seq : int;
+}
+
+val info_of_entry : Store.Artifact.entry -> entry_info
+
+type request =
+  | Put_artifact of { kind : Store.Artifact.kind; key : string; label : string; payload : string }
+  | Get_artifact of { kind : Store.Artifact.kind; key : string }
+  | Embed of {
+      program : string;  (** {!Stackvm.Serialize} bytes of the host program *)
+      key : string;  (** passphrase *)
+      bits : int;
+      pieces : int;
+      fingerprint : Bignum.t;
+      input : int list;  (** the secret input *)
+      seed : int64;
+    }
+      (** Embed, register the marked program (kind [Vm_program], keyed by
+          its digest) plus an embedding report, and return the digest. *)
+  | Recognize of {
+      source : [ `Bytes of string | `Stored of string ];
+          (** serialized program bytes, or the digest of a stored one *)
+      key : string;
+      bits : int;
+      input : int list;
+    }
+  | Stats
+  | List_artifacts
+  | Shutdown  (** answer [Shutting_down], then stop serving *)
+
+val request_name : request -> string
+(** Stable op name for logs and events: ["put"], ["get"], ["embed"],
+    ["recognize"], ["stats"], ["list"], ["shutdown"]. *)
+
+type response =
+  | Stored of entry_info
+  | Artifact of { info : entry_info; payload : string }
+  | Embedded of { digest : string; label : string; bytes_before : int; bytes_after : int }
+  | Recognized of {
+      value : Bignum.t option;
+      confidence : float;
+      registered : entry_info option;
+          (** the registry entry for the recognized program, when its
+              digest is on file — links a blind recognition back to the
+              embedding that produced it *)
+    }
+  | Stats_reply of {
+      entries : int;
+      journal_bytes : int;
+      payload_bytes : int;
+      puts : int;
+      gets : int;
+      requests : int;  (** served by this process, this response included *)
+      errors : int;
+    }
+  | Listing of entry_info list
+  | Shutting_down
+  | Error of { code : string; message : string }
+      (** [code] is one of ["not-found"], ["damaged"], ["bad-request"],
+          ["internal"] *)

@@ -1,0 +1,166 @@
+type stopped = { requests : int; errors : int }
+
+let recognize_fuel = 200_000_000
+
+let err code message = Proto.Error { code; message }
+
+let is_error = function Proto.Error _ -> true | _ -> false
+
+let embed_report digest fingerprint bits pieces (r : Jwm.Embed.report) =
+  Printf.sprintf "digest: %s\nfingerprint: %s\nbits: %d\npieces: %d\nbytes_before: %d\nbytes_after: %d\ninsertions: %d\n"
+    digest (Bignum.to_string fingerprint) bits pieces r.Jwm.Embed.bytes_before r.Jwm.Embed.bytes_after
+    (List.length r.Jwm.Embed.insertions)
+
+let handle ?events ~store ~pool ~requests ~errors request =
+  match request with
+  | Proto.Put_artifact { kind; key; label; payload } ->
+      let entry = Store.Registry.put store ~kind ~key ~label payload in
+      (match events with
+      | Some ev ->
+          Engine.Events.emit ev
+            (Engine.Events.Store_put
+               { kind = Store.Artifact.kind_to_string kind; key; bytes = String.length payload })
+      | None -> ());
+      Proto.Stored (Proto.info_of_entry entry)
+  | Proto.Get_artifact { kind; key } -> (
+      let result = Store.Registry.get store ~kind ~key in
+      (match events with
+      | Some ev ->
+          Engine.Events.emit ev
+            (Engine.Events.Store_get
+               {
+                 kind = Store.Artifact.kind_to_string kind;
+                 key;
+                 hit = (match result with Ok _ -> true | Error _ -> false);
+               })
+      | None -> ());
+      match result with
+      | Ok (payload, entry) -> Proto.Artifact { info = Proto.info_of_entry entry; payload }
+      | Error `Missing ->
+          err "not-found" (Printf.sprintf "no %s artifact under %s" (Store.Artifact.kind_to_string kind) key)
+      | Error (`Damaged msg) -> err "damaged" msg)
+  | Proto.Embed { program; key; bits; pieces; fingerprint; input; seed } -> (
+      match Stackvm.Serialize.decode_opt program with
+      | None -> err "bad-request" "program bytes do not decode"
+      | Some prog -> (
+          let spec =
+            { Jwm.Embed.passphrase = key; watermark = fingerprint; watermark_bits = bits; pieces; input }
+          in
+          match Engine.Pool.await (Engine.Pool.submit pool (fun () -> Jwm.Embed.embed ~seed spec prog)) with
+          | Error exn -> err "internal" (Printexc.to_string exn)
+          | Ok report ->
+              let bytes = Stackvm.Serialize.encode report.Jwm.Embed.program in
+              let digest = Digest.to_hex (Digest.string bytes) in
+              let label = "fp:" ^ Bignum.to_string fingerprint in
+              ignore (Store.Registry.put store ~kind:Store.Artifact.Vm_program ~key:digest ~label bytes);
+              ignore
+                (Store.Registry.put store ~kind:Store.Artifact.Report ~key:digest ~label:"embed"
+                   (embed_report digest fingerprint bits pieces report));
+              Proto.Embedded
+                {
+                  digest;
+                  label;
+                  bytes_before = report.Jwm.Embed.bytes_before;
+                  bytes_after = report.Jwm.Embed.bytes_after;
+                }))
+  | Proto.Recognize { source; key; bits; input } -> (
+      let fetched =
+        match source with
+        | `Bytes b -> Ok b
+        | `Stored digest -> (
+            match Store.Registry.get store ~kind:Store.Artifact.Vm_program ~key:digest with
+            | Ok (payload, _) -> Ok payload
+            | Error `Missing -> Error (err "not-found" ("no stored program under " ^ digest))
+            | Error (`Damaged msg) -> Error (err "damaged" msg))
+      in
+      match fetched with
+      | Error e -> e
+      | Ok bytes -> (
+          match Stackvm.Serialize.decode_opt bytes with
+          | None -> err "bad-request" "program bytes do not decode"
+          | Some prog -> (
+              let run () =
+                Jwm.Recognize.recognize ~fuel:recognize_fuel ~passphrase:key ~watermark_bits:bits ~input
+                  prog
+              in
+              match Engine.Pool.await (Engine.Pool.submit pool run) with
+              | Error exn -> err "internal" (Printexc.to_string exn)
+              | Ok outcome ->
+                  let digest = Digest.to_hex (Digest.string bytes) in
+                  let registered =
+                    Option.map Proto.info_of_entry
+                      (Store.Registry.find store ~kind:Store.Artifact.Vm_program ~key:digest)
+                  in
+                  Proto.Recognized
+                    {
+                      value = outcome.Jwm.Recognize.value;
+                      confidence = outcome.Jwm.Recognize.partial.Jwm.Recognize.confidence;
+                      registered;
+                    })))
+  | Proto.Stats ->
+      let s = Store.Registry.stats store in
+      Proto.Stats_reply
+        {
+          entries = s.Store.Registry.entries;
+          journal_bytes = s.Store.Registry.journal_bytes;
+          payload_bytes = s.Store.Registry.payload_bytes;
+          puts = s.Store.Registry.puts;
+          gets = s.Store.Registry.gets;
+          (* this request counts too: callers see how busy the server has been *)
+          requests = !requests + 1;
+          errors = !errors;
+        }
+  | Proto.List_artifacts -> Proto.Listing (List.map Proto.info_of_entry (Store.Registry.list store))
+  | Proto.Shutdown -> Proto.Shutting_down
+
+let serve ?events ?(domains = 2) ?max_requests ~store ~socket_path () =
+  (try Unix.unlink socket_path with Unix.Unix_error _ -> ());
+  let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  let pool = Engine.Pool.create ~domains () in
+  let requests = ref 0 and errors = ref 0 in
+  let stop = ref false in
+  let budget_left () = match max_requests with Some m -> !requests < m | None -> true in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.close sock with Unix.Unix_error _ -> ());
+      (try Unix.unlink socket_path with Unix.Unix_error _ -> ());
+      Engine.Pool.shutdown pool)
+    (fun () ->
+      Unix.bind sock (Unix.ADDR_UNIX socket_path);
+      Unix.listen sock 16;
+      while (not !stop) && budget_left () do
+        let conn, _ = Unix.accept sock in
+        Fun.protect
+          ~finally:(fun () -> try Unix.close conn with Unix.Unix_error _ -> ())
+          (fun () ->
+            let connected = ref true in
+            while !connected && (not !stop) && budget_left () do
+              match (try Wire.read_frame conn with Failure _ | Unix.Unix_error _ -> None) with
+              | None -> connected := false
+              | Some frame ->
+                  let t0 = Unix.gettimeofday () in
+                  let op, response =
+                    match Wire.decode_request frame with
+                    | Error msg -> ("malformed", err "bad-request" msg)
+                    | Ok request -> (
+                        ( Proto.request_name request,
+                          try handle ?events ~store ~pool ~requests ~errors request
+                          with
+                          | Store.Registry.Corrupt msg -> err "damaged" msg
+                          | exn -> err "internal" (Printexc.to_string exn) ))
+                  in
+                  let ok = not (is_error response) in
+                  incr requests;
+                  if not ok then incr errors;
+                  (match events with
+                  | Some ev ->
+                      Engine.Events.emit ev
+                        (Engine.Events.Service_request
+                           { op; ok; ms = (Unix.gettimeofday () -. t0) *. 1000.0 })
+                  | None -> ());
+                  (try Wire.write_frame conn (Wire.encode_response response)
+                   with Unix.Unix_error _ -> connected := false);
+                  if response = Proto.Shutting_down then stop := true
+            done)
+      done;
+      { requests = !requests; errors = !errors })

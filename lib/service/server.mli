@@ -1,0 +1,25 @@
+(** The pathmark service: a Unix-domain-socket server over one
+    {!Store.Registry}.
+
+    Connections are served sequentially (one frame loop per accepted
+    connection); the compute-heavy operations — [Embed], [Recognize] —
+    run on an {!Engine.Pool} worker set so a long embedding cannot wedge
+    the accept loop's signal handling.  The server stops on a [Shutdown]
+    request, or after [max_requests] requests (used by smoke tests), and
+    removes its socket file on the way out. *)
+
+type stopped = { requests : int; errors : int }
+
+val serve :
+  ?events:Engine.Events.t ->
+  ?domains:int ->
+  ?max_requests:int ->
+  store:Store.Registry.t ->
+  socket_path:string ->
+  unit ->
+  stopped
+(** Bind [socket_path] (an existing socket file is replaced), accept and
+    answer requests until told to stop, then unlink the socket and shut
+    the pool down.  [domains] defaults to 2.  Per-request
+    {!Engine.Events.Service_request} events go to [events].  The store
+    stays open — the caller owns its lifecycle. *)

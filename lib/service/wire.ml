@@ -1,0 +1,311 @@
+let version = 1
+let max_frame = 64 * 1024 * 1024
+
+(* ---- payload codec ---- *)
+
+exception Malformed of string
+
+let add_varint buf v =
+  let rec go v =
+    if v < 0x80 then Buffer.add_char buf (Char.chr v)
+    else begin
+      Buffer.add_char buf (Char.chr (0x80 lor (v land 0x7F)));
+      go (v lsr 7)
+    end
+  in
+  if v < 0 then invalid_arg "Wire.add_varint: negative";
+  go v
+
+let add_str buf s =
+  add_varint buf (String.length s);
+  Buffer.add_string buf s
+
+let add_kind buf k = add_str buf (Store.Artifact.kind_to_string k)
+let add_int_list buf xs =
+  add_varint buf (List.length xs);
+  List.iter (fun x -> add_str buf (string_of_int x)) xs
+
+let add_info buf (i : Proto.entry_info) =
+  add_kind buf i.Proto.kind;
+  add_str buf i.key;
+  add_str buf i.label;
+  add_varint buf i.size;
+  add_varint buf i.seq
+
+type reader = { s : string; mutable pos : int }
+
+let byte r =
+  if r.pos >= String.length r.s then raise (Malformed "truncated");
+  let b = Char.code r.s.[r.pos] in
+  r.pos <- r.pos + 1;
+  b
+
+let varint r =
+  let rec go shift acc =
+    let b = byte r in
+    let acc = acc lor ((b land 0x7F) lsl shift) in
+    if b land 0x80 = 0 then acc else go (shift + 7) acc
+  in
+  go 0 0
+
+let str r =
+  let n = varint r in
+  if n < 0 || r.pos + n > String.length r.s then raise (Malformed "truncated string");
+  let v = String.sub r.s r.pos n in
+  r.pos <- r.pos + n;
+  v
+
+let kind r =
+  match Store.Artifact.kind_of_string (str r) with
+  | Some k -> k
+  | None -> raise (Malformed "unknown artifact kind")
+
+let int_of_str r =
+  let s = str r in
+  match int_of_string_opt s with Some v -> v | None -> raise (Malformed ("bad integer " ^ s))
+
+let int_list r =
+  let n = varint r in
+  if n < 0 || n > String.length r.s - r.pos then raise (Malformed "bad list length");
+  List.init n (fun _ -> int_of_str r)
+
+let info r =
+  let kind = kind r in
+  let key = str r in
+  let label = str r in
+  let size = varint r in
+  let seq = varint r in
+  { Proto.kind; key; label; size; seq }
+
+let bignum r =
+  let s = str r in
+  try Bignum.of_string s with _ -> raise (Malformed ("bad bignum " ^ s))
+
+let finish r v =
+  if r.pos <> String.length r.s then raise (Malformed "trailing bytes");
+  v
+
+let with_reader payload f =
+  try
+    let r = { s = payload; pos = 0 } in
+    let v = byte r in
+    if v <> version then Error (Printf.sprintf "protocol version %d, expected %d" v version)
+    else Ok (finish r (f r))
+  with
+  | Malformed msg -> Error msg
+  | Invalid_argument msg -> Error msg
+
+let payload f =
+  let buf = Buffer.create 64 in
+  Buffer.add_char buf (Char.chr version);
+  f buf;
+  Buffer.contents buf
+
+(* ---- requests ---- *)
+
+let encode_request req =
+  payload (fun buf ->
+      match req with
+      | Proto.Put_artifact { kind; key; label; payload } ->
+          Buffer.add_char buf 'P';
+          add_kind buf kind;
+          add_str buf key;
+          add_str buf label;
+          add_str buf payload
+      | Proto.Get_artifact { kind; key } ->
+          Buffer.add_char buf 'G';
+          add_kind buf kind;
+          add_str buf key
+      | Proto.Embed { program; key; bits; pieces; fingerprint; input; seed } ->
+          Buffer.add_char buf 'E';
+          add_str buf key;
+          add_varint buf bits;
+          add_varint buf pieces;
+          add_str buf (Bignum.to_string fingerprint);
+          add_str buf (Int64.to_string seed);
+          add_int_list buf input;
+          add_str buf program
+      | Proto.Recognize { source; key; bits; input } ->
+          Buffer.add_char buf 'R';
+          (match source with
+          | `Bytes b ->
+              Buffer.add_char buf 'b';
+              add_str buf b
+          | `Stored d ->
+              Buffer.add_char buf 's';
+              add_str buf d);
+          add_str buf key;
+          add_varint buf bits;
+          add_int_list buf input
+      | Proto.Stats -> Buffer.add_char buf 'S'
+      | Proto.List_artifacts -> Buffer.add_char buf 'L'
+      | Proto.Shutdown -> Buffer.add_char buf 'Q')
+
+let decode_request s =
+  with_reader s (fun r ->
+      match Char.chr (byte r) with
+      | 'P' ->
+          let kind = kind r in
+          let key = str r in
+          let label = str r in
+          let payload = str r in
+          Proto.Put_artifact { kind; key; label; payload }
+      | 'G' ->
+          let kind = kind r in
+          let key = str r in
+          Proto.Get_artifact { kind; key }
+      | 'E' ->
+          let key = str r in
+          let bits = varint r in
+          let pieces = varint r in
+          let fingerprint = bignum r in
+          let seed =
+            let s = str r in
+            match Int64.of_string_opt s with
+            | Some v -> v
+            | None -> raise (Malformed ("bad seed " ^ s))
+          in
+          let input = int_list r in
+          let program = str r in
+          Proto.Embed { program; key; bits; pieces; fingerprint; input; seed }
+      | 'R' ->
+          let source =
+            match Char.chr (byte r) with
+            | 'b' -> `Bytes (str r)
+            | 's' -> `Stored (str r)
+            | _ -> raise (Malformed "bad recognize source tag")
+          in
+          let key = str r in
+          let bits = varint r in
+          let input = int_list r in
+          Proto.Recognize { source; key; bits; input }
+      | 'S' -> Proto.Stats
+      | 'L' -> Proto.List_artifacts
+      | 'Q' -> Proto.Shutdown
+      | _ -> raise (Malformed "bad request tag"))
+
+(* ---- responses ---- *)
+
+let encode_response resp =
+  payload (fun buf ->
+      match resp with
+      | Proto.Stored i ->
+          Buffer.add_char buf 's';
+          add_info buf i
+      | Proto.Artifact { info; payload } ->
+          Buffer.add_char buf 'a';
+          add_info buf info;
+          add_str buf payload
+      | Proto.Embedded { digest; label; bytes_before; bytes_after } ->
+          Buffer.add_char buf 'e';
+          add_str buf digest;
+          add_str buf label;
+          add_varint buf bytes_before;
+          add_varint buf bytes_after
+      | Proto.Recognized { value; confidence; registered } ->
+          Buffer.add_char buf 'r';
+          (match value with
+          | None -> Buffer.add_char buf '\x00'
+          | Some v ->
+              Buffer.add_char buf '\x01';
+              add_str buf (Bignum.to_string v));
+          add_str buf (Printf.sprintf "%h" confidence);
+          (match registered with
+          | None -> Buffer.add_char buf '\x00'
+          | Some i ->
+              Buffer.add_char buf '\x01';
+              add_info buf i)
+      | Proto.Stats_reply { entries; journal_bytes; payload_bytes; puts; gets; requests; errors } ->
+          Buffer.add_char buf 't';
+          List.iter (add_varint buf) [ entries; journal_bytes; payload_bytes; puts; gets; requests; errors ]
+      | Proto.Listing infos ->
+          Buffer.add_char buf 'l';
+          add_varint buf (List.length infos);
+          List.iter (add_info buf) infos
+      | Proto.Shutting_down -> Buffer.add_char buf 'q'
+      | Proto.Error { code; message } ->
+          Buffer.add_char buf 'x';
+          add_str buf code;
+          add_str buf message)
+
+let decode_response s =
+  with_reader s (fun r ->
+      match Char.chr (byte r) with
+      | 's' -> Proto.Stored (info r)
+      | 'a' ->
+          let i = info r in
+          let payload = str r in
+          Proto.Artifact { info = i; payload }
+      | 'e' ->
+          let digest = str r in
+          let label = str r in
+          let bytes_before = varint r in
+          let bytes_after = varint r in
+          Proto.Embedded { digest; label; bytes_before; bytes_after }
+      | 'r' ->
+          let value = match byte r with 0 -> None | _ -> Some (bignum r) in
+          let confidence =
+            let s = str r in
+            match float_of_string_opt s with
+            | Some f -> f
+            | None -> raise (Malformed ("bad float " ^ s))
+          in
+          let registered = match byte r with 0 -> None | _ -> Some (info r) in
+          Proto.Recognized { value; confidence; registered }
+      | 't' ->
+          let entries = varint r in
+          let journal_bytes = varint r in
+          let payload_bytes = varint r in
+          let puts = varint r in
+          let gets = varint r in
+          let requests = varint r in
+          let errors = varint r in
+          Proto.Stats_reply { entries; journal_bytes; payload_bytes; puts; gets; requests; errors }
+      | 'l' ->
+          let n = varint r in
+          if n < 0 || n > String.length r.s - r.pos then raise (Malformed "bad listing length");
+          Proto.Listing (List.init n (fun _ -> info r))
+      | 'q' -> Proto.Shutting_down
+      | 'x' ->
+          let code = str r in
+          let message = str r in
+          Proto.Error { code; message }
+      | _ -> raise (Malformed "bad response tag"))
+
+(* ---- framing ---- *)
+
+let write_all fd b =
+  let n = Bytes.length b in
+  let off = ref 0 in
+  while !off < n do
+    off := !off + Unix.write fd b !off (n - !off)
+  done
+
+let write_frame fd payload =
+  let n = String.length payload in
+  if n > max_frame then failwith "Wire.write_frame: frame too large";
+  let b = Bytes.create (4 + n) in
+  Bytes.set_int32_le b 0 (Int32.of_int n);
+  Bytes.blit_string payload 0 b 4 n;
+  write_all fd b
+
+let read_exact fd n ~eof_ok =
+  let b = Bytes.create n in
+  let off = ref 0 in
+  let eof = ref false in
+  while (not !eof) && !off < n do
+    let r = Unix.read fd b !off (n - !off) in
+    if r = 0 then eof := true else off := !off + r
+  done;
+  if !eof then
+    if !off = 0 && eof_ok then None else failwith "Wire.read_frame: unexpected EOF"
+  else Some (Bytes.unsafe_to_string b)
+
+let read_frame fd =
+  match read_exact fd 4 ~eof_ok:true with
+  | None -> None
+  | Some header ->
+      let n = Int32.to_int (String.get_int32_le header 0) land 0xFFFFFFFF in
+      if n > max_frame then failwith "Wire.read_frame: frame too large";
+      if n = 0 then Some ""
+      else read_exact fd n ~eof_ok:false

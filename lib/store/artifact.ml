@@ -1,0 +1,133 @@
+type kind = Vm_program | Native_program | Trace | Key_material | Report | Cache_entry
+
+let all_kinds = [ Vm_program; Native_program; Trace; Key_material; Report; Cache_entry ]
+
+let kind_to_string = function
+  | Vm_program -> "vm"
+  | Native_program -> "native"
+  | Trace -> "trace"
+  | Key_material -> "key"
+  | Report -> "report"
+  | Cache_entry -> "cache"
+
+let kind_of_string = function
+  | "vm" -> Some Vm_program
+  | "native" -> Some Native_program
+  | "trace" -> Some Trace
+  | "key" -> Some Key_material
+  | "report" -> Some Report
+  | "cache" -> Some Cache_entry
+  | _ -> None
+
+let kind_tag = function
+  | Vm_program -> 'v'
+  | Native_program -> 'n'
+  | Trace -> 't'
+  | Key_material -> 'k'
+  | Report -> 'r'
+  | Cache_entry -> 'c'
+
+let kind_of_tag = function
+  | 'v' -> Some Vm_program
+  | 'n' -> Some Native_program
+  | 't' -> Some Trace
+  | 'k' -> Some Key_material
+  | 'r' -> Some Report
+  | 'c' -> Some Cache_entry
+  | _ -> None
+
+type entry = {
+  kind : kind;
+  key : string;
+  label : string;
+  blob : string;
+  size : int;
+  seq : int;
+  created_at : int;
+}
+
+type op = Put of entry | Delete of { kind : kind; key : string; seq : int }
+
+(* ---- codec (same varint/str idiom as Engine.Batch's outcome codec) ---- *)
+
+let add_varint buf v =
+  let rec go v =
+    if v < 0x80 then Buffer.add_char buf (Char.chr v)
+    else begin
+      Buffer.add_char buf (Char.chr (0x80 lor (v land 0x7F)));
+      go (v lsr 7)
+    end
+  in
+  if v < 0 then invalid_arg "Artifact.add_varint: negative";
+  go v
+
+let add_str buf s =
+  add_varint buf (String.length s);
+  Buffer.add_string buf s
+
+let encode op =
+  let buf = Buffer.create 128 in
+  (match op with
+  | Put e ->
+      Buffer.add_char buf 'P';
+      Buffer.add_char buf (kind_tag e.kind);
+      add_varint buf e.seq;
+      add_str buf e.key;
+      add_str buf e.label;
+      add_str buf e.blob;
+      add_varint buf e.size;
+      add_varint buf e.created_at
+  | Delete { kind; key; seq } ->
+      Buffer.add_char buf 'D';
+      Buffer.add_char buf (kind_tag kind);
+      add_varint buf seq;
+      add_str buf key);
+  Buffer.contents buf
+
+exception Malformed
+
+let decode s =
+  let pos = ref 0 in
+  let byte () =
+    if !pos >= String.length s then raise Malformed;
+    let b = Char.code s.[!pos] in
+    incr pos;
+    b
+  in
+  let varint () =
+    let rec go shift acc =
+      let b = byte () in
+      let acc = acc lor ((b land 0x7F) lsl shift) in
+      if b land 0x80 = 0 then acc else go (shift + 7) acc
+    in
+    go 0 0
+  in
+  let str () =
+    let n = varint () in
+    if n < 0 || !pos + n > String.length s then raise Malformed;
+    let v = String.sub s !pos n in
+    pos := !pos + n;
+    v
+  in
+  let kind () = match kind_of_tag (Char.chr (byte ())) with Some k -> k | None -> raise Malformed in
+  try
+    let op =
+      match Char.chr (byte ()) with
+      | 'P' ->
+          let kind = kind () in
+          let seq = varint () in
+          let key = str () in
+          let label = str () in
+          let blob = str () in
+          let size = varint () in
+          let created_at = varint () in
+          Put { kind; key; label; blob; size; seq; created_at }
+      | 'D' ->
+          let kind = kind () in
+          let seq = varint () in
+          let key = str () in
+          Delete { kind; key; seq }
+      | _ -> raise Malformed
+    in
+    if !pos <> String.length s then None else Some op
+  with Malformed -> None

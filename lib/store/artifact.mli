@@ -1,0 +1,43 @@
+(** Artifact taxonomy and the journal-record codec of the registry.
+
+    An {!entry} is the registry's index record for one stored artifact:
+    what it is ({!kind}), the key it is filed under (a program digest for
+    programs and reports, a cache key for spilled cache entries), a
+    cosmetic label, and the content address ([blob]) plus size of its
+    payload.  Entries are what the journal persists; payloads live in the
+    sharded blob area (see {!Registry}). *)
+
+type kind =
+  | Vm_program  (** serialized watermarked {!Stackvm} program *)
+  | Native_program  (** encoded watermarked {!Nativesim} binary *)
+  | Trace  (** saved branch trace *)
+  | Key_material  (** recognition secrets / key descriptors *)
+  | Report  (** embedding or recognition report *)
+  | Cache_entry  (** {!Engine.Cache} persistent-tier spill *)
+
+val all_kinds : kind list
+
+val kind_to_string : kind -> string
+(** Stable short name: ["vm"], ["native"], ["trace"], ["key"],
+    ["report"], ["cache"]. *)
+
+val kind_of_string : string -> kind option
+
+type entry = {
+  kind : kind;
+  key : string;  (** registry key, normally a hex program digest *)
+  label : string;  (** cosmetic; e.g. ["fp:123456"] *)
+  blob : string;  (** hex content digest of the payload — its blob address *)
+  size : int;  (** payload bytes *)
+  seq : int;  (** journal sequence number; later wins *)
+  created_at : int;  (** unix seconds *)
+}
+
+(** A decoded journal record. *)
+type op = Put of entry | Delete of { kind : kind; key : string; seq : int }
+
+val encode : op -> string
+(** Journal-record body for the op (framing and CRC are {!Journal}'s). *)
+
+val decode : string -> op option
+(** Total: arbitrary bytes never raise, malformed records yield [None]. *)

@@ -1,0 +1,9 @@
+(** CRC-32 (IEEE 802.3, reflected polynomial [0xEDB88320] — the zlib/gzip
+    checksum), table-driven, pure OCaml.  Used to detect torn or rotted
+    journal records; not a cryptographic integrity check (payloads are
+    additionally content-addressed by digest). *)
+
+val string : ?seed:int -> string -> int
+(** [string s] is the CRC-32 of [s] as a non-negative int in the low 32
+    bits.  [seed] chains checksums: [string ~seed:(string a) b] equals
+    [string (a ^ b)]. *)

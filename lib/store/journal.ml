@@ -1,0 +1,114 @@
+let magic = "PMSJ1\n"
+
+(* a frame length beyond this is treated as a torn header, not an
+   allocation request *)
+let max_record = 1 lsl 30
+
+exception Corrupt of string
+
+type t = { jpath : string; jfsync : bool; mutable fd : Unix.file_descr; mutable bytes : int }
+
+type replay = { records : string list; truncated_bytes : int }
+
+let frame body =
+  let n = String.length body in
+  let b = Bytes.create (8 + n) in
+  Bytes.set_int32_le b 0 (Int32.of_int n);
+  Bytes.set_int32_le b 4 (Int32.of_int (Crc32.string body));
+  Bytes.blit_string body 0 b 8 n;
+  Bytes.unsafe_to_string b
+
+let write_all fd s =
+  let b = Bytes.of_string s in
+  let n = Bytes.length b in
+  let off = ref 0 in
+  while !off < n do
+    off := !off + Unix.write fd b !off (n - !off)
+  done
+
+let read_whole fd =
+  let len = (Unix.fstat fd).Unix.st_size in
+  let buf = Bytes.create len in
+  ignore (Unix.lseek fd 0 Unix.SEEK_SET);
+  let off = ref 0 in
+  (try
+     while !off < len do
+       let r = Unix.read fd buf !off (len - !off) in
+       if r = 0 then raise Exit;
+       off := !off + r
+     done
+   with Exit -> ());
+  Bytes.sub_string buf 0 !off
+
+(* Longest valid prefix of frames: returns (records, good_end_offset). *)
+let parse content =
+  let len = String.length content in
+  let u32 pos = Int32.to_int (String.get_int32_le content pos) land 0xFFFFFFFF in
+  let rec go acc pos =
+    if pos + 8 > len then (List.rev acc, pos)
+    else
+      let n = u32 pos in
+      let crc = u32 (pos + 4) in
+      if n > max_record || pos + 8 + n > len then (List.rev acc, pos)
+      else
+        let body = String.sub content (pos + 8) n in
+        if Crc32.string body <> crc then (List.rev acc, pos) else go (body :: acc) (pos + 8 + n)
+  in
+  go [] (String.length magic)
+
+let open_ ?(fsync = true) path =
+  let fd = Unix.openfile path [ Unix.O_RDWR; Unix.O_CREAT ] 0o644 in
+  let content = read_whole fd in
+  let mlen = String.length magic in
+  if String.length content < mlen then begin
+    (* empty (fresh) or a create torn mid-magic: both mean "no records" *)
+    if content <> "" && content <> String.sub magic 0 (String.length content) then begin
+      Unix.close fd;
+      raise (Corrupt (Printf.sprintf "%s: not a pathmark journal" path))
+    end;
+    ignore (Unix.lseek fd 0 Unix.SEEK_SET);
+    Unix.ftruncate fd 0;
+    write_all fd magic;
+    if fsync then Unix.fsync fd;
+    ({ jpath = path; jfsync = fsync; fd; bytes = mlen }, { records = []; truncated_bytes = 0 })
+  end
+  else if String.sub content 0 mlen <> magic then begin
+    Unix.close fd;
+    raise (Corrupt (Printf.sprintf "%s: not a pathmark journal (bad magic)" path))
+  end
+  else begin
+    let records, good = parse content in
+    let truncated = String.length content - good in
+    if truncated > 0 then begin
+      Unix.ftruncate fd good;
+      if fsync then Unix.fsync fd
+    end;
+    ignore (Unix.lseek fd 0 Unix.SEEK_END);
+    ({ jpath = path; jfsync = fsync; fd; bytes = good }, { records; truncated_bytes = truncated })
+  end
+
+let append t body =
+  let fr = frame body in
+  write_all t.fd fr;
+  if t.jfsync then Unix.fsync t.fd;
+  t.bytes <- t.bytes + String.length fr
+
+let rewrite t records =
+  let tmp = t.jpath ^ ".compact" in
+  let fd = Unix.openfile tmp [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644 in
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf magic;
+  List.iter (fun r -> Buffer.add_string buf (frame r)) records;
+  write_all fd (Buffer.contents buf);
+  if t.jfsync then Unix.fsync fd;
+  Unix.close fd;
+  Sys.rename tmp t.jpath;
+  Unix.close t.fd;
+  let fd = Unix.openfile t.jpath [ Unix.O_RDWR ] 0o644 in
+  ignore (Unix.lseek fd 0 Unix.SEEK_END);
+  t.fd <- fd;
+  t.bytes <- Buffer.length buf
+
+let size_bytes t = t.bytes
+let path t = t.jpath
+let close t = Unix.close t.fd

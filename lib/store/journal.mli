@@ -1,0 +1,45 @@
+(** Append-only CRC-checked record journal.
+
+    The durability primitive under {!Registry}: a single file holding a
+    magic header followed by framed records, each [u32-le body length,
+    u32-le CRC-32 of body, body].  Appends are a single [write] followed
+    by [fsync] (when enabled), so a committed record is on disk before
+    the call returns.
+
+    Opening replays every record and performs {e crash recovery}: the
+    longest valid prefix of frames is kept and any torn tail — a partial
+    header, a body shorter than its announced length, or a CRC mismatch —
+    is truncated off the file, exactly as if the interrupted append had
+    never happened.  Records are opaque byte strings here; {!Registry}
+    gives them meaning. *)
+
+type t
+
+type replay = {
+  records : string list;  (** every intact record body, in append order *)
+  truncated_bytes : int;  (** torn tail bytes removed during recovery *)
+}
+
+exception Corrupt of string
+(** The file is not a journal at all (bad magic).  Torn tails never raise
+    — they are recovered; this fires only on wholesale corruption. *)
+
+val open_ : ?fsync:bool -> string -> t * replay
+(** Open or create the journal at [path], replay it, truncate any torn
+    tail, and position for appending.  [fsync] (default [true]) makes
+    every {!append} and {!rewrite} flush to stable storage. *)
+
+val append : t -> string -> unit
+(** Frame and append one record body; fsyncs when enabled. *)
+
+val rewrite : t -> string list -> unit
+(** Atomically replace the journal's contents with exactly [records]
+    (compaction): written to a temp file, fsynced, renamed over the
+    journal, then reopened for appending. *)
+
+val size_bytes : t -> int
+(** Current on-disk size, header included. *)
+
+val path : t -> string
+
+val close : t -> unit

@@ -1,0 +1,233 @@
+exception Corrupt of string
+
+type recovery = { replayed : int; truncated_bytes : int; skipped : int }
+
+type stats = {
+  entries : int;
+  journal_bytes : int;
+  payload_bytes : int;
+  puts : int;
+  gets : int;
+  hits : int;
+  deletes : int;
+}
+
+type compaction = { live : int; dropped_records : int; blobs_removed : int }
+
+type t = {
+  root : string;
+  mutex : Mutex.t;
+  journal : Journal.t;
+  (* (kind tag ^ NUL ^ key) -> live entry; rebuilt by replay, latest seq wins *)
+  index : (string, Artifact.entry) Hashtbl.t;
+  recovery : recovery;
+  mutable seq : int;
+  mutable puts : int;
+  mutable gets : int;
+  mutable hits : int;
+  mutable deletes : int;
+}
+
+let rec mkdir_p dir =
+  if not (Sys.file_exists dir) then begin
+    let parent = Filename.dirname dir in
+    if parent <> dir then mkdir_p parent;
+    try Sys.mkdir dir 0o755 with Sys_error _ when Sys.file_exists dir -> ()
+  end
+
+let locked t f =
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+
+let slot kind key = Printf.sprintf "%s\x00%s" (Artifact.kind_to_string kind) key
+
+let objects_dir root = Filename.concat root "objects"
+
+(* payloads are sharded by the first two characters of their content
+   digest, so no single directory grows with the store *)
+let blob_path root digest =
+  let shard = if String.length digest >= 2 then String.sub digest 0 2 else "xx" in
+  Filename.concat (Filename.concat (objects_dir root) shard) (digest ^ ".blob")
+
+let digest_hex s = Digest.to_hex (Digest.string s)
+
+let open_store ?(fsync = true) ~root () =
+  mkdir_p root;
+  mkdir_p (objects_dir root);
+  let journal, replay =
+    try Journal.open_ ~fsync (Filename.concat root "journal.pmj")
+    with Journal.Corrupt msg -> raise (Corrupt msg)
+  in
+  let index = Hashtbl.create 64 in
+  let seq = ref 0 in
+  let skipped = ref 0 in
+  List.iter
+    (fun body ->
+      match Artifact.decode body with
+      | Some (Artifact.Put e) ->
+          Hashtbl.replace index (slot e.Artifact.kind e.Artifact.key) e;
+          seq := max !seq e.Artifact.seq
+      | Some (Artifact.Delete { kind; key; seq = s }) ->
+          Hashtbl.remove index (slot kind key);
+          seq := max !seq s
+      | None -> incr skipped)
+    replay.Journal.records;
+  {
+    root;
+    mutex = Mutex.create ();
+    journal;
+    index;
+    recovery =
+      {
+        replayed = List.length replay.Journal.records;
+        truncated_bytes = replay.Journal.truncated_bytes;
+        skipped = !skipped;
+      };
+    seq = !seq;
+    puts = 0;
+    gets = 0;
+    hits = 0;
+    deletes = 0;
+  }
+
+let root t = t.root
+let recovery t = t.recovery
+
+let write_blob t digest payload =
+  let path = blob_path t.root digest in
+  if not (Sys.file_exists path) then begin
+    mkdir_p (Filename.dirname path);
+    let tmp = path ^ ".tmp" in
+    let fd = Unix.openfile tmp [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644 in
+    Fun.protect
+      ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+      (fun () ->
+        let b = Bytes.of_string payload in
+        let off = ref 0 in
+        while !off < Bytes.length b do
+          off := !off + Unix.write fd b !off (Bytes.length b - !off)
+        done;
+        Unix.fsync fd);
+    Sys.rename tmp path
+  end
+
+let read_blob t digest =
+  let path = blob_path t.root digest in
+  if not (Sys.file_exists path) then None
+  else
+    try
+      let ic = open_in_bin path in
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () -> Some (really_input_string ic (in_channel_length ic)))
+    with Sys_error _ | End_of_file -> None
+
+let put t ~kind ~key ?(label = "") payload =
+  let blob = digest_hex payload in
+  locked t (fun () ->
+      write_blob t blob payload;
+      t.seq <- t.seq + 1;
+      let entry =
+        {
+          Artifact.kind;
+          key;
+          label;
+          blob;
+          size = String.length payload;
+          seq = t.seq;
+          created_at = int_of_float (Unix.time ());
+        }
+      in
+      Journal.append t.journal (Artifact.encode (Artifact.Put entry));
+      Hashtbl.replace t.index (slot kind key) entry;
+      t.puts <- t.puts + 1;
+      entry)
+
+let find t ~kind ~key = locked t (fun () -> Hashtbl.find_opt t.index (slot kind key))
+
+let get t ~kind ~key =
+  let entry = locked t (fun () -> Hashtbl.find_opt t.index (slot kind key)) in
+  let result =
+    match entry with
+    | None -> Error `Missing
+    | Some e -> (
+        match read_blob t e.Artifact.blob with
+        | None ->
+            Error (`Damaged (Printf.sprintf "blob %s missing for %s/%s" e.Artifact.blob
+                               (Artifact.kind_to_string kind) key))
+        | Some payload ->
+            if digest_hex payload <> e.Artifact.blob then
+              Error (`Damaged (Printf.sprintf "blob %s fails digest verification" e.Artifact.blob))
+            else Ok (payload, e))
+  in
+  locked t (fun () ->
+      t.gets <- t.gets + 1;
+      match result with Ok _ -> t.hits <- t.hits + 1 | Error _ -> ());
+  result
+
+let delete t ~kind ~key =
+  locked t (fun () ->
+      if not (Hashtbl.mem t.index (slot kind key)) then false
+      else begin
+        t.seq <- t.seq + 1;
+        Journal.append t.journal (Artifact.encode (Artifact.Delete { kind; key; seq = t.seq }));
+        Hashtbl.remove t.index (slot kind key);
+        t.deletes <- t.deletes + 1;
+        true
+      end)
+
+let list t =
+  locked t (fun () ->
+      Hashtbl.fold (fun _ e acc -> e :: acc) t.index []
+      |> List.sort (fun a b -> compare a.Artifact.seq b.Artifact.seq))
+
+let stats t =
+  locked t (fun () ->
+      {
+        entries = Hashtbl.length t.index;
+        journal_bytes = Journal.size_bytes t.journal;
+        payload_bytes = Hashtbl.fold (fun _ e acc -> acc + e.Artifact.size) t.index 0;
+        puts = t.puts;
+        gets = t.gets;
+        hits = t.hits;
+        deletes = t.deletes;
+      })
+
+let list_blob_files root =
+  let objects = objects_dir root in
+  if not (Sys.file_exists objects) then []
+  else
+    Array.to_list (Sys.readdir objects)
+    |> List.concat_map (fun shard ->
+           let dir = Filename.concat objects shard in
+           if Sys.is_directory dir then
+             Array.to_list (Sys.readdir dir)
+             |> List.filter_map (fun f ->
+                    if Filename.check_suffix f ".blob" then
+                      Some (Filename.chop_suffix f ".blob", Filename.concat dir f)
+                    else None)
+           else [])
+
+let compact t =
+  locked t (fun () ->
+      let before = t.recovery.replayed + t.puts + t.deletes in
+      let live =
+        Hashtbl.fold (fun _ e acc -> e :: acc) t.index []
+        |> List.sort (fun a b -> compare a.Artifact.seq b.Artifact.seq)
+      in
+      Journal.rewrite t.journal (List.map (fun e -> Artifact.encode (Artifact.Put e)) live);
+      let referenced = Hashtbl.create 64 in
+      List.iter (fun e -> Hashtbl.replace referenced e.Artifact.blob ()) live;
+      let blobs_removed =
+        List.fold_left
+          (fun n (digest, path) ->
+            if Hashtbl.mem referenced digest then n
+            else begin
+              (try Sys.remove path with Sys_error _ -> ());
+              n + 1
+            end)
+          0 (list_blob_files t.root)
+      in
+      { live = List.length live; dropped_records = max 0 (before - List.length live); blobs_removed })
+
+let close t = locked t (fun () -> Journal.close t.journal)

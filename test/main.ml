@@ -15,6 +15,8 @@ let () =
       ("minic", Test_minic.suite);
       ("workloads", Test_workloads.suite);
       ("engine", Test_engine.suite);
+      ("store", Test_store.suite);
+      ("service", Test_service.suite);
       ("fault", Test_fault.suite);
       ("cfg", Test_cfg.suite);
       ("analysis", Test_analysis.suite);

@@ -120,17 +120,19 @@ let test_cache_memoizes () =
   Alcotest.(check bool) "stage isolates keys" true
     (Cache.find_bytes cache ~stage:"other" ~key:"k" = None)
 
+let rec rm_rf path =
+  if Sys.file_exists path then
+    if Sys.is_directory path then begin
+      Array.iter (fun n -> rm_rf (Filename.concat path n)) (Sys.readdir path);
+      Sys.rmdir path
+    end
+    else Sys.remove path
+
 let with_temp_dir f =
   let dir = Filename.temp_file "pathmark-cache" "" in
   Sys.remove dir;
   Sys.mkdir dir 0o755;
-  Fun.protect
-    ~finally:(fun () ->
-      if Sys.file_exists dir then begin
-        Array.iter (fun n -> Sys.remove (Filename.concat dir n)) (Sys.readdir dir);
-        Sys.rmdir dir
-      end)
-    (fun () -> f dir)
+  Fun.protect ~finally:(fun () -> rm_rf dir) (fun () -> f dir)
 
 let test_cache_spill () =
   with_temp_dir (fun dir ->
@@ -164,6 +166,49 @@ let test_cache_first_insert_wins () =
   Cache.store_bytes cache ~stage:"s" ~key:"k" "second";
   Alcotest.(check (option string)) "first insertion wins" (Some "first")
     (Cache.find_bytes cache ~stage:"s" ~key:"k")
+
+let test_cache_lru_eviction_order () =
+  let events = Events.create () in
+  let cache = Cache.create ~capacity:2 () in
+  Cache.store_bytes cache ~stage:"s" ~key:"a" "A";
+  Cache.store_bytes cache ~stage:"s" ~key:"b" "B";
+  (* touch "a" so "b" becomes the least recently used entry *)
+  ignore (Cache.find_bytes cache ~stage:"s" ~key:"a");
+  Cache.store_bytes ~events cache ~stage:"s" ~key:"c" "C";
+  Alcotest.(check (option string)) "recently used survives" (Some "A")
+    (Cache.find_bytes cache ~stage:"s" ~key:"a");
+  Alcotest.(check (option string)) "LRU evicted" None (Cache.find_bytes cache ~stage:"s" ~key:"b");
+  Alcotest.(check (option string)) "new entry present" (Some "C")
+    (Cache.find_bytes cache ~stage:"s" ~key:"c");
+  Alcotest.(check int) "eviction counted" 1 (Cache.stats cache).Cache.evictions;
+  Alcotest.(check bool) "eviction event names the victim" true
+    (List.exists
+       (function Events.Cache_evict { stage = "s"; key = "b" } -> true | _ -> false)
+       (Events.events events))
+
+let test_cache_store_tier () =
+  with_temp_dir (fun dir ->
+      let root = Filename.concat dir "reg" in
+      let store = Store.Registry.open_store ~root () in
+      let first = Cache.create ~store () in
+      Cache.store_bytes first ~stage:"trace" ~key:"abc123" "payload";
+      (* a fresh cache instance over the same registry (fresh process,
+         conceptually) reloads from the persistent tier *)
+      let second = Cache.create ~store () in
+      Alcotest.(check (option string)) "reloaded from the registry" (Some "payload")
+        (Cache.find_bytes second ~stage:"trace" ~key:"abc123");
+      let s = Cache.stats second in
+      Alcotest.(check int) "counted as store load" 1 s.Cache.store_loads;
+      Alcotest.(check int) "not a disk load" 0 s.Cache.disk_loads;
+      Alcotest.(check bool) "mem_bytes sees the registry" true
+        (Cache.mem_bytes (Cache.create ~store ()) ~stage:"trace" ~key:"abc123");
+      Store.Registry.close store;
+      (* and it survives a registry reopen, i.e. it really is on disk *)
+      let store = Store.Registry.open_store ~root () in
+      let third = Cache.create ~store () in
+      Alcotest.(check (option string)) "survives registry reopen" (Some "payload")
+        (Cache.find_bytes third ~stage:"trace" ~key:"abc123");
+      Store.Registry.close store)
 
 (* ---- Outcome codec ---- *)
 
@@ -318,6 +363,8 @@ let suite =
     Alcotest.test_case "cache spills to disk and reloads" `Quick test_cache_spill;
     Alcotest.test_case "corrupt spill decodes to a miss" `Quick test_cache_corrupt_spill_is_miss;
     Alcotest.test_case "cache first insertion wins" `Quick test_cache_first_insert_wins;
+    Alcotest.test_case "cache evicts least recently used" `Quick test_cache_lru_eviction_order;
+    Alcotest.test_case "cache store tier persists across instances" `Quick test_cache_store_tier;
     Alcotest.test_case "outcome codec round-trips" `Quick test_outcome_roundtrip;
     Alcotest.test_case "pooled batch byte-identical to sequential" `Quick test_batch_pool_matches_sequential;
     Alcotest.test_case "warm re-run served entirely from cache" `Quick test_batch_rerun_all_cached;

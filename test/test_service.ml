@@ -1,0 +1,269 @@
+(* Tests for the service layer: wire codec totality and round-trips, and a
+   real client/server exchange over a Unix-domain socket — embed on the
+   server, recognize the stored program from a separate client. *)
+
+open Stackvm
+module Proto = Service.Proto
+module Wire = Service.Wire
+
+let rec rm_rf path =
+  if Sys.file_exists path then
+    if Sys.is_directory path then begin
+      Array.iter (fun f -> rm_rf (Filename.concat path f)) (Sys.readdir path);
+      Sys.rmdir path
+    end
+    else Sys.remove path
+
+let with_temp_dir f =
+  let dir = Filename.temp_file "pathmark-service" "" in
+  Sys.remove dir;
+  Sys.mkdir dir 0o755;
+  Fun.protect ~finally:(fun () -> rm_rf dir) (fun () -> f dir)
+
+(* ---- wire codec ---- *)
+
+let sample_info = { Proto.kind = Store.Artifact.Vm_program; key = "abc"; label = "fp:9"; size = 7; seq = 3 }
+
+let sample_requests =
+  [
+    Proto.Put_artifact { kind = Store.Artifact.Trace; key = "k\x00\xff"; label = ""; payload = "p\nq" };
+    Proto.Get_artifact { kind = Store.Artifact.Report; key = "deadbeef" };
+    Proto.Embed
+      {
+        program = "\x01\x02binary";
+        key = "secret";
+        bits = 64;
+        pieces = 12;
+        fingerprint = Bignum.of_string "123456789123456789";
+        input = [ 50; -3; 0 ];
+        seed = 42L;
+      };
+    Proto.Recognize { source = `Bytes "prog"; key = "secret"; bits = 64; input = [] };
+    Proto.Recognize { source = `Stored "cafe"; key = "k"; bits = 128; input = [ 1 ] };
+    Proto.Stats;
+    Proto.List_artifacts;
+    Proto.Shutdown;
+  ]
+
+let sample_responses =
+  [
+    Proto.Stored sample_info;
+    Proto.Artifact { info = sample_info; payload = "bytes\x00here" };
+    Proto.Embedded { digest = "cafe"; label = "fp:5"; bytes_before = 100; bytes_after = 150 };
+    Proto.Recognized
+      { value = Some (Bignum.of_string "987654321"); confidence = 0.75; registered = Some sample_info };
+    Proto.Recognized { value = None; confidence = 0.0; registered = None };
+    Proto.Stats_reply
+      { entries = 2; journal_bytes = 300; payload_bytes = 1000; puts = 4; gets = 1; requests = 9; errors = 1 };
+    Proto.Listing [ sample_info; { sample_info with Proto.kind = Store.Artifact.Report; seq = 4 } ];
+    Proto.Shutting_down;
+    Proto.Error { code = "not-found"; message = "no such artifact" };
+  ]
+
+let test_request_roundtrip () =
+  List.iter
+    (fun req ->
+      match Wire.decode_request (Wire.encode_request req) with
+      | Ok req' ->
+          Alcotest.(check string) "re-encodes identically" (Wire.encode_request req)
+            (Wire.encode_request req')
+      | Error msg -> Alcotest.fail ("decode failed: " ^ msg))
+    sample_requests
+
+let test_response_roundtrip () =
+  List.iter
+    (fun resp ->
+      match Wire.decode_response (Wire.encode_response resp) with
+      | Ok resp' ->
+          Alcotest.(check string) "re-encodes identically" (Wire.encode_response resp)
+            (Wire.encode_response resp')
+      | Error msg -> Alcotest.fail ("decode failed: " ^ msg))
+    sample_responses
+
+let decode_total =
+  QCheck.Test.make ~name:"wire decoders are total" ~count:500
+    (QCheck.string_gen_of_size (QCheck.Gen.int_bound 80) (QCheck.Gen.map Char.chr (QCheck.Gen.int_bound 255)))
+    (fun junk ->
+      (match Wire.decode_request junk with Ok _ | Error _ -> true)
+      && match Wire.decode_response junk with Ok _ | Error _ -> true)
+
+let test_rejects_trailing_and_version () =
+  let good = Wire.encode_request Proto.Stats in
+  (match Wire.decode_request (good ^ "x") with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "trailing bytes accepted");
+  let bad_version = "\x63" ^ String.sub good 1 (String.length good - 1) in
+  match Wire.decode_request bad_version with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "wrong protocol version accepted"
+
+(* ---- end-to-end over a Unix-domain socket ----
+
+   The same branchy gcd/sum host the jwm tests use: small enough to embed
+   and recognize quickly, branchy enough for the trace to carry a mark. *)
+
+let host_program =
+  let gcd =
+    Asm.func ~name:"gcd" ~nargs:2 ~nlocals:3
+      Asm.[
+        L "loop";
+        I (Instr.Load 1); I (Instr.Const 0); I (Instr.Cmp Instr.Eq); Br (true, "done");
+        I (Instr.Load 0); I (Instr.Load 1); I (Instr.Binop Instr.Rem); I (Instr.Store 2);
+        I (Instr.Load 1); I (Instr.Store 0);
+        I (Instr.Load 2); I (Instr.Store 1);
+        Jmp "loop";
+        L "done";
+        I (Instr.Load 0); I Instr.Ret;
+      ]
+  in
+  let sum_to =
+    Asm.func ~name:"sum_to" ~nargs:1 ~nlocals:3
+      Asm.[
+        I (Instr.Const 0); I (Instr.Store 1);
+        I (Instr.Const 1); I (Instr.Store 2);
+        L "loop";
+        I (Instr.Load 2); I (Instr.Load 0); I (Instr.Cmp Instr.Gt); Br (true, "done");
+        I (Instr.Load 1); I (Instr.Load 2); I (Instr.Binop Instr.Add); I (Instr.Store 1);
+        I (Instr.Load 2); I (Instr.Const 1); I (Instr.Binop Instr.Add); I (Instr.Store 2);
+        Jmp "loop";
+        L "done";
+        I (Instr.Load 1); I Instr.Ret;
+      ]
+  in
+  let main =
+    Asm.func ~name:"main" ~nargs:0 ~nlocals:4
+      Asm.[
+        I Instr.Read; I (Instr.Store 0);
+        I Instr.Read; I (Instr.Store 1);
+        I (Instr.Load 0); I (Instr.Load 1); I (Instr.Call "gcd"); I Instr.Print;
+        I (Instr.Load 0); I (Instr.Call "sum_to"); I Instr.Print;
+        I (Instr.Load 1); I (Instr.Call "sum_to"); I Instr.Print;
+        I (Instr.Const 0); I Instr.Ret;
+      ]
+  in
+  Program.make [ gcd; sum_to; main ]
+
+let secret_input = [ 36; 84 ]
+let passphrase = "the service test key"
+let fingerprint = Bignum.of_string "240543712258492747"
+
+(* On the failure path the server would otherwise sit in accept forever:
+   nudge it with a best-effort Shutdown before joining. *)
+let join_with_shutdown server socket_path =
+  (try
+     Service.Client.with_client ~retries:2 ~retry_delay:0.05 socket_path (fun c ->
+         ignore (Service.Client.call c Proto.Shutdown))
+   with _ -> ());
+  Domain.join server
+
+let test_end_to_end () =
+  with_temp_dir (fun dir ->
+      let socket_path = Filename.concat (Filename.get_temp_dir_name ()) (Printf.sprintf "pathmark-test-%d.sock" (Unix.getpid ())) in
+      let store = Store.Registry.open_store ~root:(Filename.concat dir "reg") () in
+      let events = Engine.Events.create () in
+      let server =
+        Domain.spawn (fun () ->
+            Service.Server.serve ~events ~domains:1 ~store ~socket_path ())
+      in
+      let stopped = ref { Service.Server.requests = 0; errors = 0 } in
+      Fun.protect
+        ~finally:(fun () ->
+          stopped := join_with_shutdown server socket_path;
+          Store.Registry.close store)
+        (fun () ->
+          Service.Client.with_client socket_path (fun client ->
+              let call = Service.Client.call client in
+              (* plain storage traffic *)
+              (match call (Proto.Put_artifact { kind = Store.Artifact.Key_material; key = "km"; label = "l"; payload = "secret bits" }) with
+              | Proto.Stored info -> Alcotest.(check int) "stored size" 11 info.Proto.size
+              | _ -> Alcotest.fail "put failed");
+              (match call (Proto.Get_artifact { kind = Store.Artifact.Key_material; key = "km" }) with
+              | Proto.Artifact { payload; _ } -> Alcotest.(check string) "get round-trips" "secret bits" payload
+              | _ -> Alcotest.fail "get failed");
+              (match call (Proto.Get_artifact { kind = Store.Artifact.Trace; key = "absent" }) with
+              | Proto.Error { code; _ } -> Alcotest.(check string) "missing is typed" "not-found" code
+              | _ -> Alcotest.fail "missing artifact not an error");
+              (* embed server-side, then recognize the registered program
+                 by digest — the cross-process watermark check *)
+              let digest =
+                match
+                  call
+                    (Proto.Embed
+                       {
+                         program = Serialize.encode host_program;
+                         key = passphrase;
+                         bits = 64;
+                         pieces = 20;
+                         fingerprint;
+                         input = secret_input;
+                         seed = 7L;
+                       })
+                with
+                | Proto.Embedded { digest; bytes_before; bytes_after; _ } ->
+                    Alcotest.(check bool) "embedding grew the program" true (bytes_after > bytes_before);
+                    digest
+                | _ -> Alcotest.fail "embed failed"
+              in
+              (match call (Proto.Recognize { source = `Stored digest; key = passphrase; bits = 64; input = secret_input }) with
+              | Proto.Recognized { value = Some w; registered = Some info; _ } ->
+                  Alcotest.(check bool) "recovered the fingerprint" true (Bignum.equal w fingerprint);
+                  Alcotest.(check string) "linked back to the registry" digest info.Proto.key
+              | Proto.Recognized { value = None; _ } -> Alcotest.fail "no watermark recovered"
+              | _ -> Alcotest.fail "recognize failed");
+              (* wrong passphrase recovers nothing (blindness) *)
+              (match call (Proto.Recognize { source = `Stored digest; key = "wrong"; bits = 64; input = secret_input }) with
+              | Proto.Recognized { value = None; _ } -> ()
+              | Proto.Recognized { value = Some _; _ } -> Alcotest.fail "wrong key recovered a mark"
+              | _ -> Alcotest.fail "recognize failed");
+              (match call (Proto.Recognize { source = `Stored "unknown"; key = passphrase; bits = 64; input = secret_input }) with
+              | Proto.Error { code; _ } -> Alcotest.(check string) "unknown digest" "not-found" code
+              | _ -> Alcotest.fail "unknown digest not an error");
+              (match call Proto.Stats with
+              | Proto.Stats_reply { entries; errors; _ } ->
+                  (* key material + marked program + embed report *)
+                  Alcotest.(check int) "entries" 3 entries;
+                  Alcotest.(check int) "errors counted" 2 errors
+              | _ -> Alcotest.fail "stats failed");
+              (match call Proto.List_artifacts with
+              | Proto.Listing infos ->
+                  Alcotest.(check bool) "listing mentions the program" true
+                    (List.exists (fun (i : Proto.entry_info) -> i.Proto.kind = Store.Artifact.Vm_program && i.Proto.key = digest) infos)
+              | _ -> Alcotest.fail "list failed");
+              match call Proto.Shutdown with
+              | Proto.Shutting_down -> ()
+              | _ -> Alcotest.fail "shutdown failed"));
+      Alcotest.(check int) "request count" 10 !stopped.Service.Server.requests;
+      Alcotest.(check int) "error count" 2 !stopped.Service.Server.errors;
+      Alcotest.(check bool) "socket removed" true (not (Sys.file_exists socket_path));
+      let counters = Engine.Events.counters events in
+      let get name = Option.value ~default:0 (List.assoc_opt name counters) in
+      Alcotest.(check int) "service.requests counter" 10 (get "service.requests");
+      Alcotest.(check int) "service.errors counter" 2 (get "service.errors"))
+
+let test_max_requests_stops_server () =
+  with_temp_dir (fun dir ->
+      let socket_path = Filename.concat (Filename.get_temp_dir_name ()) (Printf.sprintf "pathmark-max-%d.sock" (Unix.getpid ())) in
+      let store = Store.Registry.open_store ~root:(Filename.concat dir "reg") () in
+      let server =
+        Domain.spawn (fun () -> Service.Server.serve ~domains:1 ~max_requests:2 ~store ~socket_path ())
+      in
+      Service.Client.with_client socket_path (fun client ->
+          (match Service.Client.call client Proto.Stats with
+          | Proto.Stats_reply _ -> ()
+          | _ -> Alcotest.fail "stats failed");
+          match Service.Client.call client Proto.List_artifacts with
+          | Proto.Listing _ -> ()
+          | _ -> Alcotest.fail "list failed");
+      let stopped = join_with_shutdown server socket_path in
+      Store.Registry.close store;
+      Alcotest.(check int) "stopped at the budget" 2 stopped.Service.Server.requests)
+
+let suite =
+  [
+    Alcotest.test_case "request codec round-trips" `Quick test_request_roundtrip;
+    Alcotest.test_case "response codec round-trips" `Quick test_response_roundtrip;
+    QCheck_alcotest.to_alcotest decode_total;
+    Alcotest.test_case "rejects trailing bytes and wrong version" `Quick test_rejects_trailing_and_version;
+    Alcotest.test_case "end-to-end over a unix socket" `Quick test_end_to_end;
+    Alcotest.test_case "max-requests stops the server" `Quick test_max_requests_stops_server;
+  ]
