@@ -21,12 +21,64 @@
       fsync, reopen/replay latency, the persistent cache tier cold vs
       warm, and compaction.
 
+   6. A scheme-registry section: embed/recognize latency percentiles for
+      every registered scheme (and the jwm+gwm composite) across the
+      built-in workloads, driven through the generic Watermarker
+      interface.
+
    Pass `--micro-only`, `--figures-only`, `--batch-only`,
-   `--analyze-only`, `--faults-only` or `--store-only` to run one part
-   of the harness. *)
+   `--analyze-only`, `--faults-only`, `--store-only` or `--schemes-only`
+   to run one part of the harness.  Pass `--json-dir DIR` to also write
+   one versioned BENCH_<area>.json artifact per instrumented area
+   (schemes, batch, faults) for CI trend tracking. *)
 
 open Bechamel
 open Toolkit
+
+(* ---- JSON artifacts (--json-dir): versioned BENCH_<area>.json ---- *)
+
+type jval = S of string | F of float | I of int
+
+let json_dir =
+  let rec find = function
+    | "--json-dir" :: dir :: _ -> Some dir
+    | _ :: rest -> find rest
+    | [] -> None
+  in
+  find (Array.to_list Sys.argv)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let emit_json area rows =
+  match json_dir with
+  | None -> ()
+  | Some dir ->
+      if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+      let field (k, v) =
+        Printf.sprintf "\"%s\":%s" (json_escape k)
+          (match v with
+          | S s -> Printf.sprintf "\"%s\"" (json_escape s)
+          | F f -> Printf.sprintf "%.6g" f
+          | I i -> string_of_int i)
+      in
+      let encode_row r = "{" ^ String.concat "," (List.map field r) ^ "}" in
+      let path = Filename.concat dir ("BENCH_" ^ area ^ ".json") in
+      let oc = open_out path in
+      Printf.fprintf oc "{\"version\":1,\"area\":\"%s\",\"rows\":[%s]}\n" (json_escape area)
+        (String.concat "," (List.map encode_row rows));
+      close_out oc;
+      Printf.printf "wrote %s (%d row(s))\n%!" path (List.length rows)
 
 (* ---- shared fixtures (small, so micro-benchmarks stay micro) ---- *)
 
@@ -142,7 +194,14 @@ let run_batch () =
     let v = f () in
     (v, (Unix.gettimeofday () -. t0) *. 1000.)
   in
-  let row label ms = Printf.printf "%-28s %8.1f ms  (%6.1f embeds/s)\n%!" label ms (float_of_int fleet /. ms *. 1000.) in
+  let rows = ref [] in
+  let row label ms =
+    Printf.printf "%-28s %8.1f ms  (%6.1f embeds/s)\n%!" label ms (float_of_int fleet /. ms *. 1000.);
+    rows :=
+      [ ("mode", S label); ("workload", S "caffeine"); ("ms", F ms);
+        ("embeds_per_s", F (float_of_int fleet /. ms *. 1000.)) ]
+      :: !rows
+  in
   Printf.printf "=== batch engine: %d fingerprints into caffeine ===\n%!" fleet;
   let seq, seq_ms = time (fun () -> embed ~domains:1 ()) in
   row "sequential, no cache:" seq_ms;
@@ -164,7 +223,9 @@ let run_batch () =
   let _, warm_ms = time (fun () -> embed ~cache ~domains ()) in
   let s = Engine.Cache.stats cache in
   Printf.printf "warm re-run (all cached):    %8.1f ms  (cache: %d hits, %d misses)\n%!" warm_ms
-    s.Engine.Cache.hits s.Engine.Cache.misses
+    s.Engine.Cache.hits s.Engine.Cache.misses;
+  row "warm re-run (all cached):" warm_ms;
+  emit_json "batch" (List.rev !rows)
 
 (* ---- analyzer throughput: the stealth linter, sequential vs pooled ---- *)
 
@@ -249,6 +310,13 @@ let run_faults () =
   Printf.printf "=== fault layer: injection overhead and noisy-recognition throughput ===\n%!";
   Printf.printf "trace: %d branch events, %d iterations per row\n%!" (List.length events) iters;
   let per_run s = s /. float_of_int iters *. 1000. in
+  let rows = ref [] in
+  let collect label s =
+    rows :=
+      [ ("mode", S label); ("workload", S "caffeine"); ("ms_per_run", F (per_run s));
+        ("recognitions_per_s", F (float_of_int iters /. s)) ]
+      :: !rows
+  in
   let base_s =
     time (fun () ->
         for _ = 1 to iters do
@@ -256,6 +324,7 @@ let run_faults () =
         done)
   in
   Printf.printf "%-34s %8.2f ms/run\n%!" "recognize, no injection layer:" (per_run base_s);
+  collect "no injection layer" base_s;
   let empty_plan = Fault.Inject.make [] in
   let disabled_s =
     time (fun () ->
@@ -267,6 +336,7 @@ let run_faults () =
   Printf.printf "%-34s %8.2f ms/run  (overhead %+.1f%%)\n%!" "recognize, injection disabled:"
     (per_run disabled_s)
     ((disabled_s -. base_s) /. base_s *. 100.);
+  collect "injection disabled" disabled_s;
   List.iter
     (fun rate ->
       let plan = Fault.Inject.make ~seed:7L [ Fault.Spec.Trace_flip rate ] in
@@ -280,8 +350,10 @@ let run_faults () =
       Printf.printf "%-34s %8.2f ms/run  (%6.1f recognitions/s)\n%!"
         (Printf.sprintf "recognize at %g%% trace noise:" (rate *. 100.))
         (per_run s)
-        (float_of_int iters /. s))
-    [ 0.0; 0.01; 0.05 ]
+        (float_of_int iters /. s);
+      collect (Printf.sprintf "trace noise %g%%" (rate *. 100.)) s)
+    [ 0.0; 0.01; 0.05 ];
+  emit_json "faults" (List.rev !rows)
 
 (* ---- store layer: journal throughput, replay, persistent cache tier ---- *)
 
@@ -359,6 +431,77 @@ let run_store () =
   Store.Registry.close store;
   rm_rf base
 
+(* ---- scheme registry: embed/recognize latency per scheme × workload ---- *)
+
+let percentile sorted p =
+  let n = Array.length sorted in
+  sorted.(min (n - 1) (int_of_float (p *. float_of_int n)))
+
+let sample_ms iters f =
+  let samples =
+    Array.init iters (fun _ ->
+        let t0 = Unix.gettimeofday () in
+        ignore (f ());
+        (Unix.gettimeofday () -. t0) *. 1000.)
+  in
+  Array.sort compare samples;
+  samples
+
+let run_schemes () =
+  Printf.printf "=== scheme registry: embed/recognize latency per scheme x workload ===\n%!";
+  let iters = 5 in
+  let rows = ref [] in
+  let cell scheme_name (wl : Workloads.Workload.t) carrier =
+    let (module W) = Scheme.Builtin.find_exn scheme_name in
+    let spec =
+      Scheme.Watermarker.spec ~key ~bits:64 ~redundancy:12 ~input:wl.Workloads.Workload.input ()
+    in
+    let embedded = W.embed watermark64 spec carrier in
+    let embed_ms = sample_ms iters (fun () -> W.embed watermark64 spec carrier) in
+    let aux =
+      match embedded.Scheme.Watermarker.aux with "" -> None | a -> Some a
+    in
+    let marked = embedded.Scheme.Watermarker.carrier in
+    let recog_ms = sample_ms iters (fun () -> W.recognize ?aux spec marked) in
+    let recovered =
+      match (W.recognize ?aux spec marked).Scheme.Watermarker.value with
+      | Some v -> Bignum.equal v watermark64
+      | None -> false
+    in
+    Printf.printf
+      "%-8s %-12s embed p50 %7.1f ms  p99 %7.1f ms   recognize p50 %7.1f ms  p99 %7.1f ms  (%6.1f rec/s)%s\n%!"
+      scheme_name wl.Workloads.Workload.name (percentile embed_ms 0.5) (percentile embed_ms 0.99)
+      (percentile recog_ms 0.5) (percentile recog_ms 0.99)
+      (1000. /. percentile recog_ms 0.5)
+      (if recovered then "" else "  [RECOGNITION FAILED]");
+    rows :=
+      [ ("scheme", S scheme_name);
+        ("workload", S wl.Workloads.Workload.name);
+        ("embed_ms_p50", F (percentile embed_ms 0.5));
+        ("embed_ms_p99", F (percentile embed_ms 0.99));
+        ("recognize_ms_p50", F (percentile recog_ms 0.5));
+        ("recognize_ms_p99", F (percentile recog_ms 0.99));
+        ("embeds_per_s", F (1000. /. percentile embed_ms 0.5));
+        ("recognitions_per_s", F (1000. /. percentile recog_ms 0.5));
+        ("bytes_before", I embedded.Scheme.Watermarker.bytes_before);
+        ("bytes_after", I embedded.Scheme.Watermarker.bytes_after);
+        ("recovered", S (if recovered then "yes" else "no")) ]
+      :: !rows
+  in
+  let vm_workloads =
+    [ Workloads.Caffeine.suite; Workloads.Jesslite.engine; Workloads.Miniinterp.interpreter ]
+  in
+  List.iter
+    (fun scheme ->
+      List.iter
+        (fun wl ->
+          cell scheme wl (Scheme.Watermarker.Vm_program (Workloads.Workload.vm_program wl)))
+        vm_workloads)
+    [ "jwm"; "gwm"; "jwm+gwm" ];
+  let mcf = Workloads.Spec.find "mcf" in
+  cell "nwm" mcf (Scheme.Watermarker.Native_source (Workloads.Workload.native_program mcf));
+  emit_json "schemes" (List.rev !rows)
+
 let run_figures () =
   Experiments.Fig5.print (Experiments.Fig5.run ());
   let cost = Experiments.Fig8.run_cost () in
@@ -378,7 +521,7 @@ let () =
   let only flag = List.mem flag args in
   let any_only =
     only "--micro-only" || only "--figures-only" || only "--batch-only" || only "--analyze-only"
-    || only "--faults-only" || only "--store-only"
+    || only "--faults-only" || only "--store-only" || only "--schemes-only"
   in
   let want flag = (not any_only) || only flag in
   if want "--micro-only" then run_micro ();
@@ -386,4 +529,5 @@ let () =
   if want "--analyze-only" then run_analyze ();
   if want "--faults-only" then run_faults ();
   if want "--store-only" then run_store ();
+  if want "--schemes-only" then run_schemes ();
   if want "--figures-only" then run_figures ()

@@ -7,11 +7,13 @@ open Cmdliner
 (* Unified exit codes (documented in README).  0 = success, 1 = generic
    failure, 2 = nothing to do / bad selection, 3 = recognition failed
    (no watermark, or not the expected one), 4 = fault-injection abort
-   (the injected faults destroyed the artifact), 5 = store corruption.
-   Cmdliner owns 124-125 and its own usage errors. *)
+   (the injected faults destroyed the artifact), 5 = store corruption,
+   6 = unknown watermarking scheme name.  Cmdliner owns 124-125 and its
+   own usage errors. *)
 let exit_recognition_failed = 3
 let exit_fault_abort = 4
 let exit_store_corruption = 5
+let exit_unknown_scheme = 6
 
 let or_store_corruption f =
   try f ()
@@ -94,6 +96,31 @@ let mark_t =
 let out_t = Arg.(value & opt string "out.bin" & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Output file.")
 
 let seed_t = Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"Deterministic randomness seed.")
+
+(* ---- scheme selection (lib/scheme) ---- *)
+
+let scheme_t =
+  Arg.(
+    value
+    & opt string "jwm"
+    & info [ "scheme" ] ~docv:"NAME"
+        ~doc:"Watermarking scheme by registry name (see $(b,pathmark schemes)); '+'-joined names compose, e.g. jwm+gwm.")
+
+let resolve_scheme name =
+  match Scheme.Builtin.find name with
+  | Some w -> w
+  | None ->
+      Printf.eprintf "unknown scheme %s; registered: %s (compose same-track schemes with '+')\n" name
+        (String.concat " " (Scheme.Builtin.names ()));
+      exit exit_unknown_scheme
+
+let require_vm_scheme name =
+  let (module W) = resolve_scheme name in
+  if W.caps.Scheme.Watermarker.track <> Scheme.Watermarker.Vm then begin
+    Printf.eprintf "scheme %s does not run on the VM track\n" name;
+    exit 1
+  end;
+  (module W : Scheme.Watermarker.WATERMARKER)
 
 (* ---- fault injection (lib/fault) ---- *)
 
@@ -287,6 +314,136 @@ let recognize_trace_cmd =
     (Cmd.info "recognize-trace" ~doc:"Recognize a watermark from a saved trace file (offline).")
     Term.(const recognize_trace $ path $ key_t $ bits_t $ inject_t $ fault_seed_t)
 
+(* ---- generic scheme commands (lib/scheme registry) ---- *)
+
+let schemes () =
+  Scheme.Builtin.ensure ();
+  List.iter
+    (fun (module W : Scheme.Watermarker.WATERMARKER) ->
+      let c = W.caps in
+      Printf.printf "%-4s track=%-6s max_bits=%-9s blind=%b\n"
+        W.name
+        (Scheme.Watermarker.track_to_string c.Scheme.Watermarker.track)
+        (if c.Scheme.Watermarker.max_bits = 0 then "unbounded"
+         else string_of_int c.Scheme.Watermarker.max_bits)
+        c.Scheme.Watermarker.blind;
+      Printf.printf "     stealth: %s\n" c.Scheme.Watermarker.stealth;
+      Printf.printf "     attacks: %s\n" c.Scheme.Watermarker.attack_surface)
+    (Scheme.Builtin.all ());
+  Printf.printf "compose same-track schemes with '+', e.g. --scheme jwm+gwm\n"
+
+let schemes_cmd =
+  Cmd.v
+    (Cmd.info "schemes" ~doc:"List the registered watermarking schemes and their capability metadata.")
+    Term.(const schemes $ const ())
+
+let carrier_bytes = function
+  | Scheme.Watermarker.Vm_program p -> Stackvm.Serialize.encode p
+  | Scheme.Watermarker.Native_binary b -> Nativesim.Binary.encode b
+  | Scheme.Watermarker.Native_source a -> Nativesim.Binary.encode (Nativesim.Asm.assemble a)
+
+let embed_generic source scheme_name key mark bits redundancy input out aux_out seed =
+  let (module W) = resolve_scheme scheme_name in
+  let src = read_file source in
+  let carrier =
+    match W.caps.Scheme.Watermarker.track with
+    | Scheme.Watermarker.Vm -> Scheme.Watermarker.Vm_program (Minic.To_stackvm.compile_source src)
+    | Scheme.Watermarker.Native ->
+        Scheme.Watermarker.Native_source (Minic.To_native.compile_source src)
+  in
+  let spec =
+    Scheme.Watermarker.spec ~seed:(Int64.of_int seed) ~redundancy ~key ~bits ~input ()
+  in
+  let e = W.embed mark spec carrier in
+  write_file out (carrier_bytes e.Scheme.Watermarker.carrier);
+  Printf.printf "embedded %d-bit watermark under scheme %s into %s -> %s (%d -> %d bytes)\n" bits
+    W.name source out e.Scheme.Watermarker.bytes_before e.Scheme.Watermarker.bytes_after;
+  Printf.printf "detail: %s\n" e.Scheme.Watermarker.detail;
+  if e.Scheme.Watermarker.aux <> "" then begin
+    match aux_out with
+    | Some f ->
+        write_file f e.Scheme.Watermarker.aux;
+        Printf.printf "aux -> %s (required for recognition)\n" f
+    | None -> Printf.printf "aux: %s (pass back via --aux when recognizing)\n" e.Scheme.Watermarker.aux
+  end
+
+let embed_cmd =
+  let source = Arg.(required & pos 0 (some file) None & info [] ~docv:"SOURCE.mc" ~doc:"MiniC source file.") in
+  let redundancy =
+    Arg.(value & opt int 40 & info [ "redundancy" ] ~docv:"N" ~doc:"Redundant copies/pieces to insert (Jwm pieces, Gwm trace repetitions).")
+  in
+  let aux_out =
+    Arg.(value & opt (some string) None & info [ "aux-out" ] ~docv:"FILE" ~doc:"Write the scheme's recognition hint (non-blind schemes) to FILE.")
+  in
+  Cmd.v
+    (Cmd.info "embed" ~doc:"Compile a MiniC program and embed a watermark under a named scheme (VM or native track, per the scheme's capabilities).")
+    Term.(
+      const embed_generic $ source $ scheme_t $ key_t $ mark_t $ bits_t $ redundancy $ input_t $ out_t
+      $ aux_out $ seed_t)
+
+let recognize_generic path scheme_name key bits input aux aux_file inject fault_seed =
+  let (module W) = resolve_scheme scheme_name in
+  let plan = plan_of inject fault_seed in
+  let bytes = read_file path in
+  let bytes, artifact_faults =
+    if Fault.Inject.is_empty plan then (bytes, 0)
+    else Fault.Inject.artifact plan ~salt:("artifact:" ^ Filename.basename path) bytes
+  in
+  let carrier =
+    match W.caps.Scheme.Watermarker.track with
+    | Scheme.Watermarker.Vm -> (
+        match Stackvm.Serialize.decode_opt bytes with
+        | Some p -> Scheme.Watermarker.Vm_program p
+        | None ->
+            Printf.printf "program undecodable after %d artifact fault(s); nothing recovered\n"
+              artifact_faults;
+            exit exit_fault_abort)
+    | Scheme.Watermarker.Native -> (
+        match Nativesim.Binary.decode bytes with
+        | b -> Scheme.Watermarker.Native_binary b
+        | exception _ ->
+            Printf.printf "binary undecodable after %d artifact fault(s); nothing recovered\n"
+              artifact_faults;
+            exit exit_fault_abort)
+  in
+  let aux = match aux_file with Some f -> Some (read_file f) | None -> aux in
+  let spec = Scheme.Watermarker.spec ~key ~bits ~input () in
+  let o =
+    match (Fault.Inject.is_empty plan, W.recognize_branches, carrier) with
+    | false, Some recognize_branches, Scheme.Watermarker.Vm_program prog ->
+        (* recognize offline from the fault-injected branch stream *)
+        let trace = Stackvm.Trace.capture ~fuel:200_000_000 ~want_snapshots:false prog ~input in
+        let branches, n =
+          Fault.Inject.branches plan ~salt:"trace" (Array.to_list trace.Stackvm.Trace.branches)
+        in
+        if artifact_faults > 0 || n > 0 then
+          Printf.printf "injected %d artifact fault(s), %d trace fault(s) [%s]\n" artifact_faults n
+            (Fault.Inject.describe plan);
+        recognize_branches spec branches
+    | _ -> W.recognize ?aux spec carrier
+  in
+  Printf.printf "confidence %.3f\n" o.Scheme.Watermarker.confidence;
+  Printf.printf "detail: %s\n" o.Scheme.Watermarker.detail;
+  match o.Scheme.Watermarker.value with
+  | Some w -> Printf.printf "fingerprint: %s\n" (Bignum.to_string w)
+  | None ->
+      Printf.printf "no watermark recovered\n";
+      exit exit_recognition_failed
+
+let recognize_cmd =
+  let path = Arg.(required & pos 0 (some file) None & info [] ~docv:"PROGRAM" ~doc:"Watermarked artifact (serialized VM program or native binary, per the scheme's track).") in
+  let aux =
+    Arg.(value & opt (some string) None & info [ "aux" ] ~docv:"TEXT" ~doc:"Recognition hint printed by $(b,pathmark embed) (non-blind schemes).")
+  in
+  let aux_file =
+    Arg.(value & opt (some file) None & info [ "aux-file" ] ~docv:"FILE" ~doc:"Read the recognition hint from FILE (see $(b,--aux-out)).")
+  in
+  Cmd.v
+    (Cmd.info "recognize" ~doc:"Recognize a watermark under a named scheme.")
+    Term.(
+      const recognize_generic $ path $ scheme_t $ key_t $ bits_t $ input_t $ aux $ aux_file $ inject_t
+      $ fault_seed_t)
+
 (* ---- native track ---- *)
 
 let embed_native source mark bits input out seed =
@@ -357,8 +514,10 @@ let builtin_workloads =
     ("jesslite", Workloads.Jesslite.engine);
   ]
 
-let batch source workload key bits pieces input fingerprints count mark jobs cache_spec events_file
-    out_dir verify retries backoff_ms deadline_ms breaker fuel_escalation inject fault_seed seed quiet =
+let batch source workload scheme key bits pieces input fingerprints count mark jobs cache_spec
+    events_file out_dir verify retries backoff_ms deadline_ms breaker fuel_escalation inject fault_seed
+    seed quiet =
+  ignore (require_vm_scheme scheme);
   let workload_entry = List.assoc_opt workload builtin_workloads in
   let program, default_input, host_name =
     match source with
@@ -400,7 +559,7 @@ let batch source workload key bits pieces input fingerprints count mark jobs cac
   let job_specs =
     List.mapi
       (fun i fp ->
-        Engine.Job.vm_embed ~label:("fp-" ^ Bignum.to_string fp)
+        Engine.Job.vm_embed ~label:("fp-" ^ Bignum.to_string fp) ~scheme
           ~seed:(Int64.add (Int64.of_int seed) (Int64.mul (Int64.of_int (i + 1)) 0x9E37_79B9_7F4A_7C15L))
           ~key ~bits ~pieces ~fingerprint:fp ~input program)
       fingerprints
@@ -443,8 +602,8 @@ let batch source workload key bits pieces input fingerprints count mark jobs cac
                match r.Engine.Batch.outcome with
                | Engine.Batch.Vm_embedded { program = bytes; _ } ->
                    [
-                     Engine.Job.vm_recognize ~label:("verify-" ^ Bignum.to_string fp) ~expected:fp ~key
-                       ~bits ~input (Stackvm.Serialize.decode bytes);
+                     Engine.Job.vm_recognize ~label:("verify-" ^ Bignum.to_string fp) ~scheme
+                       ~expected:fp ~key ~bits ~input (Stackvm.Serialize.decode bytes);
                    ]
                | _ -> [])
              fingerprints results)
@@ -519,9 +678,9 @@ let batch_cmd =
   Cmd.v
     (Cmd.info "batch" ~doc:"Embed many fingerprints into one host program in parallel (the fleet-fingerprinting engine).")
     Term.(
-      const batch $ source $ workload $ key_t $ bits_t $ pieces $ input_t $ fingerprints $ count $ mark_t
-      $ jobs $ cache $ events_file $ out_dir $ verify $ retries $ backoff_ms $ deadline_ms $ breaker
-      $ fuel_escalation $ inject_t $ fault_seed_t $ seed_t $ quiet)
+      const batch $ source $ workload $ scheme_t $ key_t $ bits_t $ pieces $ input_t $ fingerprints
+      $ count $ mark_t $ jobs $ cache $ events_file $ out_dir $ verify $ retries $ backoff_ms
+      $ deadline_ms $ breaker $ fuel_escalation $ inject_t $ fault_seed_t $ seed_t $ quiet)
 
 (* ---- static analysis: the stealth linter ---- *)
 
@@ -628,6 +787,7 @@ let experiment which =
   | "abl" -> Experiments.Ablations.print (Experiments.Ablations.run ())
   | "absa" -> Experiments.Abl_sa.print (Experiments.Abl_sa.run ())
   | "abfi" -> Experiments.Abl_fi.print (Experiments.Abl_fi.run ())
+  | "dwm" -> Experiments.Dwm.print (Experiments.Dwm.run ())
   | "all" ->
       Experiments.Fig5.print (Experiments.Fig5.run ());
       let cost = Experiments.Fig8.run_cost () in
@@ -642,13 +802,14 @@ let experiment which =
       Experiments.Tables.print_native (Experiments.Tables.run_native ());
       Experiments.Ablations.print (Experiments.Ablations.run ());
       Experiments.Abl_sa.print (Experiments.Abl_sa.run ());
-      Experiments.Abl_fi.print (Experiments.Abl_fi.run ())
+      Experiments.Abl_fi.print (Experiments.Abl_fi.run ());
+      Experiments.Dwm.print (Experiments.Dwm.run ())
   | other ->
-      Printf.printf "unknown experiment %s (use f5 f8a f8b f8c f8d f9a f9b tj tn abl absa abfi all)\n" other;
+      Printf.printf "unknown experiment %s (use f5 f8a f8b f8c f8d f9a f9b tj tn abl absa abfi dwm all)\n" other;
       exit 1
 
 let experiment_cmd =
-  let which = Arg.(required & pos 0 (some string) None & info [] ~docv:"ID" ~doc:"Experiment id: f5 f8a f8b f8c f8d f9a f9b tj tn abl absa abfi all.") in
+  let which = Arg.(required & pos 0 (some string) None & info [] ~docv:"ID" ~doc:"Experiment id: f5 f8a f8b f8c f8d f9a f9b tj tn abl absa abfi dwm all.") in
   Cmd.v
     (Cmd.info "experiment" ~doc:"Regenerate a table or figure from the paper.")
     Term.(const experiment $ which)
@@ -822,10 +983,13 @@ let serve_cmd =
 
 let fail_service code message =
   Printf.printf "service error [%s]: %s\n" code message;
-  exit (if code = "damaged" then exit_store_corruption else 1)
+  exit
+    (if code = "damaged" then exit_store_corruption
+     else if code = "unknown-scheme" then exit_unknown_scheme
+     else 1)
 
-let query socket source workload key mark bits pieces input seed embed digest recognize_file expect
-    want_stats want_list want_shutdown =
+let query socket source workload scheme key mark bits pieces input seed embed digest recognize_file
+    expect want_stats want_list want_shutdown =
   let workload_entry = List.assoc_opt workload builtin_workloads in
   let program_bytes_and_input () =
     match source with
@@ -850,6 +1014,7 @@ let query socket source workload key mark bits pieces input seed embed digest re
           call
             (Service.Proto.Embed
                {
+                 scheme;
                  program;
                  key;
                  bits;
@@ -880,7 +1045,7 @@ let query socket source workload key mark bits pieces input seed embed digest re
               match workload_entry with Some w -> w.Workloads.Workload.input | None -> input
             else input
           in
-          match call (Service.Proto.Recognize { source; key; bits; input }) with
+          match call (Service.Proto.Recognize { scheme; source; key; bits; input }) with
           | Service.Proto.Recognized { value; confidence; registered } -> (
               Printf.printf "confidence %.3f\n" confidence;
               Option.iter
@@ -965,8 +1130,8 @@ let query_cmd =
   Cmd.v
     (Cmd.info "query" ~doc:"Talk to a running $(b,pathmark serve): embed, recognize, inspect.")
     Term.(
-      const query $ socket_t $ source $ workload $ key_t $ mark_t $ bits_t $ pieces $ input_t $ seed_t
-      $ embed $ digest $ recognize_file $ expect $ want_stats $ want_list $ want_shutdown)
+      const query $ socket_t $ source $ workload $ scheme_t $ key_t $ mark_t $ bits_t $ pieces $ input_t
+      $ seed_t $ embed $ digest $ recognize_file $ expect $ want_stats $ want_list $ want_shutdown)
 
 let main =
   Cmd.group
@@ -974,6 +1139,9 @@ let main =
        ~doc:"Dynamic path-based software watermarking (Collberg et al., PLDI 2004).")
     [
       batch_cmd;
+      schemes_cmd;
+      embed_cmd;
+      recognize_cmd;
       embed_vm_cmd;
       recognize_vm_cmd;
       run_vm_cmd;

@@ -6,12 +6,14 @@ module Codec = Codec
 module Stackvm = Stackvm
 module Minic = Minic
 module Jwm = Jwm
+module Gwm = Gwm
 module Vmattacks = Vmattacks
 module Nativesim = Nativesim
 module Phash = Phash
 module Nwm = Nwm
 module Nattacks = Nattacks
 module Workloads = Workloads
+module Scheme = Scheme
 module Engine = Engine
 module Fault = Fault
 module Store = Store

@@ -21,12 +21,24 @@ module Codec = Codec
 module Stackvm = Stackvm
 module Minic = Minic
 module Jwm = Jwm
+
+module Gwm = Gwm
+(** The graph track: a WaterRPG-style dynamic watermark that encodes the
+    fingerprint as a reducible permutation graph and replays it through
+    traced branch behaviour. *)
+
 module Vmattacks = Vmattacks
 module Nativesim = Nativesim
 module Phash = Phash
 module Nwm = Nwm
 module Nattacks = Nattacks
 module Workloads = Workloads
+
+module Scheme = Scheme
+(** The pluggable scheme layer: the generic {!Scheme.Watermarker} module
+    signature, the name-keyed {!Scheme.Registry}, built-in registrations
+    ({!Scheme.Builtin}) and multi-watermark composition ({!Scheme.Compose},
+    names like ["jwm+gwm"]). *)
 
 module Engine = Engine
 (** The parallel batch engine: {!Engine.Job} specs executed by a

@@ -219,7 +219,113 @@ let recognize_bits ?inject ?events ~id ~label ~salt ~key ~bits trace_bytes =
   | _ -> ());
   report.Codec.Recombine.value
 
+(* Jobs naming a non-default scheme go through the generic registry
+   interface ({!Scheme.Builtin}); the built-in "jwm" keeps its specialized
+   path below, where trace sharing, stride recombination and degraded-mode
+   accounting are tuned.  Composite names ("jwm+gwm") resolve to
+   {!Scheme.Compose} and make the double-watermark mode batchable. *)
+let scheme_spec (job : Job.t) ~redundancy =
+  {
+    Scheme.Watermarker.key = job.Job.key;
+    bits = job.Job.bits;
+    input = job.Job.input;
+    seed = job.Job.seed;
+    fuel = job.Job.fuel;
+    redundancy;
+  }
+
+let compute_vm_scheme ?inject ?cache ?events ~id (job : Job.t) program action =
+  let (module W) = Scheme.Builtin.find_exn job.Job.scheme in
+  if W.caps.Scheme.Watermarker.track <> Scheme.Watermarker.Vm then
+    failwith (Printf.sprintf "scheme %s cannot run on the VM track" job.Job.scheme);
+  let recognize_value spec prog =
+    (W.recognize spec (Scheme.Watermarker.Vm_program prog)).Scheme.Watermarker.value
+  in
+  match (action : Job.vm_action) with
+  | Job.Embed { fingerprint; pieces } ->
+      let e =
+        timed ?events ~id ~stage:"embed" (fun () ->
+            W.embed fingerprint
+              (scheme_spec job ~redundancy:pieces)
+              (Scheme.Watermarker.Vm_program program))
+      in
+      (match e.Scheme.Watermarker.carrier with
+      | Scheme.Watermarker.Vm_program marked ->
+          Vm_embedded
+            {
+              program = Stackvm.Serialize.encode marked;
+              bytes_before = e.Scheme.Watermarker.bytes_before;
+              bytes_after = e.Scheme.Watermarker.bytes_after;
+            }
+      | _ -> failwith (Printf.sprintf "scheme %s embedded a non-VM carrier" job.Job.scheme))
+  | Job.Recognize { expected } ->
+      let spec = scheme_spec job ~redundancy:Scheme.Watermarker.default_redundancy in
+      let value =
+        match W.recognize_branches with
+        | Some recognize_branches ->
+            (* offline branch-stream recognition: shares the cached trace
+               and lets the fault plan corrupt the replayed stream, exactly
+               like the jwm path *)
+            let fuel = Option.value ~default:default_recognize_fuel job.Job.fuel in
+            let capture () =
+              Stackvm.Trace.save
+                (Stackvm.Trace.capture ~fuel ~want_snapshots:false program ~input:job.Job.input)
+            in
+            let trace_bytes =
+              timed ?events ~id ~stage:"trace" (fun () ->
+                  match cache with
+                  | Some c -> Cache.with_bytes ?events c ~stage:"trace" ~key:(Job.trace_digest job) capture
+                  | None -> capture ())
+            in
+            let branches = Stackvm.Trace.load_branches trace_bytes in
+            let branches, nfaults =
+              match inject with
+              | None -> (branches, 0)
+              | Some plan -> Fault.Inject.branches plan ~salt:(Job.trace_digest job) branches
+            in
+            if nfaults > 0 then
+              emit events
+                (Events.Fault_injected
+                   {
+                     id;
+                     label = job.Job.label;
+                     layer = "trace";
+                     detail = Printf.sprintf "%d branch event(s) corrupted" nfaults;
+                   });
+            let r = timed ?events ~id ~stage:"recognize" (fun () -> recognize_branches spec branches) in
+            (match r.Scheme.Watermarker.value with
+            | Some _ when nfaults > 0 ->
+                emit events (Events.Counter { name = "recognitions.degraded"; delta = 1 })
+            | _ -> ());
+            r.Scheme.Watermarker.value
+        | None -> timed ?events ~id ~stage:"recognize" (fun () -> recognize_value spec program)
+      in
+      Vm_recognized { value; matched = match_against expected value }
+  | Job.Attack_campaign { expected; attacks } ->
+      let rng = Util.Prng.create job.Job.seed in
+      let spec = scheme_spec job ~redundancy:Scheme.Watermarker.default_redundancy in
+      let survived =
+        List.map
+          (fun name ->
+            match List.assoc_opt name Vmattacks.Attacks.all with
+            | None -> failwith ("unknown attack: " ^ name)
+            | Some attack ->
+                let attacked = attack (Util.Prng.split rng) program in
+                let alive =
+                  timed ?events ~id ~stage:("attack:" ^ name) (fun () ->
+                      match recognize_value spec attacked with
+                      | Some v -> Bignum.equal v expected
+                      | None -> false)
+                in
+                (name, alive))
+          attacks
+      in
+      Vm_attacked { survived }
+
 let compute_vm ?inject ?cache ?events ~id (job : Job.t) program action =
+  if job.Job.scheme <> Job.default_vm_scheme then
+    compute_vm_scheme ?inject ?cache ?events ~id job program action
+  else
   match (action : Job.vm_action) with
   | Job.Embed { fingerprint; pieces } ->
       let capture () =
@@ -289,6 +395,8 @@ let compute_vm ?inject ?cache ?events ~id (job : Job.t) program action =
 let default_native_passes = 5
 
 let compute_native ?inject ?events ~id (job : Job.t) program action =
+  if job.Job.scheme <> Job.default_native_scheme then
+    failwith (Printf.sprintf "scheme %s cannot run on the native track" job.Job.scheme);
   match (action : Job.native_action) with
   | Job.Native_embed { fingerprint; tamper_proof } ->
       let report =
@@ -595,7 +703,8 @@ let prewarm ~domains ?cache ?events jobs =
         (fun (j : Job.t) ->
           match j.Job.payload with
           | Job.Vm { program; action = Job.Embed _ }
-            when not (Cache.mem_bytes c ~stage:(Job.kind j) ~key:(Job.digest j)) ->
+            when j.Job.scheme = Job.default_vm_scheme
+                 && not (Cache.mem_bytes c ~stage:(Job.kind j) ~key:(Job.digest j)) ->
               let tk = Job.trace_digest j in
               if not (Hashtbl.mem distinct tk) then
                 Hashtbl.replace distinct tk (fun () ->

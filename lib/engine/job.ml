@@ -18,20 +18,44 @@ type t = {
   input : int list;
   seed : int64;
   fuel : int option;
+  scheme : string;
   payload : payload;
 }
 
 let default_seed = 0x1234_5678L
+let default_vm_scheme = "jwm"
+let default_native_scheme = "nwm"
 
-let vm_embed ?label ?(seed = default_seed) ?fuel ~key ~bits ~pieces ~fingerprint ~input program =
+let vm_embed ?label ?(seed = default_seed) ?fuel ?(scheme = default_vm_scheme) ~key ~bits ~pieces
+    ~fingerprint ~input program =
   let label = Option.value label ~default:("embed:" ^ Bignum.to_string fingerprint) in
-  { label; key; bits; input; seed; fuel; payload = Vm { program; action = Embed { fingerprint; pieces } } }
+  {
+    label;
+    key;
+    bits;
+    input;
+    seed;
+    fuel;
+    scheme;
+    payload = Vm { program; action = Embed { fingerprint; pieces } };
+  }
 
-let vm_recognize ?label ?(seed = default_seed) ?fuel ?expected ~key ~bits ~input program =
+let vm_recognize ?label ?(seed = default_seed) ?fuel ?(scheme = default_vm_scheme) ?expected ~key ~bits
+    ~input program =
   let label = Option.value label ~default:"recognize" in
-  { label; key; bits; input; seed; fuel; payload = Vm { program; action = Recognize { expected } } }
+  {
+    label;
+    key;
+    bits;
+    input;
+    seed;
+    fuel;
+    scheme;
+    payload = Vm { program; action = Recognize { expected } };
+  }
 
-let vm_attack_campaign ?label ?(seed = default_seed) ?fuel ~key ~bits ~expected ~attacks ~input program =
+let vm_attack_campaign ?label ?(seed = default_seed) ?fuel ?(scheme = default_vm_scheme) ~key ~bits
+    ~expected ~attacks ~input program =
   let label = Option.value label ~default:(Printf.sprintf "attack[%d]" (List.length attacks)) in
   {
     label;
@@ -40,6 +64,7 @@ let vm_attack_campaign ?label ?(seed = default_seed) ?fuel ~key ~bits ~expected 
     input;
     seed;
     fuel;
+    scheme;
     payload = Vm { program; action = Attack_campaign { expected; attacks } };
   }
 
@@ -53,6 +78,7 @@ let native_embed ?label ?(seed = default_seed) ?fuel ?(tamper_proof = true) ~bit
     input;
     seed;
     fuel;
+    scheme = default_native_scheme;
     payload = Native { program; action = Native_embed { fingerprint; tamper_proof } };
   }
 
@@ -65,6 +91,7 @@ let native_extract ?label ?fuel ?expected ~bits ~begin_addr ~end_addr ~input pro
     input;
     seed = default_seed;
     fuel;
+    scheme = default_native_scheme;
     payload = Native { program; action = Native_extract { begin_addr; end_addr; expected } };
   }
 
@@ -122,8 +149,9 @@ let action_fields buf t =
 
 let digest t =
   let buf = Buffer.create 512 in
-  add_field buf "pathmark-job" "v1";
+  add_field buf "pathmark-job" "v2";
   add_field buf "key" t.key;
+  add_field buf "scheme" t.scheme;
   add_field buf "bits" (string_of_int t.bits);
   add_field buf "input" (input_string t.input);
   add_field buf "seed" (Int64.to_string t.seed);

@@ -35,13 +35,20 @@ type t = {
   input : int list;  (** secret / training input sequence *)
   seed : int64;  (** deterministic randomness seed *)
   fuel : int option;  (** per-job execution budget (the timeout analog) *)
+  scheme : string;
+      (** registry name of the watermarking scheme ({!Scheme.Registry});
+          VM jobs default to ["jwm"], native jobs to ["nwm"] *)
   payload : payload;
 }
+
+val default_vm_scheme : string
+val default_native_scheme : string
 
 val vm_embed :
   ?label:string ->
   ?seed:int64 ->
   ?fuel:int ->
+  ?scheme:string ->
   key:string ->
   bits:int ->
   pieces:int ->
@@ -54,6 +61,7 @@ val vm_recognize :
   ?label:string ->
   ?seed:int64 ->
   ?fuel:int ->
+  ?scheme:string ->
   ?expected:Bignum.t ->
   key:string ->
   bits:int ->
@@ -65,6 +73,7 @@ val vm_attack_campaign :
   ?label:string ->
   ?seed:int64 ->
   ?fuel:int ->
+  ?scheme:string ->
   key:string ->
   bits:int ->
   expected:Bignum.t ->

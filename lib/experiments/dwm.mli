@@ -1,0 +1,24 @@
+(** DWM: double-watermark interference (§5.2.2 of the paper).
+
+    Each VM-track scheme is embedded alone and then stacked with the
+    other in both orders ("jwm+gwm" and "gwm+jwm" through the registry's
+    composition operator). The experiment checks that the composite
+    recovers the mark, that each component still recognizes blindly in
+    the multiply-marked program, and what the stacking costs in bytes. *)
+
+type row = {
+  workload : string;
+  combo : string;  (** registry name, e.g. "jwm+gwm" *)
+  bytes_before : int;
+  bytes_after : int;
+  overhead_pct : float;  (** size growth of the marked program *)
+  composite_ok : bool;  (** the combo scheme itself recovers the mark *)
+  confidence : float;  (** composite confidence (min over members) *)
+  members : string;  (** per-component blind recovery, e.g. "jwm=ok gwm=ok" *)
+  equivalent : bool;  (** marked program matches outputs on all inputs *)
+}
+
+val run : ?workloads:Workloads.Workload.t list -> unit -> row list
+(** [workloads] defaults to the Caffeine suite and the Jess-lite engine. *)
+
+val print : row list -> unit

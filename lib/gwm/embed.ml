@@ -1,0 +1,292 @@
+open Stackvm
+
+type spec = {
+  passphrase : string;
+  watermark : Bignum.t;
+  watermark_bits : int;
+  copies : int;
+  input : int list;
+}
+
+type report = {
+  program : Program.t;
+  order : int;
+  walker : string;
+  stream_length : int;
+  bytes_before : int;
+  bytes_after : int;
+}
+
+open Asm
+
+let fresh_name prog base =
+  let taken n =
+    Array.exists (fun (f : Program.func) -> f.name = n) prog.Program.funcs
+  in
+  let rec go n = if taken n then go (n ^ "_") else n in
+  go base
+
+(* Locals of the walker. *)
+let l_g = 0 (* back-edge array *)
+let l_b = 1 (* emitted bit array *)
+let l_i = 2 (* digit index *)
+let l_d = 3 (* current digit *)
+let l_v = 4 (* width countdown / checksum bit counter *)
+let l_idx = 5 (* write cursor into the bit array *)
+let l_c = 6 (* checksum accumulator *)
+let l_t = 7 (* emission counter *)
+let nlocals = 8
+
+let decoy_body rng =
+  let a = Util.Prng.int rng 1000 and b = 1 + Util.Prng.int rng 99 in
+  [
+    Instr.Const a;
+    Instr.Store 0;
+    Instr.Load 0;
+    Instr.Const b;
+    Instr.Binop Instr.Mul;
+    Instr.Ret;
+  ]
+
+(* An opaquely-false guard that residue reasoning cannot fold: compare a
+   graph-array cell against a value it never holds (targets are <= m). *)
+let stealth_guard rng ~m =
+  let cell = Util.Prng.int rng (m + 1) in
+  [
+    Instr.Load l_g;
+    Instr.Const cell;
+    Instr.Array_load;
+    Instr.Const (m + 1 + Util.Prng.int rng 64);
+    Instr.Cmp Instr.Eq;
+  ]
+
+let walker_code rng ~stealth ~m ~copies ~targets ~sync ~decoys =
+  let len = Encode.stream_length m in
+  let build_graph =
+    [ I (Instr.Const (m + 1)); I Instr.New_array; I (Instr.Store l_g) ]
+    :: List.init (m + 1) (fun node ->
+           (* node 0 carries a decoy self-target; nodes 1..m carry b_i *)
+           let t = if node = 0 then 0 else targets.(node - 1) in
+           let mask = Util.Prng.int rng 0x3FFF_FFFF in
+           [
+             I (Instr.Load l_g);
+             I (Instr.Const node);
+             I (Instr.Const (t lxor mask));
+             I (Instr.Const mask);
+             I (Instr.Binop Instr.Xor);
+             I Instr.Array_store;
+           ])
+  in
+  let build_bits =
+    [ I (Instr.Const len); I Instr.New_array; I (Instr.Store l_b) ]
+    :: List.mapi
+         (fun k bit ->
+           [
+             I (Instr.Load l_b);
+             I (Instr.Const k);
+             I (Instr.Const (if bit then 1 else 0));
+             I Instr.Array_store;
+           ])
+         sync
+  in
+  let digit_walk =
+    [
+      I (Instr.Const Encode.sync_bits);
+      I (Instr.Store l_idx);
+      I (Instr.Const 0);
+      I (Instr.Store l_c);
+      I (Instr.Const 2);
+      I (Instr.Store l_i);
+      L "digit_loop";
+      I (Instr.Load l_i);
+      I (Instr.Const m);
+      I (Instr.Cmp Instr.Le);
+      Br (false, "digits_done");
+      (* d := (i - 1) - g[i]  — recompute the digit from the back edge *)
+      I (Instr.Load l_i);
+      I (Instr.Const 1);
+      I (Instr.Binop Instr.Sub);
+      I (Instr.Load l_g);
+      I (Instr.Load l_i);
+      I Instr.Array_load;
+      I (Instr.Binop Instr.Sub);
+      I (Instr.Store l_d);
+      (* c := (c*31 + d) land 255 *)
+      I (Instr.Load l_c);
+      I (Instr.Const 31);
+      I (Instr.Binop Instr.Mul);
+      I (Instr.Load l_d);
+      I (Instr.Binop Instr.Add);
+      I (Instr.Const 255);
+      I (Instr.Binop Instr.And);
+      I (Instr.Store l_c);
+      (* v := i - 1; emit width(i) = bitlen(i-1) bits of d, LSB first *)
+      I (Instr.Load l_i);
+      I (Instr.Const 1);
+      I (Instr.Binop Instr.Sub);
+      I (Instr.Store l_v);
+      L "bit_loop";
+      I (Instr.Load l_v);
+      I (Instr.Const 0);
+      I (Instr.Cmp Instr.Gt);
+      Br (false, "bits_done");
+      I (Instr.Load l_b);
+      I (Instr.Load l_idx);
+      I (Instr.Load l_d);
+      I (Instr.Const 1);
+      I (Instr.Binop Instr.And);
+      I Instr.Array_store;
+      I (Instr.Load l_idx);
+      I (Instr.Const 1);
+      I (Instr.Binop Instr.Add);
+      I (Instr.Store l_idx);
+      I (Instr.Load l_d);
+      I (Instr.Const 1);
+      I (Instr.Binop Instr.Shr);
+      I (Instr.Store l_d);
+      I (Instr.Load l_v);
+      I (Instr.Const 1);
+      I (Instr.Binop Instr.Shr);
+      I (Instr.Store l_v);
+      Jmp "bit_loop";
+      L "bits_done";
+      I (Instr.Load l_i);
+      I (Instr.Const 1);
+      I (Instr.Binop Instr.Add);
+      I (Instr.Store l_i);
+      Jmp "digit_loop";
+      L "digits_done";
+      (* 8 checksum bits, LSB first *)
+      I (Instr.Const 0);
+      I (Instr.Store l_v);
+      L "ck_loop";
+      I (Instr.Load l_v);
+      I (Instr.Const Encode.checksum_bits);
+      I (Instr.Cmp Instr.Lt);
+      Br (false, "ck_done");
+      I (Instr.Load l_b);
+      I (Instr.Load l_idx);
+      I (Instr.Load l_c);
+      I (Instr.Const 1);
+      I (Instr.Binop Instr.And);
+      I Instr.Array_store;
+      I (Instr.Load l_idx);
+      I (Instr.Const 1);
+      I (Instr.Binop Instr.Add);
+      I (Instr.Store l_idx);
+      I (Instr.Load l_c);
+      I (Instr.Const 1);
+      I (Instr.Binop Instr.Shr);
+      I (Instr.Store l_c);
+      I (Instr.Load l_v);
+      I (Instr.Const 1);
+      I (Instr.Binop Instr.Add);
+      I (Instr.Store l_v);
+      Jmp "ck_loop";
+      L "ck_done";
+    ]
+  in
+  let emit =
+    [
+      I (Instr.Const 0);
+      I (Instr.Store l_t);
+      L "emit_loop";
+      I (Instr.Load l_t);
+      I (Instr.Const (copies * len));
+      I (Instr.Cmp Instr.Lt);
+      Br (false, "emit_done");
+      I (Instr.Load l_b);
+      I (Instr.Load l_t);
+      I (Instr.Const len);
+      I (Instr.Binop Instr.Rem);
+      I Instr.Array_load;
+      (* THE carrier branch: its taken/not-taken stream is the watermark *)
+      Br (true, "emit_step");
+      I Instr.Nop;
+      L "emit_step";
+      I (Instr.Load l_t);
+      I (Instr.Const 1);
+      I (Instr.Binop Instr.Add);
+      I (Instr.Store l_t);
+      Jmp "emit_loop";
+      L "emit_done";
+    ]
+  in
+  let guards, blocks =
+    List.mapi
+      (fun k name ->
+        let guard =
+          if stealth then stealth_guard rng ~m
+          else Jwm.Opaque.false_predicate rng ~slot:l_i
+        in
+        let after = Printf.sprintf "after%d" k and dec = Printf.sprintf "decoy%d" k in
+        ( List.map (fun i -> I i) guard @ [ Br (true, dec); L after ],
+          [ L dec; I (Instr.Call name); I Instr.Pop; Jmp after ] ))
+      decoys
+    |> List.split
+  in
+  let epilogue = [ I (Instr.Const 0); I Instr.Ret ] in
+  List.concat build_graph
+  @ List.concat build_bits
+  @ digit_walk @ emit @ List.concat guards @ epilogue @ List.concat blocks
+
+let embed ?(seed = 0x1234_5678L) ?(stealth = false) spec prog =
+  if spec.copies < 1 then invalid_arg "Gwm.Embed.embed: copies must be >= 1";
+  if Bignum.sign spec.watermark < 0 then
+    invalid_arg "Gwm.Embed.embed: negative watermark";
+  if Bignum.num_bits spec.watermark > spec.watermark_bits then
+    invalid_arg "Gwm.Embed.embed: watermark wider than watermark_bits";
+  ignore spec.input;
+  let bytes_before = Serialize.size_in_bytes prog in
+  let m = Encode.order_for_bits spec.watermark_bits in
+  let rng = Util.Prng.create seed in
+  let targets = Encode.back_targets spec.watermark ~m in
+  let sync = Encode.sync_word ~key:spec.passphrase in
+  let walker = fresh_name prog (Printf.sprintf "gwm_walk_%04x" (Util.Prng.bits rng 16)) in
+  let decoys =
+    List.init 2 (fun k ->
+        fresh_name prog (Printf.sprintf "gwm_aux%d_%04x" k (Util.Prng.bits rng 16)))
+  in
+  let prog =
+    List.fold_left
+      (fun p name ->
+        Program.add_func p
+          (Program.func ~name ~nargs:0 ~nlocals:1 (decoy_body rng)))
+      prog decoys
+  in
+  let code =
+    assemble
+      (walker_code rng ~stealth ~m ~copies:spec.copies ~targets ~sync ~decoys)
+  in
+  let prog =
+    Program.add_func prog (Program.func ~name:walker ~nargs:0 ~nlocals code)
+  in
+  (* Run-once hook at the entry of main, guarded by a fresh global flag. *)
+  let flag = prog.Program.nglobals in
+  let prog = Program.with_globals prog (flag + 1) in
+  let hook =
+    [
+      Instr.Get_global flag;
+      Instr.If { sense = true; target = 6 };
+      Instr.Const 1;
+      Instr.Set_global flag;
+      Instr.Call walker;
+      Instr.Pop;
+    ]
+  in
+  let main =
+    match Program.find_func prog prog.Program.main with
+    | Some f -> f
+    | None -> invalid_arg "Gwm.Embed.embed: program has no main"
+  in
+  let main = Rewrite.insert main ~at:0 hook in
+  let prog = Program.replace_func prog main in
+  Verify.check_exn prog;
+  {
+    program = prog;
+    order = m;
+    walker;
+    stream_length = Encode.stream_length m;
+    bytes_before;
+    bytes_after = Serialize.size_in_bytes prog;
+  }

@@ -1,0 +1,45 @@
+(** Graph-watermark embedding (WaterRPG execution-flow style).
+
+    The fingerprint is turned into a reducible permutation graph
+    ({!Encode}) and the graph into a {e walker} function appended to the
+    program: the walker materializes the back-edge array at runtime (from
+    xor-masked constants), walks it recomputing each mixed-radix digit, and
+    emits sync word + digits + checksum — [redundancy] times over — through
+    a {e single static conditional branch} whose dynamic taken/not-taken
+    behaviour is the bit stream.  Recognition therefore reconstructs the
+    graph purely from traced branch behaviour, in the paper's dynamic
+    spirit, and is blind.
+
+    Dummy nodes: decoy call sites guarded by the PR 2 opaque-predicate
+    machinery ({!Jwm.Opaque}) are appended after the walk, so the walker's
+    call structure does not consist solely of load-bearing code.  With
+    [stealth] the guards instead compare against graph-array cells — values
+    a sound constant folder must leave undecided (arrays are not tracked),
+    so {!Analysis.Vmlint}'s residue reasoning cannot prove the decoys
+    dead. *)
+
+type spec = {
+  passphrase : string;  (** keys the sync word *)
+  watermark : Bignum.t;
+  watermark_bits : int;  (** determines the graph order via {!Encode.order_for_bits} *)
+  copies : int;  (** redundant emissions of the stream *)
+  input : int list;  (** unused by embedding (the walker runs on entry), kept
+                         for interface symmetry and future input-keyed gating *)
+}
+
+type report = {
+  program : Stackvm.Program.t;
+  order : int;  (** graph order [m] *)
+  walker : string;  (** name of the inserted walker function *)
+  stream_length : int;  (** bits per emitted copy *)
+  bytes_before : int;
+  bytes_after : int;
+}
+
+val embed :
+  ?seed:int64 -> ?stealth:bool -> spec -> Stackvm.Program.t -> report
+(** Raises [Invalid_argument] when the watermark needs more than
+    [watermark_bits] bits or [copies < 1].  The result verifies
+    ({!Stackvm.Verify.check_exn}) and is semantically equivalent to the
+    input program (the walker computes into fresh state and its guard
+    global makes it run exactly once). *)

@@ -1,0 +1,115 @@
+let factorial m =
+  let rec go acc i =
+    if i > m then acc else go (Bignum.mul acc (Bignum.of_int i)) (i + 1)
+  in
+  go Bignum.one 2
+
+let order_for_bits bits =
+  if bits < 1 then invalid_arg "Encode.order_for_bits: bits must be positive";
+  let rec go m fact =
+    (* fact = m!; m! >= 2^bits iff num_bits m! > bits *)
+    if Bignum.num_bits fact > bits then m
+    else go (m + 1) (Bignum.mul fact (Bignum.of_int (m + 1)))
+  in
+  go 1 Bignum.one
+
+let capacity_bits m = Bignum.num_bits (factorial m) - 1
+
+let digits w ~m =
+  if Bignum.sign w < 0 then invalid_arg "Encode.digits: negative watermark";
+  if Bignum.compare w (factorial m) >= 0 then
+    invalid_arg "Encode.digits: watermark exceeds m! capacity";
+  let d = Array.make m 0 in
+  let rest = ref w in
+  for i = 1 to m do
+    let q, r = Bignum.divmod !rest (Bignum.of_int i) in
+    d.(i - 1) <- Bignum.to_int r;
+    rest := q
+  done;
+  d
+
+let value d =
+  let m = Array.length d in
+  let w = ref Bignum.zero in
+  for i = m downto 1 do
+    w := Bignum.add (Bignum.mul !w (Bignum.of_int i)) (Bignum.of_int d.(i - 1))
+  done;
+  !w
+
+let back_targets w ~m =
+  let d = digits w ~m in
+  Array.mapi (fun i0 di -> i0 - di) d
+(* node i = i0+1: b_i = i - 1 - d_i = i0 - d_i *)
+
+let of_back_targets b =
+  value
+    (Array.mapi
+       (fun i0 bi ->
+         if bi < 0 || bi > i0 then
+           invalid_arg "Encode.of_back_targets: target out of range";
+         i0 - bi)
+       b)
+
+let width i =
+  if i < 2 then invalid_arg "Encode.width: digit index < 2";
+  let rec bits v acc = if v = 0 then acc else bits (v lsr 1) (acc + 1) in
+  bits (i - 1) 0
+
+let payload_bits m =
+  let total = ref 0 in
+  for i = 2 to m do
+    total := !total + width i
+  done;
+  !total
+
+let sync_bits = 16
+let checksum_bits = 8
+let stream_length m = sync_bits + payload_bits m + checksum_bits
+
+let sync_word ~key =
+  let digest = Digest.string ("gwm-sync:" ^ key) in
+  let seed = String.get_int64_le digest 0 in
+  let prng = Util.Prng.create seed in
+  List.init sync_bits (fun k ->
+      match k with 0 -> false | 1 -> true | _ -> Util.Prng.bool prng)
+
+let checksum d =
+  let c = ref 0 in
+  for i = 2 to Array.length d do
+    c := ((!c * 31) + d.(i - 1)) land 0xff
+  done;
+  !c
+
+let bits_of_int v n = List.init n (fun k -> (v lsr k) land 1 = 1)
+
+let bitstream w ~m ~key =
+  let d = digits w ~m in
+  let payload =
+    List.concat (List.init (m - 1) (fun j -> bits_of_int d.(j + 1) (width (j + 2))))
+  in
+  sync_word ~key @ payload @ bits_of_int (checksum d) checksum_bits
+
+let int_of_bits bits = List.fold_right (fun b acc -> (acc lsl 1) lor if b then 1 else 0) bits 0
+
+let decode_payload ~m bits =
+  let need = payload_bits m + checksum_bits in
+  if List.length bits < need then Error "short payload"
+  else
+    let arr = Array.of_list bits in
+    let pos = ref 0 in
+    let take n =
+      let v = int_of_bits (List.init n (fun k -> arr.(!pos + k))) in
+      pos := !pos + n;
+      v
+    in
+    let d = Array.make m 0 in
+    let ok = ref true in
+    for i = 2 to m do
+      let di = take (width i) in
+      if di > i - 1 then ok := false;
+      d.(i - 1) <- di
+    done;
+    let c = take checksum_bits in
+    if not !ok then Error "digit out of range"
+    else if c <> checksum d then Error "checksum mismatch"
+    else Ok (value d)

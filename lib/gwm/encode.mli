@@ -1,0 +1,73 @@
+(** Watermark numbers as reducible permutation graphs (WaterRPG encoding).
+
+    Following Chroni & Nikolopoulos ("Efficient Encoding of Watermark
+    Numbers as Reducible Permutation Flow-Graphs"), a fingerprint
+    [w ∈ \[0, m!)] is encoded as a graph on nodes [0..m]: a linear forward
+    path [0 → 1 → … → m] plus one {e back edge} per node [i ≥ 1] to some
+    earlier node [b_i ∈ \[0, i-1\]].  Every back edge targets a dominator
+    (on a path, every earlier node dominates), so the graph is reducible —
+    it could have been produced by structured control flow, which is what
+    makes the construction plausible inside a real program.
+
+    The bijection is the factorial number system: writing
+    [w = Σ d_i · (i-1)!…] in mixed radix with radix [i] for digit [d_i]
+    ([i = 1..m], so [d_i ∈ \[0, i-1\]]), the back edge of node [i] is
+    [b_i = i - 1 - d_i].  Capacity is exactly [m!]. *)
+
+val order_for_bits : int -> int
+(** Minimal [m] with [m! ≥ 2^bits] ([bits ≥ 1]); e.g. 64 → 21, 128 → 35. *)
+
+val capacity_bits : int -> int
+(** Largest [bits] with [2^bits ≤ m!] — the effective capacity of order
+    [m]; inverse-ish of {!order_for_bits}. *)
+
+val digits : Bignum.t -> m:int -> int array
+(** Mixed-radix digits [d_1..d_m] (index 0 = [d_1], always 0).  Raises
+    [Invalid_argument] when [w < 0] or [w ≥ m!]. *)
+
+val value : int array -> Bignum.t
+(** Inverse of {!digits}. *)
+
+val back_targets : Bignum.t -> m:int -> int array
+(** [b_1..b_m] (index 0 = [b_1] = target of node 1). *)
+
+val of_back_targets : int array -> Bignum.t
+(** Inverse of {!back_targets}; raises [Invalid_argument] on an out-of-range
+    target. *)
+
+(** {2 Trace bit layout}
+
+    The embedded walker betrays the graph through one static conditional
+    branch: a 16-bit keyed sync word, then each digit [d_i] ([i = 2..m])
+    LSB-first in exactly [width i] bits, then an 8-bit checksum. *)
+
+val width : int -> int
+(** Bits used for digit [i ≥ 2]: the bit-length of [i-1]. *)
+
+val payload_bits : int -> int
+(** [Σ_{i=2..m} width i]. *)
+
+val sync_bits : int
+(** 16. *)
+
+val checksum_bits : int
+(** 8. *)
+
+val stream_length : int -> int
+(** Total emitted bits per copy for order [m]. *)
+
+val sync_word : key:string -> bool list
+(** The keyed sync pattern ([sync_bits] long, first two bits [0;1] so the
+    pattern is never constant and survives polarity inversion
+    unambiguously). *)
+
+val checksum : int array -> int
+(** 8-bit checksum over digits [d_2..d_m]. *)
+
+val bitstream : Bignum.t -> m:int -> key:string -> bool list
+(** One full copy: sync ++ payload ++ checksum. *)
+
+val decode_payload : m:int -> bool list -> (Bignum.t, string) result
+(** Decode [payload_bits m + checksum_bits] bits (the part after the sync
+    word): range-check every digit, verify the checksum, rebuild the
+    value. *)

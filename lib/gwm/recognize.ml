@@ -1,0 +1,158 @@
+type outcome = {
+  value : Bignum.t option;
+  confidence : float;
+  copies_found : int;
+  candidates : int;
+  trace_branches : int;
+  steps : int;
+  diagnostic : string option;
+}
+
+(* Streams of taken-bits per static branch site, in dynamic order. *)
+let streams events =
+  let tbl : (int * int, bool list ref) Hashtbl.t = Hashtbl.create 32 in
+  let order = ref [] in
+  List.iter
+    (fun (e : Stackvm.Trace.branch_event) ->
+      let key = (e.fidx, e.pc) in
+      match Hashtbl.find_opt tbl key with
+      | Some cell -> cell := e.taken :: !cell
+      | None ->
+          Hashtbl.add tbl key (ref [ e.taken ]);
+          order := key :: !order)
+    events;
+  List.rev_map (fun key -> Array.of_list (List.rev !(Hashtbl.find tbl key))) !order
+
+let matches_sync stream pos sync =
+  let n = Array.length sync in
+  pos + n <= Array.length stream
+  && (let ok = ref true in
+      for k = 0 to n - 1 do
+        if stream.(pos + k) <> sync.(k) then ok := false
+      done;
+      !ok)
+
+(* Candidate payload windows after every sync match, on the stream and on
+   its complement (branch-sense inversion flips every bit of a site). *)
+let windows ~m ~sync stream =
+  let need = Encode.payload_bits m + Encode.checksum_bits in
+  let collect s acc =
+    let acc = ref acc in
+    for pos = Array.length s - Array.length sync downto 0 do
+      if matches_sync s pos sync then
+        let start = pos + Array.length sync in
+        if start + need <= Array.length s then
+          acc := List.init need (fun k -> s.(start + k)) :: !acc
+    done;
+    !acc
+  in
+  let inv = Array.map not stream in
+  collect stream (collect inv [])
+
+let majority_vote values =
+  let tbl = Hashtbl.create 8 in
+  List.iter
+    (fun v ->
+      let k = Bignum.to_string v in
+      Hashtbl.replace tbl k (1 + Option.value ~default:0 (Hashtbl.find_opt tbl k)))
+    values;
+  Hashtbl.fold
+    (fun k n best ->
+      match best with
+      | Some (_, bn) when bn >= n -> best
+      | _ -> Some (Bignum.of_string k, n))
+    tbl None
+
+let bitwise_majority wins =
+  match wins with
+  | [] -> None
+  | first :: _ ->
+      let n = List.length first in
+      let counts = Array.make n 0 and total = List.length wins in
+      List.iter
+        (List.iteri (fun k b -> if b then counts.(k) <- counts.(k) + 1))
+        wins;
+      Some (List.init n (fun k -> 2 * counts.(k) > total))
+
+let decode ~m ~sync events =
+  let trace_branches = List.length events in
+  let wins =
+    List.concat_map (windows ~m ~sync) (streams events)
+  in
+  let candidates = List.length wins in
+  let decoded =
+    List.filter_map
+      (fun w -> match Encode.decode_payload ~m w with Ok v -> Some v | Error _ -> None)
+      wins
+  in
+  match majority_vote decoded with
+  | Some (v, n) ->
+      let agree = float_of_int n /. float_of_int (List.length decoded) in
+      let damp = float_of_int n /. float_of_int (n + 1) in
+      {
+        value = Some v;
+        confidence = agree *. damp;
+        copies_found = n;
+        candidates;
+        trace_branches;
+        steps = 0;
+        diagnostic = None;
+      }
+  | None -> (
+      (* No window decoded cleanly: per-bit majority across the aligned
+         windows may still cancel independent flips. *)
+      match bitwise_majority wins with
+      | Some bits when Result.is_ok (Encode.decode_payload ~m bits) ->
+          let v = Result.get_ok (Encode.decode_payload ~m bits) in
+          {
+            value = Some v;
+            confidence = 0.3;
+            copies_found = 0;
+            candidates;
+            trace_branches;
+            steps = 0;
+            diagnostic = Some "recovered by per-bit majority only";
+          }
+      | _ ->
+          {
+            value = None;
+            confidence = 0.;
+            copies_found = 0;
+            candidates;
+            trace_branches;
+            steps = 0;
+            diagnostic =
+              Some
+                (if trace_branches = 0 then "empty trace"
+                 else if candidates = 0 then "sync word not found in any branch stream"
+                 else "no candidate window decoded");
+          })
+
+let recognize_branches ~passphrase ~watermark_bits events =
+  let m = Encode.order_for_bits watermark_bits in
+  let sync = Array.of_list (Encode.sync_word ~key:passphrase) in
+  decode ~m ~sync events
+
+let recognize ?(fuel = 200_000_000) ~passphrase ~watermark_bits ~input prog =
+  match
+    Stackvm.Trace.capture ~fuel ~want_snapshots:false prog ~input
+  with
+  | trace ->
+      let events = Array.to_list trace.Stackvm.Trace.branches in
+      let outcome = recognize_branches ~passphrase ~watermark_bits events in
+      { outcome with steps = trace.Stackvm.Trace.result.Stackvm.Interp.steps }
+  | exception _ ->
+      {
+        value = None;
+        confidence = 0.;
+        copies_found = 0;
+        candidates = 0;
+        trace_branches = 0;
+        steps = 0;
+        diagnostic = Some "program failed to run";
+      }
+
+let recognizes ?fuel ~passphrase ~watermark_bits ~input ~expected prog =
+  match (recognize ?fuel ~passphrase ~watermark_bits ~input prog).value with
+  | Some v -> Bignum.equal v expected
+  | None -> false

@@ -1,0 +1,48 @@
+(** Graph-watermark recognition — dynamic, blind.
+
+    Re-run (or replay) the program, group the traced conditional-branch
+    events per static branch site, and search every per-site taken/not-taken
+    stream — and its complement, so branch-sense inversion is survived —
+    for the keyed sync word.  Each match yields a candidate window; windows
+    that decode (digit ranges, checksum) vote on the value, and when no
+    window decodes cleanly a per-bit majority over the aligned windows is
+    tried as a degraded fallback.  Only the passphrase, the capacity and
+    the input are needed: recognition is blind and total. *)
+
+type outcome = {
+  value : Bignum.t option;  (** the recovered fingerprint, if any *)
+  confidence : float;  (** in [0,1]; agreement among candidate windows *)
+  copies_found : int;  (** windows that decoded cleanly to the value *)
+  candidates : int;  (** sync-word matches examined *)
+  trace_branches : int;  (** dynamic conditional-branch count *)
+  steps : int;  (** instructions executed (0 for offline replay) *)
+  diagnostic : string option;
+}
+
+val recognize :
+  ?fuel:int ->
+  passphrase:string ->
+  watermark_bits:int ->
+  input:int list ->
+  Stackvm.Program.t ->
+  outcome
+(** Runs the program on [input] (default fuel 200 million steps) and
+    decodes the trace.  Crashing or fuel-exhausted runs still yield
+    whatever trace prefix was collected — never an exception. *)
+
+val recognize_branches :
+  passphrase:string ->
+  watermark_bits:int ->
+  Stackvm.Trace.branch_event list ->
+  outcome
+(** Offline recognition over an already-captured (possibly fault-injected)
+    branch-event stream. *)
+
+val recognizes :
+  ?fuel:int ->
+  passphrase:string ->
+  watermark_bits:int ->
+  input:int list ->
+  expected:Bignum.t ->
+  Stackvm.Program.t ->
+  bool

@@ -1,0 +1,16 @@
+(** Registration and name resolution for the built-in schemes.
+
+    [ensure] idempotently registers ["jwm"], ["nwm"] and ["gwm"]; every
+    lookup goes through it, so callers never race registration.  Names
+    containing ['+'] resolve to {!Compose} compositions of registered
+    schemes (["jwm+gwm"] etc.), making the double-watermark mode selectable
+    anywhere a scheme name is accepted. *)
+
+val ensure : unit -> unit
+
+val find : string -> (module Watermarker.WATERMARKER) option
+val find_exn : string -> (module Watermarker.WATERMARKER)
+(** Raises {!Registry.Unknown} with the full (possibly composite) name. *)
+
+val names : unit -> string list
+val all : unit -> (module Watermarker.WATERMARKER) list

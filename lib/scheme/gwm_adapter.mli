@@ -1,0 +1,3 @@
+(** The graph track ({!Gwm}) as a registered scheme, name ["gwm"]. *)
+
+val watermarker : (module Watermarker.WATERMARKER)

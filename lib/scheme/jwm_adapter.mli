@@ -1,0 +1,3 @@
+(** The bytecode track ({!Jwm}) as a registered scheme, name ["jwm"]. *)
+
+val watermarker : (module Watermarker.WATERMARKER)

@@ -1,0 +1,7 @@
+(** The native track ({!Nwm}) as a registered scheme, name ["nwm"].
+
+    Non-blind: the [aux] string carries the watermark-region window
+    ([begin_addr end_addr], space-separated decimals) that extraction
+    needs. *)
+
+val watermarker : (module Watermarker.WATERMARKER)

@@ -13,6 +13,7 @@ type request =
   | Put_artifact of { kind : Store.Artifact.kind; key : string; label : string; payload : string }
   | Get_artifact of { kind : Store.Artifact.kind; key : string }
   | Embed of {
+      scheme : string;
       program : string;
       key : string;
       bits : int;
@@ -22,6 +23,7 @@ type request =
       seed : int64;
     }
   | Recognize of {
+      scheme : string;
       source : [ `Bytes of string | `Stored of string ];
       key : string;
       bits : int;

@@ -22,17 +22,20 @@ type request =
   | Put_artifact of { kind : Store.Artifact.kind; key : string; label : string; payload : string }
   | Get_artifact of { kind : Store.Artifact.kind; key : string }
   | Embed of {
+      scheme : string;  (** registry name, e.g. ["jwm"], ["gwm"], ["jwm+gwm"] *)
       program : string;  (** {!Stackvm.Serialize} bytes of the host program *)
       key : string;  (** passphrase *)
       bits : int;
-      pieces : int;
+      pieces : int;  (** redundancy: pieces for jwm, trace copies for gwm *)
       fingerprint : Bignum.t;
       input : int list;  (** the secret input *)
       seed : int64;
     }
-      (** Embed, register the marked program (kind [Vm_program], keyed by
-          its digest) plus an embedding report, and return the digest. *)
+      (** Embed under the named scheme, register the marked program (kind
+          [Vm_program], keyed by its digest) plus an embedding report, and
+          return the digest.  Only VM-track schemes can cross this wire. *)
   | Recognize of {
+      scheme : string;  (** registry name the mark was embedded under *)
       source : [ `Bytes of string | `Stored of string ];
           (** serialized program bytes, or the digest of a stored one *)
       key : string;
@@ -72,4 +75,4 @@ type response =
   | Shutting_down
   | Error of { code : string; message : string }
       (** [code] is one of ["not-found"], ["damaged"], ["bad-request"],
-          ["internal"] *)
+          ["unknown-scheme"], ["internal"] *)

@@ -6,10 +6,21 @@ let err code message = Proto.Error { code; message }
 
 let is_error = function Proto.Error _ -> true | _ -> false
 
-let embed_report digest fingerprint bits pieces (r : Jwm.Embed.report) =
-  Printf.sprintf "digest: %s\nfingerprint: %s\nbits: %d\npieces: %d\nbytes_before: %d\nbytes_after: %d\ninsertions: %d\n"
-    digest (Bignum.to_string fingerprint) bits pieces r.Jwm.Embed.bytes_before r.Jwm.Embed.bytes_after
-    (List.length r.Jwm.Embed.insertions)
+let embed_report ~digest ~scheme ~fingerprint ~bits ~pieces (e : Scheme.Watermarker.embedding) =
+  Printf.sprintf
+    "digest: %s\nscheme: %s\nfingerprint: %s\nbits: %d\npieces: %d\nbytes_before: %d\nbytes_after: %d\ndetail: %s\n"
+    digest scheme (Bignum.to_string fingerprint) bits pieces e.Scheme.Watermarker.bytes_before
+    e.Scheme.Watermarker.bytes_after e.Scheme.Watermarker.detail
+
+(* Only VM-track schemes cross this wire: programs travel as
+   {!Stackvm.Serialize} bytes, and native carriers have no such codec. *)
+let vm_scheme name =
+  match Scheme.Builtin.find name with
+  | None -> Error (err "unknown-scheme" (Printf.sprintf "no registered scheme named %S" name))
+  | Some (module W : Scheme.Watermarker.WATERMARKER) ->
+      if W.caps.Scheme.Watermarker.track <> Scheme.Watermarker.Vm then
+        Error (err "bad-request" (Printf.sprintf "scheme %s does not run on the VM track" name))
+      else Ok (module W : Scheme.Watermarker.WATERMARKER)
 
 let handle ?events ~store ~pool ~requests ~errors request =
   match request with
@@ -39,31 +50,40 @@ let handle ?events ~store ~pool ~requests ~errors request =
       | Error `Missing ->
           err "not-found" (Printf.sprintf "no %s artifact under %s" (Store.Artifact.kind_to_string kind) key)
       | Error (`Damaged msg) -> err "damaged" msg)
-  | Proto.Embed { program; key; bits; pieces; fingerprint; input; seed } -> (
-      match Stackvm.Serialize.decode_opt program with
-      | None -> err "bad-request" "program bytes do not decode"
-      | Some prog -> (
-          let spec =
-            { Jwm.Embed.passphrase = key; watermark = fingerprint; watermark_bits = bits; pieces; input }
-          in
-          match Engine.Pool.await (Engine.Pool.submit pool (fun () -> Jwm.Embed.embed ~seed spec prog)) with
-          | Error exn -> err "internal" (Printexc.to_string exn)
-          | Ok report ->
-              let bytes = Stackvm.Serialize.encode report.Jwm.Embed.program in
-              let digest = Digest.to_hex (Digest.string bytes) in
-              let label = "fp:" ^ Bignum.to_string fingerprint in
-              ignore (Store.Registry.put store ~kind:Store.Artifact.Vm_program ~key:digest ~label bytes);
-              ignore
-                (Store.Registry.put store ~kind:Store.Artifact.Report ~key:digest ~label:"embed"
-                   (embed_report digest fingerprint bits pieces report));
-              Proto.Embedded
-                {
-                  digest;
-                  label;
-                  bytes_before = report.Jwm.Embed.bytes_before;
-                  bytes_after = report.Jwm.Embed.bytes_after;
-                }))
-  | Proto.Recognize { source; key; bits; input } -> (
+  | Proto.Embed { scheme; program; key; bits; pieces; fingerprint; input; seed } -> (
+      match vm_scheme scheme with
+      | Error e -> e
+      | Ok (module W) -> (
+          match Stackvm.Serialize.decode_opt program with
+          | None -> err "bad-request" "program bytes do not decode"
+          | Some prog -> (
+              let spec = Scheme.Watermarker.spec ~seed ~redundancy:pieces ~key ~bits ~input () in
+              match
+                Engine.Pool.await
+                  (Engine.Pool.submit pool (fun () ->
+                       W.embed fingerprint spec (Scheme.Watermarker.Vm_program prog)))
+              with
+              | Error exn -> err "internal" (Printexc.to_string exn)
+              | Ok embedding ->
+                  let bytes =
+                    match embedding.Scheme.Watermarker.carrier with
+                    | Scheme.Watermarker.Vm_program p -> Stackvm.Serialize.encode p
+                    | _ -> assert false (* VM-track schemes yield VM carriers *)
+                  in
+                  let digest = Digest.to_hex (Digest.string bytes) in
+                  let label = "fp:" ^ Bignum.to_string fingerprint in
+                  ignore (Store.Registry.put store ~kind:Store.Artifact.Vm_program ~key:digest ~label bytes);
+                  ignore
+                    (Store.Registry.put store ~kind:Store.Artifact.Report ~key:digest ~label:"embed"
+                       (embed_report ~digest ~scheme ~fingerprint ~bits ~pieces embedding));
+                  Proto.Embedded
+                    {
+                      digest;
+                      label;
+                      bytes_before = embedding.Scheme.Watermarker.bytes_before;
+                      bytes_after = embedding.Scheme.Watermarker.bytes_after;
+                    })))
+  | Proto.Recognize { scheme; source; key; bits; input } -> (
       let fetched =
         match source with
         | `Bytes b -> Ok b
@@ -73,30 +93,31 @@ let handle ?events ~store ~pool ~requests ~errors request =
             | Error `Missing -> Error (err "not-found" ("no stored program under " ^ digest))
             | Error (`Damaged msg) -> Error (err "damaged" msg))
       in
-      match fetched with
+      match vm_scheme scheme with
       | Error e -> e
-      | Ok bytes -> (
-          match Stackvm.Serialize.decode_opt bytes with
-          | None -> err "bad-request" "program bytes do not decode"
-          | Some prog -> (
-              let run () =
-                Jwm.Recognize.recognize ~fuel:recognize_fuel ~passphrase:key ~watermark_bits:bits ~input
-                  prog
-              in
-              match Engine.Pool.await (Engine.Pool.submit pool run) with
-              | Error exn -> err "internal" (Printexc.to_string exn)
-              | Ok outcome ->
-                  let digest = Digest.to_hex (Digest.string bytes) in
-                  let registered =
-                    Option.map Proto.info_of_entry
-                      (Store.Registry.find store ~kind:Store.Artifact.Vm_program ~key:digest)
-                  in
-                  Proto.Recognized
-                    {
-                      value = outcome.Jwm.Recognize.value;
-                      confidence = outcome.Jwm.Recognize.partial.Jwm.Recognize.confidence;
-                      registered;
-                    })))
+      | Ok (module W) -> (
+          match fetched with
+          | Error e -> e
+          | Ok bytes -> (
+              match Stackvm.Serialize.decode_opt bytes with
+              | None -> err "bad-request" "program bytes do not decode"
+              | Some prog -> (
+                  let spec = Scheme.Watermarker.spec ~fuel:recognize_fuel ~key ~bits ~input () in
+                  let run () = W.recognize spec (Scheme.Watermarker.Vm_program prog) in
+                  match Engine.Pool.await (Engine.Pool.submit pool run) with
+                  | Error exn -> err "internal" (Printexc.to_string exn)
+                  | Ok outcome ->
+                      let digest = Digest.to_hex (Digest.string bytes) in
+                      let registered =
+                        Option.map Proto.info_of_entry
+                          (Store.Registry.find store ~kind:Store.Artifact.Vm_program ~key:digest)
+                      in
+                      Proto.Recognized
+                        {
+                          value = outcome.Scheme.Watermarker.value;
+                          confidence = outcome.Scheme.Watermarker.confidence;
+                          registered;
+                        }))))
   | Proto.Stats ->
       let s = Store.Registry.stats store in
       Proto.Stats_reply

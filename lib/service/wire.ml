@@ -1,4 +1,5 @@
-let version = 1
+(* version 2 added the scheme name to embed/recognize requests *)
+let version = 2
 let max_frame = 64 * 1024 * 1024
 
 (* ---- payload codec ---- *)
@@ -116,8 +117,9 @@ let encode_request req =
           Buffer.add_char buf 'G';
           add_kind buf kind;
           add_str buf key
-      | Proto.Embed { program; key; bits; pieces; fingerprint; input; seed } ->
+      | Proto.Embed { scheme; program; key; bits; pieces; fingerprint; input; seed } ->
           Buffer.add_char buf 'E';
+          add_str buf scheme;
           add_str buf key;
           add_varint buf bits;
           add_varint buf pieces;
@@ -125,8 +127,9 @@ let encode_request req =
           add_str buf (Int64.to_string seed);
           add_int_list buf input;
           add_str buf program
-      | Proto.Recognize { source; key; bits; input } ->
+      | Proto.Recognize { scheme; source; key; bits; input } ->
           Buffer.add_char buf 'R';
+          add_str buf scheme;
           (match source with
           | `Bytes b ->
               Buffer.add_char buf 'b';
@@ -155,6 +158,7 @@ let decode_request s =
           let key = str r in
           Proto.Get_artifact { kind; key }
       | 'E' ->
+          let scheme = str r in
           let key = str r in
           let bits = varint r in
           let pieces = varint r in
@@ -167,8 +171,9 @@ let decode_request s =
           in
           let input = int_list r in
           let program = str r in
-          Proto.Embed { program; key; bits; pieces; fingerprint; input; seed }
+          Proto.Embed { scheme; program; key; bits; pieces; fingerprint; input; seed }
       | 'R' ->
+          let scheme = str r in
           let source =
             match Char.chr (byte r) with
             | 'b' -> `Bytes (str r)
@@ -178,7 +183,7 @@ let decode_request s =
           let key = str r in
           let bits = varint r in
           let input = int_list r in
-          Proto.Recognize { source; key; bits; input }
+          Proto.Recognize { scheme; source; key; bits; input }
       | 'S' -> Proto.Stats
       | 'L' -> Proto.List_artifacts
       | 'Q' -> Proto.Shutdown

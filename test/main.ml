@@ -8,6 +8,8 @@ let () =
       ("codec", Test_codec.suite);
       ("stackvm", Test_stackvm.suite);
       ("jwm", Test_jwm.suite);
+      ("gwm", Test_gwm.suite);
+      ("scheme", Test_scheme.suite);
       ("vmattacks", Test_vmattacks.suite);
       ("nativesim", Test_nativesim.suite);
       ("nwm", Test_nwm.suite);

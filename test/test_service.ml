@@ -30,6 +30,7 @@ let sample_requests =
     Proto.Get_artifact { kind = Store.Artifact.Report; key = "deadbeef" };
     Proto.Embed
       {
+        scheme = "jwm";
         program = "\x01\x02binary";
         key = "secret";
         bits = 64;
@@ -38,8 +39,8 @@ let sample_requests =
         input = [ 50; -3; 0 ];
         seed = 42L;
       };
-    Proto.Recognize { source = `Bytes "prog"; key = "secret"; bits = 64; input = [] };
-    Proto.Recognize { source = `Stored "cafe"; key = "k"; bits = 128; input = [ 1 ] };
+    Proto.Recognize { scheme = "gwm"; source = `Bytes "prog"; key = "secret"; bits = 64; input = [] };
+    Proto.Recognize { scheme = "jwm+gwm"; source = `Stored "cafe"; key = "k"; bits = 128; input = [ 1 ] };
     Proto.Stats;
     Proto.List_artifacts;
     Proto.Shutdown;
@@ -185,11 +186,12 @@ let test_end_to_end () =
               | _ -> Alcotest.fail "missing artifact not an error");
               (* embed server-side, then recognize the registered program
                  by digest — the cross-process watermark check *)
-              let digest =
+              let embed_under scheme =
                 match
                   call
                     (Proto.Embed
                        {
+                         scheme;
                          program = Serialize.encode host_program;
                          key = passphrase;
                          bits = 64;
@@ -202,27 +204,42 @@ let test_end_to_end () =
                 | Proto.Embedded { digest; bytes_before; bytes_after; _ } ->
                     Alcotest.(check bool) "embedding grew the program" true (bytes_after > bytes_before);
                     digest
-                | _ -> Alcotest.fail "embed failed"
+                | _ -> Alcotest.fail ("embed failed: " ^ scheme)
               in
-              (match call (Proto.Recognize { source = `Stored digest; key = passphrase; bits = 64; input = secret_input }) with
+              let digest = embed_under "jwm" in
+              (match call (Proto.Recognize { scheme = "jwm"; source = `Stored digest; key = passphrase; bits = 64; input = secret_input }) with
               | Proto.Recognized { value = Some w; registered = Some info; _ } ->
                   Alcotest.(check bool) "recovered the fingerprint" true (Bignum.equal w fingerprint);
                   Alcotest.(check string) "linked back to the registry" digest info.Proto.key
               | Proto.Recognized { value = None; _ } -> Alcotest.fail "no watermark recovered"
               | _ -> Alcotest.fail "recognize failed");
               (* wrong passphrase recovers nothing (blindness) *)
-              (match call (Proto.Recognize { source = `Stored digest; key = "wrong"; bits = 64; input = secret_input }) with
+              (match call (Proto.Recognize { scheme = "jwm"; source = `Stored digest; key = "wrong"; bits = 64; input = secret_input }) with
               | Proto.Recognized { value = None; _ } -> ()
               | Proto.Recognized { value = Some _; _ } -> Alcotest.fail "wrong key recovered a mark"
               | _ -> Alcotest.fail "recognize failed");
-              (match call (Proto.Recognize { source = `Stored "unknown"; key = passphrase; bits = 64; input = secret_input }) with
+              (match call (Proto.Recognize { scheme = "jwm"; source = `Stored "unknown"; key = passphrase; bits = 64; input = secret_input }) with
               | Proto.Error { code; _ } -> Alcotest.(check string) "unknown digest" "not-found" code
               | _ -> Alcotest.fail "unknown digest not an error");
+              (* the graph scheme crosses the same wire by name *)
+              let gwm_digest = embed_under "gwm" in
+              (match call (Proto.Recognize { scheme = "gwm"; source = `Stored gwm_digest; key = passphrase; bits = 64; input = secret_input }) with
+              | Proto.Recognized { value = Some w; _ } ->
+                  Alcotest.(check bool) "gwm recovered over the wire" true (Bignum.equal w fingerprint)
+              | Proto.Recognized { value = None; _ } -> Alcotest.fail "gwm recovered nothing"
+              | _ -> Alcotest.fail "gwm recognize failed");
+              (* scheme routing failures are typed *)
+              (match call (Proto.Recognize { scheme = "zwm"; source = `Bytes "irrelevant"; key = passphrase; bits = 64; input = [] }) with
+              | Proto.Error { code; _ } -> Alcotest.(check string) "unknown scheme is typed" "unknown-scheme" code
+              | _ -> Alcotest.fail "unknown scheme not an error");
+              (match call (Proto.Recognize { scheme = "nwm"; source = `Bytes "irrelevant"; key = passphrase; bits = 64; input = [] }) with
+              | Proto.Error { code; _ } -> Alcotest.(check string) "native scheme rejected" "bad-request" code
+              | _ -> Alcotest.fail "native scheme not an error");
               (match call Proto.Stats with
               | Proto.Stats_reply { entries; errors; _ } ->
-                  (* key material + marked program + embed report *)
-                  Alcotest.(check int) "entries" 3 entries;
-                  Alcotest.(check int) "errors counted" 2 errors
+                  (* key material + 2 × (marked program + embed report) *)
+                  Alcotest.(check int) "entries" 5 entries;
+                  Alcotest.(check int) "errors counted" 4 errors
               | _ -> Alcotest.fail "stats failed");
               (match call Proto.List_artifacts with
               | Proto.Listing infos ->
@@ -232,13 +249,13 @@ let test_end_to_end () =
               match call Proto.Shutdown with
               | Proto.Shutting_down -> ()
               | _ -> Alcotest.fail "shutdown failed"));
-      Alcotest.(check int) "request count" 10 !stopped.Service.Server.requests;
-      Alcotest.(check int) "error count" 2 !stopped.Service.Server.errors;
+      Alcotest.(check int) "request count" 14 !stopped.Service.Server.requests;
+      Alcotest.(check int) "error count" 4 !stopped.Service.Server.errors;
       Alcotest.(check bool) "socket removed" true (not (Sys.file_exists socket_path));
       let counters = Engine.Events.counters events in
       let get name = Option.value ~default:0 (List.assoc_opt name counters) in
-      Alcotest.(check int) "service.requests counter" 10 (get "service.requests");
-      Alcotest.(check int) "service.errors counter" 2 (get "service.errors"))
+      Alcotest.(check int) "service.requests counter" 14 (get "service.requests");
+      Alcotest.(check int) "service.errors counter" 4 (get "service.errors"))
 
 let test_max_requests_stops_server () =
   with_temp_dir (fun dir ->
