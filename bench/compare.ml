@@ -1,0 +1,250 @@
+(* Baseline comparison for the BENCH_*.json artifacts.
+
+   Usage: compare.exe CURRENT_DIR [BASELINE_DIR]
+
+   Reads every BENCH_<area>.json under BASELINE_DIR (default
+   bench/baseline), pairs it with the same file under CURRENT_DIR, keys
+   rows by their string-valued fields (scheme, workload, mode, ...) and
+   warns when any p50/p99 latency field regressed by more than 20%.
+
+   Warn-only by design: machine-to-machine variance makes a hard gate on
+   absolute timings flaky, so CI surfaces the diff in the log and in the
+   artifact instead of failing the build.  Missing files, unknown rows
+   and parse problems are also warnings — a renamed area must not brick
+   the pipeline. *)
+
+let threshold = 1.20
+
+(* ---- a minimal JSON reader (objects/arrays/strings/numbers/literals);
+   covers exactly what bench/main.ml's emit_json writes, and enough of
+   the rest of JSON to survive hand-edited baselines ---- *)
+
+type json =
+  | Obj of (string * json) list
+  | Arr of json list
+  | Str of string
+  | Num of float
+  | Bool of bool
+  | Null
+
+exception Parse of string
+
+let parse_json (s : string) : json =
+  let n = String.length s in
+  let pos = ref 0 in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let fail msg = raise (Parse (Printf.sprintf "%s at byte %d" msg !pos)) in
+  let rec skip_ws () =
+    match peek () with
+    | Some (' ' | '\t' | '\n' | '\r') -> advance (); skip_ws ()
+    | _ -> ()
+  in
+  let expect c =
+    match peek () with
+    | Some c' when c' = c -> advance ()
+    | _ -> fail (Printf.sprintf "expected '%c'" c)
+  in
+  let literal word value =
+    if !pos + String.length word <= n && String.sub s !pos (String.length word) = word then begin
+      pos := !pos + String.length word;
+      value
+    end
+    else fail ("expected " ^ word)
+  in
+  let string_body () =
+    let buf = Buffer.create 16 in
+    let rec go () =
+      match peek () with
+      | None -> fail "unterminated string"
+      | Some '"' -> advance (); Buffer.contents buf
+      | Some '\\' -> (
+          advance ();
+          match peek () with
+          | Some ('"' as c) | Some ('\\' as c) | Some ('/' as c) ->
+              advance (); Buffer.add_char buf c; go ()
+          | Some 'n' -> advance (); Buffer.add_char buf '\n'; go ()
+          | Some 't' -> advance (); Buffer.add_char buf '\t'; go ()
+          | Some 'r' -> advance (); Buffer.add_char buf '\r'; go ()
+          | Some 'b' -> advance (); Buffer.add_char buf '\b'; go ()
+          | Some 'f' -> advance (); Buffer.add_char buf '\012'; go ()
+          | Some 'u' ->
+              advance ();
+              if !pos + 4 > n then fail "truncated \\u escape";
+              let code = int_of_string ("0x" ^ String.sub s !pos 4) in
+              pos := !pos + 4;
+              (* artifacts only escape control chars, so one byte suffices *)
+              Buffer.add_char buf (Char.chr (code land 0xFF));
+              go ()
+          | _ -> fail "bad escape")
+      | Some c -> advance (); Buffer.add_char buf c; go ()
+    in
+    go ()
+  in
+  let number () =
+    let start = !pos in
+    let num_char = function
+      | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+      | _ -> false
+    in
+    while (match peek () with Some c when num_char c -> true | _ -> false) do
+      advance ()
+    done;
+    match float_of_string_opt (String.sub s start (!pos - start)) with
+    | Some f -> Num f
+    | None -> fail "bad number"
+  in
+  let rec value () =
+    skip_ws ();
+    match peek () with
+    | Some '{' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some '}' then (advance (); Obj [])
+        else
+          let rec members acc =
+            skip_ws ();
+            expect '"';
+            let k = string_body () in
+            skip_ws ();
+            expect ':';
+            let v = value () in
+            skip_ws ();
+            match peek () with
+            | Some ',' -> advance (); members ((k, v) :: acc)
+            | Some '}' -> advance (); Obj (List.rev ((k, v) :: acc))
+            | _ -> fail "expected ',' or '}'"
+          in
+          members []
+    | Some '[' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some ']' then (advance (); Arr [])
+        else
+          let rec elements acc =
+            let v = value () in
+            skip_ws ();
+            match peek () with
+            | Some ',' -> advance (); elements (v :: acc)
+            | Some ']' -> advance (); Arr (List.rev (v :: acc))
+            | _ -> fail "expected ',' or ']'"
+          in
+          elements []
+    | Some '"' -> advance (); Str (string_body ())
+    | Some 't' -> literal "true" (Bool true)
+    | Some 'f' -> literal "false" (Bool false)
+    | Some 'n' -> literal "null" Null
+    | Some _ -> number ()
+    | None -> fail "unexpected end of input"
+  in
+  let v = value () in
+  skip_ws ();
+  if !pos <> n then fail "trailing garbage";
+  v
+
+(* ---- row pairing and the 20% check ---- *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let s = really_input_string ic len in
+  close_in ic;
+  s
+
+let rows_of path =
+  match parse_json (String.trim (read_file path)) with
+  | Obj fields -> (
+      match List.assoc_opt "rows" fields with
+      | Some (Arr rows) ->
+          List.filter_map (function Obj r -> Some r | _ -> None) rows
+      | _ -> [])
+  | _ -> []
+
+(* a row's identity is its string-valued fields, in file order *)
+let row_key row =
+  String.concat "|"
+    (List.filter_map (function k, Str v -> Some (k ^ "=" ^ v) | _ -> None) row)
+
+let latency_field k =
+  (* compare latency percentiles only; throughput counters regress the
+     other way and absolute byte counts are covered by the tests *)
+  let has needle =
+    let nl = String.length needle and kl = String.length k in
+    let rec go i = i + nl <= kl && (String.sub k i nl = needle || go (i + 1)) in
+    go 0
+  in
+  has "p50" || has "p99" || k = "ms" || k = "ms_per_run"
+
+let warnings = ref 0
+
+let warn fmt =
+  Printf.ksprintf
+    (fun msg ->
+      incr warnings;
+      Printf.printf "WARN %s\n%!" msg)
+    fmt
+
+let compare_file ~area ~baseline ~current =
+  let base_rows = rows_of baseline in
+  let cur_rows = rows_of current in
+  let cur_by_key = List.map (fun r -> (row_key r, r)) cur_rows in
+  let cells = ref 0 in
+  List.iter
+    (fun base_row ->
+      let key = row_key base_row in
+      match List.assoc_opt key cur_by_key with
+      | None -> warn "%s: row dropped from current run: %s" area key
+      | Some cur_row ->
+          List.iter
+            (fun (k, v) ->
+              match v with
+              | Num base_v when latency_field k -> (
+                  incr cells;
+                  match List.assoc_opt k cur_row with
+                  | Some (Num cur_v) ->
+                      if base_v > 0. && cur_v > base_v *. threshold then
+                        warn "%s: %s %s regressed %.1f -> %.1f ms (%.0f%% > %.0f%% budget)" area key
+                          k base_v cur_v
+                          ((cur_v /. base_v -. 1.) *. 100.)
+                          ((threshold -. 1.) *. 100.)
+                  | _ -> warn "%s: %s lost field %s" area key k)
+              | _ -> ())
+            base_row)
+    base_rows;
+  Printf.printf "%-24s %3d row(s), %3d latency cell(s) compared\n%!"
+    (Filename.basename baseline) (List.length base_rows) !cells
+
+let () =
+  let current_dir, baseline_dir =
+    match Array.to_list Sys.argv with
+    | _ :: c :: b :: _ -> (c, b)
+    | [ _; c ] -> (c, "bench/baseline")
+    | _ ->
+        prerr_endline "usage: compare.exe CURRENT_DIR [BASELINE_DIR]";
+        exit 2
+  in
+  if not (Sys.file_exists baseline_dir && Sys.is_directory baseline_dir) then begin
+    Printf.printf "no baseline directory %s; nothing to compare\n%!" baseline_dir;
+    exit 0
+  end;
+  let baselines =
+    Sys.readdir baseline_dir |> Array.to_list
+    |> List.filter (fun f ->
+           String.length f > 11
+           && String.sub f 0 6 = "BENCH_"
+           && Filename.check_suffix f ".json")
+    |> List.sort compare
+  in
+  if baselines = [] then Printf.printf "baseline directory %s holds no BENCH_*.json\n%!" baseline_dir;
+  List.iter
+    (fun file ->
+      let baseline = Filename.concat baseline_dir file in
+      let current = Filename.concat current_dir file in
+      let area = Filename.chop_suffix (String.sub file 6 (String.length file - 6)) ".json" in
+      if not (Sys.file_exists current) then
+        warn "%s: current run produced no %s" area file
+      else
+        try compare_file ~area ~baseline ~current
+        with Parse msg -> warn "%s: unparseable artifact (%s)" area msg)
+    baselines;
+  Printf.printf "%d warning(s); compare is advisory and always exits 0\n%!" !warnings

@@ -26,11 +26,17 @@
       built-in workloads, driven through the generic Watermarker
       interface.
 
+   7. An audit section: the stealth scorecard (schemes x workloads
+      through Engine.Batch audit jobs), reporting per-cell locator
+      hit-rates and wall-clock and emitting BENCH_analysis.json.
+
    Pass `--micro-only`, `--figures-only`, `--batch-only`,
-   `--analyze-only`, `--faults-only`, `--store-only` or `--schemes-only`
-   to run one part of the harness.  Pass `--json-dir DIR` to also write
-   one versioned BENCH_<area>.json artifact per instrumented area
-   (schemes, batch, faults) for CI trend tracking. *)
+   `--analyze-only`, `--faults-only`, `--store-only`, `--schemes-only`
+   or `--audit-only` to run one part of the harness.  Pass
+   `--json-dir DIR` to also write one versioned BENCH_<area>.json
+   artifact per instrumented area (schemes, batch, faults, analysis)
+   for CI trend tracking; `bench/baseline/` holds checked-in snapshots
+   that `bench/compare.exe` diffs against. *)
 
 open Bechamel
 open Toolkit
@@ -502,6 +508,43 @@ let run_schemes () =
   cell "nwm" mcf (Scheme.Watermarker.Native_source (Workloads.Workload.native_program mcf));
   emit_json "schemes" (List.rev !rows)
 
+(* ---- audit: the stealth scorecard as a benchmark surface ---- *)
+
+let run_audit () =
+  Printf.printf "=== audit: locator hit-rates per scheme x workload ===\n%!";
+  let t0 = Unix.gettimeofday () in
+  let card =
+    Audit.Scorecard.run ~seed:0x5EEDL
+      ~schemes:[ "jwm"; "nwm"; "gwm"; "jwm+gwm" ]
+      ~workloads:[ Workloads.Caffeine.suite; Workloads.Jesslite.engine ]
+      ()
+  in
+  let total_ms = (Unix.gettimeofday () -. t0) *. 1000. in
+  print_string (Audit.Scorecard.render card);
+  Printf.printf "total wall-clock: %.1f ms; gate: %s\n%!" total_ms
+    (if Audit.Scorecard.gate_ok card then "ok" else "VIOLATED");
+  let rows =
+    List.concat_map
+      (fun (r : Audit.Scorecard.row) ->
+        List.map
+          (fun (c : Audit.Scorecard.cell) ->
+            [ ("scheme", S r.Audit.Scorecard.scheme);
+              ("workload", S c.Audit.Scorecard.workload);
+              ("passes", S (String.concat "+" c.Audit.Scorecard.passes));
+              ("marked", I (List.length c.Audit.Scorecard.marked));
+              ("flagged", I (List.length c.Audit.Scorecard.flagged));
+              ("false_positives", I (List.length c.Audit.Scorecard.false_positives));
+              ("ndiags", I c.Audit.Scorecard.ndiags);
+              ("hit_rate", F c.Audit.Scorecard.hit_rate);
+              ("declared", F r.Audit.Scorecard.declared);
+              ("ms_p50", F c.Audit.Scorecard.ms);
+              ("ms_p99", F c.Audit.Scorecard.ms);
+              ("gate", S (if Audit.Scorecard.gate_ok card then "ok" else "violated")) ])
+          r.Audit.Scorecard.cells)
+      card.Audit.Scorecard.rows
+  in
+  emit_json "analysis" rows
+
 let run_figures () =
   Experiments.Fig5.print (Experiments.Fig5.run ());
   let cost = Experiments.Fig8.run_cost () in
@@ -521,7 +564,7 @@ let () =
   let only flag = List.mem flag args in
   let any_only =
     only "--micro-only" || only "--figures-only" || only "--batch-only" || only "--analyze-only"
-    || only "--faults-only" || only "--store-only" || only "--schemes-only"
+    || only "--faults-only" || only "--store-only" || only "--schemes-only" || only "--audit-only"
   in
   let want flag = (not any_only) || only flag in
   if want "--micro-only" then run_micro ();
@@ -530,4 +573,5 @@ let () =
   if want "--faults-only" then run_faults ();
   if want "--store-only" then run_store ();
   if want "--schemes-only" then run_schemes ();
+  if want "--audit-only" then run_audit ();
   if want "--figures-only" then run_figures ()

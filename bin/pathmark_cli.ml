@@ -8,12 +8,15 @@ open Cmdliner
    failure, 2 = nothing to do / bad selection, 3 = recognition failed
    (no watermark, or not the expected one), 4 = fault-injection abort
    (the injected faults destroyed the artifact), 5 = store corruption,
-   6 = unknown watermarking scheme name.  Cmdliner owns 124-125 and its
-   own usage errors. *)
+   6 = unknown watermarking scheme name, 7 = analysis findings (the
+   analyzer or audit gate surfaced diagnostics — distinct from 1 so CI
+   can tell "the linter found something" from "the linter crashed").
+   Cmdliner owns 124-125 and its own usage errors. *)
 let exit_recognition_failed = 3
 let exit_fault_abort = 4
 let exit_store_corruption = 5
 let exit_unknown_scheme = 6
+let exit_analysis_findings = 7
 
 let or_store_corruption f =
   try f ()
@@ -688,11 +691,33 @@ let analyzer_workloads =
   Workloads.Spec.all @ [ Workloads.Caffeine.suite ] @ Workloads.Caffeine.kernels
   @ [ Workloads.Jesslite.engine ]
 
-let analyze files native workload all_workloads json =
+let analyze files native workload all_workloads scheme json =
   if files = [] && workload = None && not all_workloads then begin
     Printf.printf "nothing to analyze: pass a file, --workload NAME or --all-workloads\n";
     exit 2
   end;
+  (* --scheme resolves the registry entry and narrows the sweep to the
+     locator passes its capability metadata declares (composites union
+     their members') *)
+  let scheme_passes =
+    Option.map
+      (fun name ->
+        let (module W : Scheme.Watermarker.WATERMARKER) = resolve_scheme name in
+        let declared = W.caps.Scheme.Watermarker.locator_passes in
+        let vm_passes =
+          List.filter (fun p -> List.mem p Analysis.Locator.known_passes) declared
+        in
+        (vm_passes, List.mem "nlint" declared))
+      scheme
+  in
+  let want_vm = match scheme_passes with None -> true | Some (vm, _) -> vm <> [] in
+  let want_native = match scheme_passes with None -> true | Some (_, n) -> n in
+  let vm_diags prog =
+    match scheme_passes with
+    | Some (vm_passes, _) when vm_passes <> [] ->
+        (Analysis.Locator.run ~passes:vm_passes prog).Analysis.Locator.diags
+    | _ -> Analysis.Vmlint.lint prog
+  in
   let events =
     Engine.Events.create ?sink:(if json then Some (Engine.Events.json_sink stdout) else None) ()
   in
@@ -723,16 +748,17 @@ let analyze files native workload all_workloads json =
   in
   let lint_workload (w : Workloads.Workload.t) =
     let name = w.Workloads.Workload.name in
-    report (name ^ " (vm)") (Analysis.Vmlint.lint (Workloads.Workload.vm_program w));
-    report (name ^ " (native)")
-      (Analysis.Nlint.lint ~corpus:(corpus_for ~exclude:name ()) (Workloads.Workload.native_binary w))
+    if want_vm then report (name ^ " (vm)") (vm_diags (Workloads.Workload.vm_program w));
+    if want_native then
+      report (name ^ " (native)")
+        (Analysis.Nlint.lint ~corpus:(corpus_for ~exclude:name ()) (Workloads.Workload.native_binary w))
   in
   List.iter
     (fun path ->
       if native then
         report path
           (Analysis.Nlint.lint ~corpus:(corpus_for ()) (Nativesim.Binary.decode (read_file path)))
-      else report path (Analysis.Vmlint.lint (load_vm path)))
+      else report path (vm_diags (load_vm path)))
     files;
   (match workload with
   | None -> ()
@@ -748,7 +774,7 @@ let analyze files native workload all_workloads json =
           exit 1));
   if all_workloads then List.iter lint_workload analyzer_workloads;
   if not json then Printf.printf "%d finding(s) total\n" !total;
-  if !total > 0 then exit 1
+  if !total > 0 then exit exit_analysis_findings
 
 let analyze_cmd =
   let files =
@@ -761,13 +787,85 @@ let analyze_cmd =
   let all_workloads =
     Arg.(value & flag & info [ "all-workloads" ] ~doc:"Lint every built-in workload on both tracks (the CI clean gate).")
   in
+  let scheme =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "scheme" ] ~docv:"NAME"
+          ~doc:"Narrow the sweep to the locator passes this registered scheme declares (track-aware; '+'-joined names union their members' passes).")
+  in
   let json =
     Arg.(value & flag & info [ "json" ] ~doc:"Emit JSON-lines diagnostic events on stdout instead of human output.")
   in
   Cmd.v
     (Cmd.info "analyze"
-       ~doc:"Run the stealth linter: surface the static artifacts a watermark embedding leaves behind. Exits 1 when any diagnostic fires.")
-    Term.(const analyze $ files $ native $ workload $ all_workloads $ json)
+       ~doc:"Run the stealth linter: surface the static artifacts a watermark embedding leaves behind. Exits 7 when any diagnostic fires (1 is reserved for analyzer errors).")
+    Term.(const analyze $ files $ native $ workload $ all_workloads $ scheme $ json)
+
+(* ---- audit: the per-scheme stealth scorecard ---- *)
+
+let default_audit_schemes = [ "jwm"; "nwm"; "gwm"; "jwm+gwm" ]
+
+let audit schemes workload_names all_workloads jobs bits seed json no_gate =
+  let schemes = if schemes = [] then default_audit_schemes else schemes in
+  (* resolve up front so an unknown name is exit 6, not a failed job *)
+  List.iter (fun s -> ignore (resolve_scheme s)) schemes;
+  let workloads =
+    if all_workloads then List.map snd builtin_workloads
+    else if workload_names = [] then [ Workloads.Caffeine.suite ]
+    else
+      List.map
+        (fun name ->
+          match
+            List.find_opt
+              (fun (w : Workloads.Workload.t) -> w.Workloads.Workload.name = name)
+              analyzer_workloads
+          with
+          | Some w -> w
+          | None ->
+              Printf.printf "unknown workload %s; available: %s\n" name
+                (String.concat " "
+                   (List.map (fun (w : Workloads.Workload.t) -> w.Workloads.Workload.name) analyzer_workloads));
+              exit 1)
+        workload_names
+  in
+  let card =
+    Audit.Scorecard.run ~domains:jobs ~seed:(Int64.of_int seed) ~bits ~schemes ~workloads ()
+  in
+  if json then print_string (Audit.Scorecard.to_json card)
+  else print_string (Audit.Scorecard.render card);
+  if (not (Audit.Scorecard.gate_ok card)) && not no_gate then exit exit_analysis_findings
+
+let audit_cmd =
+  let schemes =
+    Arg.(
+      value & opt_all string []
+      & info [ "scheme" ] ~docv:"NAME"
+          ~doc:"Scheme to audit (repeatable; '+'-joined names compose). Defaults to jwm, nwm, gwm and jwm+gwm.")
+  in
+  let workloads =
+    Arg.(
+      value & opt_all string []
+      & info [ "workload" ] ~docv:"NAME" ~doc:"Workload to audit on (repeatable). Defaults to caffeine.")
+  in
+  let all_workloads =
+    Arg.(value & flag & info [ "all-workloads" ] ~doc:"Audit every built-in batch workload.")
+  in
+  let jobs =
+    Arg.(value & opt int 1 & info [ "jobs"; "j" ] ~docv:"N" ~doc:"Worker domains for the audit batch.")
+  in
+  let bits_t = Arg.(value & opt int 16 & info [ "bits" ] ~docv:"N" ~doc:"Fingerprint width in bits.") in
+  let json = Arg.(value & flag & info [ "json" ] ~doc:"Emit the scorecard as JSON.") in
+  let no_gate =
+    Arg.(
+      value & flag
+      & info [ "no-gate" ]
+          ~doc:"Report only: do not fail (exit 7) when a scheme exceeds its declared locatability or the locator flags clean code.")
+  in
+  Cmd.v
+    (Cmd.info "audit"
+       ~doc:"Embed each scheme into clean workloads and score how much of the mark the static locator finds, gated against each scheme's declared attack surface. Exits 7 on a gate violation.")
+    Term.(const audit $ schemes $ workloads $ all_workloads $ jobs $ bits_t $ seed_t $ json $ no_gate)
 
 (* ---- experiments ---- *)
 
@@ -1155,6 +1253,7 @@ let main =
       run_native_cmd;
       disasm_cmd;
       analyze_cmd;
+      audit_cmd;
       experiment_cmd;
       store_cmd;
       serve_cmd;

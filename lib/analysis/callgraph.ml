@@ -1,0 +1,95 @@
+open Stackvm
+
+type summary = {
+  name : string;
+  nargs : int;
+  size : int;
+  call_sites : (int * string) list;
+  callers : string list;
+  has_read : bool;
+  has_print : bool;
+  branch_pcs : int list;
+  new_arrays : int;
+  array_stores : int;
+  array_loads : int;
+  loops : Vmloop.t;
+  cfg : Vmcfg.t;
+}
+
+type t = { summaries : summary list; index : (string, summary) Hashtbl.t }
+
+let summarize callers_of (f : Program.func) =
+  let call_sites = ref [] and branch_pcs = ref [] in
+  let has_read = ref false and has_print = ref false in
+  let new_arrays = ref 0 and array_stores = ref 0 and array_loads = ref 0 in
+  Array.iteri
+    (fun pc instr ->
+      match instr with
+      | Instr.Call callee -> call_sites := (pc, callee) :: !call_sites
+      | Instr.If _ -> branch_pcs := pc :: !branch_pcs
+      | Instr.Read -> has_read := true
+      | Instr.Print -> has_print := true
+      | Instr.New_array -> incr new_arrays
+      | Instr.Array_store -> incr array_stores
+      | Instr.Array_load -> incr array_loads
+      | _ -> ())
+    f.Program.code;
+  let cfg = Vmcfg.build f in
+  {
+    name = f.Program.name;
+    nargs = f.Program.nargs;
+    size = Array.length f.Program.code;
+    call_sites = List.rev !call_sites;
+    callers = callers_of f.Program.name;
+    has_read = !has_read;
+    has_print = !has_print;
+    branch_pcs = List.rev !branch_pcs;
+    new_arrays = !new_arrays;
+    array_stores = !array_stores;
+    array_loads = !array_loads;
+    loops = Vmloop.analyze cfg;
+    cfg;
+  }
+
+let build (prog : Program.t) =
+  let callers = Hashtbl.create 16 in
+  Array.iter
+    (fun (f : Program.func) ->
+      Array.iter
+        (function
+          | Instr.Call callee ->
+              let existing = Option.value ~default:[] (Hashtbl.find_opt callers callee) in
+              if not (List.mem f.Program.name existing) then
+                Hashtbl.replace callers callee (f.Program.name :: existing)
+          | _ -> ())
+        f.Program.code)
+    prog.Program.funcs;
+  let callers_of name =
+    List.sort compare (Option.value ~default:[] (Hashtbl.find_opt callers name))
+  in
+  let summaries =
+    Array.to_list (Array.map (summarize callers_of) prog.Program.funcs)
+  in
+  let index = Hashtbl.create (List.length summaries) in
+  List.iter (fun s -> Hashtbl.replace index s.name s) summaries;
+  { summaries; index }
+
+let summaries t = t.summaries
+let find t name = Hashtbl.find_opt t.index name
+
+let reachable_from t root =
+  let seen = Hashtbl.create 16 in
+  let rec go name =
+    if not (Hashtbl.mem seen name) then begin
+      Hashtbl.replace seen name ();
+      match find t name with
+      | Some s -> List.iter (fun (_, callee) -> go callee) s.call_sites
+      | None -> ()
+    end
+  in
+  if Hashtbl.mem t.index root then go root;
+  fun name -> Hashtbl.mem seen name
+
+let reads_transitively t root =
+  let member = reachable_from t root in
+  List.exists (fun s -> member s.name && s.has_read) t.summaries

@@ -1,0 +1,33 @@
+(** The interprocedural skeleton: a call graph over a stack-VM program
+    with one structural summary per function.  The locator passes
+    ({!Vmtaint}, {!Rpgdetect}) consume these summaries instead of
+    re-walking every function body themselves. *)
+
+type summary = {
+  name : string;
+  nargs : int;
+  size : int;  (** instruction count *)
+  call_sites : (int * string) list;  (** (pc, callee name), ascending pc *)
+  callers : string list;  (** distinct caller names, sorted *)
+  has_read : bool;  (** contains a [Read] instruction itself *)
+  has_print : bool;
+  branch_pcs : int list;  (** pcs of every [If], ascending *)
+  new_arrays : int;
+  array_stores : int;
+  array_loads : int;
+  loops : Vmloop.t;  (** loop structure of the function's own CFG *)
+  cfg : Vmcfg.t;
+}
+
+type t
+
+val build : Stackvm.Program.t -> t
+val summaries : t -> summary list
+val find : t -> string -> summary option
+
+val reachable_from : t -> string -> (string -> bool)
+(** Membership test over the functions transitively callable from the
+    given root (the root included, when it exists). *)
+
+val reads_transitively : t -> string -> bool
+(** Whether the function or anything it can reach performs [Read]. *)

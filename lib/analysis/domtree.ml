@@ -1,0 +1,128 @@
+(* Cooper–Harvey–Kennedy dominators: reverse-postorder iteration with the
+   two-finger intersect.  Converges in a handful of passes on reducible
+   graphs and stays O(n^2) worst case on irreducible ones, which is fine
+   at basic-block granularity. *)
+
+type t = {
+  entry : int;
+  idom : int array;  (* idom.(n); the entry maps to itself; -1 = unreachable *)
+  rpo : int array;  (* rpo.(n) = reverse-postorder rank, -1 = unreachable *)
+}
+
+let in_range n v = v >= 0 && v < n
+
+let compute ~succs ~entry =
+  let n = Array.length succs in
+  if n = 0 || not (in_range n entry) then { entry; idom = [||]; rpo = [||] }
+  else begin
+    (* iterative postorder DFS (recursion would overflow on long chains) *)
+    let visited = Array.make n false in
+    let post = ref [] in
+    let stack = Stack.create () in
+    visited.(entry) <- true;
+    Stack.push (entry, ref (List.filter (in_range n) succs.(entry))) stack;
+    while not (Stack.is_empty stack) do
+      let u, rest = Stack.top stack in
+      match !rest with
+      | [] ->
+          ignore (Stack.pop stack);
+          post := u :: !post
+      | v :: tl ->
+          rest := tl;
+          if not visited.(v) then begin
+            visited.(v) <- true;
+            Stack.push (v, ref (List.filter (in_range n) succs.(v))) stack
+          end
+    done;
+    let order = Array.of_list !post in
+    let rpo = Array.make n (-1) in
+    Array.iteri (fun rank u -> rpo.(u) <- rank) order;
+    let preds = Array.make n [] in
+    Array.iteri
+      (fun u su ->
+        if visited.(u) then
+          List.iter (fun v -> if in_range n v && visited.(v) then preds.(v) <- u :: preds.(v)) su)
+      succs;
+    let idom = Array.make n (-1) in
+    idom.(entry) <- entry;
+    let intersect b1 b2 =
+      let f1 = ref b1 and f2 = ref b2 in
+      while !f1 <> !f2 do
+        while rpo.(!f1) > rpo.(!f2) do
+          f1 := idom.(!f1)
+        done;
+        while rpo.(!f2) > rpo.(!f1) do
+          f2 := idom.(!f2)
+        done
+      done;
+      !f1
+    in
+    let changed = ref true in
+    while !changed do
+      changed := false;
+      Array.iter
+        (fun u ->
+          if u <> entry then begin
+            let new_idom =
+              List.fold_left
+                (fun acc p ->
+                  if idom.(p) < 0 then acc
+                  else match acc with None -> Some p | Some a -> Some (intersect p a))
+                None preds.(u)
+            in
+            match new_idom with
+            | Some ni when idom.(u) <> ni ->
+                idom.(u) <- ni;
+                changed := true
+            | _ -> ()
+          end)
+        order
+    done;
+    { entry; idom; rpo }
+  end
+
+let entry t = t.entry
+
+let reachable t u = u >= 0 && u < Array.length t.rpo && t.rpo.(u) >= 0
+
+let idom t u = if (not (reachable t u)) || u = t.entry then None else Some t.idom.(u)
+
+let dominates t a b =
+  if not (reachable t b) then false
+  else begin
+    let rec up x = x = a || (x <> t.entry && up t.idom.(x)) in
+    up b
+  end
+
+let back_edges ~succs t =
+  let n = Array.length succs in
+  let acc = ref [] in
+  for u = n - 1 downto 0 do
+    if reachable t u then
+      List.iter (fun v -> if in_range n v && dominates t v u then acc := (u, v) :: !acc) succs.(u)
+  done;
+  !acc
+
+let reducible ~succs ~entry =
+  let t = compute ~succs ~entry in
+  let n = Array.length succs in
+  let back = back_edges ~succs t in
+  let is_back u v = List.mem (u, v) back in
+  (* acyclicity of the reachable forward subgraph via DFS coloring *)
+  let color = Array.make n 0 in
+  (* 0 white, 1 on stack, 2 done *)
+  let acyclic = ref true in
+  let rec visit u =
+    if !acyclic then begin
+      color.(u) <- 1;
+      List.iter
+        (fun v ->
+          if in_range n v && reachable t v && not (is_back u v) then
+            if color.(v) = 1 then acyclic := false
+            else if color.(v) = 0 then visit v)
+        succs.(u);
+      color.(u) <- 2
+    end
+  in
+  if n > 0 && in_range n entry then visit entry;
+  !acyclic

@@ -1,0 +1,30 @@
+(** Dominator trees over arbitrary integer digraphs (Cooper–Harvey–Kennedy
+    "A Simple, Fast Dominance Algorithm").  The graph is given as a
+    successor array; nodes unreachable from the entry get no dominator
+    information.  {!Vmloop} instantiates this on {!Vmcfg} block graphs and
+    the RPG reducibility property instantiates it on {!Gwm.Encode}
+    digraphs directly. *)
+
+type t
+
+val compute : succs:int list array -> entry:int -> t
+(** Successor indices outside [0 .. length succs - 1] are ignored (the
+    CFG builder reports those separately as malformed-CFG warnings). *)
+
+val entry : t -> int
+val reachable : t -> int -> bool
+
+val idom : t -> int -> int option
+(** Immediate dominator; [None] for the entry and unreachable nodes. *)
+
+val dominates : t -> int -> int -> bool
+(** [dominates t a b]: every path from the entry to [b] passes through
+    [a].  False whenever [b] is unreachable. *)
+
+val back_edges : succs:int list array -> t -> (int * int) list
+(** Edges [(tail, head)] with [head] dominating [tail] — the back edges
+    of natural loops, in ascending tail order. *)
+
+val reducible : succs:int list array -> entry:int -> bool
+(** A flow graph is reducible iff deleting its dominator back edges
+    leaves the reachable subgraph acyclic. *)

@@ -1,0 +1,67 @@
+open Stackvm
+
+type report = {
+  passes : string list;
+  diags : Diag.t list;
+  flagged : string list;
+  evidence : Rpgdetect.evidence list;
+}
+
+let known_passes = [ "vmlint"; "loops"; "taint"; "rpg" ]
+let default_passes = [ "vmlint"; "loops" ]
+
+let normalize passes =
+  let requested = List.sort_uniq compare passes in
+  let unknown = List.filter (fun p -> not (List.mem p known_passes)) requested in
+  (match unknown with
+  | [] -> ()
+  | p :: _ -> invalid_arg (Printf.sprintf "Locator.run: unknown pass %S" p));
+  List.filter (fun p -> List.mem p requested) known_passes
+
+let run ?(passes = default_passes) (prog : Program.t) =
+  let passes = normalize passes in
+  let wants p = List.mem p passes in
+  (* shared skeleton: built once, reused by loops/taint/rpg *)
+  let graph = lazy (Callgraph.build prog) in
+  let taint = lazy (Vmtaint.analyze prog) in
+  let evidence = lazy (Rpgdetect.detect ~graph:(Lazy.force graph) prog) in
+  let diags = ref [] in
+  let add d = diags := !diags @ d in
+  if wants "vmlint" then add (Vmlint.lint prog);
+  if wants "loops" then
+    List.iter
+      (fun (s : Callgraph.summary) ->
+        add (Vmloop.diags s.Callgraph.loops ~fn:s.Callgraph.name))
+      (Callgraph.summaries (Lazy.force graph));
+  if wants "rpg" then add (Rpgdetect.diags (Lazy.force evidence));
+  if wants "taint" then
+    (* corroborate the structural hits: a walker whose every branch is
+       provably input-independent cannot be carrying real control flow *)
+    List.iter
+      (fun (e : Rpgdetect.evidence) ->
+        match Vmtaint.summary (Lazy.force taint) e.Rpgdetect.fn with
+        | Some s
+          when s.Vmtaint.tainted_branch_pcs = []
+               && (not s.Vmtaint.reads_input)
+               && s.Vmtaint.branch_pcs <> [] ->
+            add
+              [
+                Diag.make ~rule:"input-blind-walker"
+                  ~loc:(Diag.Vm { func = e.Rpgdetect.fn; pc = 0 })
+                  (Printf.sprintf
+                     "all %d branches are independent of program input: the function's control \
+                      flow carries no computation"
+                     (List.length s.Vmtaint.branch_pcs));
+              ]
+        | _ -> ())
+      (Lazy.force evidence);
+  let diags = !diags in
+  let flagged =
+    List.sort_uniq compare
+      (List.filter_map
+         (fun (d : Diag.t) ->
+           match d.Diag.loc with Diag.Vm { func; _ } -> Some func | _ -> None)
+         diags)
+  in
+  let evidence = if wants "rpg" || wants "taint" then Lazy.force evidence else [] in
+  { passes; diags; flagged; evidence }

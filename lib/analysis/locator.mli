@@ -1,0 +1,37 @@
+(** The interprocedural watermark locator: one entry point that runs a
+    named set of passes over a stack-VM program and reports which
+    functions they implicate.
+
+    Passes — each silent on clean compiled code:
+    - ["vmlint"]: the intraprocedural stealth linter ({!Vmlint});
+    - ["loops"]: natural-loop / reducibility checking ({!Vmloop}),
+      rule [irreducible-flow];
+    - ["taint"]: secret-input taint tracking ({!Vmtaint}), rule
+      [input-blind-walker] — corroborates a structural walker hit by
+      proving every branch in it input-independent;
+    - ["rpg"]: the appended graph-walker detector ({!Rpgdetect}),
+      rule [rpg-structure].
+
+    Scheme adapters declare which passes can find them
+    ([Scheme.Watermarker.caps.locator_passes]); the audit scorecard runs
+    exactly those and charges every hit against the scheme's declared
+    locatability ceiling. *)
+
+type report = {
+  passes : string list;  (** the passes that ran, canonical order *)
+  diags : Diag.t list;
+  flagged : string list;
+      (** distinct function names implicated by any diagnostic, sorted *)
+  evidence : Rpgdetect.evidence list;
+      (** structural walker evidence (populated by [rpg] / [taint]) *)
+}
+
+val known_passes : string list
+(** [["vmlint"; "loops"; "taint"; "rpg"]]. *)
+
+val default_passes : string list
+(** [["vmlint"; "loops"]] — the generic sweep an adversary with no
+    scheme knowledge would run. *)
+
+val run : ?passes:string list -> Stackvm.Program.t -> report
+(** Raises [Invalid_argument] on a pass name outside {!known_passes}. *)

@@ -1,0 +1,69 @@
+open Stackvm
+
+type evidence = {
+  fn : string;
+  loop_count : int;
+  new_arrays : int;
+  setup_stores : int;
+  carrier_branch_pcs : int list;
+  input_blind : bool;
+  callers : string list;
+}
+
+let examine graph (s : Callgraph.summary) =
+  let loops = s.Callgraph.loops in
+  let code = s.Callgraph.cfg.Vmcfg.func.Program.code in
+  let block_at = s.Callgraph.cfg.Vmcfg.block_at in
+  let in_loop pc = pc < Array.length block_at && Vmloop.in_loop loops block_at.(pc) in
+  let setup_stores =
+    let count = ref 0 in
+    Array.iteri
+      (fun pc instr ->
+        match instr with Instr.Array_store when not (in_loop pc) -> incr count | _ -> ())
+      code;
+    !count
+  in
+  let carrier_branch_pcs =
+    List.filter
+      (fun pc -> pc > 0 && code.(pc - 1) = Instr.Array_load && in_loop pc)
+      s.Callgraph.branch_pcs
+  in
+  let input_blind = not (Callgraph.reads_transitively graph s.Callgraph.name) in
+  let flagged =
+    s.Callgraph.nargs = 0
+    && s.Callgraph.callers <> []
+    && List.length loops.Vmloop.loops >= 2
+    && loops.Vmloop.reducible
+    && s.Callgraph.new_arrays >= 2
+    && setup_stores >= 8
+    && carrier_branch_pcs <> []
+    && input_blind
+  in
+  if flagged then
+    Some
+      {
+        fn = s.Callgraph.name;
+        loop_count = List.length loops.Vmloop.loops;
+        new_arrays = s.Callgraph.new_arrays;
+        setup_stores;
+        carrier_branch_pcs;
+        input_blind;
+        callers = s.Callgraph.callers;
+      }
+  else None
+
+let detect ?graph prog =
+  let graph = match graph with Some g -> g | None -> Callgraph.build prog in
+  List.filter_map (examine graph) (Callgraph.summaries graph)
+
+let diags evidence =
+  List.map
+    (fun e ->
+      let pc = match e.carrier_branch_pcs with pc :: _ -> pc | [] -> 0 in
+      Diag.make ~rule:"rpg-structure"
+        ~loc:(Diag.Vm { func = e.fn; pc })
+        (Printf.sprintf
+           "function matches the appended graph-walker signature: %d loops, %d arrays, %d \
+            straight-line stores, input-blind carrier branch"
+           e.loop_count e.new_arrays e.setup_stores))
+    evidence

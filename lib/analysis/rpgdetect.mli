@@ -1,0 +1,43 @@
+(** Static detector for appended graph-track walker functions.
+
+    The graph track hides the watermark in a walker the embedder appends
+    to the program: a zero-argument function that materialises the
+    radix-graph as arrays from straight-line masked constants, then
+    traverses it in a nest of loops whose carrier branch tests an
+    [Array_load]ed cell.  None of that structure occurs in compiled user
+    code, so the walker is locatable {e without running the program} —
+    exactly the kind of static signature the audit scorecard charges
+    against a scheme's declared attack surface.
+
+    The detector is structural, not name-based: renaming the walker does
+    not evade it.  All of the following must hold before a function is
+    flagged (each alone is common in clean code; the conjunction never
+    fires on the stock workloads):
+
+    - zero parameters, and it has at least one caller;
+    - at least two natural loops, all-reducible control flow;
+    - at least two [New_array] allocations;
+    - a long straight-line array-initialisation prologue (8+
+      [Array_store]s outside every loop body);
+    - a carrier branch: an [If] directly consuming an [Array_load]
+      inside a loop;
+    - input-blind: neither it nor anything it calls performs [Read]. *)
+
+type evidence = {
+  fn : string;
+  loop_count : int;
+  new_arrays : int;
+  setup_stores : int;  (** [Array_store]s outside every loop body *)
+  carrier_branch_pcs : int list;
+      (** [If] pcs directly consuming an [Array_load] inside a loop *)
+  input_blind : bool;
+  callers : string list;
+}
+
+val detect : ?graph:Callgraph.t -> Stackvm.Program.t -> evidence list
+(** Flagged functions in program order.  Pass [graph] to reuse an
+    already-built call graph. *)
+
+val diags : evidence list -> Diag.t list
+(** One [rpg-structure] diagnostic per flagged function, anchored at its
+    first carrier branch. *)

@@ -11,6 +11,7 @@ type t = {
   blocks : block array;
   block_at : int array;  (** pc -> index of the containing block *)
   preds : int list array;
+  warnings : Diag.t list;
 }
 
 let build (f : Program.func) =
@@ -30,6 +31,7 @@ let build (f : Program.func) =
     if starts.(pc) then b := Hashtbl.find idx_of_leader pc;
     block_at.(pc) <- !b
   done;
+  let warnings = ref [] in
   let blocks =
     Array.mapi
       (fun i leader ->
@@ -37,9 +39,27 @@ let build (f : Program.func) =
         let len = next_leader - leader in
         let last = f.Program.code.(next_leader - 1) in
         let succs =
-          (* branch targets are always leaders; drop out-of-range ones so
-             unverified inputs degrade instead of crashing *)
-          let targets = List.filter_map (Hashtbl.find_opt idx_of_leader) (Instr.targets last) in
+          (* branch targets are always leaders; out-of-range ones are
+             dropped so unverified inputs degrade instead of crashing, but
+             each drop is recorded: a truncated or patched artifact shows
+             up as a malformed-cfg diagnostic instead of silently losing
+             edges *)
+          let targets =
+            List.filter_map
+              (fun tgt ->
+                match Hashtbl.find_opt idx_of_leader tgt with
+                | Some b -> Some b
+                | None ->
+                    warnings :=
+                      Diag.make ~rule:"malformed-cfg"
+                        ~loc:(Diag.Vm { func = f.Program.name; pc = next_leader - 1 })
+                        (Printf.sprintf
+                           "branch target %d is outside the function body (0..%d); edge dropped" tgt
+                           (n - 1))
+                      :: !warnings;
+                    None)
+              (Instr.targets last)
+          in
           let fall =
             if Instr.falls_through last && next_leader < n then
               Option.to_list (Hashtbl.find_opt idx_of_leader next_leader)
@@ -52,7 +72,7 @@ let build (f : Program.func) =
   in
   let preds = Array.make nb [] in
   Array.iteri (fun i blk -> List.iter (fun s -> preds.(s) <- i :: preds.(s)) blk.succs) blocks;
-  { func = f; blocks; block_at; preds }
+  { func = f; blocks; block_at; preds; warnings = List.rev !warnings }
 
 let num_blocks t = Array.length t.blocks
 

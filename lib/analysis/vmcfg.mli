@@ -13,11 +13,16 @@ type t = {
   blocks : block array;
   block_at : int array;  (** pc -> index of the containing block *)
   preds : int list array;
+  warnings : Diag.t list;
+      (** [malformed-cfg] diagnostics recorded during construction, one
+          per branch target that fell outside the function body *)
 }
 
 val build : Stackvm.Program.func -> t
 (** Out-of-range branch targets are dropped (unverified inputs degrade
-    instead of crashing). *)
+    instead of crashing), but every dropped edge is recorded in
+    [warnings] so the linter and locator can report malformed CFGs
+    instead of masking them. *)
 
 val num_blocks : t -> int
 val preds : t -> int -> int list

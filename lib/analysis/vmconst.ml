@@ -282,18 +282,22 @@ let analyze (prog : Program.t) (f : Program.func) =
       }
     in
     let to_block pc = (cfg.Vmcfg.block_at.(pc), exit_fact) in
+    (* out-of-range targets were dropped (and warned about) by the CFG
+       builder; contribute no edge for them here either *)
+    let in_code pc = pc >= 0 && pc < Array.length f.Program.code in
     match w.terminator with
     | Stop -> []
-    | Goto t -> [ to_block t ]
+    | Goto t -> if in_code t then [ to_block t ] else []
     | Fall ->
         let next = cfg.Vmcfg.blocks.(bidx).Vmcfg.leader + cfg.Vmcfg.blocks.(bidx).Vmcfg.len in
         if next < Array.length f.Program.code then [ to_block next ] else []
     | Branch { pc; sense; target; cond } -> begin
         let fall = if pc + 1 < Array.length f.Program.code then [ to_block (pc + 1) ] else [] in
+        let taken = if in_code target then [ to_block target ] else [] in
         match verdict_of w.dag sense cond with
-        | Some Always -> [ to_block target ]
+        | Some Always -> taken
         | Some Never -> fall
-        | None -> to_block target :: fall
+        | None -> taken @ fall
       end
   in
   let facts =

@@ -23,6 +23,10 @@ let lint_func (prog : Program.t) (f : Program.func) =
   let add rule pc message = diags := Diag.make ~rule ~loc:(Diag.Vm { func = f.Program.name; pc }) message :: !diags in
   List.iter (fun (i : Vmstack.issue) -> add "stack-conflict" i.Vmstack.pc i.Vmstack.reason) (Vmstack.check prog f);
   let c = Vmconst.analyze prog f in
+  (* CFG construction records dropped out-of-range branch targets; a
+     truncated or hand-patched artifact must lint as malformed, not pass
+     with edges silently missing *)
+  diags := List.rev_append c.Vmconst.cfg.Vmcfg.warnings !diags;
   List.iter
     (fun (b : Vmconst.branch_info) ->
       add "opaque-branch" b.Vmconst.br_pc

@@ -5,8 +5,10 @@
     proves one-sided), [unreachable-code] (blocks reachable only through
     infeasible branches), [write-only-local] (slots stored but never
     read from constant-reachable code), [stack-conflict] (stack-effect
-    disagreements; never fires on verified programs).  All rules are
-    silent on clean compiled code. *)
+    disagreements; never fires on verified programs), [malformed-cfg]
+    (branch targets outside the function body, surfaced from
+    {!Vmcfg.build}'s dropped-edge warnings).  All rules are silent on
+    clean compiled code. *)
 
 val lint_func : Stackvm.Program.t -> Stackvm.Program.func -> Diag.t list
 

@@ -1,0 +1,62 @@
+type loop = { header : int; tail : int; body : int list }
+
+type t = {
+  dom : Domtree.t;
+  back_edges : (int * int) list;
+  loops : loop list;
+  reducible : bool;
+}
+
+let succs_of (cfg : Vmcfg.t) = Array.map (fun (b : Vmcfg.block) -> b.Vmcfg.succs) cfg.Vmcfg.blocks
+
+(* Natural loop of back edge (tail, header): header plus every node that
+   reaches tail against the edges without passing through header. *)
+let natural_loop (cfg : Vmcfg.t) ~tail ~header =
+  let nb = Vmcfg.num_blocks cfg in
+  let inside = Array.make nb false in
+  inside.(header) <- true;
+  let stack = ref [] in
+  if not inside.(tail) then begin
+    inside.(tail) <- true;
+    stack := [ tail ]
+  end;
+  while !stack <> [] do
+    match !stack with
+    | [] -> ()
+    | b :: rest ->
+        stack := rest;
+        List.iter
+          (fun p ->
+            if not inside.(p) then begin
+              inside.(p) <- true;
+              stack := p :: !stack
+            end)
+          (Vmcfg.preds cfg b)
+  done;
+  let body = ref [] in
+  for b = nb - 1 downto 0 do
+    if inside.(b) then body := b :: !body
+  done;
+  !body
+
+let analyze (cfg : Vmcfg.t) =
+  let succs = succs_of cfg in
+  let dom = Domtree.compute ~succs ~entry:0 in
+  let back_edges = Domtree.back_edges ~succs dom in
+  let loops =
+    List.map (fun (tail, header) -> { header; tail; body = natural_loop cfg ~tail ~header }) back_edges
+  in
+  let reducible = Domtree.reducible ~succs ~entry:0 in
+  { dom; back_edges; loops; reducible }
+
+let in_loop t b = List.exists (fun l -> List.mem b l.body) t.loops
+
+let diags t ~fn =
+  if t.reducible then []
+  else
+    [
+      Diag.make ~rule:"irreducible-flow"
+        ~loc:(Diag.Vm { func = fn; pc = 0 })
+        "control flow is irreducible: a retreating edge jumps into a loop body (clean compilations \
+         are always reducible)";
+    ]

@@ -1,0 +1,26 @@
+(** Natural-loop detection and reducibility checking over {!Vmcfg} block
+    graphs, built on the {!Domtree} dominator pass.  Clean MiniC
+    compilations are always reducible (the compiler only emits structured
+    control flow), so an irreducible function is an analyzer signal: a
+    patched or adversarially rewritten artifact. *)
+
+type loop = {
+  header : int;  (** block index of the loop header *)
+  tail : int;  (** block whose back edge closes the loop *)
+  body : int list;  (** all member blocks, header included, ascending *)
+}
+
+type t = {
+  dom : Domtree.t;
+  back_edges : (int * int) list;  (** (tail, header) dominator back edges *)
+  loops : loop list;  (** one natural loop per back edge *)
+  reducible : bool;
+}
+
+val analyze : Vmcfg.t -> t
+
+val in_loop : t -> int -> bool
+(** Whether a block index belongs to any natural-loop body. *)
+
+val diags : t -> fn:string -> Diag.t list
+(** [irreducible-flow] findings (empty on every clean compilation). *)

@@ -1,0 +1,250 @@
+open Stackvm
+
+type summary = {
+  fn : string;
+  param_taint : bool array;
+  result_taint : bool;
+  reads_input : bool;
+  branch_pcs : int list;
+  tainted_branch_pcs : int list;
+}
+
+type call_site = { caller : string; call_pc : int; callee : string; arg_taint : bool array }
+
+type t = { summaries : summary list; call_sites : call_site list }
+
+(* Mutable per-function fact row for the fixpoint.  Every field is
+   monotone (false -> true only), which is what bounds the iteration. *)
+type row = {
+  r_fn : string;
+  r_params : bool array;
+  mutable r_result : bool;
+  mutable r_reads : bool;
+}
+
+(* Abstract operand stacks are taint lists, top first.  Verified programs
+   have consistent depths at joins; on unverified input we join the
+  common prefix and keep the longer tail, degrading instead of crashing. *)
+let join_stacks a b =
+  let rec go a b =
+    match (a, b) with
+    | [], rest | rest, [] -> rest
+    | x :: xs, y :: ys -> (x || y) :: go xs ys
+  in
+  go a b
+
+let pop = function [] -> (false, []) | x :: rest -> (x, rest)
+
+let pop2 st =
+  let a, st = pop st in
+  let b, st = pop st in
+  (a, b, st)
+
+let join_locals dst src =
+  let changed = ref false in
+  Array.iteri
+    (fun i v ->
+      if v && not dst.(i) then begin
+        dst.(i) <- true;
+        changed := true
+      end)
+    src;
+  !changed
+
+let analyze (prog : Program.t) =
+  let rows = Hashtbl.create 16 in
+  Array.iter
+    (fun (f : Program.func) ->
+      Hashtbl.replace rows f.Program.name
+        {
+          r_fn = f.Program.name;
+          r_params = Array.make f.Program.nargs false;
+          r_result = false;
+          r_reads = false;
+        })
+    prog.Program.funcs;
+  let globals = Array.make (max 1 prog.Program.nglobals) false in
+  let heap = ref false in
+  let changed = ref true in
+  (* last-sweep observations, overwritten each pass; stable after the
+     fixpoint's final (no-change) sweep *)
+  let observed = Hashtbl.create 16 in
+  let analyze_func (f : Program.func) =
+    let row = Hashtbl.find rows f.Program.name in
+    let cfg = Vmcfg.build f in
+    let nb = Vmcfg.num_blocks cfg in
+    let tainted_branches = ref [] in
+    let calls = ref [] in
+    if nb = 0 then ()
+    else begin
+      let entry_locals = Array.make (max 1 f.Program.nlocals) false in
+      Array.iteri (fun i v -> if i < f.Program.nlocals then entry_locals.(i) <- v) row.r_params;
+      let in_locals = Array.make nb None in
+      let in_stack = Array.make nb None in
+      in_locals.(0) <- Some (Array.copy entry_locals);
+      in_stack.(0) <- Some [];
+      let work = Queue.create () in
+      Queue.add 0 work;
+      while not (Queue.is_empty work) do
+        let b = Queue.pop work in
+        let blk = cfg.Vmcfg.blocks.(b) in
+        let locals = Array.copy (Option.get in_locals.(b)) in
+        let stack = ref (Option.get in_stack.(b)) in
+        for pc = blk.Vmcfg.leader to blk.Vmcfg.leader + blk.Vmcfg.len - 1 do
+          match f.Program.code.(pc) with
+          | Instr.Const _ -> stack := false :: !stack
+          | Instr.Load k ->
+              stack := (if k >= 0 && k < Array.length locals then locals.(k) else false) :: !stack
+          | Instr.Store k ->
+              let v, rest = pop !stack in
+              stack := rest;
+              if k >= 0 && k < Array.length locals then locals.(k) <- v
+          | Instr.Get_global g ->
+              stack := (if g >= 0 && g < Array.length globals then globals.(g) else false) :: !stack
+          | Instr.Set_global g ->
+              let v, rest = pop !stack in
+              stack := rest;
+              if v && g >= 0 && g < Array.length globals && not globals.(g) then begin
+                globals.(g) <- true;
+                changed := true
+              end
+          | Instr.Binop _ | Instr.Cmp _ ->
+              let a, b', rest = pop2 !stack in
+              stack := (a || b') :: rest
+          | Instr.Neg | Instr.Not | Instr.Array_len ->
+              let v, rest = pop !stack in
+              stack := v :: rest
+          | Instr.Dup ->
+              let v, rest = pop !stack in
+              stack := v :: v :: rest
+          | Instr.Pop | Instr.Print ->
+              let _, rest = pop !stack in
+              stack := rest
+          | Instr.Swap ->
+              let a, b', rest = pop2 !stack in
+              stack := b' :: a :: rest
+          | Instr.New_array ->
+              let len, rest = pop !stack in
+              stack := len :: rest
+          | Instr.Array_load ->
+              let idx, handle, rest = pop2 !stack in
+              stack := (idx || handle || !heap) :: rest
+          | Instr.Array_store ->
+              let v, idx, rest = pop2 !stack in
+              let handle, rest = pop rest in
+              stack := rest;
+              if (v || idx || handle) && not !heap then begin
+                heap := true;
+                changed := true
+              end
+          | Instr.Jump _ -> ()
+          | Instr.If _ ->
+              let cond, rest = pop !stack in
+              stack := rest;
+              if cond then tainted_branches := pc :: !tainted_branches
+          | Instr.Call callee -> (
+              match Hashtbl.find_opt rows callee with
+              | Some crow ->
+                  let nargs = Array.length crow.r_params in
+                  let arg_taint = Array.make nargs false in
+                  (* the first pop is the last argument *)
+                  for k = nargs - 1 downto 0 do
+                    let v, rest = pop !stack in
+                    stack := rest;
+                    arg_taint.(k) <- v
+                  done;
+                  Array.iteri
+                    (fun i v ->
+                      if v && not crow.r_params.(i) then begin
+                        crow.r_params.(i) <- true;
+                        changed := true
+                      end)
+                    arg_taint;
+                  if crow.r_reads && not row.r_reads then begin
+                    row.r_reads <- true;
+                    changed := true
+                  end;
+                  calls := { caller = f.Program.name; call_pc = pc; callee; arg_taint } :: !calls;
+                  stack := crow.r_result :: !stack
+              | None ->
+                  (* unknown callee on unverified input: assume the worst *)
+                  stack := true :: !stack)
+          | Instr.Ret ->
+              let v, rest = pop !stack in
+              stack := rest;
+              if v && not row.r_result then begin
+                row.r_result <- true;
+                changed := true
+              end
+          | Instr.Read ->
+              stack := true :: !stack;
+              if not row.r_reads then begin
+                row.r_reads <- true;
+                changed := true
+              end
+          | Instr.Nop -> ()
+        done;
+        List.iter
+          (fun s ->
+            let l_changed =
+              match in_locals.(s) with
+              | None ->
+                  in_locals.(s) <- Some (Array.copy locals);
+                  true
+              | Some dst -> join_locals dst locals
+            in
+            let joined = match in_stack.(s) with None -> !stack | Some old -> join_stacks old !stack in
+            let s_changed = in_stack.(s) <> Some joined in
+            if s_changed then in_stack.(s) <- Some joined;
+            if l_changed || s_changed then Queue.add s work)
+          blk.Vmcfg.succs
+      done
+    end;
+    Hashtbl.replace observed f.Program.name (List.sort_uniq compare !tainted_branches, List.rev !calls)
+  in
+  while !changed do
+    changed := false;
+    Array.iter analyze_func prog.Program.funcs
+  done;
+  let summaries =
+    Array.to_list prog.Program.funcs
+    |> List.map (fun (f : Program.func) ->
+           let row = Hashtbl.find rows f.Program.name in
+           let tainted, _ =
+             Option.value ~default:([], []) (Hashtbl.find_opt observed f.Program.name)
+           in
+           let branch_pcs = ref [] in
+           Array.iteri
+             (fun pc i -> match i with Instr.If _ -> branch_pcs := pc :: !branch_pcs | _ -> ())
+             f.Program.code;
+           {
+             fn = f.Program.name;
+             param_taint = Array.copy row.r_params;
+             result_taint = row.r_result;
+             reads_input = row.r_reads;
+             branch_pcs = List.rev !branch_pcs;
+             tainted_branch_pcs = tainted;
+           })
+  in
+  let call_sites =
+    Array.to_list prog.Program.funcs
+    |> List.concat_map (fun (f : Program.func) ->
+           snd (Option.value ~default:([], []) (Hashtbl.find_opt observed f.Program.name)))
+  in
+  { summaries; call_sites }
+
+let summary t name = List.find_opt (fun s -> s.fn = name) t.summaries
+
+let unsound_calls t =
+  List.filter
+    (fun site ->
+      match summary t site.callee with
+      | None -> false
+      | Some callee ->
+          Array.exists
+            (fun i -> i)
+            (Array.mapi
+               (fun i tainted ->
+                 tainted && i < Array.length callee.param_taint && not callee.param_taint.(i))
+               site.arg_taint))
+    t.call_sites

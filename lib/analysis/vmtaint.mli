@@ -1,0 +1,47 @@
+(** Interprocedural secret-input taint tracking.
+
+    The paper's threat model keys both tracks on a secret input sequence,
+    so the adversary's first static question is: {e which branch
+    conditions can the input reach at all?}  Sources are [Read]
+    instructions and tainted parameters; taint propagates through locals,
+    the operand stack, globals (flow-insensitively), a single
+    conservative heap bit, and across calls via per-function summaries
+    iterated to a fixpoint.  Sinks are [If] conditions.
+
+    A watermark carrier whose branches are all input-independent (the
+    graph-track walker) is as much of a signal as one whose branches are
+    input-saturated — {!Rpgdetect} consumes the former, the audit
+    scorecard reports both. *)
+
+type summary = {
+  fn : string;
+  param_taint : bool array;
+      (** per-parameter: may any call site pass tainted data here? *)
+  result_taint : bool;  (** may the return value be tainted? *)
+  reads_input : bool;  (** performs [Read], directly or transitively *)
+  branch_pcs : int list;  (** every [If] pc, ascending *)
+  tainted_branch_pcs : int list;
+      (** the subset whose popped condition may be input-tainted *)
+}
+
+type call_site = {
+  caller : string;
+  call_pc : int;
+  callee : string;
+  arg_taint : bool array;  (** taint of each argument at this site, in
+                               parameter order *)
+}
+
+type t = { summaries : summary list; call_sites : call_site list }
+
+val analyze : Stackvm.Program.t -> t
+(** Monotone fixpoint over all functions; terminates because every
+    abstract fact only ever flips false -> true. *)
+
+val summary : t -> string -> summary option
+
+val unsound_calls : t -> call_site list
+(** Call sites passing a tainted argument whose callee summary does
+    {e not} record that parameter as tainted — always empty (the
+    taint-never-lost-across-calls soundness property; qcheck holds the
+    analysis to it on the stock workloads). *)

@@ -7,6 +7,8 @@ module Stackvm = Stackvm
 module Minic = Minic
 module Jwm = Jwm
 module Gwm = Gwm
+module Analysis = Analysis
+module Gattacks = Gattacks
 module Vmattacks = Vmattacks
 module Nativesim = Nativesim
 module Phash = Phash
@@ -15,6 +17,7 @@ module Nattacks = Nattacks
 module Workloads = Workloads
 module Scheme = Scheme
 module Engine = Engine
+module Audit = Audit
 module Fault = Fault
 module Store = Store
 module Service = Service

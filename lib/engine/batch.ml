@@ -10,6 +10,13 @@ type outcome =
       bytes_after : int;
     }
   | Native_extracted of { value : Bignum.t option; matched : bool option }
+  | Audited of {
+      passes : string list;
+      marked_fns : string list;
+      flagged_fns : string list;
+      clean_flagged : string list;
+      ndiags : int;
+    }
   | Failed of { reason : string; attempts : int }
 
 type result = { job : Job.t; outcome : outcome; ms : float; attempts : int; from_cache : bool }
@@ -21,6 +28,7 @@ let ok r =
       value <> None && matched <> Some false
   | Vm_attacked { survived } -> List.for_all snd survived
   | Vm_embedded _ | Native_embedded _ -> true
+  | Audited _ -> true
 
 let describe_outcome = function
   | Vm_embedded { bytes_before; bytes_after; _ } ->
@@ -36,6 +44,12 @@ let describe_outcome = function
   | Native_embedded { bytes_before; bytes_after; begin_addr; end_addr; _ } ->
       Printf.sprintf "embedded natively (%d -> %d bytes, region 0x%x-0x%x)" bytes_before bytes_after
         begin_addr end_addr
+  | Audited { passes; marked_fns; flagged_fns; clean_flagged; ndiags } ->
+      let hits = List.filter (fun f -> List.mem f marked_fns) flagged_fns in
+      Printf.sprintf "audited [%s]: located %d/%d marked function(s), %d diag(s), %d clean false \
+                      positive(s)"
+        (String.concat "," passes) (List.length hits) (List.length marked_fns) ndiags
+        (List.length clean_flagged)
   | Failed { reason; attempts } -> Printf.sprintf "failed after %d attempt(s): %s" attempts reason
 
 (* ---- outcome (de)serialization for the result cache ----
@@ -100,6 +114,17 @@ let encode_outcome o =
       Buffer.add_char buf 'X';
       add_opt buf add_big value;
       add_opt buf add_bool matched
+  | Audited { passes; marked_fns; flagged_fns; clean_flagged; ndiags } ->
+      Buffer.add_char buf 'U';
+      let add_list l =
+        add_varint buf (List.length l);
+        List.iter (add_str buf) l
+      in
+      add_list passes;
+      add_list marked_fns;
+      add_list flagged_fns;
+      add_list clean_flagged;
+      add_varint buf ndiags
   | Failed { reason; attempts } ->
       Buffer.add_char buf 'F';
       add_str buf reason;
@@ -169,6 +194,14 @@ let decode_outcome s =
             let value = opt big in
             let matched = opt boolean in
             Native_extracted { value; matched }
+        | 'U' ->
+            let lst () = List.init (varint ()) (fun _ -> str ()) in
+            let passes = lst () in
+            let marked_fns = lst () in
+            let flagged_fns = lst () in
+            let clean_flagged = lst () in
+            let ndiags = varint () in
+            Audited { passes; marked_fns; flagged_fns; clean_flagged; ndiags }
         | 'F' ->
             let reason = str () in
             let attempts = varint () in
@@ -321,10 +354,57 @@ let compute_vm_scheme ?inject ?cache ?events ~id (job : Job.t) program action =
           attacks
       in
       Vm_attacked { survived }
+  | Job.Audit { fingerprint } ->
+      let spec = scheme_spec job ~redundancy:Scheme.Watermarker.default_redundancy in
+      let e =
+        timed ?events ~id ~stage:"embed" (fun () ->
+            W.embed fingerprint spec (Scheme.Watermarker.Vm_program program))
+      in
+      let marked =
+        match e.Scheme.Watermarker.carrier with
+        | Scheme.Watermarker.Vm_program p -> p
+        | _ -> failwith (Printf.sprintf "scheme %s embedded a non-VM carrier" job.Job.scheme)
+      in
+      let passes =
+        match
+          List.filter
+            (fun p -> List.mem p Analysis.Locator.known_passes)
+            W.caps.Scheme.Watermarker.locator_passes
+        with
+        | [] -> Analysis.Locator.default_passes
+        | ps -> ps
+      in
+      (* ground truth: the functions the embedder added or rewrote *)
+      let clean_code = Hashtbl.create 16 in
+      Array.iter
+        (fun (f : Stackvm.Program.func) -> Hashtbl.replace clean_code f.Stackvm.Program.name f)
+        program.Stackvm.Program.funcs;
+      let marked_fns =
+        Array.to_list marked.Stackvm.Program.funcs
+        |> List.filter_map (fun (f : Stackvm.Program.func) ->
+               match Hashtbl.find_opt clean_code f.Stackvm.Program.name with
+               | Some g when g = f -> None
+               | _ -> Some f.Stackvm.Program.name)
+        |> List.sort compare
+      in
+      let report =
+        timed ?events ~id ~stage:"audit" (fun () -> Analysis.Locator.run ~passes marked)
+      in
+      let clean_report = Analysis.Locator.run ~passes program in
+      Audited
+        {
+          passes;
+          marked_fns;
+          flagged_fns = report.Analysis.Locator.flagged;
+          clean_flagged = clean_report.Analysis.Locator.flagged;
+          ndiags = List.length report.Analysis.Locator.diags;
+        }
 
 let compute_vm ?inject ?cache ?events ~id (job : Job.t) program action =
-  if job.Job.scheme <> Job.default_vm_scheme then
-    compute_vm_scheme ?inject ?cache ?events ~id job program action
+  if
+    job.Job.scheme <> Job.default_vm_scheme
+    || (match action with Job.Audit _ -> true | _ -> false)
+  then compute_vm_scheme ?inject ?cache ?events ~id job program action
   else
   match (action : Job.vm_action) with
   | Job.Embed { fingerprint; pieces } ->
@@ -391,6 +471,7 @@ let compute_vm ?inject ?cache ?events ~id (job : Job.t) program action =
           attacks
       in
       Vm_attacked { survived }
+  | Job.Audit _ -> assert false (* routed to [compute_vm_scheme] above *)
 
 let default_native_passes = 5
 
@@ -467,6 +548,33 @@ let compute_native ?inject ?events ~id (job : Job.t) program action =
                 d.Nwm.Extract.value)
       in
       Native_extracted { value; matched = match_against expected value }
+  | Job.Native_audit { fingerprint } ->
+      let report =
+        timed ?events ~id ~stage:"native-embed" (fun () ->
+            Nwm.Embed.embed ~seed:job.Job.seed ~tamper_proof:true ?fuel:job.Job.fuel
+              ~watermark:fingerprint ~bits:job.Job.bits ~training_input:job.Job.input program)
+      in
+      let clean_binary = Nativesim.Asm.assemble program in
+      let clean_diags = Analysis.Nlint.lint clean_binary in
+      let marked_diags =
+        timed ?events ~id ~stage:"audit" (fun () -> Analysis.Nlint.lint report.Nwm.Embed.binary)
+      in
+      (* the native track has no function granularity: the embedded
+         region plays the role of the single "marked function" *)
+      let in_region (d : Analysis.Diag.t) =
+        match d.Analysis.Diag.loc with
+        | Analysis.Diag.Native { addr } ->
+            addr >= report.Nwm.Embed.begin_addr && addr < report.Nwm.Embed.end_addr
+        | _ -> false
+      in
+      Audited
+        {
+          passes = [ "nlint" ];
+          marked_fns = [ "region" ];
+          flagged_fns = (if List.exists in_region marked_diags then [ "region" ] else []);
+          clean_flagged = (if clean_diags <> [] then [ "binary" ] else []);
+          ndiags = List.length marked_diags;
+        }
 
 (* ---- retry policy, deadline budget, circuit breaker ---- *)
 

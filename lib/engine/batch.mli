@@ -26,6 +26,17 @@ type outcome =
       bytes_after : int;
     }
   | Native_extracted of { value : Bignum.t option; matched : bool option }
+  | Audited of {
+      passes : string list;  (** the {!Analysis.Locator} passes that ran *)
+      marked_fns : string list;
+          (** ground truth: functions the embedder added or rewrote
+              (the embedded region, for the native track) *)
+      flagged_fns : string list;  (** locator-implicated, marked program *)
+      clean_flagged : string list;
+          (** locator-implicated on the {e clean} program — the
+              false-positive baseline; empty on the stock workloads *)
+      ndiags : int;  (** total diagnostics on the marked program *)
+    }
   | Failed of { reason : string; attempts : int }
 
 type result = {

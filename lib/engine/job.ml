@@ -2,10 +2,12 @@ type vm_action =
   | Embed of { fingerprint : Bignum.t; pieces : int }
   | Recognize of { expected : Bignum.t option }
   | Attack_campaign of { expected : Bignum.t; attacks : string list }
+  | Audit of { fingerprint : Bignum.t }
 
 type native_action =
   | Native_embed of { fingerprint : Bignum.t; tamper_proof : bool }
   | Native_extract of { begin_addr : int; end_addr : int; expected : Bignum.t option }
+  | Native_audit of { fingerprint : Bignum.t }
 
 type payload =
   | Vm of { program : Stackvm.Program.t; action : vm_action }
@@ -68,6 +70,20 @@ let vm_attack_campaign ?label ?(seed = default_seed) ?fuel ?(scheme = default_vm
     payload = Vm { program; action = Attack_campaign { expected; attacks } };
   }
 
+let vm_audit ?label ?(seed = default_seed) ?fuel ?(scheme = default_vm_scheme) ~key ~bits ~fingerprint
+    ~input program =
+  let label = Option.value label ~default:("audit:" ^ scheme) in
+  {
+    label;
+    key;
+    bits;
+    input;
+    seed;
+    fuel;
+    scheme;
+    payload = Vm { program; action = Audit { fingerprint } };
+  }
+
 let native_embed ?label ?(seed = default_seed) ?fuel ?(tamper_proof = true) ~bits ~fingerprint ~input
     program =
   let label = Option.value label ~default:("native-embed:" ^ Bignum.to_string fingerprint) in
@@ -80,6 +96,19 @@ let native_embed ?label ?(seed = default_seed) ?fuel ?(tamper_proof = true) ~bit
     fuel;
     scheme = default_native_scheme;
     payload = Native { program; action = Native_embed { fingerprint; tamper_proof } };
+  }
+
+let native_audit ?label ?(seed = default_seed) ?fuel ~bits ~fingerprint ~input program =
+  let label = Option.value label ~default:("audit:" ^ default_native_scheme) in
+  {
+    label;
+    key = "";
+    bits;
+    input;
+    seed;
+    fuel;
+    scheme = default_native_scheme;
+    payload = Native { program; action = Native_audit { fingerprint } };
   }
 
 let native_extract ?label ?fuel ?expected ~bits ~begin_addr ~end_addr ~input program =
@@ -146,6 +175,12 @@ let action_fields buf t =
       add_field buf "begin" (string_of_int begin_addr);
       add_field buf "end" (string_of_int end_addr);
       add_field buf "expected" (match expected with None -> "" | Some w -> Bignum.to_string w)
+  | Vm { action = Audit { fingerprint }; _ } ->
+      add_field buf "action" "audit";
+      add_field buf "fingerprint" (Bignum.to_string fingerprint)
+  | Native { action = Native_audit { fingerprint }; _ } ->
+      add_field buf "action" "native-audit";
+      add_field buf "fingerprint" (Bignum.to_string fingerprint)
 
 let digest t =
   let buf = Buffer.create 512 in
@@ -165,7 +200,9 @@ let kind t =
   | Vm { action = Embed _; _ } -> "embed"
   | Vm { action = Recognize _; _ } -> "recognize"
   | Vm { action = Attack_campaign _; _ } -> "attack"
+  | Vm { action = Audit _; _ } -> "audit"
   | Native { action = Native_embed _; _ } -> "native-embed"
   | Native { action = Native_extract _; _ } -> "native-extract"
+  | Native { action = Native_audit _; _ } -> "native-audit"
 
 let describe t = Printf.sprintf "%s %s (%d bits, input [%s])" (kind t) t.label t.bits (input_string t.input)

@@ -19,10 +19,19 @@ type vm_action =
       (** apply each named {!Vmattacks.Attacks.all} transformation to the
           (already watermarked) program and test whether the fingerprint
           survives each one *)
+  | Audit of { fingerprint : Bignum.t }
+      (** stealth audit: embed into the (clean) carrier, then run the
+          scheme's declared {!Analysis.Locator} passes over both the
+          clean and the marked program and report which marked functions
+          the static locator implicates *)
 
 type native_action =
   | Native_embed of { fingerprint : Bignum.t; tamper_proof : bool }
   | Native_extract of { begin_addr : int; end_addr : int; expected : Bignum.t option }
+  | Native_audit of { fingerprint : Bignum.t }
+      (** the audit action for the native track: embed, then run
+          {!Analysis.Nlint} over clean and marked binaries and test
+          whether any finding lands inside the embedded region *)
 
 type payload =
   | Vm of { program : Stackvm.Program.t; action : vm_action }
@@ -82,6 +91,29 @@ val vm_attack_campaign :
   Stackvm.Program.t ->
   t
 
+val vm_audit :
+  ?label:string ->
+  ?seed:int64 ->
+  ?fuel:int ->
+  ?scheme:string ->
+  key:string ->
+  bits:int ->
+  fingerprint:Bignum.t ->
+  input:int list ->
+  Stackvm.Program.t ->
+  t
+(** The program is the {e clean} carrier; the audit embeds internally. *)
+
+val native_audit :
+  ?label:string ->
+  ?seed:int64 ->
+  ?fuel:int ->
+  bits:int ->
+  fingerprint:Bignum.t ->
+  input:int list ->
+  Nativesim.Asm.program ->
+  t
+
 val native_embed :
   ?label:string ->
   ?seed:int64 ->
@@ -122,9 +154,9 @@ val digest : t -> string
 (** Stable hex digest of the full spec (minus [label]). *)
 
 val kind : t -> string
-(** Short action tag: ["embed"], ["recognize"], ["attack"],
-    ["native-embed"] or ["native-extract"] — used as the cache stage for
-    memoized job results. *)
+(** Short action tag: ["embed"], ["recognize"], ["attack"], ["audit"],
+    ["native-embed"], ["native-extract"] or ["native-audit"] — used as
+    the cache stage for memoized job results. *)
 
 val describe : t -> string
 (** One-line description for logs. *)

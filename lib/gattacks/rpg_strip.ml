@@ -1,0 +1,42 @@
+open Stackvm
+
+type report = {
+  program : Program.t;
+  stripped : string list;
+  patched_calls : int;
+  diagnostics : Analysis.Rpgdetect.evidence list;
+}
+
+let strip (prog : Program.t) =
+  let diagnostics = Analysis.Rpgdetect.detect prog in
+  let doomed = List.map (fun e -> e.Analysis.Rpgdetect.fn) diagnostics in
+  let patched_calls = ref 0 in
+  let rewrite_func (f : Program.func) =
+    if List.mem f.Program.name doomed then
+      (* every function leaves exactly one value on the stack (verifier
+         invariant), so a constant body is a faithful replacement for a
+         walker whose result nobody consumes meaningfully *)
+      Program.func ~name:f.Program.name ~nargs:f.Program.nargs ~nlocals:f.Program.nargs
+        [ Instr.Const 0; Instr.Ret ]
+    else
+      let code =
+        Array.map
+          (function
+            (* flagged walkers take no arguments and push one result:
+               [Const 0] is the exact stack effect of the call *)
+            | Instr.Call callee when List.mem callee doomed ->
+                incr patched_calls;
+                Instr.Const 0
+            | instr -> instr)
+          f.Program.code
+      in
+      { f with Program.code }
+  in
+  let program =
+    Program.make ~nglobals:prog.Program.nglobals ~main:prog.Program.main
+      (Array.to_list (Array.map rewrite_func prog.Program.funcs))
+  in
+  Verify.check_exn program;
+  { program; stripped = List.sort compare doomed; patched_calls = !patched_calls; diagnostics }
+
+let attack _prng prog = (strip prog).program

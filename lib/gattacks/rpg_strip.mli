@@ -1,0 +1,30 @@
+(** Locator-guided surgical strip of graph-track walkers.
+
+    Where the generic attacks in {!Vmattacks.Attacks} perturb the whole
+    program and hope the recognizer loses lock, this one uses the static
+    locator's findings as a targeting list: every function
+    {!Analysis.Rpgdetect} flags is gutted to a constant return, and every
+    call to it is replaced by the constant it would have pushed.  The
+    result still verifies and computes the same outputs — the walker is
+    pure, input-blind dead weight by construction — but its branch events
+    vanish from the trace, so graph-track recognition dies while path
+    tracks embedded in the original functions survive untouched.
+
+    This is the honest version of the paper's "targeted attack" threat:
+    it only works if the static signature works, which is exactly what
+    the audit scorecard measures. *)
+
+type report = {
+  program : Stackvm.Program.t;  (** the stripped program; verifies *)
+  stripped : string list;  (** gutted function names, sorted *)
+  patched_calls : int;  (** call sites replaced by [Const 0] *)
+  diagnostics : Analysis.Rpgdetect.evidence list;
+      (** the locator evidence that drove the strip *)
+}
+
+val strip : Stackvm.Program.t -> report
+(** Identity (modulo report) when the detector flags nothing. *)
+
+val attack : Util.Prng.t -> Stackvm.Program.t -> Stackvm.Program.t
+(** {!strip} under the standard attack signature (the PRNG is unused —
+    the strip is deterministic). *)

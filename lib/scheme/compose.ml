@@ -62,6 +62,17 @@ let compose members =
           List.for_all (fun (module W : WATERMARKER) -> W.caps.blind) members;
         stealth = "composite: weakest member applies";
         attack_surface = "composite: union of member surfaces (§5.2.2)";
+        locator_passes =
+          List.sort_uniq compare
+            (List.concat_map
+               (fun (module W : WATERMARKER) -> W.caps.locator_passes)
+               members);
+        locatability =
+          (* weakest member applies here too: the adversary only needs to
+             locate one component's artifacts *)
+          List.fold_left
+            (fun acc (module W : WATERMARKER) -> Float.max acc W.caps.locatability)
+            0. members;
       }
 
     let nbits spec =

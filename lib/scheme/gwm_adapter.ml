@@ -18,6 +18,8 @@ module M = struct
       attack_surface =
         "walker excision; branch-sense inversion (survived via complement \
          search); trace noise past repetition";
+      locator_passes = [ "vmlint"; "loops"; "taint"; "rpg" ];
+      locatability = 0.9;
     }
 
   let nbits (spec : spec) = spec.bits

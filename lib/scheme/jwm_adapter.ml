@@ -20,6 +20,11 @@ module M = struct
       attack_surface =
         "distortive bytecode attacks; piece deletion past CRT redundancy; \
          §5.2.2 double watermarking";
+      locator_passes = [ "vmlint"; "loops" ];
+      (* the default (non-stealth) embedding guards pieces with foldable
+         opaque predicates, so vmlint locates every marked function;
+         only the stealth generators push this below 1.0 *)
+      locatability = 1.0;
     }
 
   let nbits (spec : spec) = spec.bits

@@ -19,6 +19,11 @@ module M = struct
       attack_surface =
         "call-site rerouting (§5.2.2 trampolines), region snipping broken \
          by tamper cells";
+      locator_passes = [ "nlint" ];
+      (* branch functions have an unmistakable static shape (nlint's
+         branch-function rule); the scheme's resilience rests on
+         tamper-proofing, not on hiding the region *)
+      locatability = 1.0;
     }
 
   let nbits (spec : spec) = spec.bits

@@ -8,6 +8,8 @@ type caps = {
   blind : bool;
   stealth : string;
   attack_surface : string;
+  locator_passes : string list;
+  locatability : float;
 }
 
 type spec = {

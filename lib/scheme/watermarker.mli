@@ -24,6 +24,13 @@ type caps = {
       (** recognition needs only key + input (no per-embedding aux data) *)
   stealth : string;  (** one-line stealth profile *)
   attack_surface : string;  (** one-line summary of known attacks *)
+  locator_passes : string list;
+      (** the {!Analysis.Locator} passes with any chance of finding this
+          scheme's artifacts; the audit scorecard runs exactly these *)
+  locatability : float;
+      (** declared ceiling, in [0,1], on the locator hit-rate (flagged
+          marked functions / marked functions) the scheme admits; the
+          audit gate fails a scheme whose observed hit-rate exceeds it *)
 }
 
 type spec = {

@@ -292,6 +292,7 @@ let all =
     ("method-proxy", method_proxy);
     ("targeted-strip", Targeted_strip.attack);
     ("inline-calls", inline_calls);
+    ("rpg-strip", Gattacks.Rpg_strip.attack);
   ]
 
 (* ---- program encryption (the class-encryption analog) ---- *)

@@ -65,7 +65,9 @@ val inline_calls : t
 
 val all : (string * t) list
 (** The named suite used for the resilience table (§5.1.2), with
-    representative parameters. *)
+    representative parameters.  Includes ["rpg-strip"]
+    ({!Gattacks.Rpg_strip.attack}), the locator-guided strike against
+    appended graph-track walkers. *)
 
 (* ---- the class-encryption analog ---- *)
 

@@ -22,5 +22,7 @@ let () =
       ("fault", Test_fault.suite);
       ("cfg", Test_cfg.suite);
       ("analysis", Test_analysis.suite);
+      ("gattacks", Test_gattacks.suite);
+      ("audit", Test_audit.suite);
       ("experiments", Test_experiments.suite);
     ]

@@ -401,6 +401,161 @@ let test_histogram_separates () =
   let a_marked = Analysis.Histogram.anomaly ~corpus (Analysis.Histogram.of_binary marked) in
   Alcotest.(check bool) "embedding raises the anomaly score" true (a_marked > a_clean)
 
+(* ---- the interprocedural layer: dominators, loops, taint, rpg ---- *)
+
+let qcheck_rpg_graphs_reducible =
+  (* Gwm.Encode back edges always target dominators (earlier path nodes),
+     so every encodable graph must pass the locator's reducibility check
+     — the structural precondition of the rpg detector. *)
+  QCheck.Test.make ~name:"every Gwm.Encode graph is reducible" ~count:200
+    QCheck.(pair (int_bound 18) (int_bound 0x3FFF_FFFF))
+    (fun (mbump, wraw) ->
+      let m = 2 + mbump in
+      let fact = List.fold_left (fun acc i -> Bignum.mul acc (Bignum.of_int i)) Bignum.one
+          (List.init m (fun i -> i + 1)) in
+      let w = Bignum.erem (Bignum.of_int wraw) fact in
+      let targets = Gwm.Encode.back_targets w ~m in
+      let succs =
+        Array.init (m + 1) (fun i ->
+            (if i < m then [ i + 1 ] else []) @ if i >= 1 then [ targets.(i - 1) ] else [])
+      in
+      let dom = Analysis.Domtree.compute ~succs ~entry:0 in
+      Analysis.Domtree.reducible ~succs ~entry:0
+      && List.length (Analysis.Domtree.back_edges ~succs dom) = m)
+
+let qcheck_idom_soundness =
+  (* definition check on random digraphs: every entry path to [v] passes
+     through [idom v] — removing the idom must disconnect [v]. *)
+  QCheck.Test.make ~name:"removing idom(v) disconnects v from the entry" ~count:300
+    QCheck.(pair (int_bound 9) (small_list (pair (int_bound 10) (int_bound 10))))
+    (fun (nbump, raw_edges) ->
+      let n = 2 + nbump in
+      let succs = Array.make n [] in
+      List.iter
+        (fun (a, b) -> if a < n && b < n && not (List.mem b succs.(a)) then succs.(a) <- b :: succs.(a))
+        ((0, 1 mod n) :: raw_edges);
+      let t = Analysis.Domtree.compute ~succs ~entry:0 in
+      let reaches_avoiding ~avoid v =
+        let seen = Array.make n false in
+        let rec go u =
+          if u <> avoid && not seen.(u) then begin
+            seen.(u) <- true;
+            List.iter go succs.(u)
+          end
+        in
+        if avoid <> 0 then go 0;
+        seen.(v)
+      in
+      List.for_all
+        (fun v ->
+          match Analysis.Domtree.idom t v with
+          | None -> true (* entry or unreachable *)
+          | Some d ->
+              Analysis.Domtree.dominates t d v && not (reaches_avoiding ~avoid:d v))
+        (List.init n Fun.id))
+
+let taint_workloads =
+  [ Workloads.Caffeine.suite; Workloads.Jesslite.engine; Workloads.Miniinterp.interpreter ]
+
+let test_taint_never_lost_across_calls () =
+  (* the soundness property Vmtaint documents: a call site passing a
+     tainted argument always shows up in the callee's parameter summary *)
+  List.iter
+    (fun (w : Workloads.Workload.t) ->
+      let t = Analysis.Vmtaint.analyze (Workloads.Workload.vm_program w) in
+      Alcotest.(check int)
+        (w.Workloads.Workload.name ^ " unsound calls")
+        0
+        (List.length (Analysis.Vmtaint.unsound_calls t));
+      (* sanity: these workloads read their input, so taint reaches branches *)
+      Alcotest.(check bool)
+        (w.Workloads.Workload.name ^ " input reaches a branch")
+        true
+        (List.exists
+           (fun (s : Analysis.Vmtaint.summary) -> s.Analysis.Vmtaint.tainted_branch_pcs <> [])
+           t.Analysis.Vmtaint.summaries))
+    taint_workloads
+
+let test_malformed_cfg_warned () =
+  (* satellite: out-of-range branch targets must surface as diagnostics,
+     not silently dropped edges *)
+  let bad =
+    Stackvm.Program.func ~name:"bad" ~nargs:0 ~nlocals:0
+      Stackvm.Instr.[ Const 1; If { sense = true; target = 99 }; Const 0; Ret ]
+  in
+  let cfg = Analysis.Vmcfg.build bad in
+  Alcotest.(check int) "one dropped edge recorded" 1 (List.length cfg.Analysis.Vmcfg.warnings);
+  let main = Stackvm.Program.func ~name:"main" ~nargs:0 ~nlocals:0 Stackvm.Instr.[ Const 0; Ret ] in
+  let prog = Stackvm.Program.make [ main; bad ] in
+  Alcotest.(check bool) "vmlint surfaces malformed-cfg" true
+    (count "malformed-cfg" (Analysis.Vmlint.lint prog) >= 1)
+
+let test_vmloop_on_clean_kernel () =
+  let prog = Workloads.Workload.vm_program (Workloads.Caffeine.suite) in
+  let graph = Analysis.Callgraph.build prog in
+  Alcotest.(check bool) "some function loops" true
+    (List.exists
+       (fun (s : Analysis.Callgraph.summary) -> s.Analysis.Callgraph.loops.Analysis.Vmloop.loops <> [])
+       (Analysis.Callgraph.summaries graph));
+  List.iter
+    (fun (s : Analysis.Callgraph.summary) ->
+      Alcotest.(check bool) (s.Analysis.Callgraph.name ^ " reducible") true
+        s.Analysis.Callgraph.loops.Analysis.Vmloop.reducible)
+    (Analysis.Callgraph.summaries graph)
+
+let test_locator_silent_on_clean () =
+  (* full-pass locator sweep must stay silent on every stock workload —
+     the precondition for gating schemes on what it finds *)
+  List.iter
+    (fun (w : Workloads.Workload.t) ->
+      let r =
+        Analysis.Locator.run ~passes:Analysis.Locator.known_passes (Workloads.Workload.vm_program w)
+      in
+      Alcotest.(check (list string)) (w.Workloads.Workload.name ^ " flagged") []
+        r.Analysis.Locator.flagged)
+    all_workloads
+
+let gwm_embed ?(stealth = false) prog =
+  Gwm.Embed.embed ~seed:7L ~stealth
+    {
+      Gwm.Embed.passphrase = "analysis-gwm-key";
+      watermark = Bignum.of_int 0xBEEF;
+      watermark_bits = 32;
+      copies = 4;
+      input = [];
+    }
+    prog
+
+let test_rpg_detector_finds_walker () =
+  List.iter
+    (fun stealth ->
+      let r = gwm_embed ~stealth (Workloads.Workload.vm_program Workloads.Caffeine.suite) in
+      (* structure-based: exactly the walker, not the decoys, in both modes *)
+      Alcotest.(check (list string))
+        (Printf.sprintf "walker flagged (stealth=%b)" stealth)
+        [ r.Gwm.Embed.walker ]
+        (List.map (fun (e : Analysis.Rpgdetect.evidence) -> e.Analysis.Rpgdetect.fn)
+           (Analysis.Rpgdetect.detect r.Gwm.Embed.program));
+      let loc = Analysis.Locator.run ~passes:[ "taint"; "rpg" ] r.Gwm.Embed.program in
+      Alcotest.(check bool) "locator implicates the walker" true
+        (List.mem r.Gwm.Embed.walker loc.Analysis.Locator.flagged))
+    [ false; true ]
+
+let test_taint_corroborates_walker () =
+  (* the taint cross-check needs a carrier whose own code never stores
+     tainted data to the heap (the single heap bit is program-wide), so
+     use a minimal echo program: only the walker touches arrays *)
+  let main =
+    Stackvm.Program.func ~name:"main" ~nargs:0 ~nlocals:0
+      Stackvm.Instr.[ Read; Print; Const 0; Ret ]
+  in
+  let r = gwm_embed (Stackvm.Program.make [ main ]) in
+  let loc = Analysis.Locator.run ~passes:[ "taint"; "rpg" ] r.Gwm.Embed.program in
+  Alcotest.(check bool) "input-blind-walker diag emitted" true
+    (count "input-blind-walker" loc.Analysis.Locator.diags >= 1);
+  Alcotest.(check bool) "walker flagged" true
+    (List.mem r.Gwm.Embed.walker loc.Analysis.Locator.flagged)
+
 let suite =
   [
     ("dataflow reaches fixpoint", `Quick, test_dataflow_reachability);
@@ -421,4 +576,12 @@ let suite =
     ("targeted strip preserves semantics, mark survives", `Quick, test_targeted_strip_preserves_and_mark_survives);
     ("native lint guides the static strip", `Quick, test_native_lint_and_static_strip);
     ("histogram separates marked from clean", `Quick, test_histogram_separates);
+    QCheck_alcotest.to_alcotest qcheck_rpg_graphs_reducible;
+    QCheck_alcotest.to_alcotest qcheck_idom_soundness;
+    ("taint never lost across calls", `Quick, test_taint_never_lost_across_calls);
+    ("out-of-range branch targets are warned", `Quick, test_malformed_cfg_warned);
+    ("loop detection on clean kernels", `Quick, test_vmloop_on_clean_kernel);
+    ("full-pass locator silent on clean workloads", `Quick, test_locator_silent_on_clean);
+    ("rpg detector implicates exactly the walker", `Quick, test_rpg_detector_finds_walker);
+    ("taint corroborates the input-blind walker", `Quick, test_taint_corroborates_walker);
   ]

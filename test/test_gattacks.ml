@@ -1,0 +1,80 @@
+(* Tests for lib/gattacks: the locator-guided Rpg_strip attack.  The
+   acceptance property from the roadmap: stripping kills graph-track
+   recognition while a path-track watermark embedded in the same program
+   survives, and the program's observable behaviour is unchanged. *)
+
+open Scheme.Watermarker
+
+let key = "gattacks-test-key"
+let mark = Bignum.of_string "13907095917686739235"
+let bits = 64
+
+(* caffeine carrier double-marked via the registry's composite scheme, as
+   in the §5.2.2 double-watermarking experiments *)
+let double_marked =
+  lazy
+    (let wl = Workloads.Caffeine.suite in
+     let s = spec ~key ~bits ~redundancy:12 ~input:wl.Workloads.Workload.input () in
+     let (module Both) = Scheme.Builtin.find_exn "jwm+gwm" in
+     let e = Both.embed mark s (Vm_program (Workloads.Workload.vm_program wl)) in
+     let prog = match e.carrier with Vm_program p -> p | _ -> assert false in
+     (wl, s, prog))
+
+let recognized name s prog =
+  let (module W) = Scheme.Builtin.find_exn name in
+  (W.recognize s (Vm_program prog)).value = Some mark
+
+let test_strip_targets_the_walker () =
+  let _, _, prog = Lazy.force double_marked in
+  let s = Gattacks.Rpg_strip.strip prog in
+  Alcotest.(check int) "exactly one function gutted" 1 (List.length s.Gattacks.Rpg_strip.stripped);
+  Alcotest.(check (list string)) "the one the detector flagged"
+    (List.map (fun (e : Analysis.Rpgdetect.evidence) -> e.Analysis.Rpgdetect.fn)
+       s.Gattacks.Rpg_strip.diagnostics)
+    s.Gattacks.Rpg_strip.stripped;
+  Alcotest.(check bool) "its call sites were patched" true (s.Gattacks.Rpg_strip.patched_calls >= 1);
+  Stackvm.Verify.check_exn s.Gattacks.Rpg_strip.program
+
+let test_strip_preserves_behaviour () =
+  let wl, _, prog = Lazy.force double_marked in
+  let stripped = (Gattacks.Rpg_strip.strip prog).Gattacks.Rpg_strip.program in
+  List.iter
+    (fun input ->
+      let before = Stackvm.Interp.run prog ~input in
+      let after = Stackvm.Interp.run stripped ~input in
+      Alcotest.(check (list int)) "outputs preserved" before.Stackvm.Interp.outputs
+        after.Stackvm.Interp.outputs)
+    (wl.Workloads.Workload.input :: wl.Workloads.Workload.alt_inputs)
+
+let test_strip_kills_gwm_jwm_survives () =
+  let _, s, prog = Lazy.force double_marked in
+  (* both recognize before the attack *)
+  Alcotest.(check bool) "gwm recognized before" true (recognized "gwm" s prog);
+  Alcotest.(check bool) "jwm recognized before" true (recognized "jwm" s prog);
+  let stripped = (Gattacks.Rpg_strip.strip prog).Gattacks.Rpg_strip.program in
+  Alcotest.(check bool) "gwm recognition killed" false (recognized "gwm" s stripped);
+  Alcotest.(check bool) "jwm survives the same strip" true (recognized "jwm" s stripped)
+
+let test_strip_identity_on_clean () =
+  List.iter
+    (fun (w : Workloads.Workload.t) ->
+      let prog = Workloads.Workload.vm_program w in
+      let s = Gattacks.Rpg_strip.strip prog in
+      Alcotest.(check (list string)) (w.Workloads.Workload.name ^ " nothing stripped") []
+        s.Gattacks.Rpg_strip.stripped;
+      Alcotest.(check int) (w.Workloads.Workload.name ^ " no patches") 0
+        s.Gattacks.Rpg_strip.patched_calls)
+    [ Workloads.Caffeine.suite; Workloads.Jesslite.engine; Workloads.Miniinterp.interpreter ]
+
+let test_registered_in_attack_catalog () =
+  Alcotest.(check bool) "rpg-strip in Vmattacks.Attacks.all" true
+    (List.mem_assoc "rpg-strip" Vmattacks.Attacks.all)
+
+let suite =
+  [
+    ("strip targets exactly the walker", `Quick, test_strip_targets_the_walker);
+    ("strip preserves program behaviour", `Quick, test_strip_preserves_behaviour);
+    ("strip kills gwm, jwm survives", `Slow, test_strip_kills_gwm_jwm_survives);
+    ("strip is the identity on clean programs", `Quick, test_strip_identity_on_clean);
+    ("attack catalog lists rpg-strip", `Quick, test_registered_in_attack_catalog);
+  ]

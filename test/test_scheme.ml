@@ -14,7 +14,15 @@ let dummy name : (module WATERMARKER) =
     let name = name
 
     let caps =
-      { track = Vm; max_bits = 0; blind = true; stealth = "-"; attack_surface = "-" }
+      {
+        track = Vm;
+        max_bits = 0;
+        blind = true;
+        stealth = "-";
+        attack_surface = "-";
+        locator_passes = [];
+        locatability = 0.;
+      }
 
     let nbits (s : spec) = s.bits
     let embed _ _ _ = failwith "dummy scheme cannot embed"
