@@ -247,4 +247,18 @@ let () =
         try compare_file ~area ~baseline ~current
         with Parse msg -> warn "%s: unparseable artifact (%s)" area msg)
     baselines;
+  (* the other direction is informational, not a warning: a current
+     artifact with no baseline is how a freshly instrumented area first
+     lands — the note reminds someone to check a snapshot in, without
+     failing anything in the meantime *)
+  (if Sys.file_exists current_dir && Sys.is_directory current_dir then
+     Sys.readdir current_dir |> Array.to_list |> List.sort compare
+     |> List.iter (fun f ->
+            if
+              String.length f > 11
+              && String.sub f 0 6 = "BENCH_"
+              && Filename.check_suffix f ".json"
+              && not (List.mem f baselines)
+            then
+              Printf.printf "note: %s has no baseline yet (new area?) — skipped, consider snapshotting it\n%!" f));
   Printf.printf "%d warning(s); compare is advisory and always exits 0\n%!" !warnings

@@ -30,9 +30,15 @@
       through Engine.Batch audit jobs), reporting per-cell locator
       hit-rates and wall-clock and emitting BENCH_analysis.json.
 
+   8. A cluster section: the failover drill (Shard.Drill) as a soak —
+      three shards behind the consistent-hash router, a journal-shipping
+      standby on shard-0, the leader killed mid-batch — reporting call
+      latency percentiles, promotion latency and recovery time, and
+      emitting BENCH_cluster.json.
+
    Pass `--micro-only`, `--figures-only`, `--batch-only`,
-   `--analyze-only`, `--faults-only`, `--store-only`, `--schemes-only`
-   or `--audit-only` to run one part of the harness.  Pass
+   `--analyze-only`, `--faults-only`, `--store-only`, `--schemes-only`,
+   `--audit-only` or `--cluster-only` to run one part of the harness.  Pass
    `--json-dir DIR` to also write one versioned BENCH_<area>.json
    artifact per instrumented area (schemes, batch, faults, analysis)
    for CI trend tracking; `bench/baseline/` holds checked-in snapshots
@@ -545,6 +551,47 @@ let run_audit () =
   in
   emit_json "analysis" rows
 
+(* ---- cluster: the failover drill as a soak benchmark ---- *)
+
+let rec rm_rf path =
+  if Sys.file_exists path then
+    if Sys.is_directory path then begin
+      Array.iter (fun f -> rm_rf (Filename.concat path f)) (Sys.readdir path);
+      Sys.rmdir path
+    end
+    else Sys.remove path
+
+let run_cluster () =
+  let shards = 3 and ops = 10_000 and marks = 6 in
+  Printf.printf "=== cluster: %d-op failover soak over %d shards ===\n%!" ops shards;
+  let dir = Filename.temp_file "pathmark-bench-cluster" "" in
+  Sys.remove dir;
+  Sys.mkdir dir 0o755;
+  let r =
+    Fun.protect
+      ~finally:(fun () -> rm_rf dir)
+      (fun () ->
+        Shard.Drill.run ~shards ~ops ~marks
+          ~mark_program:(Stackvm.Serialize.encode host_vm)
+          ~mark_input:host_input
+          ~log:(fun m -> Printf.printf "%s\n%!" m)
+          ~dir ())
+  in
+  Printf.printf
+    "%d call(s), %d mark pair(s), %d lost; failover %.1f ms, recovery %.1f ms; p50 %.3f ms, p99 %.3f ms\n%!"
+    r.Shard.Drill.ops r.Shard.Drill.marks r.Shard.Drill.lost r.Shard.Drill.failover_ms
+    r.Shard.Drill.recovery_ms r.Shard.Drill.ms_p50 r.Shard.Drill.ms_p99;
+  emit_json "cluster"
+    [ [ ("mode", S "failover-soak");
+        ("shards", I r.Shard.Drill.shards);
+        ("ops", I r.Shard.Drill.ops);
+        ("marks", I r.Shard.Drill.marks);
+        ("lost", I r.Shard.Drill.lost);
+        ("failover_ms", F r.Shard.Drill.failover_ms);
+        ("recovery_ms", F r.Shard.Drill.recovery_ms);
+        ("ms_p50", F r.Shard.Drill.ms_p50);
+        ("ms_p99", F r.Shard.Drill.ms_p99) ] ]
+
 let run_figures () =
   Experiments.Fig5.print (Experiments.Fig5.run ());
   let cost = Experiments.Fig8.run_cost () in
@@ -565,6 +612,7 @@ let () =
   let any_only =
     only "--micro-only" || only "--figures-only" || only "--batch-only" || only "--analyze-only"
     || only "--faults-only" || only "--store-only" || only "--schemes-only" || only "--audit-only"
+    || only "--cluster-only"
   in
   let want flag = (not any_only) || only flag in
   if want "--micro-only" then run_micro ();
@@ -574,4 +622,5 @@ let () =
   if want "--store-only" then run_store ();
   if want "--schemes-only" then run_schemes ();
   if want "--audit-only" then run_audit ();
+  if want "--cluster-only" then run_cluster ();
   if want "--figures-only" then run_figures ()

@@ -10,13 +10,16 @@ open Cmdliner
    (the injected faults destroyed the artifact), 5 = store corruption,
    6 = unknown watermarking scheme name, 7 = analysis findings (the
    analyzer or audit gate surfaced diagnostics — distinct from 1 so CI
-   can tell "the linter found something" from "the linter crashed").
+   can tell "the linter found something" from "the linter crashed"),
+   8 = service unavailable (could not reach, or lost, a pathmark server
+   within the deadline — retryable, unlike 1).
    Cmdliner owns 124-125 and its own usage errors. *)
 let exit_recognition_failed = 3
 let exit_fault_abort = 4
 let exit_store_corruption = 5
 let exit_unknown_scheme = 6
 let exit_analysis_findings = 7
+let exit_service_unavailable = 8
 
 let or_store_corruption f =
   try f ()
@@ -1039,7 +1042,18 @@ let socket_t =
     & opt string "/tmp/pathmark.sock"
     & info [ "socket" ] ~docv:"PATH" ~doc:"Unix-domain socket path.")
 
-let serve root socket domains max_requests no_fsync events_file =
+(* SIGTERM/SIGINT flip a flag the server's [stop] predicate polls: the
+   listener drains in-flight requests, fsyncs the journal, removes the
+   socket file and the process exits 0 — a supervisor's `kill` never
+   loses an acknowledged write *)
+let drain_on_signals () =
+  let flag = Atomic.make false in
+  let handler = Sys.Signal_handle (fun _ -> Atomic.set flag true) in
+  (try Sys.set_signal Sys.sigterm handler with Invalid_argument _ -> ());
+  (try Sys.set_signal Sys.sigint handler with Invalid_argument _ -> ());
+  flag
+
+let serve root socket domains max_requests max_inflight no_fsync events_file =
   or_store_corruption (fun () ->
       let store = Store.Registry.open_store ~fsync:(not no_fsync) ~root () in
       Fun.protect
@@ -1055,12 +1069,15 @@ let serve root socket domains max_requests no_fsync events_file =
             (Engine.Events.Store_replay
                { records = r.Store.Registry.replayed; truncated_bytes = r.Store.Registry.truncated_bytes });
           Printf.printf "serving registry %s on %s (%d worker domain(s))\n%!" root socket domains;
+          let draining = drain_on_signals () in
           let stopped =
-            Service.Server.serve ~events ~domains ?max_requests ~store ~socket_path:socket ()
+            Service.Server.serve ~events ~domains ?max_requests ?max_inflight
+              ~stop:(fun () -> Atomic.get draining)
+              ~store ~socket_path:socket ()
           in
           Option.iter close_out events_oc;
-          Printf.printf "served %d request(s), %d error(s)\n" stopped.Service.Server.requests
-            stopped.Service.Server.errors))
+          Printf.printf "served %d request(s), %d error(s), %d shed\n" stopped.Service.Server.requests
+            stopped.Service.Server.errors stopped.Service.Server.shed))
 
 let serve_cmd =
   let domains =
@@ -1069,6 +1086,9 @@ let serve_cmd =
   let max_requests =
     Arg.(value & opt (some int) None & info [ "max-requests" ] ~docv:"N" ~doc:"Stop after N requests (smoke tests).")
   in
+  let max_inflight =
+    Arg.(value & opt (some int) None & info [ "max-inflight" ] ~docv:"N" ~doc:"Shed embed/recognize requests beyond N in flight (answered $(i,overloaded); clients back off and retry).")
+  in
   let no_fsync =
     Arg.(value & flag & info [ "no-fsync" ] ~doc:"Skip fsync on journal commits (benchmarks only).")
   in
@@ -1076,8 +1096,8 @@ let serve_cmd =
     Arg.(value & opt (some string) None & info [ "events" ] ~docv:"FILE" ~doc:"Write the JSON-lines event stream to FILE.")
   in
   Cmd.v
-    (Cmd.info "serve" ~doc:"Serve the watermark registry and embed/recognize operations over a Unix-domain socket.")
-    Term.(const serve $ root_t $ socket_t $ domains $ max_requests $ no_fsync $ events_file)
+    (Cmd.info "serve" ~doc:"Serve the watermark registry and embed/recognize operations over a Unix-domain socket. SIGTERM/SIGINT drain gracefully.")
+    Term.(const serve $ root_t $ socket_t $ domains $ max_requests $ max_inflight $ no_fsync $ events_file)
 
 let fail_service code message =
   Printf.printf "service error [%s]: %s\n" code message;
@@ -1086,8 +1106,19 @@ let fail_service code message =
      else if code = "unknown-scheme" then exit_unknown_scheme
      else 1)
 
-let query socket source workload scheme key mark bits pieces input seed embed digest recognize_file
-    expect want_stats want_list want_shutdown =
+(* connection refused / retries exhausted / per-request deadline blown:
+   all exit 8, the retryable "the server is not there" code *)
+let or_service_unavailable f =
+  try f () with
+  | Service.Client.Unavailable msg ->
+      Printf.eprintf "service unavailable: %s\n" msg;
+      exit exit_service_unavailable
+  | Service.Client.Timed_out msg ->
+      Printf.eprintf "service timed out: %s\n" msg;
+      exit exit_service_unavailable
+
+let query socket deadline source workload scheme key mark bits pieces input seed embed digest
+    recognize_file expect want_stats want_list want_shutdown =
   let workload_entry = List.assoc_opt workload builtin_workloads in
   let program_bytes_and_input () =
     match source with
@@ -1103,8 +1134,9 @@ let query socket source workload scheme key mark bits pieces input seed embed di
             exit 1)
   in
   let ran = ref false in
-  Service.Client.with_client socket (fun client ->
-      let call req = Service.Client.call client req in
+  or_service_unavailable (fun () ->
+  Service.Client.with_client ?deadline socket (fun client ->
+      let call req = Service.Client.call ?deadline client req in
       if embed then begin
         ran := true;
         let program, input = program_bytes_and_input () in
@@ -1198,7 +1230,7 @@ let query socket source workload scheme key mark bits pieces input seed embed di
         | Service.Proto.Shutting_down -> Printf.printf "server shutting down\n"
         | Service.Proto.Error { code; message } -> fail_service code message
         | _ -> failwith "unexpected response to shutdown"
-      end);
+      end));
   if not !ran then begin
     Printf.printf "nothing to do: pass --embed, --digest, --recognize, --stats, --list or --shutdown\n";
     exit 2
@@ -1225,11 +1257,187 @@ let query_cmd =
   let want_list = Arg.(value & flag & info [ "list" ] ~doc:"List registered artifacts.") in
   let want_shutdown = Arg.(value & flag & info [ "shutdown" ] ~doc:"Ask the server to stop.") in
   let pieces = Arg.(value & opt int 40 & info [ "pieces" ] ~doc:"Number of redundant pieces.") in
+  let deadline =
+    Arg.(value & opt (some float) None & info [ "deadline" ] ~docv:"SECS" ~doc:"Per-request deadline; connect retries with jittered backoff until it expires, then exit 8.")
+  in
   Cmd.v
     (Cmd.info "query" ~doc:"Talk to a running $(b,pathmark serve): embed, recognize, inspect.")
     Term.(
-      const query $ socket_t $ source $ workload $ scheme_t $ key_t $ mark_t $ bits_t $ pieces $ input_t
-      $ seed_t $ embed $ digest $ recognize_file $ expect $ want_stats $ want_list $ want_shutdown)
+      const query $ socket_t $ deadline $ source $ workload $ scheme_t $ key_t $ mark_t $ bits_t
+      $ pieces $ input_t $ seed_t $ embed $ digest $ recognize_file $ expect $ want_stats $ want_list
+      $ want_shutdown)
+
+(* ---- cluster topology (lib/shard) ---- *)
+
+let cluster_dir_t =
+  Arg.(
+    required
+    & opt (some string) None
+    & info [ "dir" ] ~docv:"DIR" ~doc:"Cluster directory: shard registry roots and sockets live here.")
+
+(* endpoints from the on-disk layout, so status/drain can address a
+   cluster another process is serving *)
+let discover_endpoints dir =
+  (if Sys.file_exists dir then Array.to_list (Sys.readdir dir) else [])
+  |> List.filter_map (fun f ->
+         match Filename.chop_suffix_opt ~suffix:".sock" f with
+         | Some name
+           when String.starts_with ~prefix:"shard-" name
+                && not (String.ends_with ~suffix:"-replica" name) ->
+             let rep = Filename.concat dir (name ^ "-replica.sock") in
+             Some
+               {
+                 Shard.Router.name;
+                 socket = Filename.concat dir f;
+                 replica = (if Sys.file_exists rep then Some rep else None);
+               }
+         | _ -> None)
+  |> List.sort (fun a b -> compare a.Shard.Router.name b.Shard.Router.name)
+
+let parse_replicate shards = function
+  | None -> []
+  | Some "all" -> List.init shards (fun i -> i)
+  | Some spec ->
+      String.split_on_char ',' spec
+      |> List.filter_map (fun s ->
+             match int_of_string_opt (String.trim s) with
+             | Some i when i >= 0 && i < shards -> Some i
+             | _ ->
+                 Printf.eprintf "bad --replicate entry %S (want indices below %d, or \"all\")\n" s shards;
+                 exit 2)
+
+let cluster_serve dir shards replicate max_inflight events_file =
+  let events_oc = Option.map open_out events_file in
+  let events = Engine.Events.create ?sink:(Option.map Engine.Events.json_sink events_oc) () in
+  let replicate = parse_replicate shards replicate in
+  let cluster = Shard.Cluster.start ~events ?max_inflight ~replicate ~dir ~shards () in
+  List.iter
+    (fun ep ->
+      Printf.printf "%s on %s%s\n" ep.Shard.Router.name ep.Shard.Router.socket
+        (match ep.Shard.Router.replica with Some r -> " (replica " ^ r ^ ")" | None -> ""))
+    (Shard.Cluster.endpoints cluster);
+  Printf.printf "%d shard(s) up under %s; SIGTERM drains\n%!" shards dir;
+  let draining = drain_on_signals () in
+  while not (Atomic.get draining) do
+    Unix.sleepf 0.1
+  done;
+  List.iter
+    (fun (name, (s : Service.Server.stopped)) ->
+      Printf.printf "%s: %d request(s), %d error(s), %d shed\n" name s.Service.Server.requests
+        s.Service.Server.errors s.Service.Server.shed)
+    (Shard.Cluster.stop cluster);
+  Option.iter close_out events_oc
+
+let cluster_serve_cmd =
+  let shards = Arg.(value & opt int 3 & info [ "shards" ] ~docv:"N" ~doc:"Number of shard servers.") in
+  let replicate =
+    Arg.(value & opt (some string) None & info [ "replicate" ] ~docv:"SPEC" ~doc:"Shard indices that get a journal-shipping standby: comma-separated, or $(b,all).")
+  in
+  let max_inflight =
+    Arg.(value & opt (some int) None & info [ "max-inflight" ] ~docv:"N" ~doc:"Per-shard in-flight bound for embed/recognize; excess is shed as $(i,overloaded).")
+  in
+  let events_file =
+    Arg.(value & opt (some string) None & info [ "events" ] ~docv:"FILE" ~doc:"Write the JSON-lines event stream to FILE.")
+  in
+  Cmd.v
+    (Cmd.info "serve" ~doc:"Run N shard servers (consistent-hash ring) with optional standby replicas under one directory.")
+    Term.(const cluster_serve $ cluster_dir_t $ shards $ replicate $ max_inflight $ events_file)
+
+let cluster_status dir =
+  match discover_endpoints dir with
+  | [] ->
+      Printf.eprintf "no shard sockets under %s\n" dir;
+      exit exit_service_unavailable
+  | endpoints ->
+      let router = Shard.Router.create endpoints in
+      let unreachable = ref 0 in
+      List.iter
+        (fun (name, socket, reply) ->
+          match reply with
+          | Ok (role, entries, journal_bytes, digest) ->
+              Printf.printf "%-10s %-8s %6d entr%s %9d journal bytes  %s  (%s)\n" name role entries
+                (if entries = 1 then "y" else "ies")
+                journal_bytes
+                (if digest = "" then "-" else String.sub digest 0 12)
+                socket
+          | Error msg ->
+              incr unreachable;
+              Printf.printf "%-10s DOWN: %s\n" name msg)
+        (Shard.Router.ping_all router);
+      Shard.Router.close router;
+      if !unreachable > 0 then exit exit_service_unavailable
+
+let cluster_status_cmd =
+  Cmd.v
+    (Cmd.info "status" ~doc:"Ping every shard (and promoted replica) in a cluster directory; exit 8 if any is down.")
+    Term.(const cluster_status $ cluster_dir_t)
+
+let cluster_drain dir =
+  let endpoints = discover_endpoints dir in
+  if endpoints = [] then begin
+    Printf.eprintf "no shard sockets under %s\n" dir;
+    exit exit_service_unavailable
+  end;
+  let sockets =
+    List.concat_map
+      (fun ep ->
+        (ep.Shard.Router.name, ep.Shard.Router.socket)
+        :: (match ep.Shard.Router.replica with
+           | Some r -> [ (ep.Shard.Router.name ^ "-replica", r) ]
+           | None -> []))
+      endpoints
+  in
+  List.iter
+    (fun (name, socket) ->
+      match
+        Service.Client.with_client ~deadline:2.0 socket (fun c ->
+            Service.Client.call ~deadline:5.0 c Service.Proto.Shutdown)
+      with
+      | Service.Proto.Shutting_down -> Printf.printf "%s draining\n" name
+      | _ -> Printf.printf "%s: unexpected reply to shutdown\n" name
+      | exception (Service.Client.Unavailable _ | Service.Client.Timed_out _) ->
+          Printf.printf "%s already down\n" name)
+    sockets
+
+let cluster_drain_cmd =
+  Cmd.v
+    (Cmd.info "drain" ~doc:"Gracefully stop every shard and replica in a cluster directory (in-flight requests finish, journals fsync).")
+    Term.(const cluster_drain $ cluster_dir_t)
+
+let cluster_drill dir shards ops marks =
+  let mark_program, mark_input =
+    match List.assoc_opt "caffeine" builtin_workloads with
+    | Some w ->
+        ( Some (Stackvm.Serialize.encode (Workloads.Workload.vm_program w)),
+          w.Workloads.Workload.input )
+    | None -> (None, [])
+  in
+  let r =
+    Shard.Drill.run ~shards ~ops ~marks ?mark_program ~mark_input
+      ~log:(fun m -> Printf.printf "%s\n%!" m)
+      ~dir ()
+  in
+  Printf.printf
+    "drill: %d shard(s), %d call(s), %d mark pair(s), %d lost; failover %.1f ms, recovery %.1f ms; p50 %.2f ms, p99 %.2f ms\n"
+    r.Shard.Drill.shards r.Shard.Drill.ops r.Shard.Drill.marks r.Shard.Drill.lost
+    r.Shard.Drill.failover_ms r.Shard.Drill.recovery_ms r.Shard.Drill.ms_p50 r.Shard.Drill.ms_p99;
+  if r.Shard.Drill.lost > 0 then begin
+    Printf.printf "FAIL: %d acknowledged response(s) lost across the failover\n" r.Shard.Drill.lost;
+    exit 1
+  end
+
+let cluster_drill_cmd =
+  let shards = Arg.(value & opt int 3 & info [ "shards" ] ~docv:"N" ~doc:"Shard servers (shard-0 gets the standby that is promoted).") in
+  let ops = Arg.(value & opt int 10_000 & info [ "ops" ] ~docv:"N" ~doc:"Put/get pairs to soak with (the leader dies 60% through).") in
+  let marks = Arg.(value & opt int 4 & info [ "marks" ] ~docv:"N" ~doc:"Embed/recognize pairs to interleave.") in
+  Cmd.v
+    (Cmd.info "drill" ~doc:"Failover drill: soak a fresh cluster, kill the replicated leader mid-batch, verify zero lost responses. Exits 1 on any loss.")
+    Term.(const cluster_drill $ cluster_dir_t $ shards $ ops $ marks)
+
+let cluster_cmd =
+  Cmd.group
+    (Cmd.info "cluster" ~doc:"Run and operate a sharded, replicated pathmark service.")
+    [ cluster_serve_cmd; cluster_status_cmd; cluster_drain_cmd; cluster_drill_cmd ]
 
 let main =
   Cmd.group
@@ -1258,6 +1466,7 @@ let main =
       store_cmd;
       serve_cmd;
       query_cmd;
+      cluster_cmd;
     ]
 
 let () = exit (Cmd.eval main)

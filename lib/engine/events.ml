@@ -21,6 +21,10 @@ type event =
   | Store_get of { kind : string; key : string; hit : bool }
   | Store_replay of { records : int; truncated_bytes : int }
   | Service_request of { op : string; ok : bool; ms : float }
+  | Service_shed of { op : string; inflight : int; limit : int }
+  | Shard_up of { shard : string; socket : string }
+  | Shard_down of { shard : string; reason : string }
+  | Failover of { shard : string; replica : string; ms : float }
   | Stage_time of { id : int; stage : string; ms : float }
   | Counter of { name : string; delta : int }
   | Diag of { rule : string; location : string; message : string }
@@ -58,6 +62,10 @@ let emit t ev =
       | Service_request { ok; _ } ->
           bump t "service.requests" 1;
           if not ok then bump t "service.errors" 1
+      | Service_shed _ -> bump t "service.shed" 1
+      | Shard_up _ -> bump t "shards.up" 1
+      | Shard_down _ -> bump t "shards.down" 1
+      | Failover _ -> bump t "shards.failovers" 1
       | Counter { name; delta } -> bump t name delta
       | Diag _ -> bump t "diagnostics" 1
       | Batch_start _ | Batch_finish _ | Job_start _ | Stage_time _ | Store_replay _ -> ());
@@ -133,6 +141,12 @@ let to_json = function
       json [ str "ev" "store_replay"; int "records" records; int "truncated_bytes" truncated_bytes ]
   | Service_request { op; ok; ms } ->
       json [ str "ev" "service_request"; str "op" op; bool "ok" ok; flt "ms" ms ]
+  | Service_shed { op; inflight; limit } ->
+      json [ str "ev" "service_shed"; str "op" op; int "inflight" inflight; int "limit" limit ]
+  | Shard_up { shard; socket } -> json [ str "ev" "shard_up"; str "shard" shard; str "socket" socket ]
+  | Shard_down { shard; reason } -> json [ str "ev" "shard_down"; str "shard" shard; str "reason" reason ]
+  | Failover { shard; replica; ms } ->
+      json [ str "ev" "failover"; str "shard" shard; str "replica" replica; flt "ms" ms ]
   | Stage_time { id; stage; ms } -> json [ str "ev" "stage_time"; int "id" id; str "stage" stage; flt "ms" ms ]
   | Counter { name; delta } -> json [ str "ev" "counter"; str "name" name; int "delta" delta ]
   | Diag { rule; location; message } ->
@@ -175,6 +189,12 @@ let report t =
   if get "service.requests" > 0 then
     Buffer.add_string buf
       (Printf.sprintf "service: %d requests, %d errors\n" (get "service.requests") (get "service.errors"));
+  if get "service.shed" > 0 then
+    Buffer.add_string buf (Printf.sprintf "backpressure: %d requests shed\n" (get "service.shed"));
+  if get "shards.up" > 0 || get "shards.down" > 0 || get "shards.failovers" > 0 then
+    Buffer.add_string buf
+      (Printf.sprintf "shards: %d up, %d down, %d failovers\n" (get "shards.up") (get "shards.down")
+         (get "shards.failovers"));
   if get "faults.injected" > 0 || get "breaker.trips" > 0 || get "breaker.short_circuits" > 0 then
     Buffer.add_string buf
       (Printf.sprintf "faults: %d injected  breaker: %d trips, %d short-circuits\n" (get "faults.injected")
@@ -210,6 +230,7 @@ let report t =
              [
                "jobs.ok"; "jobs.failed"; "jobs.retries"; "cache.hits"; "cache.misses"; "cache.evictions";
                "store.puts"; "store.gets"; "store.hits"; "service.requests"; "service.errors";
+               "service.shed"; "shards.up"; "shards.down"; "shards.failovers";
                "faults.injected"; "breaker.trips"; "breaker.short_circuits"; "recognitions.partial";
                "recognitions.degraded";
              ]))

@@ -49,6 +49,20 @@ type event =
   | Service_request of { op : string; ok : bool; ms : float }
       (** the service layer answered one request (derived
           [service.requests] / [service.errors] counters) *)
+  | Service_shed of { op : string; inflight : int; limit : int }
+      (** backpressure: a shard's bounded in-flight queue was full, so the
+          request was answered [Overloaded] instead of queued (derived
+          [service.shed] counter) *)
+  | Shard_up of { shard : string; socket : string }
+      (** a cluster shard (or promoted replica) started serving (derived
+          [shards.up] counter) *)
+  | Shard_down of { shard : string; reason : string }
+      (** the router observed a shard stop answering (derived
+          [shards.down] counter) *)
+  | Failover of { shard : string; replica : string; ms : float }
+      (** the router promoted [replica] in place of [shard]; [ms] is the
+          measured recovery time from first failed request to first
+          answer from the replica (derived [shards.failovers] counter) *)
   | Stage_time of { id : int; stage : string; ms : float }
   | Counter of { name : string; delta : int }
   | Diag of { rule : string; location : string; message : string }

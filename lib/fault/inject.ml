@@ -126,6 +126,23 @@ let crash_decision plan ~salt =
   let r = rate plan (function Spec.Crash r -> Some r | _ -> None) in
   r > 0.0 && roll (rng_for plan ~salt) r
 
+let shard_crash plan ~salt =
+  let r = rate plan (function Spec.Shard_crash r -> Some r | _ -> None) in
+  r > 0.0 && roll (rng_for plan ~salt) r
+
+let journal_chunk plan ~salt chunk =
+  let r = rate plan (function Spec.Journal_trunc r -> Some r | _ -> None) in
+  if r = 0.0 || String.length chunk = 0 then (chunk, false)
+  else begin
+    let rng = rng_for plan ~salt in
+    if not (roll rng r) then (chunk, false)
+    else
+      (* shear the tail at an arbitrary byte: the follower must treat the
+         torn frame as not-yet-shipped, never as corruption *)
+      let keep = Util.Prng.int rng (String.length chunk) in
+      (String.sub chunk 0 keep, true)
+  end
+
 let garble plan ~salt =
   let r = rate plan (function Spec.Obs_garble r -> Some r | _ -> None) in
   if r = 0.0 then None

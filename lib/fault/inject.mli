@@ -51,6 +51,15 @@ val adjust_fuel : plan -> int option -> int option
 val crash_decision : plan -> salt:string -> bool
 (** Roll the [crash] fault for one job attempt. *)
 
+val shard_crash : plan -> salt:string -> bool
+(** Roll the [shard-crash] fault for one shard (salted by shard name, so
+    a given plan always kills the same shards). *)
+
+val journal_chunk : plan -> salt:string -> string -> string * bool
+(** Apply [journal-trunc] to a shipped journal byte-range: with the
+    configured probability the chunk is sheared at a random offset —
+    usually mid-frame.  The boolean reports whether the tear fired. *)
+
 val garble : plan -> salt:string -> (int -> int) option
 (** The [obs-garble] observation corruptor: a stateful closure that
     garbles each observed value with the configured probability ([None]

@@ -9,6 +9,8 @@ type t =
   | Crash of float
   | Fuel_cut of float
   | Cache_corrupt of float
+  | Shard_crash of float
+  | Journal_trunc of float
 
 let constructors =
   [
@@ -22,6 +24,8 @@ let constructors =
     ("crash", (fun r -> Crash r), "crash each job attempt with probability RATE (simulated worker death)");
     ("fuel-cut", (fun r -> Fuel_cut r), "multiply every fuel budget by RATE (premature exhaustion)");
     ("cache-corrupt", (fun r -> Cache_corrupt r), "corrupt each cache entry as it is stored with probability RATE");
+    ("shard-crash", (fun r -> Shard_crash r), "kill each cluster shard at a random soak point with probability RATE");
+    ("journal-trunc", (fun r -> Journal_trunc r), "tear each shipped journal chunk mid-frame with probability RATE");
   ]
 
 let name_of = function
@@ -35,10 +39,12 @@ let name_of = function
   | Crash _ -> "crash"
   | Fuel_cut _ -> "fuel-cut"
   | Cache_corrupt _ -> "cache-corrupt"
+  | Shard_crash _ -> "shard-crash"
+  | Journal_trunc _ -> "journal-trunc"
 
 let rate_of = function
   | Trace_flip r | Trace_drop r | Trace_dup r | Trace_trunc r | Byte_flip r | Bit_flip r
-  | Obs_garble r | Crash r | Fuel_cut r | Cache_corrupt r ->
+  | Obs_garble r | Crash r | Fuel_cut r | Cache_corrupt r | Shard_crash r | Journal_trunc r ->
       r
 
 let to_string t = Printf.sprintf "%s=%g" (name_of t) (rate_of t)

@@ -29,13 +29,15 @@ type t =
   | Crash of float  (** crash each job attempt (a dying worker) *)
   | Fuel_cut of float  (** multiply every fuel budget by this factor *)
   | Cache_corrupt of float  (** corrupt each cache entry as it is stored *)
+  | Shard_crash of float  (** kill each cluster shard at a random soak point *)
+  | Journal_trunc of float  (** tear each shipped journal chunk mid-frame *)
 
 val parse : string -> (t, string) result
 (** Parse a [name=rate] spec as accepted by the CLI's [--inject] flag:
     [trace-noise] (alias of [trace-flip]), [trace-flip], [trace-drop],
     [trace-dup], [trace-trunc], [byte-flip], [bit-flip], [obs-garble],
-    [crash], [fuel-cut], [cache-corrupt].  Rates outside [0, 1] are
-    rejected. *)
+    [crash], [fuel-cut], [cache-corrupt], [shard-crash],
+    [journal-trunc].  Rates outside [0, 1] are rejected. *)
 
 val parse_list : string -> (t list, string) result
 (** Parse a comma-separated list of specs. *)

@@ -1,26 +1,62 @@
 type t = { fd : Unix.file_descr }
 
-let connect ?(retries = 50) ?(retry_delay = 0.1) path =
+exception Unavailable of string
+exception Timed_out of string
+
+(* Deterministic jittered exponential backoff: attempt [n] sleeps
+   base * 2^n plus up to half of that again in jitter, capped at [cap].
+   Jitter comes from a seeded SplitMix64 stream, so a test or drill that
+   pins the seed replays the exact same schedule. *)
+let backoff_delay ~prng ~base ~cap attempt =
+  let expo = base *. (2.0 ** float_of_int (min attempt 16)) in
+  let expo = Float.min expo cap in
+  Float.min cap (expo +. Util.Prng.float prng (expo *. 0.5))
+
+let now = Unix.gettimeofday
+
+let connect ?(deadline = 5.0) ?(base_backoff = 0.01) ?(seed = 0x5ca1ab1eL) path =
+  let prng = Util.Prng.create seed in
+  let give_up_at = now () +. deadline in
   let rec go attempt =
     let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
-    try
-      Unix.connect fd (Unix.ADDR_UNIX path);
-      { fd }
-    with
-    | Unix.Unix_error ((Unix.ECONNREFUSED | Unix.ENOENT), _, _) when attempt < retries ->
+    match Unix.connect fd (Unix.ADDR_UNIX path) with
+    | () -> { fd }
+    | exception Unix.Unix_error ((Unix.ECONNREFUSED | Unix.ENOENT | Unix.EAGAIN), _, _) ->
         (try Unix.close fd with Unix.Unix_error _ -> ());
-        Unix.sleepf retry_delay;
-        go (attempt + 1)
-    | exn ->
+        let delay = backoff_delay ~prng ~base:base_backoff ~cap:1.0 attempt in
+        if now () +. delay > give_up_at then
+          raise
+            (Unavailable
+               (Printf.sprintf "%s: no pathmark service after %d attempts over %.1fs" path (attempt + 1)
+                  deadline))
+        else begin
+          Unix.sleepf delay;
+          go (attempt + 1)
+        end
+    | exception exn ->
         (try Unix.close fd with Unix.Unix_error _ -> ());
         raise exn
   in
   go 0
 
-let call t request =
-  Wire.write_frame t.fd (Wire.encode_request request);
-  match Wire.read_frame t.fd with
-  | None -> failwith "pathmark service hung up"
+let call ?deadline t request =
+  (try Wire.write_frame t.fd (Wire.encode_request request)
+   with Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET), _, _) ->
+     raise (Unavailable "pathmark service hung up mid-request"));
+  (match deadline with
+  | None -> ()
+  | Some d -> (
+      (* wait for the response header to become readable, not for the
+         whole frame: once the server starts answering it finishes *)
+      match Unix.select [ t.fd ] [] [] d with
+      | [], _, _ -> raise (Timed_out (Printf.sprintf "no response within %.1fs" d))
+      | _ -> ()
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()));
+  match
+    try Wire.read_frame t.fd
+    with Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET), _, _) -> None
+  with
+  | None -> raise (Unavailable "pathmark service hung up")
   | Some frame -> (
       match Wire.decode_response frame with
       | Ok response -> response
@@ -28,6 +64,6 @@ let call t request =
 
 let close t = try Unix.close t.fd with Unix.Unix_error _ -> ()
 
-let with_client ?retries ?retry_delay path f =
-  let t = connect ?retries ?retry_delay path in
+let with_client ?deadline ?base_backoff ?seed path f =
+  let t = connect ?deadline ?base_backoff ?seed path in
   Fun.protect ~finally:(fun () -> close t) (fun () -> f t)

@@ -1,19 +1,33 @@
-(** Blocking client for the pathmark service. *)
+(** Blocking client for the pathmark service, with typed failure modes:
+    {!Unavailable} (could not reach or keep a server) and {!Timed_out}
+    (reached one, but it did not answer within the deadline).  The CLI
+    maps both to exit code 8. *)
 
 type t
 
-val connect : ?retries:int -> ?retry_delay:float -> string -> t
-(** Connect to the Unix-domain socket at the given path.  A connection
-    refused or a missing socket file is retried [retries] times (default
-    50) with [retry_delay] seconds between attempts (default 0.1) — the
-    server may still be binding.  Raises [Unix.Unix_error] once the
-    retries are spent. *)
+exception Unavailable of string
+(** No server: connect retries exhausted, or the server hung up
+    mid-exchange. *)
 
-val call : t -> Proto.request -> Proto.response
-(** Send one request and block for its response.  Raises [Failure] if
-    the server hangs up mid-exchange or answers gibberish. *)
+exception Timed_out of string
+(** The per-request deadline elapsed with no response. *)
+
+val connect : ?deadline:float -> ?base_backoff:float -> ?seed:int64 -> string -> t
+(** Connect to the Unix-domain socket at the given path, retrying
+    connection-refused / missing-socket with deterministic jittered
+    exponential backoff (base [base_backoff] seconds, default 0.01,
+    doubling per attempt, jittered by up to 50%, capped at 1s per sleep)
+    until [deadline] seconds (default 5) have elapsed — the server may
+    still be binding.  [seed] pins the jitter stream so retry schedules
+    replay exactly.  Raises {!Unavailable} once the deadline is spent. *)
+
+val call : ?deadline:float -> t -> Proto.request -> Proto.response
+(** Send one request and block for its response.  With [deadline], waits
+    at most that many seconds for the server to start answering and
+    raises {!Timed_out} otherwise.  Raises {!Unavailable} if the server
+    hangs up mid-exchange, [Failure] if it answers gibberish. *)
 
 val close : t -> unit
 
-val with_client : ?retries:int -> ?retry_delay:float -> string -> (t -> 'a) -> 'a
+val with_client : ?deadline:float -> ?base_backoff:float -> ?seed:int64 -> string -> (t -> 'a) -> 'a
 (** [connect], run, [close] (also on exception). *)

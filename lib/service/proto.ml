@@ -31,6 +31,10 @@ type request =
     }
   | Stats
   | List_artifacts
+  | Ping
+  | Journal_fetch of { from_ : int; max_bytes : int }
+  | Blob_fetch of { digest : string }
+  | Promote
   | Shutdown
 
 let request_name = function
@@ -40,6 +44,10 @@ let request_name = function
   | Recognize _ -> "recognize"
   | Stats -> "stats"
   | List_artifacts -> "list"
+  | Ping -> "ping"
+  | Journal_fetch _ -> "journal-fetch"
+  | Blob_fetch _ -> "blob-fetch"
+  | Promote -> "promote"
   | Shutdown -> "shutdown"
 
 type response =
@@ -57,5 +65,10 @@ type response =
       errors : int;
     }
   | Listing of entry_info list
+  | Pong of { role : string; entries : int; journal_bytes : int; state_digest : string }
+  | Journal_data of { from_ : int; total : int; data : string }
+  | Blob_data of { digest : string; payload : string option }
+  | Promoted
+  | Overloaded of { inflight : int; limit : int }
   | Shutting_down
   | Error of { code : string; message : string }

@@ -44,11 +44,22 @@ type request =
     }
   | Stats
   | List_artifacts
+  | Ping
+      (** liveness + replication probe; cheap, never shed, answered by
+          leaders and standbys alike *)
+  | Journal_fetch of { from_ : int; max_bytes : int }
+      (** raw journal bytes for journal-shipping replication (see
+          {!Store.Registry.read_journal}) *)
+  | Blob_fetch of { digest : string }  (** one content-addressed payload *)
+  | Promote
+      (** standby only: open the replicated registry and start serving as
+          leader; a leader answers [Error "bad-request"] *)
   | Shutdown  (** answer [Shutting_down], then stop serving *)
 
 val request_name : request -> string
 (** Stable op name for logs and events: ["put"], ["get"], ["embed"],
-    ["recognize"], ["stats"], ["list"], ["shutdown"]. *)
+    ["recognize"], ["stats"], ["list"], ["ping"], ["journal-fetch"],
+    ["blob-fetch"], ["promote"], ["shutdown"]. *)
 
 type response =
   | Stored of entry_info
@@ -72,7 +83,19 @@ type response =
       errors : int;
     }
   | Listing of entry_info list
+  | Pong of { role : string; entries : int; journal_bytes : int; state_digest : string }
+      (** [role] is ["leader"] or ["standby"]; the digest lets a router or
+          drill compare replicas without shipping state *)
+  | Journal_data of { from_ : int; total : int; data : string }
+      (** [data] starts at offset [from_]; [total] is the journal's full
+          size, so [total < from_] tells a follower to resync *)
+  | Blob_data of { digest : string; payload : string option }
+      (** [None]: the blob is absent or damaged on the leader *)
+  | Promoted
+  | Overloaded of { inflight : int; limit : int }
+      (** load shed: the shard's bounded in-flight queue is full; retry
+          after backoff (the router does) rather than treating as failure *)
   | Shutting_down
   | Error of { code : string; message : string }
       (** [code] is one of ["not-found"], ["damaged"], ["bad-request"],
-          ["unknown-scheme"], ["internal"] *)
+          ["unknown-scheme"], ["standby"], ["internal"] *)

@@ -1,4 +1,4 @@
-type stopped = { requests : int; errors : int }
+type stopped = { requests : int; errors : int; shed : int }
 
 let recognize_fuel = 200_000_000
 
@@ -22,7 +22,7 @@ let vm_scheme name =
         Error (err "bad-request" (Printf.sprintf "scheme %s does not run on the VM track" name))
       else Ok (module W : Scheme.Watermarker.WATERMARKER)
 
-let handle ?events ~store ~pool ~requests ~errors request =
+let handle ?events ?(role = "leader") ~store ~pool ~requests ~errors request =
   match request with
   | Proto.Put_artifact { kind; key; label; payload } ->
       let entry = Store.Registry.put store ~kind ~key ~label payload in
@@ -128,51 +128,105 @@ let handle ?events ~store ~pool ~requests ~errors request =
           puts = s.Store.Registry.puts;
           gets = s.Store.Registry.gets;
           (* this request counts too: callers see how busy the server has been *)
-          requests = !requests + 1;
-          errors = !errors;
+          requests = requests + 1;
+          errors;
         }
   | Proto.List_artifacts -> Proto.Listing (List.map Proto.info_of_entry (Store.Registry.list store))
+  | Proto.Ping ->
+      let s = Store.Registry.stats store in
+      Proto.Pong
+        {
+          role;
+          entries = s.Store.Registry.entries;
+          journal_bytes = s.Store.Registry.journal_bytes;
+          state_digest = Store.Registry.state_digest store;
+        }
+  | Proto.Journal_fetch { from_; max_bytes } ->
+      let data, total = Store.Registry.read_journal store ~from_ ~max_bytes in
+      Proto.Journal_data { from_; total; data }
+  | Proto.Blob_fetch { digest } ->
+      Proto.Blob_data { digest; payload = Store.Registry.blob_payload store ~digest }
+  | Proto.Promote ->
+      (* only a standby replica (see [Shard.Replica]) honours promotion *)
+      err "bad-request" (Printf.sprintf "already serving as %s" role)
   | Proto.Shutdown -> Proto.Shutting_down
 
-let serve ?events ?(domains = 2) ?max_requests ~store ~socket_path () =
+(* requests that occupy an engine worker for a macroscopic time; only
+   these count against the in-flight bound — cheap index lookups are
+   always answered, so the router can still probe an overloaded shard *)
+let heavy = function Proto.Embed _ | Proto.Recognize _ -> true | _ -> false
+
+let serve ?events ?(domains = 2) ?(conn_workers = 2) ?max_requests ?max_inflight ?(role = "leader")
+    ?(stop = fun () -> false) ~store ~socket_path () =
   (try Unix.unlink socket_path with Unix.Unix_error _ -> ());
   let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
   let pool = Engine.Pool.create ~domains () in
-  let requests = ref 0 and errors = ref 0 in
-  let stop = ref false in
-  let budget_left () = match max_requests with Some m -> !requests < m | None -> true in
-  Fun.protect
-    ~finally:(fun () ->
-      (try Unix.close sock with Unix.Unix_error _ -> ());
-      (try Unix.unlink socket_path with Unix.Unix_error _ -> ());
-      Engine.Pool.shutdown pool)
-    (fun () ->
-      Unix.bind sock (Unix.ADDR_UNIX socket_path);
-      Unix.listen sock 16;
-      while (not !stop) && budget_left () do
-        let conn, _ = Unix.accept sock in
-        Fun.protect
-          ~finally:(fun () -> try Unix.close conn with Unix.Unix_error _ -> ())
-          (fun () ->
-            let connected = ref true in
-            while !connected && (not !stop) && budget_left () do
+  let requests = Atomic.make 0 and errors = Atomic.make 0 and shed = Atomic.make 0 in
+  let inflight = Atomic.make 0 in
+  let stopping = Atomic.make false in
+  let stop_now () =
+    Atomic.get stopping || stop ()
+    || (match max_requests with Some m -> Atomic.get requests >= m | None -> false)
+  in
+  let try_acquire () =
+    match max_inflight with
+    | None -> true
+    | Some limit ->
+        if Atomic.fetch_and_add inflight 1 < limit then true
+        else begin
+          ignore (Atomic.fetch_and_add inflight (-1));
+          false
+        end
+  in
+  let release () =
+    match max_inflight with None -> () | Some _ -> ignore (Atomic.fetch_and_add inflight (-1))
+  in
+  let answer frame =
+    match Wire.decode_request frame with
+    | Error msg -> ("malformed", err "bad-request" msg)
+    | Ok request ->
+        let op = Proto.request_name request in
+        if heavy request && not (try_acquire ()) then begin
+          let limit = Option.value ~default:0 max_inflight in
+          Atomic.incr shed;
+          (match events with
+          | Some ev ->
+              Engine.Events.emit ev (Engine.Events.Service_shed { op; inflight = limit; limit })
+          | None -> ());
+          (op, Proto.Overloaded { inflight = limit; limit })
+        end
+        else
+          Fun.protect
+            ~finally:(fun () -> if heavy request then release ())
+            (fun () ->
+              ( op,
+                try
+                  handle ?events ~role ~store ~pool ~requests:(Atomic.get requests)
+                    ~errors:(Atomic.get errors) request
+                with
+                | Store.Registry.Corrupt msg -> err "damaged" msg
+                | exn -> err "internal" (Printexc.to_string exn) ))
+  in
+  let handle_conn conn =
+    Fun.protect
+      ~finally:(fun () -> try Unix.close conn with Unix.Unix_error _ -> ())
+      (fun () ->
+        let connected = ref true in
+        while !connected && not (stop_now ()) do
+          (* poll with a short timeout so drain and shutdown are honoured
+             between frames, never mid-frame *)
+          match Unix.select [ conn ] [] [] 0.05 with
+          | [], _, _ -> ()
+          | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+          | _ -> (
               match (try Wire.read_frame conn with Failure _ | Unix.Unix_error _ -> None) with
               | None -> connected := false
               | Some frame ->
                   let t0 = Unix.gettimeofday () in
-                  let op, response =
-                    match Wire.decode_request frame with
-                    | Error msg -> ("malformed", err "bad-request" msg)
-                    | Ok request -> (
-                        ( Proto.request_name request,
-                          try handle ?events ~store ~pool ~requests ~errors request
-                          with
-                          | Store.Registry.Corrupt msg -> err "damaged" msg
-                          | exn -> err "internal" (Printexc.to_string exn) ))
-                  in
+                  let op, response = answer frame in
                   let ok = not (is_error response) in
-                  incr requests;
-                  if not ok then incr errors;
+                  Atomic.incr requests;
+                  if not ok then Atomic.incr errors;
                   (match events with
                   | Some ev ->
                       Engine.Events.emit ev
@@ -181,7 +235,43 @@ let serve ?events ?(domains = 2) ?max_requests ~store ~socket_path () =
                   | None -> ());
                   (try Wire.write_frame conn (Wire.encode_response response)
                    with Unix.Unix_error _ -> connected := false);
-                  if response = Proto.Shutting_down then stop := true
-            done)
+                  if response = Proto.Shutting_down then Atomic.set stopping true)
+        done)
+  in
+  let acceptor () =
+    let running = ref true in
+    while !running && not (stop_now ()) do
+      match Unix.select [ sock ] [] [] 0.05 with
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+      | exception Unix.Unix_error _ -> running := false
+      | [], _, _ -> ()
+      | _ -> (
+          match Unix.accept sock with
+          | exception
+              Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.ECONNABORTED | Unix.EINTR), _, _)
+            ->
+              ()
+          | exception Unix.Unix_error _ -> running := false
+          | conn, _ ->
+              Unix.clear_nonblock conn;
+              handle_conn conn)
+    done
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.close sock with Unix.Unix_error _ -> ());
+      (try Unix.unlink socket_path with Unix.Unix_error _ -> ());
+      Engine.Pool.shutdown pool)
+    (fun () ->
+      Unix.bind sock (Unix.ADDR_UNIX socket_path);
+      Unix.listen sock 64;
+      Unix.set_nonblock sock;
+      let workers = List.init (max 1 conn_workers) (fun _ -> Thread.create acceptor ()) in
+      while not (stop_now ()) do
+        Thread.delay 0.02
       done;
-      { requests = !requests; errors = !errors })
+      (* drain: workers stop accepting, finish their in-flight frame, and
+         exit; then make everything acknowledged durable before returning *)
+      List.iter Thread.join workers;
+      Store.Registry.sync store;
+      { requests = Atomic.get requests; errors = Atomic.get errors; shed = Atomic.get shed })

@@ -1,25 +1,56 @@
 (** The pathmark service: a Unix-domain-socket server over one
     {!Store.Registry}.
 
-    Connections are served sequentially (one frame loop per accepted
-    connection); the compute-heavy operations — [Embed], [Recognize] —
-    run on an {!Engine.Pool} worker set so a long embedding cannot wedge
-    the accept loop's signal handling.  The server stops on a [Shutdown]
-    request, or after [max_requests] requests (used by smoke tests), and
-    removes its socket file on the way out. *)
+    [conn_workers] connection threads accept and answer concurrently
+    (one frame loop per accepted connection); the compute-heavy
+    operations — [Embed], [Recognize] — run on an {!Engine.Pool} worker
+    set, bounded by [max_inflight]: once that many are in flight, later
+    heavy requests are answered [Overloaded] instead of queued, so an
+    overload degrades into fast shed responses rather than unbounded
+    latency.  Cheap requests (stats, lookups, pings) are never shed.
 
-type stopped = { requests : int; errors : int }
+    The server stops on a [Shutdown] request, after [max_requests]
+    requests (used by smoke tests), or when the [stop] predicate turns
+    true (how `pathmark serve` wires SIGTERM).  Every stop is a {e
+    graceful drain}: accepting ceases, in-flight requests finish, the
+    journal is fsynced, and the socket file is removed on the way out. *)
+
+type stopped = { requests : int; errors : int; shed : int }
+
+val handle :
+  ?events:Engine.Events.t ->
+  ?role:string ->
+  store:Store.Registry.t ->
+  pool:Engine.Pool.t ->
+  requests:int ->
+  errors:int ->
+  Proto.request ->
+  Proto.response
+(** Answer one request against [store] and [pool].  [requests]/[errors]
+    are the totals so far (echoed in [Stats_reply]); [role] (default
+    ["leader"]) is echoed in [Pong].  Exposed so a promoted replica
+    ([Shard.Replica]) can serve the same vocabulary without a second
+    accept loop.  Does not catch exceptions — callers map them to
+    [Error] responses. *)
 
 val serve :
   ?events:Engine.Events.t ->
   ?domains:int ->
+  ?conn_workers:int ->
   ?max_requests:int ->
+  ?max_inflight:int ->
+  ?role:string ->
+  ?stop:(unit -> bool) ->
   store:Store.Registry.t ->
   socket_path:string ->
   unit ->
   stopped
 (** Bind [socket_path] (an existing socket file is replaced), accept and
-    answer requests until told to stop, then unlink the socket and shut
-    the pool down.  [domains] defaults to 2.  Per-request
-    {!Engine.Events.Service_request} events go to [events].  The store
+    answer requests until told to stop, then drain, fsync and unlink the
+    socket.  [domains] (default 2) sizes the compute pool,
+    [conn_workers] (default 2) the connection thread set; [max_inflight]
+    unset means never shed.  [stop] is polled between frames (at ~50 ms
+    granularity), so flipping it drains the server without cutting a
+    request mid-flight.  Per-request {!Engine.Events.Service_request}
+    and {!Engine.Events.Service_shed} events go to [events].  The store
     stays open — the caller owns its lifecycle. *)

@@ -1,5 +1,7 @@
-(* version 2 added the scheme name to embed/recognize requests *)
-let version = 2
+(* version 2 added the scheme name to embed/recognize requests; version 3
+   added the cluster vocabulary (ping/journal-fetch/blob-fetch/promote and
+   their responses, plus the Overloaded shed signal) *)
+let version = 3
 let max_frame = 64 * 1024 * 1024
 
 (* ---- payload codec ---- *)
@@ -142,6 +144,15 @@ let encode_request req =
           add_int_list buf input
       | Proto.Stats -> Buffer.add_char buf 'S'
       | Proto.List_artifacts -> Buffer.add_char buf 'L'
+      | Proto.Ping -> Buffer.add_char buf 'I'
+      | Proto.Journal_fetch { from_; max_bytes } ->
+          Buffer.add_char buf 'J';
+          add_varint buf from_;
+          add_varint buf max_bytes
+      | Proto.Blob_fetch { digest } ->
+          Buffer.add_char buf 'B';
+          add_str buf digest
+      | Proto.Promote -> Buffer.add_char buf 'M'
       | Proto.Shutdown -> Buffer.add_char buf 'Q')
 
 let decode_request s =
@@ -186,6 +197,13 @@ let decode_request s =
           Proto.Recognize { scheme; source; key; bits; input }
       | 'S' -> Proto.Stats
       | 'L' -> Proto.List_artifacts
+      | 'I' -> Proto.Ping
+      | 'J' ->
+          let from_ = varint r in
+          let max_bytes = varint r in
+          Proto.Journal_fetch { from_; max_bytes }
+      | 'B' -> Proto.Blob_fetch { digest = str r }
+      | 'M' -> Proto.Promote
       | 'Q' -> Proto.Shutdown
       | _ -> raise (Malformed "bad request tag"))
 
@@ -227,6 +245,30 @@ let encode_response resp =
           Buffer.add_char buf 'l';
           add_varint buf (List.length infos);
           List.iter (add_info buf) infos
+      | Proto.Pong { role; entries; journal_bytes; state_digest } ->
+          Buffer.add_char buf 'g';
+          add_str buf role;
+          add_varint buf entries;
+          add_varint buf journal_bytes;
+          add_str buf state_digest
+      | Proto.Journal_data { from_; total; data } ->
+          Buffer.add_char buf 'j';
+          add_varint buf from_;
+          add_varint buf total;
+          add_str buf data
+      | Proto.Blob_data { digest; payload } ->
+          Buffer.add_char buf 'b';
+          add_str buf digest;
+          (match payload with
+          | None -> Buffer.add_char buf '\x00'
+          | Some p ->
+              Buffer.add_char buf '\x01';
+              add_str buf p)
+      | Proto.Promoted -> Buffer.add_char buf 'm'
+      | Proto.Overloaded { inflight; limit } ->
+          Buffer.add_char buf 'o';
+          add_varint buf inflight;
+          add_varint buf limit
       | Proto.Shutting_down -> Buffer.add_char buf 'q'
       | Proto.Error { code; message } ->
           Buffer.add_char buf 'x';
@@ -270,6 +312,26 @@ let decode_response s =
           let n = varint r in
           if n < 0 || n > String.length r.s - r.pos then raise (Malformed "bad listing length");
           Proto.Listing (List.init n (fun _ -> info r))
+      | 'g' ->
+          let role = str r in
+          let entries = varint r in
+          let journal_bytes = varint r in
+          let state_digest = str r in
+          Proto.Pong { role; entries; journal_bytes; state_digest }
+      | 'j' ->
+          let from_ = varint r in
+          let total = varint r in
+          let data = str r in
+          Proto.Journal_data { from_; total; data }
+      | 'b' ->
+          let digest = str r in
+          let payload = match byte r with 0 -> None | _ -> Some (str r) in
+          Proto.Blob_data { digest; payload }
+      | 'm' -> Proto.Promoted
+      | 'o' ->
+          let inflight = varint r in
+          let limit = varint r in
+          Proto.Overloaded { inflight; limit }
       | 'q' -> Proto.Shutting_down
       | 'x' ->
           let code = str r in
@@ -279,6 +341,13 @@ let decode_response s =
 
 (* ---- framing ---- *)
 
+(* A peer that drained and closed (a killed shard, a gone client) turns
+   the next write into EPIPE — which must arrive as the exception the
+   retry/failover paths handle, not as a process-killing SIGPIPE.
+   Forced on first frame I/O so every transport user is covered. *)
+let shield_sigpipe =
+  lazy (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ())
+
 let write_all fd b =
   let n = Bytes.length b in
   let off = ref 0 in
@@ -287,6 +356,7 @@ let write_all fd b =
   done
 
 let write_frame fd payload =
+  Lazy.force shield_sigpipe;
   let n = String.length payload in
   if n > max_frame then failwith "Wire.write_frame: frame too large";
   let b = Bytes.create (4 + n) in
@@ -307,6 +377,7 @@ let read_exact fd n ~eof_ok =
   else Some (Bytes.unsafe_to_string b)
 
 let read_frame fd =
+  Lazy.force shield_sigpipe;
   match read_exact fd 4 ~eof_ok:true with
   | None -> None
   | Some header ->

@@ -1,0 +1,47 @@
+(** In-process cluster supervisor: N shard servers (one domain, registry
+    root and socket each) plus standby replicas, laid out under one
+    directory as [shard-<i>/], [shard-<i>.sock], [shard-<i>-replica/],
+    [shard-<i>-replica.sock].
+
+    Drives `pathmark cluster serve`, the failover drill, the soak bench
+    and the shard tests.  {!start} returns once every socket is bound. *)
+
+type t
+
+val start :
+  ?events:Engine.Events.t ->
+  ?fsync:bool ->
+  ?domains:int ->
+  ?conn_workers:int ->
+  ?max_inflight:int ->
+  ?replicate:int list ->
+  ?fault:Fault.Inject.plan ->
+  dir:string ->
+  shards:int ->
+  unit ->
+  t
+(** Start [shards] shard servers under [dir]; [replicate] lists the
+    shard indices that also get a journal-shipping standby.  [fsync],
+    [domains], [conn_workers], [max_inflight] pass through to each
+    {!Service.Server.serve}; [fault] reaches the replicas' followers
+    ([journal-trunc] tears). *)
+
+val endpoints : t -> Router.endpoint list
+(** Ready to hand to {!Router.create}. *)
+
+val shard_names : t -> string list
+
+val root_of_shard : t -> string -> string option
+(** The registry root behind a shard, for post-mortem digest checks. *)
+
+val replica_root_of : t -> string -> string option
+
+val kill : t -> string -> unit
+(** Stop one shard WITHOUT the shutdown handshake — the crash the
+    failover drill inflicts.  In-flight frames drain, the journal is
+    fsynced, the socket file disappears; the router discovers the death
+    on its next request.  Idempotent. *)
+
+val stop : t -> (string * Service.Server.stopped) list
+(** Graceful stop of every remaining shard and replica; returns each
+    shard's final counters. *)

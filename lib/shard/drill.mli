@@ -1,0 +1,37 @@
+(** The failover drill: soak a fresh cluster through the router, kill
+    the replicated leader mid-batch, and account for every response.
+    Shared by `pathmark cluster drill` (the CI smoke) and
+    `bench --cluster-only`, so the gate and the benchmark report the
+    same measurement. *)
+
+type report = {
+  shards : int;
+  ops : int;  (** router calls issued (puts + gets + marks) *)
+  lost : int;  (** calls that errored or returned the wrong payload *)
+  marks : int;  (** embed/recognize pairs completed *)
+  failover_ms : float;  (** promotion latency, from the router's event *)
+  recovery_ms : float;
+      (** kill to first successful answer for a key the dead shard owned *)
+  ms_p50 : float;
+  ms_p99 : float;
+}
+
+val run :
+  ?shards:int ->
+  ?replicate:int list ->
+  ?ops:int ->
+  ?kill_frac:float ->
+  ?mark_program:string ->
+  ?mark_input:int list ->
+  ?marks:int ->
+  ?log:(string -> unit) ->
+  dir:string ->
+  unit ->
+  report
+(** Start [shards] shards under [dir] (replicas on [replicate], default
+    [[0]]), issue [ops] put/get pairs, kill [shard-0] after [kill_frac]
+    of them (waiting first until its replica is level, so the kill can
+    prove zero-loss rather than measure replication lag), finish the
+    batch through the promoted replica, then re-read every key.  When
+    [mark_program] ({!Stackvm.Serialize} bytes) is given, [marks]
+    embed/recognize pairs ride along.  [lost = 0] is the drill passing. *)

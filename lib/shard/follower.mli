@@ -1,0 +1,51 @@
+(** Journal-shipping replication: tail a leader's CRC journal over the
+    service socket and mirror it locally.
+
+    Replication is byte-level: whole frames are appended verbatim to the
+    local journal, so the follower's registry replays to exactly the
+    leader's logical state ({!Store.Registry.state_digest} agrees).
+    Chunks torn mid-frame — by the wire or by the [journal-trunc] fault —
+    are deferred to the next sync, never applied partially.  Referenced
+    blobs are fetched by content address and verified on import.
+
+    The applied offset (persisted in [root/replica.offset]) tracks the
+    {e leader's} journal, so local {!snapshot} compaction never disturbs
+    shipping; a leader total below the applied offset (the leader
+    compacted) triggers a from-scratch resync. *)
+
+type t
+
+type progress = {
+  applied : int;  (** leader-journal bytes applied so far *)
+  leader_total : int;  (** leader journal size at sync time *)
+  records : int;  (** records applied by this sync *)
+  blobs_fetched : int;
+  torn : bool;  (** a chunk ended mid-frame and was deferred *)
+  resynced : bool;  (** the leader compacted; the mirror restarted *)
+}
+
+val create :
+  ?chunk_bytes:int -> ?fault:Fault.Inject.plan -> root:string -> leader:string -> unit -> t
+(** A follower mirroring the leader at socket path [leader] into [root]
+    (created if missing; a persisted offset resumes).  [chunk_bytes]
+    (default 4 MiB) bounds each fetch; [fault] lets drills tear shipped
+    chunks deterministically. *)
+
+val applied : t -> int
+
+val pending_blobs : t -> int
+(** Blobs referenced by applied records whose payloads have not been
+    fetched yet (the leader died or tore mid-sync); retried by every
+    {!sync}.  [0] means the mirror is payload-complete. *)
+
+val sync : ?deadline:float -> t -> (progress, string) result
+(** One catch-up: fetch journal ranges until level with the leader (or a
+    torn chunk defers), then fetch missing blobs.  [deadline] (default 2s)
+    bounds the connection attempt.  [Error] means the leader was
+    unreachable or sent something unusable — the follower state is
+    still consistent and a later sync resumes cleanly. *)
+
+val snapshot : ?threshold:int -> t -> Store.Registry.compaction option
+(** Compact the local journal when it exceeds [threshold] bytes (default
+    8 MiB), bounding promotion replay time.  [None] when below
+    threshold.  Preserves the state digest and the applied offset. *)

@@ -1,0 +1,167 @@
+(* A standby shard: tails its leader between connections, answers the
+   replication vocabulary, and on [Promote] opens the mirrored registry
+   and serves the full leader vocabulary via [Service.Server.handle].
+
+   Before promotion only [Ping], [Promote] and [Shutdown] do anything;
+   every other request is answered with the typed ["standby"] error so a
+   misrouted client learns the topology instead of hanging. *)
+
+type stopped = { requests : int; errors : int; promoted : bool }
+
+type state = {
+  m : Mutex.t;
+  follower : Follower.t;
+  root : string;
+  socket_path : string;
+  domains : int;
+  events : Engine.Events.t option;
+  requests : int Atomic.t;
+  errors : int Atomic.t;
+  stopping : bool Atomic.t;
+  mutable serving : (Store.Registry.t * Engine.Pool.t) option;
+}
+
+let err code message = Service.Proto.Error { code; message }
+
+let promote st =
+  Mutex.lock st.m;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock st.m)
+    (fun () ->
+      match st.serving with
+      | Some _ -> Service.Proto.Promoted (* promotion is idempotent *)
+      | None ->
+          (* last catch-up is best-effort: the leader is usually dead by
+             the time anyone asks us to take over *)
+          (match Follower.sync ~deadline:0.2 st.follower with Ok _ | Error _ -> ());
+          let store = Store.Registry.open_store ~root:st.root () in
+          let pool = Engine.Pool.create ~domains:st.domains () in
+          st.serving <- Some (store, pool);
+          (match st.events with
+          | Some ev ->
+              Engine.Events.emit ev
+                (Engine.Events.Shard_up { shard = st.root; socket = st.socket_path })
+          | None -> ());
+          Service.Proto.Promoted)
+
+let answer st request =
+  let serving = Mutex.protect st.m (fun () -> st.serving) in
+  match (request, serving) with
+  | Service.Proto.Promote, _ -> promote st
+  | Service.Proto.Shutdown, _ ->
+      Atomic.set st.stopping true;
+      Service.Proto.Shutting_down
+  | req, Some (store, pool) ->
+      (* promoted: the full leader vocabulary over the mirrored state *)
+      Service.Server.handle ?events:st.events ~role:"leader" ~store ~pool
+        ~requests:(Atomic.get st.requests) ~errors:(Atomic.get st.errors) req
+  | Service.Proto.Ping, None ->
+      Service.Proto.Pong
+        {
+          role = "standby";
+          entries = 0;
+          journal_bytes = Follower.applied st.follower;
+          state_digest = "";
+        }
+  | req, None ->
+      err "standby"
+        (Printf.sprintf "replica for %s has not been promoted (request %s)"
+           (Filename.basename st.root) (Service.Proto.request_name req))
+
+let handle_conn st conn =
+  Fun.protect
+    ~finally:(fun () -> try Unix.close conn with Unix.Unix_error _ -> ())
+    (fun () ->
+      let connected = ref true in
+      while !connected && not (Atomic.get st.stopping) do
+        match Unix.select [ conn ] [] [] 0.05 with
+        | [], _, _ -> ()
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+        | _ -> (
+            match (try Service.Wire.read_frame conn with Failure _ | Unix.Unix_error _ -> None) with
+            | None -> connected := false
+            | Some frame ->
+                let response =
+                  match Service.Wire.decode_request frame with
+                  | Error msg -> err "bad-request" msg
+                  | Ok request -> (
+                      try answer st request
+                      with
+                      | Store.Registry.Corrupt msg -> err "damaged" msg
+                      | exn -> err "internal" (Printexc.to_string exn))
+                in
+                Atomic.incr st.requests;
+                (match response with
+                | Service.Proto.Error _ -> Atomic.incr st.errors
+                | _ -> ());
+                (try Service.Wire.write_frame conn (Service.Wire.encode_response response)
+                 with Unix.Unix_error _ -> connected := false))
+      done)
+
+let serve ?events ?(domains = 2) ?(sync_interval = 0.2) ?(fault = Fault.Inject.none)
+    ?(stop = fun () -> false) ~root ~leader ~socket_path () =
+  (try Unix.unlink socket_path with Unix.Unix_error _ -> ());
+  let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  let st =
+    {
+      m = Mutex.create ();
+      follower = Follower.create ~fault ~root ~leader ();
+      root;
+      socket_path;
+      domains;
+      events;
+      requests = Atomic.make 0;
+      errors = Atomic.make 0;
+      stopping = Atomic.make false;
+      serving = None;
+    }
+  in
+  let stop_now () = Atomic.get st.stopping || stop () in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.close sock with Unix.Unix_error _ -> ());
+      (try Unix.unlink socket_path with Unix.Unix_error _ -> ());
+      Mutex.protect st.m (fun () ->
+          match st.serving with
+          | Some (store, pool) ->
+              Store.Registry.sync store;
+              Store.Registry.close store;
+              Engine.Pool.shutdown pool;
+              st.serving <- None
+          | None -> ()))
+    (fun () ->
+      Unix.bind sock (Unix.ADDR_UNIX socket_path);
+      Unix.listen sock 16;
+      Unix.set_nonblock sock;
+      let conns = ref [] in
+      let last_sync = ref 0.0 in
+      while not (stop_now ()) do
+        (* tail the leader while standing by; once promoted there is no
+           leader left to tail *)
+        let promoted = Mutex.protect st.m (fun () -> st.serving <> None) in
+        if (not promoted) && Unix.gettimeofday () -. !last_sync >= sync_interval then begin
+          last_sync := Unix.gettimeofday ();
+          (match Follower.sync ~deadline:0.1 st.follower with Ok _ | Error _ -> ());
+          ignore (Follower.snapshot st.follower)
+        end;
+        match Unix.select [ sock ] [] [] 0.05 with
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+        | exception Unix.Unix_error _ -> Atomic.set st.stopping true
+        | [], _, _ -> ()
+        | _ -> (
+            match Unix.accept sock with
+            | exception
+                Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.ECONNABORTED | Unix.EINTR), _, _)
+              ->
+                ()
+            | exception Unix.Unix_error _ -> Atomic.set st.stopping true
+            | conn, _ ->
+                Unix.clear_nonblock conn;
+                conns := Thread.create (fun () -> handle_conn st conn) () :: !conns)
+      done;
+      List.iter Thread.join !conns;
+      {
+        requests = Atomic.get st.requests;
+        errors = Atomic.get st.errors;
+        promoted = Mutex.protect st.m (fun () -> st.serving <> None);
+      })

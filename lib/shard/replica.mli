@@ -1,0 +1,29 @@
+(** A standby shard server: a {!Follower} with a socket.
+
+    While standing by it tails the leader's journal every
+    [sync_interval] seconds and answers only [Ping] (as role
+    ["standby"]), [Promote] and [Shutdown]; anything else gets the typed
+    ["standby"] error.  On [Promote] it performs a final best-effort
+    catch-up, opens the mirrored registry, and from then on serves the
+    complete leader vocabulary (via {!Service.Server.handle}) over the
+    same socket — which is exactly what {!Router} counts on when it
+    redirects a dead shard's traffic here.  Promotion is idempotent. *)
+
+type stopped = { requests : int; errors : int; promoted : bool }
+
+val serve :
+  ?events:Engine.Events.t ->
+  ?domains:int ->
+  ?sync_interval:float ->
+  ?fault:Fault.Inject.plan ->
+  ?stop:(unit -> bool) ->
+  root:string ->
+  leader:string ->
+  socket_path:string ->
+  unit ->
+  stopped
+(** Mirror the leader at socket path [leader] into [root] and serve
+    [socket_path] until a [Shutdown] request or the [stop] predicate.
+    [domains] sizes the compute pool created at promotion; [fault]
+    applies [journal-trunc] tears to shipped chunks.  Emits
+    {!Engine.Events.Shard_up} when promoted. *)

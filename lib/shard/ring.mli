@@ -1,0 +1,27 @@
+(** Consistent-hash ring with virtual nodes.
+
+    Routes program digests (or any key) to shard names.  Deterministic:
+    the same shard list and [vnodes] yield the same ring in every
+    process, so clients and tooling agree on placement without any
+    coordination.  Removing a shard ({!without}) moves only the keys
+    that lived on its arcs. *)
+
+type t
+
+val create : ?vnodes:int -> string list -> t
+(** [create names] places [vnodes] (default 64) points per shard on the
+    circle.  Raises [Invalid_argument] on an empty shard list. *)
+
+val names : t -> string list
+(** The shard names, in the order given to {!create}. *)
+
+val lookup : t -> string -> string
+(** The shard owning [key]. *)
+
+val without : t -> string -> t
+(** The ring with one shard removed (its keys redistribute to the
+    survivors).  Raises [Invalid_argument] when removing the last one. *)
+
+val spread : t -> string list -> (string * int) list
+(** How many of [keys] land on each shard — a fairness probe for tests
+    and [pathmark cluster status]. *)

@@ -1,0 +1,242 @@
+(* Client-side shard router.
+
+   Routing is the consistent-hash ring over shard names; transport is a
+   per-shard pool of pooled client connections.  Every call runs a retry
+   loop with deterministic jittered exponential backoff under one
+   per-request deadline.  Three failure shapes are distinguished:
+
+   - [Overloaded]: the shard shed us.  Back off and retry the same
+     shard — it is alive, just busy.
+   - connection failure / hang-up / timeout: the shard may be dead.  If
+     it has a replica that has not been consumed yet, promote it and
+     redirect the shard's traffic there (failover); either way, back off
+     and retry until the deadline.
+   - a typed [Error] response: the server answered; not a transport
+     problem.  Returned to the caller as-is, never retried.
+
+   Failover is guarded by a generation counter: concurrent callers that
+   raced into the same failure promote only once, and callers holding a
+   stale socket notice the bump and simply reconnect. *)
+
+type endpoint = { name : string; socket : string; replica : string option }
+
+type shard_state = {
+  ep : endpoint;
+  m : Mutex.t;
+  mutable active : string;
+  mutable idle : Service.Client.t list;
+  mutable generation : int;
+  mutable failed_over : bool;
+}
+
+type t = {
+  ring : Ring.t;
+  shards : (string, shard_state) Hashtbl.t;
+  events : Engine.Events.t option;
+  deadline : float;
+  attempt_deadline : float;
+  base_backoff : float;
+  seed : int64;
+  salt : int Atomic.t;  (* distinct jitter streams per call *)
+}
+
+type error = { shard : string; attempts : int; reason : string }
+
+let error_to_string e =
+  Printf.sprintf "shard %s unavailable after %d attempts: %s" e.shard e.attempts e.reason
+
+let create ?events ?(vnodes = 64) ?(deadline = 30.0) ?(attempt_deadline = 20.0)
+    ?(base_backoff = 0.02) ?(seed = 0x5eedL) endpoints =
+  if endpoints = [] then invalid_arg "Router.create: no endpoints";
+  let shards = Hashtbl.create (List.length endpoints) in
+  List.iter
+    (fun ep ->
+      Hashtbl.replace shards ep.name
+        {
+          ep;
+          m = Mutex.create ();
+          active = ep.socket;
+          idle = [];
+          generation = 0;
+          failed_over = false;
+        })
+    endpoints;
+  {
+    ring = Ring.create ~vnodes (List.map (fun ep -> ep.name) endpoints);
+    shards;
+    events;
+    deadline;
+    attempt_deadline;
+    base_backoff;
+    seed;
+    salt = Atomic.make 0;
+  }
+
+let route t ~key = Ring.lookup t.ring key
+let shards t = Ring.names t.ring
+
+let locked s f = Mutex.protect s.m f
+
+let take_conn t s =
+  let gen, sock, pooled =
+    locked s (fun () ->
+        match s.idle with
+        | c :: rest ->
+            s.idle <- rest;
+            (s.generation, s.active, Some c)
+        | [] -> (s.generation, s.active, None))
+  in
+  match pooled with
+  | Some c -> (gen, c)
+  | None ->
+      (* short connect budget: a dead socket must fail fast so the
+         failover path runs well inside the request deadline *)
+      (gen, Service.Client.connect ~deadline:0.25 ~seed:t.seed sock)
+
+let give_back s gen conn =
+  let keep =
+    locked s (fun () ->
+        if s.generation = gen && List.length s.idle < 8 then begin
+          s.idle <- conn :: s.idle;
+          true
+        end
+        else false)
+  in
+  if not keep then Service.Client.close conn
+
+let drop_idle s =
+  let stale = locked s (fun () ->
+      let cs = s.idle in
+      s.idle <- [];
+      cs)
+  in
+  List.iter Service.Client.close stale
+
+(* Promote the replica and swing the shard's traffic to it.  Runs under
+   the shard mutex; [gen] ensures only the first caller that observed
+   the failure does the promotion. *)
+let failover t s ~gen ~reason =
+  let t0 = Unix.gettimeofday () in
+  let did =
+    locked s (fun () ->
+        if s.generation <> gen || s.failed_over then false
+        else
+          match s.ep.replica with
+          | None -> false
+          | Some replica_socket -> (
+              (match t.events with
+              | Some ev ->
+                  Engine.Events.emit ev (Engine.Events.Shard_down { shard = s.ep.name; reason })
+              | None -> ());
+              match
+                Service.Client.with_client ~deadline:5.0 ~seed:t.seed replica_socket (fun c ->
+                    Service.Client.call ~deadline:10.0 c Service.Proto.Promote)
+              with
+              | Service.Proto.Promoted ->
+                  s.active <- replica_socket;
+                  s.generation <- s.generation + 1;
+                  s.failed_over <- true;
+                  (match t.events with
+                  | Some ev ->
+                      Engine.Events.emit ev
+                        (Engine.Events.Failover
+                           {
+                             shard = s.ep.name;
+                             replica = replica_socket;
+                             ms = (Unix.gettimeofday () -. t0) *. 1000.0;
+                           })
+                  | None -> ());
+                  true
+              | _ -> false
+              | exception (Service.Client.Unavailable _ | Service.Client.Timed_out _ | Failure _) ->
+                  false))
+  in
+  if did then drop_idle s;
+  did
+
+let backoff_sleep t prng attempt =
+  let expo = t.base_backoff *. (2.0 ** float_of_int (min attempt 10)) in
+  let expo = Float.min expo 0.5 in
+  Unix.sleepf (Float.min 0.5 (expo +. Util.Prng.float prng (expo *. 0.5)))
+
+let call t ~key request =
+  let name = Ring.lookup t.ring key in
+  let s = Hashtbl.find t.shards name in
+  let prng =
+    Util.Prng.create
+      (Int64.add t.seed
+         (Int64.mul 0x9E37_79B9_7F4A_7C15L (Int64.of_int (Atomic.fetch_and_add t.salt 1))))
+  in
+  let give_up_at = Unix.gettimeofday () +. t.deadline in
+  let rec attempt n last_reason =
+    if Unix.gettimeofday () > give_up_at then
+      Error { shard = name; attempts = n; reason = last_reason }
+    else
+      let outcome =
+        match take_conn t s with
+        | exception Service.Client.Unavailable msg -> `Down msg
+        | exception Service.Client.Timed_out msg -> `Down msg
+        | gen, conn -> (
+            match Service.Client.call ~deadline:t.attempt_deadline conn request with
+            | Service.Proto.Overloaded _ ->
+                give_back s gen conn;
+                `Shed
+            | response ->
+                give_back s gen conn;
+                `Answered response
+            | exception Service.Client.Unavailable msg ->
+                Service.Client.close conn;
+                `DownGen (gen, msg)
+            | exception Service.Client.Timed_out msg ->
+                Service.Client.close conn;
+                `DownGen (gen, msg)
+            | exception Failure msg ->
+                Service.Client.close conn;
+                `DownGen (gen, msg))
+      in
+      match outcome with
+      | `Answered response -> Ok response
+      | `Shed ->
+          backoff_sleep t prng n;
+          attempt (n + 1) "overloaded"
+      | `Down msg ->
+          let gen = locked s (fun () -> s.generation) in
+          ignore (failover t s ~gen ~reason:msg);
+          backoff_sleep t prng n;
+          attempt (n + 1) msg
+      | `DownGen (gen, msg) ->
+          ignore (failover t s ~gen ~reason:msg);
+          backoff_sleep t prng n;
+          attempt (n + 1) msg
+  in
+  attempt 0 "not attempted"
+
+let ping_all t =
+  Hashtbl.fold (fun _ s acc -> s :: acc) t.shards []
+  |> List.sort (fun a b -> String.compare a.ep.name b.ep.name)
+  |> List.map (fun s ->
+         let sock = locked s (fun () -> s.active) in
+         let reply =
+           match
+             Service.Client.with_client ~deadline:0.5 ~seed:t.seed sock (fun c ->
+                 Service.Client.call ~deadline:2.0 c Service.Proto.Ping)
+           with
+           | Service.Proto.Pong { role; entries; journal_bytes; state_digest } ->
+               Ok (role, entries, journal_bytes, state_digest)
+           | other -> Error ("unexpected reply: " ^ Service.Proto.request_name Service.Proto.Ping ^ " got " ^ (match other with Service.Proto.Error { code; _ } -> code | _ -> "?"))
+           | exception Service.Client.Unavailable msg -> Error msg
+           | exception Service.Client.Timed_out msg -> Error msg
+           | exception Failure msg -> Error msg
+         in
+         (s.ep.name, sock, reply))
+
+let close t =
+  Hashtbl.iter
+    (fun _ s ->
+      let cs = locked s (fun () ->
+          let cs = s.idle in
+          s.idle <- [];
+          cs)
+      in
+      List.iter Service.Client.close cs)
+    t.shards

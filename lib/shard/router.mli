@@ -1,0 +1,58 @@
+(** Client-side router over a shard cluster.
+
+    Routes each request to the shard owning its key (consistent-hash
+    {!Ring}), over a small per-shard connection pool, with deterministic
+    jittered exponential backoff under a per-request deadline.  An
+    [Overloaded] shed is retried on the same shard; a transport failure
+    triggers failover — the shard's replica (if any) is sent [Promote]
+    exactly once and the shard's traffic swings to it — and retries
+    continue until the deadline.  Typed [Error] responses are answers,
+    not failures: they are returned without retry. *)
+
+type endpoint = {
+  name : string;  (** ring identity — stable across failover *)
+  socket : string;  (** the primary's Unix-domain socket *)
+  replica : string option;  (** standby socket, if the shard has one *)
+}
+
+type t
+
+type error = { shard : string; attempts : int; reason : string }
+
+val error_to_string : error -> string
+
+val create :
+  ?events:Engine.Events.t ->
+  ?vnodes:int ->
+  ?deadline:float ->
+  ?attempt_deadline:float ->
+  ?base_backoff:float ->
+  ?seed:int64 ->
+  endpoint list ->
+  t
+(** [deadline] (default 30s) bounds one {!call} including all retries
+    and failover; [attempt_deadline] (default 20s) bounds a single
+    response wait (embeds are slow — do not starve them); [base_backoff]
+    (default 20ms) seeds the exponential schedule, jittered from [seed]
+    so tests replay exactly.  Emits {!Engine.Events.Shard_down} and
+    {!Engine.Events.Failover}. *)
+
+val route : t -> key:string -> string
+(** Which shard owns [key] (no I/O). *)
+
+val shards : t -> string list
+
+val call : t -> key:string -> Service.Proto.request -> (Service.Proto.response, error) result
+(** Send [request] to the shard owning [key], retrying/failing over as
+    described above.  [Error] means the deadline elapsed without any
+    server answering. *)
+
+val ping_all :
+  t -> (string * string * ((string * int * int * string), string) result) list
+(** [(name, active socket, Pong fields or failure)] per shard, sorted by
+    name — the substance of [pathmark cluster status].  Pong fields are
+    (role, entries, journal bytes, state digest). *)
+
+val close : t -> unit
+(** Close every pooled connection (the router stays usable; new calls
+    reconnect). *)

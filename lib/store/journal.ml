@@ -40,8 +40,8 @@ let read_whole fd =
    with Exit -> ());
   Bytes.sub_string buf 0 !off
 
-(* Longest valid prefix of frames: returns (records, good_end_offset). *)
-let parse content =
+(* Longest valid run of frames from [start]: returns (records, good_end_offset). *)
+let parse_from content start =
   let len = String.length content in
   let u32 pos = Int32.to_int (String.get_int32_le content pos) land 0xFFFFFFFF in
   let rec go acc pos =
@@ -54,7 +54,13 @@ let parse content =
         let body = String.sub content (pos + 8) n in
         if Crc32.string body <> crc then (List.rev acc, pos) else go (body :: acc) (pos + 8 + n)
   in
-  go [] (String.length magic)
+  go [] start
+
+let parse content = parse_from content (String.length magic)
+
+let valid_frames chunk =
+  let records, good = parse_from chunk 0 in
+  (records, good)
 
 let open_ ?(fsync = true) path =
   let fd = Unix.openfile path [ Unix.O_RDWR; Unix.O_CREAT ] 0o644 in
@@ -111,4 +117,5 @@ let rewrite t records =
 
 let size_bytes t = t.bytes
 let path t = t.jpath
+let fsync t = Unix.fsync t.fd
 let close t = Unix.close t.fd

@@ -24,6 +24,17 @@ exception Corrupt of string
 (** The file is not a journal at all (bad magic).  Torn tails never raise
     — they are recovered; this fires only on wholesale corruption. *)
 
+val magic : string
+(** The file-header magic (shipped verbatim when a follower replicates a
+    journal from offset 0). *)
+
+val valid_frames : string -> string list * int
+(** [valid_frames chunk] scans [chunk] — raw journal bytes starting at a
+    frame boundary, with {e no} magic header — and returns the longest
+    valid prefix of framed records plus the number of bytes it covers.
+    The primitive under journal shipping: a follower appends exactly the
+    covered bytes, so a chunk torn mid-frame is deferred, not corrupted. *)
+
 val open_ : ?fsync:bool -> string -> t * replay
 (** Open or create the journal at [path], replay it, truncate any torn
     tail, and position for appending.  [fsync] (default [true]) makes
@@ -41,5 +52,9 @@ val size_bytes : t -> int
 (** Current on-disk size, header included. *)
 
 val path : t -> string
+
+val fsync : t -> unit
+(** Force the journal file to stable storage (graceful-drain path for
+    servers running with [fsync:false]). *)
 
 val close : t -> unit

@@ -93,8 +93,8 @@ let open_store ?(fsync = true) ~root () =
 let root t = t.root
 let recovery t = t.recovery
 
-let write_blob t digest payload =
-  let path = blob_path t.root digest in
+let write_blob_at root digest payload =
+  let path = blob_path root digest in
   if not (Sys.file_exists path) then begin
     mkdir_p (Filename.dirname path);
     let tmp = path ^ ".tmp" in
@@ -109,6 +109,18 @@ let write_blob t digest payload =
         done;
         Unix.fsync fd);
     Sys.rename tmp path
+  end
+
+let write_blob t digest payload = write_blob_at t.root digest payload
+
+let blob_exists ~root ~digest = Sys.file_exists (blob_path root digest)
+
+let import_blob ~root ~digest payload =
+  if digest_hex payload <> digest then
+    Error (Printf.sprintf "blob %s fails digest verification on import" digest)
+  else begin
+    write_blob_at root digest payload;
+    Ok ()
   end
 
 let read_blob t digest =
@@ -192,6 +204,56 @@ let stats t =
         hits = t.hits;
         deletes = t.deletes;
       })
+
+let blob_payload t ~digest =
+  match read_blob t digest with
+  | Some payload when digest_hex payload = digest -> Some payload
+  | _ -> None
+
+(* A digest of the live logical state: every live entry's identifying
+   fields in slot order.  Identical on a leader and any follower that has
+   replayed the same records, regardless of how either journal is laid
+   out on disk (compaction preserves entries, hence the digest). *)
+let state_digest t =
+  locked t (fun () ->
+      let entries =
+        Hashtbl.fold (fun _ e acc -> e :: acc) t.index []
+        |> List.sort (fun a b -> compare a.Artifact.seq b.Artifact.seq)
+      in
+      let buf = Buffer.create 256 in
+      List.iter
+        (fun (e : Artifact.entry) ->
+          Buffer.add_string buf
+            (Printf.sprintf "%s\x00%s\x00%s\x00%d\x00%d\n"
+               (Artifact.kind_to_string e.Artifact.kind)
+               e.Artifact.key e.Artifact.blob e.Artifact.size e.Artifact.seq))
+        entries;
+      Digest.to_hex (Digest.string (Buffer.contents buf)))
+
+let read_journal t ~from_ ~max_bytes =
+  locked t (fun () ->
+      let total = Journal.size_bytes t.journal in
+      if from_ >= total || max_bytes <= 0 then ("", total)
+      else begin
+        let fd = Unix.openfile (Journal.path t.journal) [ Unix.O_RDONLY ] 0 in
+        Fun.protect
+          ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+          (fun () ->
+            let want = min max_bytes (total - from_) in
+            ignore (Unix.lseek fd from_ Unix.SEEK_SET);
+            let buf = Bytes.create want in
+            let off = ref 0 in
+            (try
+               while !off < want do
+                 let r = Unix.read fd buf !off (want - !off) in
+                 if r = 0 then raise Exit;
+                 off := !off + r
+               done
+             with Exit -> ());
+            (Bytes.sub_string buf 0 !off, total))
+      end)
+
+let sync t = locked t (fun () -> Journal.fsync t.journal)
 
 let list_blob_files root =
   let objects = objects_dir root in

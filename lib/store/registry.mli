@@ -82,4 +82,39 @@ val compact : t -> compaction
     blob no live entry references.  Atomic with respect to crashes: the
     new journal is fsynced before it replaces the old one. *)
 
+(** {1 Replication primitives}
+
+    The building blocks for journal-shipping replication (see
+    [Shard.Follower]): a leader exposes raw journal byte-ranges and blob
+    payloads; a follower imports them and compares {!state_digest}. *)
+
+val state_digest : t -> string
+(** Digest over the live logical state (sorted entries' kind, key, blob,
+    size and sequence).  Two registries that replayed the same records
+    agree on it even if their journals differ on disk — compaction
+    preserves entries, so it also preserves the digest. *)
+
+val read_journal : t -> from_:int -> max_bytes:int -> string * int
+(** [read_journal t ~from_ ~max_bytes] returns up to [max_bytes] raw
+    journal bytes starting at absolute offset [from_] (offset 0 is the
+    magic header), plus the journal's total size.  A shrinking total
+    relative to a follower's applied offset signals compaction upstream:
+    the follower must resync from scratch. *)
+
+val blob_payload : t -> digest:string -> string option
+(** The verified payload for [digest], or [None] if absent or damaged.
+    Unlike {!get} this is keyed by content address, not [(kind, key)]. *)
+
+val blob_exists : root:string -> digest:string -> bool
+(** Whether a blob file for [digest] exists under [root] — usable before
+    a registry handle exists (a follower checks before fetching). *)
+
+val import_blob : root:string -> digest:string -> string -> (unit, string) result
+(** Write [payload] as the blob for [digest] (tmp + fsync + rename),
+    verifying the content address first; [Error] names the mismatch. *)
+
+val sync : t -> unit
+(** fsync the journal — the graceful-drain barrier for servers opened
+    with [fsync:false]. *)
+
 val close : t -> unit

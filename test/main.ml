@@ -19,6 +19,7 @@ let () =
       ("engine", Test_engine.suite);
       ("store", Test_store.suite);
       ("service", Test_service.suite);
+      ("shard", Test_shard.suite);
       ("fault", Test_fault.suite);
       ("cfg", Test_cfg.suite);
       ("analysis", Test_analysis.suite);

@@ -43,6 +43,10 @@ let sample_requests =
     Proto.Recognize { scheme = "jwm+gwm"; source = `Stored "cafe"; key = "k"; bits = 128; input = [ 1 ] };
     Proto.Stats;
     Proto.List_artifacts;
+    Proto.Ping;
+    Proto.Journal_fetch { from_ = 6; max_bytes = 65536 };
+    Proto.Blob_fetch { digest = "00c0ffee" };
+    Proto.Promote;
     Proto.Shutdown;
   ]
 
@@ -57,6 +61,12 @@ let sample_responses =
     Proto.Stats_reply
       { entries = 2; journal_bytes = 300; payload_bytes = 1000; puts = 4; gets = 1; requests = 9; errors = 1 };
     Proto.Listing [ sample_info; { sample_info with Proto.kind = Store.Artifact.Report; seq = 4 } ];
+    Proto.Pong { role = "standby"; entries = 12; journal_bytes = 4096; state_digest = "ab" };
+    Proto.Journal_data { from_ = 6; total = 900; data = "raw\x00frame bytes" };
+    Proto.Blob_data { digest = "00c0ffee"; payload = Some "blob\xffbody" };
+    Proto.Blob_data { digest = "00c0ffee"; payload = None };
+    Proto.Promoted;
+    Proto.Overloaded { inflight = 64; limit = 64 };
     Proto.Shutting_down;
     Proto.Error { code = "not-found"; message = "no such artifact" };
   ]
@@ -152,7 +162,7 @@ let fingerprint = Bignum.of_string "240543712258492747"
    nudge it with a best-effort Shutdown before joining. *)
 let join_with_shutdown server socket_path =
   (try
-     Service.Client.with_client ~retries:2 ~retry_delay:0.05 socket_path (fun c ->
+     Service.Client.with_client ~deadline:0.5 socket_path (fun c ->
          ignore (Service.Client.call c Proto.Shutdown))
    with _ -> ());
   Domain.join server
@@ -166,7 +176,7 @@ let test_end_to_end () =
         Domain.spawn (fun () ->
             Service.Server.serve ~events ~domains:1 ~store ~socket_path ())
       in
-      let stopped = ref { Service.Server.requests = 0; errors = 0 } in
+      let stopped = ref { Service.Server.requests = 0; errors = 0; shed = 0 } in
       Fun.protect
         ~finally:(fun () ->
           stopped := join_with_shutdown server socket_path;

@@ -1,0 +1,300 @@
+(* Tests for the cluster layer: consistent-hash ring properties, journal
+   shipping (follower replay equivalence, including torn chunks), router
+   failover with zero lost responses, and server-side backpressure. *)
+
+module Proto = Service.Proto
+
+let rec rm_rf path =
+  if Sys.file_exists path then
+    if Sys.is_directory path then begin
+      Array.iter (fun f -> rm_rf (Filename.concat path f)) (Sys.readdir path);
+      Sys.rmdir path
+    end
+    else Sys.remove path
+
+let with_temp_dir f =
+  let dir = Filename.temp_file "pathmark-shard" "" in
+  Sys.remove dir;
+  Sys.mkdir dir 0o755;
+  Fun.protect ~finally:(fun () -> rm_rf dir) (fun () -> f dir)
+
+(* short socket paths: Unix-domain sockets cap at ~104 bytes *)
+let sock_path tag = Filename.concat (Filename.get_temp_dir_name ()) (Printf.sprintf "pm-%s-%d.sock" tag (Unix.getpid ()))
+
+(* ---- ring ---- *)
+
+let test_ring_deterministic_and_fair () =
+  let ring = Shard.Ring.create [ "a"; "b"; "c" ] in
+  let keys = List.init 3000 (fun i -> Printf.sprintf "key-%d" i) in
+  List.iter
+    (fun k -> Alcotest.(check string) "lookup is stable" (Shard.Ring.lookup ring k) (Shard.Ring.lookup ring k))
+    (List.filteri (fun i _ -> i < 50) keys);
+  let spread = Shard.Ring.spread ring keys in
+  List.iter
+    (fun (name, n) ->
+      if n < 500 || n > 1700 then
+        Alcotest.failf "shard %s owns %d of 3000 keys — ring is badly unbalanced" name n)
+    spread;
+  Alcotest.(check int) "every key lands somewhere" 3000 (List.fold_left (fun a (_, n) -> a + n) 0 spread)
+
+let test_ring_removal_moves_only_victims () =
+  let ring = Shard.Ring.create [ "a"; "b"; "c" ] in
+  let smaller = Shard.Ring.without ring "b" in
+  let keys = List.init 2000 (fun i -> Printf.sprintf "key-%d" i) in
+  List.iter
+    (fun k ->
+      let before = Shard.Ring.lookup ring k in
+      let after = Shard.Ring.lookup smaller k in
+      if before <> "b" then
+        Alcotest.(check string) "survivor keys do not move" before after
+      else if after = "b" then Alcotest.fail "removed shard still owns keys")
+    keys
+
+(* ---- follower replay equivalence ---- *)
+
+let seed_entries store n =
+  for i = 1 to n do
+    ignore
+      (Store.Registry.put store ~kind:Store.Artifact.Report
+         ~key:(Printf.sprintf "doc-%d" i)
+         ~label:(Printf.sprintf "l%d" i)
+         (Printf.sprintf "payload %d: %s" i (String.make (50 + (i * 13 mod 200)) (Char.chr (65 + (i mod 26))))))
+  done
+
+let with_leader dir f =
+  let root = Filename.concat dir "leader" in
+  let socket = sock_path "ldr" in
+  let store = Store.Registry.open_store ~root () in
+  seed_entries store 30;
+  let flag = Atomic.make false in
+  let server =
+    Domain.spawn (fun () ->
+        Service.Server.serve ~domains:1 ~conn_workers:1
+          ~stop:(fun () -> Atomic.get flag)
+          ~store ~socket_path:socket ())
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      Atomic.set flag true;
+      ignore (Domain.join server);
+      Store.Registry.close store)
+    (fun () -> f store socket)
+
+let check_equivalent leader_store follower_root =
+  let follower = Store.Registry.open_store ~root:follower_root () in
+  Fun.protect
+    ~finally:(fun () -> Store.Registry.close follower)
+    (fun () ->
+      Alcotest.(check string) "state digests agree" (Store.Registry.state_digest leader_store)
+        (Store.Registry.state_digest follower);
+      (* the blob set came across too: every live entry's payload is
+         present and verifies on the follower *)
+      List.iter
+        (fun (e : Store.Artifact.entry) ->
+          match Store.Registry.get follower ~kind:e.Store.Artifact.kind ~key:e.Store.Artifact.key with
+          | Ok (_, e') ->
+              Alcotest.(check string) "same blob" e.Store.Artifact.blob e'.Store.Artifact.blob
+          | Error _ -> Alcotest.failf "entry %s missing or damaged on follower" e.Store.Artifact.key)
+        (Store.Registry.list leader_store))
+
+let test_follower_replay_equivalence () =
+  with_temp_dir (fun dir ->
+      with_leader dir (fun store socket ->
+          let froot = Filename.concat dir "follower" in
+          let f = Shard.Follower.create ~root:froot ~leader:socket () in
+          (match Shard.Follower.sync f with
+          | Ok p ->
+              Alcotest.(check bool) "records shipped" true (p.Shard.Follower.records > 0);
+              Alcotest.(check bool) "blobs fetched" true (p.Shard.Follower.blobs_fetched > 0)
+          | Error e -> Alcotest.fail e);
+          check_equivalent store froot;
+          (* incremental: more writes on the leader, one more sync *)
+          seed_entries store 35;
+          ignore (Store.Registry.delete store ~kind:Store.Artifact.Report ~key:"doc-3");
+          (match Shard.Follower.sync f with
+          | Ok _ -> ()
+          | Error e -> Alcotest.fail e);
+          check_equivalent store froot))
+
+let test_follower_survives_torn_chunks () =
+  with_temp_dir (fun dir ->
+      with_leader dir (fun store socket ->
+          let froot = Filename.concat dir "follower-torn" in
+          (* every chunk is sheared at an arbitrary offset — usually
+             mid-frame; small chunks force many shipping rounds *)
+          let fault = Fault.Inject.make ~seed:11L [ Fault.Spec.Journal_trunc 0.8 ] in
+          let f = Shard.Follower.create ~chunk_bytes:700 ~fault ~root:froot ~leader:socket () in
+          let total = (Store.Registry.stats store).Store.Registry.journal_bytes in
+          let rounds = ref 0 in
+          while Shard.Follower.applied f < total && !rounds < 500 do
+            incr rounds;
+            match Shard.Follower.sync f with
+            | Ok _ -> ()
+            | Error e -> Alcotest.fail e
+          done;
+          Alcotest.(check int) "caught up despite tearing" total (Shard.Follower.applied f);
+          check_equivalent store froot))
+
+(* ---- router failover, zero lost responses ---- *)
+
+let test_router_failover_zero_loss () =
+  with_temp_dir (fun dir ->
+      let events = Engine.Events.create () in
+      let cluster =
+        Shard.Cluster.start ~events ~fsync:false ~domains:1 ~conn_workers:2 ~replicate:[ 0; 1 ]
+          ~dir:(Filename.concat dir "cluster") ~shards:2 ()
+      in
+      let router = Shard.Router.create ~events ~deadline:20.0 (Shard.Cluster.endpoints cluster) in
+      Fun.protect
+        ~finally:(fun () ->
+          Shard.Router.close router;
+          ignore (Shard.Cluster.stop cluster))
+        (fun () ->
+          let keys = List.init 40 (fun i -> Printf.sprintf "artifact-%d" i) in
+          let put k =
+            match
+              Shard.Router.call router ~key:k
+                (Proto.Put_artifact
+                   { kind = Store.Artifact.Report; key = k; label = ""; payload = "body of " ^ k })
+            with
+            | Ok (Proto.Stored _) -> ()
+            | Ok r -> Alcotest.failf "unexpected response to put %s: %s" k (match r with Proto.Error { code; _ } -> code | _ -> "?")
+            | Error e -> Alcotest.fail (Shard.Router.error_to_string e)
+          in
+          let get k =
+            match Shard.Router.call router ~key:k (Proto.Get_artifact { kind = Store.Artifact.Report; key = k }) with
+            | Ok (Proto.Artifact { payload; _ }) ->
+                Alcotest.(check string) "payload survived failover" ("body of " ^ k) payload
+            | Ok (Proto.Error { code; message; _ }) -> Alcotest.failf "lost %s: %s %s" k code message
+            | Ok _ -> Alcotest.failf "unexpected response to get %s" k
+            | Error e -> Alcotest.fail (Shard.Router.error_to_string e)
+          in
+          List.iter put keys;
+          (* replication barrier: wait until every standby is level with
+             its leader, so the kill cannot outrun shipping *)
+          let deadline = Unix.gettimeofday () +. 15.0 in
+          (* every blob under [root]/objects, as paths relative to root *)
+          let blob_set root =
+            let objects = Filename.concat root "objects" in
+            if not (Sys.file_exists objects) then []
+            else
+              Array.to_list (Sys.readdir objects)
+              |> List.concat_map (fun shard ->
+                     let dir = Filename.concat objects shard in
+                     if Sys.is_directory dir then
+                       List.map (fun f -> Filename.concat shard f) (Array.to_list (Sys.readdir dir))
+                     else [])
+          in
+          let replica_level name =
+            (* the leader offers no "is my standby level" probe — compare
+               the follower's persisted offset and mirrored blob set
+               against the leader's files directly *)
+            match (Shard.Cluster.root_of_shard cluster name, Shard.Cluster.replica_root_of cluster name) with
+            | Some lroot, Some rroot -> (
+                let jpath = Filename.concat lroot "journal.pmj" in
+                let opath = Filename.concat rroot "replica.offset" in
+                try
+                  let jsize = (Unix.stat jpath).Unix.st_size in
+                  let ic = open_in opath in
+                  let applied =
+                    Fun.protect
+                      ~finally:(fun () -> close_in_noerr ic)
+                      (fun () -> Option.value ~default:0 (int_of_string_opt (String.trim (input_line ic))))
+                  in
+                  applied >= jsize
+                  && List.for_all
+                       (fun b -> Sys.file_exists (Filename.concat (Filename.concat rroot "objects") b))
+                       (blob_set lroot)
+                with Unix.Unix_error _ | Sys_error _ | End_of_file -> false)
+            | _ -> true
+          in
+          while
+            (not (List.for_all replica_level (Shard.Cluster.shard_names cluster)))
+            && Unix.gettimeofday () < deadline
+          do
+            Unix.sleepf 0.05
+          done;
+          List.iter
+            (fun name ->
+              Alcotest.(check bool) (name ^ " replica caught up") true (replica_level name))
+            (Shard.Cluster.shard_names cluster);
+          (* kill shard-0 mid-batch: reads before, kill, reads after *)
+          let before, after =
+            let rec split i acc = function
+              | [] -> (List.rev acc, [])
+              | rest when i = 0 -> (List.rev acc, rest)
+              | k :: rest -> split (i - 1) (k :: acc) rest
+            in
+            split 15 [] keys
+          in
+          List.iter get before;
+          Shard.Cluster.kill cluster "shard-0";
+          List.iter get after;
+          (* every key must still answer — including shard-0's, now served
+             by its promoted replica *)
+          List.iter get keys;
+          let counters = Engine.Events.counters events in
+          let c name = Option.value ~default:0 (List.assoc_opt name counters) in
+          Alcotest.(check int) "one failover" 1 (c "shards.failovers");
+          Alcotest.(check bool) "shard_down observed" true (c "shards.down" >= 1)))
+
+(* ---- backpressure ---- *)
+
+let test_backpressure_sheds_heavy_requests () =
+  with_temp_dir (fun dir ->
+      let socket = sock_path "shed" in
+      let store = Store.Registry.open_store ~root:(Filename.concat dir "reg") () in
+      let events = Engine.Events.create () in
+      let flag = Atomic.make false in
+      let server =
+        Domain.spawn (fun () ->
+            Service.Server.serve ~events ~domains:1 ~conn_workers:1 ~max_inflight:0
+              ~stop:(fun () -> Atomic.get flag)
+              ~store ~socket_path:socket ())
+      in
+      let stopped =
+        Fun.protect
+          ~finally:(fun () -> Store.Registry.close store)
+          (fun () ->
+            Service.Client.with_client socket (fun c ->
+                (* cheap ops are never shed *)
+                (match Service.Client.call c Proto.Stats with
+                | Proto.Stats_reply _ -> ()
+                | _ -> Alcotest.fail "stats failed under full shed");
+                (* heavy ops bounce with the typed shed error *)
+                for _ = 1 to 3 do
+                  match
+                    Service.Client.call c
+                      (Proto.Recognize
+                         { scheme = "jwm"; source = `Bytes "x"; key = "k"; bits = 64; input = [] })
+                  with
+                  | Proto.Overloaded { limit; _ } -> Alcotest.(check int) "limit echoed" 0 limit
+                  | _ -> Alcotest.fail "expected Overloaded"
+                done);
+            Atomic.set flag true;
+            Domain.join server)
+      in
+      Alcotest.(check int) "shed counted" 3 stopped.Service.Server.shed;
+      let counters = Engine.Events.counters events in
+      Alcotest.(check int) "service.shed counter" 3
+        (Option.value ~default:0 (List.assoc_opt "service.shed" counters)))
+
+(* ---- client typed errors ---- *)
+
+let test_client_unavailable_is_typed () =
+  let missing = Filename.concat (Filename.get_temp_dir_name ()) "pm-no-such-socket.sock" in
+  match Service.Client.connect ~deadline:0.3 missing with
+  | _ -> Alcotest.fail "connect to a missing socket succeeded"
+  | exception Service.Client.Unavailable _ -> ()
+  | exception e -> Alcotest.failf "wrong exception: %s" (Printexc.to_string e)
+
+let suite =
+  [
+    Alcotest.test_case "ring is deterministic and balanced" `Quick test_ring_deterministic_and_fair;
+    Alcotest.test_case "ring removal moves only the victim's keys" `Quick test_ring_removal_moves_only_victims;
+    Alcotest.test_case "follower replay equivalence" `Quick test_follower_replay_equivalence;
+    Alcotest.test_case "follower survives torn chunks" `Quick test_follower_survives_torn_chunks;
+    Alcotest.test_case "router failover loses no responses" `Quick test_router_failover_zero_loss;
+    Alcotest.test_case "backpressure sheds heavy requests" `Quick test_backpressure_sheds_heavy_requests;
+    Alcotest.test_case "client unavailability is typed" `Quick test_client_unavailable_is_typed;
+  ]
