@@ -193,6 +193,20 @@ let run_micro () =
 
 (* ---- batch engine: sequential vs pooled fleet fingerprinting ---- *)
 
+let percentile sorted p =
+  let n = Array.length sorted in
+  sorted.(min (n - 1) (int_of_float (p *. float_of_int n)))
+
+let sample_ms iters f =
+  let samples =
+    Array.init iters (fun _ ->
+        let t0 = Unix.gettimeofday () in
+        ignore (f ());
+        (Unix.gettimeofday () -. t0) *. 1000.)
+  in
+  Array.sort compare samples;
+  samples
+
 let run_batch () =
   let fleet = 8 in
   let domains = 4 in
@@ -237,6 +251,77 @@ let run_batch () =
   Printf.printf "warm re-run (all cached):    %8.1f ms  (cache: %d hits, %d misses)\n%!" warm_ms
     s.Engine.Cache.hits s.Engine.Cache.misses;
   row "warm re-run (all cached):" warm_ms;
+  (* ---- execution backends: interp vs threaded-code compiler ----
+     Trace capture is the recognition hot path, so its p50 ratio is the
+     headline compiled-backend speedup; full recognitions (capture +
+     recombination) and the streaming mode ride along for context. *)
+  Printf.printf "=== execution backends: interp vs compiled (trace capture & recognition) ===\n%!";
+  Gc.compact ();
+  let iters = 7 in
+  let backend_name = function `Interp -> "interp" | `Compiled -> "compiled" in
+  let backend_row ~mode ~workload ~backend samples extra =
+    Printf.printf "%-10s %-10s %-9s p50 %8.1f ms  p99 %8.1f ms%s\n%!" mode workload
+      (backend_name backend) (percentile samples 0.5) (percentile samples 0.99)
+      (match extra with [] -> "" | _ -> "");
+    rows :=
+      ([ ("mode", S mode); ("workload", S workload); ("backend", S (backend_name backend));
+         ("ms_p50", F (percentile samples 0.5)); ("ms_p99", F (percentile samples 0.99)) ]
+      @ extra)
+      :: !rows;
+    percentile samples 0.5
+  in
+  List.iter
+    (fun name ->
+      let wl = Workloads.Spec.find name in
+      let prog = Workloads.Workload.vm_program wl in
+      let input = wl.Workloads.Workload.input in
+      (* each backend's trace-acquisition path exactly as recognition
+         takes it: the interpreter under the capture observer vs the
+         compiled code appending packed events to the flat buffer *)
+      let code = Stackvm.Compile.of_program prog in
+      let trace = function
+        | `Interp ->
+            sample_ms iters (fun () -> Stackvm.Trace.capture ~want_snapshots:false prog ~input)
+        | `Compiled ->
+            sample_ms iters (fun () ->
+                Stackvm.Compile.run ~trace:(Stackvm.Tracebuf.create ~capacity:65536 ()) code ~input)
+      in
+      let interp_p50 = backend_row ~mode:"trace" ~workload:name ~backend:`Interp (trace `Interp) [] in
+      let compiled_p50 =
+        backend_row ~mode:"trace" ~workload:name ~backend:`Compiled (trace `Compiled) []
+      in
+      let speedup = interp_p50 /. compiled_p50 in
+      Printf.printf "%-10s %-10s %9s      %8.2fx\n%!" "trace" name "speedup" speedup;
+      rows :=
+        [ ("mode", S "trace-speedup"); ("workload", S name); ("speedup", F speedup) ] :: !rows;
+      let recog backend =
+        sample_ms iters (fun () ->
+            Jwm.Recognize.recognize ~backend ~passphrase:key ~watermark_bits:64 ~input prog)
+      in
+      ignore (backend_row ~mode:"recognize" ~workload:name ~backend:`Interp (recog `Interp) []);
+      ignore (backend_row ~mode:"recognize" ~workload:name ~backend:`Compiled (recog `Compiled) []);
+      let streaming =
+        sample_ms iters (fun () ->
+            Jwm.Recognize.recognize_streaming ~passphrase:key ~watermark_bits:64 ~input prog)
+      in
+      ignore (backend_row ~mode:"streaming" ~workload:name ~backend:`Compiled streaming []))
+    [ "gzip"; "crafty"; "vpr"; "gap" ];
+  (* a marked program, so streaming's early exit actually fires; the
+     confidence target is set against the embed's 20-piece redundancy
+     margin (≈0.75 at full recovery — the 0.9 default is unreachable) *)
+  let marked = Lazy.force watermarked_vm in
+  let streaming_marked =
+    sample_ms iters (fun () ->
+        Jwm.Recognize.recognize_streaming ~check_every:256 ~confidence_target:0.7 ~passphrase:key
+          ~watermark_bits:64 ~input:host_input marked)
+  in
+  let _, halt =
+    Jwm.Recognize.recognize_streaming ~check_every:256 ~confidence_target:0.7 ~passphrase:key
+      ~watermark_bits:64 ~input:host_input marked
+  in
+  ignore
+    (backend_row ~mode:"streaming" ~workload:"caffeine-marked" ~backend:`Compiled streaming_marked
+       [ ("stopped_early", S (match halt with `Stopped_early -> "yes" | `Completed -> "no")) ]);
   emit_json "batch" (List.rev !rows)
 
 (* ---- analyzer throughput: the stealth linter, sequential vs pooled ---- *)
@@ -444,20 +529,6 @@ let run_store () =
   rm_rf base
 
 (* ---- scheme registry: embed/recognize latency per scheme × workload ---- *)
-
-let percentile sorted p =
-  let n = Array.length sorted in
-  sorted.(min (n - 1) (int_of_float (p *. float_of_int n)))
-
-let sample_ms iters f =
-  let samples =
-    Array.init iters (fun _ ->
-        let t0 = Unix.gettimeofday () in
-        ignore (f ());
-        (Unix.gettimeofday () -. t0) *. 1000.)
-  in
-  Array.sort compare samples;
-  samples
 
 let run_schemes () =
   Printf.printf "=== scheme registry: embed/recognize latency per scheme x workload ===\n%!";

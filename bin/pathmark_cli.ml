@@ -152,6 +152,35 @@ let fault_seed_t =
 
 let plan_of specs fault_seed = Fault.Inject.make ~seed:(Int64.of_int fault_seed) specs
 
+let backend_conv =
+  let parse = function
+    | "interp" -> Ok `Interp
+    | "compiled" -> Ok `Compiled
+    | s -> Error (`Msg (Printf.sprintf "unknown backend %S (expected interp or compiled)" s))
+  in
+  let print fmt b =
+    Format.pp_print_string fmt (match b with `Interp -> "interp" | `Compiled -> "compiled")
+  in
+  Arg.conv (parse, print)
+
+let backend_t =
+  Arg.(
+    value
+    & opt backend_conv `Compiled
+    & info [ "backend" ] ~docv:"interp|compiled"
+        ~doc:
+          "Stack-VM execution backend: the reference interpreter or the threaded-code compiler \
+           (observationally equivalent; compiled is much faster).")
+
+let streaming_t =
+  Arg.(
+    value & flag
+    & info [ "streaming" ]
+        ~doc:
+          "Recognize in streaming mode: branch events fold into the recognizer as the program \
+           runs, and the run stops early once the mark's redundancy margin clears the confidence \
+           target.")
+
 let print_partial (o : Jwm.Recognize.outcome) =
   let p = o.Jwm.Recognize.partial in
   Printf.printf "confidence %.3f (pieces %d, primes %d/%d, redundancy margin %d)\n"
@@ -181,7 +210,7 @@ let embed_vm_cmd =
     (Cmd.info "embed-vm" ~doc:"Compile a MiniC program and embed a bytecode-track watermark.")
     Term.(const embed_vm $ source $ key_t $ mark_t $ bits_t $ pieces $ input_t $ out_t $ seed_t)
 
-let recognize_vm path key bits input inject fault_seed =
+let recognize_vm path key bits input backend streaming inject fault_seed =
   let plan = plan_of inject fault_seed in
   let bytes = read_file path in
   let bytes, artifact_faults =
@@ -193,20 +222,30 @@ let recognize_vm path key bits input inject fault_seed =
       Printf.printf "program undecodable after %d artifact fault(s); nothing recovered\n" artifact_faults;
       exit exit_fault_abort
   | Some prog ->
-      let o = Jwm.Recognize.recognize ~passphrase:key ~watermark_bits:bits ~input prog in
       let o =
-        if Fault.Inject.is_empty plan then o
-        else begin
+        if not (Fault.Inject.is_empty plan) then begin
           (* recognize offline from the fault-injected branch stream *)
-          let trace = Stackvm.Trace.capture ~fuel:200_000_000 ~want_snapshots:false prog ~input in
-          let branches, n =
-            Fault.Inject.branches plan ~salt:"trace" (Array.to_list trace.Stackvm.Trace.branches)
+          let trace =
+            Stackvm.Trace.capture ~fuel:200_000_000 ~want_snapshots:false ~backend prog ~input
           in
+          let noisy, n = Fault.Inject.branches_buf plan ~salt:"trace" trace.Stackvm.Trace.events in
           if artifact_faults > 0 || n > 0 then
             Printf.printf "injected %d artifact fault(s), %d trace fault(s) [%s]\n" artifact_faults n
               (Fault.Inject.describe plan);
-          Jwm.Recognize.recognize_branches ~passphrase:key ~watermark_bits:bits branches
+          Jwm.Recognize.recognize_branches ~passphrase:key ~watermark_bits:bits
+            (Array.to_list (Stackvm.Trace.branches_of_buf noisy))
         end
+        else if streaming then begin
+          let o, halt =
+            Jwm.Recognize.recognize_streaming ~passphrase:key ~watermark_bits:bits ~input prog
+          in
+          (match halt with
+          | `Stopped_early ->
+              Printf.printf "decided early: run stopped after %d steps\n" o.Jwm.Recognize.steps
+          | `Completed -> ());
+          o
+        end
+        else Jwm.Recognize.recognize ~backend ~passphrase:key ~watermark_bits:bits ~input prog
       in
       print_partial o;
       (match o.Jwm.Recognize.value with
@@ -219,11 +258,17 @@ let recognize_vm_cmd =
   let path = Arg.(required & pos 0 (some file) None & info [] ~docv:"PROGRAM" ~doc:"Serialized VM program.") in
   Cmd.v
     (Cmd.info "recognize-vm" ~doc:"Recognize a bytecode-track watermark (blind).")
-    Term.(const recognize_vm $ path $ key_t $ bits_t $ input_t $ inject_t $ fault_seed_t)
+    Term.(
+      const recognize_vm $ path $ key_t $ bits_t $ input_t $ backend_t $ streaming_t $ inject_t
+      $ fault_seed_t)
 
-let run_vm path input =
+let run_vm path input backend =
   let prog = load_vm path in
-  let r = Stackvm.Interp.run prog ~input in
+  let r =
+    match backend with
+    | `Interp -> Stackvm.Interp.run prog ~input
+    | `Compiled -> Stackvm.Compile.run_program prog ~input
+  in
   List.iter (Printf.printf "%d\n") r.Stackvm.Interp.outputs;
   match r.Stackvm.Interp.outcome with
   | Stackvm.Interp.Finished v -> Printf.printf "finished: %d (%d steps)\n" v r.Stackvm.Interp.steps
@@ -236,7 +281,9 @@ let run_vm path input =
 
 let run_vm_cmd =
   let path = Arg.(required & pos 0 (some file) None & info [] ~docv:"PROGRAM" ~doc:"Serialized VM program.") in
-  Cmd.v (Cmd.info "run-vm" ~doc:"Execute a serialized VM program.") Term.(const run_vm $ path $ input_t)
+  Cmd.v
+    (Cmd.info "run-vm" ~doc:"Execute a serialized VM program.")
+    Term.(const run_vm $ path $ input_t $ backend_t)
 
 let attack_vm path name out seed =
   match List.assoc_opt name Vmattacks.Attacks.all with
@@ -387,7 +434,8 @@ let embed_cmd =
       const embed_generic $ source $ scheme_t $ key_t $ mark_t $ bits_t $ redundancy $ input_t $ out_t
       $ aux_out $ seed_t)
 
-let recognize_generic path scheme_name key bits input aux aux_file inject fault_seed =
+let recognize_generic path scheme_name key bits input aux aux_file backend streaming inject
+    fault_seed =
   let (module W) = resolve_scheme scheme_name in
   let plan = plan_of inject fault_seed in
   let bytes = read_file path in
@@ -418,15 +466,32 @@ let recognize_generic path scheme_name key bits input aux aux_file inject fault_
     match (Fault.Inject.is_empty plan, W.recognize_branches, carrier) with
     | false, Some recognize_branches, Scheme.Watermarker.Vm_program prog ->
         (* recognize offline from the fault-injected branch stream *)
-        let trace = Stackvm.Trace.capture ~fuel:200_000_000 ~want_snapshots:false prog ~input in
-        let branches, n =
-          Fault.Inject.branches plan ~salt:"trace" (Array.to_list trace.Stackvm.Trace.branches)
+        let trace =
+          Stackvm.Trace.capture ~fuel:200_000_000 ~want_snapshots:false ~backend prog ~input
         in
+        let noisy, n = Fault.Inject.branches_buf plan ~salt:"trace" trace.Stackvm.Trace.events in
         if artifact_faults > 0 || n > 0 then
           Printf.printf "injected %d artifact fault(s), %d trace fault(s) [%s]\n" artifact_faults n
             (Fault.Inject.describe plan);
-        recognize_branches spec branches
-    | _ -> W.recognize ?aux spec carrier
+        recognize_branches spec (Array.to_list (Stackvm.Trace.branches_of_buf noisy))
+    | _ -> (
+        match (streaming, W.stream, carrier) with
+        | true, Some mk, Scheme.Watermarker.Vm_program prog ->
+            (* push-based recognition over a live compiled run, stopping as
+               soon as the scheme decides *)
+            let s = mk spec in
+            let code = Stackvm.Compile.of_program prog in
+            (match
+               Stackvm.Compile.run_streaming ~fuel:200_000_000 code ~input
+                 ~push:s.Scheme.Watermarker.push
+             with
+            | `Stopped steps -> Printf.printf "decided early: run stopped after %d steps\n" steps
+            | `Completed _ -> ());
+            s.Scheme.Watermarker.finish ()
+        | true, _, _ ->
+            Printf.printf "scheme %s cannot recognize in streaming mode\n" W.name;
+            exit 1
+        | false, _, _ -> W.recognize ?aux spec carrier)
   in
   Printf.printf "confidence %.3f\n" o.Scheme.Watermarker.confidence;
   Printf.printf "detail: %s\n" o.Scheme.Watermarker.detail;
@@ -447,8 +512,8 @@ let recognize_cmd =
   Cmd.v
     (Cmd.info "recognize" ~doc:"Recognize a watermark under a named scheme.")
     Term.(
-      const recognize_generic $ path $ scheme_t $ key_t $ bits_t $ input_t $ aux $ aux_file $ inject_t
-      $ fault_seed_t)
+      const recognize_generic $ path $ scheme_t $ key_t $ bits_t $ input_t $ aux $ aux_file
+      $ backend_t $ streaming_t $ inject_t $ fault_seed_t)
 
 (* ---- native track ---- *)
 
@@ -521,8 +586,8 @@ let builtin_workloads =
   ]
 
 let batch source workload scheme key bits pieces input fingerprints count mark jobs cache_spec
-    events_file out_dir verify retries backoff_ms deadline_ms breaker fuel_escalation inject fault_seed
-    seed quiet =
+    events_file out_dir verify retries backoff_ms deadline_ms breaker fuel_escalation backend inject
+    fault_seed seed quiet =
   ignore (require_vm_scheme scheme);
   let workload_entry = List.assoc_opt workload builtin_workloads in
   let program, default_input, host_name =
@@ -581,7 +646,9 @@ let batch source workload scheme key bits pieces input fingerprints count mark j
     }
   in
   let plan = plan_of inject fault_seed in
-  let run_jobs specs = Engine.Batch.run ~domains:jobs ~policy ~inject:plan ?cache ~events specs in
+  let run_jobs specs =
+    Engine.Batch.run ~domains:jobs ~policy ~inject:plan ?cache ~events ~backend specs
+  in
   Printf.printf "batch: %d embed jobs on %s, %d domain(s), cache %s%s\n%!" (List.length job_specs)
     host_name jobs cache_spec
     (if Fault.Inject.is_empty plan then "" else ", injecting " ^ Fault.Inject.describe plan);
@@ -686,7 +753,7 @@ let batch_cmd =
     Term.(
       const batch $ source $ workload $ scheme_t $ key_t $ bits_t $ pieces $ input_t $ fingerprints
       $ count $ mark_t $ jobs $ cache $ events_file $ out_dir $ verify $ retries $ backoff_ms
-      $ deadline_ms $ breaker $ fuel_escalation $ inject_t $ fault_seed_t $ seed_t $ quiet)
+      $ deadline_ms $ breaker $ fuel_escalation $ backend_t $ inject_t $ fault_seed_t $ seed_t $ quiet)
 
 (* ---- static analysis: the stealth linter ---- *)
 

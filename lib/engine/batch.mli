@@ -94,6 +94,7 @@ val run :
   ?inject:Fault.Inject.plan ->
   ?cache:Cache.t ->
   ?events:Events.t ->
+  ?backend:[ `Interp | `Compiled ] ->
   Job.t list ->
   result list
 (** Execute the jobs; results are in job order.  [domains] defaults to 1
@@ -104,4 +105,10 @@ val run :
     crashes, fuel cuts, corrupted result-cache entries.  Faulted runs
     cache under a digest salted with the plan, so they never poison clean
     results.  No injected fault escapes as an exception: every job still
-    returns a typed outcome. *)
+    returns a typed outcome.
+
+    [backend] (default [`Compiled]) selects the execution engine for
+    recognition trace captures ({!Stackvm.Compile} vs the reference
+    interpreter — observationally equivalent, the compiled path much
+    faster).  Embedding captures always use the interpreter: they need
+    the block-entry variable snapshots only it can observe. *)

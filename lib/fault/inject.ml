@@ -70,6 +70,49 @@ let branches plan ~salt events =
     (out, !applied)
   end
 
+(* The flat-buffer twin of [branches]: same faults, same per-event roll
+   order (drop, then flip, then dup — a dropped event rolls nothing
+   further), same count-based truncation, so for equal [plan], [salt] and
+   events the RNG stream — and therefore the injected trace — is
+   identical (a qcheck property holds the two together).  Events stay
+   packed throughout; flips are a single bit toggle. *)
+let branches_buf plan ~salt (events : Stackvm.Tracebuf.t) =
+  let drop = rate plan (function Spec.Trace_drop r -> Some r | _ -> None) in
+  let dup = rate plan (function Spec.Trace_dup r -> Some r | _ -> None) in
+  let flip = rate plan (function Spec.Trace_flip r -> Some r | _ -> None) in
+  let trunc = rate plan (function Spec.Trace_trunc r -> Some r | _ -> None) in
+  if drop = 0.0 && dup = 0.0 && flip = 0.0 && trunc = 0.0 then (events, 0)
+  else begin
+    let rng = rng_for plan ~salt in
+    let applied = ref 0 in
+    let out = Stackvm.Tracebuf.create ~capacity:(max 16 (Stackvm.Tracebuf.length events)) () in
+    Stackvm.Tracebuf.iter
+      (fun ev ->
+        if roll rng drop then incr applied
+        else begin
+          let ev =
+            if roll rng flip then begin
+              incr applied;
+              Stackvm.Tracebuf.flip ev
+            end
+            else ev
+          in
+          Stackvm.Tracebuf.add_packed out ev;
+          if roll rng dup then begin
+            incr applied;
+            Stackvm.Tracebuf.add_packed out ev
+          end
+        end)
+      events;
+    if trunc > 0.0 then begin
+      let n = Stackvm.Tracebuf.length out in
+      let keep = n - int_of_float (Float.round (float_of_int n *. trunc)) in
+      applied := !applied + (n - max 0 keep);
+      Stackvm.Tracebuf.truncate out (max 0 keep)
+    end;
+    (out, !applied)
+  end
+
 let artifact plan ~salt bytes =
   let byte_r = rate plan (function Spec.Byte_flip r -> Some r | _ -> None) in
   let bit_r = rate plan (function Spec.Bit_flip r -> Some r | _ -> None) in

@@ -36,6 +36,13 @@ val branches :
     that order) to a branch-event stream.  Returns the corrupted stream
     and the number of individual faults applied. *)
 
+val branches_buf :
+  plan -> salt:string -> Stackvm.Tracebuf.t -> Stackvm.Tracebuf.t * int
+(** {!branches} over a packed event buffer — same faults, same RNG
+    stream (equal plan, salt and events corrupt identically on either
+    representation).  Returns the input buffer itself, untouched, when
+    the plan carries no trace fault. *)
+
 val artifact : plan -> salt:string -> string -> string * int
 (** Apply byte/bit flips to serialized artifact bytes. *)
 

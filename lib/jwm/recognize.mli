@@ -32,6 +32,7 @@ type outcome = {
 }
 
 val recognize :
+  ?backend:[ `Interp | `Compiled ] ->
   ?fuel:int ->
   ?strides:int list ->
   passphrase:string ->
@@ -42,7 +43,14 @@ val recognize :
 (** [fuel] defaults to 200 million instructions; a program that traps or
     exhausts fuel still yields whatever trace prefix was collected (an
     attacked program that crashes can destroy the mark — that is a valid
-    experimental outcome, not an exception). *)
+    experimental outcome, not an exception).
+
+    [backend] (default [`Compiled]) selects the execution engine for the
+    recognition run.  [`Compiled] traces through {!Stackvm.Compile} into a
+    flat packed buffer — observationally identical bits, an order of
+    magnitude faster; [`Interp] is the reference interpreter path.  The
+    qcheck backend-equivalence suite holds the two to identical
+    outcomes. *)
 
 val recognize_branches :
   ?strides:int list ->
@@ -63,3 +71,61 @@ val recognizes :
   Stackvm.Program.t ->
   bool
 (** Fingerprint check: recovered value equals [expected]. *)
+
+(** {2 Streaming recognition}
+
+    The push-based mode: branch events are folded, one at a time, through
+    the incremental trace-bit decoder and per-stride rolling cipher-block
+    windows into CRT residue statements, with a periodic recombination
+    probe that declares the mark recovered as soon as its redundancy
+    margin clears the confidence target — so long-running or
+    service-streamed workloads never materialize a trace, and a decided
+    run can stop early. *)
+
+type stream
+
+val stream_start :
+  ?strides:int list ->
+  ?confidence_target:float ->
+  ?check_every:int ->
+  passphrase:string ->
+  watermark_bits:int ->
+  unit ->
+  stream
+(** [strides] defaults to [[1; 2]] (the batch recognizer's).
+    [confidence_target] (default [0.9]) is the {!Codec.Recombine.confidence}
+    a probed recovery must reach to decide; pass a value above [1.0] to
+    never decide early.  [check_every] (default [4096]) is the probe
+    period in events; [0] disables probing entirely, in which case
+    {!stream_finish} is exactly batch recognition over the pushed events
+    (same statements, same order — a qcheck property holds it to that). *)
+
+val stream_push : stream -> int -> bool
+(** Feed one packed branch event ({!Stackvm.Tracebuf.pack}).  Returns
+    [true] once the stream has decided — the caller should stop feeding
+    (further pushes are ignored). *)
+
+val stream_push_event : stream -> fidx:int -> pc:int -> taken:bool -> bool
+(** {!stream_push} over unpacked fields. *)
+
+val stream_decided : stream -> bool
+
+val stream_finish : stream -> outcome
+(** The recognition outcome over everything pushed so far (the decided
+    report if the stream decided, a full recombination otherwise).
+    [steps] is 0 — the stream never ran the program. *)
+
+val recognize_streaming :
+  ?fuel:int ->
+  ?strides:int list ->
+  ?confidence_target:float ->
+  ?check_every:int ->
+  passphrase:string ->
+  watermark_bits:int ->
+  input:int list ->
+  Stackvm.Program.t ->
+  outcome * [ `Completed | `Stopped_early ]
+(** Run the program under {!Stackvm.Compile.run_streaming}, feeding each
+    branch event to a fresh stream; the run halts as soon as the stream
+    decides.  [`Stopped_early] reports that the early exit fired (the
+    outcome's [steps] still counts the instructions actually executed). *)

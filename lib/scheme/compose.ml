@@ -155,5 +155,34 @@ let compose members =
                    ((module W : WATERMARKER), rb spec events))
                  members))
       else None
+
+    (* streamable iff every member is; events fan out eagerly to every
+       member stream (each must see the full prefix), and the composite
+       only decides once all members have *)
+    let stream =
+      if List.for_all (fun (module W : WATERMARKER) -> W.stream <> None) members
+      then
+        Some
+          (fun spec ->
+            let streams =
+              List.map
+                (fun (module W : WATERMARKER) ->
+                  ((module W : WATERMARKER), (Option.get W.stream) spec))
+                members
+            in
+            {
+              push =
+                (fun e ->
+                  List.fold_left
+                    (fun all (_, s) ->
+                      let decided = s.push e in
+                      all && decided)
+                    true streams);
+              finish =
+                (fun () ->
+                  combine spec
+                    (List.map (fun (w, s) -> (w, s.finish ())) streams));
+            })
+      else None
   end in
   (module C : WATERMARKER)

@@ -72,6 +72,10 @@ module M = struct
         of_outcome
           (Gwm.Recognize.recognize_branches ~passphrase:spec.key
              ~watermark_bits:spec.bits events))
+
+  (* graph recognition needs the whole trace to mine edge orderings, so
+     streaming buffers and recognizes at finish *)
+  let stream = Some (buffered_stream (Option.get recognize_branches))
 end
 
 let watermarker = (module M : WATERMARKER)

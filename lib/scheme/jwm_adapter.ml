@@ -78,6 +78,21 @@ module M = struct
         of_outcome
           (Jwm.Recognize.recognize_branches ~passphrase:spec.key
              ~watermark_bits:spec.bits events))
+
+  (* genuinely incremental: events fold straight into the CRT residue
+     accumulators, and [push] answers [true] as soon as the recovered
+     value's redundancy margin clears the confidence target *)
+  let stream =
+    Some
+      (fun (spec : spec) ->
+        let s =
+          Jwm.Recognize.stream_start ~passphrase:spec.key
+            ~watermark_bits:spec.bits ()
+        in
+        {
+          push = (fun e -> Jwm.Recognize.stream_push s e);
+          finish = (fun () -> of_outcome (Jwm.Recognize.stream_finish s));
+        })
 end
 
 let watermarker = (module M : WATERMARKER)

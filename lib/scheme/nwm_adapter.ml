@@ -79,6 +79,7 @@ module M = struct
     | _ -> invalid_arg "scheme nwm: requires a native binary carrier"
 
   let recognize_branches = None
+  let stream = None
 end
 
 let watermarker = (module M : WATERMARKER)

@@ -81,6 +81,18 @@ type recovered = {
   detail : string;  (** human-readable one-line recognition summary *)
 }
 
+type stream = {
+  push : int -> bool;
+      (** feed one packed branch event ({!Stackvm.Tracebuf.pack}); [true]
+          once the scheme is confident — the caller may stop the run *)
+  finish : unit -> recovered;
+      (** the recognition result over everything pushed so far *)
+}
+(** A push-based recognition session: branch events stream in as the
+    program runs, the scheme folds them incrementally, and a [true] from
+    [push] is the early-exit signal (the streamed run never materializes a
+    trace). *)
+
 module type WATERMARKER = sig
   val name : string
   val caps : caps
@@ -101,7 +113,19 @@ module type WATERMARKER = sig
   (** Offline recognition over an already-captured (possibly fault-injected)
       branch trace; [None] for schemes that cannot recognize from a bare
       branch stream (native track). *)
+
+  val stream : (spec -> stream) option
+  (** Streaming recognition, when the scheme supports being fed branch
+      events one at a time; [None] for native-track schemes.  Schemes
+      without a truly incremental recognizer may provide a
+      {!buffered_stream} (which never decides early). *)
 end
+
+val buffered_stream :
+  (spec -> Stackvm.Trace.branch_event list -> recovered) -> spec -> stream
+(** Adapt an offline branch recognizer into a stream that buffers packed
+    events flat and recognizes at [finish] ([push] always answers
+    [false]). *)
 
 val default_seed : int64
 val default_redundancy : int

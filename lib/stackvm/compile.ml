@@ -1,0 +1,554 @@
+(* The compiled execution backend: threaded code over OCaml closures.
+
+   [of_program] translates every instruction of every function, once, into
+   a closure of type [st -> unit] that reads its operands off a flat
+   preallocated [int array] operand stack (explicit stack pointer, one
+   frame base per call for exact underflow semantics), mutates the packed
+   machine state, and stores the next pc.  Everything resolvable at
+   translation time is resolved there: call targets become function
+   indices, binops and comparisons become specialized closures, local and
+   global slot bounds are checked once, branch events are pre-packed ints,
+   fall-through pcs are precomputed.
+
+   Dispatch is threaded, not looped: every op ends by replaying the
+   interpreter's loop head inline — fuel gate, step count, fetch — and
+   tail-calling the next op.  Distributing the dispatch over the op
+   bodies gives the branch predictor one indirect-jump site per opcode
+   instead of a single mega-morphic site in a central loop, which is
+   worth ~20% on branchy workloads.  Ops return normally only when the
+   fuel gate closes; everything else leaves by exception.
+
+   The contract (checked by the qcheck equivalence suite) is observational
+   equivalence with {!Interp.run}: same outcome (including trap reasons
+   and trap positions), same outputs, same step count, and the same
+   branch-event sequence — on every program, including ones that trap or
+   run out of fuel.  What the compiled backend does not support is the
+   block-entry observer (snapshots); embedding still uses the
+   interpreter, recognition uses this. *)
+
+type sink = No_trace | Buffer of Tracebuf.t | Stream of (int -> bool)
+
+type st = {
+  mutable stack : int array;  (* flat operand stack, all frames *)
+  mutable sp : int;
+  mutable obase : int;  (* current frame's stack floor *)
+  mutable locals : int array;  (* flat locals, all frames *)
+  mutable lbase : int;
+  mutable ltop : int;
+  mutable frames : int array;  (* suspended callers: fidx, ret pc, obase, lbase *)
+  mutable fp : int;
+  mutable globals : int array;
+  mutable heap : int array array;
+  mutable heap_len : int;
+  inputs : int array;
+  mutable input_pos : int;
+  mutable outputs : int list;
+  mutable steps : int;
+  mutable fuel : int;
+  mutable fidx : int;
+  mutable pc : int;
+  mutable ops : op array;
+  sink : sink;
+}
+
+and op = st -> unit
+
+type code = {
+  ops_table : op array array;
+  main_idx : int;
+  main_nlocals : int;
+  nglobals : int;
+}
+
+exception Trap of string
+
+exception Finish of int
+
+exception Stream_stop
+
+(* Raised by a jump whose static target lies outside [0, nops]: the jump
+   itself succeeds (its step is already counted), and the driver then
+   replays the interpreter's next loop head — fuel gate, step, "pc out of
+   range" — against the bad pc.  In-range pcs never pay for this: ops
+   index the ops array unchecked, with index [nops] holding a sentinel
+   trap op to catch fall-through past the last instruction. *)
+exception Bad_pc
+
+let grow_stack st =
+  let grown = Array.make (2 * Array.length st.stack) 0 in
+  Array.blit st.stack 0 grown 0 st.sp;
+  st.stack <- grown
+
+let[@inline] push st v =
+  if st.sp >= Array.length st.stack then grow_stack st;
+  Array.unsafe_set st.stack st.sp v;
+  st.sp <- st.sp + 1
+
+let grow_locals st need =
+  let grown = Array.make (max need (2 * Array.length st.locals)) 0 in
+  Array.blit st.locals 0 grown 0 st.ltop;
+  st.locals <- grown
+
+let grow_frames st =
+  let grown = Array.make (2 * Array.length st.frames) 0 in
+  Array.blit st.frames 0 grown 0 st.fp;
+  st.frames <- grown
+
+let alloc st len =
+  if len < 0 then raise (Trap "negative array length");
+  if st.heap_len >= Array.length st.heap then begin
+    let grown = Array.make (max 8 (2 * Array.length st.heap)) [||] in
+    Array.blit st.heap 0 grown 0 st.heap_len;
+    st.heap <- grown
+  end;
+  st.heap.(st.heap_len) <- Array.make len 0;
+  st.heap_len <- st.heap_len + 1;
+  st.heap_len - 1
+
+let[@inline] deref st h =
+  if h < 0 || h >= st.heap_len then raise (Trap "bad array handle");
+  Array.unsafe_get st.heap h
+
+(* locals and globals slots are static, so their bounds are checked at
+   translation time; an out-of-range slot compiles to the exact exception
+   the interpreter's array access would have raised at run time *)
+let oob : op = fun _st -> raise (Invalid_argument "index out of bounds")
+
+(* the sentinel at ops.(len): dispatched exactly when execution falls
+   through past the last instruction, with st.pc already holding the
+   out-of-range pc the trap must report *)
+let past_end : op = fun _st -> raise (Trap "pc out of range")
+
+let compile_func (resolved : Resolve.t) (funcs : Program.func array) ops_table fidx
+    (f : Program.func) : op array =
+  let nlocals = f.Program.nlocals in
+  let len = Array.length f.Program.code in
+  Array.init (len + 1) (fun pc ->
+      if pc = len then past_end
+      else
+      let instr = f.Program.code.(pc) in
+      let next = pc + 1 in
+      let binop impl : op =
+       fun st ->
+        if st.sp - 2 < st.obase then raise (Trap "operand stack underflow");
+        let sp1 = st.sp - 1 in
+        let b = Array.unsafe_get st.stack sp1 in
+        let a = Array.unsafe_get st.stack (sp1 - 1) in
+        Array.unsafe_set st.stack (sp1 - 1) (impl a b);
+        st.sp <- sp1;
+        st.pc <- next;
+        if st.steps < st.fuel then begin
+          st.steps <- st.steps + 1;
+          (Array.unsafe_get st.ops next) st
+        end
+      in
+      let unop impl : op =
+       fun st ->
+        if st.sp <= st.obase then raise (Trap "operand stack underflow");
+        let sp1 = st.sp - 1 in
+        Array.unsafe_set st.stack sp1 (impl (Array.unsafe_get st.stack sp1));
+        st.pc <- next;
+        if st.steps < st.fuel then begin
+          st.steps <- st.steps + 1;
+          (Array.unsafe_get st.ops next) st
+        end
+      in
+      match (instr : Instr.t) with
+      | Instr.Const n ->
+          fun st ->
+            push st n;
+            st.pc <- next;
+            if st.steps < st.fuel then begin
+              st.steps <- st.steps + 1;
+              (Array.unsafe_get st.ops next) st
+            end
+      | Instr.Load slot ->
+          if slot < 0 || slot >= nlocals then oob
+          else
+            fun st ->
+              push st (Array.unsafe_get st.locals (st.lbase + slot));
+              st.pc <- next;
+              if st.steps < st.fuel then begin
+                st.steps <- st.steps + 1;
+                (Array.unsafe_get st.ops next) st
+              end
+      | Instr.Store slot ->
+          if slot < 0 || slot >= nlocals then fun st ->
+            if st.sp <= st.obase then raise (Trap "operand stack underflow")
+            else raise (Invalid_argument "index out of bounds")
+          else
+            fun st ->
+              if st.sp <= st.obase then raise (Trap "operand stack underflow");
+              st.sp <- st.sp - 1;
+              Array.unsafe_set st.locals (st.lbase + slot) (Array.unsafe_get st.stack st.sp);
+              st.pc <- next;
+              if st.steps < st.fuel then begin
+                st.steps <- st.steps + 1;
+                (Array.unsafe_get st.ops next) st
+              end
+      | Instr.Get_global g ->
+          fun st ->
+            push st st.globals.(g);
+            st.pc <- next;
+            if st.steps < st.fuel then begin
+              st.steps <- st.steps + 1;
+              (Array.unsafe_get st.ops next) st
+            end
+      | Instr.Set_global g ->
+          fun st ->
+            if st.sp <= st.obase then raise (Trap "operand stack underflow");
+            st.sp <- st.sp - 1;
+            st.globals.(g) <- Array.unsafe_get st.stack st.sp;
+            st.pc <- next;
+            if st.steps < st.fuel then begin
+              st.steps <- st.steps + 1;
+              (Array.unsafe_get st.ops next) st
+            end
+      | Instr.Binop op -> (
+          match op with
+          | Instr.Add -> binop ( + )
+          | Instr.Sub -> binop ( - )
+          | Instr.Mul -> binop ( * )
+          | Instr.And -> binop ( land )
+          | Instr.Or -> binop ( lor )
+          | Instr.Xor -> binop ( lxor )
+          | Instr.Shl -> binop Interp.checked_shift_left
+          | Instr.Shr -> binop Interp.checked_shift_right
+          | Instr.Div ->
+              binop (fun a b -> if b = 0 then raise (Trap "division by zero") else a / b)
+          | Instr.Rem ->
+              binop (fun a b -> if b = 0 then raise (Trap "remainder by zero") else a mod b))
+      | Instr.Neg -> unop (fun v -> -v)
+      | Instr.Not -> unop (fun v -> if v = 0 then 1 else 0)
+      | Instr.Cmp c -> (
+          match c with
+          | Instr.Eq -> binop (fun a b -> if a = b then 1 else 0)
+          | Instr.Ne -> binop (fun a b -> if a <> b then 1 else 0)
+          | Instr.Lt -> binop (fun a b -> if a < b then 1 else 0)
+          | Instr.Le -> binop (fun a b -> if a <= b then 1 else 0)
+          | Instr.Gt -> binop (fun a b -> if a > b then 1 else 0)
+          | Instr.Ge -> binop (fun a b -> if a >= b then 1 else 0))
+      | Instr.Dup ->
+          fun st ->
+            if st.sp <= st.obase then raise (Trap "operand stack underflow");
+            push st (Array.unsafe_get st.stack (st.sp - 1));
+            st.pc <- next;
+            if st.steps < st.fuel then begin
+              st.steps <- st.steps + 1;
+              (Array.unsafe_get st.ops next) st
+            end
+      | Instr.Pop ->
+          fun st ->
+            if st.sp <= st.obase then raise (Trap "operand stack underflow");
+            st.sp <- st.sp - 1;
+            st.pc <- next;
+            if st.steps < st.fuel then begin
+              st.steps <- st.steps + 1;
+              (Array.unsafe_get st.ops next) st
+            end
+      | Instr.Swap ->
+          fun st ->
+            if st.sp - 2 < st.obase then raise (Trap "operand stack underflow");
+            let sp1 = st.sp - 1 in
+            let b = Array.unsafe_get st.stack sp1 in
+            Array.unsafe_set st.stack sp1 (Array.unsafe_get st.stack (sp1 - 1));
+            Array.unsafe_set st.stack (sp1 - 1) b;
+            st.pc <- next;
+            if st.steps < st.fuel then begin
+              st.steps <- st.steps + 1;
+              (Array.unsafe_get st.ops next) st
+            end
+      | Instr.New_array ->
+          fun st ->
+            if st.sp <= st.obase then raise (Trap "operand stack underflow");
+            let sp1 = st.sp - 1 in
+            let h = alloc st (Array.unsafe_get st.stack sp1) in
+            Array.unsafe_set st.stack sp1 h;
+            st.pc <- next;
+            if st.steps < st.fuel then begin
+              st.steps <- st.steps + 1;
+              (Array.unsafe_get st.ops next) st
+            end
+      | Instr.Array_load ->
+          fun st ->
+            if st.sp - 2 < st.obase then raise (Trap "operand stack underflow");
+            let sp1 = st.sp - 1 in
+            let idx = Array.unsafe_get st.stack sp1 in
+            let arr = deref st (Array.unsafe_get st.stack (sp1 - 1)) in
+            if idx < 0 || idx >= Array.length arr then raise (Trap "array index out of bounds");
+            Array.unsafe_set st.stack (sp1 - 1) (Array.unsafe_get arr idx);
+            st.sp <- sp1;
+            st.pc <- next;
+            if st.steps < st.fuel then begin
+              st.steps <- st.steps + 1;
+              (Array.unsafe_get st.ops next) st
+            end
+      | Instr.Array_store ->
+          fun st ->
+            if st.sp - 3 < st.obase then raise (Trap "operand stack underflow");
+            let sp1 = st.sp - 1 in
+            let v = Array.unsafe_get st.stack sp1 in
+            let idx = Array.unsafe_get st.stack (sp1 - 1) in
+            let arr = deref st (Array.unsafe_get st.stack (sp1 - 2)) in
+            if idx < 0 || idx >= Array.length arr then raise (Trap "array index out of bounds");
+            Array.unsafe_set arr idx v;
+            st.sp <- sp1 - 2;
+            st.pc <- next;
+            if st.steps < st.fuel then begin
+              st.steps <- st.steps + 1;
+              (Array.unsafe_get st.ops next) st
+            end
+      | Instr.Array_len ->
+          fun st ->
+            if st.sp <= st.obase then raise (Trap "operand stack underflow");
+            let sp1 = st.sp - 1 in
+            Array.unsafe_set st.stack sp1
+              (Array.length (deref st (Array.unsafe_get st.stack sp1)));
+            st.pc <- next;
+            if st.steps < st.fuel then begin
+              st.steps <- st.steps + 1;
+              (Array.unsafe_get st.ops next) st
+            end
+      | Instr.Jump target ->
+          if target < 0 || target > len then fun st ->
+            st.pc <- target;
+            raise Bad_pc
+          else fun st ->
+            st.pc <- target;
+            if st.steps < st.fuel then begin
+              st.steps <- st.steps + 1;
+              (Array.unsafe_get st.ops target) st
+            end
+      | Instr.If { sense; target } ->
+          let packed_t = Tracebuf.pack ~fidx ~pc ~taken:true in
+          let packed_f = Tracebuf.pack ~fidx ~pc ~taken:false in
+          let target_bad = target < 0 || target > len in
+          fun st ->
+            if st.sp <= st.obase then raise (Trap "operand stack underflow");
+            st.sp <- st.sp - 1;
+            let v = Array.unsafe_get st.stack st.sp in
+            let taken = (v <> 0) = sense in
+            (match st.sink with
+            | No_trace -> ()
+            | Buffer b -> Tracebuf.add_packed b (if taken then packed_t else packed_f)
+            | Stream push -> if push (if taken then packed_t else packed_f) then raise Stream_stop);
+            if taken && target_bad then begin
+              st.pc <- target;
+              raise Bad_pc
+            end
+            else begin
+              let dest = if taken then target else next in
+              st.pc <- dest;
+              if st.steps < st.fuel then begin
+                st.steps <- st.steps + 1;
+                (Array.unsafe_get st.ops dest) st
+              end
+            end
+      | Instr.Call callee -> (
+          match Hashtbl.find_opt resolved.Resolve.fidx_of callee with
+          | None ->
+              let msg = "unknown function " ^ callee in
+              fun _st -> raise (Trap msg)
+          | Some cidx ->
+              let cf = funcs.(cidx) in
+              let cnargs = cf.Program.nargs and cnlocals = cf.Program.nlocals in
+              fun st ->
+                let abase = st.sp - cnargs in
+                if abase < st.obase then raise (Trap "operand stack underflow");
+                let fp = st.fp in
+                if fp + 4 > Array.length st.frames then grow_frames st;
+                let frames = st.frames in
+                Array.unsafe_set frames fp st.fidx;
+                Array.unsafe_set frames (fp + 1) next;
+                Array.unsafe_set frames (fp + 2) st.obase;
+                Array.unsafe_set frames (fp + 3) st.lbase;
+                st.fp <- fp + 4;
+                let lbase = st.ltop in
+                let ltop = lbase + cnlocals in
+                if ltop > Array.length st.locals then grow_locals st ltop;
+                let locals = st.locals in
+                Array.fill locals lbase cnlocals 0;
+                let stack = st.stack in
+                for i = 0 to cnargs - 1 do
+                  Array.unsafe_set locals (lbase + i) (Array.unsafe_get stack (abase + i))
+                done;
+                st.sp <- abase;
+                st.obase <- abase;
+                st.lbase <- lbase;
+                st.ltop <- ltop;
+                st.fidx <- cidx;
+                let cops = Array.unsafe_get ops_table cidx in
+                st.ops <- cops;
+                st.pc <- 0;
+                if st.steps < st.fuel then begin
+                  st.steps <- st.steps + 1;
+                  (Array.unsafe_get cops 0) st
+                end)
+      | Instr.Ret ->
+          fun st ->
+            if st.sp <= st.obase then raise (Trap "operand stack underflow");
+            st.sp <- st.sp - 1;
+            let v = Array.unsafe_get st.stack st.sp in
+            if st.fp = 0 then raise (Finish v)
+            else begin
+              let fp = st.fp - 4 in
+              st.fp <- fp;
+              let frames = st.frames in
+              let rfidx = Array.unsafe_get frames fp in
+              let rpc = Array.unsafe_get frames (fp + 1) in
+              st.ltop <- st.lbase;
+              st.lbase <- Array.unsafe_get frames (fp + 3);
+              st.obase <- Array.unsafe_get frames (fp + 2);
+              st.fidx <- rfidx;
+              let rops = Array.unsafe_get ops_table rfidx in
+              st.ops <- rops;
+              st.pc <- rpc;
+              push st v;
+              if st.steps < st.fuel then begin
+                st.steps <- st.steps + 1;
+                (* rpc is the caller's fall-through pc, at most the
+                   caller's code length — a valid index (sentinel at len) *)
+                (Array.unsafe_get rops rpc) st
+              end
+            end
+      | Instr.Print ->
+          fun st ->
+            if st.sp <= st.obase then raise (Trap "operand stack underflow");
+            st.sp <- st.sp - 1;
+            st.outputs <- Array.unsafe_get st.stack st.sp :: st.outputs;
+            st.pc <- next;
+            if st.steps < st.fuel then begin
+              st.steps <- st.steps + 1;
+              (Array.unsafe_get st.ops next) st
+            end
+      | Instr.Read ->
+          fun st ->
+            if st.input_pos >= Array.length st.inputs then raise (Trap "input exhausted");
+            push st (Array.unsafe_get st.inputs st.input_pos);
+            st.input_pos <- st.input_pos + 1;
+            st.pc <- next;
+            if st.steps < st.fuel then begin
+              st.steps <- st.steps + 1;
+              (Array.unsafe_get st.ops next) st
+            end
+      | Instr.Nop ->
+          fun st ->
+            st.pc <- next;
+            if st.steps < st.fuel then begin
+              st.steps <- st.steps + 1;
+              (Array.unsafe_get st.ops next) st
+            end)
+
+let build (prog : Program.t) =
+  let resolved = Resolve.of_program prog in
+  let main_idx =
+    match resolved.Resolve.main_idx with
+    | Some i -> i
+    | None -> invalid_arg "Compile.of_program: main function missing"
+  in
+  let ops_table = Array.make (Array.length prog.funcs) [||] in
+  Array.iteri
+    (fun fidx f -> ops_table.(fidx) <- compile_func resolved prog.funcs ops_table fidx f)
+    prog.funcs;
+  {
+    ops_table;
+    main_idx;
+    main_nlocals = prog.funcs.(main_idx).Program.nlocals;
+    nglobals = prog.nglobals;
+  }
+
+module Cache = Ephemeron.K1.Make (struct
+  type t = Program.t
+
+  let equal = ( == )
+
+  let hash = Hashtbl.hash
+end)
+
+let cache = Cache.create 64
+
+let lock = Mutex.create ()
+
+let of_program prog =
+  Mutex.lock lock;
+  match Cache.find_opt cache prog with
+  | Some code ->
+      Mutex.unlock lock;
+      code
+  | None ->
+      let code =
+        match build prog with
+        | code -> code
+        | exception e ->
+            Mutex.unlock lock;
+            raise e
+      in
+      Cache.add cache prog code;
+      Mutex.unlock lock;
+      code
+
+let make_state code ~sink ~input =
+  {
+    stack = Array.make 256 0;
+    sp = 0;
+    obase = 0;
+    locals = Array.make (max 256 code.main_nlocals) 0;
+    lbase = 0;
+    ltop = code.main_nlocals;
+    frames = Array.make 64 0;
+    fp = 0;
+    globals = Array.make code.nglobals 0;
+    heap = [||];
+    heap_len = 0;
+    inputs = Array.of_list input;
+    input_pos = 0;
+    outputs = [];
+    steps = 0;
+    fuel = max_int;
+    fidx = code.main_idx;
+    pc = 0;
+    ops = code.ops_table.(code.main_idx);
+    sink;
+  }
+
+(* the driver: one loop head — fuel gate, step, dispatch — in the exact
+   accounting order of Interp.run; from there the ops thread themselves.
+   The only normal return from the op chain is the fuel gate closing
+   (every op ends with it), so a normal return IS Out_of_fuel; Finish,
+   Trap and Bad_pc leave by exception, with no intervening stack frames
+   because every dispatch is a tail call. *)
+let exec st ~fuel =
+  st.fuel <- fuel;
+  let outcome =
+    try
+      if st.steps >= fuel then Interp.Out_of_fuel
+      else begin
+        st.steps <- st.steps + 1;
+        (Array.unsafe_get st.ops st.pc) st;
+        Interp.Out_of_fuel
+      end
+    with
+    | Finish v -> Interp.Finished v
+    | Trap reason -> Interp.Trapped { fidx = st.fidx; pc = st.pc; reason }
+    | Bad_pc ->
+        (* the jump's own step is already counted; replay the next loop
+           head against the out-of-range pc *)
+        if st.steps >= fuel then Interp.Out_of_fuel
+        else begin
+          st.steps <- st.steps + 1;
+          Interp.Trapped { fidx = st.fidx; pc = st.pc; reason = "pc out of range" }
+        end
+  in
+  { Interp.outcome; outputs = List.rev st.outputs; steps = st.steps }
+
+let run ?trace ?(fuel = max_int) code ~input =
+  let sink = match trace with None -> No_trace | Some buf -> Buffer buf in
+  exec (make_state code ~sink ~input) ~fuel
+
+let run_streaming ?(fuel = max_int) code ~input ~push =
+  let st = make_state code ~sink:(Stream push) ~input in
+  match exec st ~fuel with
+  | result -> `Completed result
+  | exception Stream_stop -> `Stopped st.steps
+
+let run_program ?trace ?fuel prog ~input = run ?trace ?fuel (of_program prog) ~input

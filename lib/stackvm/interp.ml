@@ -47,9 +47,9 @@ let eval_cmp c a b =
   if holds then 1 else 0
 
 let run ?(observer = null_observer) ?(fuel = max_int) (prog : Program.t) ~input =
-  let fidx_of = Hashtbl.create 16 in
-  Array.iteri (fun i (f : Program.func) -> Hashtbl.replace fidx_of f.Program.name i) prog.funcs;
-  let starts = Array.map Program.block_starts prog.funcs in
+  let resolved = Resolve.of_program prog in
+  let fidx_of = resolved.Resolve.fidx_of in
+  let starts = resolved.Resolve.starts in
   let globals = Array.make prog.nglobals 0 in
   let heap = ref [||] in
   let heap_len = ref 0 in
@@ -73,7 +73,7 @@ let run ?(observer = null_observer) ?(fuel = max_int) (prog : Program.t) ~input 
   let outputs = ref [] in
   let steps = ref 0 in
   let main_idx =
-    match Program.func_index prog prog.main with
+    match resolved.Resolve.main_idx with
     | Some i -> i
     | None -> invalid_arg "Interp.run: main function missing"
   in

@@ -36,3 +36,11 @@ val run : ?observer:observer -> ?fuel:int -> Program.t -> input:int list -> resu
 val equivalent_on : ?fuel:int -> Program.t -> Program.t -> inputs:int list list -> bool
 (** Semantics-preservation check used by the attack tests: both programs
     produce identical outputs and outcome on every given input. *)
+
+val checked_shift_left : int -> int -> int
+(** [Shl] semantics (shift count masked to 6 bits, >= 63 yields 0) —
+    shared with the compiled backend so the two cannot drift. *)
+
+val checked_shift_right : int -> int -> int
+(** [Shr] semantics (arithmetic, >= 63 yields the sign), shared
+    likewise. *)

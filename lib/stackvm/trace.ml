@@ -4,6 +4,7 @@ type snapshot = { locals : int array; globals : int array }
 
 type t = {
   branches : branch_event array;
+  events : Tracebuf.t;
   visits : (int * int, snapshot list) Hashtbl.t;
   block_counts : (int * int, int) Hashtbl.t;
   result : Interp.result;
@@ -11,43 +12,88 @@ type t = {
 
 let max_snapshots_per_block = 8
 
-let capture ?fuel ?(want_snapshots = true) prog ~input =
-  let branches = ref [] in
-  let visits = Hashtbl.create 256 in
-  let block_counts = Hashtbl.create 256 in
-  let observer =
+let branches_of_buf buf =
+  Array.init (Tracebuf.length buf) (fun i ->
+      let e = Tracebuf.get buf i in
+      { fidx = Tracebuf.fidx e; pc = Tracebuf.pc e; taken = Tracebuf.taken e })
+
+let buf_of_branches events =
+  let buf = Tracebuf.create ~capacity:(max 1 (List.length events)) () in
+  List.iter (fun { fidx; pc; taken } -> Tracebuf.add buf ~fidx ~pc ~taken) events;
+  buf
+
+let capture ?fuel ?(want_snapshots = true) ?(backend = `Interp) prog ~input =
+  (* sized for real traces up front — repeated doubling from a small
+     capacity would rival the traced run itself in cost *)
+  let events = Tracebuf.create ~capacity:65536 () in
+  let use_compiled = backend = `Compiled && not want_snapshots in
+  if use_compiled then begin
+    let result = Compile.run_program ~trace:events ?fuel prog ~input in
     {
-      Interp.on_block =
-        (fun ~fidx ~pc ~locals ~globals ->
-          let key = (fidx, pc) in
-          let count = Option.value ~default:0 (Hashtbl.find_opt block_counts key) in
-          Hashtbl.replace block_counts key (count + 1);
-          if want_snapshots && count < max_snapshots_per_block then begin
-            let snap = { locals = Array.copy locals; globals = Array.copy globals } in
-            let prev = Option.value ~default:[] (Hashtbl.find_opt visits key) in
-            Hashtbl.replace visits key (prev @ [ snap ])
-          end);
-      Interp.on_branch = (fun ~fidx ~pc ~taken -> branches := { fidx; pc; taken } :: !branches);
+      branches = branches_of_buf events;
+      events;
+      visits = Hashtbl.create 1;
+      block_counts = Hashtbl.create 1;
+      result;
     }
-  in
-  let result = Interp.run ~observer ?fuel prog ~input in
-  { branches = Array.of_list (List.rev !branches); visits; block_counts; result }
+  end
+  else begin
+    let visits = Hashtbl.create 256 in
+    let block_counts = Hashtbl.create 256 in
+    let observer =
+      {
+        Interp.on_block =
+          (fun ~fidx ~pc ~locals ~globals ->
+            let key = (fidx, pc) in
+            let count = Option.value ~default:0 (Hashtbl.find_opt block_counts key) in
+            Hashtbl.replace block_counts key (count + 1);
+            if want_snapshots && count < max_snapshots_per_block then begin
+              let snap = { locals = Array.copy locals; globals = Array.copy globals } in
+              let prev = Option.value ~default:[] (Hashtbl.find_opt visits key) in
+              Hashtbl.replace visits key (prev @ [ snap ])
+            end);
+        Interp.on_branch = (fun ~fidx ~pc ~taken -> Tracebuf.add events ~fidx ~pc ~taken);
+      }
+    in
+    let result = Interp.run ~observer ?fuel prog ~input in
+    { branches = branches_of_buf events; events; visits; block_counts; result }
+  end
+
+(* Incremental trace-bit decoder: the first dynamic occurrence of a branch
+   site fixes its reference direction (bit 0); later occurrences decode to
+   whether they deviate.  Keyed by the packed site int, so pushing an
+   event costs one int-keyed Hashtbl probe and nothing else. *)
+module Decoder = struct
+  type t = { first : (int, bool) Hashtbl.t }
+
+  let create () = { first = Hashtbl.create 64 }
+
+  let push d packed =
+    let site = Tracebuf.site packed in
+    let taken = Tracebuf.taken packed in
+    match Hashtbl.find_opt d.first site with
+    | None ->
+        Hashtbl.add d.first site taken;
+        false
+    | Some reference -> taken <> reference
+end
+
+let bits_of_buf buf =
+  let d = Decoder.create () in
+  let bits = Util.Bitstring.create () in
+  Tracebuf.iter (fun e -> Util.Bitstring.append bits (Decoder.push d e)) buf;
+  bits
 
 let bits_of_branches events =
-  let first = Hashtbl.create 64 in
+  let d = Decoder.create () in
   let bits = Util.Bitstring.create () in
   List.iter
     (fun { fidx; pc; taken } ->
-      let key = (fidx, pc) in
-      match Hashtbl.find_opt first key with
-      | None ->
-          Hashtbl.add first key taken;
-          Util.Bitstring.append bits false
-      | Some reference -> Util.Bitstring.append bits (taken <> reference))
+      Util.Bitstring.append bits (Decoder.push d (Tracebuf.pack ~fidx ~pc ~taken)))
     events;
   bits
 
-let bitstring t = bits_of_branches (Array.to_list t.branches)
+let bitstring t = bits_of_buf t.events
 
 let visit_count t key = Option.value ~default:0 (Hashtbl.find_opt t.block_counts key)
 
@@ -55,27 +101,29 @@ let hot_blocks t =
   let entries = Hashtbl.fold (fun key count acc -> (key, count) :: acc) t.block_counts [] in
   List.sort (fun (_, c1) (_, c2) -> Stdlib.compare c2 c1) entries
 
-let save t =
-  let buf = Buffer.create (16 * Array.length t.branches) in
-  Buffer.add_string buf "TRC1";
+let save_events buf =
+  let buf_out = Buffer.create (16 * Tracebuf.length buf) in
+  Buffer.add_string buf_out "TRC1";
   let varint v =
     let rec go v =
-      if v < 0x80 then Buffer.add_char buf (Char.chr v)
+      if v < 0x80 then Buffer.add_char buf_out (Char.chr v)
       else begin
-        Buffer.add_char buf (Char.chr (0x80 lor (v land 0x7F)));
+        Buffer.add_char buf_out (Char.chr (0x80 lor (v land 0x7F)));
         go (v lsr 7)
       end
     in
     go v
   in
-  varint (Array.length t.branches);
-  Array.iter
-    (fun { fidx; pc; taken } ->
-      varint fidx;
-      varint pc;
-      varint (if taken then 1 else 0))
-    t.branches;
-  Buffer.contents buf
+  varint (Tracebuf.length buf);
+  Tracebuf.iter
+    (fun e ->
+      varint (Tracebuf.fidx e);
+      varint (Tracebuf.pc e);
+      varint (if Tracebuf.taken e then 1 else 0))
+    buf;
+  Buffer.contents buf_out
+
+let save t = save_events t.events
 
 exception Malformed of string
 

@@ -19,6 +19,9 @@ type snapshot = { locals : int array; globals : int array }
 
 type t = {
   branches : branch_event array;  (** every conditional branch, in order *)
+  events : Tracebuf.t;
+      (** the same events, packed — the flat buffer they were captured
+          into; decode and persistence paths read this, not the array *)
   visits : (int * int, snapshot list) Hashtbl.t;
       (** per block [(fidx, leader_pc)], the snapshots of its first visits
           in visit order (capped at {!max_snapshots_per_block}) *)
@@ -29,16 +32,55 @@ type t = {
 val max_snapshots_per_block : int
 (** 8 — the condition code generator only distinguishes early visits. *)
 
-val capture : ?fuel:int -> ?want_snapshots:bool -> Program.t -> input:int list -> t
+val capture :
+  ?fuel:int ->
+  ?want_snapshots:bool ->
+  ?backend:[ `Interp | `Compiled ] ->
+  Program.t ->
+  input:int list ->
+  t
 (** Run under instrumentation. [want_snapshots] (default [true]) controls
     whether variable values are recorded; recognition-only traces can turn
-    it off to save memory. *)
+    it off to save memory.  [backend] (default [`Interp]) selects the
+    execution engine: [`Compiled] runs {!Compile} with events appended
+    straight into the flat buffer (observationally equivalent, much
+    faster), but only applies when [want_snapshots] is off — snapshots
+    need the interpreter's block observer, so that combination falls back
+    to [`Interp].  With the compiled backend [visits] and [block_counts]
+    are empty. *)
 
 val bitstring : t -> Util.Bitstring.t
-(** Decode the trace into its bit-string. *)
+(** Decode the trace into its bit-string (straight off the packed buffer —
+    no intermediate event list). *)
 
 val bits_of_branches : branch_event list -> Util.Bitstring.t
 (** The same decoding over a raw event list. *)
+
+val bits_of_buf : Tracebuf.t -> Util.Bitstring.t
+(** The same decoding over a packed buffer. *)
+
+val branches_of_buf : Tracebuf.t -> branch_event array
+(** Materialize packed events as records. *)
+
+val buf_of_branches : branch_event list -> Tracebuf.t
+(** Pack an event list into a fresh buffer. *)
+
+(** Incremental trace-bit decoder — the streaming recognizer's front end.
+    Feeding it the packed events of a trace, in order, yields exactly the
+    bits of {!bitstring}: the first occurrence of a branch site decodes to
+    [false] and fixes the site's reference direction; every later
+    occurrence decodes to whether it deviates. *)
+module Decoder : sig
+  type t
+
+  val create : unit -> t
+
+  val push : t -> int -> bool
+  (** Decode one packed event into its trace bit. *)
+end
+
+val save_events : Tracebuf.t -> string
+(** Serialize a packed event buffer in the {!save} format. *)
 
 val visit_count : t -> int * int -> int
 (** Times the given block was entered (0 if never). *)

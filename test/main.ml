@@ -7,6 +7,7 @@ let () =
       ("crypto", Test_crypto.suite);
       ("codec", Test_codec.suite);
       ("stackvm", Test_stackvm.suite);
+      ("compile", Test_compile.suite);
       ("jwm", Test_jwm.suite);
       ("gwm", Test_gwm.suite);
       ("scheme", Test_scheme.suite);

@@ -28,6 +28,7 @@ let dummy name : (module WATERMARKER) =
     let embed _ _ _ = failwith "dummy scheme cannot embed"
     let recognize ?aux:_ _ _ = failwith "dummy scheme cannot recognize"
     let recognize_branches = None
+    let stream = None
   end)
 
 (* {2 Registry} *)

@@ -177,9 +177,14 @@ let test_end_to_end () =
             Service.Server.serve ~events ~domains:1 ~store ~socket_path ())
       in
       let stopped = ref { Service.Server.requests = 0; errors = 0; shed = 0 } in
+      (* once the in-band Shutdown has been acknowledged the server is
+         committed to exiting: the best-effort nudge must not fire, or it
+         can race the teardown and be counted as a 15th request *)
+      let clean = ref false in
       Fun.protect
         ~finally:(fun () ->
-          stopped := join_with_shutdown server socket_path;
+          stopped :=
+            (if !clean then Domain.join server else join_with_shutdown server socket_path);
           Store.Registry.close store)
         (fun () ->
           Service.Client.with_client socket_path (fun client ->
@@ -257,7 +262,7 @@ let test_end_to_end () =
                     (List.exists (fun (i : Proto.entry_info) -> i.Proto.kind = Store.Artifact.Vm_program && i.Proto.key = digest) infos)
               | _ -> Alcotest.fail "list failed");
               match call Proto.Shutdown with
-              | Proto.Shutting_down -> ()
+              | Proto.Shutting_down -> clean := true
               | _ -> Alcotest.fail "shutdown failed"));
       Alcotest.(check int) "request count" 14 !stopped.Service.Server.requests;
       Alcotest.(check int) "error count" 4 !stopped.Service.Server.errors;
