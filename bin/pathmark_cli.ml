@@ -374,12 +374,13 @@ let schemes () =
   List.iter
     (fun (module W : Scheme.Watermarker.WATERMARKER) ->
       let c = W.caps in
-      Printf.printf "%-4s track=%-6s max_bits=%-9s blind=%b\n"
+      Printf.printf "%-4s track=%-6s max_bits=%-9s blind=%b locatability=%.2f resilience_floor=%.2f\n"
         W.name
         (Scheme.Watermarker.track_to_string c.Scheme.Watermarker.track)
         (if c.Scheme.Watermarker.max_bits = 0 then "unbounded"
          else string_of_int c.Scheme.Watermarker.max_bits)
-        c.Scheme.Watermarker.blind;
+        c.Scheme.Watermarker.blind c.Scheme.Watermarker.locatability
+        c.Scheme.Watermarker.resilience_floor;
       Printf.printf "     stealth: %s\n" c.Scheme.Watermarker.stealth;
       Printf.printf "     attacks: %s\n" c.Scheme.Watermarker.attack_surface)
     (Scheme.Builtin.all ());
@@ -1506,6 +1507,169 @@ let cluster_cmd =
     (Cmd.info "cluster" ~doc:"Run and operate a sharded, replicated pathmark service.")
     [ cluster_serve_cmd; cluster_status_cmd; cluster_drain_cmd; cluster_drill_cmd ]
 
+(* ---- tournament: the cross-product resilience scorecard ---- *)
+
+(* publish the scorecard JSON to a running cluster and read it back, so
+   an operator can fetch the latest matrix from any shard *)
+let publish_scorecard dir payload =
+  match discover_endpoints dir with
+  | [] ->
+      Printf.eprintf "no shard sockets under %s\n" dir;
+      exit exit_service_unavailable
+  | endpoints ->
+      let router = Shard.Router.create endpoints in
+      let finally () = Shard.Router.close router in
+      Fun.protect ~finally (fun () ->
+          let key = Digest.to_hex (Digest.string payload) in
+          (match
+             Shard.Router.call router ~key
+               (Service.Proto.Put_artifact
+                  { kind = Store.Artifact.Report; key; label = "tournament-scorecard"; payload })
+           with
+          | Ok (Service.Proto.Stored _) -> ()
+          | Ok _ ->
+              Printf.eprintf "unexpected reply publishing the scorecard\n";
+              exit exit_service_unavailable
+          | Error e ->
+              Printf.eprintf "cluster put failed: %s\n" (Shard.Router.error_to_string e);
+              exit exit_service_unavailable);
+          match
+            Shard.Router.call router ~key (Service.Proto.Get_artifact { kind = Store.Artifact.Report; key })
+          with
+          | Ok (Service.Proto.Artifact { payload = back; _ }) when back = payload ->
+              Printf.printf "scorecard published to cluster shard %s (report %s)\n"
+                (Shard.Router.route router ~key)
+                (String.sub key 0 12)
+          | Ok _ | Error _ ->
+              Printf.eprintf "cluster read-back of the published scorecard failed\n";
+              exit exit_service_unavailable)
+
+let tournament schemes workload_names all_workloads attack_names fault_specs jobs bits seed
+    fault_seed cache_spec events_file json no_gate cluster =
+  let schemes = if schemes = [] then default_audit_schemes else schemes in
+  (* resolve up front so an unknown name is exit 6, not a failed cell *)
+  List.iter (fun s -> ignore (resolve_scheme s)) schemes;
+  let workloads =
+    if all_workloads then List.map snd builtin_workloads
+    else if workload_names = [] then [ Workloads.Caffeine.suite ]
+    else
+      List.map
+        (fun name ->
+          match
+            List.find_opt
+              (fun (w : Workloads.Workload.t) -> w.Workloads.Workload.name = name)
+              analyzer_workloads
+          with
+          | Some w -> w
+          | None ->
+              Printf.printf "unknown workload %s; available: %s\n" name
+                (String.concat " "
+                   (List.map (fun (w : Workloads.Workload.t) -> w.Workloads.Workload.name) analyzer_workloads));
+              exit 1)
+        workload_names
+  in
+  let attacks = match attack_names with [] -> None | l -> Some l in
+  let fault_plans =
+    match fault_specs with
+    | [] -> None
+    | plans ->
+        (* the clean baseline always runs; each --faults occurrence adds
+           one plan, named by its spec list *)
+        Some
+          (("clean", [])
+          :: List.map
+               (fun specs -> (String.concat "," (List.map Fault.Spec.to_string specs), specs))
+               plans)
+  in
+  let cache =
+    match cache_spec with
+    | "none" -> None
+    | "mem" -> Some (Engine.Cache.create ())
+    | spec when String.length spec > 6 && String.sub spec 0 6 = "store:" ->
+        let root = String.sub spec 6 (String.length spec - 6) in
+        let store = or_store_corruption (fun () -> Store.Registry.open_store ~root ()) in
+        Some (Engine.Cache.create ~store ())
+    | dir -> Some (Engine.Cache.create ~spill_dir:dir ())
+  in
+  let events_oc = Option.map open_out events_file in
+  let events = Engine.Events.create ?sink:(Option.map Engine.Events.json_sink events_oc) () in
+  let card =
+    try
+      Tournament.Scorecard.run ~domains:jobs ~seed:(Int64.of_int seed) ~bits
+        ~fault_seed:(Int64.of_int fault_seed) ?attacks ?fault_plans ?cache ~events ~schemes
+        ~workloads ()
+    with Invalid_argument msg ->
+      Printf.eprintf "%s\n" msg;
+      exit 2
+  in
+  if json then print_string (Tournament.Scorecard.to_json card)
+  else print_string (Tournament.Scorecard.render card);
+  Option.iter close_out events_oc;
+  (match cluster with
+  | None -> ()
+  | Some dir -> publish_scorecard dir (Tournament.Scorecard.to_json card));
+  if (not (Tournament.Scorecard.gate_ok card)) && not no_gate then exit exit_analysis_findings
+
+let tournament_cmd =
+  let schemes =
+    Arg.(
+      value & opt_all string []
+      & info [ "scheme" ] ~docv:"NAME"
+          ~doc:"Scheme to measure (repeatable; '+'-joined names compose). Defaults to jwm, nwm, gwm and jwm+gwm.")
+  in
+  let workloads =
+    Arg.(
+      value & opt_all string []
+      & info [ "workload" ] ~docv:"NAME" ~doc:"Workload to run the matrix on (repeatable). Defaults to caffeine.")
+  in
+  let all_workloads =
+    Arg.(value & flag & info [ "all-workloads" ] ~doc:"Run the matrix on every built-in batch workload.")
+  in
+  let attacks =
+    Arg.(
+      value & opt_all string []
+      & info [ "attack" ] ~docv:"NAME"
+          ~doc:"Attack to include (repeatable; applied on every track that knows the name). Defaults to one representative per attack class on each track.")
+  in
+  let faults =
+    Arg.(
+      value & opt_all inject_conv []
+      & info [ "faults" ] ~docv:"NAME=RATE,..."
+          ~doc:"Fault plan to add as a matrix dimension (repeatable; the clean plan always runs too). Defaults to clean plus a sub-tolerance noisy plan.")
+  in
+  let jobs =
+    Arg.(value & opt int 1 & info [ "jobs"; "j" ] ~docv:"N" ~doc:"Worker domains for the cell batch.")
+  in
+  let bits_t = Arg.(value & opt int 16 & info [ "bits" ] ~docv:"N" ~doc:"Fingerprint width in bits.") in
+  let cache_t =
+    Arg.(
+      value & opt string "mem"
+      & info [ "cache" ] ~docv:"SPEC"
+          ~doc:"Cell result cache: $(b,none), $(b,mem), $(b,store:DIR) (persistent registry, incremental across runs) or a spill directory.")
+  in
+  let events_file =
+    Arg.(value & opt (some string) None & info [ "events" ] ~docv:"FILE" ~doc:"Write the JSON-lines event stream (per-cell progress, gate results) to FILE.")
+  in
+  let json = Arg.(value & flag & info [ "json" ] ~doc:"Emit the scorecard as JSON.") in
+  let no_gate =
+    Arg.(
+      value & flag
+      & info [ "no-gate" ]
+          ~doc:"Report only: do not fail (exit 7) when a scheme's composite resilience falls below its declared floor, a control cell false-positives, or a cell fails.")
+  in
+  let cluster =
+    Arg.(
+      value & opt (some string) None
+      & info [ "cluster" ] ~docv:"DIR"
+          ~doc:"Publish the scorecard JSON to the running cluster under DIR and verify the read-back (exit 8 if unreachable).")
+  in
+  Cmd.v
+    (Cmd.info "tournament"
+       ~doc:"Run the scheme × workload × attack × fault-plan resilience matrix through the batch engine and reduce it to per-scheme scorecards, gated against each scheme's declared resilience floor. Exits 7 on a gate violation.")
+    Term.(
+      const tournament $ schemes $ workloads $ all_workloads $ attacks $ faults $ jobs $ bits_t
+      $ seed_t $ fault_seed_t $ cache_t $ events_file $ json $ no_gate $ cluster)
+
 let main =
   Cmd.group
     (Cmd.info "pathmark" ~version:"1.0.0"
@@ -1529,6 +1693,7 @@ let main =
       disasm_cmd;
       analyze_cmd;
       audit_cmd;
+      tournament_cmd;
       experiment_cmd;
       store_cmd;
       serve_cmd;

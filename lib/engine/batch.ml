@@ -17,6 +17,14 @@ type outcome =
       clean_flagged : string list;
       ndiags : int;
     }
+  | Tournament_measured of {
+      attack : string;
+      control : bool;
+      survived : bool;
+      false_positive : bool;
+      confidence : float;
+      nfaults : int;
+    }
   | Failed of { reason : string; attempts : int }
 
 type result = { job : Job.t; outcome : outcome; ms : float; attempts : int; from_cache : bool }
@@ -29,6 +37,9 @@ let ok r =
   | Vm_attacked { survived } -> List.for_all snd survived
   | Vm_embedded _ | Native_embedded _ -> true
   | Audited _ -> true
+  (* a killed mark is a measurement, not a job failure; only a false
+     positive on a control cell counts against the batch *)
+  | Tournament_measured { false_positive; _ } -> not false_positive
 
 let describe_outcome = function
   | Vm_embedded { bytes_before; bytes_after; _ } ->
@@ -50,6 +61,15 @@ let describe_outcome = function
                       positive(s)"
         (String.concat "," passes) (List.length hits) (List.length marked_fns) ndiags
         (List.length clean_flagged)
+  | Tournament_measured { attack; control; survived; false_positive; confidence; nfaults } ->
+      if control then
+        Printf.sprintf "control cell: %s"
+          (if false_positive then "FALSE POSITIVE on unmarked program" else "clean")
+      else
+        Printf.sprintf "cell %s: %s (confidence %.2f%s)" attack
+          (if survived then "survived" else "killed")
+          confidence
+          (if nfaults > 0 then Printf.sprintf ", %d fault(s)" nfaults else "")
   | Failed { reason; attempts } -> Printf.sprintf "failed after %d attempt(s): %s" attempts reason
 
 (* ---- outcome (de)serialization for the result cache ----
@@ -125,6 +145,15 @@ let encode_outcome o =
       add_list flagged_fns;
       add_list clean_flagged;
       add_varint buf ndiags
+  | Tournament_measured { attack; control; survived; false_positive; confidence; nfaults } ->
+      Buffer.add_char buf 'T';
+      add_str buf attack;
+      add_bool buf control;
+      add_bool buf survived;
+      add_bool buf false_positive;
+      (* hex float: exact round-trip through the text form *)
+      add_str buf (Printf.sprintf "%h" confidence);
+      add_varint buf nfaults
   | Failed { reason; attempts } ->
       Buffer.add_char buf 'F';
       add_str buf reason;
@@ -202,6 +231,16 @@ let decode_outcome s =
             let clean_flagged = lst () in
             let ndiags = varint () in
             Audited { passes; marked_fns; flagged_fns; clean_flagged; ndiags }
+        | 'T' ->
+            let attack = str () in
+            let control = boolean () in
+            let survived = boolean () in
+            let false_positive = boolean () in
+            let confidence =
+              match float_of_string_opt (str ()) with Some c -> c | None -> raise Malformed
+            in
+            let nfaults = varint () in
+            Tournament_measured { attack; control; survived; false_positive; confidence; nfaults }
         | 'F' ->
             let reason = str () in
             let attempts = varint () in
@@ -355,6 +394,78 @@ let compute_vm_scheme ?inject ?cache ?events ?(backend = `Compiled) ~id (job : J
           attacks
       in
       Vm_attacked { survived }
+  | Job.Tournament_cell cell ->
+      let spec = scheme_spec job ~redundancy:Scheme.Watermarker.default_redundancy in
+      let fingerprint = cell.Job.cell_fingerprint in
+      (* control cells measure credibility: recognize the clean program,
+         unattacked — anything recovered that matches the fingerprint is a
+         false positive *)
+      let target =
+        if cell.Job.cell_control then program
+        else begin
+          let e =
+            timed ?events ~id ~stage:"embed" (fun () ->
+                W.embed fingerprint spec (Scheme.Watermarker.Vm_program program))
+          in
+          match e.Scheme.Watermarker.carrier with
+          | Scheme.Watermarker.Vm_program p -> p
+          | _ -> failwith (Printf.sprintf "scheme %s embedded a non-VM carrier" job.Job.scheme)
+        end
+      in
+      let attacked =
+        if cell.Job.cell_control || cell.Job.cell_attack = "identity" then target
+        else
+          match List.assoc_opt cell.Job.cell_attack Vmattacks.Attacks.all with
+          | None -> failwith ("unknown attack: " ^ cell.Job.cell_attack)
+          | Some attack ->
+              timed ?events ~id ~stage:("attack:" ^ cell.Job.cell_attack) (fun () ->
+                  attack (Util.Prng.create job.Job.seed) target)
+      in
+      (* the cell's own plan governs trace corruption (the batch-level
+         [inject] still drives crash/fuel/cache faults in [execute]) *)
+      let plan = Fault.Inject.make ~seed:cell.Job.cell_fault_seed cell.Job.cell_faults in
+      let r, nfaults =
+        match W.recognize_branches with
+        | Some recognize_branches when not (Fault.Inject.is_empty plan) ->
+            let fuel = Option.value ~default:default_recognize_fuel job.Job.fuel in
+            let branches =
+              timed ?events ~id ~stage:"trace" (fun () ->
+                  Array.to_list
+                    (Stackvm.Trace.capture ~fuel ~want_snapshots:false ~backend attacked
+                       ~input:job.Job.input)
+                      .Stackvm.Trace.branches)
+            in
+            let salt = Printf.sprintf "cell:%s:%s" (Job.trace_digest job) cell.Job.cell_attack in
+            let branches, nfaults = Fault.Inject.branches plan ~salt branches in
+            if nfaults > 0 then
+              emit events
+                (Events.Fault_injected
+                   {
+                     id;
+                     label = job.Job.label;
+                     layer = "trace";
+                     detail = Printf.sprintf "%d branch event(s) corrupted" nfaults;
+                   });
+            (timed ?events ~id ~stage:"recognize" (fun () -> recognize_branches spec branches), nfaults)
+        | _ ->
+            ( timed ?events ~id ~stage:"recognize" (fun () ->
+                  W.recognize spec (Scheme.Watermarker.Vm_program attacked)),
+              0 )
+      in
+      let recovered_fp =
+        match r.Scheme.Watermarker.value with Some v -> Bignum.equal v fingerprint | None -> false
+      in
+      if recovered_fp && nfaults > 0 then
+        emit events (Events.Counter { name = "recognitions.degraded"; delta = 1 });
+      Tournament_measured
+        {
+          attack = cell.Job.cell_attack;
+          control = cell.Job.cell_control;
+          survived = (not cell.Job.cell_control) && recovered_fp;
+          false_positive = cell.Job.cell_control && recovered_fp;
+          confidence = r.Scheme.Watermarker.confidence;
+          nfaults;
+        }
   | Job.Audit { fingerprint } ->
       let spec = scheme_spec job ~redundancy:Scheme.Watermarker.default_redundancy in
       let e =
@@ -404,7 +515,7 @@ let compute_vm_scheme ?inject ?cache ?events ?(backend = `Compiled) ~id (job : J
 let compute_vm ?inject ?cache ?events ?(backend = `Compiled) ~id (job : Job.t) program action =
   if
     job.Job.scheme <> Job.default_vm_scheme
-    || (match action with Job.Audit _ -> true | _ -> false)
+    || (match action with Job.Audit _ | Job.Tournament_cell _ -> true | _ -> false)
   then compute_vm_scheme ?inject ?cache ?events ~backend ~id job program action
   else
   match (action : Job.vm_action) with
@@ -473,9 +584,57 @@ let compute_vm ?inject ?cache ?events ?(backend = `Compiled) ~id (job : Job.t) p
           attacks
       in
       Vm_attacked { survived }
-  | Job.Audit _ -> assert false (* routed to [compute_vm_scheme] above *)
+  | Job.Audit _ | Job.Tournament_cell _ ->
+      assert false (* routed to [compute_vm_scheme] above *)
 
 let default_native_passes = 5
+
+(* Extract the watermark from [binary], optionally through a noisy tracer
+   whose observations [plan] garbles: several independently-garbled views
+   of one deterministic observation log, majority-voted.  Returns the
+   recovered value with the extractor's confidence in it. *)
+let native_extract_value ?events ~id ~label ~salt ~plan binary ~begin_addr ~end_addr ~input =
+  match plan with
+  | None -> (
+      match Nwm.Extract.extract binary ~begin_addr ~end_addr ~input with
+      | Ok ex -> (Some (Nwm.Extract.watermark ex), 1.0)
+      | Error _ -> (None, 0.0))
+  | Some plan ->
+      let per_pass = Hashtbl.create 4 in
+      let g ~pass v =
+        let f =
+          match Hashtbl.find_opt per_pass pass with
+          | Some f -> f
+          | None ->
+              let f =
+                Option.value ~default:Fun.id
+                  (Fault.Inject.garble plan ~salt:(Printf.sprintf "obs:%s:%d" salt pass))
+              in
+              Hashtbl.replace per_pass pass f;
+              f
+        in
+        f v
+      in
+      emit events
+        (Events.Fault_injected
+           {
+             id;
+             label;
+             layer = "obs";
+             detail =
+               Printf.sprintf "garbled tracer observations (%d passes, majority vote)"
+                 default_native_passes;
+           });
+      let d =
+        Nwm.Extract.extract_degraded ~passes:default_native_passes ~garble:g binary ~begin_addr
+          ~end_addr ~input
+      in
+      (match d.Nwm.Extract.value with
+      | Some _ when d.Nwm.Extract.agreement < 1.0 ->
+          emit events (Events.Counter { name = "recognitions.degraded"; delta = 1 })
+      | None -> emit events (Events.Counter { name = "recognitions.partial"; delta = 1 })
+      | Some _ -> ());
+      (d.Nwm.Extract.value, d.Nwm.Extract.confidence)
 
 let compute_native ?inject ?events ~id (job : Job.t) program action =
   if job.Job.scheme <> Job.default_native_scheme then
@@ -497,59 +656,79 @@ let compute_native ?inject ?events ~id (job : Job.t) program action =
         }
   | Job.Native_extract { begin_addr; end_addr; expected } ->
       let binary = timed ?events ~id ~stage:"assemble" (fun () -> Nativesim.Asm.assemble program) in
-      let garbling =
+      let plan =
         match inject with
         | Some plan when Fault.Inject.garble plan ~salt:"probe" <> None -> Some plan
         | _ -> None
       in
       let value =
-        timed ?events ~id ~stage:"native-extract" (fun () ->
-            match garbling with
-            | None -> (
-                match Nwm.Extract.extract binary ~begin_addr ~end_addr ~input:job.Job.input with
-                | Ok ex -> Some (Nwm.Extract.watermark ex)
-                | Error _ -> None)
-            | Some plan ->
-                (* noisy tracer: several independently-garbled views of one
-                   deterministic observation log, majority-voted *)
-                let salt = Job.trace_digest job in
-                let per_pass = Hashtbl.create 4 in
-                let g ~pass v =
-                  let f =
-                    match Hashtbl.find_opt per_pass pass with
-                    | Some f -> f
-                    | None ->
-                        let f =
-                          Option.value ~default:Fun.id
-                            (Fault.Inject.garble plan ~salt:(Printf.sprintf "obs:%s:%d" salt pass))
-                        in
-                        Hashtbl.replace per_pass pass f;
-                        f
-                  in
-                  f v
-                in
-                emit events
-                  (Events.Fault_injected
-                     {
-                       id;
-                       label = job.Job.label;
-                       layer = "obs";
-                       detail =
-                         Printf.sprintf "garbled tracer observations (%d passes, majority vote)"
-                           default_native_passes;
-                     });
-                let d =
-                  Nwm.Extract.extract_degraded ~passes:default_native_passes ~garble:g binary ~begin_addr
-                    ~end_addr ~input:job.Job.input
-                in
-                (match d.Nwm.Extract.value with
-                | Some _ when d.Nwm.Extract.agreement < 1.0 ->
-                    emit events (Events.Counter { name = "recognitions.degraded"; delta = 1 })
-                | None -> emit events (Events.Counter { name = "recognitions.partial"; delta = 1 })
-                | Some _ -> ());
-                d.Nwm.Extract.value)
+        fst
+          (timed ?events ~id ~stage:"native-extract" (fun () ->
+               native_extract_value ?events ~id ~label:job.Job.label ~salt:(Job.trace_digest job)
+                 ~plan binary ~begin_addr ~end_addr ~input:job.Job.input))
       in
       Native_extracted { value; matched = match_against expected value }
+  | Job.Native_tournament_cell cell ->
+      let fingerprint = cell.Job.cell_fingerprint in
+      (* the embed always runs — even control cells need the region span
+         the extractor will probe *)
+      let report =
+        timed ?events ~id ~stage:"native-embed" (fun () ->
+            Nwm.Embed.embed ~seed:job.Job.seed ~tamper_proof:true ?fuel:job.Job.fuel
+              ~watermark:fingerprint ~bits:job.Job.bits ~training_input:job.Job.input program)
+      in
+      let begin_addr = report.Nwm.Embed.begin_addr and end_addr = report.Nwm.Embed.end_addr in
+      let target =
+        if cell.Job.cell_control then
+          (* credibility control: probe the clean binary over the span the
+             embedder would have used *)
+          Nativesim.Asm.assemble program
+        else report.Nwm.Embed.binary
+      in
+      let attacked =
+        if cell.Job.cell_control || cell.Job.cell_attack = "identity" then target
+        else
+          let rng = Util.Prng.create job.Job.seed in
+          timed ?events ~id ~stage:("attack:" ^ cell.Job.cell_attack) (fun () ->
+              match cell.Job.cell_attack with
+              | "noop-insertion" -> Nattacks.Attacks.noop_insertion ~rate:0.05 rng target
+              | "branch-sense-inversion" ->
+                  Nattacks.Attacks.branch_sense_inversion ~fraction:1.0 rng target
+              | "double-watermark" ->
+                  let seed2 = Int64.lognot job.Job.seed in
+                  let second = Bignum.random_bits (Util.Prng.create seed2) job.Job.bits in
+                  Nattacks.Attacks.double_watermark ~seed:seed2 ~watermark:second
+                    ~bits:job.Job.bits ~training_input:job.Job.input target
+              | "bypass" ->
+                  Nattacks.Attacks.bypass rng target ~begin_addr ~end_addr ~input:job.Job.input
+              | "reroute" ->
+                  Nattacks.Attacks.reroute rng target ~begin_addr ~end_addr ~input:job.Job.input
+              | "static-strip" -> (Nattacks.Static_strip.strip target).Nattacks.Static_strip.binary
+              | a -> failwith ("unknown native attack: " ^ a))
+      in
+      (* the cell's own plan drives the noisy-tracer extraction *)
+      let cell_plan = Fault.Inject.make ~seed:cell.Job.cell_fault_seed cell.Job.cell_faults in
+      let plan =
+        if Fault.Inject.garble cell_plan ~salt:"probe" <> None then Some cell_plan else None
+      in
+      let value, confidence =
+        timed ?events ~id ~stage:"native-extract" (fun () ->
+            native_extract_value ?events ~id ~label:job.Job.label
+              ~salt:(Job.trace_digest job ^ ":" ^ cell.Job.cell_attack)
+              ~plan attacked ~begin_addr ~end_addr ~input:job.Job.input)
+      in
+      let recovered_fp =
+        match value with Some v -> Bignum.equal v fingerprint | None -> false
+      in
+      Tournament_measured
+        {
+          attack = cell.Job.cell_attack;
+          control = cell.Job.cell_control;
+          survived = (not cell.Job.cell_control) && recovered_fp;
+          false_positive = cell.Job.cell_control && recovered_fp;
+          confidence;
+          nfaults = (if Option.is_some plan then 1 else 0);
+        }
   | Job.Native_audit { fingerprint } ->
       let report =
         timed ?events ~id ~stage:"native-embed" (fun () ->

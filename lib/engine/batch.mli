@@ -37,6 +37,25 @@ type outcome =
               false-positive baseline; empty on the stock workloads *)
       ndiags : int;  (** total diagnostics on the marked program *)
     }
+  | Tournament_measured of {
+      attack : string;  (** attack name (["identity"] for the no-op cell) *)
+      control : bool;  (** credibility control: clean, unmarked carrier *)
+      survived : bool;
+          (** the exact embedded fingerprint was recovered after the
+              attack; always [false] on control cells *)
+      false_positive : bool;
+          (** a control cell recovered the declared fingerprint from the
+              {e unmarked} carrier *)
+      confidence : float;  (** recognizer confidence in the recovery *)
+      nfaults : int;
+          (** injected faults that fired during recognition (branch
+              events corrupted on the VM track; 1 when the native noisy
+              tracer was active, else 0) *)
+    }
+      (** One tournament cell measured: embed → attack → recognize under
+          the cell's fault plan ({!Job.Tournament_cell}).  A killed mark
+          is a {e measurement}, not a job failure — only control-cell
+          false positives make {!ok} false. *)
   | Failed of { reason : string; attempts : int }
 
 type result = {

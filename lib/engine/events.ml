@@ -28,6 +28,15 @@ type event =
   | Stage_time of { id : int; stage : string; ms : float }
   | Counter of { name : string; delta : int }
   | Diag of { rule : string; location : string; message : string }
+  | Tournament_cell_done of {
+      id : int;
+      scheme : string;
+      workload : string;
+      attack : string;
+      survived : bool;
+      cached : bool;
+    }
+  | Tournament_gate of { scheme : string; composite : float; floor : float; ok : bool }
 
 type t = {
   mutex : Mutex.t;
@@ -68,6 +77,12 @@ let emit t ev =
       | Failover _ -> bump t "shards.failovers" 1
       | Counter { name; delta } -> bump t name delta
       | Diag _ -> bump t "diagnostics" 1
+      | Tournament_cell_done { survived; _ } ->
+          bump t "tournament.cells" 1;
+          if survived then bump t "tournament.survived" 1
+      | Tournament_gate { ok; _ } ->
+          bump t "tournament.gates" 1;
+          if not ok then bump t "tournament.gate_failures" 1
       | Batch_start _ | Batch_finish _ | Job_start _ | Stage_time _ | Store_replay _ -> ());
       match t.sink with None -> () | Some f -> f ev)
 
@@ -151,6 +166,19 @@ let to_json = function
   | Counter { name; delta } -> json [ str "ev" "counter"; str "name" name; int "delta" delta ]
   | Diag { rule; location; message } ->
       json [ str "ev" "diag"; str "rule" rule; str "location" location; str "message" message ]
+  | Tournament_cell_done { id; scheme; workload; attack; survived; cached } ->
+      json
+        [
+          str "ev" "tournament_cell_done"; int "id" id; str "scheme" scheme;
+          str "workload" workload; str "attack" attack; bool "survived" survived;
+          bool "cached" cached;
+        ]
+  | Tournament_gate { scheme; composite; floor; ok } ->
+      json
+        [
+          str "ev" "tournament_gate"; str "scheme" scheme; flt "composite" composite;
+          flt "floor" floor; bool "ok" ok;
+        ]
 
 let json_sink oc ev =
   output_string oc (to_json ev);
@@ -205,6 +233,13 @@ let report t =
       (Printf.sprintf "partial recovery: %d degraded recognitions, %d partial-only\n"
          (get "recognitions.degraded")
          (get "recognitions.partial"));
+  if get "tournament.cells" > 0 then
+    Buffer.add_string buf
+      (Printf.sprintf "tournament: %d cells (%d survived)  gates: %d (%d failed)\n"
+         (get "tournament.cells") (get "tournament.survived") (get "tournament.gates")
+         (get "tournament.gate_failures"));
+  if get "diagnostics" > 0 then
+    Buffer.add_string buf (Printf.sprintf "diagnostics: %d findings\n" (get "diagnostics"));
   (match finished with
   | [] -> ()
   | _ :: _ ->
@@ -232,7 +267,8 @@ let report t =
                "store.puts"; "store.gets"; "store.hits"; "service.requests"; "service.errors";
                "service.shed"; "shards.up"; "shards.down"; "shards.failovers";
                "faults.injected"; "breaker.trips"; "breaker.short_circuits"; "recognitions.partial";
-               "recognitions.degraded";
+               "recognitions.degraded"; "diagnostics"; "tournament.cells"; "tournament.survived";
+               "tournament.gates"; "tournament.gate_failures";
              ]))
       counters
   in

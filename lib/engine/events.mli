@@ -69,6 +69,21 @@ type event =
       (** a static-analysis finding (see [Analysis.Diag]; carried as
           strings so the engine stays analysis-agnostic).  The recorder
           maintains a derived [diagnostics] counter. *)
+  | Tournament_cell_done of {
+      id : int;
+      scheme : string;
+      workload : string;
+      attack : string;
+      survived : bool;
+      cached : bool;
+    }
+      (** one resilience-tournament cell finished (derived
+          [tournament.cells] / [tournament.survived] counters); [cached]
+          marks a cell served from the result cache on a rerun *)
+  | Tournament_gate of { scheme : string; composite : float; floor : float; ok : bool }
+      (** a scheme's measured composite resilience was checked against
+          its declared floor (derived [tournament.gates] /
+          [tournament.gate_failures] counters) *)
 
 type t
 (** A thread-safe recorder. *)

@@ -1,13 +1,23 @@
+type cell_spec = {
+  cell_fingerprint : Bignum.t;
+  cell_attack : string;
+  cell_control : bool;
+  cell_fault_seed : int64;
+  cell_faults : Fault.Spec.t list;
+}
+
 type vm_action =
   | Embed of { fingerprint : Bignum.t; pieces : int }
   | Recognize of { expected : Bignum.t option }
   | Attack_campaign of { expected : Bignum.t; attacks : string list }
   | Audit of { fingerprint : Bignum.t }
+  | Tournament_cell of cell_spec
 
 type native_action =
   | Native_embed of { fingerprint : Bignum.t; tamper_proof : bool }
   | Native_extract of { begin_addr : int; end_addr : int; expected : Bignum.t option }
   | Native_audit of { fingerprint : Bignum.t }
+  | Native_tournament_cell of cell_spec
 
 type payload =
   | Vm of { program : Stackvm.Program.t; action : vm_action }
@@ -111,6 +121,45 @@ let native_audit ?label ?(seed = default_seed) ?fuel ~bits ~fingerprint ~input p
     payload = Native { program; action = Native_audit { fingerprint } };
   }
 
+let cell_spec ?(control = false) ?(fault_seed = 1L) ?(faults = []) ~fingerprint ~attack () =
+  {
+    cell_fingerprint = fingerprint;
+    cell_attack = attack;
+    cell_control = control;
+    cell_fault_seed = fault_seed;
+    cell_faults = faults;
+  }
+
+let vm_tournament_cell ?label ?(seed = default_seed) ?fuel ?(scheme = default_vm_scheme) ~key ~bits
+    ~input ~cell program =
+  let label = Option.value label ~default:(Printf.sprintf "cell:%s:%s" scheme cell.cell_attack) in
+  {
+    label;
+    key;
+    bits;
+    input;
+    seed;
+    fuel;
+    scheme;
+    payload = Vm { program; action = Tournament_cell cell };
+  }
+
+let native_tournament_cell ?label ?(seed = default_seed) ?fuel ~bits ~input ~cell program =
+  let label =
+    Option.value label
+      ~default:(Printf.sprintf "cell:%s:%s" default_native_scheme cell.cell_attack)
+  in
+  {
+    label;
+    key = "";
+    bits;
+    input;
+    seed;
+    fuel;
+    scheme = default_native_scheme;
+    payload = Native { program; action = Native_tournament_cell cell };
+  }
+
 let native_extract ?label ?fuel ?expected ~bits ~begin_addr ~end_addr ~input program =
   let label = Option.value label ~default:"native-extract" in
   {
@@ -181,6 +230,13 @@ let action_fields buf t =
   | Native { action = Native_audit { fingerprint }; _ } ->
       add_field buf "action" "native-audit";
       add_field buf "fingerprint" (Bignum.to_string fingerprint)
+  | Vm { action = Tournament_cell cell; _ } | Native { action = Native_tournament_cell cell; _ } ->
+      add_field buf "action" "tournament";
+      add_field buf "fingerprint" (Bignum.to_string cell.cell_fingerprint);
+      add_field buf "attack" cell.cell_attack;
+      add_field buf "control" (string_of_bool cell.cell_control);
+      add_field buf "fault_seed" (Int64.to_string cell.cell_fault_seed);
+      add_field buf "faults" (String.concat "," (List.map Fault.Spec.to_string cell.cell_faults))
 
 let digest t =
   let buf = Buffer.create 512 in
@@ -201,8 +257,10 @@ let kind t =
   | Vm { action = Recognize _; _ } -> "recognize"
   | Vm { action = Attack_campaign _; _ } -> "attack"
   | Vm { action = Audit _; _ } -> "audit"
+  | Vm { action = Tournament_cell _; _ } -> "tournament"
   | Native { action = Native_embed _; _ } -> "native-embed"
   | Native { action = Native_extract _; _ } -> "native-extract"
   | Native { action = Native_audit _; _ } -> "native-audit"
+  | Native { action = Native_tournament_cell _; _ } -> "native-tournament"
 
 let describe t = Printf.sprintf "%s %s (%d bits, input [%s])" (kind t) t.label t.bits (input_string t.input)

@@ -11,6 +11,26 @@
     semantically relevant field (the program {e bytes}, not its identity).
     The [label] is cosmetic and excluded. *)
 
+type cell_spec = {
+  cell_fingerprint : Bignum.t;
+  cell_attack : string;
+      (** attack name on the job's track (["identity"] applies nothing);
+          VM cells resolve through {!Vmattacks.Attacks.all}, native cells
+          through the fixed {!Nattacks} vocabulary *)
+  cell_control : bool;
+      (** credibility control: recognize the {e unmarked} program instead
+          — any recovery of [cell_fingerprint] is a false positive *)
+  cell_fault_seed : int64;
+  cell_faults : Fault.Spec.t list;
+      (** the cell's own fault plan, applied to the recognition
+          trace/observations; part of the digest, so faulted cells cache
+          separately from clean ones *)
+}
+(** One tournament cell: embed [cell_fingerprint], apply [cell_attack],
+    recognize under the cell's fault plan, and report survival — the unit
+    of the scheme × workload × attack × fault-plan cross-product
+    ({!Tournament.Scorecard}). *)
+
 type vm_action =
   | Embed of { fingerprint : Bignum.t; pieces : int }
   | Recognize of { expected : Bignum.t option }
@@ -24,6 +44,7 @@ type vm_action =
           scheme's declared {!Analysis.Locator} passes over both the
           clean and the marked program and report which marked functions
           the static locator implicates *)
+  | Tournament_cell of cell_spec
 
 type native_action =
   | Native_embed of { fingerprint : Bignum.t; tamper_proof : bool }
@@ -32,6 +53,7 @@ type native_action =
       (** the audit action for the native track: embed, then run
           {!Analysis.Nlint} over clean and marked binaries and test
           whether any finding lands inside the embedded region *)
+  | Native_tournament_cell of cell_spec
 
 type payload =
   | Vm of { program : Stackvm.Program.t; action : vm_action }
@@ -136,6 +158,40 @@ val native_extract :
   Nativesim.Asm.program ->
   t
 
+val cell_spec :
+  ?control:bool ->
+  ?fault_seed:int64 ->
+  ?faults:Fault.Spec.t list ->
+  fingerprint:Bignum.t ->
+  attack:string ->
+  unit ->
+  cell_spec
+(** Defaults: not a control, fault seed 1, empty fault plan. *)
+
+val vm_tournament_cell :
+  ?label:string ->
+  ?seed:int64 ->
+  ?fuel:int ->
+  ?scheme:string ->
+  key:string ->
+  bits:int ->
+  input:int list ->
+  cell:cell_spec ->
+  Stackvm.Program.t ->
+  t
+(** The program is the {e clean} carrier; the cell embeds internally
+    (control cells skip the embed and the attack). *)
+
+val native_tournament_cell :
+  ?label:string ->
+  ?seed:int64 ->
+  ?fuel:int ->
+  bits:int ->
+  input:int list ->
+  cell:cell_spec ->
+  Nativesim.Asm.program ->
+  t
+
 val program_bytes : t -> string
 (** Canonical byte serialization of the job's program
     ({!Stackvm.Serialize.encode}, or the assembled {!Nativesim.Binary}
@@ -155,8 +211,9 @@ val digest : t -> string
 
 val kind : t -> string
 (** Short action tag: ["embed"], ["recognize"], ["attack"], ["audit"],
-    ["native-embed"], ["native-extract"] or ["native-audit"] — used as
-    the cache stage for memoized job results. *)
+    ["tournament"], ["native-embed"], ["native-extract"],
+    ["native-audit"] or ["native-tournament"] — used as the cache stage
+    for memoized job results. *)
 
 val describe : t -> string
 (** One-line description for logs. *)

@@ -73,6 +73,13 @@ let compose members =
           List.fold_left
             (fun acc (module W : WATERMARKER) -> Float.max acc W.caps.locatability)
             0. members;
+        resilience_floor =
+          (* unanimity recognition survives only attacks every member
+             survives, so the composite floor is the independent-survival
+             lower bound: the product of the member floors *)
+          List.fold_left
+            (fun acc (module W : WATERMARKER) -> acc *. W.caps.resilience_floor)
+            1. members;
       }
 
     let nbits spec =

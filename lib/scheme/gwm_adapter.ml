@@ -20,6 +20,9 @@ module M = struct
          search); trace noise past repetition";
       locator_passes = [ "vmlint"; "loops"; "taint"; "rpg" ];
       locatability = 0.9;
+      (* the rpg locator finds the walker, so the guided strip ("rpg-strip")
+         kills the mark outright; the floor prices that class in *)
+      resilience_floor = 0.3;
     }
 
   let nbits (spec : spec) = spec.bits

@@ -25,6 +25,10 @@ module M = struct
          opaque predicates, so vmlint locates every marked function;
          only the stealth generators push this below 1.0 *)
       locatability = 1.0;
+      (* CRT piece redundancy rides out distortive rewrites and survives
+         both strip attacks; only sustained trace corruption past the
+         redundancy margin degrades it *)
+      resilience_floor = 0.55;
     }
 
   let nbits (spec : spec) = spec.bits

@@ -24,6 +24,11 @@ module M = struct
          branch-function rule); the scheme's resilience rests on
          tamper-proofing, not on hiding the region *)
       locatability = 1.0;
+      (* distortive rewrites break the tamper-proofed binary (that is the
+         §5.2.2 claim) and take the extraction window with it: resilience
+         here means surviving the targeted call-site attacks, not the
+         rewrites *)
+      resilience_floor = 0.25;
     }
 
   let nbits (spec : spec) = spec.bits

@@ -10,6 +10,7 @@ type caps = {
   attack_surface : string;
   locator_passes : string list;
   locatability : float;
+  resilience_floor : float;
 }
 
 type spec = {

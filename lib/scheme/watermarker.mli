@@ -31,6 +31,12 @@ type caps = {
       (** declared ceiling, in [0,1], on the locator hit-rate (flagged
           marked functions / marked functions) the scheme admits; the
           audit gate fails a scheme whose observed hit-rate exceeds it *)
+  resilience_floor : float;
+      (** declared floor, in [0,1], on the composite resilience score the
+          scheme commits to on the tournament matrix
+          ({!Tournament.Scorecard}): class-balanced attack survival damped
+          by credibility.  The tournament gate fails a scheme whose
+          measured composite falls below this floor. *)
 }
 
 type spec = {

@@ -26,5 +26,6 @@ let () =
       ("analysis", Test_analysis.suite);
       ("gattacks", Test_gattacks.suite);
       ("audit", Test_audit.suite);
+      ("tournament", Test_tournament.suite);
       ("experiments", Test_experiments.suite);
     ]

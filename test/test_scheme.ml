@@ -22,6 +22,7 @@ let dummy name : (module WATERMARKER) =
         attack_surface = "-";
         locator_passes = [];
         locatability = 0.;
+        resilience_floor = 0.;
       }
 
     let nbits (s : spec) = s.bits
